@@ -1,0 +1,53 @@
+// Reproduces the worked examples of paper Figs 1-4: the three steps of a
+// Collect phase (OMP outward move, PRP fan-blade rotation, SDP move-back and
+// doubling), rendered as ASCII frames at every stage transition.
+#include <cstdio>
+#include <cstring>
+
+#include "core/collect/collect.h"
+#include "core/dle/dle.h"
+#include "shapegen/shapegen.h"
+#include "viz/ascii.h"
+
+int main() {
+  using namespace pm;
+  using namespace pm::core;
+
+  // A sparse breadcrumb-like configuration: DLE on a thin ring leaves a
+  // disconnected trail, exactly the situation of Fig 1.
+  const grid::Shape shape = shapegen::annulus(6, 5);
+  Rng rng(5);
+  auto sys = Dle::make_system(shape, rng);
+  Dle dle;
+  amoebot::run(sys, dle, {amoebot::Order::RandomPerm, 6, 1'000'000});
+  const auto outcome = election_outcome(sys);
+  std::printf("After DLE: %d particles, %d components (temporarily disconnected)\n\n",
+              sys.particle_count(), sys.component_count());
+
+  const grid::Node l = sys.body(outcome.leader).head;
+  auto render_now = [&](const char* caption) {
+    const grid::Shape occupied = sys.shape();
+    std::printf("--- %s\n%s\n", caption,
+                viz::render(occupied, {.show_empty = false}, [&](grid::Node v) -> char {
+                  if (v == l) return 'L';
+                  return '\0';
+                }).c_str());
+  };
+
+  CollectRun collect(sys, outcome.leader);
+  int frames = 0;
+  collect.on_stage = [&](const char* stage, int k) {
+    if (frames > 18) return;  // keep the demo short
+    ++frames;
+    char caption[96];
+    std::snprintf(caption, sizeof caption,
+                  "round %ld: stage %s (stem size k=%d)   [Figs 1-4]",
+                  collect.rounds(), stage, k);
+    render_now(caption);
+  };
+  const auto res = collect.run();
+  std::printf("Collect finished: %d phases, %ld rounds, connected=%s\n", res.phases,
+              res.rounds, sys.component_count() == 1 ? "yes" : "NO");
+  render_now("final configuration (reconnected, Fig 1f)");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces the preliminary figures of the paper (Figs 5-7): shapes with
+// holes and their areas, boundary counts and erodable points, and the
+// oriented v-node rings with their ±6 count sums (Observation 4).
+#include <cstdio>
+
+#include "grid/local_boundary.h"
+#include "grid/metrics.h"
+#include "grid/vnode.h"
+#include "shapegen/shapegen.h"
+#include "viz/ascii.h"
+
+int main() {
+  using namespace pm;
+  using grid::Node;
+
+  // --- Fig 5: a simply-connected shape and a holey one; area = shape+holes.
+  const grid::Shape simple = shapegen::hexagon(3);
+  const grid::Shape holey = shapegen::annulus(4, 1);
+  std::printf("Fig 5 — simply-connected shape (no holes):\n%s\n",
+              viz::render(simple).c_str());
+  std::printf("Fig 5 — shape with a hole ('*' = hole points; area = 'O' + '*'):\n%s\n",
+              viz::render(holey).c_str());
+  std::printf("holes=%d, |shape|=%zu, |area|=%zu\n\n", holey.hole_count(), holey.size(),
+              holey.area().size());
+
+  // --- Fig 6: boundary counts and erodable / SCE points.
+  const grid::Shape comb = shapegen::comb(3, 3);
+  std::printf("Fig 6 — boundary counts ('digit' = count of that point, 'E' = SCE):\n%s\n",
+              viz::render(comb, {.show_empty = false}, [&](Node v) -> char {
+                if (!comb.contains(v)) return '\0';
+                const auto run = grid::single_local_boundary(
+                    v, [&](Node u) { return comb.contains(u); });
+                if (!run) return 'O';
+                if (grid::is_sce(comb, v)) return 'E';
+                const int c = run->count();
+                return static_cast<char>(c < 0 ? 'm' : '0' + c);
+              }).c_str());
+  std::printf("('m' = count -1, digits = count, 'E' = strictly convex erodable)\n\n");
+
+  // --- Fig 7: v-node rings and Observation 4.
+  const grid::Shape cheese = shapegen::swiss_cheese(5, 2, 12);
+  const grid::VNodeRings rings(cheese);
+  std::printf("Fig 7 — v-node rings of a 2-hole shape:\n");
+  for (std::size_t r = 0; r < rings.rings().size(); ++r) {
+    const bool outer = static_cast<int>(r) == rings.outer_ring();
+    std::printf("  ring %zu: %zu v-nodes, count sum %+d (%s boundary)\n", r,
+                rings.rings()[r].size(), rings.ring_count_sum(static_cast<int>(r)),
+                outer ? "OUTER" : "inner");
+  }
+  std::printf("Observation 4: the outer ring sums to +6, every inner ring to -6.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "amoebot/system.h"
+
+#include <deque>
+
+namespace pm::amoebot {
+
+using grid::Node;
+
+ParticleId SystemCore::add_particle(Node at, std::uint8_t ori) {
+  PM_CHECK_MSG(!occupied(at), "add_particle: node " << at << " already occupied");
+  PM_CHECK(ori < 6);
+  const ParticleId id = particle_count();
+  bodies_.push_back(Body{at, at, ori});
+  occ_.emplace(at, id);
+  return id;
+}
+
+ParticleId SystemCore::particle_at(Node v) const {
+  const auto it = occ_.find(v);
+  return it == occ_.end() ? kNoParticle : it->second;
+}
+
+bool SystemCore::is_head(Node v) const {
+  const ParticleId p = particle_at(v);
+  return p != kNoParticle && bodies_[static_cast<std::size_t>(p)].head == v;
+}
+
+std::vector<Node> SystemCore::occupied_nodes() const {
+  std::vector<Node> out;
+  out.reserve(bodies_.size());
+  for (const Body& b : bodies_) {
+    out.push_back(b.head);
+    if (b.expanded()) out.push_back(b.tail);
+  }
+  return out;
+}
+
+grid::Shape SystemCore::shape() const { return grid::Shape(occupied_nodes()); }
+
+int SystemCore::component_count() const {
+  if (bodies_.empty()) return 0;
+  // BFS over occupied nodes; a particle's head and tail are always adjacent,
+  // so node-level connectivity equals particle-level connectivity.
+  std::unordered_map<Node, char, grid::NodeHash> seen;
+  int components = 0;
+  for (const Body& b : bodies_) {
+    if (seen.contains(b.head)) continue;
+    ++components;
+    std::deque<Node> queue{b.head};
+    seen.emplace(b.head, 1);
+    while (!queue.empty()) {
+      const Node v = queue.front();
+      queue.pop_front();
+      for (int i = 0; i < grid::kDirCount; ++i) {
+        const Node u = grid::neighbor(v, grid::dir_from_index(i));
+        if (occupied(u) && seen.emplace(u, 1).second) queue.push_back(u);
+      }
+    }
+  }
+  return components;
+}
+
+bool SystemCore::all_contracted() const {
+  for (const Body& b : bodies_) {
+    if (b.expanded()) return false;
+  }
+  return true;
+}
+
+int SystemCore::port_between(ParticleId p, Node from, Node to) const {
+  const Body& b = bodies_[checked(p)];
+  PM_CHECK_MSG(from == b.head || from == b.tail, "port_between: particle not at " << from);
+  return dir_port(p, grid::dir_between(from, to));
+}
+
+void SystemCore::expand(ParticleId p, Node to) {
+  Body& b = bodies_[checked(p)];
+  PM_CHECK_MSG(!b.expanded(), "expand: particle " << p << " already expanded");
+  PM_CHECK_MSG(grid::adjacent(b.head, to), "expand: target not adjacent");
+  PM_CHECK_MSG(!occupied(to), "expand: target " << to << " occupied");
+  b.tail = b.head;
+  b.head = to;
+  occ_.emplace(to, p);
+  ++moves_;
+}
+
+void SystemCore::contract_to_head(ParticleId p) {
+  Body& b = bodies_[checked(p)];
+  PM_CHECK_MSG(b.expanded(), "contract_to_head: particle " << p << " is contracted");
+  occ_.erase(b.tail);
+  b.tail = b.head;
+  ++moves_;
+}
+
+void SystemCore::contract_to_tail(ParticleId p) {
+  Body& b = bodies_[checked(p)];
+  PM_CHECK_MSG(b.expanded(), "contract_to_tail: particle " << p << " is contracted");
+  occ_.erase(b.head);
+  b.head = b.tail;
+  ++moves_;
+}
+
+void SystemCore::handover(ParticleId p, ParticleId q) {
+  Body& bp = bodies_[checked(p)];
+  Body& bq = bodies_[checked(q)];
+  PM_CHECK_MSG(!bp.expanded(), "handover: p must be contracted");
+  PM_CHECK_MSG(bq.expanded(), "handover: q must be expanded");
+  PM_CHECK_MSG(grid::adjacent(bp.head, bq.tail), "handover: p not adjacent to q's tail");
+  const Node freed = bq.tail;
+  // q contracts into its head...
+  occ_.erase(freed);
+  bq.tail = bq.head;
+  // ...and p expands into the freed node, atomically.
+  bp.tail = bp.head;
+  bp.head = freed;
+  occ_.emplace(freed, p);
+  ++moves_;
+}
+
+}  // namespace pm::amoebot

@@ -1,0 +1,131 @@
+// The amoebot particle system (paper §2.2).
+//
+// SystemCore owns the geometric configuration: particle bodies (head/tail
+// nodes, per-particle orientation offset implementing common chirality with
+// anonymous rotations), the occupancy map, and the three legal movement
+// operations — expand, contract, handover — with model-rule enforcement.
+//
+// System<State> adds the per-particle algorithm memory. Algorithm code
+// accesses the system only through ParticleView (view.h), which restricts it
+// to local, port-addressed reads/writes exactly as the model allows; the
+// Collect engine (core/collect) is the one documented exception, driving
+// SystemCore moves directly as a round-synchronous compilation of the
+// paper's token protocols.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/coord.h"
+#include "grid/shape.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pm::amoebot {
+
+using ParticleId = std::int32_t;
+inline constexpr ParticleId kNoParticle = -1;
+
+struct Body {
+  grid::Node head{};
+  grid::Node tail{};      // == head when contracted
+  std::uint8_t ori = 0;   // port p points toward global dir (ori + p) mod 6
+
+  [[nodiscard]] bool expanded() const { return !(head == tail); }
+};
+
+class SystemCore {
+ public:
+  SystemCore() = default;
+
+  // --- construction ---
+
+  ParticleId add_particle(grid::Node at, std::uint8_t ori);
+
+  // --- configuration queries ---
+
+  [[nodiscard]] int particle_count() const { return static_cast<int>(bodies_.size()); }
+  [[nodiscard]] const Body& body(ParticleId p) const { return bodies_[checked(p)]; }
+  [[nodiscard]] bool occupied(grid::Node v) const { return occ_.contains(v); }
+  [[nodiscard]] ParticleId particle_at(grid::Node v) const;
+  [[nodiscard]] bool is_head(grid::Node v) const;  // v occupied by some particle's head
+
+  // All occupied nodes (heads and tails), deterministic order by particle.
+  [[nodiscard]] std::vector<grid::Node> occupied_nodes() const;
+
+  // The particle system's shape S_P (set of occupied points).
+  [[nodiscard]] grid::Shape shape() const;
+
+  // Number of connected components of S_P (1 = connected).
+  [[nodiscard]] int component_count() const;
+  [[nodiscard]] bool all_contracted() const;
+
+  // --- port arithmetic (common chirality) ---
+
+  [[nodiscard]] grid::Dir port_dir(ParticleId p, int port) const {
+    return grid::dir_from_index(static_cast<int>(bodies_[checked(p)].ori) + port);
+  }
+  [[nodiscard]] int dir_port(ParticleId p, grid::Dir d) const {
+    return ((grid::index(d) - static_cast<int>(bodies_[checked(p)].ori)) % 6 + 6) % 6;
+  }
+  // Port that particle p assigns, from its occupied node `from`, to the
+  // adjacent node `to` (paper's port(p, u, v)).
+  [[nodiscard]] int port_between(ParticleId p, grid::Node from, grid::Node to) const;
+
+  // --- movement operations ---
+
+  // Contracted p expands into the empty adjacent node `to`; `to` becomes the
+  // head, the old node the tail.
+  void expand(ParticleId p, grid::Node to);
+
+  void contract_to_head(ParticleId p);
+  void contract_to_tail(ParticleId p);
+
+  // Handover: contracted p expands into expanded q's tail while q contracts
+  // into its head (one atomic movement, performable by either party).
+  void handover(ParticleId p, ParticleId q);
+
+  [[nodiscard]] long long moves() const { return moves_; }
+
+ private:
+  [[nodiscard]] std::size_t checked(ParticleId p) const {
+    PM_CHECK_MSG(p >= 0 && p < particle_count(), "bad particle id " << p);
+    return static_cast<std::size_t>(p);
+  }
+
+  std::vector<Body> bodies_;
+  std::unordered_map<grid::Node, ParticleId, grid::NodeHash> occ_;
+  long long moves_ = 0;
+};
+
+template <typename State>
+class System : public SystemCore {
+ public:
+  System() = default;
+
+  // Builds a contracted configuration from a shape, one particle per node,
+  // with rng-chosen anonymous orientations (common chirality).
+  static System from_shape(const grid::Shape& s, Rng& rng) {
+    System sys;
+    for (const grid::Node v : s.nodes()) {
+      sys.add_particle(v, static_cast<std::uint8_t>(rng.below(6)));
+      sys.states_.emplace_back();
+    }
+    return sys;
+  }
+
+  [[nodiscard]] State& state(ParticleId p) {
+    PM_CHECK(p >= 0 && p < particle_count());
+    return states_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const State& state(ParticleId p) const {
+    PM_CHECK(p >= 0 && p < particle_count());
+    return states_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::vector<State> states_;
+};
+
+}  // namespace pm::amoebot

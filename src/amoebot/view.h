@@ -1,0 +1,167 @@
+// ParticleView: the local, port-addressed interface an activated particle
+// uses during its atomic activation (paper §2.2). It exposes exactly what
+// the model grants:
+//   (i)  reading its own and its neighbors' memories,
+//   (ii) writing its own and its neighbors' memories,
+//   (iii) at most one movement operation.
+// Neighbors are addressed by port number relative to the particle's own
+// (anonymous, chirality-consistent) orientation; the view also exposes the
+// reverse port of a neighbor for the shared edge, which the model assumes
+// known (paper §2.2, "p knows port(q, v, u)").
+#pragma once
+
+#include "amoebot/system.h"
+
+namespace pm::amoebot {
+
+template <typename State>
+class ParticleView {
+ public:
+  ParticleView(System<State>& sys, ParticleId id) : sys_(sys), id_(id) {}
+
+  [[nodiscard]] ParticleId id() const { return id_; }
+  [[nodiscard]] bool contracted() const { return !sys_.body(id_).expanded(); }
+  [[nodiscard]] bool expanded() const { return sys_.body(id_).expanded(); }
+
+  [[nodiscard]] State& self() { return sys_.state(id_); }
+  [[nodiscard]] const State& self() const { return sys_.state(id_); }
+
+  // --- neighborhood of the head node, by port ---
+
+  [[nodiscard]] bool occupied_head(int port) const {
+    return sys_.occupied(head_nbr(port));
+  }
+
+  // True iff the node via `port` is occupied and is that particle's head.
+  [[nodiscard]] bool head_of_nbr_at(int port) const {
+    return sys_.is_head(head_nbr(port));
+  }
+
+  [[nodiscard]] ParticleId nbr_id_head(int port) const {
+    const ParticleId q = sys_.particle_at(head_nbr(port));
+    PM_CHECK_MSG(q != kNoParticle, "no neighbor at head port " << port);
+    return q;
+  }
+
+  [[nodiscard]] State& nbr_state_head(int port) { return sys_.state(nbr_id_head(port)); }
+  [[nodiscard]] const State& nbr_state_head(int port) const {
+    return sys_.state(nbr_id_head(port));
+  }
+
+  // Port the neighbor at `port` (from the shared node) assigns to the edge
+  // back to this particle's head.
+  [[nodiscard]] int reverse_port_head(int port) const {
+    const grid::Node u = head_nbr(port);
+    const ParticleId q = sys_.particle_at(u);
+    PM_CHECK_MSG(q != kNoParticle, "no neighbor at head port " << port);
+    return sys_.port_between(q, u, sys_.body(id_).head);
+  }
+
+  // --- neighborhood of the tail node (expanded particles) ---
+
+  [[nodiscard]] bool occupied_tail(int port) const {
+    return sys_.occupied(tail_nbr(port));
+  }
+
+  [[nodiscard]] ParticleId nbr_id_tail(int port) const {
+    const ParticleId q = sys_.particle_at(tail_nbr(port));
+    PM_CHECK_MSG(q != kNoParticle, "no neighbor at tail port " << port);
+    return q;
+  }
+
+  // True iff the node via tail `port` belongs to this particle itself
+  // (an expanded particle's head and tail are mutually adjacent).
+  [[nodiscard]] bool tail_port_is_self(int port) const {
+    return sys_.particle_at(tail_nbr(port)) == id_;
+  }
+
+  // --- any-neighbor iteration helper: all distinct neighboring particles ---
+
+  // Calls fn(ParticleId) once per distinct neighboring particle of this
+  // particle's occupied node(s).
+  template <typename Fn>
+  void for_each_neighbor_particle(Fn&& fn) const {
+    ParticleId seen[10];
+    int count = 0;
+    auto visit = [&](grid::Node at) {
+      for (int i = 0; i < grid::kDirCount; ++i) {
+        const grid::Node u = grid::neighbor(at, grid::dir_from_index(i));
+        const ParticleId q = sys_.particle_at(u);
+        if (q == kNoParticle || q == id_) continue;
+        bool dup = false;
+        for (int k = 0; k < count; ++k) dup = dup || (seen[k] == q);
+        if (dup) continue;
+        seen[count++] = q;
+        fn(q);
+      }
+    };
+    visit(sys_.body(id_).head);
+    if (expanded()) visit(sys_.body(id_).tail);
+  }
+
+  [[nodiscard]] const State& state_of(ParticleId q) const { return sys_.state(q); }
+  [[nodiscard]] State& state_of(ParticleId q) { return sys_.state(q); }
+
+  // Whether another particle is contracted (readable state in the model:
+  // "a particle stores in its memory whether it is contracted or expanded").
+  [[nodiscard]] bool is_contracted(ParticleId q) const { return !sys_.body(q).expanded(); }
+
+  // --- movement (at most one per activation) ---
+
+  void expand_head(int port) {
+    take_move();
+    sys_.expand(id_, head_nbr(port));
+  }
+
+  void contract_to_head() {
+    take_move();
+    sys_.contract_to_head(id_);
+  }
+
+  void contract_to_tail() {
+    take_move();
+    sys_.contract_to_tail(id_);
+  }
+
+  // Handover-expand into the tail of the expanded neighbor at head `port`.
+  void handover_expand_head(int port) {
+    take_move();
+    const ParticleId q = sys_.particle_at(head_nbr(port));
+    PM_CHECK(q != kNoParticle);
+    sys_.handover(id_, q);
+  }
+
+  // Handover initiated by this (expanded) particle: the contracted neighbor
+  // at tail `port` expands into this particle's tail while it contracts into
+  // its head (the model lets either party perform the handover).
+  void handover_pull_tail(int port) {
+    take_move();
+    const ParticleId q = sys_.particle_at(tail_nbr(port));
+    PM_CHECK(q != kNoParticle);
+    sys_.handover(q, id_);
+  }
+
+  // Instrumentation only — algorithms must not base decisions on global
+  // coordinates; tests use this to replay point-set invariants (Lemma 11).
+  [[nodiscard]] grid::Node head_node_instrumentation() const {
+    return sys_.body(id_).head;
+  }
+
+ private:
+  [[nodiscard]] grid::Node head_nbr(int port) const {
+    return grid::neighbor(sys_.body(id_).head, sys_.port_dir(id_, port));
+  }
+  [[nodiscard]] grid::Node tail_nbr(int port) const {
+    return grid::neighbor(sys_.body(id_).tail, sys_.port_dir(id_, port));
+  }
+  void take_move() {
+    PM_CHECK_MSG(!moved_, "a particle may perform at most one movement per activation");
+    moved_ = true;
+  }
+
+  System<State>& sys_;
+  ParticleId id_;
+  bool moved_ = false;
+};
+
+}  // namespace pm::amoebot

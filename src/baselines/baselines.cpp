@@ -1,0 +1,83 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "grid/local_boundary.h"
+#include "grid/metrics.h"
+#include "grid/vnode.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pm::baselines {
+
+using grid::Node;
+using grid::Shape;
+
+BaselineResult sequential_erosion(const Shape& initial) {
+  PM_CHECK_MSG(initial.simply_connected(),
+               "sequential_erosion requires a shape without holes");
+  BaselineResult res;
+  Shape s = initial;
+  while (s.size() > 1) {
+    const auto sce = grid::sce_points(s);
+    PM_CHECK_MSG(!sce.empty(), "Proposition 7 violated");
+    // One erosion per round: the permission token admits a single removal.
+    std::vector<Node> pts(s.nodes().begin(), s.nodes().end());
+    std::erase(pts, sce.front());
+    s = Shape(std::move(pts));
+    ++res.rounds;
+  }
+  res.completed = true;
+  return res;
+}
+
+BaselineResult randomized_boundary_contest(const Shape& initial, std::uint64_t seed) {
+  BaselineResult res;
+  if (initial.size() == 1) {
+    res.completed = true;
+    res.rounds = 1;
+    return res;
+  }
+  Rng rng(seed);
+  const grid::VNodeRings rings(initial);
+  const auto& ring = rings.rings()[static_cast<std::size_t>(rings.outer_ring())];
+  const int len = static_cast<int>(ring.size());
+  // Candidate positions on the outer ring.
+  std::vector<int> candidates(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) candidates[static_cast<std::size_t>(i)] = i;
+
+  while (candidates.size() > 1) {
+    // Each candidate flips; a head whose clockwise predecessor candidate
+    // flipped tails eliminates that predecessor. Tokens must travel the
+    // candidate gaps, which is the phase's round cost.
+    std::vector<char> flips(candidates.size());
+    for (auto& f : flips) f = rng.coin() ? 1 : 0;
+    std::vector<int> survivors;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::size_t prev = (i + candidates.size() - 1) % candidates.size();
+      const bool eliminated = flips[prev] == 1 && flips[i] == 0;
+      if (!eliminated) survivors.push_back(candidates[i]);
+    }
+    if (survivors.empty() || survivors.size() == candidates.size()) {
+      // Degenerate flip pattern: retry, paying one traversal.
+      res.rounds += 1;
+      continue;
+    }
+    int max_gap = 0;
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      const int a = survivors[i];
+      const int b = survivors[(i + 1) % survivors.size()];
+      const int gap = (b - a + len) % len;
+      max_gap = std::max(max_gap, gap == 0 ? len : gap);
+    }
+    res.rounds += max_gap;
+    candidates = std::move(survivors);
+  }
+  // Leader announcement: broadcast over the shape, O(D).
+  res.rounds += grid::diameter_within_estimate(initial.nodes(), initial, 2, rng);
+  res.completed = true;
+  return res;
+}
+
+}  // namespace pm::baselines

@@ -1,0 +1,30 @@
+// Representative baselines for the paper's Table 1 comparison (one per
+// complexity class; see DESIGN.md §4 for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/shape.h"
+
+namespace pm::baselines {
+
+struct BaselineResult {
+  long rounds = 0;
+  bool completed = false;
+};
+
+// Stand-in for the O(n)/O(n^2) weak-parallelism deterministic class
+// ([22], [3]): erosion where only one SCE point may erode per round (a
+// circulating permission token serializes removals). Requires a
+// simply-connected shape; rounds = n - 1 by construction.
+BaselineResult sequential_erosion(const grid::Shape& initial);
+
+// Stand-in for the randomized boundary-contest class ([19], [10]):
+// candidates on the outer boundary ring eliminate each other by coin
+// flips per phase; round cost of a phase is the maximal candidate gap the
+// tokens must travel, plus a final O(D) broadcast. Expected O(L_out log
+// L_out + D) rounds — near-linear, which suffices to reproduce Table 1's
+// ordering.
+BaselineResult randomized_boundary_contest(const grid::Shape& initial, std::uint64_t seed);
+
+}  // namespace pm::baselines

@@ -1,0 +1,586 @@
+#include "core/collect/collect.h"
+
+#include <algorithm>
+
+#include "grid/coord.h"
+
+namespace pm::core {
+
+using amoebot::kNoParticle;
+using amoebot::ParticleId;
+using grid::Dir;
+using grid::Node;
+
+CollectRun::CollectRun(amoebot::SystemCore& sys, ParticleId leader) : sys_(sys) {
+  PM_CHECK_MSG(!sys.body(leader).expanded(), "leader must be contracted");
+  PM_CHECK_MSG(sys.all_contracted(), "Collect starts from a contracted configuration");
+  l_ = sys.body(leader).head;
+  collected_.assign(static_cast<std::size_t>(sys.particle_count()), 0);
+  collected_[static_cast<std::size_t>(leader)] = 1;
+  collected_total_ = 1;
+  stem_ = {Slot{leader, kNoParticle}};
+  start_phase();
+}
+
+bool CollectRun::slot_expanded(const Slot& s) const {
+  return s.is_pair() || sys_.body(s.body).expanded();
+}
+
+Node CollectRun::slot_head(const Slot& s) const {
+  return s.is_pair() ? sys_.body(s.virt).head : sys_.body(s.body).head;
+}
+
+Node CollectRun::slot_tail(const Slot& s) const { return sys_.body(s.body).tail; }
+
+bool CollectRun::moved(ParticleId p) const {
+  return moved_[static_cast<std::size_t>(p)] != 0;
+}
+
+void CollectRun::mark_moved(ParticleId p) { moved_[static_cast<std::size_t>(p)] = 1; }
+
+bool CollectRun::on_ray(Node v) const {
+  const int j = grid::grid_distance(l_, v);
+  Node expect = l_;
+  for (int t = 0; t < j; ++t) expect = grid::neighbor(expect, vout_);
+  return v == expect;
+}
+
+bool CollectRun::tail_release_safe(const Slot& s) const {
+  const Node tail = sys_.body(s.body).tail;
+  const Node head = sys_.body(s.body).head;
+  // Only collected particles are part of the structure being protected;
+  // uncollected breadcrumbs adjacent by coincidence are picked up by a
+  // later phase's sweep (Lemma 21).
+  std::vector<Node> watch;
+  for (int d = 0; d < grid::kDirCount; ++d) {
+    const Node u = grid::neighbor(tail, grid::dir_from_index(d));
+    if (u == head || !sys_.occupied(u)) continue;
+    const ParticleId q = sys_.particle_at(u);
+    if (collected_[static_cast<std::size_t>(q)]) watch.push_back(u);
+  }
+  if (watch.empty()) return true;
+  // Flood from the head over occupied nodes, excluding the tail, until all
+  // watched neighbors are reached.
+  grid::NodeSet seen;
+  std::vector<Node> queue{head};
+  seen.insert(head);
+  std::size_t found = 0;
+  for (std::size_t qi = 0; qi < queue.size() && found < watch.size(); ++qi) {
+    const Node v = queue[qi];
+    for (int d = 0; d < grid::kDirCount; ++d) {
+      const Node u = grid::neighbor(v, grid::dir_from_index(d));
+      if (u == tail || !sys_.occupied(u) || !seen.insert(u).second) continue;
+      if (std::find(watch.begin(), watch.end(), u) != watch.end()) ++found;
+      queue.push_back(u);
+    }
+  }
+  return found == watch.size();
+}
+
+void CollectRun::collect_particle(ParticleId q) {
+  if (!collected_[static_cast<std::size_t>(q)]) {
+    collected_[static_cast<std::size_t>(q)] = 1;
+    ++collected_total_;
+    ++newly_;
+  }
+}
+
+void CollectRun::start_phase() {
+  ++phases_;
+  k_ = static_cast<int>(stem_.size());
+  rot_ = 0;
+  // v_rot starts as the clockwise predecessor of v_in (W -> SW) and advances
+  // one clockwise step after each 60° rotation (§4.3.3).
+  vrot_ = grid::ccw_next(grid::opposite(vout_));
+  newly_ = 0;
+  chains_.assign(stem_.size(), {});
+  ops_.assign(stem_.size(), 0);
+  stage_ = Stage::OmpExpand;
+  // The constructor runs before the caller can attach on_stage; the first
+  // phase's notification is emitted by the first step_round() instead.
+  if (on_stage && phases_ > 1) on_stage("phase-start", k_);
+}
+
+void CollectRun::enter_stage(Stage s) {
+  stage_ = s;
+  ops_.assign(stem_.size(), 0);
+  // Detect (§4.3.3): the root/leaf verifies that the whole stem finished the
+  // previous part by a token walk — charged as stem-length idle rounds.
+  idle_ += static_cast<long>(stem_.size());
+  if (on_stage) {
+    const char* name = "";
+    switch (s) {
+      case Stage::OmpExpand: name = "omp-expand"; break;
+      case Stage::OmpContract: name = "omp-contract"; break;
+      case Stage::PrpMove: name = "prp-move"; break;
+      case Stage::PrpStagger: name = "prp-stagger"; break;
+      case Stage::SdpExpand: name = "sdp-expand"; break;
+      case Stage::SdpCompact: name = "sdp-compact"; break;
+      case Stage::Done: name = "done"; break;
+    }
+    on_stage(name, k_);
+  }
+}
+
+bool CollectRun::all_slots_expanded() const {
+  return std::all_of(stem_.begin(), stem_.end(),
+                     [&](const Slot& s) { return slot_expanded(s); });
+}
+
+bool CollectRun::all_slots_contracted_single() const {
+  return std::all_of(stem_.begin(), stem_.end(), [&](const Slot& s) {
+    return !s.is_pair() && !sys_.body(s.body).expanded();
+  });
+}
+
+bool CollectRun::slot_expand(int i, Node target, bool during_rotation) {
+  Slot& s = stem_[static_cast<std::size_t>(i)];
+  PM_CHECK(!s.is_pair() && !sys_.body(s.body).expanded());
+  if (moved(s.body)) return false;
+  const ParticleId q = sys_.particle_at(target);
+  if (q == kNoParticle) {
+    sys_.expand(s.body, target);
+    mark_moved(s.body);
+    return true;
+  }
+  if (moved(q)) return false;
+  PM_CHECK_MSG(!sys_.body(q).expanded(), "expansion target occupied by an expanded particle");
+  // Occupied: virtual expansion (§4.3.3) — q becomes the head of the pair.
+  if (during_rotation) {
+    // The only structure member the sweep may meet is the back of this
+    // slot's own branch (a fully packed ring); everything else must be an
+    // uncollected particle or a parked, previously collected one.
+    Chain& chain = chains_[static_cast<std::size_t>(i)];
+    if (!chain.empty() && q == chain.back()) {
+      chain.pop_back();
+    } else {
+      for (std::size_t j = 0; j < stem_.size(); ++j) {
+        const Slot& other = stem_[j];
+        PM_CHECK_MSG(other.body != q && other.virt != q,
+                     "rotation sweep hit a stem member");
+        const Chain& c = chains_[j];
+        PM_CHECK_MSG(std::find(c.begin(), c.end(), q) == c.end(),
+                     "rotation sweep hit a foreign branch member");
+      }
+    }
+  }
+  s.virt = q;
+  collect_particle(q);
+  mark_moved(s.body);
+  mark_moved(q);
+  return true;
+}
+
+// --- Step 1 part 1: all stem slots expand outward, leaf leading
+// (procedure Expansion of Algorithm 1; virtual expansions absorb occupants).
+void CollectRun::round_omp_expand() {
+  const int n = static_cast<int>(stem_.size());
+  for (int i = n - 1; i >= 0; --i) {
+    Slot& s = stem_[static_cast<std::size_t>(i)];
+    if (s.is_pair() || sys_.body(s.body).expanded()) continue;
+    if (i == n - 1) {
+      // The leaf pushes into new territory along v_out.
+      slot_expand(i, grid::neighbor(sys_.body(s.body).head, vout_), false);
+      continue;
+    }
+    Slot& f = stem_[static_cast<std::size_t>(i + 1)];  // frontward = child
+    if (!slot_expanded(f)) continue;
+    if (f.is_pair()) {
+      // Virtual expansion into the pair's tail: the tail body joins this
+      // slot's pair; the child slot becomes the (contracted) head body.
+      if (moved(s.body) || moved(f.body)) continue;
+      mark_moved(s.body);
+      mark_moved(f.body);
+      s.virt = f.body;
+      f.body = f.virt;
+      f.virt = kNoParticle;
+    } else {
+      if (moved(s.body) || moved(f.body)) continue;
+      sys_.handover(s.body, f.body);
+      mark_moved(s.body);
+      mark_moved(f.body);
+    }
+  }
+}
+
+// --- Step 1 part 2: contraction wave from the root; virtual pairs cascade
+// inward and pop out at the root as left-behind particles (Fig 2c).
+void CollectRun::round_omp_contract() {
+  const int n = static_cast<int>(stem_.size());
+  for (int i = 0; i < n; ++i) {
+    Slot& s = stem_[static_cast<std::size_t>(i)];
+    if (i == 0) {
+      if (s.is_pair()) {
+        if (moved(s.body) || moved(s.virt)) continue;
+        mark_moved(s.body);
+        mark_moved(s.virt);
+        // Dissolve: the tail body leaves the stem (left behind, parked).
+        s.body = s.virt;
+        s.virt = kNoParticle;
+      } else if (sys_.body(s.body).expanded()) {
+        if (moved(s.body)) continue;
+        sys_.contract_to_head(s.body);
+        mark_moved(s.body);
+      }
+      continue;
+    }
+    Slot& par = stem_[static_cast<std::size_t>(i - 1)];
+    if (slot_expanded(par)) continue;  // parent must be contracted single
+    if (s.is_pair()) {
+      if (moved(par.body) || moved(s.body)) continue;
+      mark_moved(par.body);
+      mark_moved(s.body);
+      par.virt = s.body;  // parent virtually expands into the pair's tail
+      s.body = s.virt;
+      s.virt = kNoParticle;
+    } else if (sys_.body(s.body).expanded()) {
+      if (moved(par.body) || moved(s.body)) continue;
+      sys_.handover(par.body, s.body);
+      mark_moved(par.body);
+      mark_moved(s.body);
+    }
+  }
+}
+
+// --- Step 2: rotation rounds. `stagger` false = part (1) (k moves in
+// v_rot for everyone), true = part (2) (slot i moves i more). The op
+// counters enforce the message-wave discipline of Algorithm 2: a slot may
+// perform its next (expand | contract) operation only if it stays at most
+// one operation behind its parent and never overtakes it — which is exactly
+// what keeps the stem connected (Observation 25).
+void CollectRun::round_prp(bool stagger) {
+  const int n = static_cast<int>(stem_.size());
+  auto target_ops = [&](int i) { return 2 * (stagger ? i : k_); };
+  for (int i = 0; i < n; ++i) {
+    Slot& s = stem_[static_cast<std::size_t>(i)];
+    const int t = target_ops(i);
+    int& o = ops_[static_cast<std::size_t>(i)];
+    if (o >= t) continue;
+    const bool parent_ok =
+        i == 0 || o < ops_[static_cast<std::size_t>(i - 1)] ||
+        ops_[static_cast<std::size_t>(i - 1)] >= target_ops(i - 1);
+    const bool child_ok = i == n - 1 || o <= ops_[static_cast<std::size_t>(i + 1)];
+    if (!parent_ok || !child_ok) continue;
+
+    if (!slot_expanded(s)) {
+      // Expand operation in direction v_rot (may collect an obstacle).
+      if (slot_expand(i, grid::neighbor(sys_.body(s.body).head, vrot_), true)) ++o;
+      continue;
+    }
+    // Contract operation.
+    Chain& chain = chains_[static_cast<std::size_t>(i)];
+    if (s.is_pair()) {
+      // Virtual contraction: the displaced tail body becomes the new root
+      // of this slot's branch (step (2) of the phase description).
+      if (moved(s.body) || moved(s.virt)) continue;
+      mark_moved(s.body);
+      mark_moved(s.virt);
+      chain.push_front(s.body);
+      s.body = s.virt;
+      s.virt = kNoParticle;
+      ++o;
+    } else if (!chain.empty()) {
+      // Contract through a handover with the branch root, dragging the
+      // branch along (Algorithm 2 lines 4-5).
+      const ParticleId br = chain.front();
+      if (sys_.body(br).expanded() || moved(br) || moved(s.body)) continue;
+      sys_.handover(br, s.body);
+      mark_moved(br);
+      mark_moved(s.body);
+      ++o;
+    } else {
+      if (moved(s.body)) continue;
+      sys_.contract_to_head(s.body);
+      mark_moved(s.body);
+      ++o;
+    }
+  }
+}
+
+// --- Step 3 part 1: expansion toward l, root leading; left-behind
+// particles on the ray are absorbed as virtual pairs.
+void CollectRun::round_sdp_expand() {
+  const int n = static_cast<int>(stem_.size());
+  const Dir vin = grid::opposite(vout_);
+  for (int i = 0; i < n; ++i) {
+    Slot& s = stem_[static_cast<std::size_t>(i)];
+    if (s.is_pair() || sys_.body(s.body).expanded()) continue;
+    if (i == 0) {
+      // The root pushes inward until its head reaches l (k expansions).
+      const Node head = sys_.body(s.body).head;
+      if (head == l_) continue;
+      slot_expand(i, grid::neighbor(head, vin), false);
+      continue;
+    }
+    Slot& f = stem_[static_cast<std::size_t>(i - 1)];  // frontward = parent
+    if (!slot_expanded(f)) continue;
+    if (f.is_pair()) {
+      if (moved(s.body) || moved(f.body)) continue;
+      mark_moved(s.body);
+      mark_moved(f.body);
+      s.virt = f.body;
+      f.body = f.virt;
+      f.virt = kNoParticle;
+    } else {
+      if (moved(s.body) || moved(f.body)) continue;
+      sys_.handover(s.body, f.body);
+      mark_moved(s.body);
+      mark_moved(f.body);
+    }
+  }
+}
+
+// --- Step 3 parts 2-3: after pair dissolution (done at stage entry), the
+// stem compacts toward l. Expanded members pull mass from outside: first
+// from their branch (absorbing newly collected particles into the stem, up
+// to the doubling cap), else from their contracted outer neighbor, and the
+// leaf releases spare span when nothing remains to absorb.
+void CollectRun::round_sdp_compact() {
+  const int cap = 2 * k_;
+  for (int i = 0; i < static_cast<int>(stem_.size()); ++i) {
+    Slot& s = stem_[static_cast<std::size_t>(i)];
+    if (s.is_pair() || !sys_.body(s.body).expanded() || moved(s.body)) continue;
+    const Node tail = sys_.body(s.body).tail;
+
+    // 1) A branch whose (contracted) front sits next to this slot's tail
+    //    hands its front over. If the vacated tail is a ray node and the
+    //    doubling cap is not reached, the front joins the stem (absorption,
+    //    §4.3.3 SDP part 3) — this keeps every stem body's resting node on
+    //    the ray. Otherwise the chain merely slides one step forward so the
+    //    slot can contract without stranding the parked branch.
+    bool acted = false;
+    for (Chain& chain : loose_) {
+      if (chain.empty()) continue;
+      const ParticleId br = chain.front();
+      if (sys_.body(br).expanded() || moved(br)) continue;
+      if (!grid::adjacent(sys_.body(br).head, tail)) continue;
+      sys_.handover(br, s.body);
+      mark_moved(br);
+      mark_moved(s.body);
+      if (static_cast<int>(stem_.size()) < cap && on_ray(tail)) {
+        chain.pop_front();
+        stem_.insert(stem_.begin() + i + 1, Slot{br, kNoParticle});
+        chains_.insert(chains_.begin() + i + 1, Chain{});
+      }
+      acted = true;
+      break;
+    }
+    if (acted) return;  // stem indices may have shifted; resume next round
+
+    // 2) Pull mass inward: a contracted stem body adjacent to this slot's
+    //    tail and strictly farther from l moves one node toward l. The
+    //    strict-decrease requirement makes the compaction monotone (no
+    //    mass ever flows back outward), which guarantees termination.
+    int pull = -1;
+    const int tail_dist = grid::grid_distance(l_, tail);
+    for (int j = 0; j < static_cast<int>(stem_.size()); ++j) {
+      if (j == i) continue;
+      const Slot& o = stem_[static_cast<std::size_t>(j)];
+      if (o.is_pair() || sys_.body(o.body).expanded() || moved(o.body)) continue;
+      const Node at = sys_.body(o.body).head;
+      if (!grid::adjacent(at, tail)) continue;
+      if (grid::grid_distance(l_, at) <= tail_dist) continue;
+      pull = j;
+      break;
+    }
+    if (pull >= 0) {
+      Slot& o = stem_[static_cast<std::size_t>(pull)];
+      sys_.handover(o.body, s.body);
+      mark_moved(o.body);
+      mark_moved(s.body);
+      continue;
+    }
+
+    // 3) Nothing pullable. Release the tail node if doing so keeps every
+    //    occupied neighbor of the tail connected to this slot's head (a
+    //    local flood check — the engine equivalent of the careful release
+    //    order the paper's token protocol induces). A ray node is released
+    //    only from the outer end inward so the stem settles as a compact
+    //    prefix of the ray.
+    if (on_ray(tail)) {
+      bool outermost = true;
+      for (const Slot& o : stem_) {
+        const auto& b = sys_.body(o.body);
+        const int far = std::max(grid::grid_distance(l_, b.head),
+                                 grid::grid_distance(l_, b.tail));
+        if (o.body != s.body && far >= tail_dist) outermost = false;
+        if (o.is_pair() && grid::grid_distance(l_, sys_.body(o.virt).head) >= tail_dist) {
+          outermost = false;
+        }
+      }
+      if (!outermost) continue;
+    }
+    if (tail_release_safe(s)) {
+      sys_.contract_to_head(s.body);
+      mark_moved(s.body);
+    }
+  }
+  // Loose-branch caterpillar: expanded members contract through handover
+  // with their child, the last member contracts into its head.
+  for (Chain& chain : loose_) {
+    for (std::size_t m = 0; m < chain.size(); ++m) {
+      const ParticleId p = chain[m];
+      if (!sys_.body(p).expanded() || moved(p)) continue;
+      if (m + 1 < chain.size()) {
+        const ParticleId child = chain[m + 1];
+        if (sys_.body(child).expanded() || moved(child)) continue;
+        sys_.handover(child, p);
+        mark_moved(child);
+        mark_moved(p);
+      } else {
+        sys_.contract_to_head(p);
+        mark_moved(p);
+      }
+    }
+  }
+}
+
+// Branch caterpillar steps (Algorithm 2 lines 18-21): an expanded branch
+// member contracts through a handover with its (contracted) child, the
+// branch leaf contracts into its head.
+void CollectRun::round_chains() {
+  for (Chain& chain : chains_) {
+    for (std::size_t m = 0; m < chain.size(); ++m) {
+      const ParticleId p = chain[m];
+      if (!sys_.body(p).expanded() || moved(p)) continue;
+      if (m + 1 < chain.size()) {
+        const ParticleId child = chain[m + 1];
+        if (sys_.body(child).expanded() || moved(child)) continue;
+        sys_.handover(child, p);
+        mark_moved(child);
+        mark_moved(p);
+      } else {
+        sys_.contract_to_head(p);
+        mark_moved(p);
+      }
+    }
+  }
+}
+
+void CollectRun::assert_phase_end_invariants() {
+  // The stem is contracted and occupies the ray nodes 0..|stem|-1 exactly.
+  PM_CHECK(all_slots_contracted_single());
+  std::vector<char> seen(stem_.size(), 0);
+  for (const Slot& s : stem_) {
+    const Node v = sys_.body(s.body).head;
+    const int j = grid::grid_distance(l_, v);
+    PM_CHECK_MSG(j < static_cast<int>(stem_.size()), "stem body off the compact prefix");
+    Node expect = l_;
+    for (int t = 0; t < j; ++t) expect = grid::neighbor(expect, vout_);
+    PM_CHECK_MSG(v == expect, "stem body not on the phase ray");
+    PM_CHECK(!seen[static_cast<std::size_t>(j)]);
+    seen[static_cast<std::size_t>(j)] = 1;
+  }
+  // Keep stem order root..leaf aligned with ray distance.
+  std::sort(stem_.begin(), stem_.end(), [&](const Slot& a, const Slot& b) {
+    return grid::grid_distance(l_, sys_.body(a.body).head) <
+           grid::grid_distance(l_, sys_.body(b.body).head);
+  });
+}
+
+bool CollectRun::step_round() {
+  if (stage_ == Stage::Done) return true;
+  if (rounds_ == 0 && on_stage) on_stage("phase-start", k_);
+  ++rounds_;
+  if (idle_ > 0) {
+    --idle_;
+    return false;
+  }
+  moved_.assign(static_cast<std::size_t>(sys_.particle_count()), 0);
+
+  switch (stage_) {
+    case Stage::OmpExpand:
+      round_omp_expand();
+      if (all_slots_expanded()) enter_stage(Stage::OmpContract);
+      break;
+    case Stage::OmpContract:
+      round_omp_contract();
+      if (all_slots_contracted_single()) enter_stage(Stage::PrpMove);
+      break;
+    case Stage::PrpMove:
+    case Stage::PrpStagger: {
+      const bool stagger = stage_ == Stage::PrpStagger;
+      round_prp(stagger);
+      round_chains();
+      bool done = true;
+      for (std::size_t i = 0; i < stem_.size(); ++i) {
+        const int t = 2 * (stagger ? static_cast<int>(i) : k_);
+        done = done && ops_[i] >= t;
+      }
+      for (const Chain& c : chains_) {
+        for (const ParticleId p : c) done = done && !sys_.body(p).expanded();
+      }
+      if (done) {
+        PM_CHECK(all_slots_contracted_single());
+        if (!stagger) {
+          enter_stage(Stage::PrpStagger);
+        } else {
+          ++rot_;
+          vrot_ = grid::cw_next(vrot_);
+          enter_stage(rot_ < 6 ? Stage::PrpMove : Stage::SdpExpand);
+        }
+      }
+      break;
+    }
+    case Stage::SdpExpand:
+      round_sdp_expand();
+      if (all_slots_expanded()) {
+        // Part 2 of SDP: virtual pairs break into two contracted stem
+        // members (memory operation; both bodies stay where they are).
+        for (std::size_t i = 0; i < stem_.size();) {
+          if (!stem_[i].is_pair()) {
+            ++i;
+            continue;
+          }
+          const ParticleId inner = stem_[i].virt;
+          stem_[i].virt = kNoParticle;
+          stem_.insert(stem_.begin() + static_cast<std::ptrdiff_t>(i), Slot{inner, kNoParticle});
+          chains_.insert(chains_.begin() + static_cast<std::ptrdiff_t>(i), Chain{});
+          i += 2;
+        }
+        // Branches detach from slot indices for the compaction part: from
+        // here on they are matched to stem tails geometrically.
+        for (Chain& c : chains_) {
+          if (!c.empty()) loose_.push_back(std::move(c));
+        }
+        chains_.assign(stem_.size(), {});
+        enter_stage(Stage::SdpCompact);
+      }
+      break;
+    case Stage::SdpCompact: {
+      round_sdp_compact();
+      bool settled = all_slots_contracted_single();
+      for (const Chain& c : loose_) {
+        for (const ParticleId p : c) settled = settled && !sys_.body(p).expanded();
+      }
+      if (settled) {
+        assert_phase_end_invariants();
+        loose_.clear();  // unabsorbed branches stay parked where they are
+        if (newly_ == 0) {
+          stage_ = Stage::Done;
+          if (on_stage) on_stage("done", static_cast<int>(stem_.size()));
+        } else {
+          start_phase();
+        }
+      }
+      break;
+    }
+    case Stage::Done:
+      break;
+  }
+  return stage_ == Stage::Done;
+}
+
+CollectRun::Result CollectRun::run(long max_rounds) {
+  Result res;
+  while (rounds_ < max_rounds) {
+    if (step_round()) break;
+  }
+  res.rounds = rounds_;
+  res.phases = phases_;
+  res.completed = stage_ == Stage::Done;
+  res.collected = collected_total_;
+  return res;
+}
+
+}  // namespace pm::core

@@ -1,0 +1,147 @@
+// Algorithm Collect — reconnection after DLE (paper §4.3).
+//
+// After Algorithm DLE the particle system may be disconnected, but Lemma 19
+// guarantees a contracted particle at every grid distance 0..ε_G(l) from the
+// leader's final point l (the "breadcrumbs"). Collect gathers all particles
+// in doubling phases: a stem of k = 2^{i-1} particles
+//   (1) moves k points outward along the phase ray        (primitive OMP),
+//   (2) rotates once fully around l like a fan blade,
+//       sweeping the whole annulus of radii k..2k-1 and
+//       collecting every particle it touches              (primitive PRP ×6),
+//   (3) moves back to l, reabsorbing particles left behind
+//       and doubling its size from the newly collected    (primitive SDP).
+// A phase that collects nothing terminates the algorithm with the whole
+// system connected (Lemma 20); total runtime O(D_G) rounds (Theorem 23).
+//
+// Implementation note (documented substitution, DESIGN.md §4): Collect is
+// realized as a *round-synchronous engine* that compiles the paper's token
+// protocols into per-round particle operations. All movement goes through
+// the model-enforcing SystemCore API (expand / contract / handover, at most
+// one movement per particle per round); virtual particles are represented
+// as slot pairs of two contracted particles exactly as in §4.3.3; the wave
+// disciplines (expansion permits, move messages, staggered rotation) are
+// enforced with per-slot operation counters, so every primitive completes
+// in O(k) rounds as in Lemmas 24/26/27; the Detect control primitive is
+// charged explicitly as stem-length idle rounds.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "amoebot/system.h"
+
+namespace pm::core {
+
+class CollectRun {
+ public:
+  struct Result {
+    long rounds = 0;
+    int phases = 0;
+    bool completed = false;
+    int collected = 0;  // particles collected over the whole run
+  };
+
+  // `leader` must be contracted; all other particles must be contracted
+  // (DLE's final configuration satisfies both).
+  CollectRun(amoebot::SystemCore& sys, amoebot::ParticleId leader);
+
+  // Runs to termination (or until max_rounds). On success the particle
+  // system is connected and every particle has been collected.
+  Result run(long max_rounds = 4'000'000);
+
+  // Advances exactly one asynchronous round; returns true when terminated.
+  bool step_round();
+
+  [[nodiscard]] long rounds() const { return rounds_; }
+  [[nodiscard]] int phase_count() const { return phases_; }
+  [[nodiscard]] int stem_size() const { return static_cast<int>(stem_.size()); }
+
+  // Observation hook: invoked at every stage transition (for the figure
+  // reproduction examples and tests).
+  std::function<void(const char* stage, int phase_k)> on_stage;
+
+ private:
+  enum class Stage {
+    OmpExpand,    // step 1, first part: all slots expand outward
+    OmpContract,  // step 1, second part: all slots contract, net +k shift
+    PrpMove,      // step 2, part (1): k moves in v_rot
+    PrpStagger,   // step 2, part (2): slot i moves i more in v_rot
+    SdpExpand,    // step 3, part 1: expand inward toward l
+    SdpCompact,   // step 3, parts 2-3: dissolve pairs, absorb, compact
+    Done,
+  };
+
+  // A stem role: one particle, or a virtual pair of two contracted
+  // particles (tail `body`, head `virt`) simulating one expanded particle.
+  struct Slot {
+    amoebot::ParticleId body = amoebot::kNoParticle;
+    amoebot::ParticleId virt = amoebot::kNoParticle;
+
+    [[nodiscard]] bool is_pair() const { return virt != amoebot::kNoParticle; }
+  };
+
+  using Chain = std::deque<amoebot::ParticleId>;  // branch, root first
+
+  [[nodiscard]] bool slot_expanded(const Slot& s) const;
+  [[nodiscard]] grid::Node slot_head(const Slot& s) const;
+  [[nodiscard]] grid::Node slot_tail(const Slot& s) const;
+
+  [[nodiscard]] bool moved(amoebot::ParticleId p) const;
+  void mark_moved(amoebot::ParticleId p);
+
+  // True iff v lies on the phase ray {l + j * v_out : j >= 0}.
+  [[nodiscard]] bool on_ray(grid::Node v) const;
+
+  // True iff vacating the slot's tail keeps all occupied neighbors of the
+  // tail connected to the slot's head.
+  [[nodiscard]] bool tail_release_safe(const Slot& s) const;
+
+  // Expands `slot` one step toward `target`; forms a virtual pair when the
+  // target is occupied, collecting the occupant. Returns false if blocked.
+  bool slot_expand(int i, grid::Node target, bool during_rotation);
+
+  void collect_particle(amoebot::ParticleId q);
+
+  void enter_stage(Stage s);
+  void start_phase();
+
+  void round_omp_expand();
+  void round_omp_contract();
+  void round_prp(bool stagger);
+  void round_sdp_expand();
+  void round_sdp_compact();
+  void round_chains();  // branch caterpillar steps (rotation + compaction)
+
+  [[nodiscard]] bool all_slots_expanded() const;
+  [[nodiscard]] bool all_slots_contracted_single() const;
+
+  void assert_phase_end_invariants();
+
+  amoebot::SystemCore& sys_;
+  grid::Node l_{};
+  grid::Dir vout_ = grid::Dir::E;
+  grid::Dir vrot_ = grid::Dir::SW;
+
+  std::vector<Slot> stem_;
+  std::vector<Chain> chains_;  // parallel to stem_ (rotation phase)
+  // During SDP compaction, branches detach from slot indices (virtual
+  // expansions migrate bodies between slots) and are absorbed by geometric
+  // adjacency instead.
+  std::vector<Chain> loose_;
+  std::vector<char> collected_;
+  std::vector<char> moved_;
+
+  Stage stage_ = Stage::OmpExpand;
+  int k_ = 1;           // stem size at phase start
+  int rot_ = 0;         // completed 60° rotations this phase (0..6)
+  std::vector<int> ops_;  // per-slot op counters for PRP wave discipline
+  long idle_ = 0;       // pending Detect idle rounds
+  int newly_ = 0;       // particles collected this phase
+  int collected_total_ = 0;
+
+  long rounds_ = 0;
+  int phases_ = 0;
+};
+
+}  // namespace pm::core

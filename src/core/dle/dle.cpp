@@ -1,0 +1,192 @@
+#include "core/dle/dle.h"
+
+#include "grid/local_boundary.h"
+
+namespace pm::core {
+
+using amoebot::ParticleId;
+using amoebot::ParticleView;
+using amoebot::System;
+using grid::Node;
+
+namespace {
+
+// Analysis of the 6 eligible flags: number of maximal cyclic runs of
+// *ineligible* ports and the length of the (unique) run if there is exactly
+// one. S_e is simply-connected throughout (Lemma 11(2)), so "exactly one
+// run" is exactly erodability (Proposition 6) and run length >= 3 makes the
+// point strictly convex w.r.t. S_e, i.e. SCE.
+struct EligibleRuns {
+  int runs = 0;
+  int single_run_length = 0;
+  int eligible_count = 0;
+};
+
+EligibleRuns analyze(const std::array<bool, 6>& eligible) {
+  EligibleRuns r;
+  for (const bool e : eligible) {
+    if (e) ++r.eligible_count;
+  }
+  if (r.eligible_count == 6) return r;  // interior point, no local boundary
+  if (r.eligible_count == 0) {
+    r.runs = 1;
+    r.single_run_length = 6;
+    return r;
+  }
+  int start = 0;
+  while (!eligible[static_cast<std::size_t>(start)]) ++start;
+  for (int k = 0; k < 6;) {
+    const int i = (start + k) % 6;
+    if (eligible[static_cast<std::size_t>(i)]) {
+      ++k;
+      continue;
+    }
+    int len = 0;
+    while (len < 6 && !eligible[static_cast<std::size_t>((i + len) % 6)]) ++len;
+    ++r.runs;
+    r.single_run_length = len;
+    k += len;
+  }
+  return r;
+}
+
+}  // namespace
+
+System<DleState> Dle::make_system(const grid::Shape& initial, Rng& rng) {
+  PM_CHECK_MSG(initial.is_connected(), "initial configuration must be connected");
+  PM_CHECK_MSG(!initial.empty(), "initial configuration must be non-empty");
+  auto sys = System<DleState>::from_shape(initial, rng);
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    DleState& st = sys.state(p);
+    const Node v = sys.body(p).head;
+    for (int i = 0; i < 6; ++i) {
+      const Node u = grid::neighbor(v, sys.port_dir(p, i));
+      const bool outer = !initial.contains(u) && initial.face_of(u) == grid::kOuterFace;
+      st.outer[static_cast<std::size_t>(i)] = outer;
+      // eligible[i] := occupied or hole neighbor (line 6 of the pseudocode):
+      st.eligible[static_cast<std::size_t>(i)] = !outer;
+    }
+  }
+  return sys;
+}
+
+void Dle::activate(ParticleView<DleState>& p) {
+  DleState& s = p.self();
+
+  // Line 9: an expanded particle contracts into its head. In the
+  // connected_pull ablation it first tries to hand its tail over to a
+  // neighboring follower when releasing the tail could disconnect the shape
+  // locally (the paper's Remark, §4.2.1).
+  if (p.expanded()) {
+    if (opts_.connected_pull) {
+      // Local cut test on the tail: would the tail's occupied neighborhood
+      // stay connected without it? (head counts as occupied: we keep it.)
+      const bool locally_safe = [&] {
+        std::array<bool, 6> occ{};
+        for (int i = 0; i < 6; ++i) {
+          occ[static_cast<std::size_t>(i)] =
+              p.occupied_tail(i) || p.tail_port_is_self(i);
+        }
+        // Connected iff the occupied ports form at most one cyclic run.
+        int transitions = 0;
+        for (int i = 0; i < 6; ++i) {
+          if (occ[static_cast<std::size_t>(i)] != occ[static_cast<std::size_t>((i + 1) % 6)]) {
+            ++transitions;
+          }
+        }
+        return transitions <= 2;
+      }();
+      if (!locally_safe) {
+        for (int i = 0; i < 6; ++i) {
+          if (!p.occupied_tail(i) || p.tail_port_is_self(i)) continue;
+          const ParticleId q = p.nbr_id_tail(i);
+          const DleState& qs = p.state_of(q);
+          // Only a contracted follower can take the tail in a handover.
+          if (qs.status == Status::Follower && !qs.terminated && p.is_contracted(q)) {
+            p.handover_pull_tail(i);
+            return;
+          }
+        }
+      }
+    }
+    p.contract_to_head();
+    return;
+  }
+
+  // Lines 10-11: decided particle with all neighbors decided terminates.
+  if (s.status != Status::Undecided) {
+    bool all_decided = true;
+    p.for_each_neighbor_particle([&](ParticleId q) {
+      if (p.state_of(q).status == Status::Undecided) all_decided = false;
+    });
+    if (all_decided) s.terminated = true;
+    return;
+  }
+
+  // Lines 12-28: contracted, undecided particle occupying point v.
+  const EligibleRuns runs = analyze(s.eligible);
+
+  // Lines 14-15: no adjacent eligible points -> leader.
+  if (runs.eligible_count == 0) {
+    s.status = Status::Leader;
+    return;
+  }
+
+  // Line 16: v must be SCE w.r.t. S_e; otherwise do nothing.
+  if (runs.runs != 1 || runs.single_run_length < 3) return;
+
+  // Lines 17-19: remove v from S_e; fix neighbors' eligible flags.
+  for (int i = 0; i < 6; ++i) {
+    if (!p.occupied_head(i) || !p.head_of_nbr_at(i)) continue;
+    DleState& qs = p.nbr_state_head(i);
+    qs.eligible[static_cast<std::size_t>(p.reverse_port_head(i))] = false;
+  }
+  if (on_erode) on_erode(p.head_node_instrumentation());
+
+  // Lines 21-26: if v has an (exactly one, Claim 10) empty adjacent point in
+  // S_e, expand into it, pre-setting the eligible flags for the new head.
+  int u_port = -1;
+  int candidates = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (s.eligible[static_cast<std::size_t>(i)] && !p.occupied_head(i)) {
+      u_port = i;
+      ++candidates;
+    }
+  }
+  PM_CHECK_MSG(candidates <= 1, "Claim 10 violated: SCE point with "
+                                    << candidates << " empty eligible neighbors");
+  if (u_port >= 0) {
+    const int iv = (u_port + 3) % 6;
+    for (int i = 0; i < 6; ++i) s.eligible[static_cast<std::size_t>(i)] = (i != iv);
+    p.expand_head(u_port);
+    return;
+  }
+
+  // Line 28: nowhere to go — v stays occupied, p leaves candidacy.
+  s.status = Status::Follower;
+}
+
+bool Dle::is_final(const System<DleState>& sys, ParticleId p) const {
+  return sys.state(p).terminated && !sys.body(p).expanded();
+}
+
+ElectionOutcome election_outcome(const System<DleState>& sys) {
+  ElectionOutcome out;
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    switch (sys.state(p).status) {
+      case Status::Leader:
+        ++out.leaders;
+        out.leader = p;
+        break;
+      case Status::Follower:
+        ++out.followers;
+        break;
+      case Status::Undecided:
+        ++out.undecided;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pm::core

@@ -1,0 +1,82 @@
+// Algorithm DLE — disconnecting leader election (paper §4.1, pseudocode
+// p.11). Deterministic, strong scheduler, any connected initial shape
+// (holes allowed), common chirality, outer boundary known initially.
+//
+// The algorithm erodes the *eligible set* S_e, initialized to the area of
+// the initial shape (occupied points plus hole points). An activated
+// contracted particle on a strictly-convex-erodable (SCE) point of S_e
+// removes the point from S_e — updating its neighbors' `eligible` port
+// flags — and, if the point has an (exactly one, Claim 10) empty adjacent
+// eligible point, expands into it so the boundary of S_e stays occupied.
+// The last eligible point's occupant becomes the leader. Runtime O(D_A)
+// rounds (Theorem 18); the particle system may disconnect temporarily.
+//
+// The `connected_pull` option implements the paper's Remark (§4.2.1): an
+// expanded particle whose tail release would locally disconnect the system
+// instead performs a handover that pulls a neighboring follower into the
+// vacated point. This is the no-disconnection counterpart the paper credits
+// with O(D_A^2) rounds; it serves as the disconnection ablation.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "amoebot/scheduler.h"
+#include "amoebot/system.h"
+#include "amoebot/view.h"
+#include "grid/shape.h"
+
+namespace pm::core {
+
+enum class Status : std::uint8_t { Undecided, Leader, Follower };
+
+struct DleState {
+  Status status = Status::Undecided;
+  // Input (read-only after init): which head-port neighbors were on the
+  // outer face in the initial configuration.
+  std::array<bool, 6> outer{};
+  // Whether the point via head port i is in S_e (kept consistent by the
+  // protocol, Lemma 11(4)).
+  std::array<bool, 6> eligible{};
+  bool terminated = false;
+};
+
+class Dle {
+ public:
+  using State = DleState;
+
+  struct Options {
+    bool connected_pull = false;  // ablation: keep the system connected
+  };
+
+  Dle() = default;
+  explicit Dle(Options opts) : opts_(opts) {}
+
+  // Builds a contracted system from the shape and fills in the `outer`
+  // oracle input (the paper's initially-known-boundary assumption); the
+  // pipeline in core/le replaces this oracle with Primitive OBD's output.
+  static amoebot::System<State> make_system(const grid::Shape& initial, Rng& rng);
+
+  void activate(amoebot::ParticleView<State>& p);
+  [[nodiscard]] bool is_final(const amoebot::System<State>& sys,
+                              amoebot::ParticleId p) const;
+
+  // Instrumentation only (not consulted by the algorithm): reports every
+  // point removed from S_e, letting tests replay Lemma 11's invariants.
+  std::function<void(grid::Node)> on_erode;
+
+ private:
+  Options opts_{};
+};
+
+// Outcome inspection helpers shared by tests/benches.
+struct ElectionOutcome {
+  int leaders = 0;
+  int followers = 0;
+  int undecided = 0;
+  amoebot::ParticleId leader = amoebot::kNoParticle;
+};
+
+[[nodiscard]] ElectionOutcome election_outcome(const amoebot::System<DleState>& sys);
+
+}  // namespace pm::core

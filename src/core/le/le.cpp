@@ -1,0 +1,57 @@
+#include "core/le/le.h"
+
+#include "core/collect/collect.h"
+#include "core/obd/obd.h"
+
+namespace pm::core {
+
+using amoebot::ParticleId;
+using amoebot::System;
+
+PipelineResult elect_leader(System<DleState>& sys, const grid::Shape& initial,
+                            const PipelineOptions& opts) {
+  PipelineResult res;
+
+  // --- stage 1: boundary information ---
+  if (!opts.use_boundary_oracle && sys.particle_count() > 1) {
+    ObdRun obd(sys);
+    const ObdRun::Result ores = obd.run(opts.max_rounds);
+    res.obd_rounds = ores.rounds;
+    if (!ores.completed) return res;
+    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+      DleState& st = sys.state(p);
+      st.outer = obd.outer_ports(p);
+      for (int i = 0; i < 6; ++i) {
+        st.eligible[static_cast<std::size_t>(i)] = !st.outer[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  // (with the oracle, make_system already initialized outer/eligible)
+
+  // --- stage 2: DLE ---
+  Dle dle(Dle::Options{.connected_pull = opts.connected_pull});
+  const auto dres = amoebot::run(sys, dle, {opts.order, opts.seed, opts.max_rounds});
+  res.dle_rounds = dres.rounds;
+  if (!dres.completed) return res;
+  const ElectionOutcome outcome = election_outcome(sys);
+  if (outcome.leaders != 1) return res;
+  res.leader = outcome.leader;
+
+  // --- stage 3: reconnection ---
+  if (opts.reconnect && !opts.connected_pull) {
+    CollectRun collect(sys, outcome.leader);
+    const CollectRun::Result cres = collect.run(opts.max_rounds);
+    res.collect_rounds = cres.rounds;
+    if (!cres.completed) return res;
+  }
+  res.completed = true;
+  return res;
+}
+
+PipelineResult elect_leader(const grid::Shape& initial, const PipelineOptions& opts) {
+  Rng rng(opts.seed);
+  auto sys = Dle::make_system(initial, rng);
+  return elect_leader(sys, initial, opts);
+}
+
+}  // namespace pm::core

@@ -1,0 +1,45 @@
+// Full leader-election pipeline (paper Table 1, last two rows):
+//   OBD (O(L_out + D))  →  DLE (O(D_A))  →  Collect (O(D_G)).
+//
+// With `use_boundary_oracle = true` the OBD stage is replaced by the
+// initially-known-outer-boundary input (the paper's first variant, total
+// O(D_A) + reconnection); otherwise Primitive OBD computes that input and
+// the total is O(L_out + D).
+#pragma once
+
+#include "amoebot/scheduler.h"
+#include "core/dle/dle.h"
+#include "grid/shape.h"
+
+namespace pm::core {
+
+struct PipelineOptions {
+  bool use_boundary_oracle = false;  // skip OBD, use the geometric oracle
+  bool reconnect = true;             // run Collect after DLE
+  bool connected_pull = false;       // DLE ablation variant
+  amoebot::Order order = amoebot::Order::RandomPerm;
+  std::uint64_t seed = 1;
+  long max_rounds = 8'000'000;
+};
+
+struct PipelineResult {
+  long obd_rounds = 0;
+  long dle_rounds = 0;
+  long collect_rounds = 0;
+  bool completed = false;
+  amoebot::ParticleId leader = amoebot::kNoParticle;
+
+  [[nodiscard]] long total_rounds() const {
+    return obd_rounds + dle_rounds + collect_rounds;
+  }
+};
+
+// Runs the full pipeline on a fresh particle system built from `initial`.
+// On success the system is connected, contracted, and has a unique leader.
+PipelineResult elect_leader(const grid::Shape& initial, const PipelineOptions& opts);
+
+// Same, but operating on a caller-provided system (must match `initial`).
+PipelineResult elect_leader(amoebot::System<DleState>& sys, const grid::Shape& initial,
+                            const PipelineOptions& opts);
+
+}  // namespace pm::core

@@ -1,0 +1,1047 @@
+#include "core/obd/obd.h"
+
+#include <algorithm>
+
+namespace pm::core {
+
+using amoebot::kNoParticle;
+using amoebot::ParticleId;
+using Kind = ObdRun::Token::Kind;
+
+namespace {
+// Sanity bound on per-v-node queues. The paper distributes each train over
+// per-node constant slots; this engine lets a train accumulate at its
+// comparison venue instead (same aggregate memory, simpler bookkeeping), so
+// a venue may transiently hold O(|segment|) tokens.
+constexpr std::size_t kQueueCap = 1 << 16;
+
+std::uint8_t pack_lane(int original, int remaining) {
+  return static_cast<std::uint8_t>((original << 4) | (remaining & 0x0F));
+}
+int lane_original(std::uint8_t lane) { return lane >> 4; }
+int lane_remaining(std::uint8_t lane) { return lane & 0x0F; }
+}  // namespace
+
+ObdRun::ObdRun(const amoebot::SystemCore& sys)
+    : sys_(sys), shape_(sys.shape()), rings_(shape_) {
+  PM_CHECK_MSG(sys.all_contracted(), "OBD starts from a contracted configuration");
+  const auto& vnodes = rings_.vnodes();
+  vns_.resize(vnodes.size());
+  for (std::size_t i = 0; i < vnodes.size(); ++i) {
+    VN& vn = vns_[i];
+    vn.count = static_cast<std::int8_t>(vnodes[i].count());
+    vn.ring = vnodes[i].ring;
+    vn.particle = sys.particle_at(vnodes[i].point);
+    PM_CHECK(vn.particle != kNoParticle);
+    vn.is_head = vn.is_tail = true;  // every v-node starts as a singleton
+    vn.pledged = true;
+  }
+  flooded_.assign(static_cast<std::size_t>(sys.particle_count()), 0);
+}
+
+bool ObdRun::queue_has(const VN& vn, Kind k) const {
+  auto match = [k](const Token& t) { return t.kind == k; };
+  return std::any_of(vn.cw.begin(), vn.cw.end(), match) ||
+         std::any_of(vn.ccw.begin(), vn.ccw.end(), match);
+}
+
+void ObdRun::reset_vnode_protocol(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  vn.phase = HeadPhase::Idle;
+  vn.lbl_verdict = 0;
+  vn.sum_value = 0;
+  vn.stab_k = vn.stab_j = 0;
+  vn.stab_passed = false;
+  vn.marked = false;
+  vn.locked = false;
+  vn.cw.clear();
+  vn.ccw.clear();
+}
+
+// Purges the remnants of a comparison initiated by head v-node `v` from the
+// successor segment (engine shortcut for the paper's cancellation tokens:
+// constant-round equivalent cleanup when a comparing head dies).
+void ObdRun::emit_abort(int v) {
+  int cur = rings_.cw_succ(v);
+  for (std::size_t guard = 0; guard < vns_.size(); ++guard) {
+    VN& vn = vns_[static_cast<std::size_t>(cur)];
+    auto is_cmp = [](const Token& t) {
+      return t.kind == Kind::LenUnit || t.kind == Kind::LenResult ||
+             t.kind == Kind::RevCreate || t.kind == Kind::RevUnit;
+    };
+    std::erase_if(vn.cw, is_cmp);
+    std::erase_if(vn.ccw, is_cmp);
+    const bool stop = vn.marked || vn.is_head || !vn.pledged;
+    vn.marked = false;
+    if (stop) break;
+    cur = rings_.cw_succ(cur);
+  }
+}
+
+void ObdRun::start_competition(int v) {
+  VN& head = vns_[static_cast<std::size_t>(v)];
+  head.phase = HeadPhase::LenWait;
+  std::erase_if(head.cw, [](const Token& t) { return t.kind == Kind::LenUnit; });
+  // The head's own length unit leads the train (HEAD flag); the create
+  // token arms the rest of the segment tail-wards.
+  Token unit;
+  unit.kind = Kind::LenUnit;
+  unit.head = true;
+  unit.tail = head.is_tail;
+  // A singleton's train is its own tail: it starts exhausted.
+  unit.positive = head.is_tail;
+  unit.fresh = true;
+  head.cw.push_back(unit);
+  if (!head.is_tail) {
+    Token create;
+    create.kind = Kind::LenCreate;
+    create.fresh = true;
+    head.ccw.push_back(create);
+  }
+}
+
+// --- movement predicates -------------------------------------------------
+
+// Whether the clockwise-travelling token leaves v this round. May consume a
+// co-located fodder token (the length train's head consumes one unit per
+// hop, §5.2) and mutate the moving token's bookkeeping flags.
+bool ObdRun::token_departs_cw(int v, Token& t) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  switch (t.kind) {
+    case Kind::LenUnit:
+      if (t.lane == 0) {
+        // Stale units of a finished comparison park at the initiator's head
+        // until the next launch purges them.
+        return !(vn.is_head && vn.phase != HeadPhase::LenWait);
+      }
+      if (vn.is_head) return false;  // units wait at the successor's head
+      if (!t.head) {
+        // Plain units stop where the head token waits, serving as fodder.
+        for (const Token& o : vn.cw) {
+          if (o.kind == Kind::LenUnit && o.lane == 1 && o.head) return false;
+        }
+        return true;
+      }
+      // Head token: advance only by consuming a co-located unit (the tail
+      // unit last; consuming it flags exhaustion — `positive` doubles as
+      // the consumed-tail marker for this train).
+      for (std::size_t i = 0; i < vn.cw.size(); ++i) {
+        const Token& o = vn.cw[i];
+        if (o.kind == Kind::LenUnit && o.lane == 1 && !o.head) {
+          if (o.tail) t.positive = true;
+          vn.cw.erase(vn.cw.begin() + static_cast<std::ptrdiff_t>(i));
+          return true;
+        }
+      }
+      return false;
+    case Kind::LblUnit:
+    case Kind::StabUnit:
+      return !vn.is_head;  // label/unit trains queue at their segment's head
+    case Kind::SumUnit:
+      return !vn.is_head;  // sum trains merge and settle at the head
+    default:
+      // Everything else either passes through or is consumed on arrival.
+      return true;
+  }
+}
+
+bool ObdRun::token_departs_ccw(int v, const Token& t) const {
+  const VN& vn = vns_[static_cast<std::size_t>(v)];
+  switch (t.kind) {
+    case Kind::RevUnit:
+      return !vn.is_tail;  // reversed units queue at the successor's tail
+    case Kind::StabProbe:
+      return lane_remaining(t.lane) > 0;  // stop at the target's head
+    default:
+      return true;
+  }
+}
+
+// --- arrival processing ---------------------------------------------------
+
+void ObdRun::deliver_cw(int to, int from, Token t) {
+  VN& vn = vns_[static_cast<std::size_t>(to)];
+  const VN& src = vns_[static_cast<std::size_t>(from)];
+  switch (t.kind) {
+    case Kind::LenUnit:
+      // Crossing the initiator's head -> the successor segment.
+      if (src.is_head && t.lane == 0) t.lane = 1;
+      vn.cw.push_back(t);
+      return;
+    case Kind::LblUnit:
+    case Kind::SumUnit:
+      if (t.kind == Kind::SumUnit) {
+        // Merge with the last co-located token of the same train when the
+        // combined value fits the constant memory bound (§5.4).
+        for (auto it = vn.cw.rbegin(); it != vn.cw.rend(); ++it) {
+          if (it->kind != Kind::SumUnit || it->positive != t.positive ||
+              it->lane != t.lane) {
+            continue;
+          }
+          const int sum = it->value + t.value;
+          if (sum >= -6 && sum <= 6) {
+            it->value = static_cast<std::int8_t>(sum);
+            it->head = it->head || t.head;
+            it->tail = it->tail || t.tail;
+            return;
+          }
+          break;
+        }
+      }
+      vn.cw.push_back(t);
+      return;
+    case Kind::RevCreate: {
+      // Arm this successor v-node to emit its reversed label unit. The
+      // create continuation is queued *before* the armed unit: both travel
+      // clockwise in the same queue, and the unit overtaking the create
+      // would invert the reversed train's arrival order at the tail.
+      if (!vn.marked) vn.cw.push_back(t);  // create dies at the marked node
+      Token unit;
+      unit.kind = Kind::RevUnit;
+      unit.value = vn.count;
+      unit.lane = t.lane;  // inherit the comparison epoch
+      unit.tail = vn.is_tail;
+      unit.head = vn.marked;
+      unit.back = vn.marked;  // the marked node's token bounces immediately
+      unit.fresh = true;
+      (vn.marked ? vn.ccw : vn.cw).push_back(unit);
+      return;
+    }
+    case Kind::RevUnit:
+      if (vn.marked && !t.back) {
+        t.back = true;  // bounce: continue counter-clockwise to the tail
+        vn.ccw.push_back(t);
+      } else {
+        vn.cw.push_back(t);
+      }
+      return;
+    case Kind::StabProbe:
+      PM_CHECK(!t.back);
+      if (vn.is_head) {
+        t.back = true;  // bounce at the initiator's own head
+        vn.ccw.push_back(t);
+      } else {
+        vn.cw.push_back(t);
+      }
+      return;
+    case Kind::StabUnit:
+      vn.cw.push_back(t);
+      return;
+    case Kind::StabVerdict: {
+      if (vn.is_tail) {
+        t.lane = pack_lane(lane_original(t.lane), lane_remaining(t.lane) - 1);
+      }
+      if (vn.is_head && lane_remaining(t.lane) == 0) {
+        // Back at the initiator.
+        if (trace) std::printf("[r%ld] v%d STABVERDICT val=%d j=%d\n", rounds_, to, (int)t.value, lane_original(t.lane));
+        if (vn.phase == HeadPhase::StabWait && vn.stab_j == lane_original(t.lane)) {
+          if (t.value != 0 && !vn.defector) {
+            ++vn.stab_j;
+            if (vn.stab_j > vn.stab_k) {
+              became_stable(to);
+            } else {
+              launch_stab_probe(to);
+            }
+          } else {
+            vn.phase = HeadPhase::Idle;
+          }
+        }
+        return;  // consumed
+      }
+      vn.cw.push_back(t);
+      return;
+    }
+    case Kind::StabCancel: {
+      purge_stab(vn);
+      if (vn.is_head && vn.phase == HeadPhase::StabWait) vn.phase = HeadPhase::Idle;
+      if (vn.is_tail) {
+        const int rem = lane_remaining(t.lane) - 1;
+        if (rem <= 0) return;
+        t.lane = pack_lane(lane_original(t.lane), rem);
+      }
+      vn.cw.push_back(t);
+      return;
+    }
+    case Kind::Outer: {
+      vn.knows_outer = true;
+      if (vn.is_tail) ++t.value;
+      if (vn.is_head && vn.phase == HeadPhase::OuterWait &&
+          t.value == static_cast<int>(vn.stab_k)) {
+        // Full circle: every outer v-node knows; announce via flooding.
+        vn.phase = HeadPhase::Announced;
+        flood_started_ = true;
+        detected_ring_ = vn.ring;
+        flooded_[static_cast<std::size_t>(vn.particle)] = 1;
+        return;
+      }
+      vn.cw.push_back(t);
+      return;
+    }
+    case Kind::LockReply:
+      if (vn.is_head && vn.phase == HeadPhase::LockWait) {
+        vn.phase = (t.value != 0) ? HeadPhase::DisbandWait : HeadPhase::Idle;
+        return;
+      }
+      vn.cw.push_back(t);
+      return;
+    case Kind::UnlockAck:
+      if (vn.is_head && vn.phase == HeadPhase::UnlockWait) {
+        vn.phase = HeadPhase::Idle;  // competition successfully completed
+        return;
+      }
+      vn.cw.push_back(t);
+      return;
+    default:
+      PM_CHECK_MSG(false, "unexpected token delivered clockwise");
+  }
+}
+
+void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
+  VN& vn = vns_[static_cast<std::size_t>(to)];
+  switch (t.kind) {
+    case Kind::LenCreate: {
+      Token unit;
+      unit.kind = Kind::LenUnit;
+      unit.tail = vn.is_tail;
+      unit.fresh = true;
+      vn.cw.push_back(unit);
+      if (!vn.is_tail) vn.ccw.push_back(t);
+      return;
+    }
+    case Kind::LblCreate: {
+      Token unit;
+      unit.kind = Kind::LblUnit;
+      unit.value = vn.count;
+      unit.lane = t.lane;  // inherit the comparison epoch
+      unit.tail = vn.is_tail;
+      unit.fresh = true;
+      vn.cw.push_back(unit);
+      if (!vn.is_tail) vn.ccw.push_back(t);
+      return;
+    }
+    case Kind::SumCreate: {
+      for (const bool positive : {true, false}) {
+        Token unit;
+        unit.kind = Kind::SumUnit;
+        unit.positive = positive;
+        unit.value = positive ? std::max<std::int8_t>(vn.count, 0)
+                              : std::min<std::int8_t>(vn.count, 0);
+        unit.lane = t.lane;  // inherit the verification epoch
+        unit.tail = vn.is_tail;
+        unit.fresh = true;
+        vn.cw.push_back(unit);
+      }
+      if (!vn.is_tail) vn.ccw.push_back(t);
+      return;
+    }
+    case Kind::StabCreate: {
+      Token unit;
+      unit.kind = (t.value == 0) ? Kind::StabProbe : Kind::StabUnit;
+      unit.value = vn.count;
+      unit.lane = t.lane;
+      unit.tail = vn.is_tail;
+      unit.fresh = true;
+      vn.cw.push_back(unit);
+      if (!vn.is_tail) vn.ccw.push_back(t);
+      return;
+    }
+    case Kind::Lock:
+      if (vn.is_tail) {
+        Token reply;
+        reply.kind = Kind::LockReply;
+        reply.fresh = true;
+        if (vn.defector) {
+          reply.value = 0;
+        } else {
+          vn.locked = true;
+          reply.value = 1;
+        }
+        vn.cw.push_back(reply);
+        return;
+      }
+      vn.ccw.push_back(t);
+      return;
+    case Kind::Unlock:
+      if (vn.is_tail) {
+        vn.locked = false;
+        Token ack;
+        ack.kind = Kind::UnlockAck;
+        ack.fresh = true;
+        vn.cw.push_back(ack);
+        return;
+      }
+      vn.ccw.push_back(t);
+      return;
+    case Kind::LenResult: {
+      // Clean up length-train remnants and stale marks along the way.
+      std::erase_if(vn.cw, [](const Token& o) { return o.kind == Kind::LenUnit; });
+      if (!(vn.is_head && vn.phase == HeadPhase::LenWait)) {
+        vn.marked = false;
+        vn.ccw.push_back(t);
+        return;
+      }
+      // Remaining stale length units anywhere in the successor segment are
+      // swept now (engine equivalent of the paper's delete tokens).
+      {
+        int cur = rings_.cw_succ(to);
+        for (std::size_t guard = 0; guard < vns_.size(); ++guard) {
+          VN& c = vns_[static_cast<std::size_t>(cur)];
+          std::erase_if(c.cw, [](const Token& o) { return o.kind == Kind::LenUnit; });
+          if (c.is_head || !c.pledged) break;
+          cur = rings_.cw_succ(cur);
+        }
+      }
+      // Verdict reached the initiator: -1 smaller, 0 equal, +1 larger.
+      if (trace) std::printf("[r%ld] v%d LEN verdict %d\n", rounds_, to, (int)t.value);
+      if (t.value < 0) {
+        if (vn.is_tail) {  // singleton locks itself directly
+          vn.locked = true;
+          vn.phase = HeadPhase::DisbandWait;
+        } else {
+          vn.phase = HeadPhase::LockWait;
+          Token lock;
+          lock.kind = Kind::Lock;
+          lock.fresh = true;
+          vn.ccw.push_back(lock);
+        }
+      } else if (t.value == 0) {
+        launch_label_compare(to);
+      } else {
+        vn.phase = HeadPhase::Idle;
+      }
+      return;
+    }
+    case Kind::RevUnit:
+      vn.ccw.push_back(t);  // queues at the successor's tail (departs_ccw)
+      return;
+    case Kind::StabProbe: {
+      PM_CHECK(t.back);
+      if (vn.is_head) {
+        const int rem = lane_remaining(t.lane) - 1;
+        t.lane = pack_lane(lane_original(t.lane), rem);
+      }
+      vn.ccw.push_back(t);
+      return;
+    }
+    default:
+      PM_CHECK_MSG(false, "unexpected token delivered counter-clockwise");
+  }
+}
+
+bool ObdRun::step_round() {
+  if (done_) return true;
+  ++rounds_;
+
+  // --- termination flooding (particle level, one hop per round) ---
+  if (flood_started_) {
+    flood_next_.assign(flooded_.size(), 0);
+    bool all = true;
+    for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
+      if (flooded_[static_cast<std::size_t>(p)]) continue;
+      const grid::Node at = sys_.body(p).head;
+      bool nbr_flooded = false;
+      for (int d = 0; d < grid::kDirCount; ++d) {
+        const ParticleId q = sys_.particle_at(grid::neighbor(at, grid::dir_from_index(d)));
+        if (q != kNoParticle && flooded_[static_cast<std::size_t>(q)]) nbr_flooded = true;
+      }
+      if (nbr_flooded) {
+        flood_next_[static_cast<std::size_t>(p)] = 1;
+      } else {
+        all = false;
+      }
+    }
+    for (std::size_t i = 0; i < flooded_.size(); ++i) {
+      flooded_[i] = static_cast<char>(flooded_[i] | flood_next_[i]);
+    }
+    if (all) done_ = true;
+    return done_;
+  }
+
+  // --- token movement: every token advances at most one ring hop ---
+  for (auto& vn : vns_) {
+    for (Token& t : vn.cw) t.fresh = false;
+    for (Token& t : vn.ccw) t.fresh = false;
+  }
+
+  // Tokens of the same train (kind, lane) stay FIFO; distinct trains may
+  // overtake a parked one (the paper multiplexes trains through designated
+  // per-train memory slots, Observation 29).
+  auto train_key = [](const Token& t) {
+    return (static_cast<int>(t.kind) << 8) | t.lane;
+  };
+  for (int v = 0; v < static_cast<int>(vns_.size()); ++v) {
+    VN& vn = vns_[static_cast<std::size_t>(v)];
+
+    std::vector<int> blocked;
+    for (std::size_t pass = 0; pass < vn.cw.size();) {
+      Token t = vn.cw[pass];
+      const int key = train_key(t);
+      const bool train_blocked =
+          std::find(blocked.begin(), blocked.end(), key) != blocked.end();
+      if (t.fresh || train_blocked || !token_departs_cw(v, t)) {
+        blocked.push_back(key);
+        ++pass;
+        continue;
+      }
+      vn.cw.erase(vn.cw.begin() + static_cast<std::ptrdiff_t>(pass));
+      t.fresh = true;
+      deliver_cw(rings_.cw_succ(v), v, t);
+    }
+    blocked.clear();
+    for (std::size_t pass = 0; pass < vn.ccw.size();) {
+      Token t = vn.ccw[pass];
+      const int key = train_key(t);
+      const bool train_blocked =
+          std::find(blocked.begin(), blocked.end(), key) != blocked.end();
+      if (t.fresh || train_blocked || !token_departs_ccw(v, t)) {
+        blocked.push_back(key);
+        ++pass;
+        continue;
+      }
+      vn.ccw.erase(vn.ccw.begin() + static_cast<std::ptrdiff_t>(pass));
+      t.fresh = true;
+      deliver_ccw(rings_.cw_pred(v), v, t);
+    }
+    PM_CHECK_MSG(vn.cw.size() < kQueueCap && vn.ccw.size() < kQueueCap,
+                 "v-node token queue overflow");
+  }
+
+  // Length-train verdict detection (can fire at any successor v-node).
+  for (int v = 0; v < static_cast<int>(vns_.size()); ++v) check_len_verdict(v);
+
+  // --- defector dynamics: one dissolution step per round ---
+  for (int v = 0; v < static_cast<int>(vns_.size()); ++v) {
+    VN& vn = vns_[static_cast<std::size_t>(v)];
+    if (!vn.pledged || !vn.defector) continue;
+    if (trace) std::printf("[r%ld] v%d FREED (defector)\n", rounds_, v);
+    const bool was_head = vn.is_head;
+    const bool was_comparing =
+        vn.phase == HeadPhase::LenWait || vn.phase == HeadPhase::LblWait;
+    if (was_head && was_comparing) emit_abort(v);
+    // Cancel stability checks that may have already compared against this
+    // segment (paper §5.4, fifth addition): purge stability traffic along
+    // the next 6 segments clockwise.
+    Token cancel;
+    cancel.kind = Kind::StabCancel;
+    cancel.lane = pack_lane(6, 6);
+    cancel.fresh = false;
+    const int succ = rings_.cw_succ(v);
+    vn.pledged = false;
+    vn.defector = false;
+    vn.is_head = vn.is_tail = false;
+    reset_vnode_protocol(v);
+    vn.pledged = false;  // reset_vnode_protocol does not touch pledged
+    if (!was_head) {
+      VN& s = vns_[static_cast<std::size_t>(succ)];
+      s.defector = true;
+      s.is_tail = true;
+      s.cw.push_back(cancel);
+    }
+    break;  // one defector resolution per round keeps dissolution 1/round
+  }
+
+  // --- head state machines ---
+  for (int v = 0; v < static_cast<int>(vns_.size()); ++v) {
+    process_head(v);
+  }
+
+  return done_;
+}
+
+// --- head state machines ---------------------------------------------------
+
+void ObdRun::check_len_verdict(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  // Locate the lane-1 (successor side) length-train head token.
+  bool has_head = false;
+  bool consumed_tail = false;
+  int others = 0;
+  for (const Token& t : vn.cw) {
+    if (t.kind != Kind::LenUnit || t.lane != 1) continue;
+    if (t.head) {
+      has_head = true;
+      consumed_tail = t.positive;
+    } else {
+      ++others;
+    }
+  }
+  if (!has_head) return;
+  std::int8_t verdict = 0;
+  bool decided = false;
+  if (vn.is_head) {
+    if (others > 0) {
+      verdict = 1;  // |s| > |s1|: leftover units at the successor's head
+      decided = true;
+    } else if (consumed_tail) {
+      verdict = 0;  // equal lengths; mark this head for the label phase
+      vn.marked = true;
+      decided = true;
+    }
+  } else if (others == 0 && consumed_tail) {
+    verdict = -1;  // the train ran dry mid-segment: |s| < |s1|
+    decided = true;
+  }
+  if (!decided) return;
+  std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::LenUnit; });
+  Token res;
+  res.kind = Kind::LenResult;
+  res.value = verdict;
+  res.fresh = true;
+  vn.ccw.push_back(res);
+}
+
+void ObdRun::launch_label_compare(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  vn.phase = HeadPhase::LblWait;
+  // Epoch tag (carried in `lane`) isolates this comparison's trains from
+  // stale remnants of earlier, cancelled comparisons.
+  vn.lbl_verdict = static_cast<std::int8_t>((vn.lbl_verdict + 1) % 100);
+  const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+  std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::LblUnit; });
+  Token mine;
+  mine.kind = Kind::LblUnit;
+  mine.value = vn.count;
+  mine.lane = epoch;
+  mine.head = true;
+  mine.tail = vn.is_tail;
+  mine.fresh = true;
+  vn.cw.push_back(mine);
+  if (!vn.is_tail) {
+    Token create;
+    create.kind = Kind::LblCreate;
+    create.lane = epoch;
+    create.fresh = true;
+    vn.ccw.push_back(create);
+  }
+  Token rev;
+  rev.kind = Kind::RevCreate;
+  rev.lane = epoch;
+  rev.fresh = true;
+  vn.cw.push_back(rev);
+}
+
+void ObdRun::launch_sum_verify(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  vn.phase = HeadPhase::SumWait;
+  vn.lbl_verdict = static_cast<std::int8_t>((vn.lbl_verdict + 1) % 100);
+  const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+  std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::SumUnit; });
+  for (const bool positive : {true, false}) {
+    Token unit;
+    unit.kind = Kind::SumUnit;
+    unit.positive = positive;
+    unit.value = positive ? std::max<std::int8_t>(vn.count, 0)
+                          : std::min<std::int8_t>(vn.count, 0);
+    unit.lane = epoch;
+    unit.head = true;
+    unit.tail = vn.is_tail;
+    unit.fresh = true;
+    vn.cw.push_back(unit);
+  }
+  if (!vn.is_tail) {
+    Token create;
+    create.kind = Kind::SumCreate;
+    create.lane = epoch;
+    create.fresh = true;
+    vn.ccw.push_back(create);
+  }
+}
+
+void ObdRun::launch_stab_probe(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  vn.phase = HeadPhase::StabWait;
+  const int j = vn.stab_j;
+  Token mine;
+  mine.kind = Kind::StabProbe;
+  mine.value = vn.count;
+  mine.lane = pack_lane(j, j);
+  mine.head = true;
+  mine.tail = vn.is_tail;
+  mine.back = true;  // emitted at the head: bounce immediately
+  mine.fresh = true;
+  vn.ccw.push_back(mine);
+  if (!vn.is_tail) {
+    Token create;
+    create.kind = Kind::StabCreate;
+    create.value = 0;  // probe mode
+    create.lane = pack_lane(j, j);
+    create.fresh = true;
+    vn.ccw.push_back(create);
+  }
+}
+
+void ObdRun::became_stable(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  if (trace) std::printf("[r%ld] v%d STABLE sum=%d k=%d\n", rounds_, v, (int)vn.sum_value, (int)vn.stab_k);
+  vn.stab_passed = true;
+  if (vn.sum_value > 0) {
+    // Observation 4: positive total count sum identifies the outer ring.
+    vn.phase = HeadPhase::OuterWait;
+    vn.knows_outer = true;
+    Token outer;
+    outer.kind = Kind::Outer;
+    outer.value = 0;
+    outer.fresh = true;
+    vn.cw.push_back(outer);
+  } else {
+    vn.phase = HeadPhase::Announced;  // stable inner ring: wait for flooding
+  }
+}
+
+void ObdRun::purge_stab(VN& vn) {
+  auto is_stab = [](const Token& t) {
+    return t.kind == Kind::StabProbe || t.kind == Kind::StabUnit ||
+           t.kind == Kind::StabVerdict || t.kind == Kind::StabCreate;
+  };
+  std::erase_if(vn.cw, is_stab);
+  std::erase_if(vn.ccw, is_stab);
+  vn.stab_service = 0;
+}
+
+// Target-side stability pairing: any head may be the j-th predecessor of a
+// stability-checking segment; it pairs the arriving reversed probe train
+// against its own label train and reports the verdict back.
+void ObdRun::compare_stab_queues(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  for (int j = 1; j <= 6; ++j) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(1 << j);
+    // Trigger the unit-train service on the probe train's first (head) token.
+    bool probe_head_waiting = false;
+    for (const Token& t : vn.ccw) {
+      if (t.kind == Kind::StabProbe && lane_original(t.lane) == j &&
+          lane_remaining(t.lane) == 0 && t.head) {
+        probe_head_waiting = true;
+      }
+    }
+    if (probe_head_waiting && !(vn.stab_service & bit)) {
+      vn.stab_service |= bit;
+      Token mine;
+      mine.kind = Kind::StabUnit;
+      mine.value = vn.count;
+      mine.lane = pack_lane(j, j);
+      mine.head = true;
+      mine.tail = vn.is_tail;
+      mine.fresh = true;
+      vn.cw.push_back(mine);
+      if (!vn.is_tail) {
+        Token create;
+        create.kind = Kind::StabCreate;
+        create.value = 1;  // unit mode
+        create.lane = pack_lane(j, j);
+        create.fresh = true;
+        vn.ccw.push_back(create);
+      }
+    }
+    if (!(vn.stab_service & bit)) continue;
+    // Pair the fronts (one pair per round — pipelined comparison).
+    auto probe_it = std::find_if(vn.ccw.begin(), vn.ccw.end(), [&](const Token& t) {
+      return t.kind == Kind::StabProbe && lane_original(t.lane) == j &&
+             lane_remaining(t.lane) == 0;
+    });
+    auto unit_it = std::find_if(vn.cw.begin(), vn.cw.end(), [&](const Token& t) {
+      return t.kind == Kind::StabUnit && lane_original(t.lane) == j;
+    });
+    if (probe_it == vn.ccw.end() || unit_it == vn.cw.end()) continue;
+    const Token probe = *probe_it;
+    const Token unit = *unit_it;
+    vn.ccw.erase(probe_it);
+    vn.cw.erase(unit_it);
+    std::int8_t verdict = -1;  // -1 = undecided
+    if (probe.value != unit.value || probe.tail != unit.tail) {
+      verdict = 0;  // mismatch (value or length)
+    } else if (probe.tail && unit.tail) {
+      verdict = 1;  // full trains matched
+    }
+    if (verdict >= 0) {
+      // Drop the remaining lane-j traffic and report back.
+      auto lane_j = [&](const Token& t) {
+        return (t.kind == Kind::StabProbe || t.kind == Kind::StabUnit) &&
+               lane_original(t.lane) == j;
+      };
+      std::erase_if(vn.cw, lane_j);
+      std::erase_if(vn.ccw, lane_j);
+      vn.stab_service = static_cast<std::uint8_t>(vn.stab_service & ~bit);
+      Token res;
+      res.kind = Kind::StabVerdict;
+      res.value = verdict;
+      res.lane = pack_lane(j, j);
+      res.fresh = true;
+      vn.cw.push_back(res);
+    }
+  }
+}
+
+void ObdRun::process_head(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  if (!vn.pledged || !vn.is_head) return;
+  compare_stab_queues(v);
+
+  // Liveness watchdog (engine guard, see the header): a comparison whose
+  // tokens were lost to a concurrent segment change would wait forever;
+  // retrying after O(ring length) rounds is always safe because the
+  // competition is idempotent — the paper's segments re-compare anyway.
+  if (vn.phase != vn.last_phase) {
+    vn.last_phase = vn.phase;
+    vn.phase_since = rounds_;
+  }
+  const bool watched =
+      vn.phase == HeadPhase::LenWait || vn.phase == HeadPhase::LblWait ||
+      vn.phase == HeadPhase::LockWait || vn.phase == HeadPhase::DisbandWait ||
+      vn.phase == HeadPhase::UnlockWait || vn.phase == HeadPhase::SumWait ||
+      vn.phase == HeadPhase::StabWait;
+  const long timeout =
+      4 * static_cast<long>(rings_.rings()[static_cast<std::size_t>(vn.ring)].size()) + 64;
+  if (watched && rounds_ - vn.phase_since > timeout) {
+    if (trace) std::printf("[r%ld] v%d WATCHDOG phase=%d\n", rounds_, v, (int)vn.phase);
+    // Purge this head's own traffic, sweep the comparison remnants out of
+    // the successor segment, release a lock we may hold, and start over.
+    emit_abort(v);
+    auto own = [](const Token& t) {
+      return t.kind == Kind::LenUnit || t.kind == Kind::LblUnit ||
+             t.kind == Kind::SumUnit || t.kind == Kind::LenCreate ||
+             t.kind == Kind::LblCreate || t.kind == Kind::SumCreate ||
+             t.kind == Kind::RevCreate || t.kind == Kind::Lock ||
+             t.kind == Kind::Unlock;
+    };
+    std::erase_if(vn.cw, own);
+    std::erase_if(vn.ccw, own);
+    purge_stab(vn);
+    int cur = v;  // walk back to my tail to drop a dangling lock
+    for (std::size_t guard = 0; guard < vns_.size(); ++guard) {
+      VN& c = vns_[static_cast<std::size_t>(cur)];
+      std::erase_if(c.cw, own);
+      std::erase_if(c.ccw, own);
+      if (c.is_tail || !c.pledged) {
+        c.locked = false;
+        break;
+      }
+      cur = rings_.cw_pred(cur);
+    }
+    vn.phase = HeadPhase::Idle;
+    vn.last_phase = HeadPhase::Idle;
+    vn.phase_since = rounds_;
+    return;
+  }
+
+  switch (vn.phase) {
+    case HeadPhase::Idle: {
+      if (vn.defector) return;  // dying segments stop initiating (§5.3)
+      const int succ = rings_.cw_succ(v);
+      VN& s = vns_[static_cast<std::size_t>(succ)];
+      if (!s.pledged) {
+        // Absorb the free successor; it becomes the segment's new head.
+        if (trace) std::printf("[r%ld] v%d ABSORBS v%d\n", rounds_, v, succ);
+        s.pledged = true;
+        s.is_head = true;
+        s.is_tail = false;
+        s.phase = HeadPhase::Idle;
+        vn.is_head = false;
+        return;
+      }
+      if (s.is_tail) {
+        if (s.defector) return;  // successor is disbanding: wait, re-absorb
+        start_competition(v);
+      }
+      return;
+    }
+    case HeadPhase::LblWait: {
+      const int succ = rings_.cw_succ(v);
+      VN& st = vns_[static_cast<std::size_t>(succ)];
+      const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+      // Stale tokens from cancelled comparisons (wrong epoch) are dropped.
+      std::erase_if(vn.cw, [&](const Token& t) {
+        return t.kind == Kind::LblUnit && t.lane != epoch;
+      });
+      std::erase_if(st.ccw, [&](const Token& t) {
+        return t.kind == Kind::RevUnit && t.back && t.lane != epoch;
+      });
+      auto mine_it = std::find_if(vn.cw.begin(), vn.cw.end(), [&](const Token& t) {
+        return t.kind == Kind::LblUnit && t.lane == epoch;
+      });
+      auto theirs_it = std::find_if(st.ccw.begin(), st.ccw.end(), [&](const Token& t) {
+        return t.kind == Kind::RevUnit && t.back && t.lane == epoch;
+      });
+      if (mine_it == vn.cw.end() || theirs_it == st.ccw.end()) return;
+      const Token mine = *mine_it;
+      const Token theirs = *theirs_it;
+      vn.cw.erase(mine_it);
+      st.ccw.erase(theirs_it);
+      std::int8_t verdict = 0;
+      bool decided = false;
+      if (mine.value != theirs.value) {
+        verdict = (mine.value < theirs.value) ? -1 : 1;
+        decided = true;
+      } else if (mine.tail != theirs.tail) {
+        verdict = 1;  // defensive: treat length surprise as a lost retry
+        decided = true;
+      } else if (mine.tail && theirs.tail) {
+        verdict = 0;
+        decided = true;
+      }
+      if (!decided) return;  // equal so far, compare next pair next round
+      if (trace) std::printf("[r%ld] v%d LBL verdict %d (mine=%d theirs=%d)\n", rounds_, v, (int)verdict, (int)mine.value, (int)theirs.value);
+      // Clean up both trains (the paper's delete/clean tokens, §5.2):
+      // my remaining label units locally, the reversed-train remnants in
+      // the successor segment up to (and unmarking) the marked v-node.
+      // Only this comparison's tokens are touched — the successor's own
+      // concurrently-running trains are not ours to delete.
+      std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::LblUnit; });
+      int cur = rings_.cw_succ(v);
+      for (std::size_t guard = 0; guard < vns_.size(); ++guard) {
+        VN& c = vns_[static_cast<std::size_t>(cur)];
+        auto is_rev = [](const Token& t) {
+          return t.kind == Kind::RevUnit || t.kind == Kind::RevCreate;
+        };
+        std::erase_if(c.cw, is_rev);
+        std::erase_if(c.ccw, is_rev);
+        const bool stop = c.marked || c.is_head || !c.pledged;
+        c.marked = false;
+        if (stop) break;
+        cur = rings_.cw_succ(cur);
+      }
+      if (verdict < 0) {
+        if (vn.is_tail) {
+          vn.locked = true;
+          vn.phase = HeadPhase::DisbandWait;
+        } else {
+          vn.phase = HeadPhase::LockWait;
+          Token lock;
+          lock.kind = Kind::Lock;
+          lock.fresh = true;
+          vn.ccw.push_back(lock);
+        }
+      } else if (verdict > 0) {
+        vn.phase = HeadPhase::Idle;
+      } else {
+        launch_sum_verify(v);
+      }
+      return;
+    }
+    case HeadPhase::DisbandWait: {
+      const int succ = rings_.cw_succ(v);
+      VN& s = vns_[static_cast<std::size_t>(succ)];
+      PM_CHECK_MSG(s.pledged && s.is_tail, "competition successor vanished");
+      if (s.locked) return;  // wait until the loser's tail is unlocked
+      s.defector = true;
+      if (vn.is_tail) {
+        vn.locked = false;
+        vn.phase = HeadPhase::Idle;
+      } else {
+        vn.phase = HeadPhase::UnlockWait;
+        Token unlock;
+        unlock.kind = Kind::Unlock;
+        unlock.fresh = true;
+        vn.ccw.push_back(unlock);
+      }
+      return;
+    }
+    case HeadPhase::SumWait: {
+      // Head-side merging and positive/negative cancellation (§5.4).
+      const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+      std::erase_if(vn.cw, [&](const Token& t) {
+        return t.kind == Kind::SumUnit && t.lane != epoch;
+      });
+      std::vector<std::size_t> pos;
+      std::vector<std::size_t> neg;
+      for (std::size_t i = 0; i < vn.cw.size(); ++i) {
+        if (vn.cw[i].kind != Kind::SumUnit) continue;
+        (vn.cw[i].positive ? pos : neg).push_back(i);
+      }
+      auto try_merge = [&](std::vector<std::size_t>& idx) {
+        for (std::size_t a = 0; a + 1 < idx.size(); ++a) {
+          Token& x = vn.cw[idx[a]];
+          Token& y = vn.cw[idx[a + 1]];
+          const int s = x.value + y.value;
+          if (s < -6 || s > 6) continue;
+          x.value = static_cast<std::int8_t>(s);
+          x.head = x.head || y.head;
+          x.tail = x.tail || y.tail;
+          vn.cw.erase(vn.cw.begin() + static_cast<std::ptrdiff_t>(idx[a + 1]));
+          return true;
+        }
+        return false;
+      };
+      if (try_merge(pos) || try_merge(neg)) return;
+      if (!pos.empty() && !neg.empty()) {
+        Token& p = vn.cw[pos.front()];
+        Token& n = vn.cw[neg.front()];
+        if (p.value != 0 && n.value != 0) {
+          const int s = p.value + n.value;
+          p.value = static_cast<std::int8_t>(s > 0 ? s : 0);
+          n.value = static_cast<std::int8_t>(s < 0 ? s : 0);
+          return;
+        }
+      }
+      if (pos.size() == 1 && neg.size() == 1) {
+        const Token& p = vn.cw[pos.front()];
+        const Token& n = vn.cw[neg.front()];
+        if (p.head && p.tail && n.head && n.tail) {
+          const int sum = p.value + n.value;
+          std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::SumUnit; });
+          if (trace) std::printf("[r%ld] v%d SUM=%d\n", rounds_, v, sum);
+          const int mag = sum < 0 ? -sum : sum;
+          if (mag == 1 || mag == 2 || mag == 3 || mag == 6) {
+            vn.sum_value = static_cast<std::int8_t>(sum);
+            vn.stab_k = static_cast<std::uint8_t>(6 / mag);
+            vn.stab_j = 1;
+            launch_stab_probe(v);
+          } else {
+            vn.phase = HeadPhase::Idle;  // inconsistent with a stable ring
+          }
+        }
+      }
+      return;
+    }
+    default:
+      return;  // waiting phases are driven by token deliveries
+  }
+}
+
+ObdRun::Result ObdRun::run(long max_rounds) {
+  // Trivial configurations have no rings to vote on.
+  Result res;
+  while (rounds_ < max_rounds) {
+    if (step_round()) break;
+  }
+  res.rounds = rounds_;
+  res.completed = done_;
+  res.outer_ring = detected_ring_;
+  return res;
+}
+
+void ObdRun::debug_dump() const {
+  std::printf("--- round %ld%s\n", rounds_, flood_started_ ? " (flooding)" : "");
+  for (std::size_t i = 0; i < vns_.size(); ++i) {
+    const VN& vn = vns_[i];
+    std::printf(
+        "  v%zu ring%d c=%d %s%s%s%s%s%s phase=%d j=%d k=%d cw=%zu ccw=%zu kinds:",
+        i, vn.ring, vn.count, vn.pledged ? "P" : "-", vn.is_head ? "H" : "-",
+        vn.is_tail ? "T" : "-", vn.defector ? "D" : "-", vn.locked ? "L" : "-",
+        vn.marked ? "M" : "-", static_cast<int>(vn.phase), vn.stab_j, vn.stab_k,
+        vn.cw.size(), vn.ccw.size());
+    for (const Token& t : vn.cw) {
+      std::printf(" cw%d(v%d,l%d%s%s%s)", static_cast<int>(t.kind), t.value, t.lane,
+                  t.head ? ",H" : "", t.tail ? ",T" : "", t.back ? ",B" : "");
+    }
+    for (const Token& t : vn.ccw) {
+      std::printf(" ccw%d(v%d,l%d%s%s%s)", static_cast<int>(t.kind), t.value, t.lane,
+                  t.head ? ",H" : "", t.tail ? ",T" : "", t.back ? ",B" : "");
+    }
+    std::printf("\n");
+  }
+}
+
+std::array<bool, 6> ObdRun::outer_ports(ParticleId p) const {
+  std::array<bool, 6> out{};
+  const auto& vnodes = rings_.vnodes();
+  for (std::size_t i = 0; i < vnodes.size(); ++i) {
+    if (vns_[i].particle != p || !vns_[i].knows_outer) continue;
+    for (int k = 0; k < vnodes[i].run.length; ++k) {
+      const grid::Dir d = grid::rotated(vnodes[i].run.first, k);
+      out[static_cast<std::size_t>(sys_.dir_port(p, d))] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace pm::core

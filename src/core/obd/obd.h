@@ -1,0 +1,183 @@
+// Primitive OBD — outer boundary detection (paper §5).
+//
+// Removes the known-outer-boundary assumption: starting from a connected,
+// contracted configuration, every particle learns which of its local
+// boundaries border the outer face, in O(L_out + D) rounds. The result is
+// exactly the `outer` input Algorithm DLE consumes.
+//
+// Protocol structure (faithful to §5):
+//  * the boundary points of each global boundary are subdivided into
+//    v-nodes forming an oriented virtual ring (§5.1, our grid::VNodeRings);
+//  * each v-node starts as a one-v-node segment; segment heads repeatedly
+//    absorb free successors, and otherwise compare their segment against
+//    the successor segment with the pipelined Lexicographic Comparison
+//    Primitive (§5.2): a consuming length train, then a label train paired
+//    against the successor's *reversed* label train, so comparisons cost
+//    O(|initiator|) rounds instead of the O(|s|^2) of [3, 24];
+//  * a strictly smaller segment locks its tail, forces the successor's
+//    tail into the defector state and unlocks (§5.3); disbanding segments
+//    dissolve one v-node per activation and are re-absorbed;
+//  * a segment whose comparison returns "equal" runs the stability check
+//    (§5.4): the positive/negative merging token trains compute sum(s)
+//    under the constant-memory constraint; if |sum| ∈ {1,2,3,6} the head
+//    compares labels with its 6/|sum| predecessor segments (reversed-train
+//    pairing, lane-tagged so up to 6 concurrent probes coexist);
+//  * a stable boundary with positive count sum (+6, Observation 4) is the
+//    outer one; an outer token circles the ring so every segment knows
+//    before a particle-level flooding announces global termination.
+//
+// Like core/collect, the implementation is a round-synchronous engine: all
+// v-node state lives in engine-owned structs, every token moves at most one
+// ring hop per round through bounded queues, so measured rounds reflect the
+// paper's pipelined analysis (Lemmas 31/35, Theorem 41).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "amoebot/system.h"
+#include "grid/vnode.h"
+
+namespace pm::core {
+
+class ObdRun {
+ public:
+  struct Result {
+    long rounds = 0;
+    bool completed = false;
+    int outer_ring = -1;  // detected ring id (matches VNodeRings numbering)
+  };
+
+  // Builds the v-node rings from the system's current (connected,
+  // contracted) configuration.
+  explicit ObdRun(const amoebot::SystemCore& sys);
+
+  Result run(long max_rounds = 8'000'000);
+  bool step_round();  // returns true once every particle terminated
+
+  [[nodiscard]] long rounds() const { return rounds_; }
+
+  // After completion: which ports of particle p (at its head node) lead to
+  // the outer face — the input Algorithm DLE expects.
+  [[nodiscard]] std::array<bool, 6> outer_ports(amoebot::ParticleId p) const;
+
+  // Prints per-v-node protocol state to stdout (debugging aid).
+  void debug_dump() const;
+
+  // Verbose event tracing to stdout (debugging aid).
+  bool trace = false;
+
+  // Implementation detail, public only so translation-unit helpers can name
+  // the nested types.
+  struct Token {
+    enum class Kind : std::uint8_t {
+      LenCreate,   // ccw; arms v-nodes to emit length units
+      LenUnit,     // cw; unary length encoding (HEAD token consumes)
+      LenResult,   // ccw; verdict back to the initiator's head
+      LblCreate,   // ccw; arms v-nodes to emit label counts
+      LblUnit,     // cw; label counts queue at the initiator's head
+      RevCreate,   // cw; arms successor v-nodes to emit reversed counts
+      RevUnit,     // cw to the marked v-node, then ccw to the tail
+      Abort,       // ccw; emitted by freed v-nodes, kills a comparison
+      Lock,        // ccw; initiator head -> own tail
+      LockReply,   // cw; tail -> head (ok / defector)
+      Unlock,      // ccw
+      UnlockAck,   // cw
+      SumCreate,   // ccw; arms v-nodes to emit the two sum trains
+      SumUnit,     // cw; merging partial sums (positive or negative train)
+      StabCreate,  // ccw; arms v-nodes to emit probe / unit label trains
+      StabProbe,   // cw to own head, then ccw with lane = hops to target
+      StabUnit,    // cw; target segment's label train toward its own head
+      StabVerdict, // cw; equality verdict routed back to the initiator
+      StabCancel,  // cw; disbanding segment cancels in-flight checks
+      Outer,       // cw; full-circle announcement on the outer ring
+    };
+    Kind kind{};
+    std::int8_t value = 0;   // count / verdict / sum
+    std::uint8_t lane = 0;   // predecessor index for stability probes
+    bool head = false;       // train head marker
+    bool tail = false;       // train tail marker
+    bool back = false;       // RevUnit/StabProbe: bounced, heading ccw
+    bool positive = false;   // SumUnit: which of the two trains
+    bool fresh = false;      // already moved this round (1 hop per round)
+  };
+
+ private:
+  enum class HeadPhase : std::uint8_t {
+    Idle,
+    LenWait,     // length train sent, waiting for LenResult
+    LblWait,     // label trains running, comparing at the boundary
+    LockWait,    // waiting for LockReply from own tail
+    DisbandWait, // waiting for successor tail to be unlocked
+    UnlockWait,  // waiting for UnlockAck
+    SumWait,     // merging sum trains, waiting at head
+    StabWait,    // comparing with predecessor segment `stab_j`
+    OuterWait,   // outer token circling
+    Announced,
+  };
+
+  struct VN {
+    std::int8_t count = 0;
+    int ring = -1;
+    amoebot::ParticleId particle = amoebot::kNoParticle;
+    bool is_head = false;
+    bool is_tail = false;
+    bool pledged = false;
+    bool defector = false;
+    bool locked = false;
+    bool marked = false;   // successor head marked during LCP length phase
+    bool knows_outer = false;
+    // head-only protocol bookkeeping
+    HeadPhase phase = HeadPhase::Idle;
+    std::int8_t lbl_verdict = 0;
+    std::int8_t sum_value = 0;
+    std::uint8_t stab_k = 0;
+    std::uint8_t stab_j = 0;
+    std::uint8_t stab_service = 0;  // lanes for which a unit train is running
+    bool stab_passed = false;
+    // Liveness watchdog: round at which the current phase was entered.
+    long phase_since = 0;
+    HeadPhase last_phase = HeadPhase::Idle;
+    std::deque<Token> cw;   // tokens travelling clockwise (to successor)
+    std::deque<Token> ccw;  // tokens travelling counter-clockwise
+  };
+
+  void reset_vnode_protocol(int v);
+  void start_competition(int v);
+  void process_head(int v);
+  void check_len_verdict(int v);
+  void emit_abort(int v);
+  [[nodiscard]] bool queue_has(const VN& vn, Token::Kind k) const;
+
+  // Movement predicates and arrival processing for the two directions.
+  [[nodiscard]] bool token_departs_cw(int v, Token& t);
+  [[nodiscard]] bool token_departs_ccw(int v, const Token& t) const;
+  void deliver_cw(int to, int from, Token t);
+  void deliver_ccw(int to, int from, Token t);
+
+  void launch_label_compare(int v);
+  void launch_sum_verify(int v);
+  void launch_stab_probe(int v);
+  void became_stable(int v);
+  void compare_stab_queues(int v);
+  void purge_stab(VN& vn);
+
+  const amoebot::SystemCore& sys_;
+  grid::Shape shape_;
+  grid::VNodeRings rings_;
+  std::vector<VN> vns_;
+  std::vector<char> moved_;  // per v-node per round token budget
+
+  // flooding
+  std::vector<char> flooded_;
+  std::vector<char> flood_next_;
+  bool flood_started_ = false;
+  int detected_ring_ = -1;
+
+  long rounds_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace pm::core

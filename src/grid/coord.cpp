@@ -1,0 +1,33 @@
+#include "grid/coord.h"
+
+#include <ostream>
+
+#include "util/check.h"
+
+namespace pm::grid {
+
+std::ostream& operator<<(std::ostream& os, Node v) {
+  return os << '(' << v.x << ',' << v.y << ')';
+}
+
+Dir dir_between(Node a, Node b) {
+  for (int i = 0; i < kDirCount; ++i) {
+    const Dir d = dir_from_index(i);
+    if (neighbor(a, d) == b) return d;
+  }
+  PM_CHECK_MSG(false, "dir_between: nodes " << a << " and " << b << " are not adjacent");
+}
+
+const char* dir_name(Dir d) noexcept {
+  switch (d) {
+    case Dir::E: return "E";
+    case Dir::SE: return "SE";
+    case Dir::SW: return "SW";
+    case Dir::W: return "W";
+    case Dir::NW: return "NW";
+    case Dir::NE: return "NE";
+  }
+  return "?";
+}
+
+}  // namespace pm::grid

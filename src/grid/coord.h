@@ -1,0 +1,96 @@
+// Axial coordinates on the infinite triangular grid G (paper §2).
+//
+// Every grid point has six neighbors. We embed axial (x, y) into the plane as
+// pos = x * (1, 0) + y * (1/2, sqrt(3)/2), so the six unit directions in
+// *clockwise* order (the common chirality assumed by the paper) are:
+//   E (1,0), SE (1,-1), SW (0,-1), W (-1,0), NW (-1,1), NE (0,1).
+// Grid distance (dist_G) has the closed form (|dx| + |dy| + |dx+dy|) / 2.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+
+namespace pm::grid {
+
+struct Node {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr auto operator<=>(const Node&, const Node&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, Node v);
+
+// The six lattice directions, indexed 0..5 in clockwise order.
+enum class Dir : std::uint8_t { E = 0, SE = 1, SW = 2, W = 3, NW = 4, NE = 5 };
+
+inline constexpr int kDirCount = 6;
+
+inline constexpr std::array<Node, kDirCount> kDirOffset = {{
+    {1, 0},   // E
+    {1, -1},  // SE
+    {0, -1},  // SW
+    {-1, 0},  // W
+    {-1, 1},  // NW
+    {0, 1},   // NE
+}};
+
+[[nodiscard]] constexpr Node offset(Dir d) noexcept {
+  return kDirOffset[static_cast<std::size_t>(d)];
+}
+
+[[nodiscard]] constexpr Node neighbor(Node v, Dir d) noexcept {
+  const Node o = offset(d);
+  return {v.x + o.x, v.y + o.y};
+}
+
+[[nodiscard]] constexpr Dir dir_from_index(int i) noexcept {
+  return static_cast<Dir>(((i % kDirCount) + kDirCount) % kDirCount);
+}
+
+[[nodiscard]] constexpr int index(Dir d) noexcept { return static_cast<int>(d); }
+
+// Clockwise successor / predecessor in the cyclic direction order.
+[[nodiscard]] constexpr Dir cw_next(Dir d) noexcept { return dir_from_index(index(d) + 1); }
+[[nodiscard]] constexpr Dir ccw_next(Dir d) noexcept { return dir_from_index(index(d) - 1); }
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept { return dir_from_index(index(d) + 3); }
+
+// Rotates d clockwise by `steps` sixths of a full turn (negative = ccw).
+[[nodiscard]] constexpr Dir rotated(Dir d, int steps) noexcept {
+  return dir_from_index(index(d) + steps);
+}
+
+// Direction from a to an adjacent b. Precondition: grid_distance(a, b) == 1.
+[[nodiscard]] Dir dir_between(Node a, Node b);
+
+// dist_G: length of the shortest path in the full triangular grid.
+[[nodiscard]] constexpr int grid_distance(Node a, Node b) noexcept {
+  constexpr auto abs64 = [](std::int64_t v) { return v < 0 ? -v : v; };
+  const std::int64_t dx = b.x - a.x;
+  const std::int64_t dy = b.y - a.y;
+  const std::int64_t s = abs64(dx) + abs64(dy) + abs64(dx + dy);
+  return static_cast<int>(s / 2);
+}
+
+[[nodiscard]] constexpr bool adjacent(Node a, Node b) noexcept {
+  return grid_distance(a, b) == 1;
+}
+
+struct NodeHash {
+  std::size_t operator()(Node v) const noexcept {
+    // Pack into 64 bits, then mix (splitmix64 finalizer).
+    std::uint64_t h = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.x)) << 32) |
+                      static_cast<std::uint32_t>(v.y);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+const char* dir_name(Dir d) noexcept;
+
+}  // namespace pm::grid

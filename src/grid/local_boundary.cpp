@@ -1,0 +1,33 @@
+#include "grid/local_boundary.h"
+
+#include "util/check.h"
+
+namespace pm::grid {
+
+bool is_erodable(const Shape& s, Node v) {
+  PM_CHECK(s.contains(v));
+  const auto run = single_local_boundary(v, [&](Node u) { return s.contains(u); });
+  if (!run) return false;
+  // The run's empty neighbors all lie in one face; erodable requires that
+  // face to be the outer one.
+  const Node u = neighbor(v, run->first);
+  return s.face_of(u) == kOuterFace;
+}
+
+bool is_sce(const Shape& s, Node v) {
+  PM_CHECK(s.contains(v));
+  const auto run = single_local_boundary(v, [&](Node u) { return s.contains(u); });
+  if (!run || run->count() <= 0) return false;
+  const Node u = neighbor(v, run->first);
+  return s.face_of(u) == kOuterFace;
+}
+
+std::vector<Node> sce_points(const Shape& s) {
+  std::vector<Node> out;
+  for (const Node v : s.boundary_points()) {
+    if (is_sce(s, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pm::grid

@@ -1,0 +1,95 @@
+// Local boundaries, boundary counts, and the erodable / SCE predicates
+// (paper §2.1, Figs 5-6).
+//
+// A local boundary B of an occupied point v is a maximal clockwise cyclic
+// interval of v's incident edges leading to points *not* in the shape. The
+// boundary count is c(v, B) = |B| - 2 ∈ {-1..3} (4 only for an isolated
+// point, footnote 3). v is redundant iff it has at most one local boundary;
+// erodable iff it has exactly one local boundary and that boundary is a
+// local *outer* boundary; SCE iff additionally strictly convex (c > 0).
+//
+// The predicates are templated on a membership test so that the same
+// geometry serves both a concrete Shape and Algorithm DLE's evolving
+// eligible-point set S_e (where, S_e being simply-connected, "single local
+// boundary" already implies erodable — Proposition 6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/coord.h"
+#include "grid/shape.h"
+
+namespace pm::grid {
+
+struct LocalBoundary {
+  Dir first = Dir::E;  // first edge of the clockwise run
+  int length = 0;      // |B| = number of edges in the run (1..6)
+
+  [[nodiscard]] int count() const { return length - 2; }
+  [[nodiscard]] Dir last() const { return rotated(first, length - 1); }
+
+  friend bool operator==(const LocalBoundary&, const LocalBoundary&) = default;
+};
+
+// Extracts the maximal cyclic runs of directions whose neighbor is NOT a
+// member. Returns up to 3 runs (6 empty neighbors = one run of length 6).
+template <typename Pred>
+[[nodiscard]] std::vector<LocalBoundary> local_boundaries(Node v, Pred&& is_member) {
+  bool empty_at[kDirCount];
+  int empty_count = 0;
+  for (int i = 0; i < kDirCount; ++i) {
+    empty_at[i] = !is_member(neighbor(v, dir_from_index(i)));
+    if (empty_at[i]) ++empty_count;
+  }
+  std::vector<LocalBoundary> runs;
+  if (empty_count == 0) return runs;
+  if (empty_count == kDirCount) {
+    runs.push_back({Dir::E, kDirCount});
+    return runs;
+  }
+  // Find a direction that is occupied, then scan clockwise collecting runs.
+  int start = 0;
+  while (empty_at[start]) ++start;
+  for (int k = 0; k < kDirCount;) {
+    const int i = (start + k) % kDirCount;
+    if (!empty_at[i]) {
+      ++k;
+      continue;
+    }
+    int len = 0;
+    while (len < kDirCount && empty_at[(i + len) % kDirCount]) ++len;
+    runs.push_back({dir_from_index(i), len});
+    k += len;
+  }
+  return runs;
+}
+
+// Single local boundary of v, if v has exactly one (Proposition 6's
+// characterization of redundancy). For simply-connected membership sets this
+// is exactly the erodability test.
+template <typename Pred>
+[[nodiscard]] std::optional<LocalBoundary> single_local_boundary(Node v, Pred&& is_member) {
+  auto runs = local_boundaries(v, std::forward<Pred>(is_member));
+  if (runs.size() != 1) return std::nullopt;
+  return runs.front();
+}
+
+// Redundant: removal of v does not disconnect its 1-hop neighborhood,
+// equivalently v has at most one local boundary (Proposition 6's proof).
+template <typename Pred>
+[[nodiscard]] bool is_redundant(Node v, Pred&& is_member) {
+  return local_boundaries(v, std::forward<Pred>(is_member)).size() <= 1;
+}
+
+// Shape-based predicates (classify the single run's face as outer or hole).
+
+[[nodiscard]] bool is_erodable(const Shape& s, Node v);
+
+// Strictly convex and erodable w.r.t. the shape.
+[[nodiscard]] bool is_sce(const Shape& s, Node v);
+
+// All SCE points of the shape (test helper for Proposition 7 sweeps).
+[[nodiscard]] std::vector<Node> sce_points(const Shape& s);
+
+}  // namespace pm::grid

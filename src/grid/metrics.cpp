@@ -1,0 +1,121 @@
+#include "grid/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pm::grid {
+
+int diameter_grid(std::span<const Node> nodes) {
+  if (nodes.size() <= 1) return 0;
+  // In cube coordinates (a, b, c) = (x, y, -x-y), dist_G is the Chebyshev
+  // distance, so the diameter is the largest coordinate extent.
+  auto lo = std::array<std::int64_t, 3>{std::numeric_limits<std::int64_t>::max(),
+                                        std::numeric_limits<std::int64_t>::max(),
+                                        std::numeric_limits<std::int64_t>::max()};
+  auto hi = std::array<std::int64_t, 3>{std::numeric_limits<std::int64_t>::min(),
+                                        std::numeric_limits<std::int64_t>::min(),
+                                        std::numeric_limits<std::int64_t>::min()};
+  for (const Node v : nodes) {
+    const std::array<std::int64_t, 3> c{v.x, v.y, -static_cast<std::int64_t>(v.x) - v.y};
+    for (int i = 0; i < 3; ++i) {
+      lo[static_cast<std::size_t>(i)] = std::min(lo[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)]);
+      hi[static_cast<std::size_t>(i)] = std::max(hi[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)]);
+    }
+  }
+  std::int64_t best = 0;
+  for (int i = 0; i < 3; ++i) {
+    best = std::max(best, hi[static_cast<std::size_t>(i)] - lo[static_cast<std::size_t>(i)]);
+  }
+  return static_cast<int>(best);
+}
+
+int eccentricity_grid(Node v, std::span<const Node> nodes) {
+  int best = 0;
+  for (const Node u : nodes) best = std::max(best, grid_distance(v, u));
+  return best;
+}
+
+namespace {
+
+// Max BFS distance (within `g`) from src over target indices marked in mask.
+int far_over(const ShapeGraph& g, int src, const std::vector<char>& mask, int& argmax) {
+  const auto dist = g.bfs(src);
+  int best = -1;
+  argmax = src;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (!mask[i]) continue;
+    PM_CHECK_MSG(dist[i] >= 0, "diameter_within: super-shape is disconnected");
+    if (dist[i] > best) {
+      best = dist[i];
+      argmax = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<char> sub_mask(std::span<const Node> sub, const ShapeGraph& g) {
+  std::vector<char> mask(g.size(), 0);
+  for (const Node v : sub) {
+    const int i = g.index_of(v);
+    PM_CHECK_MSG(i >= 0, "diameter_within: sub node " << v << " not inside super shape");
+    mask[static_cast<std::size_t>(i)] = 1;
+  }
+  return mask;
+}
+
+}  // namespace
+
+int diameter_within_exact(std::span<const Node> sub, const Shape& super) {
+  if (sub.size() <= 1) return 0;
+  const ShapeGraph g(super.nodes());
+  const auto mask = sub_mask(sub, g);
+  int best = 0;
+  for (const Node v : sub) {
+    int unused = 0;
+    best = std::max(best, far_over(g, g.index_of(v), mask, unused));
+  }
+  return best;
+}
+
+int diameter_within_estimate(std::span<const Node> sub, const Shape& super, int sweeps,
+                             Rng& rng) {
+  if (sub.size() <= 1) return 0;
+  const ShapeGraph g(super.nodes());
+  const auto mask = sub_mask(sub, g);
+  int best = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    const Node start = sub[static_cast<std::size_t>(rng.below(sub.size()))];
+    int a = 0;
+    far_over(g, g.index_of(start), mask, a);
+    int b = 0;
+    best = std::max(best, far_over(g, a, mask, b));
+    // One extra hop from the far end tightens the bound on elongated shapes.
+    int c = 0;
+    best = std::max(best, far_over(g, b, mask, c));
+  }
+  return best;
+}
+
+ShapeMetrics compute_metrics(const Shape& s, int exact_cutoff) {
+  ShapeMetrics m;
+  m.n = static_cast<int>(s.size());
+  const Shape area = s.area();
+  m.n_area = static_cast<int>(area.size());
+  m.d_grid = diameter_grid(s.nodes());
+  m.l_out = s.outer_boundary_length();
+  m.l_max = s.max_boundary_length();
+  m.holes = s.hole_count();
+  if (m.n <= exact_cutoff) {
+    m.d = diameter_exact(s);
+    m.d_area = diameter_area_exact(s);
+  } else {
+    Rng rng(0x9e3779b9u);
+    m.d = diameter_within_estimate(s.nodes(), s, 4, rng);
+    m.d_area = diameter_within_estimate(s.nodes(), area, 4, rng);
+  }
+  return m;
+}
+
+}  // namespace pm::grid

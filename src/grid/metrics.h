@@ -1,0 +1,56 @@
+// Metric quantities from paper §2.1/§2.2: distances and diameters of the
+// particle-system shape S_P with respect to itself (D), its area (D_A) and
+// the full grid (D_G), plus eccentricities (ε_G).
+//
+// Exact diameters run an all-pairs BFS (O(n·m)); `diameter_*_estimate`
+// variants use iterated double-sweep BFS, which on these bridged-graph-like
+// shapes is a tight lower bound and is what the large benchmark sweeps use.
+#pragma once
+
+#include <span>
+
+#include "grid/shape.h"
+#include "util/rng.h"
+
+namespace pm::grid {
+
+// Greatest dist_G between two nodes of the set (exact, O(n) via cube coords).
+[[nodiscard]] int diameter_grid(std::span<const Node> nodes);
+
+// Greatest dist_G from v to any node of the set (ε_G(v), exact, O(n)).
+[[nodiscard]] int eccentricity_grid(Node v, std::span<const Node> nodes);
+
+// Diameter of `sub` measured through shortest paths inside `super`
+// (super must contain sub). Exact: BFS from every node of sub.
+[[nodiscard]] int diameter_within_exact(std::span<const Node> sub, const Shape& super);
+
+// Lower-bound estimate by `sweeps` double-sweep BFS iterations.
+[[nodiscard]] int diameter_within_estimate(std::span<const Node> sub, const Shape& super,
+                                           int sweeps, Rng& rng);
+
+// D: diameter of the shape w.r.t. itself.
+[[nodiscard]] inline int diameter_exact(const Shape& s) {
+  return diameter_within_exact(s.nodes(), s);
+}
+
+// D_A: diameter of the shape w.r.t. its area (shape + holes).
+[[nodiscard]] inline int diameter_area_exact(const Shape& s) {
+  return diameter_within_exact(s.nodes(), s.area());
+}
+
+struct ShapeMetrics {
+  int n = 0;        // number of points
+  int n_area = 0;   // points of the area
+  int d = 0;        // D
+  int d_area = 0;   // D_A
+  int d_grid = 0;   // D_G
+  int l_out = 0;    // outer boundary length
+  int l_max = 0;    // max boundary length
+  int holes = 0;
+};
+
+// Computes all metrics; uses exact diameters when n <= exact_cutoff,
+// otherwise the double-sweep estimate (deterministic: fixed internal seed).
+[[nodiscard]] ShapeMetrics compute_metrics(const Shape& s, int exact_cutoff = 4000);
+
+}  // namespace pm::grid

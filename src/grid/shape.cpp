@@ -1,0 +1,219 @@
+#include "grid/shape.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace pm::grid {
+
+Shape::Shape(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  // De-duplicate while keeping first-seen order deterministic.
+  std::vector<Node> unique;
+  unique.reserve(nodes_.size());
+  for (const Node v : nodes_) {
+    if (set_.insert(v).second) unique.push_back(v);
+  }
+  nodes_ = std::move(unique);
+  if (!nodes_.empty()) {
+    bbox_min_ = bbox_max_ = nodes_.front();
+    for (const Node v : nodes_) {
+      bbox_min_.x = std::min(bbox_min_.x, v.x);
+      bbox_min_.y = std::min(bbox_min_.y, v.y);
+      bbox_max_.x = std::max(bbox_max_.x, v.x);
+      bbox_max_.y = std::max(bbox_max_.y, v.y);
+    }
+  }
+}
+
+bool Shape::is_connected() const {
+  if (nodes_.size() <= 1) return true;
+  NodeSet seen;
+  std::deque<Node> queue{nodes_.front()};
+  seen.insert(nodes_.front());
+  while (!queue.empty()) {
+    const Node v = queue.front();
+    queue.pop_front();
+    for (int i = 0; i < kDirCount; ++i) {
+      const Node u = neighbor(v, dir_from_index(i));
+      if (set_.contains(u) && seen.insert(u).second) queue.push_back(u);
+    }
+  }
+  return seen.size() == nodes_.size();
+}
+
+const Shape::Analysis& Shape::analysis() const {
+  if (analysis_) return *analysis_;
+  Analysis a;
+  if (nodes_.empty()) {
+    a.boundary_by_face.resize(1);
+    analysis_ = std::move(a);
+    return *analysis_;
+  }
+
+  // Flood-fill the complement inside the bounding box expanded by one ring.
+  // Everything reachable from the expanded box's corner is the outer face;
+  // remaining empty nodes inside the box group into holes.
+  const Node lo{bbox_min_.x - 1, bbox_min_.y - 1};
+  const Node hi{bbox_max_.x + 1, bbox_max_.y + 1};
+  auto in_box = [&](Node v) {
+    return v.x >= lo.x && v.x <= hi.x && v.y >= lo.y && v.y <= hi.y;
+  };
+
+  // Outer flood from the corner.
+  {
+    std::deque<Node> queue{lo};
+    a.face.emplace(lo, kOuterFace);
+    while (!queue.empty()) {
+      const Node v = queue.front();
+      queue.pop_front();
+      for (int i = 0; i < kDirCount; ++i) {
+        const Node u = neighbor(v, dir_from_index(i));
+        if (!in_box(u) || set_.contains(u)) continue;
+        if (a.face.emplace(u, kOuterFace).second) queue.push_back(u);
+      }
+    }
+  }
+
+  // Hole floods: empty in-box nodes not labeled yet.
+  for (std::int32_t x = lo.x; x <= hi.x; ++x) {
+    for (std::int32_t y = lo.y; y <= hi.y; ++y) {
+      const Node start{x, y};
+      if (set_.contains(start) || a.face.contains(start)) continue;
+      const int face_id = static_cast<int>(a.holes.size()) + 1;
+      a.holes.emplace_back();
+      std::deque<Node> queue{start};
+      a.face.emplace(start, face_id);
+      while (!queue.empty()) {
+        const Node v = queue.front();
+        queue.pop_front();
+        a.holes.back().push_back(v);
+        for (int i = 0; i < kDirCount; ++i) {
+          const Node u = neighbor(v, dir_from_index(i));
+          if (!in_box(u) || set_.contains(u)) continue;
+          if (a.face.emplace(u, face_id).second) queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Boundary points per face, in deterministic node order.
+  a.boundary_by_face.resize(a.holes.size() + 1);
+  for (const Node v : nodes_) {
+    bool any = false;
+    // A point has at most 6 empty neighbors, hence at most 6 incident faces.
+    int seen[kDirCount];
+    int seen_count = 0;
+    for (int i = 0; i < kDirCount; ++i) {
+      const Node u = neighbor(v, dir_from_index(i));
+      if (set_.contains(u)) continue;
+      any = true;
+      const auto it = a.face.find(u);
+      PM_CHECK(it != a.face.end());
+      const int f = it->second;
+      const bool dup = std::find(seen, seen + seen_count, f) != seen + seen_count;
+      if (!dup) {
+        seen[seen_count++] = f;
+        a.boundary_by_face[static_cast<std::size_t>(f)].push_back(v);
+      }
+    }
+    if (any) a.all_boundary.push_back(v);
+  }
+
+  analysis_ = std::move(a);
+  return *analysis_;
+}
+
+int Shape::face_of(Node v) const {
+  PM_CHECK_MSG(!contains(v), "face_of called on an occupied node " << v);
+  const auto& a = analysis();
+  const auto it = a.face.find(v);
+  // Nodes outside the expanded bounding box are always on the outer face.
+  return it == a.face.end() ? kOuterFace : it->second;
+}
+
+int Shape::hole_count() const { return static_cast<int>(analysis().holes.size()); }
+
+const std::vector<std::vector<Node>>& Shape::holes() const { return analysis().holes; }
+
+Shape Shape::area() const {
+  std::vector<Node> pts(nodes_.begin(), nodes_.end());
+  for (const auto& hole : holes()) pts.insert(pts.end(), hole.begin(), hole.end());
+  return Shape(std::move(pts));
+}
+
+const std::vector<Node>& Shape::boundary_points() const { return analysis().all_boundary; }
+
+const std::vector<Node>& Shape::boundary_of_face(int f) const {
+  const auto& a = analysis();
+  PM_CHECK(f >= 0 && f < static_cast<int>(a.boundary_by_face.size()));
+  return a.boundary_by_face[static_cast<std::size_t>(f)];
+}
+
+int Shape::outer_boundary_length() const {
+  return static_cast<int>(boundary_of_face(kOuterFace).size());
+}
+
+int Shape::max_boundary_length() const {
+  const auto& a = analysis();
+  std::size_t best = 0;
+  for (const auto& b : a.boundary_by_face) best = std::max(best, b.size());
+  return static_cast<int>(best);
+}
+
+bool Shape::on_boundary_of(Node v, int f) const {
+  if (!contains(v)) return false;
+  for (int i = 0; i < kDirCount; ++i) {
+    const Node u = neighbor(v, dir_from_index(i));
+    if (!contains(u) && face_of(u) == f) return true;
+  }
+  return false;
+}
+
+ShapeGraph::ShapeGraph(std::span<const Node> nodes)
+    : nodes_(nodes.begin(), nodes.end()) {
+  index_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const bool inserted = index_.emplace(nodes_[i], static_cast<std::int32_t>(i)).second;
+    PM_CHECK_MSG(inserted, "duplicate node in ShapeGraph");
+  }
+  adj_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (int d = 0; d < kDirCount; ++d) {
+      const auto it = index_.find(neighbor(nodes_[i], dir_from_index(d)));
+      adj_[i][static_cast<std::size_t>(d)] = (it == index_.end()) ? -1 : it->second;
+    }
+  }
+}
+
+int ShapeGraph::index_of(Node v) const {
+  const auto it = index_.find(v);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<int> ShapeGraph::bfs(int src) const {
+  PM_CHECK(src >= 0 && src < static_cast<int>(size()));
+  std::vector<int> dist(size(), -1);
+  std::vector<std::int32_t> queue;
+  queue.reserve(size());
+  dist[static_cast<std::size_t>(src)] = 0;
+  queue.push_back(src);
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::int32_t v = queue[qi];
+    for (const std::int32_t u : adj_[static_cast<std::size_t>(v)]) {
+      if (u >= 0 && dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool ShapeGraph::is_connected() const {
+  if (size() <= 1) return true;
+  const auto dist = bfs(0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d < 0; });
+}
+
+}  // namespace pm::grid

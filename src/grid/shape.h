@@ -1,0 +1,122 @@
+// Shapes on the triangular grid (paper §2.1).
+//
+// A Shape is a finite set of grid points. It provides the face analysis the
+// paper's definitions rest on: the unbounded outer face, holes (bounded faces
+// containing at least one grid point), the area (shape plus hole points),
+// and global boundaries (points of the shape bordering each face).
+//
+// Implementation note on faces: we identify a bounded face by the 6-connected
+// component of its empty grid points. A bounded planar face with no grid
+// point in it (a single triangle of occupied vertices) is not a hole by the
+// paper's definition and is irrelevant to eligibility, so this component
+// based view coincides with the paper's face-based one on all shapes that
+// matter here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "grid/coord.h"
+
+namespace pm::grid {
+
+using NodeSet = std::unordered_set<Node, NodeHash>;
+
+inline constexpr int kOuterFace = 0;
+
+class Shape {
+ public:
+  Shape() = default;
+  explicit Shape(std::vector<Node> nodes);
+
+  [[nodiscard]] bool contains(Node v) const { return set_.contains(v); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
+  [[nodiscard]] const NodeSet& node_set() const { return set_; }
+
+  [[nodiscard]] bool is_connected() const;
+
+  // --- Face analysis (lazily computed, cached) ---
+
+  // Face id of an *empty* node: kOuterFace for the outer (unbounded) face,
+  // 1..hole_count() for hole faces. `v` may be any node; nodes far from the
+  // shape are on the outer face. Precondition: !contains(v).
+  [[nodiscard]] int face_of(Node v) const;
+
+  [[nodiscard]] int hole_count() const;
+
+  // Hole points grouped per hole, indexed by face id - 1.
+  [[nodiscard]] const std::vector<std::vector<Node>>& holes() const;
+
+  [[nodiscard]] bool simply_connected() const { return hole_count() == 0; }
+
+  // The area of the shape: the shape plus all of its hole points (Fig 5).
+  [[nodiscard]] Shape area() const;
+
+  // Points of the shape that have at least one empty neighbor (any face).
+  [[nodiscard]] const std::vector<Node>& boundary_points() const;
+
+  // Points of the shape bordering the given face (kOuterFace = outer
+  // boundary; f >= 1 = the inner boundary around hole f).
+  [[nodiscard]] const std::vector<Node>& boundary_of_face(int f) const;
+
+  // L_out: number of points on the outer boundary.
+  [[nodiscard]] int outer_boundary_length() const;
+
+  // L_max: maximum number of points over all global boundaries.
+  [[nodiscard]] int max_boundary_length() const;
+
+  // True iff point v of the shape borders the given face.
+  [[nodiscard]] bool on_boundary_of(Node v, int f) const;
+
+ private:
+  struct Analysis {
+    // face id for every empty node in the expanded bounding box.
+    std::unordered_map<Node, int, NodeHash> face;
+    std::vector<std::vector<Node>> holes;                  // by face id - 1
+    std::vector<std::vector<Node>> boundary_by_face;       // by face id
+    std::vector<Node> all_boundary;
+  };
+
+  const Analysis& analysis() const;
+
+  std::vector<Node> nodes_;
+  NodeSet set_;
+  Node bbox_min_{0, 0};
+  Node bbox_max_{0, 0};
+  mutable std::optional<Analysis> analysis_;
+};
+
+// Builds the induced-subgraph adjacency of a set of nodes once, for
+// BFS-heavy metric computations. Node indices follow the given order.
+class ShapeGraph {
+ public:
+  explicit ShapeGraph(std::span<const Node> nodes);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int index_of(Node v) const;          // -1 if absent
+  [[nodiscard]] bool contains(Node v) const { return index_of(v) >= 0; }
+
+  // Neighbor indices of node i (only neighbors inside the set), -1 padded.
+  [[nodiscard]] const std::array<std::int32_t, kDirCount>& neighbors(int i) const {
+    return adj_[static_cast<std::size_t>(i)];
+  }
+
+  // BFS distances from `src` (node index); unreachable = -1.
+  [[nodiscard]] std::vector<int> bfs(int src) const;
+
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::unordered_map<Node, std::int32_t, NodeHash> index_;
+  std::vector<std::array<std::int32_t, kDirCount>> adj_;
+};
+
+}  // namespace pm::grid

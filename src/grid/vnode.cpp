@@ -1,0 +1,121 @@
+#include "grid/vnode.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace pm::grid {
+
+namespace {
+
+// Key for locating the v-node of point v whose run contains direction d.
+struct PointDir {
+  Node v;
+  int dir;
+  friend bool operator==(const PointDir&, const PointDir&) = default;
+};
+
+struct PointDirHash {
+  std::size_t operator()(const PointDir& k) const noexcept {
+    return NodeHash{}(k.v) * 31 + static_cast<std::size_t>(k.dir);
+  }
+};
+
+}  // namespace
+
+VNodeRings::VNodeRings(const Shape& s) {
+  PM_CHECK_MSG(s.size() >= 2, "VNodeRings requires at least two points");
+
+  // Create v-nodes and index each (point, empty-direction) -> v-node.
+  std::unordered_map<PointDir, int, PointDirHash> at_edge;
+  for (const Node v : s.boundary_points()) {
+    for (const LocalBoundary& run : local_boundaries(v, [&](Node u) { return s.contains(u); })) {
+      VNode vn;
+      vn.point = v;
+      vn.run = run;
+      vn.face = s.face_of(neighbor(v, run.first));
+      const int id = static_cast<int>(vnodes_.size());
+      vnodes_.push_back(vn);
+      for (int k = 0; k < run.length; ++k) {
+        at_edge.emplace(PointDir{v, index(rotated(run.first, k))}, id);
+      }
+    }
+  }
+
+  // Successor relation (Observation 3): from v-node v(B), the common point u
+  // is the other endpoint of B's last edge; the successor point v' is
+  // reached via the clockwise successor of that edge; the successor v-node
+  // is v'(B') where B' contains the edge from v' to u.
+  succ_.assign(vnodes_.size(), -1);
+  pred_.assign(vnodes_.size(), -1);
+  for (std::size_t i = 0; i < vnodes_.size(); ++i) {
+    const VNode& vn = vnodes_[i];
+    const Dir last = vn.run.last();
+    const Node u = neighbor(vn.point, last);  // common point (unoccupied)
+    PM_CHECK(!s.contains(u));
+    const Node vp = neighbor(vn.point, cw_next(last));  // successor point
+    PM_CHECK_MSG(s.contains(vp), "successor point must be occupied (run maximality)");
+    const Dir d = dir_between(vp, u);
+    const auto it = at_edge.find(PointDir{vp, index(d)});
+    PM_CHECK_MSG(it != at_edge.end(), "successor v-node lookup failed");
+    succ_[i] = it->second;
+    PM_CHECK_MSG(pred_[static_cast<std::size_t>(it->second)] == -1,
+                 "v-node has two predecessors");
+    pred_[static_cast<std::size_t>(it->second)] = static_cast<int>(i);
+  }
+
+  // Group into rings by following successors.
+  std::vector<char> visited(vnodes_.size(), 0);
+  for (std::size_t i = 0; i < vnodes_.size(); ++i) {
+    if (visited[i]) continue;
+    const int r = static_cast<int>(rings_.size());
+    rings_.emplace_back();
+    int cur = static_cast<int>(i);
+    while (!visited[static_cast<std::size_t>(cur)]) {
+      visited[static_cast<std::size_t>(cur)] = 1;
+      vnodes_[static_cast<std::size_t>(cur)].ring = r;
+      rings_.back().push_back(cur);
+      cur = succ_[static_cast<std::size_t>(cur)];
+    }
+    PM_CHECK_MSG(cur == static_cast<int>(i), "successor walk did not close a cycle");
+  }
+
+  ring_face_.assign(rings_.size(), -1);
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    PM_CHECK(!rings_[r].empty());
+    const int f = vnodes_[static_cast<std::size_t>(rings_[r].front())].face;
+    for (const int vn : rings_[r]) {
+      PM_CHECK_MSG(vnodes_[static_cast<std::size_t>(vn)].face == f,
+                   "ring spans multiple faces");
+    }
+    ring_face_[r] = f;
+    if (f == kOuterFace) {
+      PM_CHECK_MSG(outer_ring_ == -1, "multiple outer rings");
+      outer_ring_ = static_cast<int>(r);
+    }
+  }
+  PM_CHECK_MSG(outer_ring_ >= 0, "no outer ring found");
+}
+
+Node VNodeRings::common_point(int vn) const {
+  const VNode& v = vnodes_[static_cast<std::size_t>(vn)];
+  return neighbor(v.point, v.run.last());
+}
+
+int VNodeRings::ring_count_sum(int r) const {
+  int sum = 0;
+  for (const int vn : rings_[static_cast<std::size_t>(r)]) {
+    sum += vnodes_[static_cast<std::size_t>(vn)].count();
+  }
+  return sum;
+}
+
+std::vector<int> VNodeRings::vnodes_at(Node v) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < vnodes_.size(); ++i) {
+    if (vnodes_[i].point == v) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace pm::grid

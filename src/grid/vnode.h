@@ -1,0 +1,67 @@
+// Virtual nodes (v-nodes) and the oriented virtual rings on global
+// boundaries (paper §2.1, Fig 7, Observations 3-4).
+//
+// A boundary point with k local boundaries is subdivided into k v-nodes; the
+// clockwise-successor relation of Observation 3 links the v-nodes of one
+// global boundary into a ring. The sum of boundary counts around a ring is
+// +6 for the outer boundary and -6 for an inner one (Observation 4) — the
+// geometric fact Primitive OBD's outer-boundary test rests on.
+#pragma once
+
+#include <vector>
+
+#include "grid/coord.h"
+#include "grid/local_boundary.h"
+#include "grid/shape.h"
+
+namespace pm::grid {
+
+struct VNode {
+  Node point;            // the occupied boundary point
+  LocalBoundary run;     // the local boundary this v-node corresponds to
+  int ring = -1;         // ring id after ring construction
+  int face = -1;         // face id this local boundary borders
+
+  [[nodiscard]] int count() const { return run.count(); }
+};
+
+class VNodeRings {
+ public:
+  // Builds all v-nodes of the shape and links them into rings.
+  // Requires a connected shape with at least 2 points.
+  explicit VNodeRings(const Shape& s);
+
+  [[nodiscard]] const std::vector<VNode>& vnodes() const { return vnodes_; }
+
+  // Clockwise successor / predecessor v-node index (Observation 3).
+  [[nodiscard]] int cw_succ(int vn) const { return succ_[static_cast<std::size_t>(vn)]; }
+  [[nodiscard]] int cw_pred(int vn) const { return pred_[static_cast<std::size_t>(vn)]; }
+
+  // The common (unoccupied) point of v-node vn and its clockwise successor:
+  // the other endpoint of the last edge of vn's run.
+  [[nodiscard]] Node common_point(int vn) const;
+
+  // Rings: each is the cyclic sequence of v-node indices following cw_succ.
+  [[nodiscard]] const std::vector<std::vector<int>>& rings() const { return rings_; }
+
+  // Face bordered by ring r (kOuterFace for the outer ring).
+  [[nodiscard]] int ring_face(int r) const { return ring_face_[static_cast<std::size_t>(r)]; }
+
+  [[nodiscard]] int outer_ring() const { return outer_ring_; }
+
+  // Sum of boundary counts along ring r (Observation 4: +6 outer, -6 inner).
+  [[nodiscard]] int ring_count_sum(int r) const;
+
+  // All v-node indices at a given point (1..3 of them).
+  [[nodiscard]] std::vector<int> vnodes_at(Node v) const;
+
+ private:
+  std::vector<VNode> vnodes_;
+  std::vector<int> succ_;
+  std::vector<int> pred_;
+  std::vector<std::vector<int>> rings_;
+  std::vector<int> ring_face_;
+  int outer_ring_ = -1;
+};
+
+}  // namespace pm::grid

@@ -1,0 +1,183 @@
+#include "shapegen/shapegen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pm::shapegen {
+
+using grid::Dir;
+using grid::Node;
+using grid::NodeSet;
+using grid::Shape;
+
+namespace {
+
+// Cube-coordinate hex norm: max(|x|, |y|, |x+y|).
+int hex_norm(Node v) {
+  return std::max({std::abs(v.x), std::abs(v.y), std::abs(v.x + v.y)});
+}
+
+std::vector<Node> hex_disk(Node center, int radius) {
+  std::vector<Node> out;
+  for (int x = -radius; x <= radius; ++x) {
+    for (int y = -radius; y <= radius; ++y) {
+      const Node d{x, y};
+      if (hex_norm(d) <= radius) out.push_back({center.x + x, center.y + y});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Shape hexagon(int radius) {
+  PM_CHECK(radius >= 0);
+  return Shape(hex_disk({0, 0}, radius));
+}
+
+Shape line(int n) {
+  PM_CHECK(n >= 1);
+  std::vector<Node> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pts.push_back({i, 0});
+  return Shape(std::move(pts));
+}
+
+Shape parallelogram(int width, int height) {
+  PM_CHECK(width >= 1 && height >= 1);
+  std::vector<Node> pts;
+  pts.reserve(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  for (int x = 0; x < width; ++x) {
+    for (int y = 0; y < height; ++y) pts.push_back({x, y});
+  }
+  return Shape(std::move(pts));
+}
+
+Shape annulus(int outer, int inner) {
+  PM_CHECK(outer >= 2 && inner >= 0 && inner < outer);
+  std::vector<Node> pts;
+  for (const Node v : hex_disk({0, 0}, outer)) {
+    if (hex_norm(v) > inner) pts.push_back(v);
+  }
+  return Shape(std::move(pts));
+}
+
+Shape spiral(int arms, int thickness) {
+  PM_CHECK(arms >= 1 && thickness >= 1);
+  // Walk a rectangular spiral in axial E/NE/W/SW steps, stamping a small
+  // disk of the requested thickness at every step.
+  NodeSet set;
+  std::vector<Node> pts;
+  auto stamp = [&](Node v) {
+    for (const Node u : hex_disk(v, thickness - 1)) {
+      if (set.insert(u).second) pts.push_back(u);
+    }
+  };
+  Node cur{0, 0};
+  stamp(cur);
+  // Direction cycle E, NE, W, SW with growing arm lengths; the gap of
+  // 2*thickness+1 keeps adjacent arms from touching.
+  const std::array<Dir, 4> cycle{Dir::E, Dir::NE, Dir::W, Dir::SW};
+  int len = 2 * thickness + 2;
+  for (int a = 0; a < arms; ++a) {
+    const Dir d = cycle[static_cast<std::size_t>(a % 4)];
+    for (int s = 0; s < len; ++s) {
+      cur = neighbor(cur, d);
+      stamp(cur);
+    }
+    if (a % 2 == 1) len += 2 * thickness + 2;
+  }
+  return Shape(std::move(pts));
+}
+
+Shape comb(int teeth, int tooth_len) {
+  PM_CHECK(teeth >= 1 && tooth_len >= 0);
+  NodeSet set;
+  std::vector<Node> pts;
+  auto add = [&](Node v) {
+    if (set.insert(v).second) pts.push_back(v);
+  };
+  const int width = 2 * teeth - 1;
+  for (int x = 0; x < width; ++x) add({x, 0});
+  for (int t = 0; t < teeth; ++t) {
+    for (int y = 1; y <= tooth_len; ++y) add({2 * t, y});
+  }
+  return Shape(std::move(pts));
+}
+
+Shape swiss_cheese(int radius, int holes, std::uint64_t seed) {
+  PM_CHECK(radius >= 3);
+  Rng rng(seed);
+  NodeSet removed;
+  // Carve single-point holes at interior positions that keep the remaining
+  // shape connected and the carved point strictly interior (so it is a hole,
+  // not a bay). Candidate centers stay radius-2 from the rim and at hex
+  // distance >= 3 from each other so holes never merge or touch the rim.
+  std::vector<Node> centers;
+  int placed = 0;
+  for (int attempt = 0; attempt < holes * 50 && placed < holes; ++attempt) {
+    const int r = radius - 2;
+    const Node c{static_cast<std::int32_t>(rng.range(-r, r)),
+                 static_cast<std::int32_t>(rng.range(-r, r))};
+    if (hex_norm(c) > r) continue;
+    const bool clash = std::any_of(centers.begin(), centers.end(), [&](Node o) {
+      return grid::grid_distance(c, o) < 3;
+    });
+    if (clash) continue;
+    centers.push_back(c);
+    removed.insert(c);
+    ++placed;
+  }
+  std::vector<Node> pts;
+  for (const Node v : hex_disk({0, 0}, radius)) {
+    if (!removed.contains(v)) pts.push_back(v);
+  }
+  Shape s(std::move(pts));
+  PM_CHECK(s.is_connected());
+  return s;
+}
+
+Shape random_blob(int n, std::uint64_t seed) {
+  PM_CHECK(n >= 1);
+  Rng rng(seed);
+  NodeSet set;
+  std::vector<Node> pts;
+  std::vector<Node> frontier;
+  auto add = [&](Node v) {
+    set.insert(v);
+    pts.push_back(v);
+    for (int i = 0; i < grid::kDirCount; ++i) {
+      const Node u = neighbor(v, grid::dir_from_index(i));
+      if (!set.contains(u)) frontier.push_back(u);
+    }
+  };
+  add({0, 0});
+  while (static_cast<int>(pts.size()) < n && !frontier.empty()) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(frontier.size()));
+    const Node v = frontier[i];
+    frontier[i] = frontier.back();
+    frontier.pop_back();
+    if (set.contains(v)) continue;
+    add(v);
+  }
+  return Shape(std::move(pts));
+}
+
+std::vector<NamedShape> standard_family(int scale, std::uint64_t seed) {
+  PM_CHECK(scale >= 4);
+  std::vector<NamedShape> out;
+  out.push_back({"hexagon", hexagon(scale)});
+  out.push_back({"line", line(4 * scale)});
+  out.push_back({"parallelogram", parallelogram(2 * scale, scale)});
+  out.push_back({"annulus", annulus(scale, scale / 2)});
+  out.push_back({"spiral", spiral(std::max(3, scale / 2))});
+  out.push_back({"comb", comb(scale, scale)});
+  out.push_back({"swiss_cheese", swiss_cheese(scale, scale / 2, seed)});
+  out.push_back({"random_blob", random_blob(3 * scale * scale, seed + 1)});
+  return out;
+}
+
+}  // namespace pm::shapegen

@@ -1,0 +1,55 @@
+// Parameterized generators for the connected initial shapes used throughout
+// tests, examples and benchmarks. All randomness is seed-driven.
+//
+// Families (paper-relevant stress axes):
+//   hexagon      — dense, D = 2r, erosion proceeds layer by layer
+//   line         — maximal D for given n
+//   parallelogram— dense rectangle-like patch
+//   annulus      — one big hole: D_A < D, exercises DLE's area-erosion
+//   spiral       — long winding corridor: D >> D_G
+//   comb         — spine with teeth: many simultaneous SCE points
+//   swiss_cheese — hexagon minus many small holes (random, connected)
+//   random_blob  — random connected aggregation (can grow natural holes)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/shape.h"
+
+namespace pm::shapegen {
+
+[[nodiscard]] grid::Shape hexagon(int radius);
+
+[[nodiscard]] grid::Shape line(int n);
+
+[[nodiscard]] grid::Shape parallelogram(int width, int height);
+
+// Hexagon of radius `outer` with the hexagon of radius `inner` removed
+// around the center (inner < outer - 1 keeps it connected with a real hole).
+[[nodiscard]] grid::Shape annulus(int outer, int inner);
+
+// Rectangular spiral corridor of the given arm count; `thickness` >= 1.
+[[nodiscard]] grid::Shape spiral(int arms, int thickness = 1);
+
+// Horizontal spine with vertical teeth every other column.
+[[nodiscard]] grid::Shape comb(int teeth, int tooth_len);
+
+// Hexagon of radius `radius` minus `holes` randomly placed small holes
+// (each a single point or radius-1 hexagon), guaranteed connected.
+[[nodiscard]] grid::Shape swiss_cheese(int radius, int holes, std::uint64_t seed);
+
+// Random connected aggregation of n points grown from the origin.
+[[nodiscard]] grid::Shape random_blob(int n, std::uint64_t seed);
+
+struct NamedShape {
+  std::string name;
+  grid::Shape shape;
+};
+
+// A deterministic mixed family for property sweeps: one of each family at a
+// comparable scale parameter.
+[[nodiscard]] std::vector<NamedShape> standard_family(int scale, std::uint64_t seed);
+
+}  // namespace pm::shapegen

@@ -1,0 +1,43 @@
+// Lightweight precondition / invariant checking.
+//
+// PM_CHECK fires in every build type: the simulator is a correctness tool, and
+// a model-rule violation (e.g. expanding onto an occupied node) must never be
+// silently ignored. Failures throw pm::CheckError so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pm {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "PM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pm
+
+#define PM_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::pm::detail::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PM_CHECK_MSG(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream pm_check_os;                                \
+      pm_check_os << msg;                                            \
+      ::pm::detail::check_fail(#cond, __FILE__, __LINE__, pm_check_os.str()); \
+    }                                                                \
+  } while (0)

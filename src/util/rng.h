@@ -1,0 +1,46 @@
+// Deterministic, seedable PRNG (xoshiro256** seeded via splitmix64).
+//
+// Every source of randomness in the project (shape generation, scheduler
+// permutations, the randomized baseline) flows through an explicitly seeded
+// Rng so that all tests and benchmarks are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Fair coin.
+  bool coin() noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pm

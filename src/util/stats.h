@@ -1,0 +1,27 @@
+// Small statistics helpers used by the benchmark harness to turn measured
+// (parameter, rounds) series into the slope / exponent summaries reported in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace pm {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+// Ordinary least squares fit of y = slope * x + intercept.
+// Requires xs.size() == ys.size() and at least 2 points.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+// Fits log(y) = e * log(x) + c, i.e. y ~ x^e; returns e in `slope`.
+// All inputs must be positive.
+LinearFit fit_power(std::span<const double> xs, std::span<const double> ys);
+
+double mean(std::span<const double> xs);
+
+}  // namespace pm

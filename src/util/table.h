@@ -1,0 +1,31 @@
+// Fixed-width console table printer. The benchmark binaries use it to emit
+// the same row layout as the paper's Table 1 next to the measured numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column widths fitted to content, e.g.
+  //   algorithm      | rounds | slope
+  //   ---------------+--------+------
+  //   DLE            | 412    | 2.01
+  [[nodiscard]] std::string to_string() const;
+
+  // Convenience for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pm

@@ -1,0 +1,59 @@
+#include "viz/ascii.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pm::viz {
+
+using grid::Node;
+
+std::string render_region(Node lo, Node hi, const Overlay& overlay) {
+  PM_CHECK(lo.x <= hi.x && lo.y <= hi.y);
+  std::string out;
+  for (std::int32_t y = hi.y; y >= lo.y; --y) {
+    // Column of node (x, y) is 2x + y; compute the row's glyphs with
+    // left-padding so all rows align.
+    const std::int32_t col0 = 2 * lo.x + y;
+    const std::int32_t min_col = 2 * lo.x + lo.y;
+    std::string row(static_cast<std::size_t>(col0 - min_col), ' ');
+    for (std::int32_t x = lo.x; x <= hi.x; ++x) {
+      const char c = overlay ? overlay({x, y}) : '\0';
+      row.push_back(c == '\0' ? ' ' : c);
+      if (x < hi.x) row.push_back(' ');
+    }
+    // Trim trailing blanks.
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render(const grid::Shape& s, const RenderOptions& opts, const Overlay& overlay) {
+  if (s.empty()) return "";
+  Node lo = s.nodes().front();
+  Node hi = lo;
+  for (const Node v : s.nodes()) {
+    lo.x = std::min(lo.x, v.x);
+    lo.y = std::min(lo.y, v.y);
+    hi.x = std::max(hi.x, v.x);
+    hi.y = std::max(hi.y, v.y);
+  }
+  lo.x -= opts.margin;
+  lo.y -= opts.margin;
+  hi.x += opts.margin;
+  hi.y += opts.margin;
+  return render_region(lo, hi, [&](Node v) -> char {
+    if (overlay) {
+      const char c = overlay(v);
+      if (c != '\0') return c;
+    }
+    if (s.contains(v)) return opts.occupied;
+    if (s.face_of(v) != grid::kOuterFace) return opts.hole;
+    return opts.show_empty ? opts.empty : '\0';
+  });
+}
+
+}  // namespace pm::viz

@@ -1,0 +1,41 @@
+// ASCII rendering of triangular-grid shapes and particle configurations.
+//
+// Axial (x, y) maps to a character cell at column 2*x + y, row -y, which
+// reproduces the usual staggered hex-grid look:
+//
+//      . O O .
+//     . O * O .
+//      . O O .
+//
+// Used by the examples and by the figure-reproduction binaries (paper
+// Figs 1-8).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "grid/shape.h"
+
+namespace pm::viz {
+
+// Returns the glyph to draw at a node, or '\0' to fall through to default.
+using Overlay = std::function<char(grid::Node)>;
+
+struct RenderOptions {
+  char occupied = 'O';
+  char empty = '.';
+  char hole = '*';       // hole points (empty, bounded face)
+  bool show_empty = true;
+  int margin = 1;        // rings of empty context around the bounding box
+};
+
+// Renders the shape; `overlay` (if given) is consulted first for every node.
+[[nodiscard]] std::string render(const grid::Shape& s, const RenderOptions& opts = {},
+                                 const Overlay& overlay = nullptr);
+
+// Renders an arbitrary region given explicit bounds and an overlay that
+// returns the glyph for every node ('\0' = blank). Used for configurations
+// that have no Shape at hand (e.g. mid-run particle systems).
+[[nodiscard]] std::string render_region(grid::Node lo, grid::Node hi, const Overlay& overlay);
+
+}  // namespace pm::viz

@@ -1,0 +1,137 @@
+// Movement semantics of the amoebot model (paper §2.2, Fig 8): expansion,
+// contraction, handover, occupancy bookkeeping and model-rule enforcement.
+#include <gtest/gtest.h>
+
+#include "amoebot/system.h"
+#include "shapegen/shapegen.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pm::amoebot {
+namespace {
+
+using grid::Dir;
+using grid::Node;
+
+struct Empty {};
+
+TEST(Movement, ExpandContractRoundTrip) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 0);
+  EXPECT_FALSE(sys.body(p).expanded());
+
+  sys.expand(p, {1, 0});
+  EXPECT_TRUE(sys.body(p).expanded());
+  EXPECT_EQ(sys.body(p).head, (Node{1, 0}));
+  EXPECT_EQ(sys.body(p).tail, (Node{0, 0}));
+  EXPECT_TRUE(sys.occupied({0, 0}));
+  EXPECT_TRUE(sys.occupied({1, 0}));
+  EXPECT_TRUE(sys.is_head({1, 0}));
+  EXPECT_FALSE(sys.is_head({0, 0}));
+
+  sys.contract_to_head(p);
+  EXPECT_FALSE(sys.body(p).expanded());
+  EXPECT_FALSE(sys.occupied({0, 0}));
+  EXPECT_TRUE(sys.occupied({1, 0}));
+}
+
+TEST(Movement, ContractToTail) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 3);
+  sys.expand(p, {0, 1});
+  sys.contract_to_tail(p);
+  EXPECT_EQ(sys.body(p).head, (Node{0, 0}));
+  EXPECT_FALSE(sys.occupied({0, 1}));
+}
+
+TEST(Movement, IllegalMovesAreRejected) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 0);
+  const ParticleId q = sys.add_particle({1, 0}, 0);
+  // Expanding onto an occupied node.
+  EXPECT_THROW(sys.expand(p, {1, 0}), CheckError);
+  // Expanding to a non-adjacent node.
+  EXPECT_THROW(sys.expand(p, {2, 2}), CheckError);
+  // Contracting a contracted particle.
+  EXPECT_THROW(sys.contract_to_head(p), CheckError);
+  // Double expansion.
+  sys.expand(p, {0, 1});
+  EXPECT_THROW(sys.expand(p, {-1, 0}), CheckError);
+  // Handover with a contracted q.
+  EXPECT_THROW(sys.handover(q, q), CheckError);
+}
+
+TEST(Movement, HandoverTransfersTheNode) {
+  SystemCore sys;
+  const ParticleId q = sys.add_particle({0, 0}, 0);
+  const ParticleId p = sys.add_particle({-1, 0}, 0);
+  sys.expand(q, {1, 0});  // q spans (0,0)-(1,0)
+  sys.handover(p, q);     // p takes (0,0), q contracts to (1,0)
+  EXPECT_EQ(sys.body(p).head, (Node{0, 0}));
+  EXPECT_EQ(sys.body(p).tail, (Node{-1, 0}));
+  EXPECT_FALSE(sys.body(q).expanded());
+  EXPECT_EQ(sys.body(q).head, (Node{1, 0}));
+  EXPECT_EQ(sys.particle_at({0, 0}), p);
+}
+
+TEST(Movement, HandoverRequiresAdjacency) {
+  SystemCore sys;
+  const ParticleId q = sys.add_particle({0, 0}, 0);
+  const ParticleId p = sys.add_particle({3, 3}, 0);
+  sys.expand(q, {1, 0});
+  EXPECT_THROW(sys.handover(p, q), CheckError);
+}
+
+TEST(Movement, PortArithmeticCommonChirality) {
+  SystemCore sys;
+  // Orientation 2: port 0 points toward global dir index 2 (SW).
+  const ParticleId p = sys.add_particle({0, 0}, 2);
+  EXPECT_EQ(sys.port_dir(p, 0), Dir::SW);
+  EXPECT_EQ(sys.port_dir(p, 4), Dir::E);
+  for (int port = 0; port < 6; ++port) {
+    EXPECT_EQ(sys.dir_port(p, sys.port_dir(p, port)), port);
+  }
+}
+
+TEST(Movement, PortBetweenNeighbors) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 1);
+  const ParticleId q = sys.add_particle({1, 0}, 4);
+  // p at (0,0) sees (1,0) via dir E (index 0) -> port (0 - 1) mod 6 = 5.
+  EXPECT_EQ(sys.port_between(p, {0, 0}, {1, 0}), 5);
+  // q at (1,0) sees (0,0) via dir W (index 3) -> port (3 - 4) mod 6 = 5.
+  EXPECT_EQ(sys.port_between(q, {1, 0}, {0, 0}), 5);
+}
+
+TEST(Movement, ShapeAndComponents) {
+  Rng rng(3);
+  auto sys = System<Empty>::from_shape(shapegen::hexagon(2), rng);
+  EXPECT_EQ(sys.component_count(), 1);
+  EXPECT_TRUE(sys.all_contracted());
+  EXPECT_EQ(sys.shape().size(), shapegen::hexagon(2).size());
+
+  SystemCore split;
+  split.add_particle({0, 0}, 0);
+  split.add_particle({5, 5}, 0);
+  split.add_particle({5, 6}, 0);
+  EXPECT_EQ(split.component_count(), 2);
+}
+
+TEST(Movement, ExpandedParticleCountsBothNodesInShape) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 0);
+  sys.expand(p, {1, 0});
+  EXPECT_EQ(sys.shape().size(), 2u);
+  EXPECT_EQ(sys.component_count(), 1);
+}
+
+TEST(Movement, MoveCounter) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 0);
+  sys.expand(p, {1, 0});
+  sys.contract_to_head(p);
+  EXPECT_EQ(sys.moves(), 2);
+}
+
+}  // namespace
+}  // namespace pm::amoebot

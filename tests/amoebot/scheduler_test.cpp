@@ -1,0 +1,109 @@
+// The strong scheduler: atomic activations, fair orders, round accounting.
+#include "amoebot/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "shapegen/shapegen.h"
+
+namespace pm::amoebot {
+namespace {
+
+// A toy algorithm: every particle counts its own activations up to a target
+// then goes final. Rounds needed must be exactly `target` for the per-round
+// orders and at least `target` for the stream order.
+struct CountToTarget {
+  struct State {
+    int count = 0;
+  };
+  int target = 5;
+
+  void activate(ParticleView<State>& p) { ++p.self().count; }
+  [[nodiscard]] bool is_final(const System<State>& sys, ParticleId p) const {
+    return sys.state(p).count >= target;
+  }
+};
+
+System<CountToTarget::State> make_sys(int scale, std::uint64_t seed) {
+  Rng rng(seed);
+  return System<CountToTarget::State>::from_shape(shapegen::hexagon(scale), rng);
+}
+
+TEST(Scheduler, RoundRobinRoundsEqualTarget) {
+  auto sys = make_sys(2, 1);
+  CountToTarget algo;
+  const RunResult res = run(sys, algo, {Order::RoundRobin, 1, 100});
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 5);
+  EXPECT_EQ(res.activations, 5LL * sys.particle_count());
+}
+
+TEST(Scheduler, RandomPermCoversEveryParticleEachRound) {
+  auto sys = make_sys(2, 2);
+  CountToTarget algo;
+  const RunResult res = run(sys, algo, {Order::RandomPerm, 7, 100});
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 5);
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    EXPECT_EQ(sys.state(p).count, 5);
+  }
+}
+
+TEST(Scheduler, RandomStreamIsFairAndCountsRoundsByCoverage) {
+  auto sys = make_sys(1, 3);
+  CountToTarget algo;
+  const RunResult res = run(sys, algo, {Order::RandomStream, 11, 10'000});
+  EXPECT_TRUE(res.completed);
+  // A single coverage round can activate a particle several times, so no
+  // lower bound on rounds holds — only the per-particle final condition.
+  EXPECT_GE(res.rounds, 1);
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    EXPECT_EQ(sys.state(p).count, 5);  // is_final stops further activations
+  }
+}
+
+TEST(Scheduler, MaxRoundsStopsIncompleteRuns) {
+  auto sys = make_sys(1, 4);
+  CountToTarget algo;
+  algo.target = 1'000'000;
+  const RunResult res = run(sys, algo, {Order::RoundRobin, 1, 10});
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.rounds, 10);
+}
+
+TEST(Scheduler, FinalParticlesAreNotActivated) {
+  auto sys = make_sys(1, 5);
+  CountToTarget algo;
+  run(sys, algo, {Order::RoundRobin, 1, 50});
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    EXPECT_EQ(sys.state(p).count, 5);  // never beyond the final-state bound
+  }
+}
+
+TEST(Scheduler, EmptySystemCompletesImmediately) {
+  System<CountToTarget::State> sys;
+  CountToTarget algo;
+  const RunResult res = run(sys, algo, {Order::RandomPerm, 1, 10});
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 0);
+}
+
+// A movement-performing algorithm must be limited to one move per
+// activation; the guard throws otherwise.
+struct DoubleMover {
+  struct State {};
+  void activate(ParticleView<State>& p) {
+    p.expand_head(0);
+    p.contract_to_head();  // second movement in one activation: illegal
+  }
+  [[nodiscard]] bool is_final(const System<State>&, ParticleId) const { return false; }
+};
+
+TEST(Scheduler, OneMovementPerActivationEnforced) {
+  Rng rng(1);
+  auto sys = System<DoubleMover::State>::from_shape(shapegen::line(1), rng);
+  DoubleMover algo;
+  EXPECT_THROW(run(sys, algo, {Order::RoundRobin, 1, 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace pm::amoebot

@@ -1,0 +1,50 @@
+// Baseline algorithms used for the Table 1 comparison.
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "grid/metrics.h"
+#include "shapegen/shapegen.h"
+#include "util/check.h"
+
+namespace pm::baselines {
+namespace {
+
+TEST(SequentialErosion, LinearInParticleCount) {
+  for (const int r : {2, 3, 4}) {
+    const auto shape = shapegen::hexagon(r);
+    const BaselineResult res = sequential_erosion(shape);
+    EXPECT_TRUE(res.completed);
+    // One erosion per round: exactly n - 1 rounds.
+    EXPECT_EQ(res.rounds, static_cast<long>(shape.size()) - 1);
+  }
+}
+
+TEST(SequentialErosion, RejectsHoleyShapes) {
+  EXPECT_THROW(sequential_erosion(shapegen::annulus(4, 1)), pm::CheckError);
+}
+
+TEST(RandomizedContest, CompletesAndIsNearLinear) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto shape = shapegen::hexagon(6);
+    const BaselineResult res = randomized_boundary_contest(shape, seed);
+    EXPECT_TRUE(res.completed);
+    const auto m = grid::compute_metrics(shape);
+    // O(L_out log L_out + D) with small constants.
+    EXPECT_LE(res.rounds, 10L * m.l_out * 8 + m.d);
+    EXPECT_GE(res.rounds, m.d);
+  }
+}
+
+TEST(RandomizedContest, WorksOnHoleyShapes) {
+  const BaselineResult res = randomized_boundary_contest(shapegen::annulus(5, 2), 4);
+  EXPECT_TRUE(res.completed);
+}
+
+TEST(RandomizedContest, SingleParticle) {
+  const BaselineResult res = randomized_boundary_contest(shapegen::line(1), 1);
+  EXPECT_TRUE(res.completed);
+}
+
+}  // namespace
+}  // namespace pm::baselines

@@ -1,0 +1,198 @@
+// Algorithm Collect (paper §4.3): reconnection after DLE, phase doubling
+// (Lemma 21 / Corollary 22), termination with a connected system
+// (Lemma 20, Theorem 23) and the O(D_G) round bound.
+#include "core/collect/collect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dle/dle.h"
+#include "grid/metrics.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::core {
+namespace {
+
+using amoebot::Order;
+using amoebot::ParticleId;
+using amoebot::System;
+using grid::Node;
+using grid::Shape;
+
+struct FullRun {
+  System<DleState> sys;
+  CollectRun::Result collect;
+  Node l{};
+  int ecc = 0;
+  long dle_rounds = 0;
+};
+
+FullRun dle_then_collect(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  FullRun out{Dle::make_system(shape, rng), {}, {}, 0, 0};
+  Dle algo;
+  const auto res = amoebot::run(out.sys, algo, {Order::RandomPerm, seed + 1, 1'000'000});
+  EXPECT_TRUE(res.completed);
+  out.dle_rounds = res.rounds;
+  const ElectionOutcome o = election_outcome(out.sys);
+  EXPECT_EQ(o.leaders, 1);
+  out.l = out.sys.body(o.leader).head;
+  out.ecc = grid::eccentricity_grid(out.l, shape.nodes());
+  CollectRun collect(out.sys, o.leader);
+  out.collect = collect.run();
+  return out;
+}
+
+void expect_reconnected(const FullRun& r) {
+  EXPECT_TRUE(r.collect.completed);
+  EXPECT_EQ(r.collect.collected, r.sys.particle_count()) << "not all particles collected";
+  EXPECT_EQ(r.sys.component_count(), 1) << "system not connected after Collect";
+  EXPECT_TRUE(r.sys.all_contracted());
+}
+
+TEST(Collect, SingleParticle) {
+  const auto r = dle_then_collect(shapegen::line(1), 1);
+  expect_reconnected(r);
+  EXPECT_EQ(r.collect.phases, 1);  // one empty phase, then termination
+}
+
+TEST(Collect, TwoParticles) {
+  const auto r = dle_then_collect(shapegen::line(2), 2);
+  expect_reconnected(r);
+}
+
+struct CollectCase {
+  std::string name;
+  Shape shape;
+  std::uint64_t seed;
+};
+
+class CollectSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectSweep, ReconnectsEveryFamily) {
+  const std::uint64_t s = static_cast<std::uint64_t>(GetParam());
+  const std::vector<CollectCase> cases = {
+      {"line", shapegen::line(6 + static_cast<int>(s) * 3), s},
+      {"hexagon", shapegen::hexagon(2 + static_cast<int>(s) % 5), s},
+      {"thin_ring", shapegen::annulus(4 + static_cast<int>(s) % 6, 3 + static_cast<int>(s) % 6), s},
+      {"cheese", shapegen::swiss_cheese(5 + static_cast<int>(s) % 4, 1 + static_cast<int>(s) % 4, s), s},
+      {"blob", shapegen::random_blob(60 + 17 * static_cast<int>(s), s), s},
+      {"comb", shapegen::comb(3 + static_cast<int>(s) % 4, 4), s},
+      {"spiral", shapegen::spiral(3 + static_cast<int>(s) % 5), s},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto r = dle_then_collect(c.shape, c.seed);
+    expect_reconnected(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectSweep, ::testing::Range(1, 9));
+
+TEST(Collect, PhaseCountIsLogarithmicInEccentricity) {
+  // Corollary 22: the stem doubles each phase, so phases <= log2(ε) + 2
+  // (one extra phase detects termination).
+  for (const int n : {50, 150, 400, 900}) {
+    const auto r = dle_then_collect(shapegen::random_blob(n, 77), 5);
+    expect_reconnected(r);
+    int bound = 2;
+    int e = std::max(1, r.ecc);
+    while (e > 1) {
+      e /= 2;
+      ++bound;
+    }
+    EXPECT_LE(r.collect.phases, bound) << "n=" << n << " ecc=" << r.ecc;
+  }
+}
+
+TEST(Collect, RoundsLinearInEccentricity) {
+  // Theorem 23: O(D_G) rounds. ε_G(l) <= D_G; the engine's constant (six
+  // rotations, Detect charges, absorption waves) is below 250 per unit.
+  for (const int n : {100, 400, 1200}) {
+    const auto r = dle_then_collect(shapegen::random_blob(n, 31), 9);
+    expect_reconnected(r);
+    EXPECT_LE(r.collect.rounds, 250L * (r.ecc + 1) + 100)
+        << "n=" << n << " ecc=" << r.ecc << " rounds=" << r.collect.rounds;
+  }
+}
+
+TEST(Collect, ReconnectsTheDisconnectedThinRing) {
+  // The thin annulus is the configuration DLE demonstrably disconnects
+  // (see dle_test); Collect must stitch it back together.
+  const auto r = dle_then_collect(shapegen::annulus(8, 7), 13);
+  expect_reconnected(r);
+}
+
+TEST(Collect, DlePlusCollectLeavesUniqueLeader) {
+  const auto r = dle_then_collect(shapegen::swiss_cheese(7, 4, 3), 17);
+  expect_reconnected(r);
+  const ElectionOutcome o = election_outcome(r.sys);
+  EXPECT_EQ(o.leaders, 1);
+  EXPECT_EQ(o.followers, r.sys.particle_count() - 1);
+}
+
+TEST(Collect, StageCallbackReportsPhases) {
+  Rng rng(3);
+  auto sys = Dle::make_system(shapegen::hexagon(2), rng);
+  Dle algo;
+  amoebot::run(sys, algo, {Order::RandomPerm, 4, 100'000});
+  const ElectionOutcome o = election_outcome(sys);
+  CollectRun collect(sys, o.leader);
+  int phase_starts = 0;
+  bool saw_done = false;
+  std::vector<std::string> stages;
+  collect.on_stage = [&](const char* st, int) {
+    stages.emplace_back(st);
+    if (stages.back() == "phase-start") ++phase_starts;
+    if (stages.back() == "done") saw_done = true;
+  };
+  const auto res = collect.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(phase_starts, res.phases);
+  EXPECT_TRUE(saw_done);
+  // Every phase runs the three steps in order.
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "omp-contract"), stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "prp-move"), stages.end());
+  EXPECT_NE(std::find(stages.begin(), stages.end(), "sdp-expand"), stages.end());
+}
+
+TEST(Collect, RequiresContractedLeader) {
+  Rng rng(1);
+  auto sys = System<DleState>::from_shape(shapegen::line(3), rng);
+  sys.expand(0, grid::Node{0, -1});
+  EXPECT_THROW(CollectRun(sys, 0), CheckError);
+}
+
+// Collect consumes only the breadcrumb property, not a full DLE run: a
+// hand-built sparse configuration with one particle at every distance
+// (Lemma 19's guarantee) must also reconnect.
+class BreadcrumbOnly : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BreadcrumbOnly, CollectsSyntheticBreadcrumbTrails) {
+  Rng rng(GetParam());
+  amoebot::System<DleState> sys;
+  // Leader at origin; one contracted particle at every distance 1..m along
+  // randomly chosen rays (plus occasional extras).
+  const int m = 9;
+  std::vector<Node> used{{0, 0}};
+  const ParticleId leader =
+      sys.add_particle({0, 0}, static_cast<std::uint8_t>(rng.below(6)));
+  (void)leader;
+  for (int d = 1; d <= m; ++d) {
+    const auto dir = grid::dir_from_index(static_cast<int>(rng.below(6)));
+    Node v{0, 0};
+    for (int t = 0; t < d; ++t) v = grid::neighbor(v, dir);
+    if (!sys.occupied(v)) sys.add_particle(v, static_cast<std::uint8_t>(rng.below(6)));
+  }
+  CollectRun collect(sys, 0);
+  const auto res = collect.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.collected, sys.particle_count());
+  EXPECT_EQ(sys.component_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BreadcrumbOnly, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace pm::core

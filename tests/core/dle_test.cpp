@@ -1,0 +1,283 @@
+// Algorithm DLE (paper §4.1-4.2): correctness (Theorem 12), the Lemma 11
+// run-time invariants, the breadcrumb property (Lemma 19), the O(D_A) round
+// bound (Theorem 18), and the disconnection behaviour the paper leverages.
+#include "core/dle/dle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "grid/local_boundary.h"
+#include "grid/metrics.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::core {
+namespace {
+
+using amoebot::Order;
+using amoebot::ParticleId;
+using amoebot::RunOptions;
+using amoebot::RunResult;
+using amoebot::System;
+using grid::Node;
+using grid::NodeSet;
+using grid::Shape;
+
+struct DleRun {
+  System<DleState> sys;
+  RunResult res;
+  Shape initial;
+};
+
+DleRun run_dle(const Shape& shape, Order order, std::uint64_t seed,
+               Dle::Options opts = {}, long max_rounds = 1'000'000) {
+  Rng rng(seed);
+  DleRun out{Dle::make_system(shape, rng), {}, shape};
+  Dle algo(opts);
+  out.res = run(out.sys, algo, {order, seed + 1, max_rounds});
+  return out;
+}
+
+void expect_unique_leader(const DleRun& r) {
+  ASSERT_TRUE(r.res.completed);
+  const ElectionOutcome o = election_outcome(r.sys);
+  EXPECT_EQ(o.leaders, 1);
+  EXPECT_EQ(o.undecided, 0);
+  EXPECT_EQ(o.followers, r.sys.particle_count() - 1);
+  EXPECT_TRUE(r.sys.all_contracted());
+}
+
+TEST(Dle, SingleParticleBecomesLeader) {
+  const auto r = run_dle(shapegen::line(1), Order::RoundRobin, 1);
+  expect_unique_leader(r);
+  EXPECT_LE(r.res.rounds, 2);
+}
+
+TEST(Dle, TwoParticles) {
+  const auto r = run_dle(shapegen::line(2), Order::RandomPerm, 2);
+  expect_unique_leader(r);
+}
+
+struct FamilyCase {
+  const char* name;
+  int scale;
+  Order order;
+  std::uint64_t seed;
+};
+
+class DleFamilySweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(DleFamilySweep, UniqueLeaderOnEveryFamilyAndOrder) {
+  const FamilyCase& c = GetParam();
+  for (const auto& [name, shape] : shapegen::standard_family(c.scale, c.seed)) {
+    SCOPED_TRACE(name);
+    const auto r = run_dle(shape, c.order, c.seed);
+    expect_unique_leader(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DleFamilySweep,
+    ::testing::Values(FamilyCase{"rr", 5, Order::RoundRobin, 3},
+                      FamilyCase{"perm5", 5, Order::RandomPerm, 11},
+                      FamilyCase{"perm6", 6, Order::RandomPerm, 12},
+                      FamilyCase{"stream", 4, Order::RandomStream, 13},
+                      FamilyCase{"perm7", 7, Order::RandomPerm, 14}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- Lemma 11: the four invariants hold after every activation ---
+
+class Lemma11Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma11Sweep, InvariantsHoldThroughout) {
+  Shape shape = [&]() -> Shape {
+    switch (GetParam()) {
+      case 0: return shapegen::hexagon(3);
+      case 1: return shapegen::annulus(4, 1);
+      case 2: return shapegen::swiss_cheese(5, 3, 9);
+      case 3: return shapegen::comb(4, 4);
+      default: return shapegen::random_blob(60, static_cast<std::uint64_t>(GetParam()));
+    }
+  }();
+  Rng rng(17);
+  auto sys = Dle::make_system(shape, rng);
+  Dle algo;
+
+  // Oracle: track S_e (initially the area), removing points as they erode.
+  const Shape area = shape.area();
+  NodeSet se;
+  for (const Node v : area.nodes()) se.insert(v);
+  algo.on_erode = [&](Node v) {
+    ASSERT_TRUE(se.contains(v)) << "eroded a non-eligible point";
+    se.erase(v);
+  };
+
+  long long checks = 0;
+  auto hook = [&](System<DleState>& s, ParticleId) {
+    ++checks;
+    std::vector<Node> se_nodes(se.begin(), se.end());
+    const Shape se_shape(se_nodes);
+    // (2) S_e is simply-connected and non-empty.
+    ASSERT_FALSE(se_shape.empty());
+    ASSERT_TRUE(se_shape.is_connected());
+    ASSERT_TRUE(se_shape.simply_connected());
+    for (ParticleId p = 0; p < s.particle_count(); ++p) {
+      const auto& body = s.body(p);
+      // (1) expanded particle: head in S_e, tail not.
+      if (body.expanded()) {
+        ASSERT_TRUE(se.contains(body.head));
+        ASSERT_FALSE(se.contains(body.tail));
+      }
+      // (4) eligible flags consistent with S_e at the head.
+      const auto& st = s.state(p);
+      for (int i = 0; i < 6; ++i) {
+        const Node u = grid::neighbor(body.head, s.port_dir(p, i));
+        ASSERT_EQ(st.eligible[static_cast<std::size_t>(i)], se.contains(u))
+            << "particle " << p << " port " << i;
+      }
+    }
+    // (3) boundary points of S_e are occupied.
+    for (const Node v : se_shape.boundary_points()) {
+      ASSERT_TRUE(s.occupied(v)) << "unoccupied S_e boundary point";
+    }
+  };
+
+  const RunResult res = run(sys, algo, {Order::RandomPerm, 23, 100'000}, hook);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(checks, 0);
+  EXPECT_EQ(se.size(), 1u);  // exactly the leader's point remains eligible
+  const ElectionOutcome o = election_outcome(sys);
+  EXPECT_EQ(o.leaders, 1);
+  EXPECT_TRUE(se.contains(sys.body(o.leader).head));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Lemma11Sweep, ::testing::Range(0, 8));
+
+// --- Lemma 19: breadcrumbs at every grid distance from the leader ---
+
+class BreadcrumbSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BreadcrumbSweep, ContractedParticleAtEveryDistance) {
+  const Shape shape = (GetParam() % 2 == 0)
+                          ? shapegen::swiss_cheese(6, 4, GetParam())
+                          : shapegen::random_blob(150, GetParam());
+  const auto r = run_dle(shape, Order::RandomPerm, GetParam() * 7 + 1);
+  ASSERT_TRUE(r.res.completed);
+  const ElectionOutcome o = election_outcome(r.sys);
+  ASSERT_EQ(o.leaders, 1);
+  const Node l = r.sys.body(o.leader).head;
+  const int ecc = grid::eccentricity_grid(l, r.initial.nodes());
+
+  std::set<int> occupied_distances;
+  int beyond = 0;
+  for (ParticleId p = 0; p < r.sys.particle_count(); ++p) {
+    ASSERT_FALSE(r.sys.body(p).expanded());
+    const int d = grid::grid_distance(l, r.sys.body(p).head);
+    occupied_distances.insert(d);
+    if (d > ecc) ++beyond;
+  }
+  for (int i = 0; i <= ecc; ++i) {
+    EXPECT_TRUE(occupied_distances.contains(i)) << "no particle at distance " << i;
+  }
+  EXPECT_EQ(beyond, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BreadcrumbSweep, ::testing::Range<std::uint64_t>(1, 11));
+
+// --- Theorem 18: O(D_A) rounds ---
+
+TEST(Dle, LinearRoundBoundAcrossFamilies) {
+  for (const auto& [name, shape] : shapegen::standard_family(7, 31)) {
+    SCOPED_TRACE(name);
+    const int d_area = grid::diameter_area_exact(shape);
+    for (const Order order : {Order::RoundRobin, Order::RandomPerm}) {
+      const auto r = run_dle(shape, order, 5);
+      ASSERT_TRUE(r.res.completed);
+      EXPECT_LE(r.res.rounds, 12 * d_area + 16)
+          << "rounds " << r.res.rounds << " vs D_A " << d_area;
+    }
+  }
+}
+
+TEST(Dle, AnnulusRoundsScaleWithAreaDiameterNotShapeDiameter) {
+  // Thin annulus: D ~ half the circumference, D_A = 2R. DLE must track D_A.
+  const Shape ring = shapegen::annulus(10, 7);
+  const int d_area = grid::diameter_area_exact(ring);   // 20
+  const int d = grid::diameter_exact(ring);             // ~30+
+  ASSERT_GT(d, d_area);
+  const auto r = run_dle(ring, Order::RandomPerm, 3);
+  ASSERT_TRUE(r.res.completed);
+  EXPECT_LE(r.res.rounds, 12 * d_area + 16);
+}
+
+// --- Disconnection: the paper's enabling mechanism actually occurs ---
+
+TEST(Dle, SystemDisconnectsOnHoleyShapes) {
+  // A thin ring leaves too few particles to keep trails attached while the
+  // erosion marches inward — the movers abandon breadcrumb followers, which
+  // is precisely the temporary disconnection the paper exploits. (On thick
+  // shapes the follower shell keeps everything attached and no disconnection
+  // occurs.)
+  Rng rng(5);
+  auto sys = Dle::make_system(shapegen::annulus(6, 5), rng);
+  Dle algo;
+  int max_components = 0;
+  auto hook = [&](System<DleState>& s, ParticleId) {
+    max_components = std::max(max_components, s.component_count());
+  };
+  const RunResult res = run(sys, algo, {Order::RandomPerm, 6, 100'000}, hook);
+  ASSERT_TRUE(res.completed);
+  max_components = std::max(max_components, 0);
+  EXPECT_GT(max_components, 1) << "expected temporary disconnection on an annulus";
+  // ...and the run still elects a unique leader (DLE's predicate).
+  EXPECT_EQ(election_outcome(sys).leaders, 1);
+}
+
+// --- Connected-pull ablation (paper Remark §4.2.1) ---
+
+class PullVariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PullVariantSweep, StaysConnectedAndElectsUniqueLeader) {
+  const Shape shape = [&]() -> Shape {
+    switch (GetParam()) {
+      case 0: return shapegen::annulus(4, 1);
+      case 1: return shapegen::annulus(5, 2);
+      case 2: return shapegen::swiss_cheese(5, 2, 4);
+      default: return shapegen::swiss_cheese(6, 3, static_cast<std::uint64_t>(GetParam()));
+    }
+  }();
+  Rng rng(29);
+  auto sys = Dle::make_system(shape, rng);
+  Dle algo({.connected_pull = true});
+  int worst_components = 1;
+  long long step = 0;
+  auto hook = [&](System<DleState>& s, ParticleId) {
+    if (++step % 8 == 0) worst_components = std::max(worst_components, s.component_count());
+  };
+  const RunResult res = run(sys, algo, {Order::RandomPerm, 31, 200'000}, hook);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(worst_components, 1) << "pull variant must keep the system connected";
+  EXPECT_EQ(election_outcome(sys).leaders, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PullVariantSweep, ::testing::Range(0, 6));
+
+TEST(Dle, OracleInputMatchesEligibleInitialization) {
+  Rng rng(1);
+  const Shape shape = shapegen::annulus(3, 1);
+  auto sys = Dle::make_system(shape, rng);
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    const auto& st = sys.state(p);
+    const Node v = sys.body(p).head;
+    for (int i = 0; i < 6; ++i) {
+      const Node u = grid::neighbor(v, sys.port_dir(p, i));
+      const bool is_outer = !shape.contains(u) && shape.face_of(u) == grid::kOuterFace;
+      EXPECT_EQ(st.outer[static_cast<std::size_t>(i)], is_outer);
+      EXPECT_EQ(st.eligible[static_cast<std::size_t>(i)], !is_outer);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pm::core

@@ -1,0 +1,129 @@
+// Primitive OBD (paper §5): every particle learns which local boundaries
+// border the outer face; rounds O(L_out + D) (Theorem 41).
+#include "core/obd/obd.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dle/dle.h"
+#include "core/le/le.h"
+#include "grid/metrics.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::core {
+namespace {
+
+using amoebot::ParticleId;
+using amoebot::System;
+using grid::Node;
+using grid::Shape;
+
+// Number of wrongly classified ports vs the geometric oracle.
+int oracle_errors(const Shape& shape, const System<DleState>& sys, const ObdRun& obd) {
+  int errors = 0;
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    const auto got = obd.outer_ports(p);
+    const Node v = sys.body(p).head;
+    for (int i = 0; i < 6; ++i) {
+      const Node u = grid::neighbor(v, sys.port_dir(p, i));
+      const bool expect = !shape.contains(u) && shape.face_of(u) == grid::kOuterFace;
+      if (got[static_cast<std::size_t>(i)] != expect) ++errors;
+    }
+  }
+  return errors;
+}
+
+struct ObdCase {
+  const char* name;
+  Shape shape;
+};
+
+class ObdSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObdSweep, MatchesOracleOnEveryFamily) {
+  const std::uint64_t s = GetParam();
+  const std::vector<ObdCase> cases = {
+      {"line", shapegen::line(3 + static_cast<int>(s))},
+      {"hexagon", shapegen::hexagon(1 + static_cast<int>(s) % 4)},
+      {"annulus", shapegen::annulus(3 + static_cast<int>(s) % 4, 1 + static_cast<int>(s) % 2)},
+      {"cheese", shapegen::swiss_cheese(4 + static_cast<int>(s) % 3, 1 + static_cast<int>(s) % 3, s)},
+      {"blob", shapegen::random_blob(40 + 11 * static_cast<int>(s), s)},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    Rng rng(s);
+    auto sys = System<DleState>::from_shape(c.shape, rng);
+    ObdRun obd(sys);
+    const auto res = obd.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(oracle_errors(c.shape, sys, obd), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObdSweep, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Obd, DetectsOuterAmongMultipleHoles) {
+  const Shape shape = shapegen::swiss_cheese(7, 5, 3);
+  ASSERT_EQ(shape.hole_count(), 5);
+  Rng rng(9);
+  auto sys = System<DleState>::from_shape(shape, rng);
+  ObdRun obd(sys);
+  const auto res = obd.run();
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(oracle_errors(shape, sys, obd), 0);
+  EXPECT_GE(res.outer_ring, 0);
+}
+
+TEST(Obd, RoundsGrowNearLinearlyInBoundaryPlusDiameter) {
+  // Theorem 41: O(L_out + D). The engine's constant varies with watchdog
+  // retries; we assert the loose envelope used in EXPERIMENTS.md.
+  for (const int r : {3, 5, 7}) {
+    const Shape shape = shapegen::hexagon(r);
+    Rng rng(1);
+    auto sys = System<DleState>::from_shape(shape, rng);
+    ObdRun obd(sys);
+    const auto res = obd.run();
+    ASSERT_TRUE(res.completed);
+    const auto m = grid::compute_metrics(shape);
+    EXPECT_LE(res.rounds, 200L * (m.l_out + m.d) + 200) << "r=" << r;
+  }
+}
+
+// --- the full pipeline: OBD -> DLE -> Collect ---
+
+class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSweep, FullPipelineElectsAndReconnects) {
+  const std::uint64_t s = GetParam();
+  const Shape shape = (s % 2 == 0) ? shapegen::swiss_cheese(5, 2, s)
+                                   : shapegen::random_blob(60 + 9 * static_cast<int>(s), s);
+  Rng rng(s);
+  auto sys = Dle::make_system(shape, rng);
+  const PipelineResult res =
+      elect_leader(sys, shape, {.use_boundary_oracle = false, .seed = s + 1});
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.obd_rounds, 0);
+  const ElectionOutcome o = election_outcome(sys);
+  EXPECT_EQ(o.leaders, 1);
+  EXPECT_EQ(sys.component_count(), 1);
+  EXPECT_TRUE(sys.all_contracted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Pipeline, OracleVariantSkipsObd) {
+  const Shape shape = shapegen::annulus(4, 1);
+  const PipelineResult res = elect_leader(shape, {.use_boundary_oracle = true, .seed = 3});
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.obd_rounds, 0);
+  EXPECT_GT(res.dle_rounds, 0);
+  EXPECT_GT(res.collect_rounds, 0);
+}
+
+TEST(Pipeline, SingleParticle) {
+  const PipelineResult res = elect_leader(shapegen::line(1), {.seed = 1});
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.obd_rounds, 0);  // no rings to vote on
+}
+
+}  // namespace
+}  // namespace pm::core

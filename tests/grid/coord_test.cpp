@@ -1,0 +1,106 @@
+// Axial coordinate arithmetic on the triangular grid.
+#include "grid/coord.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+namespace pm::grid {
+namespace {
+
+TEST(Coord, SixDistinctUnitNeighbors) {
+  const Node o{0, 0};
+  std::set<Node> nbrs;
+  for (int i = 0; i < kDirCount; ++i) {
+    const Node u = neighbor(o, dir_from_index(i));
+    EXPECT_EQ(grid_distance(o, u), 1);
+    nbrs.insert(u);
+  }
+  EXPECT_EQ(nbrs.size(), 6u);
+}
+
+TEST(Coord, ClockwiseOrderMatchesEmbedding) {
+  // In the planar embedding pos = x*(1,0) + y*(1/2, sqrt3/2), clockwise from
+  // E means strictly decreasing polar angle: E, SE, SW, W, NW, NE.
+  EXPECT_EQ(cw_next(Dir::E), Dir::SE);
+  EXPECT_EQ(cw_next(Dir::SE), Dir::SW);
+  EXPECT_EQ(cw_next(Dir::SW), Dir::W);
+  EXPECT_EQ(cw_next(Dir::W), Dir::NW);
+  EXPECT_EQ(cw_next(Dir::NW), Dir::NE);
+  EXPECT_EQ(cw_next(Dir::NE), Dir::E);
+}
+
+TEST(Coord, OppositeAndRotationAlgebra) {
+  for (int i = 0; i < kDirCount; ++i) {
+    const Dir d = dir_from_index(i);
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_EQ(ccw_next(cw_next(d)), d);
+    EXPECT_EQ(rotated(d, 6), d);
+    EXPECT_EQ(rotated(d, -6), d);
+    const Node o{3, -7};
+    const Node there = neighbor(o, d);
+    EXPECT_EQ(neighbor(there, opposite(d)), o);
+  }
+}
+
+TEST(Coord, ConsecutiveDirectionsAreAdjacent) {
+  // The neighbors in consecutive clockwise directions are themselves
+  // adjacent — the fact behind local-boundary runs bordering a single face.
+  const Node o{0, 0};
+  for (int i = 0; i < kDirCount; ++i) {
+    const Node a = neighbor(o, dir_from_index(i));
+    const Node b = neighbor(o, dir_from_index(i + 1));
+    EXPECT_TRUE(adjacent(a, b));
+  }
+}
+
+TEST(Coord, DirBetweenRoundTrip) {
+  const Node o{-2, 5};
+  for (int i = 0; i < kDirCount; ++i) {
+    const Dir d = dir_from_index(i);
+    EXPECT_EQ(dir_between(o, neighbor(o, d)), d);
+  }
+}
+
+TEST(Coord, GridDistanceMatchesBfs) {
+  // Closed form vs BFS on the full grid restricted to a large disk.
+  const Node src{0, 0};
+  std::map<Node, int> dist;
+  std::queue<Node> q;
+  dist[src] = 0;
+  q.push(src);
+  const int radius = 6;
+  while (!q.empty()) {
+    const Node v = q.front();
+    q.pop();
+    if (dist[v] >= radius) continue;
+    for (int i = 0; i < kDirCount; ++i) {
+      const Node u = neighbor(v, dir_from_index(i));
+      if (!dist.contains(u)) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  for (const auto& [v, d] : dist) {
+    EXPECT_EQ(grid_distance(src, v), d) << "at " << v.x << "," << v.y;
+  }
+}
+
+TEST(Coord, DistanceIsAMetric) {
+  const std::vector<Node> pts{{0, 0}, {3, -1}, {-2, 4}, {5, 5}, {-3, -3}};
+  for (const Node a : pts) {
+    EXPECT_EQ(grid_distance(a, a), 0);
+    for (const Node b : pts) {
+      EXPECT_EQ(grid_distance(a, b), grid_distance(b, a));
+      for (const Node c : pts) {
+        EXPECT_LE(grid_distance(a, c), grid_distance(a, b) + grid_distance(b, c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pm::grid

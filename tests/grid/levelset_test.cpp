@@ -1,0 +1,94 @@
+// Metric-graph properties behind the O(D_A) analysis (paper Lemmas 13-14):
+// simply-connected shapes on the triangular grid are K4-free bridged graphs,
+// so closed neighborhoods N_i of any vertex are convex, level sets L_i
+// contain no three pairwise-adjacent vertices, and level-set members have at
+// most two neighbors in L_{i-1} and two in L_i.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/metrics.h"
+#include "grid/shape.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::grid {
+namespace {
+
+struct LevelSets {
+  ShapeGraph graph;
+  std::vector<int> dist;  // from the root, by node index
+
+  LevelSets(const Shape& s, Node root)
+      : graph(s.nodes()), dist(graph.bfs(graph.index_of(root))) {}
+};
+
+class LevelSetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+Shape simply_connected_blob(std::uint64_t seed) {
+  Shape s = shapegen::random_blob(150, seed);
+  return s.simply_connected() ? s : s.area();
+}
+
+TEST_P(LevelSetSweep, Lemma13NeighborhoodsAreConvex) {
+  const Shape s = simply_connected_blob(GetParam());
+  const LevelSets ls(s, s.nodes().front());
+  // Convexity of N_i: for any edge-adjacent pair the BFS distance changes
+  // by at most 1 (true in any graph) AND no shortest path between two
+  // members of N_i leaves N_i. We verify the latter pairwise on a sample:
+  // d(u,v) computed inside N_i equals d(u,v) in the full shape.
+  const int radius = 4;
+  std::vector<Node> ball;
+  for (std::size_t i = 0; i < ls.graph.size(); ++i) {
+    if (ls.dist[i] >= 0 && ls.dist[i] <= radius) {
+      ball.push_back(ls.graph.node(static_cast<int>(i)));
+    }
+  }
+  if (ball.size() < 2) return;
+  const ShapeGraph ball_graph(ball);
+  const auto inside = ball_graph.bfs(0);
+  const auto full = ls.graph.bfs(ls.graph.index_of(ball.front()));
+  for (std::size_t i = 0; i < ball.size(); ++i) {
+    const int di = inside[i];
+    const int df = full[static_cast<std::size_t>(ls.graph.index_of(ball[i]))];
+    ASSERT_GE(di, 0) << "ball disconnected (convexity violated)";
+    EXPECT_EQ(di, df) << "shortest path leaves N_i (convexity violated)";
+  }
+}
+
+TEST_P(LevelSetSweep, Lemma13NoTriangleInLevelSets) {
+  const Shape s = simply_connected_blob(GetParam() + 40);
+  const LevelSets ls(s, s.nodes().front());
+  for (std::size_t a = 0; a < ls.graph.size(); ++a) {
+    for (const std::int32_t b : ls.graph.neighbors(static_cast<int>(a))) {
+      if (b < 0 || ls.dist[static_cast<std::size_t>(b)] != ls.dist[a]) continue;
+      for (const std::int32_t c : ls.graph.neighbors(static_cast<int>(a))) {
+        if (c < 0 || c == b || ls.dist[static_cast<std::size_t>(c)] != ls.dist[a]) continue;
+        EXPECT_FALSE(adjacent(ls.graph.node(b), ls.graph.node(c)))
+            << "three pairwise-adjacent vertices in one level set";
+      }
+    }
+  }
+}
+
+TEST_P(LevelSetSweep, Lemma14DegreeBoundsWithinLevels) {
+  const Shape s = simply_connected_blob(GetParam() + 80);
+  const LevelSets ls(s, s.nodes().front());
+  for (std::size_t a = 0; a < ls.graph.size(); ++a) {
+    if (ls.dist[a] < 1) continue;
+    int same = 0;
+    int below = 0;
+    for (const std::int32_t b : ls.graph.neighbors(static_cast<int>(a))) {
+      if (b < 0) continue;
+      if (ls.dist[static_cast<std::size_t>(b)] == ls.dist[a]) ++same;
+      if (ls.dist[static_cast<std::size_t>(b)] == ls.dist[a] - 1) ++below;
+    }
+    EXPECT_LE(same, 2) << "more than two neighbors in L_i";
+    EXPECT_LE(below, 2) << "more than two neighbors in L_{i-1}";
+    EXPECT_GE(below, 1) << "level set member without a parent";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelSetSweep, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace pm::grid

@@ -1,0 +1,122 @@
+// Metric quantities D, D_A, D_G, ε_G (paper §2.1-2.2, Observation 1,
+// Proposition 2).
+#include "grid/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "shapegen/shapegen.h"
+#include "util/rng.h"
+
+namespace pm::grid {
+namespace {
+
+TEST(Metrics, HexagonDiameters) {
+  for (int r = 1; r <= 4; ++r) {
+    const Shape hex = shapegen::hexagon(r);
+    EXPECT_EQ(diameter_exact(hex), 2 * r);
+    EXPECT_EQ(diameter_area_exact(hex), 2 * r);
+    EXPECT_EQ(diameter_grid(hex.nodes()), 2 * r);
+  }
+}
+
+TEST(Metrics, LineDiameter) {
+  const Shape l = shapegen::line(17);
+  EXPECT_EQ(diameter_exact(l), 16);
+  EXPECT_EQ(diameter_grid(l.nodes()), 16);
+}
+
+TEST(Metrics, AnnulusAreaDiameterSmallerThanShapeDiameter) {
+  // With a large hole, going around is longer than cutting through the
+  // area: D > D_A = D_G. This is the regime where DLE's O(D_A) bound beats
+  // O(D) (paper §1.3: "D_A may be smaller than D").
+  const Shape ring = shapegen::annulus(8, 6);
+  const int d = diameter_exact(ring);
+  const int d_area = diameter_area_exact(ring);
+  EXPECT_EQ(d_area, 16);  // through the filled hole
+  EXPECT_GT(d, d_area);
+  EXPECT_EQ(diameter_grid(ring.nodes()), 16);
+}
+
+TEST(Metrics, Observation1Part1AreaDiameterAtMostShapeDiameter) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Shape s = shapegen::random_blob(150, seed);
+    EXPECT_LE(diameter_area_exact(s), diameter_exact(s)) << "seed " << seed;
+  }
+}
+
+TEST(Metrics, Observation1Part2SimplyConnectedSizeQuadraticInDiameter) {
+  // n_S <= c * D_S^2 with the hexagon's constant (3/4 (D+1)^2 + ...): use a
+  // generous c = 1 on (D+1)^2.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Shape s = shapegen::random_blob(200, seed);
+    if (!s.simply_connected()) s = s.area();
+    const int d = diameter_exact(s);
+    EXPECT_LE(s.size(), static_cast<std::size_t>((d + 1) * (d + 1)));
+  }
+}
+
+TEST(Metrics, Observation1Part3OuterBoundaryAtLeastDiameter) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Shape s = shapegen::random_blob(200, seed + 50);
+    if (!s.simply_connected()) s = s.area();
+    EXPECT_GE(s.outer_boundary_length(), diameter_exact(s)) << "seed " << seed;
+  }
+}
+
+TEST(Metrics, EccentricityGrid) {
+  const Shape hex = shapegen::hexagon(3);
+  EXPECT_EQ(eccentricity_grid({0, 0}, hex.nodes()), 3);
+  EXPECT_EQ(eccentricity_grid({3, 0}, hex.nodes()), 6);
+}
+
+TEST(Metrics, EstimateNeverExceedsExactAndIsClose) {
+  Rng rng(7);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Shape s = shapegen::random_blob(180, seed * 3);
+    const int exact = diameter_exact(s);
+    const int est = diameter_within_estimate(s.nodes(), s, 4, rng);
+    EXPECT_LE(est, exact);
+    EXPECT_GE(est, (exact * 9) / 10) << "double-sweep too loose, seed " << seed;
+  }
+}
+
+TEST(Metrics, Proposition2HolePointsOnShortestPaths) {
+  // For any hole point h there exist shape points v1, v2 with h on a
+  // shortest area path between them (construction from the proof: walk two
+  // opposite directions from h until hitting the shape).
+  const Shape s = shapegen::swiss_cheese(7, 4, /*seed=*/21);
+  const Shape area = s.area();
+  const ShapeGraph g(area.nodes());
+  for (const auto& hole : s.holes()) {
+    for (const Node h : hole) {
+      bool witnessed = false;
+      for (int d = 0; d < 3 && !witnessed; ++d) {
+        Node v1 = h;
+        while (!s.contains(v1)) v1 = neighbor(v1, dir_from_index(d));
+        Node v2 = h;
+        while (!s.contains(v2)) v2 = neighbor(v2, dir_from_index(d + 3));
+        const auto dist = g.bfs(g.index_of(v1));
+        const int dv2 = dist[static_cast<std::size_t>(g.index_of(v2))];
+        const int dh = dist[static_cast<std::size_t>(g.index_of(h))];
+        const auto dist_h = g.bfs(g.index_of(h));
+        const int hv2 = dist_h[static_cast<std::size_t>(g.index_of(v2))];
+        witnessed = (dh + hv2 == dv2);
+      }
+      EXPECT_TRUE(witnessed) << "hole point " << h.x << "," << h.y;
+    }
+  }
+}
+
+TEST(Metrics, ComputeMetricsConsistency) {
+  const Shape s = shapegen::annulus(6, 3);
+  const ShapeMetrics m = compute_metrics(s);
+  EXPECT_EQ(m.n, static_cast<int>(s.size()));
+  EXPECT_EQ(m.holes, 1);
+  EXPECT_EQ(m.d_area, 12);
+  EXPECT_EQ(m.l_out, 36);
+  EXPECT_GE(m.d, m.d_area);
+  EXPECT_EQ(m.n_area, static_cast<int>(shapegen::hexagon(6).size()));
+}
+
+}  // namespace
+}  // namespace pm::grid

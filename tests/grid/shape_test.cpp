@@ -1,0 +1,131 @@
+// Shape faces, holes, areas and boundaries (paper §2.1, Fig 5).
+#include "grid/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "shapegen/shapegen.h"
+
+namespace pm::grid {
+namespace {
+
+TEST(Shape, DeduplicatesAndKeepsOrder) {
+  const Shape s(std::vector<Node>{{0, 0}, {1, 0}, {0, 0}, {2, 0}});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains({1, 0}));
+}
+
+TEST(Shape, ConnectivityDetection) {
+  EXPECT_TRUE(Shape(std::vector<Node>{{0, 0}}).is_connected());
+  EXPECT_TRUE(Shape(std::vector<Node>{{0, 0}, {1, 0}, {1, 1}}).is_connected());
+  EXPECT_FALSE(Shape(std::vector<Node>{{0, 0}, {3, 0}}).is_connected());
+}
+
+TEST(Shape, SimplyConnectedShapeHasNoHoles) {
+  const Shape hex = shapegen::hexagon(4);
+  EXPECT_TRUE(hex.simply_connected());
+  EXPECT_EQ(hex.hole_count(), 0);
+  EXPECT_EQ(hex.area().size(), hex.size());
+}
+
+TEST(Shape, AnnulusHasOneHoleAndCorrectArea) {
+  const Shape ring = shapegen::annulus(5, 2);
+  EXPECT_EQ(ring.hole_count(), 1);
+  const Shape hole_filler = shapegen::hexagon(2);
+  EXPECT_EQ(ring.holes().front().size(), hole_filler.size());
+  // Fig 5: the area is the shape plus its hole points.
+  const Shape area = ring.area();
+  EXPECT_EQ(area.size(), shapegen::hexagon(5).size());
+  EXPECT_TRUE(area.simply_connected());
+}
+
+TEST(Shape, FaceClassification) {
+  const Shape ring = shapegen::annulus(4, 1);
+  // Far away nodes are on the outer face.
+  EXPECT_EQ(ring.face_of({100, 100}), kOuterFace);
+  // The center is a hole point.
+  EXPECT_GT(ring.face_of({0, 0}), 0);
+  // Nodes just outside the rim are outer.
+  EXPECT_EQ(ring.face_of({5, 0}), kOuterFace);
+}
+
+TEST(Shape, BoundaryLengths) {
+  // Hexagon of radius r: outer boundary is the rim ring of 6r points.
+  for (int r = 1; r <= 5; ++r) {
+    const Shape hex = shapegen::hexagon(r);
+    EXPECT_EQ(hex.outer_boundary_length(), 6 * r) << "r=" << r;
+    EXPECT_EQ(hex.max_boundary_length(), 6 * r);
+  }
+}
+
+TEST(Shape, InnerBoundarySeparateFromOuter) {
+  const Shape ring = shapegen::annulus(5, 2);
+  const auto& outer = ring.boundary_of_face(kOuterFace);
+  const auto& inner = ring.boundary_of_face(1);
+  EXPECT_EQ(outer.size(), 30u);  // 6 * 5
+  EXPECT_EQ(inner.size(), 18u);  // ring of radius 3 (first occupied ring)
+  for (const Node v : inner) {
+    EXPECT_TRUE(ring.on_boundary_of(v, 1));
+    EXPECT_FALSE(ring.on_boundary_of(v, kOuterFace));
+  }
+}
+
+TEST(Shape, ThinShapesAreAllBoundary) {
+  const Shape l = shapegen::line(10);
+  EXPECT_EQ(l.boundary_points().size(), l.size());
+  EXPECT_TRUE(l.simply_connected());
+}
+
+TEST(Shape, SwissCheeseHolesAreDisjointSingletons) {
+  const Shape s = shapegen::swiss_cheese(8, 5, /*seed=*/42);
+  EXPECT_EQ(s.hole_count(), 5);
+  for (const auto& hole : s.holes()) EXPECT_EQ(hole.size(), 1u);
+  EXPECT_TRUE(s.is_connected());
+}
+
+TEST(Shape, HolePointsAreNotMembers) {
+  const Shape s = shapegen::swiss_cheese(8, 4, /*seed=*/7);
+  for (const auto& hole : s.holes()) {
+    for (const Node h : hole) EXPECT_FALSE(s.contains(h));
+  }
+  const Shape area = s.area();
+  for (const auto& hole : s.holes()) {
+    for (const Node h : hole) EXPECT_TRUE(area.contains(h));
+  }
+}
+
+TEST(Shape, BoundaryOfFacePartitionComplete) {
+  // Every shape point with an empty neighbor appears in at least one
+  // per-face boundary, and each per-face boundary only contains points that
+  // do border that face.
+  const Shape s = shapegen::swiss_cheese(7, 3, /*seed=*/3);
+  std::size_t tagged = 0;
+  for (int f = 0; f <= s.hole_count(); ++f) {
+    for (const Node v : s.boundary_of_face(f)) {
+      EXPECT_TRUE(s.on_boundary_of(v, f));
+    }
+    tagged += s.boundary_of_face(f).size();
+  }
+  EXPECT_GE(tagged, s.boundary_points().size());
+}
+
+TEST(ShapeGraph, BfsMatchesGridDistanceOnConvexShape) {
+  const Shape hex = shapegen::hexagon(4);
+  const ShapeGraph g(hex.nodes());
+  const auto dist = g.bfs(g.index_of({0, 0}));
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(dist[i], grid_distance({0, 0}, g.node(static_cast<int>(i))));
+  }
+}
+
+TEST(ShapeGraph, DisconnectedDetection) {
+  const Shape s(std::vector<Node>{{0, 0}, {1, 0}, {5, 5}});
+  const ShapeGraph g(s.nodes());
+  EXPECT_FALSE(g.is_connected());
+  const auto dist = g.bfs(0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+}  // namespace
+}  // namespace pm::grid

@@ -1,0 +1,112 @@
+// V-nodes and oriented virtual rings (paper §2.1, Fig 7, Observations 3-4).
+#include "grid/vnode.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shapegen/shapegen.h"
+
+namespace pm::grid {
+namespace {
+
+TEST(VNode, HexagonHasOneRingWithSumSix) {
+  const Shape hex = shapegen::hexagon(3);
+  const VNodeRings rings(hex);
+  ASSERT_EQ(rings.rings().size(), 1u);
+  EXPECT_EQ(rings.ring_face(0), kOuterFace);
+  EXPECT_EQ(rings.outer_ring(), 0);
+  // Observation 4: the outer ring's counts sum to +6.
+  EXPECT_EQ(rings.ring_count_sum(0), 6);
+  // Rim has 6r points, each with one local boundary.
+  EXPECT_EQ(rings.rings()[0].size(), 18u);
+}
+
+TEST(VNode, AnnulusHasInnerRingWithSumMinusSix) {
+  const Shape ring = shapegen::annulus(5, 2);
+  const VNodeRings rings(ring);
+  ASSERT_EQ(rings.rings().size(), 2u);
+  const int outer = rings.outer_ring();
+  const int inner = 1 - outer;
+  EXPECT_EQ(rings.ring_count_sum(outer), 6);
+  EXPECT_EQ(rings.ring_count_sum(inner), -6);
+  EXPECT_NE(rings.ring_face(inner), kOuterFace);
+}
+
+TEST(VNode, TwoPointShape) {
+  const Shape s(std::vector<Node>{{0, 0}, {1, 0}});
+  const VNodeRings rings(s);
+  ASSERT_EQ(rings.rings().size(), 1u);
+  // Each point has one run of 5 empty edges: counts 3 + 3 = 6.
+  EXPECT_EQ(rings.vnodes().size(), 2u);
+  EXPECT_EQ(rings.ring_count_sum(0), 6);
+}
+
+TEST(VNode, LineVNodesAndCounts) {
+  const Shape s = shapegen::line(5);
+  const VNodeRings rings(s);
+  ASSERT_EQ(rings.rings().size(), 1u);
+  // Interior line points have two local boundaries (above/below), the two
+  // tips one each: 3*2 + 2 = 8 v-nodes.
+  EXPECT_EQ(rings.vnodes().size(), 8u);
+  EXPECT_EQ(rings.ring_count_sum(0), 6);
+}
+
+TEST(VNode, SuccessorPredecessorInverse) {
+  const Shape s = shapegen::swiss_cheese(6, 3, /*seed=*/11);
+  const VNodeRings rings(s);
+  for (int i = 0; i < static_cast<int>(rings.vnodes().size()); ++i) {
+    EXPECT_EQ(rings.cw_pred(rings.cw_succ(i)), i);
+    EXPECT_EQ(rings.cw_succ(rings.cw_pred(i)), i);
+  }
+}
+
+TEST(VNode, CommonPointIsUnoccupiedAndAdjacentToBoth) {
+  const Shape s = shapegen::swiss_cheese(6, 2, /*seed=*/5);
+  const VNodeRings rings(s);
+  for (int i = 0; i < static_cast<int>(rings.vnodes().size()); ++i) {
+    const Node u = rings.common_point(i);
+    EXPECT_FALSE(s.contains(u));
+    const int j = rings.cw_succ(i);
+    EXPECT_TRUE(adjacent(u, rings.vnodes()[static_cast<std::size_t>(i)].point));
+    EXPECT_TRUE(adjacent(u, rings.vnodes()[static_cast<std::size_t>(j)].point));
+  }
+}
+
+TEST(VNode, RingsPartitionVNodes) {
+  const Shape s = shapegen::swiss_cheese(7, 4, /*seed=*/9);
+  const VNodeRings rings(s);
+  std::size_t total = 0;
+  for (const auto& r : rings.rings()) total += r.size();
+  EXPECT_EQ(total, rings.vnodes().size());
+  // One ring per face (outer + one per hole).
+  EXPECT_EQ(rings.rings().size(), static_cast<std::size_t>(s.hole_count()) + 1);
+}
+
+TEST(VNode, AtMostThreeVNodesPerPoint) {
+  const Shape s = shapegen::random_blob(300, 17);
+  const VNodeRings rings(s);
+  for (const Node v : s.boundary_points()) {
+    EXPECT_LE(rings.vnodes_at(v).size(), 3u);
+    EXPECT_GE(rings.vnodes_at(v).size(), 1u);
+  }
+}
+
+class RingSumSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Observation 4 as a property over random shapes: every ring sums to +6
+// (outer) or -6 (inner).
+TEST_P(RingSumSweep, Observation4) {
+  const Shape s = shapegen::random_blob(250, GetParam());
+  if (s.size() < 2) return;
+  const VNodeRings rings(s);
+  for (std::size_t r = 0; r < rings.rings().size(); ++r) {
+    const int expected = rings.ring_face(static_cast<int>(r)) == kOuterFace ? 6 : -6;
+    EXPECT_EQ(rings.ring_count_sum(static_cast<int>(r)), expected) << "ring " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingSumSweep, ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace pm::grid

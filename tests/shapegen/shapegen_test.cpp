@@ -1,0 +1,91 @@
+// Shape generators: connectivity, determinism, advertised structure.
+#include "shapegen/shapegen.h"
+
+#include <gtest/gtest.h>
+
+#include "grid/metrics.h"
+
+namespace pm::shapegen {
+namespace {
+
+using grid::Shape;
+
+TEST(ShapeGen, HexagonSizes) {
+  // |hexagon(r)| = 3r(r+1) + 1.
+  for (int r = 0; r <= 5; ++r) {
+    EXPECT_EQ(hexagon(r).size(), static_cast<std::size_t>(3 * r * (r + 1) + 1));
+  }
+}
+
+TEST(ShapeGen, AllFamiliesConnected) {
+  for (const auto& [name, shape] : standard_family(6, /*seed=*/123)) {
+    EXPECT_TRUE(shape.is_connected()) << name;
+    EXPECT_FALSE(shape.empty()) << name;
+  }
+}
+
+TEST(ShapeGen, Determinism) {
+  const auto a = standard_family(5, 77);
+  const auto b = standard_family(5, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].shape.size(), b[i].shape.size()) << a[i].name;
+    for (const auto v : a[i].shape.nodes()) {
+      EXPECT_TRUE(b[i].shape.contains(v)) << a[i].name;
+    }
+  }
+}
+
+TEST(ShapeGen, AnnulusHasHole) {
+  const Shape s = annulus(6, 3);
+  EXPECT_EQ(s.hole_count(), 1);
+  EXPECT_TRUE(s.is_connected());
+}
+
+TEST(ShapeGen, SwissCheeseHoleCountAndSeedSensitivity) {
+  const Shape a = swiss_cheese(9, 6, 1);
+  const Shape b = swiss_cheese(9, 6, 2);
+  EXPECT_EQ(a.hole_count(), 6);
+  EXPECT_EQ(b.hole_count(), 6);
+  // Different seeds produce different hole placements.
+  bool differs = false;
+  for (const auto& hole : a.holes()) {
+    for (const auto h : hole) {
+      if (b.contains(h)) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShapeGen, SpiralIsLongAndThin) {
+  const Shape s = spiral(8);
+  EXPECT_TRUE(s.is_connected());
+  const int d = grid::diameter_exact(s);
+  const int dg = grid::diameter_grid(s.nodes());
+  // The corridor makes internal distance much larger than grid distance.
+  EXPECT_GT(d, dg);
+}
+
+TEST(ShapeGen, CombTeeth) {
+  const Shape s = comb(4, 3);
+  EXPECT_TRUE(s.is_connected());
+  EXPECT_TRUE(s.simply_connected());
+  EXPECT_EQ(s.size(), static_cast<std::size_t>(7 + 4 * 3));
+}
+
+TEST(ShapeGen, RandomBlobExactSize) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Shape s = random_blob(137, seed);
+    EXPECT_EQ(s.size(), 137u);
+    EXPECT_TRUE(s.is_connected());
+  }
+}
+
+TEST(ShapeGen, LineIsThin) {
+  const Shape s = line(12);
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(s.outer_boundary_length(), 12);
+}
+
+}  // namespace
+}  // namespace pm::shapegen
