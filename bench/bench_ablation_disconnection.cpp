@@ -3,111 +3,15 @@
 // Two observations reproduce the paper's point that temporary disconnection
 // is the source of the speedup:
 //  (A) on thin shapes DLE demonstrably disconnects (components > 1); the
-//      "pull" variant of the paper's Remark repairs connectivity locally
-//      (fewer components; 1 on moderately thick shapes, see dle_test's
-//      PullVariantSweep) at small extra cost;
-//  (B) the classical no-movement erosion class ([22]-style, one erosion per
-//      round) is Θ(n) = Θ(D_A^2) on dense shapes, while DLE is Θ(D_A): the
-//      crossover the paper's Table 1 reports.
-#include <benchmark/benchmark.h>
-
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "baselines/baselines.h"
-#include "core/dle/dle.h"
-#include "grid/metrics.h"
-#include "shapegen/shapegen.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace pm;
-using namespace pm::core;
-
-struct DleRun {
-  long rounds = 0;
-  int max_components = 0;
-  bool ok = false;
-};
-
-DleRun run_dle(const grid::Shape& shape, bool pull) {
-  Rng rng(23);
-  auto sys = Dle::make_system(shape, rng);
-  Dle dle(Dle::Options{.connected_pull = pull});
-  DleRun out;
-  auto hook = [&](amoebot::System<DleState>& s, amoebot::ParticleId) {
-    out.max_components = std::max(out.max_components, s.component_count());
-  };
-  const auto res = amoebot::run(sys, dle, {amoebot::Order::RandomPerm, 24, 4'000'000}, hook);
-  out.rounds = res.rounds;
-  out.ok = res.completed && election_outcome(sys).leaders == 1;
-  return out;
-}
-
-void print_ablation() {
-  {
-    Table table({"shape", "D_A", "DLE rounds", "DLE max comps", "pull rounds",
-                 "pull max comps"});
-    char buf[64];
-    for (const int r : {6, 9, 12, 15}) {
-      const auto shape = shapegen::annulus(r, r - 1);
-      const auto m = grid::compute_metrics(shape);
-      const DleRun dle = run_dle(shape, false);
-      const DleRun pull = run_dle(shape, true);
-      std::snprintf(buf, sizeof buf, "thin-ring(%d)", r);
-      table.add_row({buf, Table::num(static_cast<long long>(m.d_area)),
-                     Table::num(static_cast<long long>(dle.rounds)),
-                     Table::num(static_cast<long long>(dle.max_components)),
-                     Table::num(static_cast<long long>(pull.rounds)),
-                     Table::num(static_cast<long long>(pull.max_components))});
-    }
-    std::printf("=== F-ABL (A): disconnection counts (pull variant repairs locally) ===\n%s\n",
-                table.to_string().c_str());
-  }
-  {
-    Table table({"shape", "n", "D_A", "DLE rounds", "erosion-class rounds"});
-    std::vector<double> xs;
-    std::vector<double> ye;
-    char buf[64];
-    for (const int r : {4, 8, 12, 16, 20}) {
-      const auto shape = shapegen::hexagon(r);
-      const auto m = grid::compute_metrics(shape);
-      const DleRun dle = run_dle(shape, false);
-      const auto seq = baselines::sequential_erosion(shape);
-      std::snprintf(buf, sizeof buf, "hexagon(%d)", r);
-      table.add_row({buf, Table::num(static_cast<long long>(m.n)),
-                     Table::num(static_cast<long long>(m.d_area)),
-                     Table::num(static_cast<long long>(dle.rounds)),
-                     Table::num(static_cast<long long>(seq.rounds))});
-      xs.push_back(m.d_area);
-      ye.push_back(static_cast<double>(seq.rounds));
-    }
-    const LinearFit fe = fit_power(xs, ye);
-    std::printf("=== F-ABL (B): the no-movement erosion class vs DLE ===\n%s",
-                table.to_string().c_str());
-    std::printf("erosion-class rounds ~ D_A^%.2f (quadratic class, paper Table 1 rows\n"
-                "[22]/[3]); DLE stays linear (see bench_dle_scaling)\n\n",
-                fe.slope);
-  }
-}
-
-void BM_PullVariant(benchmark::State& state) {
-  const auto shape = shapegen::annulus(static_cast<int>(state.range(0)),
-                                       static_cast<int>(state.range(0)) - 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(run_dle(shape, true));
-  }
-}
-BENCHMARK(BM_PullVariant)->Arg(8);
-
-}  // namespace
+//      "pull" variant of the paper's Remark repairs connectivity locally at
+//      small extra cost;
+//  (B) the classical no-movement erosion class ([22]-style) is Θ(n) =
+//      Θ(D_A^2) on dense shapes, while DLE is Θ(D_A): the crossover the
+//      paper's Table 1 reports.
+//
+// Shim over the unified scenario driver (suite "ablation_disconnection").
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pm::scenario::bench_main(argc, argv, "ablation_disconnection");
 }

@@ -1,78 +1,9 @@
 // Theorem 23 reproduction: Collect rounds are linear in D_G (via ε_G(l)),
 // phases logarithmic (Corollary 22).
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-#include <vector>
-
-#include "core/collect/collect.h"
-#include "core/dle/dle.h"
-#include "grid/metrics.h"
-#include "shapegen/shapegen.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace pm;
-using namespace pm::core;
-
-void print_scaling() {
-  Table table({"shape", "n", "ecc(l)", "phases", "collect rounds", "rounds/ecc"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  auto measure = [&](const char* name, const grid::Shape& shape) {
-    Rng rng(13);
-    auto sys = Dle::make_system(shape, rng);
-    Dle dle;
-    amoebot::run(sys, dle, {amoebot::Order::RandomPerm, 14, 4'000'000});
-    const auto o = election_outcome(sys);
-    const grid::Node l = sys.body(o.leader).head;
-    const int ecc = grid::eccentricity_grid(l, shape.nodes());
-    CollectRun collect(sys, o.leader);
-    const auto res = collect.run();
-    table.add_row({name, Table::num(static_cast<long long>(shape.size())),
-                   Table::num(static_cast<long long>(ecc)),
-                   Table::num(static_cast<long long>(res.phases)),
-                   Table::num(static_cast<long long>(res.rounds)),
-                   Table::num(static_cast<double>(res.rounds) / std::max(1, ecc))});
-    xs.push_back(std::max(1, ecc));
-    ys.push_back(static_cast<double>(res.rounds));
-  };
-  char buf[64];
-  for (const int n : {100, 200, 400, 800, 1600, 3200}) {
-    std::snprintf(buf, sizeof buf, "blob(%d)", n);
-    measure(buf, shapegen::random_blob(n, 31));
-  }
-  for (const int r : {6, 10, 14, 18}) {
-    std::snprintf(buf, sizeof buf, "thin-ring(%d)", r);
-    measure(buf, shapegen::annulus(r, r - 1));
-  }
-  const LinearFit pow = fit_power(xs, ys);
-  std::printf("=== F-COLLECT: Collect rounds vs eccentricity (Theorem 23: O(D_G)) ===\n%s",
-              table.to_string().c_str());
-  std::printf("power fit: rounds ~ ecc^%.2f (paper predicts exponent 1)\n\n", pow.slope);
-}
-
-void BM_CollectBlob(benchmark::State& state) {
-  const auto shape = shapegen::random_blob(static_cast<int>(state.range(0)), 31);
-  for (auto _ : state) {
-    Rng rng(13);
-    auto sys = Dle::make_system(shape, rng);
-    Dle dle;
-    amoebot::run(sys, dle, {amoebot::Order::RandomPerm, 14, 4'000'000});
-    const auto o = election_outcome(sys);
-    CollectRun collect(sys, o.leader);
-    benchmark::DoNotOptimize(collect.run());
-  }
-}
-BENCHMARK(BM_CollectBlob)->Arg(200)->Arg(800);
-
-}  // namespace
+//
+// Shim over the unified scenario driver (suite "collect_scaling").
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  print_scaling();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pm::scenario::bench_main(argc, argv, "collect_scaling");
 }

@@ -1,77 +1,11 @@
 // Theorem 18 reproduction: DLE rounds are linear in D_A — including shapes
 // where D_A < D (annuli), the regime the paper highlights. Prints the
 // measured series and the fitted rounds-vs-D_A slope / power exponent.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-#include <vector>
-
-#include "core/le/le.h"
-#include "grid/metrics.h"
-#include "shapegen/shapegen.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace pm;
-
-void print_scaling() {
-  Table table({"shape", "n", "D_A", "D", "DLE rounds", "rounds/D_A"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  auto measure = [&](const char* name, const grid::Shape& shape) {
-    const auto m = grid::compute_metrics(shape);
-    const auto res = core::elect_leader(
-        shape, {.use_boundary_oracle = true, .reconnect = false, .seed = 9});
-    table.add_row({name, Table::num(static_cast<long long>(m.n)),
-                   Table::num(static_cast<long long>(m.d_area)),
-                   Table::num(static_cast<long long>(m.d)),
-                   Table::num(static_cast<long long>(res.dle_rounds)),
-                   Table::num(static_cast<double>(res.dle_rounds) / m.d_area)});
-    xs.push_back(m.d_area);
-    ys.push_back(static_cast<double>(res.dle_rounds));
-  };
-  char buf[64];
-  for (const int r : {4, 8, 12, 16, 24, 32}) {
-    std::snprintf(buf, sizeof buf, "hexagon(%d)", r);
-    measure(buf, shapegen::hexagon(r));
-  }
-  for (const int r : {8, 12, 16, 24}) {
-    std::snprintf(buf, sizeof buf, "annulus(%d,%d)", r, r - 3);
-    measure(buf, shapegen::annulus(r, r - 3));
-  }
-  for (const int n : {200, 400, 800, 1600}) {
-    std::snprintf(buf, sizeof buf, "blob(%d)", n);
-    measure(buf, shapegen::random_blob(n, 21));
-  }
-  for (const int r : {6, 10, 14}) {
-    std::snprintf(buf, sizeof buf, "cheese(%d)", r);
-    measure(buf, shapegen::swiss_cheese(r, r / 2, 5));
-  }
-  const LinearFit lin = fit_linear(xs, ys);
-  const LinearFit pow = fit_power(xs, ys);
-  std::printf("=== F-DLE: DLE rounds vs D_A (Theorem 18: O(D_A)) ===\n%s", table.to_string().c_str());
-  std::printf("linear fit: rounds = %.2f * D_A + %.1f (r^2 = %.3f)\n", lin.slope, lin.intercept, lin.r2);
-  std::printf("power fit : rounds ~ D_A^%.2f (paper predicts exponent 1)\n\n", pow.slope);
-}
-
-void BM_DleBlob(benchmark::State& state) {
-  const auto shape = shapegen::random_blob(static_cast<int>(state.range(0)), 21);
-  for (auto _ : state) {
-    const auto res = core::elect_leader(
-        shape, {.use_boundary_oracle = true, .reconnect = false, .seed = 9});
-    benchmark::DoNotOptimize(res);
-    state.counters["rounds"] = static_cast<double>(res.dle_rounds);
-  }
-}
-BENCHMARK(BM_DleBlob)->Arg(200)->Arg(800);
-
-}  // namespace
+//
+// Shim over the unified scenario driver (suite "dle_scaling"); the large-n
+// stress sweep lives in the separate "dle_large" suite.
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  print_scaling();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pm::scenario::bench_main(argc, argv, "dle_scaling");
 }

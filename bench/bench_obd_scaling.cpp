@@ -1,75 +1,8 @@
 // Theorem 41 reproduction: OBD rounds vs L_out + D.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-#include <vector>
-
-#include "core/dle/dle.h"
-#include "core/obd/obd.h"
-#include "grid/metrics.h"
-#include "shapegen/shapegen.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace pm;
-using namespace pm::core;
-
-void print_scaling() {
-  Table table({"shape", "n", "L_out", "D", "OBD rounds", "rounds/(L_out+D)"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  auto measure = [&](const char* name, const grid::Shape& shape) {
-    Rng rng(17);
-    auto sys = amoebot::System<DleState>::from_shape(shape, rng);
-    ObdRun obd(sys);
-    const auto res = obd.run();
-    const auto m = grid::compute_metrics(shape);
-    table.add_row({name, Table::num(static_cast<long long>(m.n)),
-                   Table::num(static_cast<long long>(m.l_out)),
-                   Table::num(static_cast<long long>(m.d)), Table::num(static_cast<long long>(res.rounds)),
-                   Table::num(static_cast<double>(res.rounds) / (m.l_out + m.d))});
-    xs.push_back(m.l_out + m.d);
-    ys.push_back(static_cast<double>(res.rounds));
-  };
-  char buf[64];
-  for (const int r : {3, 5, 8, 12, 16}) {
-    std::snprintf(buf, sizeof buf, "hexagon(%d)", r);
-    measure(buf, shapegen::hexagon(r));
-  }
-  for (const int n : {100, 200, 400, 800}) {
-    std::snprintf(buf, sizeof buf, "blob(%d)", n);
-    measure(buf, shapegen::random_blob(n, 41));
-  }
-  for (const int r : {5, 8, 11}) {
-    std::snprintf(buf, sizeof buf, "cheese(%d)", r);
-    measure(buf, shapegen::swiss_cheese(r, 3, 9));
-  }
-  const LinearFit pow = fit_power(xs, ys);
-  std::printf("=== F-OBD: OBD rounds vs L_out + D (Theorem 41) ===\n%s",
-              table.to_string().c_str());
-  std::printf("power fit: rounds ~ (L_out+D)^%.2f (paper predicts exponent 1; engine\n"
-              "watchdog retries add variance on adversarial interleavings)\n\n",
-              pow.slope);
-}
-
-void BM_ObdHexagon(benchmark::State& state) {
-  const auto shape = shapegen::hexagon(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    Rng rng(17);
-    auto sys = amoebot::System<DleState>::from_shape(shape, rng);
-    ObdRun obd(sys);
-    benchmark::DoNotOptimize(obd.run());
-  }
-}
-BENCHMARK(BM_ObdHexagon)->Arg(5)->Arg(10);
-
-}  // namespace
+//
+// Shim over the unified scenario driver (suite "obd_scaling").
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  print_scaling();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pm::scenario::bench_main(argc, argv, "obd_scaling");
 }

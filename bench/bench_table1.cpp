@@ -2,79 +2,11 @@
 // class on a common shape sweep. Absolute numbers are simulator rounds; the
 // *ordering* — deterministic DLE matching the randomized class and beating
 // the O(n)/O(n^2) deterministic classes — is the paper's claim.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
-#include "baselines/baselines.h"
-#include "core/le/le.h"
-#include "grid/metrics.h"
-#include "shapegen/shapegen.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace pm;
-
-void print_table1() {
-  Table table({"shape", "n", "D_A", "L_out+D", "rand-contest [19,10]/R",
-               "seq-erosion [22,3]/D", "DLE(oracle) [here]/D",
-               "DLE+Collect [here]/D", "OBD+DLE+Collect [here]/D"});
-  struct Row {
-    const char* name;
-    grid::Shape shape;
-  };
-  const std::vector<Row> rows = {
-      {"hexagon(8)", shapegen::hexagon(8)},
-      {"annulus(8,5)", shapegen::annulus(8, 5)},
-      {"cheese(8,5)", shapegen::swiss_cheese(8, 5, 7)},
-      {"blob(400)", shapegen::random_blob(400, 11)},
-      {"comb(8,8)", shapegen::comb(8, 8)},
-  };
-  for (const auto& row : rows) {
-    const auto m = grid::compute_metrics(row.shape);
-    const auto rand_res = baselines::randomized_boundary_contest(row.shape, 3);
-    std::string seq = "n/a (holes)";
-    if (row.shape.simply_connected()) {
-      seq = Table::num(static_cast<long long>(baselines::sequential_erosion(row.shape).rounds));
-    }
-    const auto dle_only = core::elect_leader(
-        row.shape, {.use_boundary_oracle = true, .reconnect = false, .seed = 5});
-    const auto dle_collect =
-        core::elect_leader(row.shape, {.use_boundary_oracle = true, .seed = 5});
-    const auto full = core::elect_leader(row.shape, {.use_boundary_oracle = false, .seed = 5});
-    table.add_row({row.name, Table::num(static_cast<long long>(m.n)),
-                   Table::num(static_cast<long long>(m.d_area)),
-                   Table::num(static_cast<long long>(m.l_out + m.d)),
-                   Table::num(static_cast<long long>(rand_res.rounds)), seq,
-                   dle_only.completed ? Table::num(static_cast<long long>(dle_only.dle_rounds))
-                                      : "FAILED",
-                   dle_collect.completed
-                       ? Table::num(static_cast<long long>(dle_collect.total_rounds()))
-                       : "FAILED",
-                   full.completed ? Table::num(static_cast<long long>(full.total_rounds()))
-                                  : "FAILED"});
-  }
-  std::printf("=== Table 1 (measured rounds; D=deterministic, R=randomized) ===\n%s\n",
-              table.to_string().c_str());
-}
-
-void BM_DleOracleHexagon(benchmark::State& state) {
-  const auto shape = shapegen::hexagon(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    const auto res = core::elect_leader(
-        shape, {.use_boundary_oracle = true, .reconnect = false, .seed = 7});
-    benchmark::DoNotOptimize(res);
-    state.counters["rounds"] = static_cast<double>(res.dle_rounds);
-  }
-}
-BENCHMARK(BM_DleOracleHexagon)->Arg(4)->Arg(8)->Arg(12);
-
-}  // namespace
+//
+// Shim over the unified scenario driver (suite "table1"); see pm_bench for
+// the full CLI and src/scenario/scenario.cpp for the suite definition.
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  print_table1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pm::scenario::bench_main(argc, argv, "table1");
 }

@@ -1,0 +1,16 @@
+// pm_bench — the unified scenario driver for every benchmark suite.
+//
+//   pm_bench --list                 # registered suites
+//   pm_bench                        # run all standard suites, write JSON
+//   pm_bench dle_scaling table1     # run specific suites
+//   pm_bench dle_large --compare-occupancy
+//                                   # large-n sweep, dense vs hash engines
+//
+// Each suite writes BENCH_<suite>.json (disable with --no-json) so the
+// performance trajectory can be tracked across PRs; --csv aggregates all
+// rows into one spreadsheet-friendly file. The per-suite shim binaries
+// (bench_table1, bench_dle_scaling, ...) call the same driver with a default
+// suite preselected.
+#include "scenario/scenario.h"
+
+int main(int argc, char** argv) { return pm::scenario::bench_main(argc, argv); }

@@ -20,7 +20,7 @@ int main() {
   Rng rng(7);
   auto sys = core::Dle::make_system(shape, rng);
   const core::PipelineResult res =
-      core::elect_leader(sys, shape, {.use_boundary_oracle = false, .seed = 8});
+      core::elect_leader(sys, {.use_boundary_oracle = false, .seed = 8});
   if (!res.completed) {
     std::printf("pipeline failed\n");
     return 1;

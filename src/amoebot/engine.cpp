@@ -1,0 +1,14 @@
+#include "amoebot/engine.h"
+
+namespace pm::amoebot {
+
+const char* order_name(Order o) noexcept {
+  switch (o) {
+    case Order::RoundRobin: return "round_robin";
+    case Order::RandomPerm: return "random_perm";
+    case Order::RandomStream: return "random_stream";
+  }
+  return "?";
+}
+
+}  // namespace pm::amoebot

@@ -1,0 +1,274 @@
+// The strong scheduler's run loop, extracted into an Engine (paper §2.2).
+//
+// An asynchronous round is a minimal execution fragment in which every
+// particle is activated at least once; the Engine counts rounds exactly that
+// way, so measured round counts are the quantity the paper's theorems bound.
+//
+// Orders:
+//   RoundRobin   — fixed id order each round,
+//   RandomPerm   — a fresh random permutation each round,
+//   RandomStream — i.i.d. uniform activations; rounds counted by coverage
+//                  (the adversary-friendliest fair order we provide).
+//
+// The Engine improves on the seed scheduler (kept verbatim as
+// run_reference()) in three ways, none of which changes observable behavior
+// for a fixed seed — engine_test asserts bit-for-bit identical RunResults:
+//
+//  * Incremental termination. Instead of an O(n) all-final rescan at every
+//    round boundary, the Engine maintains the count of non-final particles.
+//    After each activation it re-evaluates finality for exactly the
+//    particles the activation may have mutated, as recorded by the
+//    ParticleView TouchList (every non-const state access and movement
+//    partner). This is exact under the Algo contract below.
+//
+//  * Template hooks. The post-activation observation hook is a template
+//    parameter invoked directly (inlined, zero-cost when absent) instead of
+//    a per-activation std::function indirection.
+//
+//  * Per-run metrics. RunResult reports movements, wall time, and the peak
+//    dense-occupancy extent next to rounds and activations.
+//
+// Algo requirements:
+//   using State = ...;
+//   void activate(ParticleView<State>& p);
+//   bool is_final(const System<State>& sys, ParticleId p) const;
+// Contract for incremental tracking: is_final(sys, p) must depend only on
+// particle p's own state and body (true for every algorithm in this repo —
+// protocols encode neighborhood conditions into the particle's own memory,
+// e.g. DLE's `terminated` flag). Hooks must not mutate particle state. An
+// algorithm violating the contract can still be driven with run_reference().
+#pragma once
+
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "amoebot/view.h"
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace pm::amoebot {
+
+enum class Order { RoundRobin, RandomPerm, RandomStream };
+
+[[nodiscard]] const char* order_name(Order o) noexcept;
+
+struct RunOptions {
+  Order order = Order::RandomPerm;
+  std::uint64_t seed = 1;
+  long max_rounds = 1'000'000;
+};
+
+struct RunResult {
+  long rounds = 0;
+  long long activations = 0;
+  bool completed = false;  // all particles reached a final state
+  // Per-run metrics (filled by Engine; run_reference leaves them zero).
+  long long moves = 0;            // movement operations performed
+  double wall_ms = 0.0;           // wall-clock time of the run loop
+  long long peak_occupancy_cells = 0;  // peak dense-occupancy box size
+};
+
+// No-op post-activation hook (the default Engine hook parameter).
+struct NoHook {
+  template <typename Sys>
+  void operator()(Sys&, ParticleId) const {}
+};
+
+template <typename Algo, typename Hook = NoHook>
+class Engine {
+ public:
+  using State = typename Algo::State;
+
+  Engine(System<State>& sys, Algo& algo, const RunOptions& opts, Hook hook = Hook{})
+      : sys_(sys), algo_(algo), opts_(opts), hook_(std::move(hook)) {}
+
+  RunResult run() {
+    const auto t0 = WallClock::now();
+    const long long moves0 = sys_.moves();
+    RunResult res;
+    const int n = sys_.particle_count();
+    if (n == 0) {
+      res.completed = true;
+      return finish(res, t0, moves0);
+    }
+
+    Rng rng(opts_.seed);
+    order_.resize(static_cast<std::size_t>(n));
+    std::iota(order_.begin(), order_.end(), 0);
+
+    // One-time O(n) pass; afterwards the count is maintained incrementally.
+    final_.assign(static_cast<std::size_t>(n), 0);
+    nonfinal_ = 0;
+    for (ParticleId p = 0; p < n; ++p) {
+      final_[static_cast<std::size_t>(p)] = algo_.is_final(sys_, p) ? 1 : 0;
+      if (!final_[static_cast<std::size_t>(p)]) ++nonfinal_;
+    }
+
+    while (res.rounds < opts_.max_rounds) {
+      if (nonfinal_ == 0) {
+        res.completed = true;
+        return finish(res, t0, moves0);
+      }
+      switch (opts_.order) {
+        case Order::RoundRobin:
+          for (const ParticleId p : order_) activate_one(p, res);
+          break;
+        case Order::RandomPerm:
+          rng.shuffle(order_);
+          for (const ParticleId p : order_) activate_one(p, res);
+          break;
+        case Order::RandomStream: {
+          // Keep activating uniformly random particles until every particle
+          // has been hit at least once — that fragment is one round. The
+          // coverage buffer is engine state, reused across rounds.
+          covered_.assign(static_cast<std::size_t>(n), 0);
+          int left = n;
+          while (left > 0) {
+            const auto p = static_cast<ParticleId>(rng.below(static_cast<std::uint64_t>(n)));
+            activate_one(p, res);
+            if (!covered_[static_cast<std::size_t>(p)]) {
+              covered_[static_cast<std::size_t>(p)] = 1;
+              --left;
+            }
+          }
+          break;
+        }
+      }
+      ++res.rounds;
+    }
+    res.completed = nonfinal_ == 0;
+    return finish(res, t0, moves0);
+  }
+
+ private:
+  void activate_one(ParticleId p, RunResult& res) {
+    // A particle in a final state performs none of the activation steps.
+    if (final_[static_cast<std::size_t>(p)]) return;
+    TouchList touches;
+    ParticleView<State> view(sys_, p, &touches);
+    algo_.activate(view);
+    ++res.activations;
+    touches.add(p);  // the activated particle is always re-evaluated
+    if (touches.overflowed()) {
+      recount();
+    } else {
+      for (int i = 0; i < touches.size(); ++i) refresh(touches[i]);
+    }
+    hook_(sys_, p);
+  }
+
+  void refresh(ParticleId q) {
+    const bool f = algo_.is_final(sys_, q);
+    char& flag = final_[static_cast<std::size_t>(q)];
+    if (static_cast<bool>(flag) != f) {
+      nonfinal_ += f ? -1 : 1;
+      flag = f ? 1 : 0;
+    }
+  }
+
+  void recount() {
+    nonfinal_ = 0;
+    for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
+      final_[static_cast<std::size_t>(p)] = algo_.is_final(sys_, p) ? 1 : 0;
+      if (!final_[static_cast<std::size_t>(p)]) ++nonfinal_;
+    }
+  }
+
+  RunResult finish(RunResult& res, WallClock::time_point t0, long long moves0) const {
+    res.moves = sys_.moves() - moves0;
+    res.peak_occupancy_cells = sys_.peak_occupancy_cells();
+    res.wall_ms = ms_since(t0);
+    return res;
+  }
+
+  System<State>& sys_;
+  Algo& algo_;
+  RunOptions opts_;
+  Hook hook_;
+  std::vector<ParticleId> order_;
+  std::vector<char> final_;
+  std::vector<char> covered_;
+  int nonfinal_ = 0;
+};
+
+template <typename Algo>
+RunResult run(System<typename Algo::State>& sys, Algo& algo, const RunOptions& opts) {
+  Engine<Algo> engine(sys, algo, opts);
+  return engine.run();
+}
+
+template <typename Algo, typename Hook>
+RunResult run(System<typename Algo::State>& sys, Algo& algo, const RunOptions& opts,
+              Hook hook) {
+  Engine<Algo, Hook> engine(sys, algo, opts, std::move(hook));
+  return engine.run();
+}
+
+// The seed scheduler's loop, kept verbatim as the behavioral reference: an
+// O(n) all-final scan at every round boundary and a fresh is_final
+// evaluation per activation. engine_test asserts Engine::run() matches it
+// bit-for-bit; it is also the fallback for algorithms whose is_final
+// violates the locality contract above.
+template <typename Algo, typename Hook = NoHook>
+RunResult run_reference(System<typename Algo::State>& sys, Algo& algo,
+                        const RunOptions& opts, Hook hook = Hook{}) {
+  RunResult res;
+  const int n = sys.particle_count();
+  if (n == 0) {
+    res.completed = true;
+    return res;
+  }
+  Rng rng(opts.seed);
+  std::vector<ParticleId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto all_final = [&] {
+    for (ParticleId p = 0; p < n; ++p) {
+      if (!algo.is_final(sys, p)) return false;
+    }
+    return true;
+  };
+
+  auto activate_one = [&](ParticleId p) {
+    if (algo.is_final(sys, p)) return;
+    ParticleView<typename Algo::State> view(sys, p);
+    algo.activate(view);
+    ++res.activations;
+    hook(sys, p);
+  };
+
+  while (res.rounds < opts.max_rounds) {
+    if (all_final()) {
+      res.completed = true;
+      return res;
+    }
+    switch (opts.order) {
+      case Order::RoundRobin:
+        for (const ParticleId p : order) activate_one(p);
+        break;
+      case Order::RandomPerm:
+        rng.shuffle(order);
+        for (const ParticleId p : order) activate_one(p);
+        break;
+      case Order::RandomStream: {
+        std::vector<char> covered(static_cast<std::size_t>(n), 0);
+        int left = n;
+        while (left > 0) {
+          const auto p = static_cast<ParticleId>(rng.below(static_cast<std::uint64_t>(n)));
+          activate_one(p);
+          if (!covered[static_cast<std::size_t>(p)]) {
+            covered[static_cast<std::size_t>(p)] = 1;
+            --left;
+          }
+        }
+        break;
+      }
+    }
+    ++res.rounds;
+  }
+  res.completed = all_final();
+  return res;
+}
+
+}  // namespace pm::amoebot

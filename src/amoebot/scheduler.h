@@ -1,106 +1,7 @@
-// The strong scheduler (paper §2.2): a fair sequence of atomic particle
-// activations. An asynchronous round is a minimal execution fragment in
-// which every particle is activated at least once; the Runner counts rounds
-// exactly that way, so measured round counts are the quantity the paper's
-// theorems bound.
-//
-// Orders:
-//   RoundRobin   — fixed id order each round,
-//   RandomPerm   — a fresh random permutation each round,
-//   RandomStream — i.i.d. uniform activations; rounds counted by coverage
-//                  (the adversary-friendliest fair order we provide).
+// Compatibility header: the strong scheduler's types and run() entry points
+// moved to amoebot/engine.h when the run loop was extracted into the Engine
+// (incremental termination tracking, template hooks, per-run metrics).
+// Existing includes of this header keep working unchanged.
 #pragma once
 
-#include <functional>
-#include <numeric>
-#include <vector>
-
-#include "amoebot/view.h"
-#include "util/rng.h"
-
-namespace pm::amoebot {
-
-enum class Order { RoundRobin, RandomPerm, RandomStream };
-
-struct RunOptions {
-  Order order = Order::RandomPerm;
-  std::uint64_t seed = 1;
-  long max_rounds = 1'000'000;
-};
-
-struct RunResult {
-  long rounds = 0;
-  long long activations = 0;
-  bool completed = false;  // all particles reached a final state
-};
-
-// Algo requirements:
-//   using State = ...;
-//   void activate(ParticleView<State>& p);
-//   bool is_final(const System<State>& sys, ParticleId p) const;
-template <typename Algo>
-RunResult run(System<typename Algo::State>& sys, Algo& algo, const RunOptions& opts,
-              const std::function<void(System<typename Algo::State>&, ParticleId)>&
-                  post_activation = nullptr) {
-  RunResult res;
-  const int n = sys.particle_count();
-  if (n == 0) {
-    res.completed = true;
-    return res;
-  }
-  Rng rng(opts.seed);
-  std::vector<ParticleId> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-
-  auto all_final = [&] {
-    for (ParticleId p = 0; p < n; ++p) {
-      if (!algo.is_final(sys, p)) return false;
-    }
-    return true;
-  };
-
-  auto activate_one = [&](ParticleId p) {
-    // A particle in a final state performs none of the activation steps.
-    if (algo.is_final(sys, p)) return;
-    ParticleView<typename Algo::State> view(sys, p);
-    algo.activate(view);
-    ++res.activations;
-    if (post_activation) post_activation(sys, p);
-  };
-
-  while (res.rounds < opts.max_rounds) {
-    if (all_final()) {
-      res.completed = true;
-      return res;
-    }
-    switch (opts.order) {
-      case Order::RoundRobin:
-        for (const ParticleId p : order) activate_one(p);
-        break;
-      case Order::RandomPerm:
-        rng.shuffle(order);
-        for (const ParticleId p : order) activate_one(p);
-        break;
-      case Order::RandomStream: {
-        // Keep activating uniformly random particles until every particle
-        // has been hit at least once — that fragment is one round.
-        std::vector<char> covered(static_cast<std::size_t>(n), 0);
-        int left = n;
-        while (left > 0) {
-          const auto p = static_cast<ParticleId>(rng.below(static_cast<std::uint64_t>(n)));
-          activate_one(p);
-          if (!covered[static_cast<std::size_t>(p)]) {
-            covered[static_cast<std::size_t>(p)] = 1;
-            --left;
-          }
-        }
-        break;
-      }
-    }
-    ++res.rounds;
-  }
-  res.completed = all_final();
-  return res;
-}
-
-}  // namespace pm::amoebot
+#include "amoebot/engine.h"

@@ -11,13 +11,14 @@ ParticleId SystemCore::add_particle(Node at, std::uint8_t ori) {
   PM_CHECK(ori < 6);
   const ParticleId id = particle_count();
   bodies_.push_back(Body{at, at, ori});
-  occ_.emplace(at, id);
+  occ_insert(at, id);
   return id;
 }
 
-ParticleId SystemCore::particle_at(Node v) const {
-  const auto it = occ_.find(v);
-  return it == occ_.end() ? kNoParticle : it->second;
+void SystemCore::reserve(std::size_t n, Node lo, Node hi) {
+  bodies_.reserve(n);
+  if (mode_ != OccupancyMode::Hash) dense_.reserve_box(lo, hi);
+  if (mode_ != OccupancyMode::Dense) map_.reserve(2 * n);
 }
 
 bool SystemCore::is_head(Node v) const {
@@ -27,7 +28,7 @@ bool SystemCore::is_head(Node v) const {
 
 std::vector<Node> SystemCore::occupied_nodes() const {
   std::vector<Node> out;
-  out.reserve(bodies_.size());
+  out.reserve(bodies_.size() + static_cast<std::size_t>(expanded_count_));
   for (const Body& b : bodies_) {
     out.push_back(b.head);
     if (b.expanded()) out.push_back(b.tail);
@@ -39,32 +40,36 @@ grid::Shape SystemCore::shape() const { return grid::Shape(occupied_nodes()); }
 
 int SystemCore::component_count() const {
   if (bodies_.empty()) return 0;
-  // BFS over occupied nodes; a particle's head and tail are always adjacent,
-  // so node-level connectivity equals particle-level connectivity.
-  std::unordered_map<Node, char, grid::NodeHash> seen;
+  // BFS over particle ids with a flat visited vector; a particle's head and
+  // tail are always adjacent, so particle-level connectivity equals
+  // node-level connectivity and every frontier step is a particle_at query.
+  std::vector<char> seen(bodies_.size(), 0);
+  std::vector<ParticleId> queue;
+  queue.reserve(bodies_.size());
   int components = 0;
-  for (const Body& b : bodies_) {
-    if (seen.contains(b.head)) continue;
+  for (ParticleId start = 0; start < particle_count(); ++start) {
+    if (seen[static_cast<std::size_t>(start)]) continue;
     ++components;
-    std::deque<Node> queue{b.head};
-    seen.emplace(b.head, 1);
-    while (!queue.empty()) {
-      const Node v = queue.front();
-      queue.pop_front();
+    seen[static_cast<std::size_t>(start)] = 1;
+    queue.clear();
+    queue.push_back(start);
+    auto expand_from = [&](Node v) {
       for (int i = 0; i < grid::kDirCount; ++i) {
         const Node u = grid::neighbor(v, grid::dir_from_index(i));
-        if (occupied(u) && seen.emplace(u, 1).second) queue.push_back(u);
+        const ParticleId q = particle_at(u);
+        if (q != kNoParticle && !seen[static_cast<std::size_t>(q)]) {
+          seen[static_cast<std::size_t>(q)] = 1;
+          queue.push_back(q);
+        }
       }
+    };
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const Body& b = bodies_[static_cast<std::size_t>(queue[qi])];
+      expand_from(b.head);
+      if (b.expanded()) expand_from(b.tail);
     }
   }
   return components;
-}
-
-bool SystemCore::all_contracted() const {
-  for (const Body& b : bodies_) {
-    if (b.expanded()) return false;
-  }
-  return true;
 }
 
 int SystemCore::port_between(ParticleId p, Node from, Node to) const {
@@ -80,23 +85,26 @@ void SystemCore::expand(ParticleId p, Node to) {
   PM_CHECK_MSG(!occupied(to), "expand: target " << to << " occupied");
   b.tail = b.head;
   b.head = to;
-  occ_.emplace(to, p);
+  occ_insert(to, p);
+  ++expanded_count_;
   ++moves_;
 }
 
 void SystemCore::contract_to_head(ParticleId p) {
   Body& b = bodies_[checked(p)];
   PM_CHECK_MSG(b.expanded(), "contract_to_head: particle " << p << " is contracted");
-  occ_.erase(b.tail);
+  occ_erase(b.tail);
   b.tail = b.head;
+  --expanded_count_;
   ++moves_;
 }
 
 void SystemCore::contract_to_tail(ParticleId p) {
   Body& b = bodies_[checked(p)];
   PM_CHECK_MSG(b.expanded(), "contract_to_tail: particle " << p << " is contracted");
-  occ_.erase(b.head);
+  occ_erase(b.head);
   b.head = b.tail;
+  --expanded_count_;
   ++moves_;
 }
 
@@ -108,12 +116,13 @@ void SystemCore::handover(ParticleId p, ParticleId q) {
   PM_CHECK_MSG(grid::adjacent(bp.head, bq.tail), "handover: p not adjacent to q's tail");
   const Node freed = bq.tail;
   // q contracts into its head...
-  occ_.erase(freed);
+  occ_erase(freed);
   bq.tail = bq.head;
   // ...and p expands into the freed node, atomically.
   bp.tail = bp.head;
   bp.head = freed;
-  occ_.emplace(freed, p);
+  occ_insert(freed, p);
+  // (q contracted, p expanded: expanded_count_ is unchanged.)
   ++moves_;
 }
 

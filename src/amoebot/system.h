@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "grid/coord.h"
+#include "grid/dense_occupancy.h"
 #include "grid/shape.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -26,6 +27,21 @@ namespace pm::amoebot {
 
 using ParticleId = std::int32_t;
 inline constexpr ParticleId kNoParticle = -1;
+
+// Which occupancy index backs occupied()/particle_at():
+//   Dense        — grid::DenseOccupancy flat array (the fast path),
+//   Hash         — the seed engine's std::unordered_map (kept for A/B
+//                  benchmarking and as the differential-check reference),
+//   Differential — both, with every query checked for agreement.
+enum class OccupancyMode : std::uint8_t { Dense, Hash, Differential };
+
+// Debug builds cross-check the dense index against the hash map on every
+// query; release builds take the dense path alone.
+#ifdef NDEBUG
+inline constexpr OccupancyMode kDefaultOccupancy = OccupancyMode::Dense;
+#else
+inline constexpr OccupancyMode kDefaultOccupancy = OccupancyMode::Differential;
+#endif
 
 struct Body {
   grid::Node head{};
@@ -38,18 +54,43 @@ struct Body {
 class SystemCore {
  public:
   SystemCore() = default;
+  explicit SystemCore(OccupancyMode mode) : mode_(mode) {}
 
   // --- construction ---
 
   ParticleId add_particle(grid::Node at, std::uint8_t ori);
 
+  // Pre-sizes the particle store and the occupancy indices for n particles
+  // whose initial nodes lie in [lo, hi].
+  void reserve(std::size_t n, grid::Node lo, grid::Node hi);
+
   // --- configuration queries ---
 
   [[nodiscard]] int particle_count() const { return static_cast<int>(bodies_.size()); }
   [[nodiscard]] const Body& body(ParticleId p) const { return bodies_[checked(p)]; }
-  [[nodiscard]] bool occupied(grid::Node v) const { return occ_.contains(v); }
-  [[nodiscard]] ParticleId particle_at(grid::Node v) const;
+  [[nodiscard]] bool occupied(grid::Node v) const {
+    if (mode_ == OccupancyMode::Dense) return dense_.contains(v);
+    if (mode_ == OccupancyMode::Hash) return map_.contains(v);
+    const bool d = dense_.contains(v);
+    PM_CHECK_MSG(d == map_.contains(v), "occupancy divergence at " << v);
+    return d;
+  }
+  [[nodiscard]] ParticleId particle_at(grid::Node v) const {
+    if (mode_ == OccupancyMode::Dense) return dense_.find(v);
+    const auto it = map_.find(v);
+    const ParticleId h = it == map_.end() ? kNoParticle : it->second;
+    if (mode_ == OccupancyMode::Differential) {
+      PM_CHECK_MSG(dense_.find(v) == h, "occupancy divergence at " << v);
+    }
+    return h;
+  }
   [[nodiscard]] bool is_head(grid::Node v) const;  // v occupied by some particle's head
+
+  [[nodiscard]] OccupancyMode occupancy_mode() const { return mode_; }
+
+  // Peak cell count of the dense occupancy box over the system's lifetime
+  // (0 in pure hash mode) — the run metric reported as peak extent.
+  [[nodiscard]] long long peak_occupancy_cells() const { return dense_.peak_cells(); }
 
   // All occupied nodes (heads and tails), deterministic order by particle.
   [[nodiscard]] std::vector<grid::Node> occupied_nodes() const;
@@ -59,7 +100,8 @@ class SystemCore {
 
   // Number of connected components of S_P (1 = connected).
   [[nodiscard]] int component_count() const;
-  [[nodiscard]] bool all_contracted() const;
+  [[nodiscard]] bool all_contracted() const { return expanded_count_ == 0; }
+  [[nodiscard]] int expanded_count() const { return expanded_count_; }
 
   // --- port arithmetic (common chirality) ---
 
@@ -94,8 +136,20 @@ class SystemCore {
     return static_cast<std::size_t>(p);
   }
 
+  void occ_insert(grid::Node v, ParticleId p) {
+    if (mode_ != OccupancyMode::Hash) dense_.insert(v, p);
+    if (mode_ != OccupancyMode::Dense) map_.emplace(v, p);
+  }
+  void occ_erase(grid::Node v) {
+    if (mode_ != OccupancyMode::Hash) dense_.erase(v);
+    if (mode_ != OccupancyMode::Dense) map_.erase(v);
+  }
+
+  OccupancyMode mode_ = kDefaultOccupancy;
   std::vector<Body> bodies_;
-  std::unordered_map<grid::Node, ParticleId, grid::NodeHash> occ_;
+  grid::DenseOccupancy dense_;
+  std::unordered_map<grid::Node, ParticleId, grid::NodeHash> map_;
+  int expanded_count_ = 0;
   long long moves_ = 0;
 };
 
@@ -103,11 +157,17 @@ template <typename State>
 class System : public SystemCore {
  public:
   System() = default;
+  explicit System(OccupancyMode mode) : SystemCore(mode) {}
 
   // Builds a contracted configuration from a shape, one particle per node,
   // with rng-chosen anonymous orientations (common chirality).
-  static System from_shape(const grid::Shape& s, Rng& rng) {
-    System sys;
+  static System from_shape(const grid::Shape& s, Rng& rng,
+                           OccupancyMode mode = kDefaultOccupancy) {
+    System sys(mode);
+    if (!s.empty()) {
+      sys.reserve(s.size(), s.bbox_min(), s.bbox_max());
+      sys.states_.reserve(s.size());
+    }
     for (const grid::Node v : s.nodes()) {
       sys.add_particle(v, static_cast<std::uint8_t>(rng.below(6)));
       sys.states_.emplace_back();

@@ -10,20 +10,57 @@
 // known (paper §2.2, "p knows port(q, v, u)").
 #pragma once
 
+#include <array>
+
 #include "amoebot/system.h"
 
 namespace pm::amoebot {
 
+// Records which particles an activation may have mutated: every non-const
+// state access and every movement partner. The Engine (engine.h) re-evaluates
+// finality for exactly these particles after the activation, which is what
+// makes its incremental termination count exact without an O(n) rescan.
+// Bounded: a single activation touches the particle itself and its <= 10
+// node-neighbors; if an algorithm exceeds the capacity the engine falls back
+// to a full recount for that activation (correct, just slower).
+class TouchList {
+ public:
+  static constexpr int kCapacity = 24;
+
+  void add(ParticleId p) {
+    if (count_ < kCapacity) {
+      ids_[static_cast<std::size_t>(count_++)] = p;
+    } else {
+      overflow_ = true;
+    }
+  }
+  [[nodiscard]] int size() const { return count_; }
+  [[nodiscard]] ParticleId operator[](int i) const {
+    return ids_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] bool overflowed() const { return overflow_; }
+
+ private:
+  std::array<ParticleId, kCapacity> ids_;  // intentionally uninitialized;
+                                           // only [0, count_) is ever read
+  int count_ = 0;
+  bool overflow_ = false;
+};
+
 template <typename State>
 class ParticleView {
  public:
-  ParticleView(System<State>& sys, ParticleId id) : sys_(sys), id_(id) {}
+  ParticleView(System<State>& sys, ParticleId id, TouchList* touches = nullptr)
+      : sys_(sys), id_(id), touches_(touches) {}
 
   [[nodiscard]] ParticleId id() const { return id_; }
   [[nodiscard]] bool contracted() const { return !sys_.body(id_).expanded(); }
   [[nodiscard]] bool expanded() const { return sys_.body(id_).expanded(); }
 
-  [[nodiscard]] State& self() { return sys_.state(id_); }
+  [[nodiscard]] State& self() {
+    touch(id_);
+    return sys_.state(id_);
+  }
   [[nodiscard]] const State& self() const { return sys_.state(id_); }
 
   // --- neighborhood of the head node, by port ---
@@ -43,7 +80,11 @@ class ParticleView {
     return q;
   }
 
-  [[nodiscard]] State& nbr_state_head(int port) { return sys_.state(nbr_id_head(port)); }
+  [[nodiscard]] State& nbr_state_head(int port) {
+    const ParticleId q = nbr_id_head(port);
+    touch(q);
+    return sys_.state(q);
+  }
   [[nodiscard]] const State& nbr_state_head(int port) const {
     return sys_.state(nbr_id_head(port));
   }
@@ -100,7 +141,16 @@ class ParticleView {
   }
 
   [[nodiscard]] const State& state_of(ParticleId q) const { return sys_.state(q); }
-  [[nodiscard]] State& state_of(ParticleId q) { return sys_.state(q); }
+  [[nodiscard]] State& state_of(ParticleId q) {
+    touch(q);
+    return sys_.state(q);
+  }
+
+  // Read-only neighbor state access that never counts as a touch. Algorithms
+  // should prefer this on pure-read paths: on a non-const view the non-const
+  // state_of overload wins overload resolution and records a (harmless but
+  // costly) touch per call.
+  [[nodiscard]] const State& peek_state(ParticleId q) const { return sys_.state(q); }
 
   // Whether another particle is contracted (readable state in the model:
   // "a particle stores in its memory whether it is contracted or expanded").
@@ -110,16 +160,19 @@ class ParticleView {
 
   void expand_head(int port) {
     take_move();
+    touch(id_);
     sys_.expand(id_, head_nbr(port));
   }
 
   void contract_to_head() {
     take_move();
+    touch(id_);
     sys_.contract_to_head(id_);
   }
 
   void contract_to_tail() {
     take_move();
+    touch(id_);
     sys_.contract_to_tail(id_);
   }
 
@@ -128,6 +181,8 @@ class ParticleView {
     take_move();
     const ParticleId q = sys_.particle_at(head_nbr(port));
     PM_CHECK(q != kNoParticle);
+    touch(id_);
+    touch(q);
     sys_.handover(id_, q);
   }
 
@@ -138,6 +193,8 @@ class ParticleView {
     take_move();
     const ParticleId q = sys_.particle_at(tail_nbr(port));
     PM_CHECK(q != kNoParticle);
+    touch(id_);
+    touch(q);
     sys_.handover(q, id_);
   }
 
@@ -158,9 +215,13 @@ class ParticleView {
     PM_CHECK_MSG(!moved_, "a particle may perform at most one movement per activation");
     moved_ = true;
   }
+  void touch(ParticleId p) {
+    if (touches_ != nullptr) touches_->add(p);
+  }
 
   System<State>& sys_;
   ParticleId id_;
+  TouchList* touches_ = nullptr;
   bool moved_ = false;
 };
 

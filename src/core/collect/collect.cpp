@@ -1,6 +1,7 @@
 #include "core/collect/collect.h"
 
 #include <algorithm>
+#include <array>
 
 #include "grid/coord.h"
 
@@ -39,10 +40,14 @@ bool CollectRun::moved(ParticleId p) const {
 void CollectRun::mark_moved(ParticleId p) { moved_[static_cast<std::size_t>(p)] = 1; }
 
 bool CollectRun::on_ray(Node v) const {
-  const int j = grid::grid_distance(l_, v);
-  Node expect = l_;
-  for (int t = 0; t < j; ++t) expect = grid::neighbor(expect, vout_);
-  return v == expect;
+  // v is on {l + j * v_out : j >= 0} iff (v - l) is a non-negative multiple
+  // of the unit offset (closed form; this predicate runs on the release hot
+  // path every round).
+  const Node off = grid::offset(vout_);
+  const std::int64_t dx = v.x - l_.x;
+  const std::int64_t dy = v.y - l_.y;
+  const std::int64_t j = off.x != 0 ? dx / off.x : dy / off.y;
+  return j >= 0 && dx == j * off.x && dy == j * off.y;
 }
 
 bool CollectRun::tail_release_safe(const Slot& s) const {
@@ -50,31 +55,37 @@ bool CollectRun::tail_release_safe(const Slot& s) const {
   const Node head = sys_.body(s.body).head;
   // Only collected particles are part of the structure being protected;
   // uncollected breadcrumbs adjacent by coincidence are picked up by a
-  // later phase's sweep (Lemma 21).
-  std::vector<Node> watch;
+  // later phase's sweep (Lemma 21). At most 6 neighbors: a fixed array
+  // keeps this per-round predicate allocation-free in the common
+  // nothing-to-watch case.
+  std::array<Node, grid::kDirCount> watch;
+  std::size_t watch_count = 0;
   for (int d = 0; d < grid::kDirCount; ++d) {
     const Node u = grid::neighbor(tail, grid::dir_from_index(d));
     if (u == head || !sys_.occupied(u)) continue;
     const ParticleId q = sys_.particle_at(u);
-    if (collected_[static_cast<std::size_t>(q)]) watch.push_back(u);
+    if (collected_[static_cast<std::size_t>(q)]) watch[watch_count++] = u;
   }
-  if (watch.empty()) return true;
+  if (watch_count == 0) return true;
   // Flood from the head over occupied nodes, excluding the tail, until all
   // watched neighbors are reached.
   grid::NodeSet seen;
   std::vector<Node> queue{head};
   seen.insert(head);
   std::size_t found = 0;
-  for (std::size_t qi = 0; qi < queue.size() && found < watch.size(); ++qi) {
+  for (std::size_t qi = 0; qi < queue.size() && found < watch_count; ++qi) {
     const Node v = queue[qi];
     for (int d = 0; d < grid::kDirCount; ++d) {
       const Node u = grid::neighbor(v, grid::dir_from_index(d));
       if (u == tail || !sys_.occupied(u) || !seen.insert(u).second) continue;
-      if (std::find(watch.begin(), watch.end(), u) != watch.end()) ++found;
+      if (std::find(watch.begin(), watch.begin() + watch_count, u) !=
+          watch.begin() + watch_count) {
+        ++found;
+      }
       queue.push_back(u);
     }
   }
-  return found == watch.size();
+  return found == watch_count;
 }
 
 void CollectRun::collect_particle(ParticleId q) {
@@ -153,7 +164,12 @@ bool CollectRun::slot_expand(int i, Node target, bool during_rotation) {
     Chain& chain = chains_[static_cast<std::size_t>(i)];
     if (!chain.empty() && q == chain.back()) {
       chain.pop_back();
-    } else {
+    }
+#ifndef NDEBUG
+    // Engine-internal invariant (not a model rule): the sweep may only meet
+    // the back of its own branch. The scan is O(stem * branch) per virtual
+    // expansion, so it runs in debug builds only.
+    else {
       for (std::size_t j = 0; j < stem_.size(); ++j) {
         const Slot& other = stem_[j];
         PM_CHECK_MSG(other.body != q && other.virt != q,
@@ -163,6 +179,7 @@ bool CollectRun::slot_expand(int i, Node target, bool during_rotation) {
                      "rotation sweep hit a foreign branch member");
       }
     }
+#endif
   }
   s.virt = q;
   collect_particle(q);

@@ -52,10 +52,11 @@ EligibleRuns analyze(const std::array<bool, 6>& eligible) {
 
 }  // namespace
 
-System<DleState> Dle::make_system(const grid::Shape& initial, Rng& rng) {
+System<DleState> Dle::make_system(const grid::Shape& initial, Rng& rng,
+                                  amoebot::OccupancyMode occupancy) {
   PM_CHECK_MSG(initial.is_connected(), "initial configuration must be connected");
   PM_CHECK_MSG(!initial.empty(), "initial configuration must be non-empty");
-  auto sys = System<DleState>::from_shape(initial, rng);
+  auto sys = System<DleState>::from_shape(initial, rng, occupancy);
   for (ParticleId p = 0; p < sys.particle_count(); ++p) {
     DleState& st = sys.state(p);
     const Node v = sys.body(p).head;
@@ -100,7 +101,7 @@ void Dle::activate(ParticleView<DleState>& p) {
         for (int i = 0; i < 6; ++i) {
           if (!p.occupied_tail(i) || p.tail_port_is_self(i)) continue;
           const ParticleId q = p.nbr_id_tail(i);
-          const DleState& qs = p.state_of(q);
+          const DleState& qs = p.peek_state(q);
           // Only a contracted follower can take the tail in a handover.
           if (qs.status == Status::Follower && !qs.terminated && p.is_contracted(q)) {
             p.handover_pull_tail(i);
@@ -117,7 +118,7 @@ void Dle::activate(ParticleView<DleState>& p) {
   if (s.status != Status::Undecided) {
     bool all_decided = true;
     p.for_each_neighbor_particle([&](ParticleId q) {
-      if (p.state_of(q).status == Status::Undecided) all_decided = false;
+      if (p.peek_state(q).status == Status::Undecided) all_decided = false;
     });
     if (all_decided) s.terminated = true;
     return;
@@ -164,10 +165,6 @@ void Dle::activate(ParticleView<DleState>& p) {
 
   // Line 28: nowhere to go — v stays occupied, p leaves candidacy.
   s.status = Status::Follower;
-}
-
-bool Dle::is_final(const System<DleState>& sys, ParticleId p) const {
-  return sys.state(p).terminated && !sys.body(p).expanded();
 }
 
 ElectionOutcome election_outcome(const System<DleState>& sys) {

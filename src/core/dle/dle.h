@@ -55,11 +55,18 @@ class Dle {
   // Builds a contracted system from the shape and fills in the `outer`
   // oracle input (the paper's initially-known-boundary assumption); the
   // pipeline in core/le replaces this oracle with Primitive OBD's output.
-  static amoebot::System<State> make_system(const grid::Shape& initial, Rng& rng);
+  static amoebot::System<State> make_system(
+      const grid::Shape& initial, Rng& rng,
+      amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy);
 
   void activate(amoebot::ParticleView<State>& p);
+
+  // Defined inline: the engine evaluates this on its termination-tracking
+  // hot path (after every activation and n times per reference-run round).
   [[nodiscard]] bool is_final(const amoebot::System<State>& sys,
-                              amoebot::ParticleId p) const;
+                              amoebot::ParticleId p) const {
+    return sys.state(p).terminated && !sys.body(p).expanded();
+  }
 
   // Instrumentation only (not consulted by the algorithm): reports every
   // point removed from S_e, letting tests replay Lemma 11's invariants.

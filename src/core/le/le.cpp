@@ -1,23 +1,33 @@
 #include "core/le/le.h"
 
+#include <chrono>
+
 #include "core/collect/collect.h"
 #include "core/obd/obd.h"
+#include "util/timing.h"
 
 namespace pm::core {
 
 using amoebot::ParticleId;
 using amoebot::System;
 
-PipelineResult elect_leader(System<DleState>& sys, const grid::Shape& initial,
-                            const PipelineOptions& opts) {
+PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) {
   PipelineResult res;
+  const long long moves0 = sys.moves();
+  auto finalize = [&](PipelineResult& r) -> PipelineResult& {
+    r.moves = sys.moves() - moves0;
+    r.peak_occupancy_cells = sys.peak_occupancy_cells();
+    return r;
+  };
 
   // --- stage 1: boundary information ---
   if (!opts.use_boundary_oracle && sys.particle_count() > 1) {
+    const auto t0 = std::chrono::steady_clock::now();
     ObdRun obd(sys);
     const ObdRun::Result ores = obd.run(opts.max_rounds);
     res.obd_rounds = ores.rounds;
-    if (!ores.completed) return res;
+    res.obd_ms = ms_since(t0);
+    if (!ores.completed) return finalize(res);
     for (ParticleId p = 0; p < sys.particle_count(); ++p) {
       DleState& st = sys.state(p);
       st.outer = obd.outer_ports(p);
@@ -32,26 +42,30 @@ PipelineResult elect_leader(System<DleState>& sys, const grid::Shape& initial,
   Dle dle(Dle::Options{.connected_pull = opts.connected_pull});
   const auto dres = amoebot::run(sys, dle, {opts.order, opts.seed, opts.max_rounds});
   res.dle_rounds = dres.rounds;
-  if (!dres.completed) return res;
+  res.dle_ms = dres.wall_ms;
+  res.dle_activations = dres.activations;
+  if (!dres.completed) return finalize(res);
   const ElectionOutcome outcome = election_outcome(sys);
-  if (outcome.leaders != 1) return res;
+  if (outcome.leaders != 1) return finalize(res);
   res.leader = outcome.leader;
 
   // --- stage 3: reconnection ---
   if (opts.reconnect && !opts.connected_pull) {
+    const auto t0 = std::chrono::steady_clock::now();
     CollectRun collect(sys, outcome.leader);
     const CollectRun::Result cres = collect.run(opts.max_rounds);
     res.collect_rounds = cres.rounds;
-    if (!cres.completed) return res;
+    res.collect_ms = ms_since(t0);
+    if (!cres.completed) return finalize(res);
   }
   res.completed = true;
-  return res;
+  return finalize(res);
 }
 
 PipelineResult elect_leader(const grid::Shape& initial, const PipelineOptions& opts) {
   Rng rng(opts.seed);
-  auto sys = Dle::make_system(initial, rng);
-  return elect_leader(sys, initial, opts);
+  auto sys = Dle::make_system(initial, rng, opts.occupancy);
+  return elect_leader(sys, opts);
 }
 
 }  // namespace pm::core

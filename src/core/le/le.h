@@ -20,6 +20,7 @@ struct PipelineOptions {
   amoebot::Order order = amoebot::Order::RandomPerm;
   std::uint64_t seed = 1;
   long max_rounds = 8'000'000;
+  amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
 };
 
 struct PipelineResult {
@@ -28,6 +29,15 @@ struct PipelineResult {
   long collect_rounds = 0;
   bool completed = false;
   amoebot::ParticleId leader = amoebot::kNoParticle;
+
+  // Per-phase metrics (wall time per stage; activation/movement counts and
+  // the peak dense-occupancy extent come from the DLE Engine run).
+  double obd_ms = 0.0;
+  double dle_ms = 0.0;
+  double collect_ms = 0.0;
+  long long dle_activations = 0;
+  long long moves = 0;  // movement ops across all stages
+  long long peak_occupancy_cells = 0;
 
   [[nodiscard]] long total_rounds() const {
     return obd_rounds + dle_rounds + collect_rounds;
@@ -38,8 +48,9 @@ struct PipelineResult {
 // On success the system is connected, contracted, and has a unique leader.
 PipelineResult elect_leader(const grid::Shape& initial, const PipelineOptions& opts);
 
-// Same, but operating on a caller-provided system (must match `initial`).
-PipelineResult elect_leader(amoebot::System<DleState>& sys, const grid::Shape& initial,
-                            const PipelineOptions& opts);
+// Same, but operating on a caller-provided system (as built by
+// Dle::make_system; OBD re-derives all boundary information from the
+// system's own configuration).
+PipelineResult elect_leader(amoebot::System<DleState>& sys, const PipelineOptions& opts);
 
 }  // namespace pm::core

@@ -9,6 +9,7 @@ namespace pm::grid {
 
 Shape::Shape(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
   // De-duplicate while keeping first-seen order deterministic.
+  set_.reserve(2 * nodes_.size());
   std::vector<Node> unique;
   unique.reserve(nodes_.size());
   for (const Node v : nodes_) {

@@ -39,6 +39,10 @@ class Shape {
   [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
   [[nodiscard]] const NodeSet& node_set() const { return set_; }
 
+  // Tight bounding box of the nodes (both {0,0} for the empty shape).
+  [[nodiscard]] Node bbox_min() const { return bbox_min_; }
+  [[nodiscard]] Node bbox_max() const { return bbox_max_; }
+
   [[nodiscard]] bool is_connected() const;
 
   // --- Face analysis (lazily computed, cached) ---

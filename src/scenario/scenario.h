@@ -1,0 +1,129 @@
+// The experiment layer: a scenario registry and a unified driver.
+//
+// A Spec is one fully-determined experiment — shape family × size × shape
+// seed × algorithm (or baseline) × scheduler order × run seed × occupancy
+// mode. A Suite is a named list of Specs; the registry provides the suites
+// the paper's evaluation needs (Table 1, the three scaling laws, the
+// disconnection ablation, and a large-n stress sweep). run_scenario()
+// executes one Spec and returns a flat, machine-readable Result; bench_main()
+// is the shared CLI behind `pm_bench` and the per-suite shim binaries, and
+// writes one BENCH_<suite>.json per suite so performance trajectories can be
+// tracked across PRs.
+//
+// Everything is seed-driven and deterministic: running the same suite twice
+// yields identical Results except for the wall-clock fields.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "amoebot/engine.h"
+#include "grid/shape.h"
+
+namespace pm::scenario {
+
+// Which algorithm (or baseline) a scenario drives.
+enum class Algo {
+  ObdOnly,          // Primitive OBD on its own (Theorem 41 scaling)
+  DleOracle,        // DLE with the boundary oracle, no reconnection
+  DlePull,          // the connected-pull ablation variant (Remark §4.2.1)
+  DleCollect,       // DLE then Collect, with leader-eccentricity metrics
+  PipelineOracle,   // oracle boundary -> DLE -> Collect
+  PipelineFull,     // OBD -> DLE -> Collect (the paper's full pipeline)
+  BaselineErosion,  // sequential erosion class ([22]/[3]-style stand-in)
+  BaselineContest,  // randomized boundary contest ([19]/[10]-style stand-in)
+};
+
+[[nodiscard]] const char* algo_name(Algo a) noexcept;
+[[nodiscard]] const char* occupancy_name(amoebot::OccupancyMode m) noexcept;
+
+struct Spec {
+  std::string name;    // row label, auto-derived from the family if empty
+  std::string family;  // hexagon|line|parallelogram|annulus|spiral|comb|cheese|blob
+  int p1 = 0;          // family parameter 1 (radius / n / outer / teeth)
+  int p2 = 0;          // family parameter 2 (inner / holes / tooth_len)
+  std::uint64_t shape_seed = 0;
+
+  Algo algo = Algo::DleOracle;
+  amoebot::Order order = amoebot::Order::RandomPerm;
+  // Pipeline algos — and DleOracle/DlePull without component tracking — pass
+  // `seed` to elect_leader, which seeds construction and scheduling
+  // identically (the seed scaling benches' convention). DleCollect and the
+  // component-tracking ablation runs build the system with Rng(seed) and
+  // schedule with seed + 1, like the seed collect/ablation benches did.
+  std::uint64_t seed = 1;
+  long max_rounds = 8'000'000;
+  amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
+  bool track_components = false;  // per-activation component count (ablation)
+};
+
+// Materializes the Spec's shape (deterministic in the Spec fields).
+[[nodiscard]] grid::Shape build_shape(const Spec& spec);
+
+struct Result {
+  Spec spec;
+  // Shape metrics (paper §2.1 quantities).
+  int n = 0;
+  int holes = 0;
+  int d = 0;
+  int d_area = 0;
+  int d_grid = 0;
+  int l_out = 0;
+  int ecc = -1;  // leader eccentricity (DleCollect only)
+  // Outcome.
+  long obd_rounds = 0;
+  long dle_rounds = 0;
+  long collect_rounds = 0;
+  long baseline_rounds = 0;
+  int phases = 0;  // Collect doubling phases
+  long long activations = 0;
+  long long moves = 0;
+  bool completed = false;
+  int leaders = -1;  // unique-leader check, -1 = not applicable
+  int max_components = 0;  // only when spec.track_components
+  long long peak_occupancy_cells = 0;
+  // Wall-clock (the only nondeterministic fields).
+  double wall_ms = 0.0;
+  double obd_ms = 0.0;
+  double dle_ms = 0.0;
+  double collect_ms = 0.0;
+
+  [[nodiscard]] long total_rounds() const {
+    return obd_rounds + dle_rounds + collect_rounds + baseline_rounds;
+  }
+};
+
+Result run_scenario(const Spec& spec);
+
+struct Suite {
+  std::string name;
+  std::string description;
+  std::vector<Spec> specs;
+};
+
+// Registered suite names, in registry order. "all" (accepted by bench_main)
+// expands to every suite except the large-n stress sweep.
+[[nodiscard]] std::vector<std::string> suite_names();
+
+// Throws pm::CheckError for an unknown name.
+[[nodiscard]] Suite make_suite(const std::string& name);
+
+void print_results(const Suite& suite, const std::vector<Result>& results,
+                   std::ostream& os);
+
+// One JSON document per suite (schema versioned; see README).
+[[nodiscard]] std::string to_json(const Suite& suite, const std::vector<Result>& results);
+
+// Flat CSV rows (with header) for spreadsheet-style analysis.
+[[nodiscard]] std::string to_csv(const std::vector<Result>& results);
+
+// Shared CLI driver:
+//   pm_bench [SUITE ...] [--list] [--json-dir=DIR] [--no-json] [--csv=FILE]
+//            [--occupancy=dense|hash|differential] [--compare-occupancy]
+// `default_suite` is what a per-suite shim binary runs when no suite is
+// named on the command line (nullptr = "all").
+int bench_main(int argc, char** argv, const char* default_suite = nullptr);
+
+}  // namespace pm::scenario

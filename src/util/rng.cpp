@@ -36,7 +36,11 @@ std::uint64_t Rng::next() noexcept {
 }
 
 std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  // Debiased modulo via rejection sampling.
+  // Debiased modulo via rejection sampling. NOTE: the value stream of this
+  // method is load-bearing — every recorded trajectory and the shape
+  // generators' outputs depend on it, so it must not be swapped for a
+  // faster mapping (e.g. Lemire's multiply-shift) without revalidating
+  // every seed-sensitive suite.
   const std::uint64_t threshold = (0 - bound) % bound;
   for (;;) {
     const std::uint64_t r = next();

@@ -1,0 +1,16 @@
+// Shared wall-clock helpers for the engines' per-phase metrics.
+#pragma once
+
+#include <chrono>
+
+namespace pm {
+
+using WallClock = std::chrono::steady_clock;
+
+// Milliseconds elapsed since t0 (the single definition of "wall_ms" across
+// the Engine, the pipeline, and the scenario runner).
+[[nodiscard]] inline double ms_since(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0).count();
+}
+
+}  // namespace pm

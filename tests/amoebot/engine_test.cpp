@@ -1,0 +1,164 @@
+// Engine regression: the incremental-termination Engine must reproduce the
+// seed scheduler (kept verbatim as run_reference) bit-for-bit — identical
+// rounds, activations, and completion — on every order, and across the full
+// OBD -> DLE -> Collect pipeline for both occupancy engines.
+#include "amoebot/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dle/dle.h"
+#include "core/le/le.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::amoebot {
+namespace {
+
+using core::Dle;
+using core::DleState;
+
+struct CountToTarget {
+  struct State {
+    int count = 0;
+  };
+  int target = 5;
+
+  void activate(ParticleView<State>& p) { ++p.self().count; }
+  [[nodiscard]] bool is_final(const System<State>& sys, ParticleId p) const {
+    return sys.state(p).count >= target;
+  }
+};
+
+TEST(EngineRegression, MatchesReferenceOnToyAlgorithm) {
+  for (const Order order : {Order::RoundRobin, Order::RandomPerm, Order::RandomStream}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      const auto shape = shapegen::hexagon(2);
+      Rng rng_a(seed);
+      auto sys_a = System<CountToTarget::State>::from_shape(shape, rng_a);
+      Rng rng_b(seed);
+      auto sys_b = System<CountToTarget::State>::from_shape(shape, rng_b);
+      CountToTarget algo_a;
+      CountToTarget algo_b;
+      const RunOptions opts{order, seed, 1000};
+      const RunResult incr = run(sys_a, algo_a, opts);
+      const RunResult ref = run_reference(sys_b, algo_b, opts);
+      EXPECT_EQ(incr.rounds, ref.rounds) << order_name(order) << " seed " << seed;
+      EXPECT_EQ(incr.activations, ref.activations);
+      EXPECT_EQ(incr.completed, ref.completed);
+    }
+  }
+}
+
+TEST(EngineRegression, MatchesReferenceOnDle) {
+  const auto shapes = shapegen::standard_family(5, 2);
+  for (const auto& named : shapes) {
+    for (const Order order : {Order::RoundRobin, Order::RandomPerm, Order::RandomStream}) {
+      Rng rng_a(13);
+      auto sys_a = Dle::make_system(named.shape, rng_a);
+      Rng rng_b(13);
+      auto sys_b = Dle::make_system(named.shape, rng_b);
+      Dle dle_a;
+      Dle dle_b;
+      const RunOptions opts{order, 14, 500'000};
+      const RunResult incr = run(sys_a, dle_a, opts);
+      const RunResult ref = run_reference(sys_b, dle_b, opts);
+      ASSERT_EQ(incr.rounds, ref.rounds) << named.name << " / " << order_name(order);
+      ASSERT_EQ(incr.activations, ref.activations) << named.name;
+      ASSERT_EQ(incr.completed, ref.completed) << named.name;
+      // Trajectories, not just counts: final configurations are identical.
+      for (ParticleId p = 0; p < sys_a.particle_count(); ++p) {
+        ASSERT_EQ(sys_a.body(p).head, sys_b.body(p).head) << named.name << " p" << p;
+        ASSERT_EQ(sys_a.body(p).tail, sys_b.body(p).tail) << named.name << " p" << p;
+      }
+      EXPECT_EQ(core::election_outcome(sys_a).leaders,
+                core::election_outcome(sys_b).leaders);
+    }
+  }
+}
+
+TEST(EngineRegression, MatchesReferenceOnPullVariant) {
+  // The pull variant's handovers mutate a second particle's body mid-round,
+  // exercising the TouchList movement-partner path.
+  Rng rng_a(29);
+  auto sys_a = Dle::make_system(shapegen::annulus(6, 5), rng_a);
+  Rng rng_b(29);
+  auto sys_b = Dle::make_system(shapegen::annulus(6, 5), rng_b);
+  Dle dle_a({.connected_pull = true});
+  Dle dle_b({.connected_pull = true});
+  const RunOptions opts{Order::RandomPerm, 31, 500'000};
+  const RunResult incr = run(sys_a, dle_a, opts);
+  const RunResult ref = run_reference(sys_b, dle_b, opts);
+  EXPECT_EQ(incr.rounds, ref.rounds);
+  EXPECT_EQ(incr.activations, ref.activations);
+  EXPECT_TRUE(incr.completed);
+  EXPECT_EQ(incr.completed, ref.completed);
+}
+
+TEST(EngineRegression, MatchesReferenceOnIncompleteRuns) {
+  Rng rng_a(3);
+  auto sys_a = Dle::make_system(shapegen::hexagon(6), rng_a);
+  Rng rng_b(3);
+  auto sys_b = Dle::make_system(shapegen::hexagon(6), rng_b);
+  Dle dle_a;
+  Dle dle_b;
+  const RunOptions opts{Order::RandomPerm, 5, 4};  // too few rounds to finish
+  const RunResult incr = run(sys_a, dle_a, opts);
+  const RunResult ref = run_reference(sys_b, dle_b, opts);
+  EXPECT_FALSE(incr.completed);
+  EXPECT_EQ(incr.rounds, ref.rounds);
+  EXPECT_EQ(incr.activations, ref.activations);
+  EXPECT_EQ(incr.completed, ref.completed);
+}
+
+// Full pipeline (OBD -> DLE -> Collect): the Engine drives the DLE stage and
+// the round-synchronous OBD/Collect engines surround it; per-stage round
+// counts must be identical across occupancy engines, i.e. the refactor
+// preserves determinism bit-for-bit for fixed seeds.
+TEST(EngineRegression, PipelineRoundsIdenticalAcrossOccupancyModes) {
+  const auto shape = shapegen::swiss_cheese(6, 4, 2024);
+  core::PipelineOptions opts;
+  opts.use_boundary_oracle = false;
+  opts.seed = 8;
+  opts.occupancy = OccupancyMode::Dense;
+  const auto dense = core::elect_leader(shape, opts);
+  opts.occupancy = OccupancyMode::Hash;
+  const auto hash = core::elect_leader(shape, opts);
+  opts.occupancy = OccupancyMode::Differential;
+  const auto diff = core::elect_leader(shape, opts);
+  ASSERT_TRUE(dense.completed);
+  EXPECT_EQ(dense.obd_rounds, hash.obd_rounds);
+  EXPECT_EQ(dense.dle_rounds, hash.dle_rounds);
+  EXPECT_EQ(dense.collect_rounds, hash.collect_rounds);
+  EXPECT_EQ(dense.completed, hash.completed);
+  EXPECT_EQ(dense.leader, hash.leader);
+  EXPECT_EQ(dense.obd_rounds, diff.obd_rounds);
+  EXPECT_EQ(dense.dle_rounds, diff.dle_rounds);
+  EXPECT_EQ(dense.collect_rounds, diff.collect_rounds);
+  EXPECT_EQ(dense.leader, diff.leader);
+}
+
+TEST(Engine, ReportsRunMetrics) {
+  Rng rng(5);
+  auto sys = Dle::make_system(shapegen::annulus(5, 3), rng, OccupancyMode::Dense);
+  Dle dle;
+  const RunResult res = run(sys, dle, {Order::RandomPerm, 6, 200'000});
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.moves, 0);                  // DLE moves particles
+  EXPECT_EQ(res.moves, sys.moves());        // delta from a fresh system
+  EXPECT_GT(res.peak_occupancy_cells, 0);   // dense engine tracked its box
+  EXPECT_GE(res.wall_ms, 0.0);
+}
+
+TEST(Engine, TemplateHookObservesEveryActivation) {
+  Rng rng(2);
+  auto sys = System<CountToTarget::State>::from_shape(shapegen::hexagon(2), rng);
+  CountToTarget algo;
+  long long seen = 0;
+  const RunResult res =
+      run(sys, algo, {Order::RoundRobin, 1, 100},
+          [&](System<CountToTarget::State>&, ParticleId) { ++seen; });
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(seen, res.activations);
+}
+
+}  // namespace
+}  // namespace pm::amoebot

@@ -99,7 +99,7 @@ TEST_P(PipelineSweep, FullPipelineElectsAndReconnects) {
   Rng rng(s);
   auto sys = Dle::make_system(shape, rng);
   const PipelineResult res =
-      elect_leader(sys, shape, {.use_boundary_oracle = false, .seed = s + 1});
+      elect_leader(sys, {.use_boundary_oracle = false, .seed = s + 1});
   ASSERT_TRUE(res.completed);
   EXPECT_GT(res.obd_rounds, 0);
   const ElectionOutcome o = election_outcome(sys);

@@ -1,0 +1,127 @@
+// DenseOccupancy: the flat-array occupancy index behind the engine hot path.
+#include "grid/dense_occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pm::grid {
+namespace {
+
+TEST(DenseOccupancy, EmptyFindsNothing) {
+  DenseOccupancy occ;
+  EXPECT_TRUE(occ.empty());
+  EXPECT_EQ(occ.size(), 0u);
+  EXPECT_FALSE(occ.contains({0, 0}));
+  EXPECT_EQ(occ.find({123, -456}), DenseOccupancy::kEmpty);
+  EXPECT_EQ(occ.extent_cells(), 0);
+}
+
+TEST(DenseOccupancy, InsertFindErase) {
+  DenseOccupancy occ;
+  occ.insert({0, 0}, 7);
+  occ.insert({1, 0}, 8);
+  occ.insert({-3, 5}, 9);  // forces growth across negative coordinates
+  EXPECT_EQ(occ.size(), 3u);
+  EXPECT_EQ(occ.find({0, 0}), 7);
+  EXPECT_EQ(occ.find({1, 0}), 8);
+  EXPECT_EQ(occ.find({-3, 5}), 9);
+  EXPECT_FALSE(occ.contains({2, 2}));
+
+  occ.erase({1, 0});
+  EXPECT_EQ(occ.size(), 2u);
+  EXPECT_FALSE(occ.contains({1, 0}));
+  EXPECT_EQ(occ.find({0, 0}), 7);  // erase does not disturb other cells
+
+  occ.insert({1, 0}, 11);  // re-insert with a different value
+  EXPECT_EQ(occ.find({1, 0}), 11);
+}
+
+TEST(DenseOccupancy, PreconditionViolationsThrow) {
+  DenseOccupancy occ;
+  occ.insert({0, 0}, 1);
+  EXPECT_THROW(occ.insert({0, 0}, 2), CheckError);     // duplicate node
+  EXPECT_THROW(occ.erase({5, 5}), CheckError);          // absent node
+  EXPECT_THROW(occ.insert({1, 1}, -3), CheckError);     // negative value
+}
+
+TEST(DenseOccupancy, ClearResets) {
+  DenseOccupancy occ;
+  occ.insert({4, -2}, 0);
+  occ.clear();
+  EXPECT_TRUE(occ.empty());
+  EXPECT_FALSE(occ.contains({4, -2}));
+  EXPECT_EQ(occ.extent_cells(), 0);
+  EXPECT_EQ(occ.peak_cells(), 0);  // peak history restarts with the index
+  occ.insert({100, 100}, 5);  // usable after clear
+  EXPECT_EQ(occ.find({100, 100}), 5);
+}
+
+TEST(DenseOccupancy, ReserveBoxAvoidsRegrowth) {
+  DenseOccupancy occ;
+  occ.reserve_box({-10, -10}, {10, 10});
+  const long long extent = occ.extent_cells();
+  EXPECT_GE(extent, 21LL * 21LL);
+  for (int x = -10; x <= 10; ++x) {
+    for (int y = -10; y <= 10; ++y) {
+      occ.insert({x, y}, x * 100 + y + 2000);
+    }
+  }
+  EXPECT_EQ(occ.extent_cells(), extent);  // no growth inside the reserved box
+  EXPECT_EQ(occ.size(), 21u * 21u);
+}
+
+TEST(DenseOccupancy, PeakCellsIsMonotone) {
+  DenseOccupancy occ;
+  occ.insert({0, 0}, 1);
+  const long long first = occ.peak_cells();
+  EXPECT_GT(first, 0);
+  occ.insert({50, 50}, 2);  // growth
+  EXPECT_GE(occ.peak_cells(), first);
+  EXPECT_GE(occ.peak_cells(), occ.extent_cells());
+}
+
+// Randomized differential check against std::unordered_map across a long
+// insert/erase trace with a drifting working set (exercises repeated growth).
+TEST(DenseOccupancy, MatchesHashMapOnRandomTrace) {
+  DenseOccupancy occ;
+  std::unordered_map<Node, std::int32_t, NodeHash> ref;
+  Rng rng(99);
+  std::vector<Node> present;
+  std::int32_t next_val = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    const bool do_insert = present.empty() || rng.below(3) != 0;
+    if (do_insert) {
+      // Drift the box over time so growth happens in every direction.
+      const auto drift = static_cast<std::int32_t>(step / 200);
+      const Node v{static_cast<std::int32_t>(rng.range(-40, 40)) + drift,
+                   static_cast<std::int32_t>(rng.range(-40, 40)) - drift};
+      if (ref.contains(v)) continue;
+      occ.insert(v, next_val);
+      ref.emplace(v, next_val);
+      present.push_back(v);
+      ++next_val;
+    } else {
+      const std::size_t i = static_cast<std::size_t>(rng.below(present.size()));
+      const Node v = present[i];
+      occ.erase(v);
+      ref.erase(v);
+      present[i] = present.back();
+      present.pop_back();
+    }
+    if (step % 500 == 0) {
+      for (const auto& [v, id] : ref) {
+        ASSERT_EQ(occ.find(v), id) << "divergence at " << v << " after step " << step;
+      }
+      ASSERT_EQ(occ.size(), ref.size());
+    }
+  }
+  for (const auto& [v, id] : ref) ASSERT_EQ(occ.find(v), id);
+}
+
+}  // namespace
+}  // namespace pm::grid

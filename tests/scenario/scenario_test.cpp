@@ -1,0 +1,139 @@
+// The experiment layer: scenario registry, runner determinism, serializers.
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pm::scenario {
+namespace {
+
+TEST(ScenarioRegistry, ListsAllSuites) {
+  const auto names = suite_names();
+  for (const char* expected :
+       {"table1", "obd_scaling", "dle_scaling", "collect_scaling",
+        "ablation_disconnection", "dle_large"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing suite " << expected;
+  }
+  for (const auto& name : names) {
+    const Suite suite = make_suite(name);
+    EXPECT_EQ(suite.name, name);
+    EXPECT_FALSE(suite.specs.empty()) << name;
+    EXPECT_FALSE(suite.description.empty()) << name;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownSuiteThrows) {
+  EXPECT_THROW(make_suite("no_such_suite"), CheckError);
+}
+
+TEST(ScenarioRegistry, UnknownShapeFamilyThrows) {
+  Spec spec;
+  spec.family = "dodecahedron";
+  EXPECT_THROW(build_shape(spec), CheckError);
+}
+
+Spec small_dle_spec() {
+  Spec spec;
+  spec.family = "hexagon";
+  spec.p1 = 3;
+  spec.algo = Algo::DleOracle;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(ScenarioRunner, RunsASmallDleScenario) {
+  const Result res = run_scenario(small_dle_spec());
+  EXPECT_EQ(res.spec.name, "hexagon(3)");  // auto-derived label
+  EXPECT_EQ(res.n, 37);
+  EXPECT_EQ(res.holes, 0);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.leaders, 1);
+  EXPECT_GT(res.dle_rounds, 0);
+  EXPECT_GT(res.activations, 0);
+  EXPECT_EQ(res.total_rounds(), res.dle_rounds);
+}
+
+TEST(ScenarioRunner, IsDeterministicUpToWallClock) {
+  const Result a = run_scenario(small_dle_spec());
+  const Result b = run_scenario(small_dle_spec());
+  EXPECT_EQ(a.dle_rounds, b.dle_rounds);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.peak_occupancy_cells, b.peak_occupancy_cells);
+}
+
+TEST(ScenarioRunner, OccupancyModeDoesNotChangeRounds) {
+  Spec dense = small_dle_spec();
+  dense.occupancy = amoebot::OccupancyMode::Dense;
+  Spec hash = small_dle_spec();
+  hash.occupancy = amoebot::OccupancyMode::Hash;
+  const Result rd = run_scenario(dense);
+  const Result rh = run_scenario(hash);
+  EXPECT_EQ(rd.dle_rounds, rh.dle_rounds);
+  EXPECT_EQ(rd.activations, rh.activations);
+  EXPECT_EQ(rd.moves, rh.moves);
+  EXPECT_GT(rd.peak_occupancy_cells, 0);
+  EXPECT_EQ(rh.peak_occupancy_cells, 0);
+}
+
+TEST(ScenarioRunner, ErosionBaselineRejectsHoleyShapes) {
+  Spec spec;
+  spec.family = "annulus";
+  spec.p1 = 4;
+  spec.p2 = 1;
+  spec.algo = Algo::BaselineErosion;
+  const Result res = run_scenario(spec);
+  EXPECT_FALSE(res.completed);  // the erosion class cannot handle holes
+  EXPECT_EQ(res.baseline_rounds, 0);
+}
+
+TEST(ScenarioRunner, PipelineScenarioFillsStageRounds) {
+  Spec spec;
+  spec.family = "cheese";
+  spec.p1 = 5;
+  spec.p2 = 2;
+  spec.shape_seed = 4;
+  spec.algo = Algo::PipelineFull;
+  spec.seed = 8;
+  const Result res = run_scenario(spec);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.obd_rounds, 0);
+  EXPECT_GT(res.dle_rounds, 0);
+  EXPECT_GT(res.collect_rounds, 0);
+  EXPECT_EQ(res.leaders, 1);
+  EXPECT_EQ(res.total_rounds(), res.obd_rounds + res.dle_rounds + res.collect_rounds);
+}
+
+TEST(ScenarioSerialization, JsonContainsSuiteAndRows) {
+  Suite suite{"demo", "demo suite", {small_dle_spec()}};
+  const std::vector<Result> results = {run_scenario(suite.specs[0])};
+  const std::string json = to_json(suite, results);
+  EXPECT_NE(json.find("\"suite\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"hexagon(3)\""), std::string::npos);
+  EXPECT_NE(json.find("\"algo\": \"dle_oracle\""), std::string::npos);
+  EXPECT_NE(json.find("\"completed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy\": \""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness smoke check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ScenarioSerialization, CsvHasHeaderPlusOneRowPerResult) {
+  const std::vector<Result> results = {run_scenario(small_dle_spec()),
+                                       run_scenario(small_dle_spec())};
+  const std::string csv = to_csv(results);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+  EXPECT_NE(csv.find("scenario,family,algo"), std::string::npos);
+  EXPECT_NE(csv.find("hexagon(3)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pm::scenario
