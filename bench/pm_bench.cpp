@@ -3,8 +3,13 @@
 //   pm_bench --list                 # registered suites
 //   pm_bench                        # run all standard suites, write JSON
 //   pm_bench dle_scaling table1     # run specific suites
+//   pm_bench --suite scaling        # suites whose name contains "scaling"
 //   pm_bench dle_large --compare-occupancy
 //                                   # large-n sweep, dense vs hash engines
+//   pm_bench parallel_scaling       # ParallelEngine thread ladder (n = 20k)
+//   pm_bench dle_scaling --threads 4 --reps 3
+//                                   # any suite on the parallel engine,
+//                                   # best-of-3 wall times
 //
 // Each suite writes BENCH_<suite>.json (disable with --no-json) so the
 // performance trajectory can be tracked across PRs; --csv aggregates all

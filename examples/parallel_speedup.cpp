@@ -1,0 +1,75 @@
+// parallel_speedup — DLE on a large hexagon under the ParallelEngine.
+//
+//   ./parallel_speedup [radius]     (default 82: n = 20,419 particles)
+//
+// Runs Algorithm DLE once with the sequential Engine and then with the
+// ParallelEngine at 1, 2, 4, and 8 threads, printing rounds, wall time, and
+// speedup vs the sequential baseline. Every row reports identical rounds,
+// activations, and moves — the parallel engine is bit-for-bit deterministic;
+// only the wall clock moves. Speedup requires physical cores: on a 1-core
+// machine the ladder shows the batching overhead instead.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dle/dle.h"
+#include "exec/parallel_engine.h"
+#include "shapegen/shapegen.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pm;
+  const int radius = argc > 1 ? std::atoi(argv[1]) : 82;
+  if (radius < 1) {
+    std::fprintf(stderr, "usage: %s [radius >= 1]\n", argv[0]);
+    return 2;
+  }
+  const auto shape = shapegen::hexagon(radius);
+  std::printf("DLE on hexagon(%d): n = %d particles, %d hardware threads\n\n", radius,
+              static_cast<int>(shape.size()),
+              exec::ThreadPool::default_thread_count());
+
+  const amoebot::Order order = amoebot::Order::RandomPerm;
+  const std::uint64_t seed = 9;
+  const long max_rounds = 8'000'000;
+
+  auto fresh_system = [&] {
+    Rng rng(seed);
+    return core::Dle::make_system(shape, rng, amoebot::OccupancyMode::Dense);
+  };
+
+  Table table({"engine", "threads", "rounds", "activations", "moves", "wall ms",
+               "speedup"});
+  double base_ms = 0.0;
+  auto add_row = [&](const char* engine, int threads, const amoebot::RunResult& res) {
+    if (base_ms == 0.0) base_ms = res.wall_ms;
+    table.add_row({engine, threads > 0 ? Table::num(static_cast<long long>(threads)) : "-",
+                   Table::num(static_cast<long long>(res.rounds)),
+                   Table::num(res.activations), Table::num(res.moves),
+                   Table::num(res.wall_ms),
+                   Table::num(res.wall_ms > 0 ? base_ms / res.wall_ms : 0.0)});
+  };
+
+  {
+    auto sys = fresh_system();
+    core::Dle dle;
+    const auto res = amoebot::run(sys, dle, {order, seed, max_rounds});
+    if (!res.completed) {
+      std::fprintf(stderr, "sequential run did not complete\n");
+      return 1;
+    }
+    add_row("sequential", 0, res);
+  }
+  for (const int threads : {1, 2, 4, 8}) {
+    auto sys = fresh_system();
+    core::Dle dle;
+    const auto res = exec::run_parallel(sys, dle, {order, seed, max_rounds, threads});
+    add_row("parallel", threads, res);
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "All rows report identical rounds/activations/moves: the ParallelEngine\n"
+      "commits every batch in sequential order, so results match the\n"
+      "sequential Engine bit-for-bit for any fixed (order, seed).\n");
+  return 0;
+}

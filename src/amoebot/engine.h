@@ -75,6 +75,121 @@ struct NoHook {
   void operator()(Sys&, ParticleId) const {}
 };
 
+// Incremental finality tracking, shared by the sequential Engine and
+// exec::ParallelEngine so the exactness contract lives in one place: flags
+// mirror is_final per particle, the non-final count replaces the seed
+// scheduler's O(n) all-final rescan, and after every activation exactly the
+// TouchList's particles are re-evaluated (with a full recount as the
+// overflow fallback). Exact under the Algo contract documented above.
+template <typename Algo>
+class FinalityTracker {
+ public:
+  using State = typename Algo::State;
+
+  // One-time O(n) pass; afterwards the count is maintained incrementally.
+  void init(const System<State>& sys, const Algo& algo) {
+    final_.assign(static_cast<std::size_t>(sys.particle_count()), 0);
+    recount(sys, algo);
+  }
+
+  [[nodiscard]] bool all_final() const { return nonfinal_ == 0; }
+  [[nodiscard]] bool is_final_flag(ParticleId p) const {
+    return final_[static_cast<std::size_t>(p)] != 0;
+  }
+  // The raw flag array (exec::Batcher consumes it during batch planning).
+  [[nodiscard]] const std::vector<char>& flags() const { return final_; }
+
+  // Re-evaluates exactly the particles one activation may have mutated.
+  // `touches` must already include the activated particle itself.
+  void process(const System<State>& sys, const Algo& algo, const TouchList& touches) {
+    if (touches.overflowed()) {
+      recount(sys, algo);
+    } else {
+      for (int i = 0; i < touches.size(); ++i) refresh(sys, algo, touches[i]);
+    }
+  }
+
+  void refresh(const System<State>& sys, const Algo& algo, ParticleId q) {
+    const bool f = algo.is_final(sys, q);
+    char& flag = final_[static_cast<std::size_t>(q)];
+    if (static_cast<bool>(flag) != f) {
+      nonfinal_ += f ? -1 : 1;
+      flag = f ? 1 : 0;
+    }
+  }
+
+  void recount(const System<State>& sys, const Algo& algo) {
+    nonfinal_ = 0;
+    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+      final_[static_cast<std::size_t>(p)] = algo.is_final(sys, p) ? 1 : 0;
+      if (!final_[static_cast<std::size_t>(p)]) ++nonfinal_;
+    }
+  }
+
+ private:
+  std::vector<char> final_;
+  int nonfinal_ = 0;
+};
+
+// Fills the per-run metrics every engine reports the same way.
+inline RunResult& finalize_metrics(RunResult& res, const SystemCore& sys,
+                                   WallClock::time_point t0, long long moves0) {
+  res.moves = sys.moves() - moves0;
+  res.peak_occupancy_cells = sys.peak_occupancy_cells();
+  res.wall_ms = ms_since(t0);
+  return res;
+}
+
+// Produces each round's activation sequence for an Order, shared by the
+// sequential Engine and exec::ParallelEngine so the order semantics cannot
+// drift between them. RandomStream's draws are configuration-independent
+// (the coverage-counted round boundary depends only on which ids come up),
+// so materializing the whole round up front is observably identical to the
+// seed scheduler's interleaved draws — engine_test's differential runs
+// against run_reference() pin that down.
+class RoundSequencer {
+ public:
+  void init(int n) {
+    order_.resize(static_cast<std::size_t>(n));
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+
+  // Returns the round's sequence; the reference stays valid until the next
+  // call. Advances `rng` exactly as the seed scheduler's loop would.
+  const std::vector<ParticleId>& next_round(Order order, Rng& rng) {
+    switch (order) {
+      case Order::RoundRobin:
+        return order_;
+      case Order::RandomPerm:
+        rng.shuffle(order_);
+        return order_;
+      case Order::RandomStream: {
+        // Keep drawing uniformly random particles until every particle has
+        // come up at least once — that fragment is one round.
+        const auto n = static_cast<std::uint64_t>(order_.size());
+        stream_.clear();
+        covered_.assign(order_.size(), 0);
+        std::size_t left = order_.size();
+        while (left > 0) {
+          const auto p = static_cast<ParticleId>(rng.below(n));
+          stream_.push_back(p);
+          if (!covered_[static_cast<std::size_t>(p)]) {
+            covered_[static_cast<std::size_t>(p)] = 1;
+            --left;
+          }
+        }
+        return stream_;
+      }
+    }
+    return order_;
+  }
+
+ private:
+  std::vector<ParticleId> order_;
+  std::vector<ParticleId> stream_;   // RandomStream round buffer
+  std::vector<char> covered_;        // RandomStream coverage marks
+};
+
 template <typename Algo, typename Hook = NoHook>
 class Engine {
  public:
@@ -94,102 +209,46 @@ class Engine {
     }
 
     Rng rng(opts_.seed);
-    order_.resize(static_cast<std::size_t>(n));
-    std::iota(order_.begin(), order_.end(), 0);
-
-    // One-time O(n) pass; afterwards the count is maintained incrementally.
-    final_.assign(static_cast<std::size_t>(n), 0);
-    nonfinal_ = 0;
-    for (ParticleId p = 0; p < n; ++p) {
-      final_[static_cast<std::size_t>(p)] = algo_.is_final(sys_, p) ? 1 : 0;
-      if (!final_[static_cast<std::size_t>(p)]) ++nonfinal_;
-    }
+    sequencer_.init(n);
+    tracker_.init(sys_, algo_);
 
     while (res.rounds < opts_.max_rounds) {
-      if (nonfinal_ == 0) {
+      if (tracker_.all_final()) {
         res.completed = true;
         return finish(res, t0, moves0);
       }
-      switch (opts_.order) {
-        case Order::RoundRobin:
-          for (const ParticleId p : order_) activate_one(p, res);
-          break;
-        case Order::RandomPerm:
-          rng.shuffle(order_);
-          for (const ParticleId p : order_) activate_one(p, res);
-          break;
-        case Order::RandomStream: {
-          // Keep activating uniformly random particles until every particle
-          // has been hit at least once — that fragment is one round. The
-          // coverage buffer is engine state, reused across rounds.
-          covered_.assign(static_cast<std::size_t>(n), 0);
-          int left = n;
-          while (left > 0) {
-            const auto p = static_cast<ParticleId>(rng.below(static_cast<std::uint64_t>(n)));
-            activate_one(p, res);
-            if (!covered_[static_cast<std::size_t>(p)]) {
-              covered_[static_cast<std::size_t>(p)] = 1;
-              --left;
-            }
-          }
-          break;
-        }
+      for (const ParticleId p : sequencer_.next_round(opts_.order, rng)) {
+        activate_one(p, res);
       }
       ++res.rounds;
     }
-    res.completed = nonfinal_ == 0;
+    res.completed = tracker_.all_final();
     return finish(res, t0, moves0);
   }
 
  private:
   void activate_one(ParticleId p, RunResult& res) {
     // A particle in a final state performs none of the activation steps.
-    if (final_[static_cast<std::size_t>(p)]) return;
+    if (tracker_.is_final_flag(p)) return;
     TouchList touches;
     ParticleView<State> view(sys_, p, &touches);
     algo_.activate(view);
     ++res.activations;
     touches.add(p);  // the activated particle is always re-evaluated
-    if (touches.overflowed()) {
-      recount();
-    } else {
-      for (int i = 0; i < touches.size(); ++i) refresh(touches[i]);
-    }
+    tracker_.process(sys_, algo_, touches);
     hook_(sys_, p);
   }
 
-  void refresh(ParticleId q) {
-    const bool f = algo_.is_final(sys_, q);
-    char& flag = final_[static_cast<std::size_t>(q)];
-    if (static_cast<bool>(flag) != f) {
-      nonfinal_ += f ? -1 : 1;
-      flag = f ? 1 : 0;
-    }
-  }
-
-  void recount() {
-    nonfinal_ = 0;
-    for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
-      final_[static_cast<std::size_t>(p)] = algo_.is_final(sys_, p) ? 1 : 0;
-      if (!final_[static_cast<std::size_t>(p)]) ++nonfinal_;
-    }
-  }
-
   RunResult finish(RunResult& res, WallClock::time_point t0, long long moves0) const {
-    res.moves = sys_.moves() - moves0;
-    res.peak_occupancy_cells = sys_.peak_occupancy_cells();
-    res.wall_ms = ms_since(t0);
-    return res;
+    return finalize_metrics(res, sys_, t0, moves0);
   }
 
   System<State>& sys_;
   Algo& algo_;
   RunOptions opts_;
   Hook hook_;
-  std::vector<ParticleId> order_;
-  std::vector<char> final_;
-  std::vector<char> covered_;
-  int nonfinal_ = 0;
+  FinalityTracker<Algo> tracker_;
+  RoundSequencer sequencer_;
 };
 
 template <typename Algo>

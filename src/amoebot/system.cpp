@@ -6,6 +6,50 @@ namespace pm::amoebot {
 
 using grid::Node;
 
+thread_local ActivationLog* SystemCore::tls_log_ = nullptr;
+
+void SystemCore::move_insert(Node v, ParticleId p) {
+  if (ActivationLog* log = batch_active_ ? tls_log_ : nullptr) {
+    PM_CHECK_MSG(log->op_count < 2, "more than one movement journaled");
+    log->ops[static_cast<std::size_t>(log->op_count++)] = {v, p};
+  } else {
+    occ_insert(v, p);
+  }
+}
+
+void SystemCore::move_erase(Node v) {
+  if (ActivationLog* log = batch_active_ ? tls_log_ : nullptr) {
+    PM_CHECK_MSG(log->op_count < 2, "more than one movement journaled");
+    log->ops[static_cast<std::size_t>(log->op_count++)] = {v, kNoParticle};
+  } else {
+    occ_erase(v);
+  }
+}
+
+void SystemCore::move_done(int expanded_delta) {
+  if (ActivationLog* log = batch_active_ ? tls_log_ : nullptr) {
+    ++log->moves;
+    log->expanded_delta += expanded_delta;
+  } else {
+    expanded_count_ += expanded_delta;
+    ++moves_;
+  }
+}
+
+void SystemCore::commit(const ActivationLog& log) {
+  PM_CHECK_MSG(!batch_active_, "commit inside an active batch session");
+  for (int i = 0; i < log.op_count; ++i) {
+    const ActivationLog::Op& op = log.ops[static_cast<std::size_t>(i)];
+    if (op.id == kNoParticle) {
+      occ_erase(op.v);
+    } else {
+      occ_insert(op.v, op.id);
+    }
+  }
+  expanded_count_ += log.expanded_delta;
+  moves_ += log.moves;
+}
+
 ParticleId SystemCore::add_particle(Node at, std::uint8_t ori) {
   PM_CHECK_MSG(!occupied(at), "add_particle: node " << at << " already occupied");
   PM_CHECK(ori < 6);
@@ -85,27 +129,24 @@ void SystemCore::expand(ParticleId p, Node to) {
   PM_CHECK_MSG(!occupied(to), "expand: target " << to << " occupied");
   b.tail = b.head;
   b.head = to;
-  occ_insert(to, p);
-  ++expanded_count_;
-  ++moves_;
+  move_insert(to, p);
+  move_done(+1);
 }
 
 void SystemCore::contract_to_head(ParticleId p) {
   Body& b = bodies_[checked(p)];
   PM_CHECK_MSG(b.expanded(), "contract_to_head: particle " << p << " is contracted");
-  occ_erase(b.tail);
+  move_erase(b.tail);
   b.tail = b.head;
-  --expanded_count_;
-  ++moves_;
+  move_done(-1);
 }
 
 void SystemCore::contract_to_tail(ParticleId p) {
   Body& b = bodies_[checked(p)];
   PM_CHECK_MSG(b.expanded(), "contract_to_tail: particle " << p << " is contracted");
-  occ_erase(b.head);
+  move_erase(b.head);
   b.head = b.tail;
-  --expanded_count_;
-  ++moves_;
+  move_done(-1);
 }
 
 void SystemCore::handover(ParticleId p, ParticleId q) {
@@ -116,14 +157,14 @@ void SystemCore::handover(ParticleId p, ParticleId q) {
   PM_CHECK_MSG(grid::adjacent(bp.head, bq.tail), "handover: p not adjacent to q's tail");
   const Node freed = bq.tail;
   // q contracts into its head...
-  occ_erase(freed);
+  move_erase(freed);
   bq.tail = bq.head;
   // ...and p expands into the freed node, atomically.
   bp.tail = bp.head;
   bp.head = freed;
-  occ_insert(freed, p);
-  // (q contracted, p expanded: expanded_count_ is unchanged.)
-  ++moves_;
+  move_insert(freed, p);
+  // (q contracted, p expanded: the expanded count is unchanged.)
+  move_done(0);
 }
 
 }  // namespace pm::amoebot

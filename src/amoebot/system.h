@@ -13,6 +13,7 @@
 // paper's token protocols.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,31 @@ struct Body {
   [[nodiscard]] bool expanded() const { return !(head == tail); }
 };
 
+// The deferred occupancy effects of one activation executed inside a
+// parallel batch (exec/parallel_engine.h). While a batch is active, movement
+// operations mutate particle bodies directly — batch members have disjoint
+// footprints, so body writes never collide — but their occupancy-index
+// updates are journaled here instead of applied, and committed by the engine
+// in the original sequential order once the batch joins. A single activation
+// performs at most one movement, hence at most two ops (a handover frees a
+// node and re-fills it).
+struct ActivationLog {
+  struct Op {
+    grid::Node v{};
+    ParticleId id = kNoParticle;  // kNoParticle = erase, otherwise insert
+  };
+  std::array<Op, 2> ops{};
+  int op_count = 0;
+  int moves = 0;
+  int expanded_delta = 0;
+
+  void clear() {
+    op_count = 0;
+    moves = 0;
+    expanded_delta = 0;
+  }
+};
+
 class SystemCore {
  public:
   SystemCore() = default;
@@ -69,6 +95,9 @@ class SystemCore {
   [[nodiscard]] int particle_count() const { return static_cast<int>(bodies_.size()); }
   [[nodiscard]] const Body& body(ParticleId p) const { return bodies_[checked(p)]; }
   [[nodiscard]] bool occupied(grid::Node v) const {
+    if (batch_active_) {
+      if (ParticleId id; overlay_lookup(v, id)) return id != kNoParticle;
+    }
     if (mode_ == OccupancyMode::Dense) return dense_.contains(v);
     if (mode_ == OccupancyMode::Hash) return map_.contains(v);
     const bool d = dense_.contains(v);
@@ -76,6 +105,9 @@ class SystemCore {
     return d;
   }
   [[nodiscard]] ParticleId particle_at(grid::Node v) const {
+    if (batch_active_) {
+      if (ParticleId id; overlay_lookup(v, id)) return id;
+    }
     if (mode_ == OccupancyMode::Dense) return dense_.find(v);
     const auto it = map_.find(v);
     const ParticleId h = it == map_.end() ? kNoParticle : it->second;
@@ -130,6 +162,44 @@ class SystemCore {
 
   [[nodiscard]] long long moves() const { return moves_; }
 
+  // --- parallel batch sessions (exec/parallel_engine.h) ---
+  //
+  // Between begin_batch() and end_batch(), activations with pairwise-disjoint
+  // footprints may run on different threads: each thread registers its
+  // member's ActivationLog via set_thread_log, movement operations journal
+  // their occupancy updates there (bodies mutate in place — footprints are
+  // disjoint), and occupancy queries overlay the calling thread's own pending
+  // ops so an activation reads its own movement. After end_batch() the engine
+  // replays the logs through commit() in the original sequential order, which
+  // makes the final index state — and the dense index's growth history, hence
+  // peak_occupancy_cells — bit-for-bit identical to a sequential run.
+
+  void begin_batch() { batch_active_ = true; }
+  void end_batch() { batch_active_ = false; }
+  [[nodiscard]] bool batch_active() const { return batch_active_; }
+
+  // Registers the calling thread's journal for the activation it is about to
+  // run (nullptr to deregister). Thread-local: each pool thread sets its own.
+  static void set_thread_log(ActivationLog* log) { tls_log_ = log; }
+
+  // While set, ParticleView enforces the two algorithm-contract rules the
+  // ParallelEngine's conflict margins rest on (see exec/conflict.h):
+  //   * pull-only handovers — a push handover (handover_expand_head)
+  //     contracts the non-activating party, so pull/push chains could
+  //     displace a pending particle arbitrarily far without it ever
+  //     activating, voiding the one-node displacement bound;
+  //   * movement last — ports resolve against the live body, so reading or
+  //     writing neighbors *after* a movement reaches one node beyond the
+  //     footprint the batch was planned with.
+  // Every algorithm in this repo satisfies both; others must use the
+  // sequential Engine, and violations fail loudly instead of racing.
+  void set_parallel_contract(bool on) { parallel_contract_ = on; }
+  [[nodiscard]] bool parallel_contract() const { return parallel_contract_; }
+
+  // Applies one journaled activation to the occupancy indices and counters.
+  // Must be called outside a batch session, in sequential activation order.
+  void commit(const ActivationLog& log);
+
  private:
   [[nodiscard]] std::size_t checked(ParticleId p) const {
     PM_CHECK_MSG(p >= 0 && p < particle_count(), "bad particle id " << p);
@@ -145,12 +215,36 @@ class SystemCore {
     if (mode_ != OccupancyMode::Dense) map_.erase(v);
   }
 
+  // Looks up v in the calling thread's pending-op journal (latest op wins).
+  // Only consulted while a batch is active; another member's ops can never
+  // cover a cell this thread reads, because footprints are disjoint.
+  static bool overlay_lookup(grid::Node v, ParticleId& out) {
+    const ActivationLog* log = tls_log_;
+    if (log == nullptr) return false;
+    for (int i = log->op_count; i-- > 0;) {
+      if (log->ops[static_cast<std::size_t>(i)].v == v) {
+        out = log->ops[static_cast<std::size_t>(i)].id;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Routes a movement's occupancy effect: journaled during a batch (on a
+  // thread that registered a log), applied directly otherwise.
+  void move_insert(grid::Node v, ParticleId p);
+  void move_erase(grid::Node v);
+  void move_done(int expanded_delta);
+
   OccupancyMode mode_ = kDefaultOccupancy;
   std::vector<Body> bodies_;
   grid::DenseOccupancy dense_;
   std::unordered_map<grid::Node, ParticleId, grid::NodeHash> map_;
   int expanded_count_ = 0;
   long long moves_ = 0;
+  bool batch_active_ = false;
+  bool parallel_contract_ = false;
+  static thread_local ActivationLog* tls_log_;
 };
 
 template <typename State>

@@ -122,6 +122,7 @@ class ParticleView {
   // particle's occupied node(s).
   template <typename Fn>
   void for_each_neighbor_particle(Fn&& fn) const {
+    check_access_before_move();
     ParticleId seen[10];
     int count = 0;
     auto visit = [&](grid::Node at) {
@@ -159,9 +160,10 @@ class ParticleView {
   // --- movement (at most one per activation) ---
 
   void expand_head(int port) {
+    const grid::Node to = head_nbr(port);
     take_move();
     touch(id_);
-    sys_.expand(id_, head_nbr(port));
+    sys_.expand(id_, to);
   }
 
   void contract_to_head() {
@@ -177,9 +179,15 @@ class ParticleView {
   }
 
   // Handover-expand into the tail of the expanded neighbor at head `port`.
+  // A *push* handover: it contracts the neighbor, which never activates.
+  // Rejected under the ParallelEngine (see SystemCore::set_parallel_contract).
   void handover_expand_head(int port) {
-    take_move();
     const ParticleId q = sys_.particle_at(head_nbr(port));
+    take_move();
+    PM_CHECK_MSG(!sys_.parallel_contract(),
+                 "push handovers (handover_expand_head) displace a particle that "
+                 "never activates — unsupported under the ParallelEngine; drive "
+                 "this algorithm with the sequential Engine");
     PM_CHECK(q != kNoParticle);
     touch(id_);
     touch(q);
@@ -190,8 +198,8 @@ class ParticleView {
   // at tail `port` expands into this particle's tail while it contracts into
   // its head (the model lets either party perform the handover).
   void handover_pull_tail(int port) {
-    take_move();
     const ParticleId q = sys_.particle_at(tail_nbr(port));
+    take_move();
     PM_CHECK(q != kNoParticle);
     touch(id_);
     touch(q);
@@ -206,14 +214,26 @@ class ParticleView {
 
  private:
   [[nodiscard]] grid::Node head_nbr(int port) const {
+    check_access_before_move();
     return grid::neighbor(sys_.body(id_).head, sys_.port_dir(id_, port));
   }
   [[nodiscard]] grid::Node tail_nbr(int port) const {
+    check_access_before_move();
     return grid::neighbor(sys_.body(id_).tail, sys_.port_dir(id_, port));
   }
   void take_move() {
     PM_CHECK_MSG(!moved_, "a particle may perform at most one movement per activation");
     moved_ = true;
+  }
+  // Ports resolve against the live body, so neighborhood access after the
+  // movement reaches one node beyond the plan-time footprint — sound under
+  // the sequential Engine, rejected under the ParallelEngine's batch
+  // planning (movement must be the activation's last act there).
+  void check_access_before_move() const {
+    PM_CHECK_MSG(!(moved_ && sys_.parallel_contract()),
+                 "neighborhood access after a movement is unsupported under the "
+                 "ParallelEngine — make the movement the activation's last act, "
+                 "or drive this algorithm with the sequential Engine");
   }
   void touch(ParticleId p) {
     if (touches_ != nullptr) touches_->add(p);

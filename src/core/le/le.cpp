@@ -4,6 +4,7 @@
 
 #include "core/collect/collect.h"
 #include "core/obd/obd.h"
+#include "exec/parallel_engine.h"
 #include "util/timing.h"
 
 namespace pm::core {
@@ -22,7 +23,7 @@ PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) 
 
   // --- stage 1: boundary information ---
   if (!opts.use_boundary_oracle && sys.particle_count() > 1) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = WallClock::now();
     ObdRun obd(sys);
     const ObdRun::Result ores = obd.run(opts.max_rounds);
     res.obd_rounds = ores.rounds;
@@ -40,7 +41,11 @@ PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) 
 
   // --- stage 2: DLE ---
   Dle dle(Dle::Options{.connected_pull = opts.connected_pull});
-  const auto dres = amoebot::run(sys, dle, {opts.order, opts.seed, opts.max_rounds});
+  const amoebot::RunResult dres =
+      opts.threads > 0
+          ? exec::run_parallel(sys, dle,
+                               {opts.order, opts.seed, opts.max_rounds, opts.threads})
+          : amoebot::run(sys, dle, {opts.order, opts.seed, opts.max_rounds});
   res.dle_rounds = dres.rounds;
   res.dle_ms = dres.wall_ms;
   res.dle_activations = dres.activations;
@@ -51,7 +56,7 @@ PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) 
 
   // --- stage 3: reconnection ---
   if (opts.reconnect && !opts.connected_pull) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = WallClock::now();
     CollectRun collect(sys, outcome.leader);
     const CollectRun::Result cres = collect.run(opts.max_rounds);
     res.collect_rounds = cres.rounds;

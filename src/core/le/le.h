@@ -21,6 +21,10 @@ struct PipelineOptions {
   std::uint64_t seed = 1;
   long max_rounds = 8'000'000;
   amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
+  // 0 = sequential Engine; >= 1 = exec::ParallelEngine with that many
+  // threads for the DLE stage (bit-for-bit identical results either way;
+  // the round-synchronous OBD/Collect stages are unaffected).
+  int threads = 0;
 };
 
 struct PipelineResult {

@@ -1,0 +1,149 @@
+#include "exec/conflict.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pm::exec {
+
+using amoebot::Body;
+using amoebot::ParticleId;
+using grid::Node;
+
+namespace {
+
+std::vector<Node> build_ball(int k) {
+  // BFS out to distance k from the origin using the grid's own neighbors.
+  std::vector<Node> out{{0, 0}};
+  std::size_t frontier_begin = 0;
+  for (int d = 0; d < k; ++d) {
+    const std::size_t frontier_end = out.size();
+    for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+      for (int j = 0; j < grid::kDirCount; ++j) {
+        const Node v = grid::neighbor(out[i], grid::dir_from_index(j));
+        if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Node>& ball_offsets(int k) {
+  PM_CHECK(k >= 1 && k <= 3);
+  static const std::vector<Node> ball1 = build_ball(1);
+  static const std::vector<Node> ball2 = build_ball(2);
+  static const std::vector<Node> ball3 = build_ball(3);
+  if (k == 1) return ball1;
+  return k == 2 ? ball2 : ball3;
+}
+
+void collect_footprint(const amoebot::SystemCore& sys, ParticleId p,
+                       std::vector<Node>& out) {
+  const Body& b = sys.body(p);
+  const auto& offsets = ball_offsets(2);
+  for (const Node o : offsets) out.push_back({b.head.x + o.x, b.head.y + o.y});
+  if (b.expanded()) {
+    for (const Node o : offsets) out.push_back({b.tail.x + o.x, b.tail.y + o.y});
+  }
+}
+
+// Claims reach 3 cells beyond a body and particles drift, so pad the box
+// more generously than the occupancy index does.
+constexpr std::int64_t kClaimPad = 8;
+
+// Named in the FlatBox too-sparse diagnostic: conflict planning needs a
+// dense-feasible bounding box even when the occupancy index is the hash
+// map, so configurations past the cell cap must use the sequential Engine.
+constexpr const char* kClaimBoxName =
+    "ClaimTable (ParallelEngine conflict planning — configurations this "
+    "sparse need the sequential Engine)";
+
+void ClaimTable::reserve_box(Node lo, Node hi) {
+  PM_CHECK(lo.x <= hi.x && lo.y <= hi.y);
+  box_.grow_to(lo.x, lo.y, hi.x, hi.y, kClaimPad, 0u, kClaimBoxName);
+}
+
+void ClaimTable::grow_to(Node v) {
+  box_.grow_to(v.x, v.y, v.x, v.y, kClaimPad, 0u, kClaimBoxName);
+}
+
+Batcher::Batcher(const amoebot::SystemCore& sys) : sys_(sys) {
+  if (sys.particle_count() > 0) {
+    Node lo = sys.body(0).head;
+    Node hi = lo;
+    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+      for (const Node v : {sys.body(p).head, sys.body(p).tail}) {
+        lo.x = std::min(lo.x, v.x);
+        lo.y = std::min(lo.y, v.y);
+        hi.x = std::max(hi.x, v.x);
+        hi.y = std::max(hi.y, v.y);
+      }
+    }
+    claims_.reserve_box(lo, hi);
+  }
+}
+
+void Batcher::plan_batch(std::vector<ParticleId>& pending,
+                         const std::vector<char>& final_flags,
+                         std::vector<ParticleId>& batch, int max_batch) {
+  batch.clear();
+  claims_.next_epoch();
+  const auto& ball2 = ball_offsets(2);  // symmetric probe and claim
+
+  std::size_t keep = 0;
+  std::size_t i = 0;
+  for (; i < pending.size(); ++i) {
+    if (static_cast<int>(batch.size()) >= max_batch) break;  // pool saturated
+    const ParticleId p = pending[i];
+    const Body& b = sys_.body(p);
+
+    bool joined = false;
+    if (final_flags[static_cast<std::size_t>(p)] != 0) {
+      // A no-op at its turn — removable in place unless something earlier in
+      // this batch plan could flip its finality (or move it) before then. A
+      // deferred final still claims below: it may be unfinalized and act at
+      // its turn, so later candidates must not commute past it either.
+      if (!claims_.claimed(b.head) && !(b.expanded() && claims_.claimed(b.tail))) {
+        continue;  // removed, claims nothing
+      }
+    } else {
+      bool conflict = false;
+      for (const Node o : ball2) {
+        if (claims_.claimed({b.head.x + o.x, b.head.y + o.y})) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict && b.expanded()) {
+        for (const Node o : ball2) {
+          if (claims_.claimed({b.tail.x + o.x, b.tail.y + o.y})) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      joined = !conflict;
+    }
+    // Member or deferred, final or not, the particle claims the same ball-2
+    // region: members to exclude conflicting later candidates from this
+    // batch, deferred ones to keep later candidates from commuting past
+    // them (see the displacement argument in the header).
+    for (const Node o : ball2) claims_.claim({b.head.x + o.x, b.head.y + o.y});
+    if (b.expanded()) {
+      for (const Node o : ball2) claims_.claim({b.tail.x + o.x, b.tail.y + o.y});
+    }
+    if (joined) {
+      batch.push_back(p);
+    } else {
+      pending[keep++] = p;
+    }
+  }
+  // The unexamined tail (batch-width cap) stays pending verbatim.
+  for (; i < pending.size(); ++i) pending[keep++] = pending[i];
+  pending.resize(keep);
+}
+
+}  // namespace pm::exec

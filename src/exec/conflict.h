@@ -1,0 +1,134 @@
+// Conflict detection for parallel activation batching.
+//
+// An activation of particle p may, per the amoebot model (view.h):
+//   * read/write p's own state and body,
+//   * read/write the states (and, via handover, the bodies) of particles
+//     occupying nodes adjacent to p's head/tail,
+//   * probe the occupancy of adjacent nodes,
+//   * perform one movement, mutating occupancy on adjacent nodes.
+// Every cell it probes or mutates lies within distance 1 of its occupied
+// nodes, and every particle it reads or writes has a body node there.
+//
+// Two activations p, q therefore commute unless some particle x is accessed
+// by both: x needs a body node within distance 1 of p and one within
+// distance 1 of q, and a body spans at most 1 — possible only when the
+// occupied-node distance between p and q is <= 3.
+//
+// Batches are built by jump-ahead scanning, not prefix-taking: the pending
+// sequence is scanned in order, and a particle joins the current batch if
+// it commutes with every *earlier* pending particle — members and deferred
+// ones alike. Both roles claim the distance-<=2 ball around their occupied
+// nodes and candidates probe their own distance-<=2 ball against the
+// claims, which blocks occupied-node distance <= 4. That margin is exactly
+// what deferral requires: a deferred particle can be displaced before it
+// finally executes, but by at most one node in total — displacement means
+// being pulled through a handover, which leaves it expanded, and a second
+// displacement would need it contracted again, i.e. an activation of its
+// own. (This is where the engine's runtime contract bites, enforced via
+// SystemCore::set_parallel_contract: a *push* handover contracts the
+// non-activating party, so pull/push chains could displace a pending
+// particle without bound; and neighborhood access after a movement would
+// reach one node beyond the plan-time footprint, so movement must be the
+// activation's last act.) A member m touches particles with a
+// body node within distance 1 of
+// m; a deferred d eventually touches particles with a body node within
+// distance 1 of its displaced body, i.e. within 2 of its current nodes. A
+// particle touched by both therefore forces dist(m, d) <= 1 + 1 + 2 = 4 —
+// exactly what the symmetric ball-2 claims block. Skipping ahead of a
+// *final* particle needs no claim at all: it activates as a pure no-op at
+// its sequential turn, and anything that could flip its finality before
+// that turn already blocks it from being skipped in place.
+//
+// This is the same soundness condition the Engine's TouchList tracks a
+// posteriori; the footprint over-approximates it a priori, before the
+// activation runs. Batch width — not batch count — is what the ThreadPool
+// amortizes its fork/join barrier over, which is why jump-ahead matters:
+// on dense shapes it cuts batches per round by an order of magnitude
+// compared to maximal independent prefixes. The planner stops scanning
+// once a batch is wide enough to saturate the pool (max_batch), so the
+// unexamined tail of the sequence costs nothing this pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amoebot/system.h"
+#include "grid/coord.h"
+#include "grid/flat_box.h"
+
+namespace pm::exec {
+
+// The distance-<=k ball offsets around a single node, built once from the
+// grid's neighbor function: 7 nodes for k=1, 19 for k=2, 37 for k=3.
+[[nodiscard]] const std::vector<grid::Node>& ball_offsets(int k);
+
+// Appends the distance-<=2 ball around p's occupied nodes to `out` (entries
+// may repeat where head and tail balls overlap) — the a-priori write/read
+// footprint of one activation, used by the soundness tests.
+void collect_footprint(const amoebot::SystemCore& sys, amoebot::ParticleId p,
+                       std::vector<grid::Node>& out);
+
+// A set of claimed grid nodes backed by a flat epoch-stamped array over a
+// growable bounding box (grid::FlatBox): claim/check is a bounds check plus
+// one indexed load, and advancing the epoch clears the whole set in O(1).
+class ClaimTable {
+ public:
+  void next_epoch() {
+    if (++epoch_ == 0) {  // wrapped: stale stamps would alias, start over
+      box_.fill(0u);
+      epoch_ = 1;
+    }
+  }
+
+  // Pre-sizes the box to cover [lo, hi] plus padding (one allocation).
+  void reserve_box(grid::Node lo, grid::Node hi);
+
+  [[nodiscard]] bool claimed(grid::Node v) const {
+    const std::uint32_t* stamp = box_.find(v);
+    return stamp != nullptr && *stamp == epoch_;  // outside the box: unclaimed
+  }
+
+  void claim(grid::Node v) {
+    std::uint32_t* stamp = box_.find(v);
+    if (stamp == nullptr) {
+      grow_to(v);
+      stamp = box_.find(v);
+    }
+    *stamp = epoch_;
+  }
+
+ private:
+  void grow_to(grid::Node v);
+
+  grid::FlatBox<std::uint32_t> box_;
+  // Starts at 1 so the zero-initialized stamps mean "never claimed" even
+  // before the first next_epoch() call.
+  std::uint32_t epoch_ = 1;
+};
+
+class Batcher {
+ public:
+  // Sizes the claim table from the system's current bounding box.
+  explicit Batcher(const amoebot::SystemCore& sys);
+
+  // Plans one batch by jump-ahead scanning `pending` in order:
+  //   * final particles (per `final_flags`) whose bodies no earlier claim
+  //     covers are no-ops at their turn — removed without joining;
+  //   * particles that commute with everything earlier join the batch and
+  //     are removed;
+  //   * everything else stays in `pending`, order preserved, claimed so
+  //     that later particles cannot jump over it.
+  // The scan stops once `batch` reaches max_batch members; the unexamined
+  // tail of `pending` is left untouched for the next pass. Progress is
+  // guaranteed: the first pending particle always joins or is removed.
+  // `batch` may come back empty when only no-op finals remained.
+  void plan_batch(std::vector<amoebot::ParticleId>& pending,
+                  const std::vector<char>& final_flags,
+                  std::vector<amoebot::ParticleId>& batch, int max_batch);
+
+ private:
+  const amoebot::SystemCore& sys_;
+  ClaimTable claims_;
+};
+
+}  // namespace pm::exec

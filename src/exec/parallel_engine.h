@@ -1,0 +1,219 @@
+// ParallelEngine: multi-threaded rounds with sequential semantics.
+//
+// The paper's algorithms are specified under a sequential fair scheduler,
+// but two activations commute whenever their footprints — own state,
+// movement partners, probed occupancy cells — are disjoint (conflict.h).
+// The ParallelEngine exploits exactly that: each round's activation
+// sequence is greedily partitioned into maximal prefixes of pairwise-
+// independent particles (Batcher), each batch executes concurrently on a
+// fixed ThreadPool with occupancy writes journaled per activation
+// (amoebot::ActivationLog), and the journals are committed in the original
+// sequential order. For any fixed (Order, seed) the RunResult — rounds,
+// activations, moves, completion — and the final trajectory are bit-for-bit
+// identical to the sequential Engine's (tests/exec/parallel_engine_test.cpp
+// enforces this differentially); only wall_ms varies. Batches are built by
+// jump-ahead scanning (conflict.h), so commits reorder only *commuting*
+// activations: every observable above is order-invariant under commuting
+// swaps. The one metric that is not in general is peak_occupancy_cells —
+// the dense index's growth history depends on which out-of-box insert comes
+// first — but systems built via from_shape reserve a box covering their
+// whole motion range, so no in-repo algorithm grows the box mid-run and the
+// peak matches too (the differential tests assert it).
+//
+// Sequential-order commitment is also what keeps the incremental finality
+// tracking exact: each member's TouchList is processed at its commit point,
+// exactly as the sequential Engine would, and batch independence guarantees
+// no member can change another member's (or a skipped final particle's)
+// observable neighborhood before its turn.
+//
+// Scope: Algo must satisfy the same contract as amoebot::Engine (is_final
+// local to the particle). Post-activation hooks are not supported — a hook
+// observes global state after every activation, which has no faithful
+// parallel counterpart; hook-driven runs (e.g. the component-tracking
+// ablation) stay on the sequential Engine. The round-synchronous OBD and
+// Collect engines are untouched; pipelines parallelize their DLE stage.
+#pragma once
+
+#include <algorithm>
+#include <exception>
+#include <numeric>
+#include <vector>
+
+#include "amoebot/engine.h"
+#include "amoebot/view.h"
+#include "exec/conflict.h"
+#include "exec/thread_pool.h"
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace pm::exec {
+
+struct ParallelRunOptions {
+  amoebot::Order order = amoebot::Order::RandomPerm;
+  std::uint64_t seed = 1;
+  long max_rounds = 1'000'000;
+  int threads = 0;  // <= 0: ThreadPool::default_thread_count()
+  // Batches narrower than this run inline (sequentially, no journals)
+  // because the fork/join barrier would cost more than the batch.
+  // 0 = heuristic max(16, 4 * threads); tests set a small value to force
+  // the pool + journal path even on small systems.
+  int inline_batch_below = 0;
+};
+
+template <typename Algo>
+class ParallelEngine {
+ public:
+  using State = typename Algo::State;
+  using System = amoebot::System<State>;
+  using ParticleId = amoebot::ParticleId;
+
+  ParallelEngine(System& sys, Algo& algo, const ParallelRunOptions& opts)
+      : sys_(sys),
+        algo_(algo),
+        opts_(opts),
+        pool_(opts.threads > 0 ? opts.threads : ThreadPool::default_thread_count()),
+        batcher_(sys) {}
+
+  amoebot::RunResult run() {
+    const auto t0 = WallClock::now();
+    const long long moves0 = sys_.moves();
+    amoebot::RunResult res;
+    const int n = sys_.particle_count();
+    if (n == 0) {
+      res.completed = true;
+      return finish(res, t0, moves0);
+    }
+
+    // The conflict margins assume pull-only handovers and movement-last
+    // activations (conflict.h): enforce both for the whole run, including
+    // inline-executed batches.
+    struct ContractGuard {
+      System& sys;
+      explicit ContractGuard(System& s) : sys(s) { sys.set_parallel_contract(true); }
+      ~ContractGuard() { sys.set_parallel_contract(false); }
+    } guard(sys_);
+
+    Rng rng(opts_.seed);
+    sequencer_.init(n);
+    tracker_.init(sys_, algo_);
+
+    while (res.rounds < opts_.max_rounds) {
+      if (tracker_.all_final()) {
+        res.completed = true;
+        return finish(res, t0, moves0);
+      }
+      execute_sequence(sequencer_.next_round(opts_.order, rng), res);
+      ++res.rounds;
+    }
+    res.completed = tracker_.all_final();
+    return finish(res, t0, moves0);
+  }
+
+ private:
+  // One batch member's concurrent-execution record. Padded so neighboring
+  // members' journals and touch lists never share a cache line.
+  struct alignas(128) Record {
+    amoebot::ActivationLog log;
+    amoebot::TouchList touches;
+    std::exception_ptr error;
+  };
+
+  void execute_sequence(const std::vector<ParticleId>& seq, amoebot::RunResult& res) {
+    // Wide enough to keep every pool thread busy through the fork/join
+    // barrier, small enough that the planner never scans deep past what
+    // this pass can execute.
+    const int max_batch = 64 * pool_.thread_count();
+    pending_.assign(seq.begin(), seq.end());
+    // Below this width the fork/join barrier costs more than the batch:
+    // execute inline, in order — which is simply sequential execution, no
+    // journals needed. The pool only ever sees batches worth parallelizing.
+    const std::size_t inline_below = static_cast<std::size_t>(
+        opts_.inline_batch_below > 0 ? opts_.inline_batch_below
+                                     : std::max(16, 4 * pool_.thread_count()));
+    while (!pending_.empty()) {
+      batcher_.plan_batch(pending_, tracker_.flags(), batch_, max_batch);
+      if (batch_.empty()) continue;  // only no-op finals were removed
+      if (batch_.size() < inline_below || pool_.thread_count() == 1) {
+        for (const ParticleId p : batch_) activate_sequential(p, res);
+        continue;
+      }
+      if (records_.size() < batch_.size()) records_.resize(batch_.size());
+      sys_.begin_batch();
+      pool_.for_each_index(static_cast<int>(batch_.size()), [this](int i) {
+        Record& rec = records_[static_cast<std::size_t>(i)];
+        rec.log.clear();
+        rec.touches = amoebot::TouchList{};
+        rec.error = nullptr;
+        amoebot::SystemCore::set_thread_log(&rec.log);
+        try {
+          amoebot::ParticleView<State> view(sys_, batch_[static_cast<std::size_t>(i)],
+                                            &rec.touches);
+          algo_.activate(view);
+        } catch (...) {
+          rec.error = std::current_exception();
+        }
+        amoebot::SystemCore::set_thread_log(nullptr);
+      });
+      sys_.end_batch();
+      // Commit in sequential order. On an activation failure, commit the
+      // members before it — matching the sequential prefix — then surface
+      // the earliest error (later members have already run; as with any
+      // thrown model violation, the configuration is not usable further).
+      bool recount_after = false;
+      for (std::size_t i = 0; i < batch_.size(); ++i) {
+        Record& rec = records_[i];
+        if (rec.error) std::rethrow_exception(rec.error);
+        sys_.commit(rec.log);
+        ++res.activations;
+        rec.touches.add(batch_[i]);
+        // An overflow recount is deferred to the end of the batch: mid-loop
+        // it would evaluate is_final against later members' uncommitted
+        // journals. (Per the Algo contract is_final reads only own state and
+        // body, so a post-batch recount observes exactly the values the
+        // per-commit refreshes converge to — just without the subtlety.)
+        if (rec.touches.overflowed()) {
+          recount_after = true;
+        } else {
+          tracker_.process(sys_, algo_, rec.touches);
+        }
+      }
+      if (recount_after) tracker_.recount(sys_, algo_);
+    }
+  }
+
+  // Inline batches skip the journal round-trip entirely: executing the
+  // members in order on this thread is already sequential execution.
+  void activate_sequential(ParticleId p, amoebot::RunResult& res) {
+    amoebot::TouchList touches;
+    amoebot::ParticleView<State> view(sys_, p, &touches);
+    algo_.activate(view);
+    ++res.activations;
+    touches.add(p);
+    tracker_.process(sys_, algo_, touches);
+  }
+
+  amoebot::RunResult finish(amoebot::RunResult& res, WallClock::time_point t0,
+                            long long moves0) const {
+    return amoebot::finalize_metrics(res, sys_, t0, moves0);
+  }
+
+  System& sys_;
+  Algo& algo_;
+  ParallelRunOptions opts_;
+  ThreadPool pool_;
+  Batcher batcher_;
+  amoebot::FinalityTracker<Algo> tracker_;
+  amoebot::RoundSequencer sequencer_;
+  std::vector<ParticleId> pending_;
+  std::vector<ParticleId> batch_;
+  std::vector<Record> records_;
+};
+
+template <typename Algo>
+amoebot::RunResult run_parallel(amoebot::System<typename Algo::State>& sys, Algo& algo,
+                                const ParallelRunOptions& opts) {
+  ParallelEngine<Algo> engine(sys, algo, opts);
+  return engine.run();
+}
+
+}  // namespace pm::exec

@@ -1,0 +1,77 @@
+#include "exec/thread_pool.h"
+
+namespace pm::exec {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::drain_indices() {
+  // Claim indices until the shared counter runs past count_. Relaxed is
+  // enough for the counter itself: the mutex hand-off that published the job
+  // ordered fn_/ctx_/count_ before any claim, and completion is signaled
+  // back under the same mutex.
+  while (true) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    fn_(ctx_, i);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_indices();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--working_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_impl(int count, void (*fn)(void*, int), void* ctx) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(ctx, i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    working_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_indices();  // the caller is one of the pool's threads
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return working_ == 0; });
+}
+
+}  // namespace pm::exec

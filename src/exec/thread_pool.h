@@ -1,0 +1,79 @@
+// A small fixed-size thread pool for batch-parallel activation execution.
+//
+// The pool exists for exactly one call shape: for_each_index(count, fn) runs
+// fn(i) for every i in [0, count) across the pool's threads (the calling
+// thread participates) and returns only when all indices have completed —
+// a fork/join parallel-for with no task queue, no futures, and no per-call
+// allocation. Indices are claimed from a shared atomic counter, so uneven
+// per-index cost load-balances automatically.
+//
+// A pool of size 1 spawns no worker threads at all and executes inline on
+// the caller. (Note the ParallelEngine bypasses the pool entirely for
+// single-threaded runs and for batches too narrow to amortize the barrier —
+// see execute_sequence; its journal path is exercised by wide batches and,
+// in the tests, by forcing ParallelRunOptions::inline_batch_below down.)
+//
+// fn must not throw: the ParallelEngine captures activation exceptions into
+// per-batch records itself (an escaping exception would std::terminate via
+// the worker thread).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pm::exec {
+
+class ThreadPool {
+ public:
+  // Total concurrency including the calling thread; spawns threads - 1
+  // workers. threads < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  // What a default-constructed engine should use: the hardware concurrency,
+  // with a floor of 1 when the runtime reports nothing.
+  [[nodiscard]] static int default_thread_count();
+
+  // Runs fn(i) for each i in [0, count), returning when all are done.
+  template <typename Fn>
+  void for_each_index(int count, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    run_impl(
+        count, [](void* ctx, int i) { (*static_cast<F*>(ctx))(i); },
+        const_cast<std::remove_const_t<F>*>(&fn));
+  }
+
+ private:
+  void run_impl(int count, void (*fn)(void*, int), void* ctx);
+  void worker_loop();
+  void drain_indices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers to finish
+  std::uint64_t generation_ = 0;      // incremented per for_each_index call
+  int working_ = 0;                   // workers still inside the current job
+  bool stop_ = false;
+
+  // Current job (valid while generation_ is the one a worker saw).
+  void (*fn_)(void*, int) = nullptr;
+  void* ctx_ = nullptr;
+  int count_ = 0;
+  std::atomic<int> next_{0};
+};
+
+}  // namespace pm::exec

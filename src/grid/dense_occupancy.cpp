@@ -8,26 +8,32 @@ namespace pm::grid {
 
 void DenseOccupancy::insert(Node v, Value value) {
   PM_CHECK_MSG(value >= 0, "DenseOccupancy::insert: negative value");
-  if (!in_box(v)) grow_to(v.x, v.y, v.x, v.y);
-  Value& cell = cells_[cell_index(v)];
-  PM_CHECK_MSG(cell == kEmpty, "DenseOccupancy::insert: node " << v << " already present");
-  cell = value;
+  Value* cell = box_.find(v);
+  if (cell == nullptr) {
+    grow_to(v.x, v.y, v.x, v.y);
+    cell = box_.find(v);
+  }
+  PM_CHECK_MSG(*cell == kEmpty, "DenseOccupancy::insert: node " << v << " already present");
+  *cell = value;
   ++size_;
 }
 
 void DenseOccupancy::erase(Node v) {
-  PM_CHECK_MSG(in_box(v) && cells_[cell_index(v)] != kEmpty,
+  Value* cell = box_.find(v);
+  PM_CHECK_MSG(cell != nullptr && *cell != kEmpty,
                "DenseOccupancy::erase: node " << v << " not present");
-  cells_[cell_index(v)] = kEmpty;
+  *cell = kEmpty;
   --size_;
 }
 
 void DenseOccupancy::clear() {
-  cells_.clear();
-  min_x_ = min_y_ = 0;
-  width_ = height_ = 0;
+  // Release the allocation rather than just emptying it: a cleared index
+  // must not carry a previous (larger) run's bounding box or memory into
+  // the next use — the box is re-derived from scratch by the first
+  // reserve_box/insert, and peak-extent history restarts at zero.
+  box_.clear();
   size_ = 0;
-  peak_cells_ = 0;  // a cleared index starts a fresh peak-extent history
+  peak_cells_ = 0;
 }
 
 void DenseOccupancy::reserve_box(Node lo, Node hi) {
@@ -37,46 +43,8 @@ void DenseOccupancy::reserve_box(Node lo, Node hi) {
 
 void DenseOccupancy::grow_to(std::int64_t lo_x, std::int64_t lo_y, std::int64_t hi_x,
                              std::int64_t hi_y) {
-  // Union with the current box, then pad geometrically so a sequence of
-  // one-step expansions costs amortized O(1) per insert.
-  if (width_ > 0) {
-    lo_x = std::min(lo_x, min_x_);
-    lo_y = std::min(lo_y, min_y_);
-    hi_x = std::max(hi_x, min_x_ + width_ - 1);
-    hi_y = std::max(hi_y, min_y_ + height_ - 1);
-  }
-  const std::int64_t pad_x = std::max(kGrowPad, (hi_x - lo_x + 1) / 4);
-  const std::int64_t pad_y = std::max(kGrowPad, (hi_y - lo_y + 1) / 4);
-  const std::int64_t new_min_x = lo_x - pad_x;
-  const std::int64_t new_min_y = lo_y - pad_y;
-  const std::int64_t new_w = (hi_x + pad_x) - new_min_x + 1;
-  const std::int64_t new_h = (hi_y + pad_y) - new_min_y + 1;
-  // Guard each dimension before forming the product: coordinates near the
-  // int32 extremes would overflow new_w * new_h in int64 otherwise, which is
-  // exactly the too-sparse case this check exists to reject. The cell cap
-  // (2^28 cells = 1 GiB of int32) is far above any dense configuration —
-  // n = 10^5 particles need ~10^6 cells — so hitting it means the
-  // configuration is pathologically sparse and the diagnostic should fire
-  // before a multi-gigabyte allocation is attempted.
-  constexpr std::int64_t kMaxCells = 1LL << 28;
-  PM_CHECK_MSG(new_w <= kMaxCells && new_h <= kMaxCells && new_w * new_h <= kMaxCells,
-               "DenseOccupancy box " << new_w << "x" << new_h
-                                     << " too large — configuration too sparse for the "
-                                        "dense index; use the hash occupancy mode");
-
-  std::vector<Value> next(static_cast<std::size_t>(new_w * new_h), kEmpty);
-  for (std::int64_t y = 0; y < height_; ++y) {
-    const auto src = cells_.begin() + static_cast<std::ptrdiff_t>(y * width_);
-    const std::int64_t dst_row = (min_y_ + y - new_min_y) * new_w + (min_x_ - new_min_x);
-    std::copy(src, src + static_cast<std::ptrdiff_t>(width_),
-              next.begin() + static_cast<std::ptrdiff_t>(dst_row));
-  }
-  cells_ = std::move(next);
-  min_x_ = new_min_x;
-  min_y_ = new_min_y;
-  width_ = new_w;
-  height_ = new_h;
-  peak_cells_ = std::max(peak_cells_, extent_cells());
+  box_.grow_to(lo_x, lo_y, hi_x, hi_y, kGrowPad, kEmpty, "DenseOccupancy");
+  peak_cells_ = std::max(peak_cells_, box_.extent_cells());
 }
 
 }  // namespace pm::grid

@@ -5,12 +5,9 @@
 // every activation). Particle systems live in a compact window of the
 // infinite grid — the initial shape's bounding box plus the slack the
 // movement primitives create — so a flat row-major array over a growable
-// bounding box turns each query into a bounds check plus one indexed load,
-// replacing the hash-map probe of the seed engine.
+// bounding box (grid::FlatBox) turns each query into a bounds check plus
+// one indexed load, replacing the hash-map probe of the seed engine.
 //
-// Growth is amortized: when an insert lands outside the current box, the box
-// is re-centered on the union and padded geometrically (quarter of each
-// dimension, at least kGrowPad), and existing cells are copied row by row.
 // `peak_cells()` reports the largest allocation seen, which the engine
 // surfaces as the "peak occupancy extent" run metric.
 //
@@ -20,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "grid/coord.h"
+#include "grid/flat_box.h"
 
 namespace pm::grid {
 
@@ -38,15 +35,8 @@ class DenseOccupancy {
   [[nodiscard]] bool contains(Node v) const { return find(v) != kEmpty; }
 
   [[nodiscard]] Value find(Node v) const {
-    // Unsigned-compare bounds check: two comparisons cover the whole box
-    // (a negative offset wraps to a huge unsigned value and is rejected).
-    const std::int64_t dx = v.x - min_x_;
-    const std::int64_t dy = v.y - min_y_;
-    if (static_cast<std::uint64_t>(dx) >= static_cast<std::uint64_t>(width_) ||
-        static_cast<std::uint64_t>(dy) >= static_cast<std::uint64_t>(height_)) {
-      return kEmpty;
-    }
-    return cells_[static_cast<std::size_t>(dy * width_ + dx)];
+    const Value* cell = box_.find(v);
+    return cell == nullptr ? kEmpty : *cell;
   }
 
   [[nodiscard]] std::size_t size() const { return size_; }
@@ -69,7 +59,7 @@ class DenseOccupancy {
   // --- instrumentation ---
 
   // Number of cells currently allocated (box width * height); 0 when empty.
-  [[nodiscard]] long long extent_cells() const { return width_ * height_; }
+  [[nodiscard]] long long extent_cells() const { return box_.extent_cells(); }
 
   // Largest extent_cells() ever reached (the engine's peak-extent metric).
   [[nodiscard]] long long peak_cells() const { return peak_cells_; }
@@ -77,23 +67,12 @@ class DenseOccupancy {
  private:
   static constexpr std::int64_t kGrowPad = 4;
 
-  [[nodiscard]] bool in_box(Node v) const {
-    return v.x >= min_x_ && v.x < min_x_ + width_ && v.y >= min_y_ &&
-           v.y < min_y_ + height_;
-  }
-  [[nodiscard]] std::size_t cell_index(Node v) const {
-    return static_cast<std::size_t>((v.y - min_y_) * width_ + (v.x - min_x_));
-  }
-
-  // Reallocates so the box covers [lo, hi], padded, keeping existing cells.
+  // Grows the box to cover [lo, hi] (padded, existing cells kept) and
+  // refreshes the peak-extent metric.
   void grow_to(std::int64_t lo_x, std::int64_t lo_y, std::int64_t hi_x,
                std::int64_t hi_y);
 
-  std::vector<Value> cells_;
-  std::int64_t min_x_ = 0;
-  std::int64_t min_y_ = 0;
-  std::int64_t width_ = 0;   // 0 = nothing allocated yet
-  std::int64_t height_ = 0;
+  FlatBox<Value> box_;
   std::size_t size_ = 0;
   long long peak_cells_ = 0;
 };

@@ -1,0 +1,110 @@
+// FlatBox<Cell>: the growable bounding-box flat array shared by the grid
+// layer's point-indexed structures (DenseOccupancy's Node -> id map, the
+// exec layer's epoch-stamped ClaimTable).
+//
+// A box over [min, min + size) stores one Cell per grid node in row-major
+// order; a point query is an unsigned-compare bounds check plus one indexed
+// load. Growth is amortized: when a point lands outside the box, the box is
+// unioned with it and padded geometrically (a quarter of each dimension,
+// floored at pad_min), and existing cells are copied row by row — so a
+// sequence of one-step expansions costs amortized O(1) per insert. The cell
+// cap (2^28 cells) rejects pathologically sparse configurations before a
+// multi-gigabyte allocation is attempted; `what` names the owner in the
+// diagnostic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "grid/coord.h"
+#include "util/check.h"
+
+namespace pm::grid {
+
+template <typename Cell>
+class FlatBox {
+ public:
+  // Pointer to v's cell, or nullptr when v is outside the box. The
+  // unsigned-compare bounds check covers the whole box in two comparisons
+  // (a negative offset wraps to a huge unsigned value and is rejected).
+  [[nodiscard]] const Cell* find(Node v) const {
+    const std::int64_t dx = v.x - min_x_;
+    const std::int64_t dy = v.y - min_y_;
+    if (static_cast<std::uint64_t>(dx) >= static_cast<std::uint64_t>(width_) ||
+        static_cast<std::uint64_t>(dy) >= static_cast<std::uint64_t>(height_)) {
+      return nullptr;
+    }
+    return &cells_[static_cast<std::size_t>(dy * width_ + dx)];
+  }
+  [[nodiscard]] Cell* find(Node v) {
+    return const_cast<Cell*>(static_cast<const FlatBox&>(*this).find(v));
+  }
+
+  [[nodiscard]] bool in_box(Node v) const {
+    return v.x >= min_x_ && v.x < min_x_ + width_ && v.y >= min_y_ &&
+           v.y < min_y_ + height_;
+  }
+
+  // Number of cells currently allocated (width * height); 0 when empty.
+  [[nodiscard]] long long extent_cells() const { return width_ * height_; }
+
+  void fill(Cell value) { std::fill(cells_.begin(), cells_.end(), value); }
+
+  // Releases the allocation and resets the box: nothing carries over into
+  // the next use.
+  void clear() {
+    std::vector<Cell>().swap(cells_);
+    min_x_ = min_y_ = 0;
+    width_ = height_ = 0;
+  }
+
+  // Reallocates so the box covers [lo, hi] union the current box, padded
+  // geometrically (quarter of each dimension, at least pad_min), keeping
+  // existing cells; new cells start as `empty`.
+  void grow_to(std::int64_t lo_x, std::int64_t lo_y, std::int64_t hi_x,
+               std::int64_t hi_y, std::int64_t pad_min, Cell empty, const char* what) {
+    if (width_ > 0) {
+      lo_x = std::min(lo_x, min_x_);
+      lo_y = std::min(lo_y, min_y_);
+      hi_x = std::max(hi_x, min_x_ + width_ - 1);
+      hi_y = std::max(hi_y, min_y_ + height_ - 1);
+    }
+    const std::int64_t pad_x = std::max(pad_min, (hi_x - lo_x + 1) / 4);
+    const std::int64_t pad_y = std::max(pad_min, (hi_y - lo_y + 1) / 4);
+    const std::int64_t new_min_x = lo_x - pad_x;
+    const std::int64_t new_min_y = lo_y - pad_y;
+    const std::int64_t new_w = (hi_x + pad_x) - new_min_x + 1;
+    const std::int64_t new_h = (hi_y + pad_y) - new_min_y + 1;
+    // Guard each dimension before forming the product: coordinates near the
+    // int32 extremes would overflow new_w * new_h in int64 otherwise, which
+    // is exactly the too-sparse case this check exists to reject.
+    constexpr std::int64_t kMaxCells = 1LL << 28;
+    PM_CHECK_MSG(new_w <= kMaxCells && new_h <= kMaxCells && new_w * new_h <= kMaxCells,
+                 what << " box " << new_w << "x" << new_h
+                      << " too large — configuration too sparse for a flat index");
+
+    std::vector<Cell> next(static_cast<std::size_t>(new_w * new_h), empty);
+    for (std::int64_t y = 0; y < height_; ++y) {
+      const auto src = cells_.begin() + static_cast<std::ptrdiff_t>(y * width_);
+      const std::int64_t dst_row =
+          (min_y_ + y - new_min_y) * new_w + (min_x_ - new_min_x);
+      std::copy(src, src + static_cast<std::ptrdiff_t>(width_),
+                next.begin() + static_cast<std::ptrdiff_t>(dst_row));
+    }
+    cells_ = std::move(next);
+    min_x_ = new_min_x;
+    min_y_ = new_min_y;
+    width_ = new_w;
+    height_ = new_h;
+  }
+
+ private:
+  std::vector<Cell> cells_;
+  std::int64_t min_x_ = 0;
+  std::int64_t min_y_ = 0;
+  std::int64_t width_ = 0;   // 0 = nothing allocated yet
+  std::int64_t height_ = 0;
+};
+
+}  // namespace pm::grid

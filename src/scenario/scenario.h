@@ -57,6 +57,11 @@ struct Spec {
   long max_rounds = 8'000'000;
   amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
   bool track_components = false;  // per-activation component count (ablation)
+  // 0 = sequential Engine; >= 1 = exec::ParallelEngine with that many
+  // threads driving the Engine-scheduled (DLE) stage. Results are
+  // bit-for-bit identical across thread counts; only wall times move.
+  // Incompatible with track_components (hooks are sequential-only).
+  int threads = 0;
 };
 
 // Materializes the Spec's shape (deterministic in the Spec fields).
@@ -120,7 +125,8 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 [[nodiscard]] std::string to_csv(const std::vector<Result>& results);
 
 // Shared CLI driver:
-//   pm_bench [SUITE ...] [--list] [--json-dir=DIR] [--no-json] [--csv=FILE]
+//   pm_bench [SUITE ...] [--list] [--suite FILTER] [--threads N] [--reps N]
+//            [--json-dir=DIR] [--no-json] [--csv=FILE]
 //            [--occupancy=dense|hash|differential] [--compare-occupancy]
 // `default_suite` is what a per-suite shim binary runs when no suite is
 // named on the command line (nullptr = "all").

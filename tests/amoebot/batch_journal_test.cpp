@@ -1,0 +1,110 @@
+// SystemCore batch sessions: while a batch is active, movements journal their
+// occupancy updates into the thread's ActivationLog (bodies mutate in place),
+// queries overlay the thread's own pending ops — an activation reads its own
+// movement — and commit() replays the journal so the indices and counters end
+// exactly as a direct sequential execution would.
+#include "amoebot/system.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pm::amoebot {
+namespace {
+
+TEST(BatchJournal, ExpandIsJournaledAndVisibleToOwnThread) {
+  for (const OccupancyMode mode :
+       {OccupancyMode::Dense, OccupancyMode::Hash, OccupancyMode::Differential}) {
+    SystemCore sys(mode);
+    const ParticleId p = sys.add_particle({0, 0}, 0);
+    ActivationLog log;
+    sys.begin_batch();
+    SystemCore::set_thread_log(&log);
+    sys.expand(p, {1, 0});
+    // Read-your-own-writes: the journaling thread sees the move...
+    EXPECT_TRUE(sys.occupied({1, 0}));
+    EXPECT_EQ(sys.particle_at({1, 0}), p);
+    EXPECT_TRUE(sys.is_head({1, 0}));
+    EXPECT_TRUE(sys.body(p).expanded());
+    SystemCore::set_thread_log(nullptr);
+    // ...but a thread without a registered log sees the pre-batch indices
+    // (the body, mutated in place, is already current).
+    EXPECT_FALSE(sys.occupied({1, 0}));
+    sys.end_batch();
+    // Counters are deferred until commit.
+    EXPECT_EQ(sys.moves(), 0);
+    EXPECT_EQ(sys.expanded_count(), 0);
+    sys.commit(log);
+    EXPECT_TRUE(sys.occupied({1, 0}));
+    EXPECT_EQ(sys.particle_at({1, 0}), p);
+    EXPECT_EQ(sys.moves(), 1);
+    EXPECT_EQ(sys.expanded_count(), 1);
+  }
+}
+
+TEST(BatchJournal, HandoverJournalsBothOpsInOrder) {
+  SystemCore sys;
+  const ParticleId q = sys.add_particle({0, 0}, 0);
+  const ParticleId p = sys.add_particle({-1, 0}, 0);
+  sys.expand(q, {1, 0});  // q: tail (0,0), head (1,0); p adjacent to q's tail
+
+  ActivationLog log;
+  sys.begin_batch();
+  SystemCore::set_thread_log(&log);
+  sys.handover(p, q);
+  // Overlay: the freed node now answers as p's for this thread.
+  EXPECT_EQ(sys.particle_at({0, 0}), p);
+  EXPECT_TRUE(sys.body(p).expanded());
+  EXPECT_FALSE(sys.body(q).expanded());
+  SystemCore::set_thread_log(nullptr);
+  sys.end_batch();
+  EXPECT_EQ(sys.particle_at({0, 0}), q) << "indices unchanged until commit";
+
+  const long long moves_before = sys.moves();
+  sys.commit(log);
+  EXPECT_EQ(sys.particle_at({0, 0}), p);
+  EXPECT_EQ(sys.particle_at({1, 0}), q);
+  EXPECT_EQ(sys.moves(), moves_before + 1);
+  EXPECT_EQ(sys.expanded_count(), 1);  // p expanded, q contracted: net equal
+}
+
+TEST(BatchJournal, ContractIsDeferred) {
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 0);
+  sys.expand(p, {1, 0});
+  ASSERT_EQ(sys.expanded_count(), 1);
+
+  ActivationLog log;
+  sys.begin_batch();
+  SystemCore::set_thread_log(&log);
+  sys.contract_to_head(p);
+  EXPECT_FALSE(sys.occupied({0, 0}));  // own-thread overlay shows the erase
+  SystemCore::set_thread_log(nullptr);
+  sys.end_batch();
+  EXPECT_TRUE(sys.occupied({0, 0}));
+  sys.commit(log);
+  EXPECT_FALSE(sys.occupied({0, 0}));
+  EXPECT_EQ(sys.expanded_count(), 0);
+}
+
+TEST(BatchJournal, CommitInsideABatchSessionThrows) {
+  SystemCore sys;
+  sys.begin_batch();
+  const ActivationLog log;
+  EXPECT_THROW(sys.commit(log), CheckError);
+  sys.end_batch();
+}
+
+TEST(BatchJournal, MovesOutsideASessionApplyDirectly) {
+  // begin_batch without a registered thread log: movements on threads that
+  // did not register (e.g. the main thread between batches) apply directly.
+  SystemCore sys;
+  const ParticleId p = sys.add_particle({0, 0}, 0);
+  sys.expand(p, {1, 0});
+  EXPECT_TRUE(sys.occupied({1, 0}));
+  EXPECT_EQ(sys.moves(), 1);
+  EXPECT_EQ(sys.expanded_count(), 1);
+}
+
+}  // namespace
+}  // namespace pm::amoebot

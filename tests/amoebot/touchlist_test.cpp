@@ -1,0 +1,153 @@
+// TouchList footprint completeness — the soundness precondition for both the
+// Engine's incremental termination tracking and the exec layer's conflict
+// detection: every particle whose state an activation writes (or whose body a
+// movement mutates) must appear in the recorded TouchList.
+//
+// The adversarial algorithm below exercises every allowed mutation channel of
+// ParticleView — self(), nbr_state_head(), state_of() via neighbor iteration,
+// and all four movement operations including both handover directions —
+// while independently recording which particles it actually mutated; the test
+// asserts the TouchList is a superset of that record.
+#include "amoebot/view.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "amoebot/system.h"
+#include "shapegen/shapegen.h"
+#include "util/rng.h"
+
+namespace pm::amoebot {
+namespace {
+
+struct AdversaryState {
+  int scribbles = 0;
+};
+
+// One activation: write every reachable neighbor channel, then perform one
+// movement chosen to rotate through the full movement repertoire. `mutated`
+// is the ground truth the TouchList must cover.
+struct AdversaryAlgo {
+  using State = AdversaryState;
+
+  int step = 0;
+  std::vector<ParticleId> mutated;  // filled per activation
+
+  void activate(ParticleView<State>& p) {
+    mutated.clear();
+
+    // Channel 1: own memory.
+    ++p.self().scribbles;
+    mutated.push_back(p.id());
+
+    // Channel 2: head-port neighbor writes (only head-of-neighbor ports give
+    // a writable channel through nbr_state_head).
+    for (int port = 0; port < 6; ++port) {
+      if (!p.occupied_head(port) || !p.head_of_nbr_at(port)) continue;
+      const ParticleId q = p.nbr_id_head(port);
+      if (q == p.id()) continue;  // own tail seen from the head
+      ++p.nbr_state_head(port).scribbles;
+      mutated.push_back(q);
+    }
+
+    // Channel 3: whole-neighborhood writes through state_of.
+    p.for_each_neighbor_particle([&](ParticleId q) {
+      ++p.state_of(q).scribbles;
+      mutated.push_back(q);
+    });
+
+    // Channel 4: one movement, rotating through the repertoire.
+    const int choice = step++ % 4;
+    if (p.expanded()) {
+      if (choice == 0) {
+        // Handover initiated by the expanded party: pull a contracted
+        // neighbor into the vacated tail.
+        for (int port = 0; port < 6; ++port) {
+          if (!p.occupied_tail(port) || p.tail_port_is_self(port)) continue;
+          const ParticleId q = p.nbr_id_tail(port);
+          if (p.is_contracted(q)) {
+            p.handover_pull_tail(port);
+            mutated.push_back(q);
+            return;
+          }
+        }
+      }
+      if (choice % 2 == 0) {
+        p.contract_to_head();
+      } else {
+        p.contract_to_tail();
+      }
+      return;
+    }
+    if (choice == 1) {
+      // Handover initiated by the contracted party: expand into an expanded
+      // neighbor's tail.
+      for (int port = 0; port < 6; ++port) {
+        if (!p.occupied_head(port)) continue;
+        const ParticleId q = p.nbr_id_head(port);
+        if (q != p.id() && !p.is_contracted(q) && !p.head_of_nbr_at(port)) {
+          p.handover_expand_head(port);
+          mutated.push_back(q);
+          return;
+        }
+      }
+    }
+    for (int port = 0; port < 6; ++port) {
+      if (!p.occupied_head(port)) {
+        p.expand_head(port);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_final(const System<State>&, ParticleId) const { return false; }
+};
+
+TEST(TouchList, RecordsASupersetOfEveryMutationChannel) {
+  for (const std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    Rng rng(seed);
+    auto sys = System<AdversaryState>::from_shape(shapegen::hexagon(3), rng);
+    AdversaryAlgo algo;
+    Rng order_rng(seed + 100);
+    long multi_particle_activations = 0;
+    for (int round = 0; round < 60; ++round) {
+      for (int k = 0; k < sys.particle_count(); ++k) {
+        const auto p = static_cast<ParticleId>(
+            order_rng.below(static_cast<std::uint64_t>(sys.particle_count())));
+        TouchList touches;
+        ParticleView<AdversaryState> view(sys, p, &touches);
+        algo.activate(view);
+        ASSERT_FALSE(touches.overflowed())
+            << "a single activation fits in the TouchList capacity";
+        std::unordered_set<ParticleId> recorded;
+        for (int i = 0; i < touches.size(); ++i) recorded.insert(touches[i]);
+        for (const ParticleId q : algo.mutated) {
+          EXPECT_TRUE(recorded.contains(q))
+              << "particle " << q << " mutated but not touched (seed " << seed
+              << ", activation of " << p << ")";
+        }
+        if (algo.mutated.size() > 1) ++multi_particle_activations;
+      }
+    }
+    EXPECT_GT(multi_particle_activations, 0)
+        << "the adversary must exercise neighbor writes";
+  }
+}
+
+// The capacity bound documented in view.h: an activation touches itself and
+// at most its node-neighbors, comfortably under kCapacity; overflow is
+// reported, not silently dropped, once capacity is exceeded.
+TEST(TouchList, OverflowIsStickyAndReported) {
+  TouchList t;
+  for (int i = 0; i < TouchList::kCapacity; ++i) t.add(i);
+  EXPECT_FALSE(t.overflowed());
+  EXPECT_EQ(t.size(), TouchList::kCapacity);
+  t.add(99);
+  EXPECT_TRUE(t.overflowed());
+  EXPECT_EQ(t.size(), TouchList::kCapacity);  // extra entries are not stored
+}
+
+}  // namespace
+}  // namespace pm::amoebot

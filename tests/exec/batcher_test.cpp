@@ -1,0 +1,243 @@
+// Batcher / footprint soundness: the conflict footprint must over-approximate
+// everything an activation can touch, batch members must be pairwise
+// commuting (occupied-node distance >= 4), and jump-ahead planning must
+// consume every pending particle exactly once, in a commuting-swaps-only
+// reordering of the sequence.
+#include "exec/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "amoebot/view.h"
+#include "core/dle/dle.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::exec {
+namespace {
+
+using amoebot::ParticleId;
+using amoebot::System;
+using amoebot::SystemCore;
+using amoebot::TouchList;
+using core::Dle;
+using core::DleState;
+using grid::Node;
+
+// Minimum grid distance between any occupied node of a and any of b.
+int body_distance(const SystemCore& sys, ParticleId a, ParticleId b) {
+  int best = 1 << 20;
+  for (const Node u : {sys.body(a).head, sys.body(a).tail}) {
+    for (const Node v : {sys.body(b).head, sys.body(b).tail}) {
+      best = std::min(best, grid::grid_distance(u, v));
+    }
+  }
+  return best;
+}
+
+TEST(BallOffsets, AreTheDistanceKBalls) {
+  const std::size_t expected[] = {7, 19, 37};  // 1 + 6, + 12, + 18
+  for (int k = 1; k <= 3; ++k) {
+    const auto& offsets = ball_offsets(k);
+    EXPECT_EQ(offsets.size(), expected[k - 1]) << "k=" << k;
+    std::unordered_set<Node, grid::NodeHash> seen;
+    for (const Node o : offsets) {
+      EXPECT_LE(grid::grid_distance({0, 0}, o), k);
+      EXPECT_TRUE(seen.insert(o).second) << "duplicate offset at k=" << k;
+    }
+  }
+}
+
+TEST(Footprint, CoversHeadAndTailBalls) {
+  Rng rng(3);
+  auto sys = System<DleState>::from_shape(shapegen::line(3), rng);
+  // Expand particle 0 so its footprint spans two balls.
+  const Node head = sys.body(0).head;
+  for (int i = 0; i < grid::kDirCount; ++i) {
+    const Node u = grid::neighbor(head, grid::dir_from_index(i));
+    if (!sys.occupied(u)) {
+      sys.expand(0, u);
+      break;
+    }
+  }
+  ASSERT_TRUE(sys.body(0).expanded());
+  std::vector<Node> fp;
+  collect_footprint(sys, 0, fp);
+  const std::unordered_set<Node, grid::NodeHash> fps(fp.begin(), fp.end());
+  for (const Node base : {sys.body(0).head, sys.body(0).tail}) {
+    for (const Node o : ball_offsets(2)) {
+      EXPECT_TRUE(fps.contains({base.x + o.x, base.y + o.y}));
+    }
+  }
+}
+
+// The soundness precondition for conflict detection: every particle a DLE
+// activation actually touches (recorded by the TouchList) must occupy nodes
+// inside the a-priori footprint computed before the activation ran.
+TEST(Footprint, SupersetOfActualDleTouches) {
+  for (const auto& named : shapegen::standard_family(4, 1)) {
+    Rng rng(17);
+    auto sys = Dle::make_system(named.shape, rng);
+    Dle dle;
+    std::vector<Node> fp;
+    for (int round = 0; round < 2000; ++round) {
+      bool all_final = true;
+      for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+        if (dle.is_final(sys, p)) continue;
+        all_final = false;
+        fp.clear();
+        collect_footprint(sys, p, fp);
+        const std::unordered_set<Node, grid::NodeHash> fps(fp.begin(), fp.end());
+        TouchList touches;
+        amoebot::ParticleView<DleState> view(sys, p, &touches);
+        dle.activate(view);
+        ASSERT_FALSE(touches.overflowed());
+        for (int k = 0; k < touches.size(); ++k) {
+          const auto& b = sys.body(touches[k]);
+          EXPECT_TRUE(fps.contains(b.head))
+              << named.name << ": touched particle outside footprint";
+          EXPECT_TRUE(fps.contains(b.tail));
+        }
+      }
+      if (all_final) break;
+    }
+  }
+}
+
+TEST(Batcher, AdjacentParticlesNeverShareABatch) {
+  // Three particles in a line are mutually within distance 2: every batch
+  // is a singleton, consumed in sequence order.
+  Rng rng(5);
+  auto sys = System<DleState>::from_shape(shapegen::line(3), rng);
+  Batcher batcher(sys);
+  std::vector<ParticleId> pending{0, 1, 2};
+  const std::vector<char> final_flags(3, 0);
+  std::vector<ParticleId> batch;
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, std::vector<ParticleId>{0});
+  EXPECT_EQ(pending, (std::vector<ParticleId>{1, 2}));
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, std::vector<ParticleId>{1});
+  EXPECT_EQ(pending, std::vector<ParticleId>{2});
+}
+
+TEST(Batcher, DistantParticlesShareABatch) {
+  SystemCore sys;
+  sys.add_particle({0, 0}, 0);
+  sys.add_particle({10, 0}, 0);   // far beyond any footprint overlap
+  sys.add_particle({20, 0}, 0);
+  Batcher batcher(sys);
+  std::vector<ParticleId> pending{0, 1, 2};
+  const std::vector<char> final_flags(3, 0);
+  std::vector<ParticleId> batch;
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{0, 1, 2}));
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(Batcher, BatchWidthCapLeavesTheTailPending) {
+  SystemCore sys;
+  sys.add_particle({0, 0}, 0);
+  sys.add_particle({10, 0}, 0);
+  sys.add_particle({20, 0}, 0);
+  Batcher batcher(sys);
+  std::vector<ParticleId> pending{0, 1, 2};
+  const std::vector<char> final_flags(3, 0);
+  std::vector<ParticleId> batch;
+  batcher.plan_batch(pending, final_flags, batch, 2);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{0, 1}));
+  EXPECT_EQ(pending, (std::vector<ParticleId>{2}));  // unexamined, in order
+  batcher.plan_batch(pending, final_flags, batch, 2);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{2}));
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(Batcher, JumpAheadCommutesPastConflictsOnly) {
+  // 1 conflicts with 0 and is deferred; 2 (far from both) jumps ahead into
+  // the first batch; 3 sits within the deferred particle's enlarged claim
+  // and must not commute past it.
+  SystemCore sys;
+  sys.add_particle({0, 0}, 0);
+  sys.add_particle({2, 0}, 0);   // distance 2 from 0 -> conflicts
+  sys.add_particle({20, 0}, 0);  // independent of everything
+  sys.add_particle({5, 0}, 0);   // distance 3 from deferred 1 -> must wait
+  Batcher batcher(sys);
+  std::vector<ParticleId> pending{0, 1, 2, 3};
+  const std::vector<char> final_flags(4, 0);
+  std::vector<ParticleId> batch;
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{0, 2}));
+  EXPECT_EQ(pending, (std::vector<ParticleId>{1, 3}));
+  // 1 and 3 are at distance 3 — still conflicting, so 3 waits once more.
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{1}));
+  EXPECT_EQ(pending, (std::vector<ParticleId>{3}));
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{3}));
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(Batcher, PartitionsWholeRoundsIntoCommutingBatches) {
+  Rng rng(11);
+  auto sys = System<DleState>::from_shape(shapegen::hexagon(10), rng);
+  const int n = sys.particle_count();
+  std::vector<ParticleId> seq(static_cast<std::size_t>(n));
+  std::iota(seq.begin(), seq.end(), 0);
+  Rng shuffle_rng(23);
+  shuffle_rng.shuffle(seq);
+  const std::vector<char> final_flags(static_cast<std::size_t>(n), 0);
+
+  Batcher batcher(sys);
+  std::vector<ParticleId> pending = seq;
+  std::vector<ParticleId> batch;
+  std::vector<ParticleId> executed;
+  int batches = 0;
+  while (!pending.empty()) {
+    const std::size_t before = pending.size() + executed.size();
+    batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+    ASSERT_FALSE(batch.empty()) << "no finals here, so every pass must execute";
+    ++batches;
+    // Members commute pairwise: occupied-node distance >= 4 (two activations
+    // within distance 3 can share a touched particle).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (std::size_t j = i + 1; j < batch.size(); ++j) {
+        EXPECT_GE(body_distance(sys, batch[i], batch[j]), 4);
+      }
+    }
+    executed.insert(executed.end(), batch.begin(), batch.end());
+    ASSERT_EQ(pending.size() + executed.size(), before) << "no loss, no duplication";
+  }
+  // Every particle executed exactly once.
+  auto sorted = executed;
+  std::sort(sorted.begin(), sorted.end());
+  auto expect = seq;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted, expect);
+  // Jump-ahead must beat singleton batching clearly on a dense shape (the
+  // conservative distance-5 spacing keeps batches narrow at small radii;
+  // width grows quadratically with the shape's diameter).
+  EXPECT_LT(batches, n / 3) << "batches should be much wider than singletons";
+}
+
+TEST(Batcher, SkipsFinalParticlesUnlessAnEarlierClaimCoversThem) {
+  SystemCore sys;
+  sys.add_particle({0, 0}, 0);   // member
+  sys.add_particle({1, 0}, 0);   // final, adjacent to member -> deferred
+  sys.add_particle({10, 0}, 0);  // final, far away -> removed as a no-op
+  sys.add_particle({20, 0}, 0);  // independent member
+  Batcher batcher(sys);
+  std::vector<ParticleId> pending{0, 1, 2, 3};
+  const std::vector<char> final_flags{0, 1, 1, 0};
+  std::vector<ParticleId> batch;
+  batcher.plan_batch(pending, final_flags, batch, 1 << 20);
+  EXPECT_EQ(batch, (std::vector<ParticleId>{0, 3}));
+  // The adjacent final particle could be unfinalized by the member before
+  // its sequential turn — it must stay pending, not be skipped.
+  EXPECT_EQ(pending, (std::vector<ParticleId>{1}));
+}
+
+}  // namespace
+}  // namespace pm::exec

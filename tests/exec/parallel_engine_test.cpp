@@ -1,0 +1,323 @@
+// ParallelEngine differential regression: for any fixed (Order, seed) the
+// parallel engine must reproduce the sequential Engine — and therefore the
+// seed scheduler run_reference — bit-for-bit: identical rounds, activations,
+// moves, completion, peak occupancy extent, and final trajectory, at every
+// thread count, order, and occupancy mode.
+#include "exec/parallel_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dle/dle.h"
+#include "core/le/le.h"
+#include "shapegen/shapegen.h"
+
+namespace pm::exec {
+namespace {
+
+using amoebot::OccupancyMode;
+using amoebot::Order;
+using amoebot::ParticleId;
+using amoebot::RunResult;
+using amoebot::System;
+using core::Dle;
+using core::DleState;
+
+void expect_identical(const RunResult& par, const RunResult& seq, const char* what) {
+  EXPECT_EQ(par.rounds, seq.rounds) << what;
+  EXPECT_EQ(par.activations, seq.activations) << what;
+  EXPECT_EQ(par.moves, seq.moves) << what;
+  EXPECT_EQ(par.completed, seq.completed) << what;
+  EXPECT_EQ(par.peak_occupancy_cells, seq.peak_occupancy_cells) << what;
+}
+
+template <typename State>
+void expect_same_trajectory(const System<State>& a, const System<State>& b,
+                            const char* what) {
+  ASSERT_EQ(a.particle_count(), b.particle_count()) << what;
+  for (ParticleId p = 0; p < a.particle_count(); ++p) {
+    ASSERT_EQ(a.body(p).head, b.body(p).head) << what << " p" << p;
+    ASSERT_EQ(a.body(p).tail, b.body(p).tail) << what << " p" << p;
+  }
+}
+
+struct CountToTarget {
+  struct State {
+    int count = 0;
+  };
+  int target = 5;
+
+  void activate(amoebot::ParticleView<State>& p) { ++p.self().count; }
+  [[nodiscard]] bool is_final(const System<State>& sys, ParticleId p) const {
+    return sys.state(p).count >= target;
+  }
+};
+
+TEST(ParallelEngine, MatchesReferenceOnToyAlgorithm) {
+  for (const Order order : {Order::RoundRobin, Order::RandomPerm, Order::RandomStream}) {
+    for (const int threads : {1, 2, 4}) {
+      const std::uint64_t seed = 7;
+      const auto shape = shapegen::hexagon(2);
+      Rng rng_a(seed);
+      auto sys_a = System<CountToTarget::State>::from_shape(shape, rng_a);
+      Rng rng_b(seed);
+      auto sys_b = System<CountToTarget::State>::from_shape(shape, rng_b);
+      CountToTarget algo_a;
+      CountToTarget algo_b;
+      const RunResult par = run_parallel(sys_a, algo_a, {order, seed, 1000, threads});
+      const RunResult ref =
+          amoebot::run_reference(sys_b, algo_b, {order, seed, 1000});
+      EXPECT_EQ(par.rounds, ref.rounds)
+          << amoebot::order_name(order) << " threads " << threads;
+      EXPECT_EQ(par.activations, ref.activations);
+      EXPECT_EQ(par.completed, ref.completed);
+    }
+  }
+}
+
+TEST(ParallelEngine, MatchesEngineOnDleAllOrdersAndOccupancies) {
+  const auto shapes = shapegen::standard_family(5, 2);
+  for (const auto& named : shapes) {
+    for (const Order order : {Order::RoundRobin, Order::RandomPerm, Order::RandomStream}) {
+      for (const OccupancyMode mode :
+           {OccupancyMode::Dense, OccupancyMode::Hash, OccupancyMode::Differential}) {
+        Rng rng_a(13);
+        auto sys_a = Dle::make_system(named.shape, rng_a, mode);
+        Rng rng_b(13);
+        auto sys_b = Dle::make_system(named.shape, rng_b, mode);
+        Dle dle_a;
+        Dle dle_b;
+        // inline_batch_below = 2 forces every multi-member batch through the
+        // pool + journal path even at these small sizes.
+        const RunResult par =
+            run_parallel(sys_a, dle_a, {order, 14, 500'000, 4, /*inline*/ 2});
+        const RunResult seq = amoebot::run(sys_b, dle_b, {order, 14, 500'000});
+        expect_identical(par, seq, named.name.c_str());
+        expect_same_trajectory(sys_a, sys_b, named.name.c_str());
+        EXPECT_EQ(core::election_outcome(sys_a).leaders,
+                  core::election_outcome(sys_b).leaders);
+      }
+    }
+  }
+}
+
+TEST(ParallelEngine, MatchesEngineOnPullVariantHandovers) {
+  // Handovers journal two occupancy ops for one movement and mutate a second
+  // particle's body — the batch machinery's hardest case.
+  for (const int threads : {2, 3}) {
+    Rng rng_a(29);
+    auto sys_a = Dle::make_system(shapegen::annulus(6, 5), rng_a);
+    Rng rng_b(29);
+    auto sys_b = Dle::make_system(shapegen::annulus(6, 5), rng_b);
+    Dle dle_a({.connected_pull = true});
+    Dle dle_b({.connected_pull = true});
+    const RunResult par = run_parallel(
+        sys_a, dle_a, {Order::RandomPerm, 31, 500'000, threads, /*inline*/ 2});
+    const RunResult seq = amoebot::run(sys_b, dle_b, {Order::RandomPerm, 31, 500'000});
+    EXPECT_TRUE(par.completed);
+    expect_identical(par, seq, "pull variant");
+    expect_same_trajectory(sys_a, sys_b, "pull variant");
+  }
+}
+
+TEST(ParallelEngine, MatchesEngineOnIncompleteRuns) {
+  Rng rng_a(3);
+  auto sys_a = Dle::make_system(shapegen::hexagon(6), rng_a);
+  Rng rng_b(3);
+  auto sys_b = Dle::make_system(shapegen::hexagon(6), rng_b);
+  Dle dle_a;
+  Dle dle_b;
+  const RunResult par = run_parallel(sys_a, dle_a, {Order::RandomPerm, 5, 4, 4});
+  const RunResult seq = amoebot::run(sys_b, dle_b, {Order::RandomPerm, 5, 4});
+  EXPECT_FALSE(par.completed);
+  expect_identical(par, seq, "incomplete");
+  expect_same_trajectory(sys_a, sys_b, "incomplete");
+}
+
+// Full pipeline: the parallel DLE stage slots between the round-synchronous
+// OBD and Collect engines without perturbing either — per-stage rounds, the
+// elected leader, and the final configuration all match the sequential run.
+TEST(ParallelEngine, PipelineWithObdAndCollectMatchesSequential) {
+  const auto shape = shapegen::swiss_cheese(6, 4, 2024);
+  core::PipelineOptions opts;
+  opts.use_boundary_oracle = false;
+  opts.seed = 8;
+  opts.occupancy = OccupancyMode::Dense;
+
+  Rng rng_seq(opts.seed);
+  auto sys_seq = Dle::make_system(shape, rng_seq, opts.occupancy);
+  const auto seq = core::elect_leader(sys_seq, opts);
+  ASSERT_TRUE(seq.completed);
+
+  for (const int threads : {1, 2, 4}) {
+    core::PipelineOptions popts = opts;
+    popts.threads = threads;
+    Rng rng_par(opts.seed);
+    auto sys_par = Dle::make_system(shape, rng_par, opts.occupancy);
+    const auto par = core::elect_leader(sys_par, popts);
+    EXPECT_EQ(par.obd_rounds, seq.obd_rounds) << threads;
+    EXPECT_EQ(par.dle_rounds, seq.dle_rounds) << threads;
+    EXPECT_EQ(par.collect_rounds, seq.collect_rounds) << threads;
+    EXPECT_EQ(par.completed, seq.completed) << threads;
+    EXPECT_EQ(par.leader, seq.leader) << threads;
+    EXPECT_EQ(par.dle_activations, seq.dle_activations) << threads;
+    EXPECT_EQ(par.moves, seq.moves) << threads;
+    expect_same_trajectory(sys_par, sys_seq, "pipeline");
+  }
+}
+
+// Large-n differential (n = 9,919): dense mode, the round-robin order that
+// produces the widest batches, 8 threads against the sequential Engine.
+TEST(ParallelEngine, LargeHexagonMatchesSequential) {
+  const auto shape = shapegen::hexagon(57);
+  Rng rng_a(9);
+  auto sys_a = Dle::make_system(shape, rng_a, OccupancyMode::Dense);
+  Rng rng_b(9);
+  auto sys_b = Dle::make_system(shape, rng_b, OccupancyMode::Dense);
+  Dle dle_a;
+  Dle dle_b;
+  const RunResult par =
+      run_parallel(sys_a, dle_a, {Order::RoundRobin, 9, 2'000'000, 8});
+  const RunResult seq = amoebot::run(sys_b, dle_b, {Order::RoundRobin, 9, 2'000'000});
+  EXPECT_TRUE(par.completed);
+  expect_identical(par, seq, "hexagon(57)");
+  expect_same_trajectory(sys_a, sys_b, "hexagon(57)");
+}
+
+// The engine's conflict margins assume pull-only handovers: a push handover
+// (handover_expand_head) contracts a particle that never activates, which
+// breaks the one-node displacement bound. The guard must reject it at any
+// thread count — including width-1 inline batches — while the sequential
+// Engine still allows it.
+TEST(ParallelEngine, RejectsPushHandovers) {
+  struct PushAlgo {
+    struct State {
+      bool done = false;
+    };
+    void activate(amoebot::ParticleView<State>& p) {
+      if (p.self().done) return;
+      p.self().done = true;
+      if (p.expanded()) return;
+      for (int port = 0; port < 6; ++port) {
+        if (!p.occupied_head(port) || p.head_of_nbr_at(port)) continue;
+        const ParticleId q = p.nbr_id_head(port);
+        if (q != p.id() && !p.is_contracted(q)) {
+          p.handover_expand_head(port);
+          return;
+        }
+      }
+    }
+    [[nodiscard]] bool is_final(const System<State>& sys, ParticleId p) const {
+      return sys.state(p).done;
+    }
+  };
+  auto make_sys = [] {
+    Rng rng(4);
+    auto sys = System<PushAlgo::State>::from_shape(shapegen::line(4), rng);
+    // Expand particle 1 away from the line so a neighbor can push into it.
+    const grid::Node head = sys.body(1).head;
+    for (int i = 0; i < grid::kDirCount; ++i) {
+      const grid::Node u = grid::neighbor(head, grid::dir_from_index(i));
+      if (!sys.occupied(u)) {
+        sys.expand(1, u);
+        break;
+      }
+    }
+    return sys;
+  };
+  {
+    auto sys = make_sys();
+    PushAlgo algo;
+    EXPECT_THROW(run_parallel(sys, algo, {Order::RoundRobin, 1, 10, 2}), CheckError);
+    EXPECT_FALSE(sys.parallel_contract()) << "guard must reset after the run";
+  }
+  {
+    auto sys = make_sys();
+    PushAlgo algo;
+    const RunResult seq = amoebot::run(sys, algo, {Order::RoundRobin, 1, 10});
+    EXPECT_TRUE(seq.completed) << "sequential Engine still supports push handovers";
+    EXPECT_GE(seq.moves, 1);  // at least one push handover happened in-run
+  }
+}
+
+// Second contract rule: ports resolve against the live body, so reading the
+// neighborhood after a movement reaches beyond the plan-time footprint. The
+// guard must reject it under the ParallelEngine; the sequential Engine
+// still allows it.
+TEST(ParallelEngine, RejectsNeighborhoodAccessAfterMovement) {
+  struct MoveThenReadAlgo {
+    struct State {
+      bool done = false;
+    };
+    void activate(amoebot::ParticleView<State>& p) {
+      if (p.self().done) return;
+      p.self().done = true;
+      if (p.contracted()) {
+        for (int port = 0; port < 6; ++port) {
+          if (!p.occupied_head(port)) {
+            p.expand_head(port);
+            break;
+          }
+        }
+      }
+      (void)p.occupied_head(0);  // post-move neighborhood probe
+    }
+    [[nodiscard]] bool is_final(const System<State>& sys, ParticleId p) const {
+      return sys.state(p).done;
+    }
+  };
+  auto make_sys = [] {
+    Rng rng(6);
+    return System<MoveThenReadAlgo::State>::from_shape(shapegen::line(2), rng);
+  };
+  {
+    auto sys = make_sys();
+    MoveThenReadAlgo algo;
+    EXPECT_THROW(run_parallel(sys, algo, {Order::RoundRobin, 1, 10, 2}), CheckError);
+  }
+  {
+    auto sys = make_sys();
+    MoveThenReadAlgo algo;
+    const RunResult seq = amoebot::run(sys, algo, {Order::RoundRobin, 1, 10});
+    EXPECT_TRUE(seq.completed) << "sequential Engine allows post-move reads";
+  }
+}
+
+TEST(ParallelEngine, EmptySystemCompletesImmediately) {
+  System<DleState> sys;
+  Dle dle;
+  const RunResult res = run_parallel(sys, dle, {Order::RandomPerm, 1, 100, 2});
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 0);
+  EXPECT_EQ(res.activations, 0);
+}
+
+TEST(ParallelEngine, ModelViolationsStillThrow) {
+  // Two adjacent expanded particles both try an illegal second expand via a
+  // broken algorithm; the engine must surface the CheckError, not swallow it
+  // on a worker thread.
+  struct BrokenAlgo {
+    struct State {
+      bool done = false;
+    };
+    void activate(amoebot::ParticleView<State>& p) {
+      p.self().done = true;
+      p.expand_head(0);
+      // Illegal second movement in one activation:
+      p.expand_head(1);
+    }
+    [[nodiscard]] bool is_final(const System<State>& sys, ParticleId p) const {
+      return sys.state(p).done;
+    }
+  };
+  // Far-apart particles batch together, so the violation fires on a pool
+  // thread and must be re-raised from the commit loop.
+  std::vector<grid::Node> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back({10 * i, 0});
+  Rng rng(1);
+  auto sys = System<BrokenAlgo::State>::from_shape(grid::Shape(nodes), rng);
+  BrokenAlgo algo;
+  EXPECT_THROW(run_parallel(sys, algo, {Order::RoundRobin, 1, 10, 4}), CheckError);
+}
+
+}  // namespace
+}  // namespace pm::exec

@@ -1,0 +1,71 @@
+// ThreadPool: the fork/join parallel-for primitive under the ParallelEngine.
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace pm::exec {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.for_each_index(257, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.for_each_index(batch % 7, [&](int) { total++; });
+  }
+  long expect = 0;
+  for (int batch = 0; batch < 200; ++batch) expect += batch % 7;
+  EXPECT_EQ(total.load(), expect);
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_each_index(0, [&](int) { ran = true; });
+  pool.for_each_index(-3, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  int sum = 0;
+  pool.for_each_index(5, [&](int i) { sum += i; });  // inline, no data race
+  EXPECT_EQ(sum, 10);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+TEST(ThreadPool, LoadBalancesUnevenWork) {
+  // Indices with wildly different costs must all complete; the shared
+  // counter hands indices to whichever thread is free.
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  pool.for_each_index(64, [&](int i) {
+    long long local = 0;
+    const int spin = (i % 8 == 0) ? 20000 : 10;
+    for (int k = 0; k < spin; ++k) local += k;
+    sum += local + i;
+  });
+  long long expect = 0;
+  for (int i = 0; i < 64; ++i) {
+    const int spin = (i % 8 == 0) ? 20000 : 10;
+    expect += static_cast<long long>(spin) * (spin - 1) / 2 + i;
+  }
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace
+}  // namespace pm::exec

@@ -61,6 +61,24 @@ TEST(DenseOccupancy, ClearResets) {
   EXPECT_EQ(occ.find({100, 100}), 5);
 }
 
+// Repetition hygiene (pm_bench --reps): a previous larger run's bounding box
+// must not leak into the next use — after clear(), the box is re-derived from
+// the new working set alone, so extent and peak reflect only the small run.
+TEST(DenseOccupancy, ClearDropsAPreviousLargerBoundingBox) {
+  DenseOccupancy occ;
+  occ.insert({-500, -500}, 1);
+  occ.insert({500, 500}, 2);  // forces a ~1000x1000 box
+  const long long big = occ.extent_cells();
+  ASSERT_GE(big, 1000LL * 1000LL);
+  occ.clear();
+  occ.insert({0, 0}, 3);
+  occ.insert({1, 1}, 4);
+  EXPECT_LT(occ.extent_cells(), big / 100);  // fresh small box, no carry-over
+  EXPECT_LT(occ.peak_cells(), big / 100);
+  EXPECT_EQ(occ.find({0, 0}), 3);
+  EXPECT_EQ(occ.find({500, 500}), DenseOccupancy::kEmpty);
+}
+
 TEST(DenseOccupancy, ReserveBoxAvoidsRegrowth) {
   DenseOccupancy occ;
   occ.reserve_box({-10, -10}, {10, 10});

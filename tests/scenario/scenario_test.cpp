@@ -114,7 +114,9 @@ TEST(ScenarioSerialization, JsonContainsSuiteAndRows) {
   const std::vector<Result> results = {run_scenario(suite.specs[0])};
   const std::string json = to_json(suite, results);
   EXPECT_NE(json.find("\"suite\": \"demo\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"scenario\": \"hexagon(3)\""), std::string::npos);
   EXPECT_NE(json.find("\"algo\": \"dle_oracle\""), std::string::npos);
   EXPECT_NE(json.find("\"completed\": true"), std::string::npos);
