@@ -10,6 +10,9 @@
 //   pm_bench dle_scaling --threads 4 --reps 3
 //                                   # any suite on the parallel engine,
 //                                   # best-of-3 wall times
+//   pm_bench table1 --jobs 4        # sharded suite execution: up to 4
+//                                   # scenarios at once, one system per
+//                                   # worker, bit-identical results
 //
 // Each suite writes BENCH_<suite>.json (disable with --no-json) so the
 // performance trajectory can be tracked across PRs; --csv aggregates all

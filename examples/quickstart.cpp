@@ -1,9 +1,12 @@
 // Quickstart: elect a leader on a holey shape with the full pipeline
-// (OBD -> DLE -> Collect) and visualize the before/after configurations.
+// (OBD -> DLE -> Collect) through the Stage/Pipeline API, watching stage
+// progress with a per-round observer, and visualize the before/after
+// configurations.
 #include <cstdio>
+#include <cstring>
 
-#include "core/le/le.h"
 #include "grid/metrics.h"
+#include "pipeline/pipeline.h"
 #include "shapegen/shapegen.h"
 #include "viz/ascii.h"
 
@@ -17,25 +20,45 @@ int main() {
               metrics.n, metrics.holes, metrics.d, metrics.d_area, metrics.l_out);
   std::printf("%s\n", viz::render(shape).c_str());
 
-  Rng rng(7);
-  auto sys = core::Dle::make_system(shape, rng);
-  const core::PipelineResult res =
-      core::elect_leader(sys, {.use_boundary_oracle = false, .seed = 8});
-  if (!res.completed) {
+  // One RunContext carries the whole configuration: a single SeedPolicy
+  // (construction + scheduling from one base seed), occupancy, order,
+  // threads, round budget, and an observer fired after every round.
+  pipeline::RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = pipeline::SeedPolicy::unified(8);
+  const char* last_stage = "";
+  long observed_rounds = 0;
+  ctx.on_round = [&](const pipeline::Stage& stage, const pipeline::RunContext&) {
+    ++observed_rounds;
+    if (std::strcmp(stage.name(), last_stage) != 0) {
+      last_stage = stage.name();
+      std::printf("  -> entering stage '%s'\n", stage.name());
+    }
+  };
+
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard(
+      std::move(ctx), {.use_boundary_oracle = false, .reconnect = true});
+  const pipeline::PipelineOutcome out = pipe.run();
+  if (!out.completed) {
     std::printf("pipeline failed\n");
     return 1;
   }
 
-  const auto outcome = core::election_outcome(sys);
-  std::printf("Elected a unique leader (particle %d).\n", outcome.leader);
-  std::printf("Rounds: OBD=%ld, DLE=%ld, Collect=%ld (total %ld)\n", res.obd_rounds,
-              res.dle_rounds, res.collect_rounds, res.total_rounds());
+  std::printf("\nElected a unique leader (particle %d).\n", out.leader);
+  for (const pipeline::StageReport& s : out.stages) {
+    std::printf("  stage %-8s %6ld rounds%s\n", s.name, s.metrics.rounds,
+                s.status == pipeline::StageStatus::Succeeded ? "" : "  (FAILED)");
+  }
+  std::printf("Total: %ld rounds, %lld moves (observer saw %ld rounds)\n",
+              out.total_rounds(), out.moves, observed_rounds);
+
+  auto& sys = pipe.context().system();
   std::printf("System connected afterwards: %s, all contracted: %s\n\n",
               sys.component_count() == 1 ? "yes" : "NO",
               sys.all_contracted() ? "yes" : "NO");
 
   const grid::Shape after = sys.shape();
-  const grid::Node leader_at = sys.body(outcome.leader).head;
+  const grid::Node leader_at = sys.body(out.leader).head;
   std::printf("Final configuration ('L' = leader):\n%s\n",
               viz::render(after, {}, [&](grid::Node v) -> char {
                 return v == leader_at ? 'L' : '\0';

@@ -45,6 +45,7 @@
 
 #include "amoebot/view.h"
 #include "util/rng.h"
+#include "util/snapshot.h"
 #include "util/timing.h"
 
 namespace pm::amoebot {
@@ -154,6 +155,18 @@ class RoundSequencer {
     std::iota(order_.begin(), order_.end(), 0);
   }
 
+  // Checkpoint/resume. The persistent cross-round state is `order_` alone
+  // (RandomPerm shuffles it in place; RandomStream's buffers are rebuilt
+  // every round), so saving at a round boundary is exact.
+  void save(Snapshot& snap) const {
+    snap.put(order_.size());
+    for (const ParticleId p : order_) snap.put_i(p);
+  }
+  void restore(const Snapshot& snap) {
+    order_.resize(static_cast<std::size_t>(snap.get()));
+    for (ParticleId& p : order_) p = static_cast<ParticleId>(snap.get_i());
+  }
+
   // Returns the round's sequence; the reference stays valid until the next
   // call. Advances `rng` exactly as the seed scheduler's loop would.
   const std::vector<ParticleId>& next_round(Order order, Rng& rng) {
@@ -190,6 +203,32 @@ class RoundSequencer {
   std::vector<char> covered_;        // RandomStream coverage marks
 };
 
+// THE engine checkpoint word layout — one definition, used by both the
+// sequential Engine and exec::ParallelEngine, which is what makes their
+// snapshots interchangeable (a run saved under either engine resumes under
+// either): mark, rng state, round permutation, rounds, activations, moves0.
+inline void save_engine_core(Snapshot& snap, const Rng& rng, const RoundSequencer& seq,
+                             const RunResult& res, long long moves0) {
+  snap.put_mark(kSnapEngine);
+  for (const std::uint64_t w : rng.state()) snap.put(w);
+  seq.save(snap);
+  snap.put_i(res.rounds);
+  snap.put_i(res.activations);
+  snap.put_i(moves0);
+}
+
+inline void restore_engine_core(const Snapshot& snap, Rng& rng, RoundSequencer& seq,
+                                RunResult& res, long long& moves0) {
+  snap.expect_mark(kSnapEngine);
+  std::array<std::uint64_t, 4> s;
+  for (std::uint64_t& w : s) w = snap.get();
+  rng.set_state(s);
+  seq.restore(snap);
+  res.rounds = snap.get_i();
+  res.activations = snap.get_i();
+  moves0 = snap.get_i();
+}
+
 template <typename Algo, typename Hook = NoHook>
 class Engine {
  public:
@@ -199,31 +238,80 @@ class Engine {
       : sys_(sys), algo_(algo), opts_(opts), hook_(std::move(hook)) {}
 
   RunResult run() {
-    const auto t0 = WallClock::now();
-    const long long moves0 = sys_.moves();
-    RunResult res;
+    start();
+    while (!step_round()) {
+    }
+    return finish();
+  }
+
+  // --- steppable API (pipeline::DleStage and the checkpoint path) ---
+  //
+  // start(); while (!step_round()) ...; finish();  is exactly run(), with
+  // the loop in the caller's hands. step_round() executes one asynchronous
+  // round and returns true once the run is over (all particles final, or
+  // the round budget exhausted) with result().completed set accordingly.
+
+  void start() {
+    t0_ = WallClock::now();
+    moves0_ = sys_.moves();
+    res_ = RunResult{};
     const int n = sys_.particle_count();
     if (n == 0) {
-      res.completed = true;
-      return finish(res, t0, moves0);
+      res_.completed = true;
+      trivial_ = true;
+      return;
     }
-
-    Rng rng(opts_.seed);
+    trivial_ = false;
+    rng_ = Rng(opts_.seed);
     sequencer_.init(n);
     tracker_.init(sys_, algo_);
+  }
 
-    while (res.rounds < opts_.max_rounds) {
-      if (tracker_.all_final()) {
-        res.completed = true;
-        return finish(res, t0, moves0);
-      }
-      for (const ParticleId p : sequencer_.next_round(opts_.order, rng)) {
-        activate_one(p, res);
-      }
-      ++res.rounds;
+  bool step_round() {
+    if (trivial_) return true;
+    if (tracker_.all_final()) {
+      res_.completed = true;
+      return true;
     }
-    res.completed = tracker_.all_final();
-    return finish(res, t0, moves0);
+    if (res_.rounds >= opts_.max_rounds) {
+      res_.completed = false;
+      return true;
+    }
+    for (const ParticleId p : sequencer_.next_round(opts_.order, rng_)) {
+      activate_one(p, res_);
+    }
+    ++res_.rounds;
+    return false;
+  }
+
+  [[nodiscard]] const RunResult& result() const { return res_; }
+
+  RunResult finish() { return finalize_metrics(res_, sys_, t0_, moves0_); }
+
+  // --- checkpoint/resume ---
+  //
+  // Valid at round boundaries (between step_round() calls). The word layout
+  // is shared with exec::ParallelEngine, so a snapshot taken under either
+  // engine resumes under either (their observable behavior is identical).
+  // The finality tracker is rebuilt by recount on restore — exact under the
+  // Algo contract (is_final depends only on the particle's own state).
+
+  void save(Snapshot& snap) const {
+    save_engine_core(snap, rng_, sequencer_, res_, moves0_);
+  }
+
+  // Restores a run saved mid-flight; the system must already hold the
+  // snapshotted configuration. Replaces start().
+  void restore(const Snapshot& snap) {
+    t0_ = WallClock::now();
+    res_ = RunResult{};
+    trivial_ = sys_.particle_count() == 0;
+    if (trivial_) {
+      res_.completed = true;
+    } else {
+      tracker_.init(sys_, algo_);
+    }
+    restore_engine_core(snap, rng_, sequencer_, res_, moves0_);
   }
 
  private:
@@ -239,16 +327,17 @@ class Engine {
     hook_(sys_, p);
   }
 
-  RunResult finish(RunResult& res, WallClock::time_point t0, long long moves0) const {
-    return finalize_metrics(res, sys_, t0, moves0);
-  }
-
   System<State>& sys_;
   Algo& algo_;
   RunOptions opts_;
   Hook hook_;
   FinalityTracker<Algo> tracker_;
   RoundSequencer sequencer_;
+  Rng rng_{0};
+  RunResult res_;
+  WallClock::time_point t0_{};
+  long long moves0_ = 0;
+  bool trivial_ = false;
 };
 
 template <typename Algo>

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "util/snapshot.h"
+
 namespace pm::amoebot {
 
 using grid::Node;
@@ -114,6 +116,68 @@ int SystemCore::component_count() const {
     }
   }
   return components;
+}
+
+void SystemCore::save_core(Snapshot& snap) const {
+  PM_CHECK_MSG(!batch_active_, "save_core inside an active batch session");
+  snap.put_mark(kSnapSystem);
+  snap.put(static_cast<std::uint64_t>(mode_));
+  snap.put_i(particle_count());
+  snap.put_i(moves_);
+  const bool has_dense = mode_ != OccupancyMode::Hash;
+  snap.put(has_dense ? 1 : 0);
+  if (has_dense) {
+    const auto& box = dense_.box();
+    snap.put_i(box.min_x());
+    snap.put_i(box.min_y());
+    snap.put_i(box.width());
+    snap.put_i(box.height());
+    snap.put_i(dense_.peak_cells());
+  }
+  for (const Body& b : bodies_) {
+    snap.put_i(b.head.x);
+    snap.put_i(b.head.y);
+    snap.put_i(b.tail.x);
+    snap.put_i(b.tail.y);
+    snap.put(b.ori);
+  }
+}
+
+void SystemCore::restore_core(const Snapshot& snap) {
+  snap.expect_mark(kSnapSystem);
+  const auto mode = static_cast<OccupancyMode>(snap.get());
+  PM_CHECK_MSG(mode == mode_, "snapshot occupancy mode does not match this system's");
+  const auto n = static_cast<std::size_t>(snap.get_i());
+  PM_CHECK_MSG(bodies_.empty(), "restore_core requires a freshly constructed system");
+  const long long moves = snap.get_i();
+  const bool has_dense = snap.get() != 0;
+  if (has_dense) {
+    const std::int64_t min_x = snap.get_i();
+    const std::int64_t min_y = snap.get_i();
+    const std::int64_t width = snap.get_i();
+    const std::int64_t height = snap.get_i();
+    const long long peak = snap.get_i();
+    dense_.restore_box(min_x, min_y, width, height, peak);
+  }
+  bodies_.reserve(n);
+  if (mode_ != OccupancyMode::Dense) map_.reserve(2 * n);
+  expanded_count_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Body b;
+    b.head.x = static_cast<std::int32_t>(snap.get_i());
+    b.head.y = static_cast<std::int32_t>(snap.get_i());
+    b.tail.x = static_cast<std::int32_t>(snap.get_i());
+    b.tail.y = static_cast<std::int32_t>(snap.get_i());
+    b.ori = static_cast<std::uint8_t>(snap.get());
+    const auto id = static_cast<ParticleId>(i);
+    bodies_.push_back(b);
+    occ_insert(b.head, id);
+    if (b.expanded()) {
+      occ_insert(b.tail, id);
+      ++expanded_count_;
+    }
+  }
+  moves_ = moves;
 }
 
 int SystemCore::port_between(ParticleId p, Node from, Node to) const {

@@ -24,6 +24,10 @@
 #include "util/check.h"
 #include "util/rng.h"
 
+namespace pm {
+class Snapshot;  // util/snapshot.h
+}
+
 namespace pm::amoebot {
 
 using ParticleId = std::int32_t;
@@ -200,6 +204,17 @@ class SystemCore {
   // Must be called outside a batch session, in sequential activation order.
   void commit(const ActivationLog& log);
 
+  // --- checkpoint/resume (pipeline layer) ---
+  //
+  // save_core captures bodies, the movement counter, and the dense index's
+  // exact box geometry + peak; restore_core rebuilds a freshly constructed
+  // SystemCore (same OccupancyMode) into a bit-identical configuration —
+  // including peak_occupancy_cells, so a resumed run reports the same
+  // metrics as an uninterrupted one. Per-particle algorithm state is the
+  // caller's (System<State> owner's) to serialize alongside.
+  void save_core(Snapshot& snap) const;
+  void restore_core(const Snapshot& snap);
+
  private:
   [[nodiscard]] std::size_t checked(ParticleId p) const {
     PM_CHECK_MSG(p >= 0 && p < particle_count(), "bad particle id " << p);
@@ -267,6 +282,13 @@ class System : public SystemCore {
       sys.states_.emplace_back();
     }
     return sys;
+  }
+
+  // Checkpoint/resume companion to restore_core: sizes the per-particle
+  // state store to the restored bodies (default-constructed values; the
+  // caller deserializes into them).
+  void reset_states() {
+    states_.assign(static_cast<std::size_t>(particle_count()), State{});
   }
 
   [[nodiscard]] State& state(ParticleId p) {

@@ -1,83 +1,164 @@
 #include "baselines/baselines.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "grid/local_boundary.h"
 #include "grid/metrics.h"
 #include "grid/vnode.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace pm::baselines {
 
 using grid::Node;
 using grid::Shape;
 
+// --- sequential erosion ----------------------------------------------------
+
+ErosionRun::ErosionRun(const Shape& initial) : s_(initial) {
+  if (!initial.simply_connected()) {
+    done_ = true;  // the erosion class cannot handle holes
+    return;
+  }
+  if (s_.size() <= 1) {
+    done_ = true;
+    completed_ = true;
+  }
+}
+
+bool ErosionRun::step_round() {
+  if (done_) return true;
+  const auto sce = grid::sce_points(s_);
+  PM_CHECK_MSG(!sce.empty(), "Proposition 7 violated");
+  // One erosion per round: the permission token admits a single removal.
+  std::vector<Node> pts(s_.nodes().begin(), s_.nodes().end());
+  std::erase(pts, sce.front());
+  s_ = Shape(std::move(pts));
+  ++rounds_;
+  if (s_.size() <= 1) {
+    done_ = true;
+    completed_ = true;
+  }
+  return done_;
+}
+
+void ErosionRun::save(Snapshot& snap) const {
+  snap.put_mark(kSnapErosion);
+  snap.put_i(rounds_);
+  snap.put(done_ ? 1 : 0);
+  snap.put(completed_ ? 1 : 0);
+  snap.put(s_.size());
+  for (const Node v : s_.nodes()) {
+    snap.put_i(v.x);
+    snap.put_i(v.y);
+  }
+}
+
+ErosionRun::ErosionRun(const Shape& initial, const Snapshot& snap) {
+  (void)initial;  // the eroded shape is carried whole by the snapshot
+  snap.expect_mark(kSnapErosion);
+  rounds_ = snap.get_i();
+  done_ = snap.get() != 0;
+  completed_ = snap.get() != 0;
+  std::vector<Node> pts(static_cast<std::size_t>(snap.get()));
+  for (Node& v : pts) {
+    v.x = static_cast<std::int32_t>(snap.get_i());
+    v.y = static_cast<std::int32_t>(snap.get_i());
+  }
+  s_ = Shape(std::move(pts));
+}
+
 BaselineResult sequential_erosion(const Shape& initial) {
   PM_CHECK_MSG(initial.simply_connected(),
                "sequential_erosion requires a shape without holes");
-  BaselineResult res;
-  Shape s = initial;
-  while (s.size() > 1) {
-    const auto sce = grid::sce_points(s);
-    PM_CHECK_MSG(!sce.empty(), "Proposition 7 violated");
-    // One erosion per round: the permission token admits a single removal.
-    std::vector<Node> pts(s.nodes().begin(), s.nodes().end());
-    std::erase(pts, sce.front());
-    s = Shape(std::move(pts));
-    ++res.rounds;
+  ErosionRun run(initial);
+  while (!run.step_round()) {
   }
-  res.completed = true;
-  return res;
+  return {run.rounds(), run.completed()};
+}
+
+// --- randomized boundary contest -------------------------------------------
+
+ContestRun::ContestRun(const Shape& initial, std::uint64_t seed)
+    : shape_(initial), rng_(seed) {
+  if (initial.size() == 1) {
+    rounds_ = 1;
+    done_ = true;
+    completed_ = true;
+    return;
+  }
+  const grid::VNodeRings rings(initial);
+  const auto& ring = rings.rings()[static_cast<std::size_t>(rings.outer_ring())];
+  len_ = static_cast<int>(ring.size());
+  candidates_.resize(static_cast<std::size_t>(len_));
+  for (int i = 0; i < len_; ++i) candidates_[static_cast<std::size_t>(i)] = i;
+}
+
+bool ContestRun::step_round() {
+  if (done_) return true;
+  if (candidates_.size() <= 1) {
+    // Leader announcement: broadcast over the shape, O(D).
+    rounds_ += grid::diameter_within_estimate(shape_.nodes(), shape_, 2, rng_);
+    done_ = true;
+    completed_ = true;
+    return true;
+  }
+  // Each candidate flips; a head whose clockwise predecessor candidate
+  // flipped tails eliminates that predecessor. Tokens must travel the
+  // candidate gaps, which is the phase's round cost.
+  std::vector<char> flips(candidates_.size());
+  for (auto& f : flips) f = rng_.coin() ? 1 : 0;
+  std::vector<int> survivors;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const std::size_t prev = (i + candidates_.size() - 1) % candidates_.size();
+    const bool eliminated = flips[prev] == 1 && flips[i] == 0;
+    if (!eliminated) survivors.push_back(candidates_[i]);
+  }
+  if (survivors.empty() || survivors.size() == candidates_.size()) {
+    // Degenerate flip pattern: retry, paying one traversal.
+    rounds_ += 1;
+    return false;
+  }
+  int max_gap = 0;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const int a = survivors[i];
+    const int b = survivors[(i + 1) % survivors.size()];
+    const int gap = (b - a + len_) % len_;
+    max_gap = std::max(max_gap, gap == 0 ? len_ : gap);
+  }
+  rounds_ += max_gap;
+  candidates_ = std::move(survivors);
+  return false;
+}
+
+void ContestRun::save(Snapshot& snap) const {
+  snap.put_mark(kSnapContest);
+  for (const std::uint64_t w : rng_.state()) snap.put(w);
+  snap.put_i(rounds_);
+  snap.put(done_ ? 1 : 0);
+  snap.put(completed_ ? 1 : 0);
+  snap.put_i(len_);
+  snap.put(candidates_.size());
+  for (const int c : candidates_) snap.put_i(c);
+}
+
+ContestRun::ContestRun(const Shape& initial, const Snapshot& snap) : shape_(initial) {
+  snap.expect_mark(kSnapContest);
+  std::array<std::uint64_t, 4> s;
+  for (std::uint64_t& w : s) w = snap.get();
+  rng_.set_state(s);
+  rounds_ = snap.get_i();
+  done_ = snap.get() != 0;
+  completed_ = snap.get() != 0;
+  len_ = static_cast<int>(snap.get_i());
+  candidates_.resize(static_cast<std::size_t>(snap.get()));
+  for (int& c : candidates_) c = static_cast<int>(snap.get_i());
 }
 
 BaselineResult randomized_boundary_contest(const Shape& initial, std::uint64_t seed) {
-  BaselineResult res;
-  if (initial.size() == 1) {
-    res.completed = true;
-    res.rounds = 1;
-    return res;
+  ContestRun run(initial, seed);
+  while (!run.step_round()) {
   }
-  Rng rng(seed);
-  const grid::VNodeRings rings(initial);
-  const auto& ring = rings.rings()[static_cast<std::size_t>(rings.outer_ring())];
-  const int len = static_cast<int>(ring.size());
-  // Candidate positions on the outer ring.
-  std::vector<int> candidates(static_cast<std::size_t>(len));
-  for (int i = 0; i < len; ++i) candidates[static_cast<std::size_t>(i)] = i;
-
-  while (candidates.size() > 1) {
-    // Each candidate flips; a head whose clockwise predecessor candidate
-    // flipped tails eliminates that predecessor. Tokens must travel the
-    // candidate gaps, which is the phase's round cost.
-    std::vector<char> flips(candidates.size());
-    for (auto& f : flips) f = rng.coin() ? 1 : 0;
-    std::vector<int> survivors;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const std::size_t prev = (i + candidates.size() - 1) % candidates.size();
-      const bool eliminated = flips[prev] == 1 && flips[i] == 0;
-      if (!eliminated) survivors.push_back(candidates[i]);
-    }
-    if (survivors.empty() || survivors.size() == candidates.size()) {
-      // Degenerate flip pattern: retry, paying one traversal.
-      res.rounds += 1;
-      continue;
-    }
-    int max_gap = 0;
-    for (std::size_t i = 0; i < survivors.size(); ++i) {
-      const int a = survivors[i];
-      const int b = survivors[(i + 1) % survivors.size()];
-      const int gap = (b - a + len) % len;
-      max_gap = std::max(max_gap, gap == 0 ? len : gap);
-    }
-    res.rounds += max_gap;
-    candidates = std::move(survivors);
-  }
-  // Leader announcement: broadcast over the shape, O(D).
-  res.rounds += grid::diameter_within_estimate(initial.nodes(), initial, 2, rng);
-  res.completed = true;
-  return res;
+  return {run.rounds(), run.completed()};
 }
 
 }  // namespace pm::baselines

@@ -1,10 +1,17 @@
 // Representative baselines for the paper's Table 1 comparison (one per
 // complexity class; see DESIGN.md §4 for the substitution rationale).
+//
+// Each baseline is a steppable engine (ErosionRun / ContestRun) so the
+// pipeline layer can drive, observe, and checkpoint it like the paper's own
+// phases; the original one-shot functions remain as thin wrappers.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "grid/shape.h"
+#include "util/rng.h"
+#include "util/snapshot.h"
 
 namespace pm::baselines {
 
@@ -16,15 +23,61 @@ struct BaselineResult {
 // Stand-in for the O(n)/O(n^2) weak-parallelism deterministic class
 // ([22], [3]): erosion where only one SCE point may erode per round (a
 // circulating permission token serializes removals). Requires a
-// simply-connected shape; rounds = n - 1 by construction.
-BaselineResult sequential_erosion(const grid::Shape& initial);
+// simply-connected shape; rounds = n - 1 by construction. A holey input
+// makes the run fail immediately (done, not completed) rather than erode.
+class ErosionRun {
+ public:
+  explicit ErosionRun(const grid::Shape& initial);
+  ErosionRun(const grid::Shape& initial, const Snapshot& snap);  // resume
+
+  // Erodes one SCE point; returns true once the run is over.
+  bool step_round();
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] long rounds() const { return rounds_; }
+
+  void save(Snapshot& snap) const;
+
+ private:
+  grid::Shape s_;
+  long rounds_ = 0;
+  bool done_ = false;
+  bool completed_ = false;
+};
 
 // Stand-in for the randomized boundary-contest class ([19], [10]):
 // candidates on the outer boundary ring eliminate each other by coin
 // flips per phase; round cost of a phase is the maximal candidate gap the
 // tokens must travel, plus a final O(D) broadcast. Expected O(L_out log
 // L_out + D) rounds — near-linear, which suffices to reproduce Table 1's
-// ordering.
+// ordering. step_round() advances one elimination phase (or the final
+// broadcast) — phase granularity, since a phase's round cost is variable.
+class ContestRun {
+ public:
+  ContestRun(const grid::Shape& initial, std::uint64_t seed);
+  ContestRun(const grid::Shape& initial, const Snapshot& snap);  // resume
+
+  bool step_round();
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] long rounds() const { return rounds_; }
+
+  void save(Snapshot& snap) const;
+
+ private:
+  grid::Shape shape_;  // copied: a caller's temporary must not dangle
+  Rng rng_{0};
+  std::vector<int> candidates_;
+  int len_ = 0;  // outer-ring length (gap arithmetic modulus)
+  long rounds_ = 0;
+  bool done_ = false;
+  bool completed_ = false;
+};
+
+// One-shot wrappers (the Table 1 drivers' original entry points).
+BaselineResult sequential_erosion(const grid::Shape& initial);
 BaselineResult randomized_boundary_contest(const grid::Shape& initial, std::uint64_t seed);
 
 }  // namespace pm::baselines

@@ -588,6 +588,83 @@ bool CollectRun::step_round() {
   return stage_ == Stage::Done;
 }
 
+namespace {
+
+void save_chain(Snapshot& snap, const FlatChain& chain) {
+  snap.put(chain.size());
+  for (const ParticleId p : chain) snap.put_i(p);
+}
+
+FlatChain load_chain(const Snapshot& snap) {
+  FlatChain chain;
+  for (std::size_t k = snap.get(); k > 0; --k) {
+    chain.push_back(static_cast<ParticleId>(snap.get_i()));
+  }
+  return chain;
+}
+
+}  // namespace
+
+void CollectRun::save(Snapshot& snap) const {
+  snap.put_mark(kSnapCollect);
+  snap.put_i(l_.x);
+  snap.put_i(l_.y);
+  snap.put(static_cast<std::uint64_t>(grid::index(vout_)));
+  snap.put(static_cast<std::uint64_t>(grid::index(vrot_)));
+  snap.put(stem_.size());
+  for (const Slot& s : stem_) {
+    snap.put_i(s.body);
+    snap.put_i(s.virt);
+  }
+  snap.put(chains_.size());
+  for (const Chain& c : chains_) save_chain(snap, c);
+  snap.put(loose_.size());
+  for (const Chain& c : loose_) save_chain(snap, c);
+  snap.put(collected_.size());
+  for (const char c : collected_) snap.put(static_cast<std::uint64_t>(c));
+  snap.put(static_cast<std::uint64_t>(stage_));
+  snap.put_i(k_);
+  snap.put_i(rot_);
+  snap.put(ops_.size());
+  for (const int o : ops_) snap.put_i(o);
+  snap.put_i(idle_);
+  snap.put_i(newly_);
+  snap.put_i(collected_total_);
+  snap.put_i(rounds_);
+  snap.put_i(phases_);
+}
+
+CollectRun::CollectRun(amoebot::SystemCore& sys, const Snapshot& snap) : sys_(sys) {
+  snap.expect_mark(kSnapCollect);
+  l_.x = static_cast<std::int32_t>(snap.get_i());
+  l_.y = static_cast<std::int32_t>(snap.get_i());
+  vout_ = grid::dir_from_index(static_cast<int>(snap.get()));
+  vrot_ = grid::dir_from_index(static_cast<int>(snap.get()));
+  stem_.resize(static_cast<std::size_t>(snap.get()));
+  for (Slot& s : stem_) {
+    s.body = static_cast<ParticleId>(snap.get_i());
+    s.virt = static_cast<ParticleId>(snap.get_i());
+  }
+  chains_.resize(static_cast<std::size_t>(snap.get()));
+  for (Chain& c : chains_) c = load_chain(snap);
+  loose_.resize(static_cast<std::size_t>(snap.get()));
+  for (Chain& c : loose_) c = load_chain(snap);
+  collected_.resize(static_cast<std::size_t>(snap.get()));
+  PM_CHECK_MSG(collected_.size() == static_cast<std::size_t>(sys.particle_count()),
+               "Collect snapshot particle count mismatch");
+  for (char& c : collected_) c = static_cast<char>(snap.get());
+  stage_ = static_cast<Stage>(snap.get());
+  k_ = static_cast<int>(snap.get_i());
+  rot_ = static_cast<int>(snap.get_i());
+  ops_.resize(static_cast<std::size_t>(snap.get()));
+  for (int& o : ops_) o = static_cast<int>(snap.get_i());
+  idle_ = snap.get_i();
+  newly_ = static_cast<int>(snap.get_i());
+  collected_total_ = static_cast<int>(snap.get_i());
+  rounds_ = snap.get_i();
+  phases_ = static_cast<int>(snap.get_i());
+}
+
 CollectRun::Result CollectRun::run(long max_rounds) {
   Result res;
   while (rounds_ < max_rounds) {

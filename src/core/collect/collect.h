@@ -25,13 +25,62 @@
 // charged explicitly as stem-length idle rounds.
 #pragma once
 
-#include <deque>
+#include <algorithm>
 #include <functional>
 #include <vector>
 
 #include "amoebot/system.h"
+#include "util/snapshot.h"
 
 namespace pm::core {
+
+// A double-ended sequence of particle ids on one flat allocation: pushes and
+// pops at both ends in amortized O(1) via a head offset with geometric front
+// slack, replacing the std::deque chunk lists the Collect engine's branch
+// chains used to be built from (ROADMAP "Collect at scale": one contiguous
+// buffer per chain, index/iterate with no per-chunk indirection).
+class FlatChain {
+ public:
+  using value_type = amoebot::ParticleId;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+  [[nodiscard]] value_type operator[](std::size_t i) const { return buf_[head_ + i]; }
+  [[nodiscard]] value_type front() const { return buf_[head_]; }
+  [[nodiscard]] value_type back() const { return buf_.back(); }
+  [[nodiscard]] const_iterator begin() const {
+    return buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  [[nodiscard]] const_iterator end() const { return buf_.end(); }
+
+  void push_back(value_type p) { buf_.push_back(p); }
+  void push_front(value_type p) {
+    if (head_ == 0) {
+      // Relocate once with slack proportional to the current size, so a
+      // run of push_fronts costs amortized O(1) like push_back.
+      const std::size_t slack = std::max<std::size_t>(4, size());
+      std::vector<value_type> next(slack + buf_.size());
+      std::copy(buf_.begin(), buf_.end(), next.begin() + static_cast<std::ptrdiff_t>(slack));
+      buf_ = std::move(next);
+      head_ = slack;
+    }
+    buf_[--head_] = p;
+  }
+  void pop_front() {
+    ++head_;
+    if (empty()) clear();
+  }
+  void pop_back() { buf_.pop_back(); }
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<value_type> buf_;
+  std::size_t head_ = 0;  // buf_[head_..) is the live range
+};
 
 class CollectRun {
  public:
@@ -45,6 +94,11 @@ class CollectRun {
   // `leader` must be contracted; all other particles must be contracted
   // (DLE's final configuration satisfies both).
   CollectRun(amoebot::SystemCore& sys, amoebot::ParticleId leader);
+
+  // Checkpoint/resume: reconstructs a mid-run engine from a snapshot taken
+  // by save() (the system must already hold the snapshotted configuration).
+  CollectRun(amoebot::SystemCore& sys, const Snapshot& snap);
+  void save(Snapshot& snap) const;
 
   // Runs to termination (or until max_rounds). On success the particle
   // system is connected and every particle has been collected.
@@ -81,7 +135,7 @@ class CollectRun {
     [[nodiscard]] bool is_pair() const { return virt != amoebot::kNoParticle; }
   };
 
-  using Chain = std::deque<amoebot::ParticleId>;  // branch, root first
+  using Chain = FlatChain;  // branch, root first
 
   [[nodiscard]] bool slot_expanded(const Slot& s) const;
   [[nodiscard]] grid::Node slot_head(const Slot& s) const;

@@ -1,70 +1,55 @@
 #include "core/le/le.h"
 
-#include <chrono>
+#include <utility>
 
-#include "core/collect/collect.h"
-#include "core/obd/obd.h"
-#include "exec/parallel_engine.h"
-#include "util/timing.h"
+#include "pipeline/pipeline.h"
 
 namespace pm::core {
 
-using amoebot::ParticleId;
 using amoebot::System;
 
+// The stage composition and inter-stage glue live in pm::pipeline now; this
+// entry point keeps the original one-call API (and its exact observable
+// behavior) as a thin wrapper over Pipeline::standard.
 PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) {
-  PipelineResult res;
-  const long long moves0 = sys.moves();
-  auto finalize = [&](PipelineResult& r) -> PipelineResult& {
-    r.moves = sys.moves() - moves0;
-    r.peak_occupancy_cells = sys.peak_occupancy_cells();
-    return r;
-  };
+  pipeline::RunContext ctx;
+  ctx.seeds = pipeline::SeedPolicy::unified(opts.seed);
+  ctx.order = opts.order;
+  ctx.occupancy = opts.occupancy;
+  ctx.threads = opts.threads;
+  ctx.max_rounds = opts.max_rounds;
+  ctx.sys = &sys;  // operate in place on the caller's system
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard(
+      std::move(ctx), {.use_boundary_oracle = opts.use_boundary_oracle,
+                       .reconnect = opts.reconnect,
+                       .connected_pull = opts.connected_pull});
+  const pipeline::PipelineOutcome out = pipe.run();
 
-  // --- stage 1: boundary information ---
-  if (!opts.use_boundary_oracle && sys.particle_count() > 1) {
-    const auto t0 = WallClock::now();
-    ObdRun obd(sys);
-    const ObdRun::Result ores = obd.run(opts.max_rounds);
-    res.obd_rounds = ores.rounds;
-    res.obd_ms = ms_since(t0);
-    if (!ores.completed) return finalize(res);
-    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
-      DleState& st = sys.state(p);
-      st.outer = obd.outer_ports(p);
-      for (int i = 0; i < 6; ++i) {
-        st.eligible[static_cast<std::size_t>(i)] = !st.outer[static_cast<std::size_t>(i)];
-      }
+  PipelineResult res;
+  for (const pipeline::StageReport& s : out.stages) {
+    switch (s.kind) {
+      case pipeline::StageKind::Obd:
+        res.obd_rounds = s.metrics.rounds;
+        res.obd_ms = s.metrics.wall_ms;
+        break;
+      case pipeline::StageKind::Dle:
+        res.dle_rounds = s.metrics.rounds;
+        res.dle_ms = s.metrics.wall_ms;
+        res.dle_activations = s.metrics.activations;
+        break;
+      case pipeline::StageKind::Collect:
+        res.collect_rounds = s.metrics.rounds;
+        res.collect_ms = s.metrics.wall_ms;
+        break;
+      case pipeline::StageKind::Baseline:
+        break;  // never part of the standard composition
     }
   }
-  // (with the oracle, make_system already initialized outer/eligible)
-
-  // --- stage 2: DLE ---
-  Dle dle(Dle::Options{.connected_pull = opts.connected_pull});
-  const amoebot::RunResult dres =
-      opts.threads > 0
-          ? exec::run_parallel(sys, dle,
-                               {opts.order, opts.seed, opts.max_rounds, opts.threads})
-          : amoebot::run(sys, dle, {opts.order, opts.seed, opts.max_rounds});
-  res.dle_rounds = dres.rounds;
-  res.dle_ms = dres.wall_ms;
-  res.dle_activations = dres.activations;
-  if (!dres.completed) return finalize(res);
-  const ElectionOutcome outcome = election_outcome(sys);
-  if (outcome.leaders != 1) return finalize(res);
-  res.leader = outcome.leader;
-
-  // --- stage 3: reconnection ---
-  if (opts.reconnect && !opts.connected_pull) {
-    const auto t0 = WallClock::now();
-    CollectRun collect(sys, outcome.leader);
-    const CollectRun::Result cres = collect.run(opts.max_rounds);
-    res.collect_rounds = cres.rounds;
-    res.collect_ms = ms_since(t0);
-    if (!cres.completed) return finalize(res);
-  }
-  res.completed = true;
-  return finalize(res);
+  res.completed = out.completed;
+  res.leader = pipe.context().leader;
+  res.moves = out.moves;
+  res.peak_occupancy_cells = out.peak_occupancy_cells;
+  return res;
 }
 
 PipelineResult elect_leader(const grid::Shape& initial, const PipelineOptions& opts) {

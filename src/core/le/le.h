@@ -5,6 +5,10 @@
 // initially-known-outer-boundary input (the paper's first variant, total
 // O(D_A) + reconnection); otherwise Primitive OBD computes that input and
 // the total is O(L_out + D).
+//
+// elect_leader is a convenience wrapper over pipeline::Pipeline::standard
+// (pipeline/pipeline.h), which is the composable form of the same run:
+// per-stage stepping, observers, and checkpoint/resume.
 #pragma once
 
 #include "amoebot/scheduler.h"

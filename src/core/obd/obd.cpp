@@ -1009,6 +1009,110 @@ ObdRun::Result ObdRun::run(long max_rounds) {
   return res;
 }
 
+namespace {
+
+// One word per token: kind | value | lane | flag bits.
+std::uint64_t pack_token(const ObdRun::Token& t) {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(t.kind)) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(t.value)) << 8) |
+         (static_cast<std::uint64_t>(t.lane) << 16) |
+         (static_cast<std::uint64_t>(t.head) << 24) |
+         (static_cast<std::uint64_t>(t.tail) << 25) |
+         (static_cast<std::uint64_t>(t.back) << 26) |
+         (static_cast<std::uint64_t>(t.positive) << 27) |
+         (static_cast<std::uint64_t>(t.fresh) << 28);
+}
+
+ObdRun::Token unpack_token(std::uint64_t w) {
+  ObdRun::Token t;
+  t.kind = static_cast<Kind>(w & 0xFF);
+  t.value = static_cast<std::int8_t>(static_cast<std::uint8_t>((w >> 8) & 0xFF));
+  t.lane = static_cast<std::uint8_t>((w >> 16) & 0xFF);
+  t.head = ((w >> 24) & 1) != 0;
+  t.tail = ((w >> 25) & 1) != 0;
+  t.back = ((w >> 26) & 1) != 0;
+  t.positive = ((w >> 27) & 1) != 0;
+  t.fresh = ((w >> 28) & 1) != 0;
+  return t;
+}
+
+}  // namespace
+
+void ObdRun::save(Snapshot& snap) const {
+  snap.put_mark(kSnapObd);
+  snap.put_i(rounds_);
+  snap.put(done_ ? 1 : 0);
+  snap.put(flood_started_ ? 1 : 0);
+  snap.put_i(detected_ring_);
+  snap.put(flooded_.size());
+  for (const char f : flooded_) snap.put(static_cast<std::uint64_t>(f));
+  snap.put(vns_.size());
+  for (const VN& vn : vns_) {
+    // ring/particle are configuration-derived (rebuilt by the constructor);
+    // everything protocol-mutable goes into the stream.
+    snap.put_i(vn.count);
+    std::uint64_t flags = 0;
+    flags |= static_cast<std::uint64_t>(vn.is_head) << 0;
+    flags |= static_cast<std::uint64_t>(vn.is_tail) << 1;
+    flags |= static_cast<std::uint64_t>(vn.pledged) << 2;
+    flags |= static_cast<std::uint64_t>(vn.defector) << 3;
+    flags |= static_cast<std::uint64_t>(vn.locked) << 4;
+    flags |= static_cast<std::uint64_t>(vn.marked) << 5;
+    flags |= static_cast<std::uint64_t>(vn.knows_outer) << 6;
+    flags |= static_cast<std::uint64_t>(vn.stab_passed) << 7;
+    snap.put(flags);
+    snap.put(static_cast<std::uint8_t>(vn.phase));
+    snap.put_i(vn.lbl_verdict);
+    snap.put_i(vn.sum_value);
+    snap.put(vn.stab_k);
+    snap.put(vn.stab_j);
+    snap.put(vn.stab_service);
+    snap.put_i(vn.phase_since);
+    snap.put(static_cast<std::uint8_t>(vn.last_phase));
+    snap.put(vn.cw.size());
+    for (const Token& t : vn.cw) snap.put(pack_token(t));
+    snap.put(vn.ccw.size());
+    for (const Token& t : vn.ccw) snap.put(pack_token(t));
+  }
+}
+
+void ObdRun::restore(const Snapshot& snap) {
+  snap.expect_mark(kSnapObd);
+  rounds_ = snap.get_i();
+  done_ = snap.get() != 0;
+  flood_started_ = snap.get() != 0;
+  detected_ring_ = static_cast<int>(snap.get_i());
+  const auto fn = static_cast<std::size_t>(snap.get());
+  PM_CHECK_MSG(fn == flooded_.size(), "OBD snapshot particle count mismatch");
+  for (char& f : flooded_) f = static_cast<char>(snap.get());
+  const auto vn_count = static_cast<std::size_t>(snap.get());
+  PM_CHECK_MSG(vn_count == vns_.size(), "OBD snapshot v-node count mismatch");
+  for (VN& vn : vns_) {
+    vn.count = static_cast<std::int8_t>(snap.get_i());
+    const std::uint64_t flags = snap.get();
+    vn.is_head = ((flags >> 0) & 1) != 0;
+    vn.is_tail = ((flags >> 1) & 1) != 0;
+    vn.pledged = ((flags >> 2) & 1) != 0;
+    vn.defector = ((flags >> 3) & 1) != 0;
+    vn.locked = ((flags >> 4) & 1) != 0;
+    vn.marked = ((flags >> 5) & 1) != 0;
+    vn.knows_outer = ((flags >> 6) & 1) != 0;
+    vn.stab_passed = ((flags >> 7) & 1) != 0;
+    vn.phase = static_cast<HeadPhase>(snap.get());
+    vn.lbl_verdict = static_cast<std::int8_t>(snap.get_i());
+    vn.sum_value = static_cast<std::int8_t>(snap.get_i());
+    vn.stab_k = static_cast<std::uint8_t>(snap.get());
+    vn.stab_j = static_cast<std::uint8_t>(snap.get());
+    vn.stab_service = static_cast<std::uint8_t>(snap.get());
+    vn.phase_since = snap.get_i();
+    vn.last_phase = static_cast<HeadPhase>(snap.get());
+    vn.cw.clear();
+    for (std::size_t k = snap.get(); k > 0; --k) vn.cw.push_back(unpack_token(snap.get()));
+    vn.ccw.clear();
+    for (std::size_t k = snap.get(); k > 0; --k) vn.ccw.push_back(unpack_token(snap.get()));
+  }
+}
+
 void ObdRun::debug_dump() const {
   std::printf("--- round %ld%s\n", rounds_, flood_started_ ? " (flooding)" : "");
   for (std::size_t i = 0; i < vns_.size(); ++i) {

@@ -39,6 +39,7 @@
 
 #include "amoebot/system.h"
 #include "grid/vnode.h"
+#include "util/snapshot.h"
 
 namespace pm::core {
 
@@ -62,6 +63,13 @@ class ObdRun {
   // After completion: which ports of particle p (at its head node) lead to
   // the outer face — the input Algorithm DLE expects.
   [[nodiscard]] std::array<bool, 6> outer_ports(amoebot::ParticleId p) const;
+
+  // Checkpoint/resume at round boundaries. OBD never moves particles, so
+  // the ring structure is reconstructed from the (static) configuration by
+  // the constructor; save/restore carry only the mutable protocol state
+  // (per-v-node segment + head fields, token queues, flooding, counters).
+  void save(Snapshot& snap) const;
+  void restore(const Snapshot& snap);
 
   // Prints per-v-node protocol state to stdout (debugging aid).
   void debug_dump() const;

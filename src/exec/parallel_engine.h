@@ -74,42 +74,97 @@ class ParallelEngine {
         pool_(opts.threads > 0 ? opts.threads : ThreadPool::default_thread_count()),
         batcher_(sys) {}
 
+  ~ParallelEngine() { release_contract(); }
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
   amoebot::RunResult run() {
-    const auto t0 = WallClock::now();
-    const long long moves0 = sys_.moves();
-    amoebot::RunResult res;
+    start();
+    while (!step_round()) {
+    }
+    return finish();
+  }
+
+  // --- steppable API (mirrors amoebot::Engine; see engine.h) ---
+
+  void start() {
+    t0_ = WallClock::now();
+    moves0_ = sys_.moves();
+    res_ = amoebot::RunResult{};
     const int n = sys_.particle_count();
     if (n == 0) {
-      res.completed = true;
-      return finish(res, t0, moves0);
+      res_.completed = true;
+      trivial_ = true;
+      return;
     }
-
+    trivial_ = false;
     // The conflict margins assume pull-only handovers and movement-last
-    // activations (conflict.h): enforce both for the whole run, including
-    // inline-executed batches.
-    struct ContractGuard {
-      System& sys;
-      explicit ContractGuard(System& s) : sys(s) { sys.set_parallel_contract(true); }
-      ~ContractGuard() { sys.set_parallel_contract(false); }
-    } guard(sys_);
-
-    Rng rng(opts_.seed);
+    // activations (conflict.h): enforce both for the whole stepped run,
+    // including inline-executed batches. Released by finish() or the
+    // destructor, whichever comes first.
+    acquire_contract();
+    rng_ = Rng(opts_.seed);
     sequencer_.init(n);
     tracker_.init(sys_, algo_);
+  }
 
-    while (res.rounds < opts_.max_rounds) {
-      if (tracker_.all_final()) {
-        res.completed = true;
-        return finish(res, t0, moves0);
-      }
-      execute_sequence(sequencer_.next_round(opts_.order, rng), res);
-      ++res.rounds;
+  bool step_round() {
+    if (trivial_) return true;
+    if (tracker_.all_final()) {
+      res_.completed = true;
+      return true;
     }
-    res.completed = tracker_.all_final();
-    return finish(res, t0, moves0);
+    if (res_.rounds >= opts_.max_rounds) {
+      res_.completed = false;
+      return true;
+    }
+    execute_sequence(sequencer_.next_round(opts_.order, rng_), res_);
+    ++res_.rounds;
+    return false;
+  }
+
+  [[nodiscard]] const amoebot::RunResult& result() const { return res_; }
+
+  amoebot::RunResult finish() {
+    release_contract();
+    return amoebot::finalize_metrics(res_, sys_, t0_, moves0_);
+  }
+
+  // Checkpoint/resume: the word layout is identical to amoebot::Engine's,
+  // so snapshots resume under either engine (sequential-order commitment
+  // makes their observable behavior bit-for-bit equal).
+
+  void save(Snapshot& snap) const {
+    amoebot::save_engine_core(snap, rng_, sequencer_, res_, moves0_);
+  }
+
+  void restore(const Snapshot& snap) {
+    t0_ = WallClock::now();
+    res_ = amoebot::RunResult{};
+    trivial_ = sys_.particle_count() == 0;
+    if (trivial_) {
+      res_.completed = true;
+    } else {
+      acquire_contract();
+      tracker_.init(sys_, algo_);
+    }
+    amoebot::restore_engine_core(snap, rng_, sequencer_, res_, moves0_);
   }
 
  private:
+  void acquire_contract() {
+    if (!contract_held_) {
+      sys_.set_parallel_contract(true);
+      contract_held_ = true;
+    }
+  }
+  void release_contract() {
+    if (contract_held_) {
+      sys_.set_parallel_contract(false);
+      contract_held_ = false;
+    }
+  }
   // One batch member's concurrent-execution record. Padded so neighboring
   // members' journals and touch lists never share a cache line.
   struct alignas(128) Record {
@@ -192,11 +247,6 @@ class ParallelEngine {
     tracker_.process(sys_, algo_, touches);
   }
 
-  amoebot::RunResult finish(amoebot::RunResult& res, WallClock::time_point t0,
-                            long long moves0) const {
-    return amoebot::finalize_metrics(res, sys_, t0, moves0);
-  }
-
   System& sys_;
   Algo& algo_;
   ParallelRunOptions opts_;
@@ -207,6 +257,12 @@ class ParallelEngine {
   std::vector<ParticleId> pending_;
   std::vector<ParticleId> batch_;
   std::vector<Record> records_;
+  Rng rng_{0};
+  amoebot::RunResult res_;
+  WallClock::time_point t0_{};
+  long long moves0_ = 0;
+  bool trivial_ = false;
+  bool contract_held_ = false;
 };
 
 template <typename Algo>

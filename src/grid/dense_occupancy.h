@@ -64,6 +64,22 @@ class DenseOccupancy {
   // Largest extent_cells() ever reached (the engine's peak-extent metric).
   [[nodiscard]] long long peak_cells() const { return peak_cells_; }
 
+  // --- checkpoint/resume ---
+  //
+  // The box geometry must round-trip exactly (grow_to's padding depends on
+  // growth history, so re-deriving it from the occupied set would diverge);
+  // restore_box() reinstates a saved geometry and peak with all cells empty,
+  // after which the caller re-inserts the occupied nodes.
+
+  [[nodiscard]] const FlatBox<Value>& box() const { return box_; }
+
+  void restore_box(std::int64_t min_x, std::int64_t min_y, std::int64_t width,
+                   std::int64_t height, long long peak) {
+    box_.reset_to(min_x, min_y, width, height, kEmpty, "DenseOccupancy");
+    size_ = 0;
+    peak_cells_ = peak;
+  }
+
  private:
   static constexpr std::int64_t kGrowPad = 4;
 

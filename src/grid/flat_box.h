@@ -49,6 +49,28 @@ class FlatBox {
   // Number of cells currently allocated (width * height); 0 when empty.
   [[nodiscard]] long long extent_cells() const { return width_ * height_; }
 
+  // Box geometry accessors (checkpoint/resume needs the exact box, because
+  // grow_to's padding depends on growth history).
+  [[nodiscard]] std::int64_t min_x() const { return min_x_; }
+  [[nodiscard]] std::int64_t min_y() const { return min_y_; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
+
+  // Reallocates to exactly [min, min + size) with every cell `empty` — no
+  // padding, nothing kept. The checkpoint-restore counterpart of grow_to.
+  void reset_to(std::int64_t min_x, std::int64_t min_y, std::int64_t width,
+                std::int64_t height, Cell empty, const char* what) {
+    constexpr std::int64_t kMaxCells = 1LL << 28;
+    PM_CHECK_MSG(width >= 0 && height >= 0 && width <= kMaxCells && height <= kMaxCells &&
+                     width * height <= kMaxCells,
+                 what << " restored box " << width << "x" << height << " invalid");
+    cells_.assign(static_cast<std::size_t>(width * height), empty);
+    min_x_ = min_x;
+    min_y_ = min_y;
+    width_ = width;
+    height_ = height;
+  }
+
   void fill(Cell value) { std::fill(cells_.begin(), cells_.end(), value); }
 
   // Releases the allocation and resets the box: nothing carries over into

@@ -1,0 +1,286 @@
+#include "pipeline/pipeline.h"
+
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "core/collect/collect.h"
+#include "core/obd/obd.h"
+#include "pipeline/stages.h"
+#include "util/check.h"
+
+namespace pm::pipeline {
+
+using amoebot::ParticleId;
+using core::DleState;
+
+// --- Stage framing ---------------------------------------------------------
+
+namespace {
+
+// DleState packs into one word: status (2 bits), terminated (1), and the
+// outer/eligible port flags (6 each).
+std::uint64_t pack_state(const DleState& st) {
+  std::uint64_t w = static_cast<std::uint64_t>(st.status) |
+                    (static_cast<std::uint64_t>(st.terminated) << 2);
+  for (int i = 0; i < 6; ++i) {
+    w |= static_cast<std::uint64_t>(st.outer[static_cast<std::size_t>(i)]) << (3 + i);
+    w |= static_cast<std::uint64_t>(st.eligible[static_cast<std::size_t>(i)]) << (9 + i);
+  }
+  return w;
+}
+
+DleState unpack_state(std::uint64_t w) {
+  DleState st;
+  st.status = static_cast<core::Status>(w & 0x3);
+  st.terminated = ((w >> 2) & 1) != 0;
+  for (int i = 0; i < 6; ++i) {
+    st.outer[static_cast<std::size_t>(i)] = ((w >> (3 + i)) & 1) != 0;
+    st.eligible[static_cast<std::size_t>(i)] = ((w >> (9 + i)) & 1) != 0;
+  }
+  return st;
+}
+
+void save_system(Snapshot& snap, const RunContext::System& sys) {
+  sys.save_core(snap);
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    snap.put(pack_state(sys.state(p)));
+  }
+}
+
+void restore_system(const Snapshot& snap, RunContext::System& sys) {
+  sys.restore_core(snap);
+  sys.reset_states();
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    sys.state(p) = unpack_state(snap.get());
+  }
+}
+
+// FNV-1a over the initial shape's node list: stages without a system
+// snapshot (the baselines) resume against ctx.initial, so a restore under a
+// different shape must fail loudly instead of silently diverging.
+std::uint64_t shape_fingerprint(const grid::Shape& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const grid::Node v : s.nodes()) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.x)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.y)));
+  }
+  return h;
+}
+
+}  // namespace
+
+void Stage::save(Snapshot& snap) const {
+  snap.put_mark(kSnapStage);
+  snap.put(static_cast<std::uint64_t>(status_));
+  snap.put_i(metrics_.rounds);
+  snap.put_i(metrics_.activations);
+  snap.put_i(metrics_.phases);
+  if (status_ == StageStatus::Running) state_save(snap);
+}
+
+void Stage::restore(RunContext& ctx, const Snapshot& snap) {
+  snap.expect_mark(kSnapStage);
+  status_ = static_cast<StageStatus>(snap.get());
+  metrics_ = StageMetrics{};
+  metrics_.rounds = snap.get_i();
+  metrics_.activations = snap.get_i();
+  metrics_.phases = static_cast<int>(snap.get_i());
+  if (status_ == StageStatus::Running) state_restore(ctx, snap);
+}
+
+// --- PipelineOutcome -------------------------------------------------------
+
+long PipelineOutcome::total_rounds() const {
+  long total = 0;
+  for (const StageReport& s : stages) total += s.metrics.rounds;
+  return total;
+}
+
+const StageReport* PipelineOutcome::stage(StageKind k) const {
+  for (const StageReport& s : stages) {
+    if (s.kind == k) return &s;
+  }
+  return nullptr;
+}
+
+// --- Pipeline --------------------------------------------------------------
+
+Pipeline::Pipeline(Pipeline&& other)
+    : ctx_(std::move(other.ctx_)),
+      stages_(std::move(other.stages_)),
+      owned_sys_(std::move(other.owned_sys_)),
+      current_(other.current_),
+      inited_(other.inited_),
+      done_(other.done_),
+      moves0_(other.moves0_),
+      t0_(other.t0_) {
+  // Initialized stages hold pointers into the source pipeline's context and
+  // system; only the pre-init move (what the standard()/build factories
+  // need) is safe.
+  PM_CHECK_MSG(!inited_, "a started pipeline cannot be moved");
+  if (ctx_.sys == &other.owned_sys_) ctx_.sys = &owned_sys_;
+}
+
+Pipeline Pipeline::standard(RunContext ctx, const StandardOptions& opts) {
+  Pipeline p(std::move(ctx));
+  if (!opts.use_boundary_oracle) {
+    p.add(std::make_unique<ObdStage>(ObdStage::Options{.skip_if_single = true}));
+  }
+  p.add(std::make_unique<DleStage>(core::Dle::Options{.connected_pull = opts.connected_pull}));
+  if (opts.reconnect && !opts.connected_pull) p.add(std::make_unique<CollectStage>());
+  return p;
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+  PM_CHECK_MSG(!inited_, "stages must be added before the pipeline starts");
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+void Pipeline::init() {
+  PM_CHECK_MSG(!inited_, "pipeline already initialized");
+  PM_CHECK_MSG(!stages_.empty(), "pipeline has no stages");
+  inited_ = true;
+  t0_ = WallClock::now();
+  const bool needs_system = [&] {
+    for (const auto& s : stages_) {
+      if (s->uses_system()) return true;
+    }
+    return false;
+  }();
+  if (needs_system && ctx_.sys == nullptr) {
+    Rng rng(ctx_.seeds.build_seed());
+    owned_sys_ = core::Dle::make_system(ctx_.initial, rng, ctx_.occupancy);
+    ctx_.sys = &owned_sys_;
+  }
+  moves0_ = ctx_.sys != nullptr ? ctx_.sys->moves() : 0;
+  enter_stage();
+}
+
+void Pipeline::enter_stage() {
+  stages_[current_]->init(ctx_);
+  advance_past_done();
+}
+
+void Pipeline::advance_past_done() {
+  while (!done_ && stages_[current_]->done()) {
+    if (!stages_[current_]->succeeded()) {
+      done_ = true;  // a failed stage stops the pipeline
+      return;
+    }
+    if (++current_ == stages_.size()) {
+      done_ = true;
+      return;
+    }
+    stages_[current_]->init(ctx_);
+  }
+}
+
+bool Pipeline::step_round() {
+  if (!inited_) init();
+  if (done_) return true;
+  Stage& stage = *stages_[current_];
+  stage.step_round();
+  if (ctx_.on_round) ctx_.on_round(stage, ctx_);
+  advance_past_done();
+  return done_;
+}
+
+PipelineOutcome Pipeline::run() {
+  while (!step_round()) {
+  }
+  return outcome();
+}
+
+PipelineOutcome Pipeline::outcome() const {
+  PipelineOutcome out;
+  out.completed = done_ && !stages_.empty();
+  out.stages.reserve(stages_.size());
+  for (const auto& s : stages_) {
+    out.completed = out.completed && s->succeeded();
+    out.stages.push_back(StageReport{s->name(), s->kind(), s->status(), s->metrics()});
+  }
+  out.leader = ctx_.leader;
+  if (ctx_.sys != nullptr) {
+    out.moves = ctx_.sys->moves() - moves0_;
+    out.peak_occupancy_cells = ctx_.sys->peak_occupancy_cells();
+  }
+  out.wall_ms = ms_since(t0_);
+  return out;
+}
+
+void Pipeline::save(Snapshot& snap) const {
+  PM_CHECK_MSG(inited_, "save before init: nothing to checkpoint");
+  snap.put_mark(kSnapPipeline);
+  // Configuration fingerprint, validated on restore: a snapshot resumed
+  // under different seeds/order/occupancy or a different stage composition
+  // would silently diverge instead of reproducing the run.
+  snap.put(ctx_.seeds.base);
+  snap.put(static_cast<std::uint64_t>(ctx_.seeds.kind));
+  snap.put(static_cast<std::uint64_t>(ctx_.order));
+  snap.put(static_cast<std::uint64_t>(ctx_.occupancy));
+  snap.put_i(ctx_.max_rounds);
+  snap.put(shape_fingerprint(ctx_.initial));
+  snap.put(stages_.size());
+  for (const auto& s : stages_) {
+    snap.put(static_cast<std::uint64_t>(s->kind()));
+    snap.put(s->config_word());
+  }
+
+  snap.put(current_);
+  snap.put(done_ ? 1 : 0);
+  snap.put_i(moves0_);
+  snap.put_i(ctx_.leader);
+  snap.put_i(ctx_.leader_node.x);
+  snap.put_i(ctx_.leader_node.y);
+  snap.put(ctx_.sys != nullptr ? 1 : 0);
+  if (ctx_.sys != nullptr) save_system(snap, *ctx_.sys);
+  for (const auto& s : stages_) s->save(snap);
+}
+
+void Pipeline::restore(const Snapshot& snap) {
+  PM_CHECK_MSG(!inited_, "restore into an already-started pipeline");
+  PM_CHECK_MSG(!stages_.empty(), "pipeline has no stages");
+  snap.expect_mark(kSnapPipeline);
+  PM_CHECK_MSG(snap.get() == ctx_.seeds.base, "snapshot seed mismatch");
+  PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(ctx_.seeds.kind),
+               "snapshot seed-policy mismatch");
+  PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(ctx_.order),
+               "snapshot scheduler-order mismatch");
+  PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(ctx_.occupancy),
+               "snapshot occupancy-mode mismatch");
+  PM_CHECK_MSG(snap.get_i() == ctx_.max_rounds, "snapshot round-budget mismatch");
+  PM_CHECK_MSG(snap.get() == shape_fingerprint(ctx_.initial),
+               "snapshot initial-shape mismatch");
+  PM_CHECK_MSG(snap.get() == stages_.size(), "snapshot stage-count mismatch");
+  for (const auto& s : stages_) {
+    PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(s->kind()),
+                 "snapshot stage-composition mismatch");
+    PM_CHECK_MSG(snap.get() == s->config_word(),
+                 "snapshot stage-option mismatch (same kind, different variant)");
+  }
+
+  inited_ = true;
+  t0_ = WallClock::now();
+  current_ = static_cast<std::size_t>(snap.get());
+  done_ = snap.get() != 0;
+  moves0_ = snap.get_i();
+  ctx_.leader = static_cast<ParticleId>(snap.get_i());
+  ctx_.leader_node.x = static_cast<std::int32_t>(snap.get_i());
+  ctx_.leader_node.y = static_cast<std::int32_t>(snap.get_i());
+  const bool has_sys = snap.get() != 0;
+  if (has_sys) {
+    if (ctx_.sys == nullptr) {
+      owned_sys_ = RunContext::System(ctx_.occupancy);
+      ctx_.sys = &owned_sys_;
+    }
+    restore_system(snap, *ctx_.sys);
+  }
+  for (const auto& s : stages_) s->restore(ctx_, snap);
+}
+
+}  // namespace pm::pipeline

@@ -1,0 +1,241 @@
+// The unified Stage/Pipeline API.
+//
+// The paper's algorithm is a pipeline of round-synchronous phases
+// (OBD §5 → DLE §3/§4 → Collect §4.3); the repo's baselines are phases of
+// the same shape. This layer gives every phase one interface — a Stage that
+// is initialized against a RunContext, stepped one asynchronous round at a
+// time, and checkpointed with save()/restore() — and a Pipeline that
+// composes stages sequentially: a stage's success gates the next stage, any
+// failure (round budget exhausted, no unique leader) stops the run.
+//
+// A RunContext carries everything a run needs exactly once:
+//   * SeedPolicy — the single seed convention (construction + scheduling
+//     derive from one base seed; a legacy mode reproduces the seed repo's
+//     split convention bit-for-bit),
+//   * OccupancyMode, scheduler Order, thread count, per-stage round budget,
+//   * optional per-round observer and per-activation hooks.
+//
+// Checkpoint/resume: Pipeline::save captures the particle system (bodies,
+// per-particle DleState, movement counter, dense-occupancy geometry + peak)
+// and every stage's progress into a pm::Snapshot; a freshly constructed
+// Pipeline with the same stage composition restores and continues, and the
+// final outcome — including every metric except wall-clock times — is
+// bit-for-bit identical to an uninterrupted run, even across process images
+// (Snapshot::serialize/parse) and across engine choices (a run saved under
+// the sequential Engine resumes under exec::ParallelEngine and vice versa).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "amoebot/engine.h"
+#include "core/dle/dle.h"
+#include "grid/shape.h"
+#include "util/snapshot.h"
+#include "util/timing.h"
+
+namespace pm::pipeline {
+
+// The single seed convention. Every run derives both its construction rng
+// (particle orientations) and its scheduler seed from one base:
+//   Unified     — construction and scheduling share `base` (the convention
+//                 the seed repo's elect_leader and scaling benches used),
+//   LegacySplit — construction Rng(base), scheduling base + 1 (the seed
+//                 repo's DleCollect/ablation convention, kept so those
+//                 suites reproduce bit-for-bit).
+struct SeedPolicy {
+  enum class Kind : std::uint8_t { Unified, LegacySplit };
+
+  std::uint64_t base = 1;
+  Kind kind = Kind::Unified;
+
+  [[nodiscard]] static SeedPolicy unified(std::uint64_t seed) { return {seed, Kind::Unified}; }
+  [[nodiscard]] static SeedPolicy legacy_split(std::uint64_t seed) {
+    return {seed, Kind::LegacySplit};
+  }
+
+  [[nodiscard]] std::uint64_t build_seed() const { return base; }
+  [[nodiscard]] std::uint64_t schedule_seed() const {
+    return kind == Kind::Unified ? base : base + 1;
+  }
+};
+
+// What a stage reports while running and after it is done. wall_ms restarts
+// from zero on checkpoint restore (the only non-deterministic field).
+struct StageMetrics {
+  long rounds = 0;
+  long long activations = 0;  // Engine-driven stages only
+  int phases = 0;             // Collect doubling phases only
+  double wall_ms = 0.0;
+};
+
+enum class StageKind : std::uint8_t { Obd, Dle, Collect, Baseline };
+enum class StageStatus : std::uint8_t { Pending, Running, Succeeded, Failed };
+
+class Stage;
+
+// One run's full configuration plus the shared mutable state the stages
+// hand to each other. The Pipeline owns the particle system unless the
+// caller provides one (elect_leader's operate-in-place overload).
+struct RunContext {
+  using System = amoebot::System<core::DleState>;
+  using RoundObserver = std::function<void(const Stage&, const RunContext&)>;
+  using ActivationHook = std::function<void(System&, amoebot::ParticleId)>;
+
+  // --- configuration ---
+  grid::Shape initial;
+  SeedPolicy seeds{};
+  amoebot::Order order = amoebot::Order::RandomPerm;
+  amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
+  // 0 = sequential Engine; >= 1 = exec::ParallelEngine with that many
+  // threads driving the DLE stage (results identical either way).
+  int threads = 0;
+  long max_rounds = 8'000'000;  // per-stage asynchronous-round budget
+  // Invoked after every pipeline round with the active stage (viz traces,
+  // instrumentation). Not serialized: re-attach after restore.
+  RoundObserver on_round;
+  // Invoked after every activation of the DLE stage (e.g. the disconnection
+  // ablation's component tracking). Sequential engine only.
+  ActivationHook activation_hook;
+
+  // --- run state (managed by Pipeline) ---
+  System* sys = nullptr;
+  amoebot::ParticleId leader = amoebot::kNoParticle;
+  grid::Node leader_node{};  // the leader's node when DLE finished
+
+  [[nodiscard]] System& system() const {
+    PM_CHECK_MSG(sys != nullptr, "RunContext has no particle system (baseline-only run?)");
+    return *sys;
+  }
+};
+
+// One composable phase. Lifecycle: Pending -> init() -> Running ->
+// step_round() ... -> Succeeded | Failed. save()/restore() checkpoint any
+// status; protocol state is serialized only while Running (a finished
+// stage's effects live in the system snapshot).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual StageKind kind() const = 0;
+  // Baseline stages run on the initial shape alone; the Pipeline skips
+  // building a particle system when no stage needs one.
+  [[nodiscard]] virtual bool uses_system() const { return true; }
+  // Stage-specific option bits (e.g. DLE's connected_pull), folded into the
+  // checkpoint fingerprint so a snapshot cannot resume under a stage that
+  // shares the kind but runs a different variant.
+  [[nodiscard]] virtual std::uint64_t config_word() const { return 0; }
+
+  virtual void init(RunContext& ctx) = 0;
+  // Advances one asynchronous round; returns true once the stage is done.
+  virtual bool step_round() = 0;
+
+  [[nodiscard]] StageStatus status() const { return status_; }
+  [[nodiscard]] bool done() const {
+    return status_ == StageStatus::Succeeded || status_ == StageStatus::Failed;
+  }
+  [[nodiscard]] bool succeeded() const { return status_ == StageStatus::Succeeded; }
+  // Live while Running (wall time measured on demand — step_round stays
+  // clock-free), final once done.
+  [[nodiscard]] StageMetrics metrics() const {
+    StageMetrics m = metrics_;
+    if (status_ == StageStatus::Running) m.wall_ms = ms_since(t0_);
+    return m;
+  }
+
+  void save(Snapshot& snap) const;
+  void restore(RunContext& ctx, const Snapshot& snap);
+
+ protected:
+  // Running-state serialization, provided by each stage.
+  virtual void state_save(Snapshot& snap) const = 0;
+  virtual void state_restore(RunContext& ctx, const Snapshot& snap) = 0;
+
+  StageStatus status_ = StageStatus::Pending;
+  StageMetrics metrics_{};
+  WallClock::time_point t0_{};  // set by init()/state_restore()
+};
+
+// Per-stage summary in a PipelineOutcome.
+struct StageReport {
+  const char* name = "";
+  StageKind kind = StageKind::Dle;
+  StageStatus status = StageStatus::Pending;
+  StageMetrics metrics{};
+};
+
+struct PipelineOutcome {
+  bool completed = false;  // every stage ran and succeeded
+  std::vector<StageReport> stages;
+  amoebot::ParticleId leader = amoebot::kNoParticle;
+  long long moves = 0;  // movement ops across all stages of this run
+  long long peak_occupancy_cells = 0;
+  double wall_ms = 0.0;
+
+  [[nodiscard]] long total_rounds() const;
+  // First stage of the given kind, or nullptr.
+  [[nodiscard]] const StageReport* stage(StageKind k) const;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(RunContext ctx) : ctx_(std::move(ctx)) {}
+
+  // Movable only before init(): initialized stages hold pointers into the
+  // pipeline's context and owned system (enforced with a loud failure).
+  Pipeline(Pipeline&& other);
+  Pipeline& operator=(Pipeline&&) = delete;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  // The paper's standard composition: [OBD when no oracle] -> DLE ->
+  // [Collect when reconnecting and not the connected-pull ablation].
+  struct StandardOptions {
+    bool use_boundary_oracle = false;
+    bool reconnect = true;
+    bool connected_pull = false;
+  };
+  [[nodiscard]] static Pipeline standard(RunContext ctx, const StandardOptions& opts);
+
+  Pipeline& add(std::unique_ptr<Stage> stage);
+
+  [[nodiscard]] RunContext& context() { return ctx_; }
+  [[nodiscard]] const RunContext& context() const { return ctx_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Stage>>& stages() const { return stages_; }
+
+  // Builds the particle system (unless the context carries one) and enters
+  // the first stage. step_round() calls init() implicitly.
+  void init();
+  // One round of the active stage; returns true once the pipeline is done.
+  bool step_round();
+  [[nodiscard]] bool done() const { return done_; }
+
+  // init() + step to completion.
+  PipelineOutcome run();
+  [[nodiscard]] PipelineOutcome outcome() const;
+
+  // Checkpoint/resume at round boundaries. restore() must be called on a
+  // freshly constructed Pipeline with an identical stage composition and
+  // configuration (seeds, order, occupancy; the thread count may differ —
+  // engine snapshots are engine-portable).
+  void save(Snapshot& snap) const;
+  void restore(const Snapshot& snap);
+
+ private:
+  void enter_stage();        // init stages_[current_], then skip past done stages
+  void advance_past_done();  // failure stops the pipeline; success moves on
+
+  RunContext ctx_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  RunContext::System owned_sys_;
+  std::size_t current_ = 0;
+  bool inited_ = false;
+  bool done_ = false;
+  long long moves0_ = 0;
+  WallClock::time_point t0_{};
+};
+
+}  // namespace pm::pipeline

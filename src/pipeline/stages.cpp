@@ -1,0 +1,264 @@
+#include "pipeline/stages.h"
+
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "core/collect/collect.h"
+#include "core/obd/obd.h"
+#include "exec/parallel_engine.h"
+#include "util/check.h"
+
+namespace pm::pipeline {
+
+using amoebot::ParticleId;
+using core::DleState;
+
+// --- ObdStage --------------------------------------------------------------
+
+ObdStage::ObdStage() = default;
+ObdStage::ObdStage(Options opts) : opts_(opts) {}
+ObdStage::~ObdStage() = default;
+
+void ObdStage::init(RunContext& ctx) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  if (opts_.skip_if_single && ctx.system().particle_count() <= 1) {
+    // make_system's oracle initialization already holds; nothing to learn.
+    status_ = StageStatus::Succeeded;
+    return;
+  }
+  obd_ = std::make_unique<core::ObdRun>(ctx.system());
+  status_ = StageStatus::Running;
+}
+
+void ObdStage::finish_success() {
+  // The glue the legacy elect_leader hand-wired: publish the detected
+  // boundary into every particle's DLE input flags.
+  RunContext::System& sys = ctx_->system();
+  for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+    DleState& st = sys.state(p);
+    st.outer = obd_->outer_ports(p);
+    for (int i = 0; i < 6; ++i) {
+      st.eligible[static_cast<std::size_t>(i)] = !st.outer[static_cast<std::size_t>(i)];
+    }
+  }
+  status_ = StageStatus::Succeeded;
+}
+
+bool ObdStage::step_round() {
+  if (done()) return true;
+  // Budget check before the round, exactly like the legacy run loop
+  // (`while (rounds_ < max_rounds)`): an exhausted budget executes nothing.
+  if (obd_->rounds() >= ctx_->max_rounds) {
+    status_ = StageStatus::Failed;
+    metrics_.wall_ms = ms_since(t0_);
+    return true;
+  }
+  const bool fin = obd_->step_round();
+  metrics_.rounds = obd_->rounds();
+  if (fin) finish_success();
+  if (done()) metrics_.wall_ms = ms_since(t0_);
+  return done();
+}
+
+void ObdStage::state_save(Snapshot& snap) const { obd_->save(snap); }
+
+void ObdStage::state_restore(RunContext& ctx, const Snapshot& snap) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  obd_ = std::make_unique<core::ObdRun>(ctx.system());
+  obd_->restore(snap);
+}
+
+// --- DleStage --------------------------------------------------------------
+
+template <typename EngineT>
+struct DleStage::DriverImpl final : DleStage::Driver {
+  EngineT engine;
+  template <typename... Args>
+  explicit DriverImpl(Args&&... args) : engine(std::forward<Args>(args)...) {}
+
+  void start() override { engine.start(); }
+  bool step_round() override { return engine.step_round(); }
+  [[nodiscard]] const amoebot::RunResult& result() const override { return engine.result(); }
+  amoebot::RunResult finish() override { return engine.finish(); }
+  void save(Snapshot& snap) const override { engine.save(snap); }
+  void restore(const Snapshot& snap) override { engine.restore(snap); }
+};
+
+DleStage::DleStage() = default;
+DleStage::DleStage(core::Dle::Options opts) : dle_opts_(opts), algo_(opts) {}
+DleStage::~DleStage() = default;
+
+std::uint64_t DleStage::config_word() const { return dle_opts_.connected_pull ? 1 : 0; }
+
+void DleStage::make_driver(RunContext& ctx, bool start_now) {
+  RunContext::System& sys = ctx.system();
+  const amoebot::RunOptions ropts{ctx.order, ctx.seeds.schedule_seed(), ctx.max_rounds};
+  if (ctx.activation_hook) {
+    PM_CHECK_MSG(ctx.threads == 0,
+                 "activation hooks require the sequential engine (no parallel counterpart)");
+    using HookEngine = amoebot::Engine<core::Dle, RunContext::ActivationHook>;
+    driver_ = std::make_unique<DriverImpl<HookEngine>>(sys, algo_, ropts, ctx.activation_hook);
+  } else if (ctx.threads > 0) {
+    using Parallel = exec::ParallelEngine<core::Dle>;
+    driver_ = std::make_unique<DriverImpl<Parallel>>(
+        sys, algo_, exec::ParallelRunOptions{ctx.order, ropts.seed, ctx.max_rounds, ctx.threads});
+  } else {
+    driver_ = std::make_unique<DriverImpl<amoebot::Engine<core::Dle>>>(sys, algo_, ropts);
+  }
+  if (start_now) driver_->start();
+}
+
+void DleStage::init(RunContext& ctx) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  make_driver(ctx, /*start_now=*/true);
+  status_ = StageStatus::Running;
+}
+
+void DleStage::finish_run() {
+  const amoebot::RunResult rres = driver_->finish();
+  metrics_.rounds = rres.rounds;
+  metrics_.activations = rres.activations;
+  metrics_.wall_ms = rres.wall_ms;
+  const core::ElectionOutcome outcome = core::election_outcome(ctx_->system());
+  if (rres.completed && outcome.leaders == 1) {
+    ctx_->leader = outcome.leader;
+    ctx_->leader_node = ctx_->system().body(outcome.leader).head;
+    status_ = StageStatus::Succeeded;
+  } else {
+    // Termination without a unique leader is a failed election, exactly as
+    // the legacy elect_leader and scenario runner treated it.
+    status_ = StageStatus::Failed;
+  }
+}
+
+bool DleStage::step_round() {
+  if (done()) return true;
+  const bool fin = driver_->step_round();
+  metrics_.rounds = driver_->result().rounds;
+  metrics_.activations = driver_->result().activations;
+  if (fin) finish_run();
+  return done();
+}
+
+void DleStage::state_save(Snapshot& snap) const { driver_->save(snap); }
+
+void DleStage::state_restore(RunContext& ctx, const Snapshot& snap) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  make_driver(ctx, /*start_now=*/false);
+  driver_->restore(snap);
+}
+
+// --- CollectStage ----------------------------------------------------------
+
+CollectStage::CollectStage() = default;
+CollectStage::~CollectStage() = default;
+
+void CollectStage::init(RunContext& ctx) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  PM_CHECK_MSG(ctx.leader != amoebot::kNoParticle,
+               "Collect requires an elected leader (run a DLE stage first)");
+  collect_ = std::make_unique<core::CollectRun>(ctx.system(), ctx.leader);
+  status_ = StageStatus::Running;
+}
+
+bool CollectStage::step_round() {
+  if (done()) return true;
+  // Budget check before the round (the legacy `while (rounds_ < max)`
+  // semantics): an exhausted budget must not mutate the system further.
+  if (collect_->rounds() >= ctx_->max_rounds) {
+    status_ = StageStatus::Failed;
+    metrics_.wall_ms = ms_since(t0_);
+    return true;
+  }
+  const bool fin = collect_->step_round();
+  metrics_.rounds = collect_->rounds();
+  metrics_.phases = collect_->phase_count();
+  if (fin) status_ = StageStatus::Succeeded;
+  if (done()) metrics_.wall_ms = ms_since(t0_);
+  return done();
+}
+
+void CollectStage::state_save(Snapshot& snap) const { collect_->save(snap); }
+
+void CollectStage::state_restore(RunContext& ctx, const Snapshot& snap) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  collect_ = std::make_unique<core::CollectRun>(ctx.system(), snap);
+}
+
+// --- ErosionStage ----------------------------------------------------------
+
+ErosionStage::ErosionStage() = default;
+ErosionStage::~ErosionStage() = default;
+
+void ErosionStage::sync(bool fin) {
+  metrics_.rounds = run_->rounds();
+  if (fin) {
+    status_ = run_->completed() ? StageStatus::Succeeded : StageStatus::Failed;
+    metrics_.wall_ms = ms_since(t0_);
+  }
+}
+
+void ErosionStage::init(RunContext& ctx) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  run_ = std::make_unique<baselines::ErosionRun>(ctx.initial);
+  status_ = StageStatus::Running;
+  sync(run_->done());
+}
+
+bool ErosionStage::step_round() {
+  if (done()) return true;
+  sync(run_->step_round());
+  return done();
+}
+
+void ErosionStage::state_save(Snapshot& snap) const { run_->save(snap); }
+
+void ErosionStage::state_restore(RunContext& ctx, const Snapshot& snap) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  run_ = std::make_unique<baselines::ErosionRun>(ctx.initial, snap);
+}
+
+// --- ContestStage ----------------------------------------------------------
+
+ContestStage::ContestStage() = default;
+ContestStage::~ContestStage() = default;
+
+void ContestStage::sync(bool fin) {
+  metrics_.rounds = run_->rounds();
+  if (fin) {
+    status_ = run_->completed() ? StageStatus::Succeeded : StageStatus::Failed;
+    metrics_.wall_ms = ms_since(t0_);
+  }
+}
+
+void ContestStage::init(RunContext& ctx) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  run_ = std::make_unique<baselines::ContestRun>(ctx.initial, ctx.seeds.build_seed());
+  status_ = StageStatus::Running;
+  sync(run_->done());
+}
+
+bool ContestStage::step_round() {
+  if (done()) return true;
+  sync(run_->step_round());
+  return done();
+}
+
+void ContestStage::state_save(Snapshot& snap) const { run_->save(snap); }
+
+void ContestStage::state_restore(RunContext& ctx, const Snapshot& snap) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  run_ = std::make_unique<baselines::ContestRun>(ctx.initial, snap);
+}
+
+}  // namespace pm::pipeline

@@ -1,0 +1,175 @@
+// Stage adapters: the paper's phases and the Table 1 baselines behind the
+// one Stage interface (pipeline.h). Each adapter owns its phase engine,
+// maps its round loop onto step_round(), applies the inter-stage glue the
+// legacy elect_leader code hand-wired (OBD output -> DLE input, DLE outcome
+// -> Collect leader), and serializes the engine's protocol state while
+// running.
+#pragma once
+
+#include <memory>
+
+#include "core/dle/dle.h"
+#include "pipeline/pipeline.h"
+
+namespace pm::baselines {
+class ErosionRun;
+class ContestRun;
+}  // namespace pm::baselines
+
+namespace pm::core {
+class CollectRun;
+class ObdRun;
+}  // namespace pm::core
+
+namespace pm::pipeline {
+
+// Primitive OBD (paper §5): steps the v-node engine; on completion writes
+// outer_ports into every particle's DleState (`outer` plus the derived
+// `eligible` flags) — exactly the input Algorithm DLE consumes.
+class ObdStage final : public Stage {
+ public:
+  struct Options {
+    // The elect_leader glue skips OBD for single-particle systems (the
+    // oracle values from make_system already hold); standalone OBD runs
+    // unconditionally.
+    bool skip_if_single = false;
+  };
+
+  ObdStage();
+  explicit ObdStage(Options opts);
+  ~ObdStage() override;
+
+  [[nodiscard]] const char* name() const override { return "obd"; }
+  [[nodiscard]] StageKind kind() const override { return StageKind::Obd; }
+  [[nodiscard]] std::uint64_t config_word() const override {
+    return opts_.skip_if_single ? 1 : 0;
+  }
+  void init(RunContext& ctx) override;
+  bool step_round() override;
+
+ protected:
+  void state_save(Snapshot& snap) const override;
+  void state_restore(RunContext& ctx, const Snapshot& snap) override;
+
+ private:
+  void finish_success();
+
+  Options opts_;
+  RunContext* ctx_ = nullptr;
+  std::unique_ptr<core::ObdRun> obd_;
+};
+
+// Algorithm DLE (paper §3/§4) driven by the strong-scheduler engine:
+// sequential amoebot::Engine, exec::ParallelEngine (ctx.threads >= 1), or
+// the hook-instrumented engine when ctx.activation_hook is set. Succeeds
+// iff the engine terminates within budget with a unique leader, and then
+// publishes ctx.leader / ctx.leader_node for downstream stages.
+class DleStage final : public Stage {
+ public:
+  DleStage();
+  explicit DleStage(core::Dle::Options opts);
+  ~DleStage() override;
+
+  [[nodiscard]] const char* name() const override { return "dle"; }
+  [[nodiscard]] StageKind kind() const override { return StageKind::Dle; }
+  [[nodiscard]] std::uint64_t config_word() const override;
+  void init(RunContext& ctx) override;
+  bool step_round() override;
+
+ protected:
+  void state_save(Snapshot& snap) const override;
+  void state_restore(RunContext& ctx, const Snapshot& snap) override;
+
+ private:
+  // Type-erases Engine<Dle> / Engine<Dle, Hook> / ParallelEngine<Dle>; all
+  // three share one checkpoint word layout, so snapshots are portable
+  // across engine choices.
+  struct Driver {
+    virtual ~Driver() = default;
+    virtual void start() = 0;
+    virtual bool step_round() = 0;
+    [[nodiscard]] virtual const amoebot::RunResult& result() const = 0;
+    virtual amoebot::RunResult finish() = 0;
+    virtual void save(Snapshot& snap) const = 0;
+    virtual void restore(const Snapshot& snap) = 0;
+  };
+  template <typename EngineT>
+  struct DriverImpl;
+
+  void make_driver(RunContext& ctx, bool start_now);
+  void finish_run();
+
+  core::Dle::Options dle_opts_{};
+  core::Dle algo_;
+  RunContext* ctx_ = nullptr;
+  std::unique_ptr<Driver> driver_;
+};
+
+// Algorithm Collect (paper §4.3): reconnection from the elected leader.
+class CollectStage final : public Stage {
+ public:
+  CollectStage();
+  ~CollectStage() override;
+
+  [[nodiscard]] const char* name() const override { return "collect"; }
+  [[nodiscard]] StageKind kind() const override { return StageKind::Collect; }
+  void init(RunContext& ctx) override;
+  bool step_round() override;
+
+ protected:
+  void state_save(Snapshot& snap) const override;
+  void state_restore(RunContext& ctx, const Snapshot& snap) override;
+
+ private:
+  RunContext* ctx_ = nullptr;
+  std::unique_ptr<core::CollectRun> collect_;
+};
+
+// Sequential-erosion baseline ([22]/[3] class). Runs on the initial shape
+// (no particle system); fails immediately on a holey input.
+class ErosionStage final : public Stage {
+ public:
+  ErosionStage();
+  ~ErosionStage() override;
+
+  [[nodiscard]] const char* name() const override { return "baseline_erosion"; }
+  [[nodiscard]] StageKind kind() const override { return StageKind::Baseline; }
+  [[nodiscard]] bool uses_system() const override { return false; }
+  void init(RunContext& ctx) override;
+  bool step_round() override;
+
+ protected:
+  void state_save(Snapshot& snap) const override;
+  void state_restore(RunContext& ctx, const Snapshot& snap) override;
+
+ private:
+  void sync(bool fin);
+  RunContext* ctx_ = nullptr;
+  std::unique_ptr<baselines::ErosionRun> run_;
+};
+
+// Randomized boundary-contest baseline ([19]/[10] class); steps at phase
+// granularity (a phase's round cost is variable). Seeded from the policy's
+// base seed, matching the legacy driver.
+class ContestStage final : public Stage {
+ public:
+  ContestStage();
+  ~ContestStage() override;
+
+  [[nodiscard]] const char* name() const override { return "baseline_contest"; }
+  [[nodiscard]] StageKind kind() const override { return StageKind::Baseline; }
+  [[nodiscard]] bool uses_system() const override { return false; }
+  void init(RunContext& ctx) override;
+  bool step_round() override;
+
+ protected:
+  void state_save(Snapshot& snap) const override;
+  void state_restore(RunContext& ctx, const Snapshot& snap) override;
+
+ private:
+  void sync(bool fin);
+  RunContext* ctx_ = nullptr;
+  std::unique_ptr<baselines::ContestRun> run_;
+};
+
+}  // namespace pm::pipeline

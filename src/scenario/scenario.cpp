@@ -7,15 +7,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <utility>
 
-#include "baselines/baselines.h"
-#include "core/collect/collect.h"
-#include "core/le/le.h"
-#include "core/obd/obd.h"
-#include "exec/parallel_engine.h"
+#include "exec/thread_pool.h"
 #include "grid/metrics.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
 #include "shapegen/shapegen.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -33,7 +32,6 @@ namespace pm::scenario {
 
 using amoebot::OccupancyMode;
 using amoebot::Order;
-using core::Dle;
 using core::DleState;
 
 const char* algo_name(Algo a) noexcept {
@@ -112,6 +110,56 @@ struct ComponentTracker {
   }
 };
 
+// The one seed policy (pipeline::SeedPolicy) a Spec's base seed maps to:
+// unified for every algo except the two the seed repo drove with its split
+// convention — DleCollect and the component-tracking ablation rows — which
+// keep the legacy mode so their suites reproduce bit-for-bit.
+pipeline::SeedPolicy seed_policy_for(const Spec& spec) {
+  if (spec.algo == Algo::DleCollect || spec.track_components) {
+    return pipeline::SeedPolicy::legacy_split(spec.seed);
+  }
+  return pipeline::SeedPolicy::unified(spec.seed);
+}
+
+// The stage composition a Spec's algo selects.
+pipeline::Pipeline build_pipeline(const Spec& spec, pipeline::RunContext ctx) {
+  using pipeline::Pipeline;
+  switch (spec.algo) {
+    case Algo::ObdOnly: {
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<pipeline::ObdStage>());
+      return p;
+    }
+    case Algo::DleOracle:
+    case Algo::DlePull:
+      return Pipeline::standard(std::move(ctx),
+                                {.use_boundary_oracle = true,
+                                 .reconnect = false,
+                                 .connected_pull = spec.algo == Algo::DlePull});
+    case Algo::DleCollect:
+    case Algo::PipelineOracle:
+      return Pipeline::standard(
+          std::move(ctx),
+          {.use_boundary_oracle = true, .reconnect = true, .connected_pull = false});
+    case Algo::PipelineFull:
+      return Pipeline::standard(
+          std::move(ctx),
+          {.use_boundary_oracle = false, .reconnect = true, .connected_pull = false});
+    case Algo::BaselineErosion: {
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<pipeline::ErosionStage>());
+      return p;
+    }
+    case Algo::BaselineContest: {
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<pipeline::ContestStage>());
+      return p;
+    }
+  }
+  PM_CHECK_MSG(false, "unhandled algo");
+  return Pipeline(pipeline::RunContext{});
+}
+
 }  // namespace
 
 Result run_scenario(const Spec& spec) {
@@ -135,134 +183,117 @@ Result run_scenario(const Spec& spec) {
   res.l_out = m.l_out;
 
   const auto t0 = WallClock::now();
-  switch (spec.algo) {
-    case Algo::ObdOnly: {
-      Rng rng(spec.seed);
-      auto sys = amoebot::System<DleState>::from_shape(shape, rng, spec.occupancy);
-      core::ObdRun obd(sys);
-      const auto ores = obd.run(spec.max_rounds);
-      res.obd_rounds = ores.rounds;
-      res.completed = ores.completed;
-      res.moves = sys.moves();
-      res.peak_occupancy_cells = sys.peak_occupancy_cells();
-      res.obd_ms = ms_since(t0);
-      break;
-    }
-    case Algo::DleOracle:
-    case Algo::DlePull: {
-      if (!spec.track_components) {
-        // Same elect_leader route (and therefore the same seed semantics)
-        // as the seed scaling benches: construction and scheduling both use
-        // spec.seed, so BENCH_dle_scaling reproduces the old F-DLE numbers.
-        const core::PipelineOptions popts{
-            .use_boundary_oracle = true,
-            .reconnect = false,
-            .connected_pull = spec.algo == Algo::DlePull,
-            .order = spec.order,
-            .seed = spec.seed,
-            .max_rounds = spec.max_rounds,
-            .occupancy = spec.occupancy,
-            .threads = spec.threads};
-        Rng rng(spec.seed);
-        auto sys = Dle::make_system(shape, rng, spec.occupancy);
-        const auto pres = core::elect_leader(sys, popts);
-        res.dle_rounds = pres.dle_rounds;
-        res.dle_ms = pres.dle_ms;
-        res.activations = pres.dle_activations;
-        res.completed = pres.completed;
-        res.leaders = core::election_outcome(sys).leaders;
-        res.moves = pres.moves;
-        res.peak_occupancy_cells = pres.peak_occupancy_cells;
+
+  pipeline::RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = seed_policy_for(spec);
+  ctx.order = spec.order;
+  ctx.occupancy = spec.occupancy;
+  ctx.threads = spec.threads;
+  ctx.max_rounds = spec.max_rounds;
+  if (spec.track_components) {
+    ctx.activation_hook = ComponentTracker{&res.max_components};
+  }
+
+  pipeline::Pipeline pipe = build_pipeline(spec, std::move(ctx));
+  const pipeline::PipelineOutcome out = pipe.run();
+
+  for (const pipeline::StageReport& s : out.stages) {
+    switch (s.kind) {
+      case pipeline::StageKind::Obd:
+        res.obd_rounds = s.metrics.rounds;
+        res.obd_ms = s.metrics.wall_ms;
         break;
-      }
-      [[fallthrough]];
-    }
-    case Algo::DleCollect: {
-      Rng rng(spec.seed);
-      auto sys = Dle::make_system(shape, rng, spec.occupancy);
-      Dle dle(Dle::Options{.connected_pull = spec.algo == Algo::DlePull});
-      const amoebot::RunOptions ropts{spec.order, spec.seed + 1, spec.max_rounds};
-      amoebot::RunResult rres;
-      if (spec.track_components) {
-        rres = amoebot::run(sys, dle, ropts, ComponentTracker{&res.max_components});
-      } else if (spec.threads > 0) {
-        rres = exec::run_parallel(
-            sys, dle, {ropts.order, ropts.seed, ropts.max_rounds, spec.threads});
-      } else {
-        rres = amoebot::run(sys, dle, ropts);
-      }
-      res.dle_rounds = rres.rounds;
-      res.dle_ms = rres.wall_ms;
-      res.activations = rres.activations;
-      const auto outcome = core::election_outcome(sys);
-      res.leaders = outcome.leaders;
-      // Success requires a *unique* leader, exactly as elect_leader and the
-      // seed benches demanded — a terminated run with 0 or 2+ leaders must
-      // not feed the scaling fits.
-      res.completed = rres.completed && outcome.leaders == 1;
-      if (spec.algo == Algo::DleCollect && rres.completed && outcome.leaders == 1) {
-        const grid::Node l = sys.body(outcome.leader).head;
-        res.ecc = grid::eccentricity_grid(l, shape.nodes());
-        const auto tc = WallClock::now();
-        core::CollectRun collect(sys, outcome.leader);
-        const auto cres = collect.run(spec.max_rounds);
-        res.collect_rounds = cres.rounds;
-        res.phases = cres.phases;
-        res.collect_ms = ms_since(tc);
-        res.completed = cres.completed;
-      }
-      res.moves = sys.moves();
-      res.peak_occupancy_cells = sys.peak_occupancy_cells();
-      break;
-    }
-    case Algo::PipelineOracle:
-    case Algo::PipelineFull: {
-      const core::PipelineOptions popts{
-          .use_boundary_oracle = spec.algo == Algo::PipelineOracle,
-          .reconnect = true,
-          .connected_pull = false,
-          .order = spec.order,
-          .seed = spec.seed,
-          .max_rounds = spec.max_rounds,
-          .occupancy = spec.occupancy,
-          .threads = spec.threads};
-      Rng rng(spec.seed);
-      auto sys = Dle::make_system(shape, rng, spec.occupancy);
-      const auto pres = core::elect_leader(sys, popts);
-      res.obd_rounds = pres.obd_rounds;
-      res.dle_rounds = pres.dle_rounds;
-      res.collect_rounds = pres.collect_rounds;
-      res.completed = pres.completed;
-      // True outcome count (0, 1, or several) rather than inferring from
-      // the pipeline's leader id, which is kNoParticle for any failure.
-      res.leaders = core::election_outcome(sys).leaders;
-      res.activations = pres.dle_activations;
-      res.moves = pres.moves;
-      res.peak_occupancy_cells = pres.peak_occupancy_cells;
-      res.obd_ms = pres.obd_ms;
-      res.dle_ms = pres.dle_ms;
-      res.collect_ms = pres.collect_ms;
-      break;
-    }
-    case Algo::BaselineErosion: {
-      if (!shape.simply_connected()) {
-        res.completed = false;  // the erosion class cannot handle holes
+      case pipeline::StageKind::Dle:
+        res.dle_rounds = s.metrics.rounds;
+        res.dle_ms = s.metrics.wall_ms;
+        res.activations = s.metrics.activations;
         break;
-      }
-      const auto bres = baselines::sequential_erosion(shape);
-      res.baseline_rounds = bres.rounds;
-      res.completed = bres.completed;
-      break;
+      case pipeline::StageKind::Collect:
+        res.collect_rounds = s.metrics.rounds;
+        // The seed Result reported doubling phases for DleCollect rows only
+        // (elect_leader never surfaced them); keep that field bit-for-bit.
+        if (spec.algo == Algo::DleCollect) res.phases = s.metrics.phases;
+        res.collect_ms = s.metrics.wall_ms;
+        break;
+      case pipeline::StageKind::Baseline:
+        res.baseline_rounds = s.metrics.rounds;
+        break;
     }
-    case Algo::BaselineContest: {
-      const auto bres = baselines::randomized_boundary_contest(shape, spec.seed);
-      res.baseline_rounds = bres.rounds;
-      res.completed = bres.completed;
-      break;
+  }
+  res.completed = out.completed;
+  const pipeline::RunContext& pctx = pipe.context();
+  if (pctx.sys != nullptr) {
+    // Success requires a *unique* leader (the DLE stage enforces it); the
+    // reported count is the true outcome — 0, 1, or several.
+    if (algo_uses_engine(spec.algo)) {
+      res.leaders = core::election_outcome(*pctx.sys).leaders;
+    }
+    res.moves = pctx.sys->moves();
+    res.peak_occupancy_cells = pctx.sys->peak_occupancy_cells();
+  }
+  if (spec.algo == Algo::DleCollect) {
+    // Leader eccentricity w.r.t. the initial shape, measured at the
+    // DLE -> Collect transition point (the leader may move during Collect).
+    const pipeline::StageReport* dle = out.stage(pipeline::StageKind::Dle);
+    if (dle != nullptr && dle->status == pipeline::StageStatus::Succeeded) {
+      res.ecc = grid::eccentricity_grid(pctx.leader_node, shape.nodes());
     }
   }
   res.wall_ms = ms_since(t0);
   return res;
+}
+
+std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts) {
+  // reps = 0 would make every scenario silently report as failed; fail
+  // loudly instead (bench_main validates its flags, direct callers may not).
+  PM_CHECK_MSG(opts.reps >= 1, "run_suite needs reps >= 1 (got " << opts.reps << ")");
+  auto run_one = [&](const Spec& s) -> Result {
+    // Best-of-N repetitions: every rep rebuilds the system from scratch, so
+    // the dense occupancy index starts from a fresh bounding box each time.
+    // Results are identical across reps except for the wall-clock fields;
+    // the fastest rep is kept. Errors are caught per rep — a failed
+    // invariant, or a system error like thread exhaustion, must not abort
+    // the suite (the ThreadPool's workers require it) nor discard a
+    // complete Result an earlier rep already produced.
+    bool have = false;
+    Result best;
+    for (int rep = 0; rep < opts.reps; ++rep) {
+      try {
+        Result next = run_scenario(s);
+        if (!have || next.wall_ms < best.wall_ms) best = std::move(next);
+        have = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "scenario %s/%s rep %d failed: %s\n", suite.name.c_str(),
+                     s.name.empty() ? s.family.c_str() : s.name.c_str(), rep, e.what());
+      } catch (...) {
+        std::fprintf(stderr, "scenario %s/%s rep %d failed\n", suite.name.c_str(),
+                     s.name.empty() ? s.family.c_str() : s.name.c_str(), rep);
+      }
+    }
+    if (have) return best;
+    Result failed;  // every rep failed: record the scenario as incomplete
+    failed.spec = s;
+    if (failed.spec.name.empty()) failed.spec.name = default_name(s);
+    return failed;
+  };
+
+  std::vector<Result> results(suite.specs.size());
+  const int n = static_cast<int>(suite.specs.size());
+  if (opts.jobs > 1 && n > 1) {
+    // Scenario-level fan-out: one self-contained system per worker, results
+    // written into fixed slots — bit-for-bit the serial output, reordered
+    // in time only. (run_one never throws; the pool requires that.)
+    exec::ThreadPool pool(std::min(opts.jobs, n));
+    pool.for_each_index(n, [&](int i) {
+      results[static_cast<std::size_t>(i)] = run_one(suite.specs[static_cast<std::size_t>(i)]);
+    });
+  } else {
+    for (int i = 0; i < n; ++i) {
+      results[static_cast<std::size_t>(i)] = run_one(suite.specs[static_cast<std::size_t>(i)]);
+    }
+  }
+  return results;
 }
 
 // --- suite registry --------------------------------------------------------
@@ -687,6 +718,9 @@ void usage(const char* prog) {
       "                         0 = sequential engine, N >= 1 = ParallelEngine\n"
       "                         (component-tracking ablation specs always stay\n"
       "                         sequential — hooks have no parallel counterpart)\n"
+      "  --jobs N               run up to N scenarios of a suite concurrently\n"
+      "                         (one particle system per worker; results are\n"
+      "                         bit-for-bit the serial output)\n"
       "  --reps N               run each scenario N times, keep the fastest\n"
       "                         (fresh system and occupancy index per rep)\n"
       "  --json-dir=DIR         directory for BENCH_<suite>.json (default .)\n"
@@ -712,6 +746,7 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   bool have_occ = false;
   OccupancyMode occ = OccupancyMode::Dense;
   int threads = -1;  // -1 = leave each spec's own value
+  int jobs = 1;
   int reps = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -763,6 +798,13 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       // the ThreadPool constructor off to spawn a million OS threads.
       if (!next_value("--threads", v) || !parse_count(v, 0, threads) || threads > 1024) {
         std::fprintf(stderr, "bad --threads value (need an integer in [0, 1024])\n");
+        return 2;
+      }
+    } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      // Same ceiling rationale as --threads: a typo must not ask the pool
+      // for a million workers.
+      if (!next_value("--jobs", v) || !parse_count(v, 1, jobs) || jobs > 1024) {
+        std::fprintf(stderr, "bad --jobs value (need an integer in [1, 1024])\n");
         return 2;
       }
     } else if (arg == "--reps" || arg.rfind("--reps=", 0) == 0) {
@@ -843,51 +885,19 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       }
     }
 
-    // Best-of-N repetitions: every rep rebuilds the system from scratch, so
-    // the dense occupancy index starts from a fresh bounding box each time —
-    // peak_extent and memory never carry over from a previous (larger) run
-    // in the same process. Results are identical across reps except for the
-    // wall-clock fields; the fastest rep is kept.
-    auto run_best = [&](const Spec& s) {
-      Result best = run_scenario(s);
-      for (int rep = 1; rep < reps; ++rep) {
-        Result next = run_scenario(s);
-        if (next.wall_ms < best.wall_ms) best = std::move(next);
-      }
-      return best;
-    };
-
     // In compare mode the suite's reported results ARE the dense pass, and
     // a hash pass runs next to it — each spec executes exactly twice.
-    std::vector<Result> results;
+    const SuiteRunOptions ropts{jobs, reps};
+    Suite primary = suite;
+    if (compare) {
+      for (Spec& s : primary.specs) s.occupancy = OccupancyMode::Dense;
+    }
+    std::vector<Result> results = run_suite(primary, ropts);
     std::vector<Result> hash_results;
-    results.reserve(suite.specs.size());
-    for (std::size_t si = 0; si < suite.specs.size(); ++si) {
-      const Spec& s = suite.specs[si];
-      auto failed_result = [&] {
-        Result failed;
-        failed.spec = s;
-        if (failed.spec.name.empty()) failed.spec.name = default_name(s);
-        return failed;
-      };
-      try {
-        Spec primary = s;
-        if (compare) primary.occupancy = OccupancyMode::Dense;
-        results.push_back(run_best(primary));
-        if (compare) {
-          Spec h = s;
-          h.occupancy = OccupancyMode::Hash;
-          hash_results.push_back(run_best(h));
-        }
-      } catch (const std::exception& e) {
-        // A failed invariant — or a system error like thread exhaustion —
-        // in one scenario must not abort the driver and discard every other
-        // suite's results: record it as incomplete.
-        std::fprintf(stderr, "scenario %s/%s failed: %s\n", suite.name.c_str(),
-                     s.name.empty() ? s.family.c_str() : s.name.c_str(), e.what());
-        if (results.size() <= si) results.push_back(failed_result());
-        if (compare && hash_results.size() <= si) hash_results.push_back(failed_result());
-      }
+    if (compare) {
+      Suite hashed = suite;
+      for (Spec& s : hashed.specs) s.occupancy = OccupancyMode::Hash;
+      hash_results = run_suite(hashed, ropts);
     }
     print_results(suite, results, std::cout);
 

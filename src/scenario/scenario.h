@@ -48,11 +48,10 @@ struct Spec {
 
   Algo algo = Algo::DleOracle;
   amoebot::Order order = amoebot::Order::RandomPerm;
-  // Pipeline algos — and DleOracle/DlePull without component tracking — pass
-  // `seed` to elect_leader, which seeds construction and scheduling
-  // identically (the seed scaling benches' convention). DleCollect and the
-  // component-tracking ablation runs build the system with Rng(seed) and
-  // schedule with seed + 1, like the seed collect/ablation benches did.
+  // Base seed, mapped to a pipeline::SeedPolicy by run_scenario: unified
+  // for most algos; the legacy-split mode for DleCollect and the
+  // component-tracking ablation rows, which reproduces the seed repo's
+  // convention for those suites bit-for-bit (see seed_policy_for).
   std::uint64_t seed = 1;
   long max_rounds = 8'000'000;
   amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
@@ -108,6 +107,23 @@ struct Suite {
   std::vector<Spec> specs;
 };
 
+// How run_suite executes a suite's specs.
+struct SuiteRunOptions {
+  // Scenario-level fan-out: specs run concurrently on an exec::ThreadPool,
+  // one particle system per worker. Results are bit-for-bit identical to a
+  // serial run (each scenario is self-contained and deterministic); only
+  // wall times move. Composes with Spec::threads (each worker may itself
+  // drive a ParallelEngine).
+  int jobs = 1;
+  // Best-of-N repetitions per spec: every rep rebuilds the system from
+  // scratch; the fastest rep's Result is kept.
+  int reps = 1;
+};
+
+// Runs every spec of a suite (in spec order; a failed scenario yields an
+// incomplete Result instead of aborting the suite).
+std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts = {});
+
 // Registered suite names, in registry order. "all" (accepted by bench_main)
 // expands to every suite except the large-n stress sweep.
 [[nodiscard]] std::vector<std::string> suite_names();
@@ -125,8 +141,8 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 [[nodiscard]] std::string to_csv(const std::vector<Result>& results);
 
 // Shared CLI driver:
-//   pm_bench [SUITE ...] [--list] [--suite FILTER] [--threads N] [--reps N]
-//            [--json-dir=DIR] [--no-json] [--csv=FILE]
+//   pm_bench [SUITE ...] [--list] [--suite FILTER] [--threads N] [--jobs N]
+//            [--reps N] [--json-dir=DIR] [--no-json] [--csv=FILE]
 //            [--occupancy=dense|hash|differential] [--compare-occupancy]
 // `default_suite` is what a per-suite shim binary runs when no suite is
 // named on the command line (nullptr = "all").

@@ -5,6 +5,7 @@
 // Rng so that all tests and benchmarks are reproducible bit-for-bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -13,6 +14,15 @@ namespace pm {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept;
+
+  // The full generator state, for checkpoint/resume: a generator built via
+  // set_state(state()) continues the exact draw sequence.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) s_[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+  }
 
   // Uniform in [0, 2^64).
   std::uint64_t next() noexcept;

@@ -1,0 +1,71 @@
+#include "util/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pm {
+
+void Snapshot::put_mark(std::uint32_t mark) { put(mark); }
+
+std::uint64_t Snapshot::get() const {
+  PM_CHECK_MSG(cursor_ < words_.size(), "snapshot underrun at word " << cursor_);
+  return words_[cursor_++];
+}
+
+void Snapshot::expect_mark(std::uint32_t mark) const {
+  const std::uint64_t got = get();
+  PM_CHECK_MSG(got == mark, "snapshot section mismatch: expected mark 0x"
+                                << std::hex << mark << ", found 0x" << got << std::dec
+                                << " at word " << (cursor_ - 1));
+}
+
+std::string Snapshot::serialize() const {
+  std::ostringstream os;
+  os << "pm-snapshot 1 " << words_.size() << "\n";
+  char buf[20];
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(words_[i]));
+    os << buf << ((i + 1) % 8 == 0 ? "\n" : " ");
+  }
+  if (words_.size() % 8 != 0) os << "\n";
+  return os.str();
+}
+
+Snapshot Snapshot::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  is >> magic >> version >> count;
+  PM_CHECK_MSG(is && magic == "pm-snapshot", "not a pm-snapshot document");
+  PM_CHECK_MSG(version == 1, "unsupported snapshot version " << version);
+  // A corrupted header must fail cleanly, not turn into a multi-gigabyte
+  // reserve: 2^27 words (1 GiB) is far above any real checkpoint.
+  PM_CHECK_MSG(count <= (1ULL << 27), "snapshot header word count " << count
+                                          << " implausibly large");
+  Snapshot snap;
+  snap.words_.reserve(count);
+  std::string word;
+  for (std::size_t i = 0; i < count; ++i) {
+    is >> word;
+    PM_CHECK_MSG(is, "snapshot truncated: " << i << " of " << count << " words");
+    // strtoull accepts signs and saturates on overflow — both are
+    // corruption here, not values.
+    PM_CHECK_MSG(!word.empty() && word.size() <= 16 && word[0] != '-' && word[0] != '+',
+                 "snapshot word " << i << " malformed: '" << word << "'");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(word.c_str(), &end, 16);
+    PM_CHECK_MSG(errno == 0 && end != nullptr && *end == '\0',
+                 "snapshot word " << i << " is not hex: '" << word << "'");
+    snap.words_.push_back(static_cast<std::uint64_t>(v));
+  }
+  return snap;
+}
+
+}  // namespace pm

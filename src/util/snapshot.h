@@ -1,0 +1,69 @@
+// Snapshot: the checkpoint/resume word stream shared by every steppable
+// engine (amoebot::Engine, exec::ParallelEngine, core::ObdRun,
+// core::CollectRun, the baselines) and composed by pipeline::Pipeline.
+//
+// A Snapshot is an ordered sequence of 64-bit words written by save() paths
+// and consumed in the same order by restore() paths; section marks
+// (put_mark/expect_mark) catch writer/reader drift loudly instead of
+// silently misinterpreting state. serialize()/parse() round-trip the stream
+// through a line-oriented text form, so a snapshot taken in one process can
+// be written to disk and resumed in a fresh process image — the
+// checkpoint/resume tests do exactly that, and assert the resumed run's
+// Result and trajectory are bit-for-bit identical to an uninterrupted run.
+//
+// Deliberately value-only: no type tags, no schema evolution. A snapshot is
+// a short-lived artifact of one build (the version stamp in the header is
+// checked at parse time); it is not an archival format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pm {
+
+class Snapshot {
+ public:
+  // --- writing ---
+
+  void put(std::uint64_t v) { words_.push_back(v); }
+  void put_i(std::int64_t v) { put(static_cast<std::uint64_t>(v)); }
+  void put_mark(std::uint32_t mark);
+
+  // --- reading (cursor-based; a parsed or rewound snapshot reads from the
+  // start, in write order) ---
+
+  [[nodiscard]] std::uint64_t get() const;
+  [[nodiscard]] std::int64_t get_i() const { return static_cast<std::int64_t>(get()); }
+  // Throws pm::CheckError when the next word is not the expected mark.
+  void expect_mark(std::uint32_t mark) const;
+
+  void rewind() const { cursor_ = 0; }
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+  [[nodiscard]] bool exhausted() const { return cursor_ == words_.size(); }
+
+  // --- process-image portability ---
+
+  // A small text document ("pm-snapshot 1 <n>" header + hex words); the
+  // inverse of parse. Suitable for writing to a checkpoint file.
+  [[nodiscard]] std::string serialize() const;
+  // Throws pm::CheckError for malformed input or a version mismatch.
+  static Snapshot parse(const std::string& text);
+
+ private:
+  std::vector<std::uint64_t> words_;
+  mutable std::size_t cursor_ = 0;
+};
+
+// Section marks used across the engines' save/restore paths (arbitrary
+// distinct constants; listed here so collisions are impossible).
+inline constexpr std::uint32_t kSnapSystem = 0x53595301;    // SystemCore
+inline constexpr std::uint32_t kSnapEngine = 0x454e4701;    // Engine / ParallelEngine
+inline constexpr std::uint32_t kSnapObd = 0x4f424401;       // core::ObdRun
+inline constexpr std::uint32_t kSnapCollect = 0x434f4c01;   // core::CollectRun
+inline constexpr std::uint32_t kSnapErosion = 0x45524f01;   // baselines::ErosionRun
+inline constexpr std::uint32_t kSnapContest = 0x434e5401;   // baselines::ContestRun
+inline constexpr std::uint32_t kSnapPipeline = 0x50495001;  // pipeline::Pipeline
+inline constexpr std::uint32_t kSnapStage = 0x53544701;     // pipeline::Stage framing
+
+}  // namespace pm

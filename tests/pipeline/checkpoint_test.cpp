@@ -1,0 +1,289 @@
+// Checkpoint/resume determinism: snapshot each stage mid-run at several
+// round indices, restore into a fresh pipeline (through the serialized text
+// form, i.e. what a fresh process image would receive), and assert the
+// resumed run's outcome and final trajectory are bit-for-bit identical to
+// an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
+#include "shapegen/shapegen.h"
+#include "util/snapshot.h"
+
+namespace pm::pipeline {
+namespace {
+
+using amoebot::ParticleId;
+using core::DleState;
+
+// Everything deterministic about a finished run: per-stage status/rounds/
+// activations/phases, leader, moves, peak extent, and the full final
+// configuration (bodies + particle states).
+struct RunFingerprint {
+  std::vector<int> stage_status;
+  std::vector<long> stage_rounds;
+  std::vector<long long> stage_activations;
+  std::vector<int> stage_phases;
+  bool completed = false;
+  ParticleId leader = amoebot::kNoParticle;
+  long long moves = 0;
+  long long peak = 0;
+  std::string trajectory;  // serialized bodies + states
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint fingerprint(Pipeline& pipe, const PipelineOutcome& out) {
+  RunFingerprint fp;
+  for (const StageReport& s : out.stages) {
+    fp.stage_status.push_back(static_cast<int>(s.status));
+    fp.stage_rounds.push_back(s.metrics.rounds);
+    fp.stage_activations.push_back(s.metrics.activations);
+    fp.stage_phases.push_back(s.metrics.phases);
+  }
+  fp.completed = out.completed;
+  fp.leader = out.leader;
+  fp.moves = out.moves;
+  fp.peak = out.peak_occupancy_cells;
+  if (pipe.context().sys != nullptr) {
+    std::ostringstream os;
+    const auto& sys = *pipe.context().sys;
+    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+      const auto& b = sys.body(p);
+      os << b.head << "/" << b.tail << "/" << static_cast<int>(b.ori);
+      const DleState& st = sys.state(p);
+      os << ":" << static_cast<int>(st.status) << st.terminated << ";";
+    }
+    fp.trajectory = os.str();
+  }
+  return fp;
+}
+
+enum class Comp { Full, DleCollectLegacy, DleOnly, Erosion, Contest };
+
+Pipeline make_pipeline(Comp comp, const grid::Shape& shape, int threads = 0) {
+  RunContext ctx;
+  ctx.initial = shape;
+  ctx.threads = threads;
+  switch (comp) {
+    case Comp::Full:
+      ctx.seeds = SeedPolicy::unified(8);
+      return Pipeline::standard(std::move(ctx),
+                                {.use_boundary_oracle = false, .reconnect = true});
+    case Comp::DleCollectLegacy:
+      ctx.seeds = SeedPolicy::legacy_split(13);
+      return Pipeline::standard(std::move(ctx),
+                                {.use_boundary_oracle = true, .reconnect = true});
+    case Comp::DleOnly:
+      ctx.seeds = SeedPolicy::unified(9);
+      return Pipeline::standard(std::move(ctx),
+                                {.use_boundary_oracle = true, .reconnect = false});
+    case Comp::Erosion: {
+      ctx.seeds = SeedPolicy::unified(3);
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<ErosionStage>());
+      return p;
+    }
+    case Comp::Contest: {
+      ctx.seeds = SeedPolicy::unified(3);
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<ContestStage>());
+      return p;
+    }
+  }
+  PM_CHECK(false);
+  return Pipeline(RunContext{});
+}
+
+// Runs uninterrupted; returns the fingerprint and the total step count.
+RunFingerprint reference_run(Comp comp, const grid::Shape& shape, long& steps_out,
+                             int threads = 0) {
+  Pipeline pipe = make_pipeline(comp, shape, threads);
+  pipe.init();
+  long steps = 0;
+  while (!pipe.step_round()) ++steps;
+  steps_out = steps;
+  const PipelineOutcome out = pipe.outcome();
+  return fingerprint(pipe, out);
+}
+
+// Steps `at` rounds, saves, serializes, restores a fresh pipeline from the
+// parsed text (optionally with a different thread count), finishes, and
+// returns the resumed run's fingerprint.
+RunFingerprint resumed_run(Comp comp, const grid::Shape& shape, long at,
+                           int save_threads = 0, int resume_threads = 0) {
+  Pipeline first = make_pipeline(comp, shape, save_threads);
+  first.init();
+  for (long s = 0; s < at && !first.done(); ++s) first.step_round();
+  Snapshot snap;
+  first.save(snap);
+  const std::string text = snap.serialize();
+
+  // Nothing of `first` survives into the resumed pipeline but the text.
+  const Snapshot parsed = Snapshot::parse(text);
+  Pipeline second = make_pipeline(comp, shape, resume_threads);
+  second.restore(parsed);
+  while (!second.step_round()) {
+  }
+  const PipelineOutcome out = second.outcome();
+  return fingerprint(second, out);
+}
+
+TEST(Checkpoint, FullPipelineResumesIdenticallyFromEveryPhase) {
+  const grid::Shape shape = shapegen::swiss_cheese(4, 2, 4);
+  long steps = 0;
+  const RunFingerprint ref = reference_run(Comp::Full, shape, steps);
+  ASSERT_TRUE(ref.completed);
+  ASSERT_GT(steps, 10);
+  // Checkpoints spread over the whole run: inside OBD (early), around the
+  // stage transitions, inside DLE and Collect, and right at the end.
+  const std::vector<long> ats = {0,         1,         steps / 10, steps / 4,
+                                 steps / 2, 3 * steps / 4, steps - 1, steps};
+  for (const long at : ats) {
+    EXPECT_EQ(resumed_run(Comp::Full, shape, at), ref) << "checkpoint at step " << at;
+  }
+}
+
+TEST(Checkpoint, DleCollectLegacySplitResumesIdentically) {
+  const grid::Shape shape = shapegen::random_blob(120, 31);
+  long steps = 0;
+  const RunFingerprint ref = reference_run(Comp::DleCollectLegacy, shape, steps);
+  ASSERT_TRUE(ref.completed);
+  for (const long at : {1L, steps / 3, steps / 2, steps - 1}) {
+    EXPECT_EQ(resumed_run(Comp::DleCollectLegacy, shape, at), ref)
+        << "checkpoint at step " << at;
+  }
+}
+
+TEST(Checkpoint, SnapshotsArePortableAcrossEngines) {
+  const grid::Shape shape = shapegen::random_blob(200, 21);
+  long steps = 0;
+  const RunFingerprint ref = reference_run(Comp::DleOnly, shape, steps);
+  ASSERT_TRUE(ref.completed);
+  const long mid = steps / 2;
+  // Saved sequential, resumed parallel — and the reverse.
+  EXPECT_EQ(resumed_run(Comp::DleOnly, shape, mid, /*save_threads=*/0,
+                        /*resume_threads=*/2),
+            ref);
+  EXPECT_EQ(resumed_run(Comp::DleOnly, shape, mid, /*save_threads=*/2,
+                        /*resume_threads=*/0),
+            ref);
+}
+
+TEST(Checkpoint, RandomStreamOrderResumesIdentically) {
+  const grid::Shape shape = shapegen::hexagon(4);
+  RunContext ref_ctx;
+  ref_ctx.initial = shape;
+  ref_ctx.seeds = SeedPolicy::unified(5);
+  ref_ctx.order = amoebot::Order::RandomStream;
+  Pipeline ref_pipe = Pipeline::standard(std::move(ref_ctx),
+                                         {.use_boundary_oracle = true, .reconnect = false});
+  ref_pipe.init();
+  long steps = 0;
+  while (!ref_pipe.step_round()) ++steps;
+  const RunFingerprint ref = fingerprint(ref_pipe, ref_pipe.outcome());
+  ASSERT_TRUE(ref.completed);
+
+  for (const long at : {1L, steps / 2}) {
+    auto make = [&] {
+      RunContext ctx;
+      ctx.initial = shape;
+      ctx.seeds = SeedPolicy::unified(5);
+      ctx.order = amoebot::Order::RandomStream;
+      return Pipeline::standard(std::move(ctx),
+                                {.use_boundary_oracle = true, .reconnect = false});
+    };
+    Pipeline first = make();
+    first.init();
+    for (long s = 0; s < at; ++s) first.step_round();
+    Snapshot snap;
+    first.save(snap);
+    const Snapshot parsed = Snapshot::parse(snap.serialize());
+    Pipeline second = make();
+    second.restore(parsed);
+    while (!second.step_round()) {
+    }
+    EXPECT_EQ(fingerprint(second, second.outcome()), ref) << "checkpoint at step " << at;
+  }
+}
+
+TEST(Checkpoint, BaselinesResumeIdentically) {
+  const grid::Shape shape = shapegen::hexagon(5);
+  for (const Comp comp : {Comp::Erosion, Comp::Contest}) {
+    long steps = 0;
+    const RunFingerprint ref = reference_run(comp, shape, steps);
+    ASSERT_TRUE(ref.completed);
+    for (const long at : {1L, steps / 2, steps - 1}) {
+      EXPECT_EQ(resumed_run(comp, shape, at), ref)
+          << "comp " << static_cast<int>(comp) << " checkpoint at step " << at;
+    }
+  }
+}
+
+TEST(Checkpoint, SurvivesARealFileRoundTrip) {
+  const grid::Shape shape = shapegen::swiss_cheese(4, 1, 7);
+  long steps = 0;
+  const RunFingerprint ref = reference_run(Comp::Full, shape, steps);
+  ASSERT_TRUE(ref.completed);
+
+  Pipeline first = make_pipeline(Comp::Full, shape);
+  first.init();
+  for (long s = 0; s < steps / 2; ++s) first.step_round();
+  Snapshot snap;
+  first.save(snap);
+
+  const std::string path = ::testing::TempDir() + "/pm_checkpoint.snap";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << snap.serialize();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+
+  Pipeline second = make_pipeline(Comp::Full, shape);
+  second.restore(Snapshot::parse(buf.str()));
+  while (!second.step_round()) {
+  }
+  EXPECT_EQ(fingerprint(second, second.outcome()), ref);
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedConfiguration) {
+  const grid::Shape shape = shapegen::hexagon(3);
+  Pipeline first = make_pipeline(Comp::DleOnly, shape);
+  first.init();
+  first.step_round();
+  Snapshot snap;
+  first.save(snap);
+
+  // Different seed policy.
+  RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = SeedPolicy::unified(123);
+  Pipeline wrong_seed = Pipeline::standard(std::move(ctx),
+                                           {.use_boundary_oracle = true, .reconnect = false});
+  EXPECT_THROW(wrong_seed.restore(snap), CheckError);
+
+  // Different stage composition.
+  snap.rewind();
+  Pipeline wrong_comp = make_pipeline(Comp::Full, shape);
+  EXPECT_THROW(wrong_comp.restore(snap), CheckError);
+
+  // Different initial shape — matters most for the baselines, which carry
+  // no system snapshot and resume against ctx.initial.
+  snap.rewind();
+  Pipeline wrong_shape = make_pipeline(Comp::DleOnly, shapegen::hexagon(4));
+  EXPECT_THROW(wrong_shape.restore(snap), CheckError);
+}
+
+}  // namespace
+}  // namespace pm::pipeline

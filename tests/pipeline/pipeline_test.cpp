@@ -1,0 +1,262 @@
+// The Stage/Pipeline API: composition, lifecycle, seed policy, observers,
+// external systems, engine selection.
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/le/le.h"
+#include "pipeline/stages.h"
+#include "shapegen/shapegen.h"
+#include "util/check.h"
+
+namespace pm::pipeline {
+namespace {
+
+using amoebot::Order;
+using amoebot::System;
+using core::DleState;
+
+RunContext make_ctx(grid::Shape shape, std::uint64_t seed) {
+  RunContext ctx;
+  ctx.initial = std::move(shape);
+  ctx.seeds = SeedPolicy::unified(seed);
+  return ctx;
+}
+
+std::vector<amoebot::Body> bodies_of(const System<DleState>& sys) {
+  std::vector<amoebot::Body> out;
+  for (amoebot::ParticleId p = 0; p < sys.particle_count(); ++p) {
+    out.push_back(sys.body(p));
+  }
+  return out;
+}
+
+bool same_bodies(const System<DleState>& a, const System<DleState>& b) {
+  if (a.particle_count() != b.particle_count()) return false;
+  for (amoebot::ParticleId p = 0; p < a.particle_count(); ++p) {
+    const auto& ba = a.body(p);
+    const auto& bb = b.body(p);
+    if (!(ba.head == bb.head) || !(ba.tail == bb.tail) || ba.ori != bb.ori) return false;
+  }
+  return true;
+}
+
+TEST(SeedPolicy, SubsumesBothLegacyConventions) {
+  const SeedPolicy unified = SeedPolicy::unified(9);
+  EXPECT_EQ(unified.build_seed(), 9u);
+  EXPECT_EQ(unified.schedule_seed(), 9u);
+  const SeedPolicy split = SeedPolicy::legacy_split(9);
+  EXPECT_EQ(split.build_seed(), 9u);
+  EXPECT_EQ(split.schedule_seed(), 10u);
+}
+
+TEST(Pipeline, StandardFullCompositionRunsAllThreeStages) {
+  Pipeline pipe = Pipeline::standard(make_ctx(shapegen::swiss_cheese(5, 2, 4), 8),
+                                     {.use_boundary_oracle = false, .reconnect = true});
+  ASSERT_EQ(pipe.stages().size(), 3u);
+  EXPECT_EQ(pipe.stages()[0]->kind(), StageKind::Obd);
+  EXPECT_EQ(pipe.stages()[1]->kind(), StageKind::Dle);
+  EXPECT_EQ(pipe.stages()[2]->kind(), StageKind::Collect);
+
+  const PipelineOutcome out = pipe.run();
+  EXPECT_TRUE(out.completed);
+  EXPECT_NE(out.leader, amoebot::kNoParticle);
+  for (const StageReport& s : out.stages) {
+    EXPECT_EQ(s.status, StageStatus::Succeeded) << s.name;
+    EXPECT_GT(s.metrics.rounds, 0) << s.name;
+  }
+  EXPECT_EQ(out.total_rounds(), out.stages[0].metrics.rounds +
+                                    out.stages[1].metrics.rounds +
+                                    out.stages[2].metrics.rounds);
+  EXPECT_GT(out.stage(StageKind::Dle)->metrics.activations, 0);
+  const auto& sys = pipe.context().system();
+  EXPECT_EQ(sys.component_count(), 1);
+  EXPECT_TRUE(sys.all_contracted());
+}
+
+TEST(Pipeline, MatchesElectLeaderWrapperExactly) {
+  const grid::Shape shape = shapegen::swiss_cheese(5, 2, 4);
+  const core::PipelineOptions opts{.use_boundary_oracle = false, .seed = 8};
+  Rng rng(8);
+  auto legacy_sys = core::Dle::make_system(shape, rng);
+  const core::PipelineResult legacy = core::elect_leader(legacy_sys, opts);
+
+  Pipeline pipe = Pipeline::standard(make_ctx(shape, 8),
+                                     {.use_boundary_oracle = false, .reconnect = true});
+  const PipelineOutcome out = pipe.run();
+
+  ASSERT_TRUE(legacy.completed);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.stage(StageKind::Obd)->metrics.rounds, legacy.obd_rounds);
+  EXPECT_EQ(out.stage(StageKind::Dle)->metrics.rounds, legacy.dle_rounds);
+  EXPECT_EQ(out.stage(StageKind::Dle)->metrics.activations, legacy.dle_activations);
+  EXPECT_EQ(out.stage(StageKind::Collect)->metrics.rounds, legacy.collect_rounds);
+  EXPECT_EQ(out.leader, legacy.leader);
+  EXPECT_EQ(out.moves, legacy.moves);
+  EXPECT_EQ(out.peak_occupancy_cells, legacy.peak_occupancy_cells);
+  EXPECT_TRUE(same_bodies(pipe.context().system(), legacy_sys));
+}
+
+TEST(Pipeline, LegacySplitPolicyReproducesSeedDleCollectConvention) {
+  const grid::Shape shape = shapegen::random_blob(150, 31);
+  // The seed repo's DleCollect convention, spelled out by hand: system from
+  // Rng(seed), scheduler from seed + 1.
+  Rng rng(13);
+  auto sys = core::Dle::make_system(shape, rng);
+  core::Dle dle;
+  const amoebot::RunResult rres = amoebot::run(sys, dle, {Order::RandomPerm, 14, 8'000'000});
+  ASSERT_TRUE(rres.completed);
+
+  RunContext ctx = make_ctx(shape, 13);
+  ctx.seeds = SeedPolicy::legacy_split(13);
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  const PipelineOutcome out = pipe.run();
+  EXPECT_EQ(out.stage(StageKind::Dle)->metrics.rounds, rres.rounds);
+  EXPECT_EQ(out.stage(StageKind::Dle)->metrics.activations, rres.activations);
+  EXPECT_TRUE(same_bodies(pipe.context().system(), sys));
+}
+
+TEST(Pipeline, OperatesInPlaceOnAnExternalSystem) {
+  const grid::Shape shape = shapegen::hexagon(4);
+  Rng rng(5);
+  auto sys = core::Dle::make_system(shape, rng);
+  RunContext ctx = make_ctx(shape, 5);
+  ctx.sys = &sys;
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  const PipelineOutcome out = pipe.run();
+  EXPECT_TRUE(out.completed);
+  // The caller's system was the one mutated and holds the unique leader.
+  EXPECT_EQ(core::election_outcome(sys).leaders, 1);
+  EXPECT_EQ(core::election_outcome(sys).leader, out.leader);
+}
+
+TEST(Pipeline, ObserverFiresPerStepAndSeesStagesInOrder) {
+  RunContext ctx = make_ctx(shapegen::swiss_cheese(4, 1, 3), 8);
+  std::vector<std::string> stage_sequence;
+  long fires = 0;
+  ctx.on_round = [&](const Stage& stage, const RunContext& c) {
+    ++fires;
+    // The observer sees the live system mid-run.
+    EXPECT_GT(c.system().particle_count(), 0);
+    if (stage_sequence.empty() || stage_sequence.back() != stage.name()) {
+      stage_sequence.emplace_back(stage.name());
+    }
+  };
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = false, .reconnect = true});
+  const PipelineOutcome out = pipe.run();
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(stage_sequence, (std::vector<std::string>{"obd", "dle", "collect"}));
+  // One fire per pipeline step; stepping includes each stage's terminal
+  // completion check, so fires >= the sum of executed rounds.
+  EXPECT_GE(fires, out.total_rounds());
+  EXPECT_LE(fires, out.total_rounds() + static_cast<long>(out.stages.size()));
+}
+
+TEST(Pipeline, StepRoundDrivesTheRunIncrementally) {
+  Pipeline pipe = Pipeline::standard(make_ctx(shapegen::hexagon(3), 5),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  pipe.init();
+  long steps = 0;
+  while (!pipe.step_round()) ++steps;
+  EXPECT_GT(steps, 0);
+  EXPECT_TRUE(pipe.done());
+  EXPECT_TRUE(pipe.outcome().completed);
+}
+
+TEST(Pipeline, FailedStageStopsThePipeline) {
+  // A one-round budget starves OBD; DLE and Collect must never start.
+  RunContext ctx = make_ctx(shapegen::swiss_cheese(4, 1, 3), 8);
+  ctx.max_rounds = 1;
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = false, .reconnect = true});
+  const PipelineOutcome out = pipe.run();
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.stages[0].status, StageStatus::Failed);
+  EXPECT_EQ(out.stages[1].status, StageStatus::Pending);
+  EXPECT_EQ(out.stages[2].status, StageStatus::Pending);
+}
+
+TEST(Pipeline, BaselineStagesMatchTheFreeFunctions) {
+  const grid::Shape shape = shapegen::hexagon(5);
+
+  RunContext ctx_e = make_ctx(shape, 3);
+  Pipeline erosion(std::move(ctx_e));
+  erosion.add(std::make_unique<ErosionStage>());
+  const PipelineOutcome eout = erosion.run();
+  const auto eref = baselines::sequential_erosion(shape);
+  EXPECT_TRUE(eout.completed);
+  EXPECT_EQ(eout.stages[0].metrics.rounds, eref.rounds);
+  // Baseline-only pipelines never build a particle system.
+  EXPECT_EQ(erosion.context().sys, nullptr);
+
+  RunContext ctx_c = make_ctx(shape, 3);
+  Pipeline contest(std::move(ctx_c));
+  contest.add(std::make_unique<ContestStage>());
+  const PipelineOutcome cout_ = contest.run();
+  const auto cref = baselines::randomized_boundary_contest(shape, 3);
+  EXPECT_TRUE(cout_.completed);
+  EXPECT_EQ(cout_.stages[0].metrics.rounds, cref.rounds);
+}
+
+TEST(Pipeline, ThreadCountDoesNotChangeTheOutcome) {
+  const grid::Shape shape = shapegen::random_blob(200, 21);
+  Pipeline seq = Pipeline::standard(make_ctx(shape, 9),
+                                    {.use_boundary_oracle = true, .reconnect = true});
+  const PipelineOutcome sout = seq.run();
+
+  RunContext ctx = make_ctx(shape, 9);
+  ctx.threads = 2;
+  Pipeline par = Pipeline::standard(std::move(ctx),
+                                    {.use_boundary_oracle = true, .reconnect = true});
+  const PipelineOutcome pout = par.run();
+
+  ASSERT_TRUE(sout.completed);
+  EXPECT_TRUE(pout.completed);
+  EXPECT_EQ(pout.leader, sout.leader);
+  EXPECT_EQ(pout.moves, sout.moves);
+  EXPECT_EQ(pout.peak_occupancy_cells, sout.peak_occupancy_cells);
+  for (std::size_t i = 0; i < sout.stages.size(); ++i) {
+    EXPECT_EQ(pout.stages[i].metrics.rounds, sout.stages[i].metrics.rounds);
+    EXPECT_EQ(pout.stages[i].metrics.activations, sout.stages[i].metrics.activations);
+  }
+  EXPECT_EQ(bodies_of(par.context().system()).size(),
+            bodies_of(seq.context().system()).size());
+  EXPECT_TRUE(same_bodies(par.context().system(), seq.context().system()));
+}
+
+TEST(Pipeline, ActivationHookSeesEveryDleActivation) {
+  RunContext ctx = make_ctx(shapegen::hexagon(4), 7);
+  long long hook_calls = 0;
+  ctx.activation_hook = [&](System<DleState>&, amoebot::ParticleId) { ++hook_calls; };
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  const PipelineOutcome out = pipe.run();
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(hook_calls, out.stage(StageKind::Dle)->metrics.activations);
+}
+
+TEST(Pipeline, ActivationHookRejectsParallelEngines) {
+  RunContext ctx = make_ctx(shapegen::hexagon(3), 7);
+  ctx.threads = 2;
+  ctx.activation_hook = [](System<DleState>&, amoebot::ParticleId) {};
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  EXPECT_THROW(pipe.run(), CheckError);
+}
+
+TEST(Pipeline, CollectWithoutLeaderFailsLoudly) {
+  RunContext ctx = make_ctx(shapegen::hexagon(3), 7);
+  Pipeline pipe(std::move(ctx));
+  pipe.add(std::make_unique<CollectStage>());
+  EXPECT_THROW(pipe.run(), CheckError);
+}
+
+}  // namespace
+}  // namespace pm::pipeline

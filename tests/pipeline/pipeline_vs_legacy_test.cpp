@@ -1,0 +1,326 @@
+// pipeline_vs_legacy: the API-redesign differential test.
+//
+// `legacy_run_scenario` below is a self-contained copy of the scenario
+// runner as it existed before the pipeline layer: the hand-wired
+// elect_leader glue (OBD -> copy boundary flags -> Engine-driven DLE ->
+// Collect), the bespoke per-Algo switch, and both of the seed repo's seed
+// conventions. The tests assert that run_scenario — now a thin mapping over
+// pipeline::Pipeline — produces bit-for-bit identical Results (wall-clock
+// fields excluded) for every spec of every registered suite, across
+// scheduler orders, occupancy modes, and thread counts, and that the
+// sharded run_suite fan-out (--jobs) changes nothing.
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/collect/collect.h"
+#include "core/dle/dle.h"
+#include "core/le/le.h"
+#include "core/obd/obd.h"
+#include "exec/parallel_engine.h"
+#include "grid/metrics.h"
+#include "util/timing.h"
+
+namespace pm::scenario {
+namespace {
+
+using amoebot::OccupancyMode;
+using amoebot::Order;
+using amoebot::ParticleId;
+using core::Dle;
+using core::DleState;
+
+struct LegacyComponentTracker {
+  int* max_components;
+  void operator()(amoebot::System<DleState>& sys, ParticleId) const {
+    *max_components = std::max(*max_components, sys.component_count());
+  }
+};
+
+// The pre-pipeline elect_leader, verbatim: OBD (skipped for n <= 1 or with
+// the oracle), boundary-flag copy, Engine/ParallelEngine-driven DLE,
+// unique-leader check, Collect.
+core::PipelineResult legacy_elect_leader(amoebot::System<DleState>& sys,
+                                         const core::PipelineOptions& opts) {
+  core::PipelineResult res;
+  const long long moves0 = sys.moves();
+  auto finalize = [&](core::PipelineResult& r) -> core::PipelineResult& {
+    r.moves = sys.moves() - moves0;
+    r.peak_occupancy_cells = sys.peak_occupancy_cells();
+    return r;
+  };
+
+  if (!opts.use_boundary_oracle && sys.particle_count() > 1) {
+    const auto t0 = WallClock::now();
+    core::ObdRun obd(sys);
+    const core::ObdRun::Result ores = obd.run(opts.max_rounds);
+    res.obd_rounds = ores.rounds;
+    res.obd_ms = ms_since(t0);
+    if (!ores.completed) return finalize(res);
+    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+      DleState& st = sys.state(p);
+      st.outer = obd.outer_ports(p);
+      for (int i = 0; i < 6; ++i) {
+        st.eligible[static_cast<std::size_t>(i)] = !st.outer[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  Dle dle(Dle::Options{.connected_pull = opts.connected_pull});
+  const amoebot::RunResult dres =
+      opts.threads > 0
+          ? exec::run_parallel(sys, dle,
+                               {opts.order, opts.seed, opts.max_rounds, opts.threads})
+          : amoebot::run(sys, dle, {opts.order, opts.seed, opts.max_rounds});
+  res.dle_rounds = dres.rounds;
+  res.dle_ms = dres.wall_ms;
+  res.dle_activations = dres.activations;
+  if (!dres.completed) return finalize(res);
+  const core::ElectionOutcome outcome = core::election_outcome(sys);
+  if (outcome.leaders != 1) return finalize(res);
+  res.leader = outcome.leader;
+
+  if (opts.reconnect && !opts.connected_pull) {
+    const auto t0 = WallClock::now();
+    core::CollectRun collect(sys, outcome.leader);
+    const core::CollectRun::Result cres = collect.run(opts.max_rounds);
+    res.collect_rounds = cres.rounds;
+    res.collect_ms = ms_since(t0);
+    if (!cres.completed) return finalize(res);
+  }
+  res.completed = true;
+  return finalize(res);
+}
+
+// The pre-pipeline run_scenario switch, verbatim (minus the wall-clock
+// bookkeeping, which the comparison excludes anyway).
+Result legacy_run_scenario(const Spec& spec) {
+  Result res;
+  res.spec = spec;
+
+  const grid::Shape shape = build_shape(spec);
+  const auto m = grid::compute_metrics(shape);
+  res.n = m.n;
+  res.holes = m.holes;
+  res.d = m.d;
+  res.d_area = m.d_area;
+  res.d_grid = m.d_grid;
+  res.l_out = m.l_out;
+
+  switch (spec.algo) {
+    case Algo::ObdOnly: {
+      Rng rng(spec.seed);
+      auto sys = amoebot::System<DleState>::from_shape(shape, rng, spec.occupancy);
+      core::ObdRun obd(sys);
+      const auto ores = obd.run(spec.max_rounds);
+      res.obd_rounds = ores.rounds;
+      res.completed = ores.completed;
+      res.moves = sys.moves();
+      res.peak_occupancy_cells = sys.peak_occupancy_cells();
+      break;
+    }
+    case Algo::DleOracle:
+    case Algo::DlePull: {
+      if (!spec.track_components) {
+        const core::PipelineOptions popts{
+            .use_boundary_oracle = true,
+            .reconnect = false,
+            .connected_pull = spec.algo == Algo::DlePull,
+            .order = spec.order,
+            .seed = spec.seed,
+            .max_rounds = spec.max_rounds,
+            .occupancy = spec.occupancy,
+            .threads = spec.threads};
+        Rng rng(spec.seed);
+        auto sys = Dle::make_system(shape, rng, spec.occupancy);
+        const auto pres = legacy_elect_leader(sys, popts);
+        res.dle_rounds = pres.dle_rounds;
+        res.activations = pres.dle_activations;
+        res.completed = pres.completed;
+        res.leaders = core::election_outcome(sys).leaders;
+        res.moves = pres.moves;
+        res.peak_occupancy_cells = pres.peak_occupancy_cells;
+        break;
+      }
+      [[fallthrough]];
+    }
+    case Algo::DleCollect: {
+      Rng rng(spec.seed);
+      auto sys = Dle::make_system(shape, rng, spec.occupancy);
+      Dle dle(Dle::Options{.connected_pull = spec.algo == Algo::DlePull});
+      const amoebot::RunOptions ropts{spec.order, spec.seed + 1, spec.max_rounds};
+      amoebot::RunResult rres;
+      if (spec.track_components) {
+        rres = amoebot::run(sys, dle, ropts, LegacyComponentTracker{&res.max_components});
+      } else if (spec.threads > 0) {
+        rres = exec::run_parallel(
+            sys, dle, {ropts.order, ropts.seed, ropts.max_rounds, spec.threads});
+      } else {
+        rres = amoebot::run(sys, dle, ropts);
+      }
+      res.dle_rounds = rres.rounds;
+      res.activations = rres.activations;
+      const auto outcome = core::election_outcome(sys);
+      res.leaders = outcome.leaders;
+      res.completed = rres.completed && outcome.leaders == 1;
+      if (spec.algo == Algo::DleCollect && rres.completed && outcome.leaders == 1) {
+        const grid::Node l = sys.body(outcome.leader).head;
+        res.ecc = grid::eccentricity_grid(l, shape.nodes());
+        core::CollectRun collect(sys, outcome.leader);
+        const auto cres = collect.run(spec.max_rounds);
+        res.collect_rounds = cres.rounds;
+        res.phases = cres.phases;
+        res.completed = cres.completed;
+      }
+      res.moves = sys.moves();
+      res.peak_occupancy_cells = sys.peak_occupancy_cells();
+      break;
+    }
+    case Algo::PipelineOracle:
+    case Algo::PipelineFull: {
+      const core::PipelineOptions popts{
+          .use_boundary_oracle = spec.algo == Algo::PipelineOracle,
+          .reconnect = true,
+          .connected_pull = false,
+          .order = spec.order,
+          .seed = spec.seed,
+          .max_rounds = spec.max_rounds,
+          .occupancy = spec.occupancy,
+          .threads = spec.threads};
+      Rng rng(spec.seed);
+      auto sys = Dle::make_system(shape, rng, spec.occupancy);
+      const auto pres = legacy_elect_leader(sys, popts);
+      res.obd_rounds = pres.obd_rounds;
+      res.dle_rounds = pres.dle_rounds;
+      res.collect_rounds = pres.collect_rounds;
+      res.completed = pres.completed;
+      res.leaders = core::election_outcome(sys).leaders;
+      res.activations = pres.dle_activations;
+      res.moves = pres.moves;
+      res.peak_occupancy_cells = pres.peak_occupancy_cells;
+      break;
+    }
+    case Algo::BaselineErosion: {
+      if (!shape.simply_connected()) {
+        res.completed = false;
+        break;
+      }
+      const auto bres = baselines::sequential_erosion(shape);
+      res.baseline_rounds = bres.rounds;
+      res.completed = bres.completed;
+      break;
+    }
+    case Algo::BaselineContest: {
+      const auto bres = baselines::randomized_boundary_contest(shape, spec.seed);
+      res.baseline_rounds = bres.rounds;
+      res.completed = bres.completed;
+      break;
+    }
+  }
+  return res;
+}
+
+// Every deterministic Result field (wall-clock fields excluded).
+void expect_equal(const Result& legacy, const Result& now, const std::string& label) {
+  EXPECT_EQ(legacy.n, now.n) << label;
+  EXPECT_EQ(legacy.holes, now.holes) << label;
+  EXPECT_EQ(legacy.d, now.d) << label;
+  EXPECT_EQ(legacy.d_area, now.d_area) << label;
+  EXPECT_EQ(legacy.d_grid, now.d_grid) << label;
+  EXPECT_EQ(legacy.l_out, now.l_out) << label;
+  EXPECT_EQ(legacy.ecc, now.ecc) << label;
+  EXPECT_EQ(legacy.obd_rounds, now.obd_rounds) << label;
+  EXPECT_EQ(legacy.dle_rounds, now.dle_rounds) << label;
+  EXPECT_EQ(legacy.collect_rounds, now.collect_rounds) << label;
+  EXPECT_EQ(legacy.baseline_rounds, now.baseline_rounds) << label;
+  EXPECT_EQ(legacy.phases, now.phases) << label;
+  EXPECT_EQ(legacy.activations, now.activations) << label;
+  EXPECT_EQ(legacy.moves, now.moves) << label;
+  EXPECT_EQ(legacy.completed, now.completed) << label;
+  EXPECT_EQ(legacy.leaders, now.leaders) << label;
+  EXPECT_EQ(legacy.max_components, now.max_components) << label;
+  EXPECT_EQ(legacy.peak_occupancy_cells, now.peak_occupancy_cells) << label;
+}
+
+void compare_suite(const Suite& suite) {
+  for (const Spec& spec : suite.specs) {
+    const Result legacy = legacy_run_scenario(spec);
+    const Result now = run_scenario(spec);
+    expect_equal(legacy, now,
+                 suite.name + "/" + now.spec.name + " algo=" + algo_name(spec.algo));
+  }
+}
+
+// In optimized builds (the tier-1 configuration) every registered suite is
+// compared in full. Debug builds — where the Differential occupancy mode
+// cross-checks each query and -O0 multiplies the cost — shrink the two
+// heavy large-n sweeps to keep the suite runnable, without losing their
+// spec structure (same algos, orders, thread ladder).
+std::vector<Suite> suites_to_compare() {
+  std::vector<Suite> suites;
+  for (const std::string& name : suite_names()) {
+    Suite suite = make_suite(name);
+#ifndef NDEBUG
+    if (name == "dle_large" || name == "parallel_scaling") {
+      for (Spec& s : suite.specs) {
+        if (s.family == "hexagon") s.p1 = 8;
+        if (s.family == "blob") s.p1 = 300;
+      }
+    }
+#endif
+    suites.push_back(std::move(suite));
+  }
+  return suites;
+}
+
+TEST(PipelineVsLegacy, AllRegistrySuitesBitForBit) {
+  for (const Suite& suite : suites_to_compare()) {
+    compare_suite(suite);
+  }
+}
+
+TEST(PipelineVsLegacy, OrdersOccupancyAndThreadsSweep) {
+  for (const Algo algo :
+       {Algo::DleOracle, Algo::DleCollect, Algo::PipelineFull, Algo::ObdOnly}) {
+    for (const Order order : {Order::RoundRobin, Order::RandomPerm, Order::RandomStream}) {
+      for (const OccupancyMode occ : {OccupancyMode::Dense, OccupancyMode::Hash}) {
+        for (const int threads : {0, 2}) {
+          if (threads > 0 && (algo == Algo::ObdOnly)) continue;
+          Spec spec;
+          spec.family = "cheese";
+          spec.p1 = 5;
+          spec.p2 = 2;
+          spec.shape_seed = 4;
+          spec.algo = algo;
+          spec.order = order;
+          spec.seed = 8;
+          spec.occupancy = occ;
+          spec.threads = threads;
+          const Result legacy = legacy_run_scenario(spec);
+          const Result now = run_scenario(spec);
+          expect_equal(legacy, now,
+                       std::string(algo_name(algo)) + "/" + amoebot::order_name(order) +
+                           "/" + occupancy_name(occ) + "/t" + std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineVsLegacy, ShardedSuiteExecutionChangesNothing) {
+  const Suite suite = make_suite("table1");
+  const std::vector<Result> serial = run_suite(suite, {.jobs = 1});
+  const std::vector<Result> sharded = run_suite(suite, {.jobs = 2});
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_equal(serial[i], sharded[i], "jobs row " + serial[i].spec.name);
+    EXPECT_EQ(serial[i].spec.name, sharded[i].spec.name);
+  }
+}
+
+}  // namespace
+}  // namespace pm::scenario

@@ -1,0 +1,71 @@
+// The checkpoint word stream: round-trips, marks, text serialization.
+#include "util/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pm {
+namespace {
+
+TEST(Snapshot, RoundTripsScalars) {
+  Snapshot snap;
+  snap.put(0);
+  snap.put(std::numeric_limits<std::uint64_t>::max());
+  snap.put_i(-1);
+  snap.put_i(std::numeric_limits<std::int64_t>::min());
+  snap.put_i(42);
+
+  EXPECT_EQ(snap.get(), 0u);
+  EXPECT_EQ(snap.get(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(snap.get_i(), -1);
+  EXPECT_EQ(snap.get_i(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(snap.get_i(), 42);
+  EXPECT_TRUE(snap.exhausted());
+}
+
+TEST(Snapshot, MarksCatchReaderDrift) {
+  Snapshot snap;
+  snap.put_mark(kSnapSystem);
+  snap.put(7);
+  snap.expect_mark(kSnapSystem);
+  EXPECT_EQ(snap.get(), 7u);
+  snap.rewind();
+  EXPECT_THROW(snap.expect_mark(kSnapEngine), CheckError);
+}
+
+TEST(Snapshot, UnderrunThrows) {
+  Snapshot snap;
+  snap.put(1);
+  (void)snap.get();
+  EXPECT_THROW((void)snap.get(), CheckError);
+}
+
+TEST(Snapshot, SerializeParseRoundTripsAcrossProcessImages) {
+  Snapshot snap;
+  snap.put_mark(kSnapPipeline);
+  for (std::uint64_t i = 0; i < 100; ++i) snap.put(i * 0x9e3779b97f4a7c15ULL);
+  snap.put_i(-123456789);
+
+  // The text form is all a fresh process would receive.
+  const std::string text = snap.serialize();
+  const Snapshot back = Snapshot::parse(text);
+  ASSERT_EQ(back.size(), snap.size());
+  back.expect_mark(kSnapPipeline);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(back.get(), i * 0x9e3779b97f4a7c15ULL);
+  EXPECT_EQ(back.get_i(), -123456789);
+  EXPECT_TRUE(back.exhausted());
+}
+
+TEST(Snapshot, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Snapshot::parse("not a snapshot"), CheckError);
+  EXPECT_THROW(Snapshot::parse("pm-snapshot 2 0"), CheckError);   // future version
+  EXPECT_THROW(Snapshot::parse("pm-snapshot 1 3\n1 2"), CheckError);  // truncated
+  EXPECT_THROW(Snapshot::parse("pm-snapshot 1 1\nzz&"), CheckError);  // not hex
+}
+
+}  // namespace
+}  // namespace pm
