@@ -145,8 +145,13 @@ void SystemCore::save_core(Snapshot& snap) const {
 
 void SystemCore::restore_core(const Snapshot& snap) {
   snap.expect_mark(kSnapSystem);
-  const auto mode = static_cast<OccupancyMode>(snap.get());
-  PM_CHECK_MSG(mode == mode_, "snapshot occupancy mode does not match this system's");
+  // The saved occupancy mode is informational: snapshots are portable
+  // across modes (the index choice is observably neutral). Restoring a
+  // dense-saved snapshot into a hash system drops the box geometry;
+  // restoring a hash-saved one into a dense system regrows the box from
+  // scratch — in both cases peak_occupancy_cells restarts, every other
+  // quantity is bit-identical.
+  (void)snap.get();
   const auto n = static_cast<std::size_t>(snap.get_i());
   PM_CHECK_MSG(bodies_.empty(), "restore_core requires a freshly constructed system");
   const long long moves = snap.get_i();
@@ -157,7 +162,9 @@ void SystemCore::restore_core(const Snapshot& snap) {
     const std::int64_t width = snap.get_i();
     const std::int64_t height = snap.get_i();
     const long long peak = snap.get_i();
-    dense_.restore_box(min_x, min_y, width, height, peak);
+    if (mode_ != OccupancyMode::Hash) {
+      dense_.restore_box(min_x, min_y, width, height, peak);
+    }
   }
   bodies_.reserve(n);
   if (mode_ != OccupancyMode::Dense) map_.reserve(2 * n);

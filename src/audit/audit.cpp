@@ -1,0 +1,579 @@
+#include "audit/audit.h"
+
+#include <sstream>
+#include <utility>
+
+#include "audit/node_codec.h"
+#include "core/obd/obd.h"
+#include "pipeline/stages.h"
+#include "util/check.h"
+
+namespace pm::audit {
+
+using amoebot::ParticleId;
+using grid::Node;
+using pipeline::StageKind;
+
+namespace {
+
+// Round-budget per-stage constants, calibrated on the registry suites (see
+// RoundBudgetInvariant's header comment): observed worst cases are ~0.26x
+// for DLE, ~18x for DLE+Collect, and ~225x for OBD on near-symmetric
+// shapes whose lexicographic comparisons tie repeatedly.
+constexpr double kObdBudgetC = 512.0;
+constexpr double kDleBudgetC = 4.0;
+constexpr double kCollectBudgetC = 64.0;
+
+constexpr std::uint64_t kDlePullBit = 1;  // DleStage::config_word()
+
+bool is_pull_dle(StageKind kind, std::uint64_t config) {
+  return kind == StageKind::Dle && (config & kDlePullBit) != 0;
+}
+
+using codec::pack_node;
+using codec::unpack_node;
+
+// AuditView over a live run. `sys` may be null for baseline-only pipelines
+// (whose stages none of the paper invariants inspect); any dereference in
+// that configuration is a bug and fails loudly.
+class LiveView final : public AuditView {
+ public:
+  LiveView(const pipeline::RunContext::System* sys, const core::ObdRun* obd)
+      : sys_(sys), obd_(obd) {}
+
+  [[nodiscard]] int particle_count() const override { return checked().particle_count(); }
+  [[nodiscard]] core::Status status(ParticleId p) const override {
+    return checked().state(p).status;
+  }
+  [[nodiscard]] bool expanded(ParticleId p) const override {
+    return checked().body(p).expanded();
+  }
+  [[nodiscard]] Node head(ParticleId p) const override { return checked().body(p).head; }
+  [[nodiscard]] bool occupied(Node v) const override { return checked().occupied(v); }
+  [[nodiscard]] int expanded_count() const override { return checked().expanded_count(); }
+  [[nodiscard]] int component_count() const override { return checked().component_count(); }
+  [[nodiscard]] long long moves() const override { return checked().moves(); }
+  [[nodiscard]] const core::ObdRun* obd() const override { return obd_; }
+
+ private:
+  [[nodiscard]] const pipeline::RunContext::System& checked() const {
+    PM_CHECK_MSG(sys_ != nullptr, "audit view consulted on a system-less run");
+    return *sys_;
+  }
+
+  const pipeline::RunContext::System* sys_;
+  const core::ObdRun* obd_;
+};
+
+}  // namespace
+
+// --- Invariant base --------------------------------------------------------
+
+void Invariant::violate(long round, const std::string& stage,
+                        const std::string& detail) const {
+  PM_CHECK_MSG(sink_ != nullptr, "invariant fired before being added to an Auditor");
+  sink_->push_back(Violation{bound_name_, round, stage, detail});
+}
+
+// --- ConnectivityInvariant -------------------------------------------------
+
+void ConnectivityInvariant::start(const AuditContext& ctx) {
+  (void)ctx;
+  checked_moves_ = -1;
+}
+
+void ConnectivityInvariant::round(const AuditView& view, const RoundInfo& info) {
+  // DLE rounds are exempt for both variants: plain DLE disconnects by
+  // design, and the pull ablation only reduces splits (no follower in
+  // reach => the release still happens; the registry's thin annuli record
+  // max_components up to 10 for it).
+  if (info.stage != StageKind::Obd) return;
+  // Connectivity can only change when a movement happened; OBD never moves,
+  // so its whole stage costs one BFS.
+  if (view.moves() == checked_moves_) return;
+  checked_moves_ = view.moves();
+  const int components = view.component_count();
+  if (components != 1) {
+    violate(info.round, info.stage_name,
+            "system split into " + std::to_string(components) +
+                " components during a stage that guarantees connectivity");
+  }
+}
+
+void ConnectivityInvariant::finish(const AuditView* view, const FinishInfo& info) {
+  if (!info.completed || !info.has_system || view == nullptr) return;
+  if (!info.collect_succeeded) return;  // only Collect re-guarantees connectivity
+  const int components = view->component_count();
+  if (components != 1) {
+    violate(0, "final",
+            "final configuration has " + std::to_string(components) +
+                " components after Collect completed");
+  }
+}
+
+void ConnectivityInvariant::state_save(Snapshot& snap) const { snap.put_i(checked_moves_); }
+void ConnectivityInvariant::state_restore(const Snapshot& snap) {
+  checked_moves_ = snap.get_i();
+}
+
+// --- ErosionInvariant ------------------------------------------------------
+
+void ErosionInvariant::start(const AuditContext& ctx) {
+  se_.clear();
+  events_ = 0;
+  const grid::Shape area = ctx.initial.area();
+  se_.reserve(area.size() * 2);
+  for (const Node v : area.nodes()) se_.insert(v);
+}
+
+void ErosionInvariant::apply_events(const AuditView& view, long round, const char* stage,
+                                    std::span<const Node> eroded) {
+  for (const Node v : eroded) {
+    ++events_;
+    if (se_.erase(v) == 0) {
+      std::ostringstream os;
+      os << "point " << v << " eroded but not in S_e (double erosion or spurious event)";
+      violate(round, stage, os.str());
+    }
+  }
+  // Every S_e neighbor of a removed point is now on the boundary of S_e and
+  // must be occupied at the round boundary (Lemma 11: ∂S_e ⊆ S_P — the
+  // eroding particle expands into the unique empty adjacent eligible point
+  // in the same activation).
+  for (const Node v : eroded) {
+    for (int i = 0; i < grid::kDirCount; ++i) {
+      const Node u = grid::neighbor(v, grid::dir_from_index(i));
+      if (se_.contains(u) && !view.occupied(u)) {
+        std::ostringstream os;
+        os << "boundary point " << u << " of S_e unoccupied after erosion of " << v;
+        violate(round, stage, os.str());
+      }
+    }
+  }
+  // The eligible set S_e is not a particle configuration, so
+  // SystemCore::component_count does not apply — BFS the plain node set.
+  if (!eroded.empty() && !codec::connected(se_)) {
+    violate(round, stage,
+            "S_e disconnected after eroding " + std::to_string(eroded.size()) +
+                " point(s) this round");
+  }
+}
+
+void ErosionInvariant::round(const AuditView& view, const RoundInfo& info) {
+  if (info.eroded.empty()) return;
+  apply_events(view, info.round, info.stage_name, info.eroded);
+}
+
+void ErosionInvariant::finish(const AuditView* view, const FinishInfo& info) {
+  if (!info.eroded.empty() && view != nullptr) {
+    apply_events(*view, 0, "final", info.eroded);
+  }
+  if (!info.saw_dle || !info.dle_succeeded) return;
+  if (se_.size() != 1) {
+    violate(0, "final",
+            "S_e holds " + std::to_string(se_.size()) +
+                " points after a successful election (expected exactly the leader's)");
+    return;
+  }
+  if (!se_.contains(info.leader_node)) {
+    std::ostringstream os;
+    os << "last eligible point " << *se_.begin() << " is not the elected leader's node "
+       << info.leader_node;
+    violate(0, "final", os.str());
+  }
+}
+
+void ErosionInvariant::state_save(Snapshot& snap) const {
+  snap.put_i(events_);
+  snap.put(se_.size());
+  for (const Node v : se_) snap.put(pack_node(v));
+}
+
+void ErosionInvariant::state_restore(const Snapshot& snap) {
+  events_ = snap.get_i();
+  se_.clear();
+  const auto n = snap.get();
+  se_.reserve(n * 2);
+  for (std::uint64_t i = 0; i < n; ++i) se_.insert(unpack_node(snap.get()));
+}
+
+// --- ObdRingInvariant ------------------------------------------------------
+
+void ObdRingInvariant::start(const AuditContext& ctx) {
+  (void)ctx;
+  sums_.clear();
+  plus_ring_ = -1;
+  captured_ = false;
+  detection_checked_ = false;
+}
+
+void ObdRingInvariant::round(const AuditView& view, const RoundInfo& info) {
+  if (info.stage != StageKind::Obd) return;
+  const core::ObdRun* obd = view.obd();
+  if (obd == nullptr) return;  // offline replay: protocol internals not traced
+  const int rings = obd->ring_count();
+  if (!captured_) {
+    sums_.resize(static_cast<std::size_t>(rings));
+    int plus = 0;
+    for (int r = 0; r < rings; ++r) {
+      const int sum = obd->protocol_ring_sum(r);
+      sums_[static_cast<std::size_t>(r)] = sum;
+      if (sum == 6) {
+        plus_ring_ = r;
+        ++plus;
+      } else if (sum != -6) {
+        violate(info.round, info.stage_name,
+                "ring " + std::to_string(r) + " count sum " + std::to_string(sum) +
+                    " (Observation 4 demands +6 or -6)");
+      }
+    }
+    if (plus != 1) {
+      violate(info.round, info.stage_name,
+              std::to_string(plus) + " rings sum to +6 (expected exactly the outer one)");
+    }
+    captured_ = true;
+  } else {
+    for (int r = 0; r < rings; ++r) {
+      const int sum = obd->protocol_ring_sum(r);
+      if (sum != sums_[static_cast<std::size_t>(r)]) {
+        violate(info.round, info.stage_name,
+                "ring " + std::to_string(r) + " count sum drifted from " +
+                    std::to_string(sums_[static_cast<std::size_t>(r)]) + " to " +
+                    std::to_string(sum));
+        sums_[static_cast<std::size_t>(r)] = sum;  // report drift once
+      }
+    }
+  }
+  if (!detection_checked_ && obd->detected_ring() >= 0) {
+    detection_checked_ = true;
+    if (obd->detected_ring() != plus_ring_) {
+      violate(info.round, info.stage_name,
+              "protocol announced ring " + std::to_string(obd->detected_ring()) +
+                  " as outer; the +6 ring is " + std::to_string(plus_ring_));
+    }
+  }
+}
+
+void ObdRingInvariant::state_save(Snapshot& snap) const {
+  snap.put(captured_ ? 1 : 0);
+  snap.put(detection_checked_ ? 1 : 0);
+  snap.put_i(plus_ring_);
+  snap.put(sums_.size());
+  for (const int s : sums_) snap.put_i(s);
+}
+
+void ObdRingInvariant::state_restore(const Snapshot& snap) {
+  captured_ = snap.get() != 0;
+  detection_checked_ = snap.get() != 0;
+  plus_ring_ = static_cast<int>(snap.get_i());
+  sums_.resize(static_cast<std::size_t>(snap.get()));
+  for (int& s : sums_) s = static_cast<int>(snap.get_i());
+}
+
+// --- UniqueLeaderInvariant -------------------------------------------------
+
+void UniqueLeaderInvariant::round(const AuditView& view, const RoundInfo& info) {
+  if (info.stage != StageKind::Dle) return;  // statuses only change inside DLE
+  int leaders = 0;
+  const int n = view.particle_count();
+  for (ParticleId p = 0; p < n; ++p) {
+    if (view.status(p) == core::Status::Leader) ++leaders;
+  }
+  if (leaders > 1) {
+    violate(info.round, info.stage_name,
+            std::to_string(leaders) + " particles hold Leader status simultaneously");
+  }
+}
+
+// --- TerminationInvariant --------------------------------------------------
+
+void TerminationInvariant::round(const AuditView& view, const RoundInfo& info) {
+  (void)view;
+  (void)info;
+}
+
+void TerminationInvariant::finish(const AuditView* view, const FinishInfo& info) {
+  if (!info.completed || !info.has_system || !info.saw_dle || view == nullptr) return;
+  int leaders = 0;
+  int undecided = 0;
+  const int n = view->particle_count();
+  for (ParticleId p = 0; p < n; ++p) {
+    const core::Status st = view->status(p);
+    if (st == core::Status::Leader) ++leaders;
+    if (st == core::Status::Undecided) ++undecided;
+  }
+  if (leaders != 1) {
+    violate(0, "final", std::to_string(leaders) + " leaders in the final configuration");
+  }
+  if (undecided != 0) {
+    violate(0, "final", std::to_string(undecided) + " particles remain Undecided");
+  }
+  if (view->expanded_count() != 0) {
+    violate(0, "final",
+            std::to_string(view->expanded_count()) +
+                " particles still expanded after completion");
+  }
+  if (info.leader != amoebot::kNoParticle) {
+    if (view->status(info.leader) != core::Status::Leader) {
+      violate(0, "final",
+              "reported leader " + std::to_string(info.leader) + " lacks Leader status");
+    }
+    // Without Collect the leader never moves after election; its head must
+    // still be the point DLE finished on.
+    if (info.dle_succeeded && !info.collect_succeeded &&
+        !(view->head(info.leader) == info.leader_node)) {
+      std::ostringstream os;
+      os << "leader moved from its election node " << info.leader_node << " to "
+         << view->head(info.leader) << " without a Collect stage";
+      violate(0, "final", os.str());
+    }
+  }
+}
+
+// --- RoundBudgetInvariant --------------------------------------------------
+
+void RoundBudgetInvariant::start(const AuditContext& ctx) {
+  base_ = ctx.metrics.l_max + ctx.metrics.d;
+  factor_ = ctx.options.budget_factor;
+  slack_ = ctx.options.budget_slack;
+}
+
+void RoundBudgetInvariant::round(const AuditView& view, const RoundInfo& info) {
+  (void)view;
+  (void)info;
+}
+
+void RoundBudgetInvariant::finish(const AuditView* view, const FinishInfo& info) {
+  (void)view;
+  if (!info.completed) return;  // budget-exhausted runs already report as failed
+  const auto limit = [&](double c) {
+    return static_cast<long>(c * factor_ * static_cast<double>(base_)) + slack_;
+  };
+  const auto check = [&](const char* stage, long rounds, double c) {
+    if (rounds > limit(c)) {
+      violate(0, stage,
+              std::to_string(rounds) + " rounds exceed the envelope " +
+                  std::to_string(limit(c)) + " (c=" + std::to_string(c) +
+                  ", L_max+D=" + std::to_string(base_) + ")");
+    }
+  };
+  check("obd", info.obd_rounds, kObdBudgetC);
+  // The connected-pull ablation is O(D_A^2) by design — exempt.
+  if (info.saw_dle && !info.dle_pull) check("dle", info.dle_rounds, kDleBudgetC);
+  check("collect", info.collect_rounds, kCollectBudgetC);
+}
+
+// --- Auditor ---------------------------------------------------------------
+
+Auditor::Auditor(Options opts) : opts_(opts) {
+  PM_CHECK_MSG(opts_.check_every >= 1, "audit cadence must be >= 1");
+}
+
+std::unique_ptr<Auditor> Auditor::standard(Options opts) {
+  auto auditor = std::make_unique<Auditor>(opts);
+  auditor->add(std::make_unique<ConnectivityInvariant>());
+  auditor->add(std::make_unique<ErosionInvariant>());
+  auditor->add(std::make_unique<ObdRingInvariant>());
+  auditor->add(std::make_unique<UniqueLeaderInvariant>());
+  auditor->add(std::make_unique<TerminationInvariant>());
+  auditor->add(std::make_unique<RoundBudgetInvariant>());
+  return auditor;
+}
+
+Auditor& Auditor::add(std::unique_ptr<Invariant> inv) {
+  PM_CHECK_MSG(!began_, "invariants must be added before the audit begins");
+  inv->sink_ = &violations_;
+  inv->bound_name_ = inv->name();
+  invariants_.push_back(std::move(inv));
+  return *this;
+}
+
+void Auditor::begin(const grid::Shape& initial, const grid::ShapeMetrics* metrics) {
+  PM_CHECK_MSG(!began_, "audit already begun");
+  began_ = true;
+  ctx_.initial = initial;
+  ctx_.metrics = metrics != nullptr ? *metrics : grid::compute_metrics(initial);
+  ctx_.options = opts_;
+  for (const auto& inv : invariants_) inv->start(ctx_);
+}
+
+void Auditor::attach(pipeline::RunContext& ctx, const grid::ShapeMetrics* metrics) {
+  if (!began_) begin(ctx.initial, metrics);
+  auto prev_erode = ctx.erode_hook;
+  ctx.erode_hook = [this, prev_erode](Node v) {
+    if (prev_erode) prev_erode(v);
+    on_erode(v);
+  };
+  auto prev_round = ctx.on_round;
+  ctx.on_round = [this, prev_round](const pipeline::Stage& stage,
+                                    const pipeline::RunContext& c) {
+    if (prev_round) prev_round(stage, c);
+    const core::ObdRun* obd = nullptr;
+    if (stage.kind() == StageKind::Obd) {
+      if (const auto* os = dynamic_cast<const pipeline::ObdStage*>(&stage)) {
+        obd = os->run();
+      }
+    }
+    const LiveView view(c.sys, obd);
+    observe_round(view, stage.kind(), stage.config_word(), stage.name(), stage.done());
+  };
+}
+
+void Auditor::on_erode(Node v) {
+  const std::lock_guard<std::mutex> lock(erode_mu_);
+  erode_buffer_.push_back(v);
+}
+
+void Auditor::observe_round(const AuditView& view, StageKind kind,
+                            std::uint64_t stage_config, const char* stage_name,
+                            bool stage_done) {
+  PM_CHECK_MSG(began_, "observe_round before begin");
+  ++round_;
+  {
+    const std::lock_guard<std::mutex> lock(erode_mu_);
+    pending_eroded_.insert(pending_eroded_.end(), erode_buffer_.begin(),
+                           erode_buffer_.end());
+    erode_buffer_.clear();
+  }
+  if (is_pull_dle(kind, stage_config)) saw_dle_pull_ = true;
+  // Stage boundaries are always audited: erosion events must be delivered
+  // while the DLE-round occupancy still stands, and OBD's detection verdict
+  // appears on its closing rounds.
+  const bool stage_boundary = stage_done || !have_last_kind_ || kind != last_kind_;
+  have_last_kind_ = true;
+  last_kind_ = kind;
+  if (!stage_boundary && opts_.check_every > 1 && round_ % opts_.check_every != 0) return;
+  RoundInfo info;
+  info.round = round_;
+  info.stage = kind;
+  info.stage_config = stage_config;
+  info.stage_name = stage_name;
+  info.stage_done = stage_done;
+  info.eroded = pending_eroded_;
+  for (const auto& inv : invariants_) inv->round(view, info);
+  pending_eroded_.clear();
+  maybe_fail_fast();
+}
+
+void Auditor::end(const AuditView* final_view, FinishInfo info) {
+  PM_CHECK_MSG(began_, "end before begin");
+  PM_CHECK_MSG(!ended_, "audit already ended");
+  ended_ = true;
+  {
+    const std::lock_guard<std::mutex> lock(erode_mu_);
+    pending_eroded_.insert(pending_eroded_.end(), erode_buffer_.begin(),
+                           erode_buffer_.end());
+    erode_buffer_.clear();
+  }
+  info.eroded = pending_eroded_;
+  info.dle_pull = info.dle_pull || saw_dle_pull_;
+  for (const auto& inv : invariants_) inv->finish(final_view, info);
+  pending_eroded_.clear();
+  maybe_fail_fast();
+}
+
+void Auditor::finish(const pipeline::PipelineOutcome& out,
+                     const pipeline::RunContext& ctx) {
+  FinishInfo info;
+  info.completed = out.completed;
+  info.has_system = ctx.sys != nullptr;
+  info.leader = ctx.leader;
+  info.leader_node = ctx.leader_node;
+  for (const pipeline::StageReport& s : out.stages) {
+    switch (s.kind) {
+      case StageKind::Obd:
+        info.obd_rounds += s.metrics.rounds;
+        break;
+      case StageKind::Dle:
+        info.dle_rounds += s.metrics.rounds;
+        info.saw_dle = true;
+        info.dle_succeeded =
+            info.dle_succeeded || s.status == pipeline::StageStatus::Succeeded;
+        break;
+      case StageKind::Collect:
+        info.collect_rounds += s.metrics.rounds;
+        info.collect_succeeded =
+            info.collect_succeeded || s.status == pipeline::StageStatus::Succeeded;
+        break;
+      case StageKind::Baseline:
+        break;
+    }
+  }
+  const LiveView view(ctx.sys, nullptr);
+  end(ctx.sys != nullptr ? &view : nullptr, info);
+}
+
+void Auditor::save(Snapshot& snap) const {
+  {
+    const std::lock_guard<std::mutex> lock(erode_mu_);
+    PM_CHECK_MSG(erode_buffer_.empty(),
+                 "audit checkpoint mid-round: undrained erosion events");
+  }
+  snap.put_mark(kSnapAudit);
+  snap.put_i(round_);
+  snap.put(have_last_kind_ ? 1 : 0);
+  snap.put(static_cast<std::uint64_t>(last_kind_));
+  snap.put(saw_dle_pull_ ? 1 : 0);
+  snap.put(pending_eroded_.size());
+  for (const Node v : pending_eroded_) snap.put(pack_node(v));
+  snap.put(invariants_.size());
+  for (const auto& inv : invariants_) inv->state_save(snap);
+}
+
+void Auditor::restore(const Snapshot& snap) {
+  PM_CHECK_MSG(began_, "restore before begin (attach or begin first)");
+  snap.expect_mark(kSnapAudit);
+  round_ = snap.get_i();
+  have_last_kind_ = snap.get() != 0;
+  last_kind_ = static_cast<StageKind>(snap.get());
+  saw_dle_pull_ = snap.get() != 0;
+  pending_eroded_.clear();
+  const auto pending = snap.get();
+  pending_eroded_.reserve(pending);
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    pending_eroded_.push_back(unpack_node(snap.get()));
+  }
+  PM_CHECK_MSG(snap.get() == invariants_.size(),
+               "audit snapshot invariant-set mismatch");
+  for (const auto& inv : invariants_) inv->state_restore(snap);
+  // Already-collected violations are kept: a fault-injection kill must not
+  // launder a breach observed before it (a genuinely fresh process starts
+  // with an empty list anyway — snapshots never carry violations).
+  ended_ = false;
+}
+
+void Auditor::reset_for_fresh_run() {
+  PM_CHECK_MSG(began_, "reset before begin");
+  {
+    const std::lock_guard<std::mutex> lock(erode_mu_);
+    erode_buffer_.clear();
+  }
+  pending_eroded_.clear();
+  violations_.clear();
+  round_ = 0;
+  have_last_kind_ = false;
+  saw_dle_pull_ = false;
+  ended_ = false;
+  for (const auto& inv : invariants_) inv->start(ctx_);
+}
+
+std::string Auditor::report() const {
+  std::ostringstream os;
+  if (violations_.empty()) {
+    os << "audit clean: " << invariants_.size() << " invariants over " << round_
+       << " rounds";
+    return os.str();
+  }
+  os << violations_.size() << " invariant violation(s) over " << round_ << " rounds:";
+  for (const Violation& v : violations_) {
+    os << "\n  [" << v.invariant << "] round " << v.round << " (" << v.stage
+       << "): " << v.detail;
+  }
+  return os.str();
+}
+
+void Auditor::maybe_fail_fast() {
+  if (opts_.fail_fast && !violations_.empty()) throw CheckError(report());
+}
+
+}  // namespace pm::audit

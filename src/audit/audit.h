@@ -1,0 +1,337 @@
+// Runtime invariant auditing for the paper's guarantees.
+//
+// The paper states its correctness as invariants — the eligible set S_e
+// erodes monotonically and stays connected with an occupied boundary
+// (Lemma 11), every global boundary's v-node counts sum to ±6 with exactly
+// one +6 ring (Observation 4), at most one leader ever exists, termination
+// leaves a unique contracted leader, and the whole pipeline finishes within
+// a constant multiple of L_max + D (Theorems 18/23/41). Tests compare final
+// Results; the Auditor checks the invariants *while a run executes*, and
+// again offline when a recorded trace is replayed (src/audit/trace.h).
+//
+// Structure:
+//   * AuditView — the minimal read interface the checks consume. A live run
+//     adapts pipeline::RunContext's particle system; the offline replayer
+//     adapts a trajectory reconstructed from a trace. One set of checks,
+//     two transports.
+//   * Invariant — a pluggable check: started against the initial shape,
+//     fed one observation per pipeline round (with the S_e erosion events
+//     accumulated since the previous audited round), finished against the
+//     run outcome. Checkpointable, so a killed-and-resumed run audits
+//     cleanly end to end (src/audit/fault.h).
+//   * Auditor — owns the invariant set, wires into RunContext's per-round
+//     observer + the DLE erosion hook (attach), applies the check cadence,
+//     and aggregates Violations.
+//
+// Checks are incremental where the invariant allows it: erosion checks are
+// event-driven (O(1) per eroded point, plus an S_e BFS only on eroding
+// rounds), connectivity re-runs only when the movement counter advanced,
+// OBD ring sums touch v-nodes (boundary-sized, not n), and only the leader
+// scan is a true O(n) per-round pass — `Options::check_every` thins all of
+// them for large sweeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/dle/dle.h"
+#include "grid/metrics.h"
+#include "grid/shape.h"
+#include "pipeline/pipeline.h"
+
+namespace pm::core {
+class ObdRun;
+}
+
+namespace pm::audit {
+
+// One detected invariant breach. `round` is the pipeline round at which the
+// check ran (0 = start/finish checks).
+struct Violation {
+  std::string invariant;
+  long round = 0;
+  std::string stage;
+  std::string detail;
+};
+
+struct Options {
+  // Cadence of the per-round checks: 1 audits every pipeline round, N
+  // audits every Nth (stage transitions are always audited). Erosion
+  // events are never dropped — they accumulate until the next audited
+  // round.
+  long check_every = 1;
+  // Global scale on the round-budget envelope's per-stage constants
+  // (RoundBudgetInvariant); > 1 loosens, < 1 tightens.
+  double budget_factor = 1.0;
+  // Additive slack of the envelope (absorbs small-shape constants).
+  long budget_slack = 64;
+  // Throw pm::CheckError at the first violation instead of collecting.
+  bool fail_fast = false;
+};
+
+// What invariants may read each audited round. Implemented over a live
+// particle system (Auditor::attach) and over a trace-reconstructed
+// trajectory (trace.h's offline replay).
+class AuditView {
+ public:
+  virtual ~AuditView() = default;
+
+  [[nodiscard]] virtual int particle_count() const = 0;
+  [[nodiscard]] virtual core::Status status(amoebot::ParticleId p) const = 0;
+  [[nodiscard]] virtual bool expanded(amoebot::ParticleId p) const = 0;
+  [[nodiscard]] virtual grid::Node head(amoebot::ParticleId p) const = 0;
+  [[nodiscard]] virtual bool occupied(grid::Node v) const = 0;
+  [[nodiscard]] virtual int expanded_count() const = 0;
+  [[nodiscard]] virtual int component_count() const = 0;
+  [[nodiscard]] virtual long long moves() const = 0;
+  // The live OBD engine while an OBD stage is active; nullptr offline
+  // (protocol internals are not traced) and outside OBD stages.
+  [[nodiscard]] virtual const core::ObdRun* obd() const { return nullptr; }
+};
+
+// Everything an invariant learns when a run starts.
+struct AuditContext {
+  grid::Shape initial;
+  grid::ShapeMetrics metrics;  // l_max + d feed the round-budget envelope
+  Options options;
+};
+
+// One audited round's metadata.
+struct RoundInfo {
+  long round = 0;  // 1-based pipeline round index (continues across resume)
+  pipeline::StageKind stage = pipeline::StageKind::Dle;
+  std::uint64_t stage_config = 0;
+  const char* stage_name = "";
+  bool stage_done = false;  // the active stage finished on this round
+  // S_e points eroded since the previous audited round. Unordered within a
+  // round when a parallel engine drives DLE.
+  std::span<const grid::Node> eroded;
+};
+
+// Everything an invariant learns when the run finishes.
+struct FinishInfo {
+  bool completed = false;
+  bool has_system = false;
+  amoebot::ParticleId leader = amoebot::kNoParticle;
+  grid::Node leader_node{};
+  long obd_rounds = 0;
+  long dle_rounds = 0;
+  long collect_rounds = 0;
+  bool saw_dle = false;
+  bool dle_succeeded = false;
+  bool collect_succeeded = false;
+  bool dle_pull = false;  // the connected-pull ablation variant ran
+  // Erosion events not yet delivered through a round observation.
+  std::span<const grid::Node> eroded;
+};
+
+// A pluggable invariant check. Violations are pushed into the Auditor's
+// shared sink via violate().
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void start(const AuditContext& ctx) { (void)ctx; }
+  virtual void round(const AuditView& view, const RoundInfo& info) = 0;
+  virtual void finish(const AuditView* view, const FinishInfo& info) {
+    (void)view;
+    (void)info;
+  }
+  // Checkpoint support: mutable check state only (violations stay with the
+  // collecting process). Default: stateless.
+  virtual void state_save(Snapshot& snap) const { (void)snap; }
+  virtual void state_restore(const Snapshot& snap) { (void)snap; }
+
+ protected:
+  void violate(long round, const std::string& stage, const std::string& detail) const;
+
+ private:
+  friend class Auditor;
+  std::vector<Violation>* sink_ = nullptr;
+  const char* bound_name_ = "";
+};
+
+// Global connectivity where this implementation guarantees it: during OBD
+// (no movement at all) and in the final configuration once Collect
+// succeeded. Plain DLE may disconnect temporarily by design; the
+// connected-pull ablation only *reduces* disconnection (a pull needs a
+// contracted follower in reach — the registry's thin annuli still split,
+// which is exactly what the ablation's component tracking measures), so
+// DLE rounds of either variant are exempt.
+// Incremental: the BFS re-runs only when the movement counter advanced.
+class ConnectivityInvariant final : public Invariant {
+ public:
+  [[nodiscard]] const char* name() const override { return "connectivity"; }
+  void start(const AuditContext& ctx) override;
+  void round(const AuditView& view, const RoundInfo& info) override;
+  void finish(const AuditView* view, const FinishInfo& info) override;
+  void state_save(Snapshot& snap) const override;
+  void state_restore(const Snapshot& snap) override;
+
+ private:
+  long long checked_moves_ = -1;
+};
+
+// Lemma 11 for the eligible set S_e, driven by the DLE erosion events:
+//   * monotone erosion — every removed point was in S_e, exactly once;
+//   * occupied boundary — after each removal, every S_e neighbor of the
+//     removed point (now on ∂S_e) is occupied at the round boundary;
+//   * connectivity — S_e stays connected (BFS on eroding rounds only);
+//   * at termination of a successful DLE, S_e is exactly the leader's
+//     point (the "last eligible point's occupant becomes leader" rule).
+class ErosionInvariant final : public Invariant {
+ public:
+  [[nodiscard]] const char* name() const override { return "erosion"; }
+  void start(const AuditContext& ctx) override;
+  void round(const AuditView& view, const RoundInfo& info) override;
+  void finish(const AuditView* view, const FinishInfo& info) override;
+  void state_save(Snapshot& snap) const override;
+  void state_restore(const Snapshot& snap) override;
+
+ private:
+  void apply_events(const AuditView& view, long round, const char* stage,
+                    std::span<const grid::Node> eroded);
+
+  grid::NodeSet se_;
+  long long events_ = 0;
+};
+
+// Observation 4 conservation on the live OBD engine: every ring's v-node
+// count sum is +6 (outer) or -6 (inner), exactly one ring sums to +6, the
+// sums never change while the protocol runs, and the ring the protocol
+// announces as outer is the +6 one.
+class ObdRingInvariant final : public Invariant {
+ public:
+  [[nodiscard]] const char* name() const override { return "obd_conservation"; }
+  void start(const AuditContext& ctx) override;
+  void round(const AuditView& view, const RoundInfo& info) override;
+  void state_save(Snapshot& snap) const override;
+  void state_restore(const Snapshot& snap) override;
+
+ private:
+  std::vector<int> sums_;  // captured on the first audited OBD round
+  int plus_ring_ = -1;
+  bool captured_ = false;
+  bool detection_checked_ = false;
+};
+
+// At most one particle ever holds Leader status (checked on audited DLE
+// rounds — statuses only change inside DLE).
+class UniqueLeaderInvariant final : public Invariant {
+ public:
+  [[nodiscard]] const char* name() const override { return "unique_leader"; }
+  void round(const AuditView& view, const RoundInfo& info) override;
+};
+
+// Final-configuration contract of a completed election: exactly one
+// Leader, no Undecided, everyone contracted, the leader where the DLE
+// stage said it finished — plus global connectivity when a reconnecting
+// composition (Collect, or pull-DLE) completed.
+class TerminationInvariant final : public Invariant {
+ public:
+  [[nodiscard]] const char* name() const override { return "termination"; }
+  void round(const AuditView& view, const RoundInfo& info) override;
+  void finish(const AuditView* view, const FinishInfo& info) override;
+};
+
+// Round-budget envelope: each paper stage of a *completed* run stays below
+// c_stage * budget_factor * (L_max + D) + slack, with per-stage constants
+// calibrated on the registry suites (OBD's pipelined comparisons carry a
+// large constant on near-symmetric shapes; DLE is tight). Catches
+// asymptotic regressions, not constant-factor drift. The connected-pull
+// ablation is exempt (the paper credits it with O(D_A^2)).
+class RoundBudgetInvariant final : public Invariant {
+ public:
+  [[nodiscard]] const char* name() const override { return "round_budget"; }
+  void start(const AuditContext& ctx) override;
+  void round(const AuditView& view, const RoundInfo& info) override;
+  void finish(const AuditView* view, const FinishInfo& info) override;
+
+ private:
+  long base_ = 0;  // L_max + D of the initial shape
+  double factor_ = 1.0;
+  long slack_ = 64;
+};
+
+// Owns the invariant set and drives it — live (attach to a RunContext) or
+// from any transport that can produce AuditViews (the trace replayer).
+// Not movable once attached: the installed hooks capture `this`.
+class Auditor {
+ public:
+  explicit Auditor(Options opts = {});
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  // The full paper invariant set.
+  [[nodiscard]] static std::unique_ptr<Auditor> standard(Options opts = {});
+
+  Auditor& add(std::unique_ptr<Invariant> inv);
+
+  // --- live wiring ---
+
+  // Chains onto ctx.on_round and ctx.erode_hook (existing hooks keep
+  // firing). Call again on every freshly built pipeline context of the
+  // same run (checkpoint resume rebuilds contexts); the audit state
+  // carries over. `metrics` avoids recomputing shape metrics when the
+  // caller already has them.
+  void attach(pipeline::RunContext& ctx, const grid::ShapeMetrics* metrics = nullptr);
+  // Final checks once the pipeline is done.
+  void finish(const pipeline::PipelineOutcome& out, const pipeline::RunContext& ctx);
+
+  // --- transport-agnostic core (the offline replayer drives these) ---
+
+  void begin(const grid::Shape& initial, const grid::ShapeMetrics* metrics = nullptr);
+  void observe_round(const AuditView& view, pipeline::StageKind kind,
+                     std::uint64_t stage_config, const char* stage_name, bool stage_done);
+  void on_erode(grid::Node v);  // thread-safe (parallel DLE batches)
+  void end(const AuditView* final_view, FinishInfo info);
+
+  // --- checkpointing (fault injection across process images) ---
+  //
+  // Serializes round counters, undelivered erosion events, and every
+  // invariant's state. Collected violations are never serialized, and
+  // restore keeps any this auditor already holds — an in-process
+  // kill/resume cannot launder a breach observed before the kill.
+  void save(Snapshot& snap) const;
+  void restore(const Snapshot& snap);
+  // Discards all progress and re-initializes every invariant against the
+  // initial shape, as if the run were starting over (the corrupt-
+  // checkpoint fallback: a half-restored audit state must not judge a
+  // fresh run). Violations are cleared — nothing was validly observed.
+  void reset_for_fresh_run();
+
+  // --- results ---
+
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] long rounds_observed() const { return round_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+  // Human-readable multi-line summary ("audit clean ..." / one line per
+  // violation).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void maybe_fail_fast();
+
+  Options opts_;
+  std::vector<std::unique_ptr<Invariant>> invariants_;
+  std::vector<Violation> violations_;
+  AuditContext ctx_{};
+  bool began_ = false;
+  bool ended_ = false;
+  long round_ = 0;
+  bool have_last_kind_ = false;
+  pipeline::StageKind last_kind_ = pipeline::StageKind::Dle;
+  bool saw_dle_pull_ = false;
+
+  mutable std::mutex erode_mu_;
+  std::vector<grid::Node> erode_buffer_;   // filled by on_erode (any thread)
+  std::vector<grid::Node> pending_eroded_; // drained, awaiting an audited round
+};
+
+}  // namespace pm::audit

@@ -1,0 +1,182 @@
+#include "audit/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pm::audit {
+
+using amoebot::OccupancyMode;
+using pipeline::Pipeline;
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed, long horizon, int base_threads,
+                               OccupancyMode base_occupancy,
+                               bool allow_occupancy_switch) {
+  PM_CHECK_MSG(seed != 0, "fault seed 0 means 'no faults' by convention");
+  Rng rng(seed);
+  FaultPlan plan;
+  const auto gap = static_cast<std::uint64_t>(std::max<long>(2, horizon));
+  const int kills = 1 + static_cast<int>(rng.below(3));
+  long round = 0;
+  for (int k = 0; k < kills; ++k) {
+    round += 1 + static_cast<long>(rng.below(gap));
+    Kill kill;
+    kill.after_round = round;
+    // Half the kills resume under the other engine kind; a resumed
+    // sequential run may come back parallel and vice versa.
+    kill.resume_threads = rng.coin() ? (base_threads > 0 ? 0 : 2) : base_threads;
+    kill.resume_occupancy = base_occupancy;
+    if (allow_occupancy_switch && rng.coin()) {
+      kill.resume_occupancy = base_occupancy == OccupancyMode::Hash
+                                  ? OccupancyMode::Dense
+                                  : OccupancyMode::Hash;
+    }
+    kill.through_text = rng.coin();
+    plan.kills.push_back(kill);
+  }
+  return plan;
+}
+
+FaultRunner::FaultRunner(Factory make, FaultPlan plan, int base_threads,
+                         OccupancyMode base_occupancy)
+    : make_(std::move(make)),
+      plan_(std::move(plan)),
+      base_threads_(base_threads),
+      base_occupancy_(base_occupancy) {
+  for (std::size_t i = 1; i < plan_.kills.size(); ++i) {
+    PM_CHECK_MSG(plan_.kills[i].after_round > plan_.kills[i - 1].after_round,
+                 "fault plan kill rounds must be strictly increasing");
+  }
+}
+
+void FaultRunner::set_auditor(Auditor* auditor, const grid::ShapeMetrics* metrics) {
+  PM_CHECK_MSG(pipe_ == nullptr, "set_auditor before the run starts");
+  auditor_ = auditor;
+  metrics_ = metrics;
+}
+
+void FaultRunner::set_trace(TraceWriter* writer) {
+  PM_CHECK_MSG(pipe_ == nullptr, "set_trace before the run starts");
+  trace_ = writer;
+}
+
+void FaultRunner::set_checkpoint(long every_rounds, std::string path) {
+  PM_CHECK_MSG(every_rounds >= 0, "checkpoint cadence must be >= 0");
+  PM_CHECK_MSG(every_rounds == 0 || !path.empty(), "checkpointing needs a file path");
+  checkpoint_every_ = every_rounds;
+  checkpoint_path_ = std::move(path);
+}
+
+void FaultRunner::build(int threads, OccupancyMode occupancy) {
+  pipe_ = std::make_unique<Pipeline>(make_(threads, occupancy));
+  if (auditor_ != nullptr) auditor_->attach(pipe_->context(), metrics_);
+  if (trace_ != nullptr) trace_->attach(*pipe_);
+}
+
+bool FaultRunner::try_resume(std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  PM_CHECK_MSG(pipe_ == nullptr, "try_resume before the run starts");
+  PM_CHECK_MSG(!checkpoint_path_.empty(), "try_resume needs set_checkpoint first");
+  std::ifstream in(checkpoint_path_);
+  if (!in) return fail("no checkpoint file at " + checkpoint_path_);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto parsed = Snapshot::try_parse(buf.str(), &error);
+  if (!parsed) return fail("corrupt checkpoint: " + error);
+  build(base_threads_, base_occupancy_);
+  try {
+    pipe_->restore(*parsed);
+    if (auditor_ != nullptr) {
+      // A checkpoint from an unaudited process has no audit section; an
+      // auditor started mid-run would report nonsense (its eligible-set
+      // mirror only matches when tracked from round one), so run fresh.
+      PM_CHECK_MSG(!parsed->exhausted(),
+                   "checkpoint carries no audit state but this run audits");
+      auditor_->restore(*parsed);
+    }
+  } catch (const CheckError& e) {
+    // Mismatched configuration or a damaged word stream: discard the
+    // half-restored pipeline AND any half-restored audit state (a fresh
+    // run must be judged from a fresh eligible-set mirror), start over.
+    pipe_.reset();
+    if (auditor_ != nullptr) auditor_->reset_for_fresh_run();
+    build(base_threads_, base_occupancy_);
+    return fail(std::string("checkpoint rejected: ") + e.what());
+  }
+  steps_ = 0;
+  for (const auto& s : pipe_->stages()) steps_ += s->metrics().rounds;
+  // Kills the resumed run already lived through never fire again.
+  while (next_kill_ < plan_.kills.size() &&
+         plan_.kills[next_kill_].after_round <= steps_) {
+    ++next_kill_;
+  }
+  return true;
+}
+
+void FaultRunner::write_checkpoint() {
+  Snapshot snap;
+  pipe_->save(snap);
+  if (auditor_ != nullptr) auditor_->save(snap);
+  const std::string tmp = checkpoint_path_ + ".tmp";
+  {
+    std::ofstream out(tmp);
+    PM_CHECK_MSG(out.good(), "cannot write checkpoint " << tmp);
+    out << snap.serialize();
+  }
+  PM_CHECK_MSG(std::rename(tmp.c_str(), checkpoint_path_.c_str()) == 0,
+               "cannot move checkpoint into place at " << checkpoint_path_);
+}
+
+void FaultRunner::do_kill(const FaultPlan::Kill& kill) {
+  Snapshot snap;
+  pipe_->save(snap);
+  ++kills_executed_;
+  if (kill.through_text) {
+    // The full process-image death: nothing survives but the text — the
+    // auditor's state (O(|S_e|) words) rides along only here.
+    if (auditor_ != nullptr) auditor_->save(snap);
+    const Snapshot parsed = Snapshot::parse(snap.serialize());
+    build(kill.resume_threads, kill.resume_occupancy);
+    pipe_->restore(parsed);
+    if (auditor_ != nullptr) auditor_->restore(parsed);
+  } else {
+    snap.rewind();
+    build(kill.resume_threads, kill.resume_occupancy);
+    pipe_->restore(snap);
+    // In-process resume: the live auditor object carries its own state.
+  }
+}
+
+pipeline::PipelineOutcome FaultRunner::run() {
+  if (pipe_ == nullptr) build(base_threads_, base_occupancy_);
+  while (!pipe_->done()) {
+    if (next_kill_ < plan_.kills.size() &&
+        plan_.kills[next_kill_].after_round == steps_ && steps_ > 0) {
+      do_kill(plan_.kills[next_kill_]);
+      ++next_kill_;
+      continue;
+    }
+    pipe_->step_round();
+    ++steps_;
+    if (checkpoint_every_ > 0 && steps_ % checkpoint_every_ == 0 && !pipe_->done()) {
+      write_checkpoint();
+    }
+  }
+  return pipe_->outcome();
+}
+
+pipeline::Pipeline& FaultRunner::pipeline() {
+  PM_CHECK_MSG(pipe_ != nullptr, "no pipeline yet: call run()");
+  return *pipe_;
+}
+
+}  // namespace pm::audit

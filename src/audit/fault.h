@@ -1,0 +1,108 @@
+// Deterministic fault injection over the checkpoint layer.
+//
+// A FaultPlan is a seeded schedule of kill points: at each one the running
+// pipeline is checkpointed (optionally round-tripped through the serialized
+// text form, i.e. what a fresh process image would receive), torn down, and
+// resumed into a freshly built pipeline — possibly under a different engine
+// kind (sequential <-> exec::ParallelEngine) or occupancy index (dense <->
+// hash). Because checkpoints are exact and engine/occupancy choices are
+// observably neutral, the completed run's Results are bit-identical to an
+// uninterrupted run (the occupancy peak gauge being the one documented
+// exception when the index is switched mid-run), and an attached Auditor
+// stays clean across every kill.
+//
+// FaultRunner also hosts the two checkpoint workflows pm_bench exposes:
+// periodic auto-checkpointing (--checkpoint-every) and resume-from-latest
+// (--resume), sharing the same save/restore machinery as the kills.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/trace.h"
+#include "pipeline/pipeline.h"
+
+namespace pm::audit {
+
+struct FaultPlan {
+  struct Kill {
+    long after_round = 1;  // kill once this many pipeline rounds have run
+    int resume_threads = 0;
+    amoebot::OccupancyMode resume_occupancy = amoebot::kDefaultOccupancy;
+    bool through_text = true;  // serialize/parse round trip (process kill)
+  };
+  std::vector<Kill> kills;  // strictly increasing after_round
+
+  [[nodiscard]] bool empty() const { return kills.empty(); }
+
+  // Deterministic plan from a seed: 1-3 kills at rounds drawn within
+  // `horizon` of each other, each randomly toggling the engine kind
+  // against `base_threads`, optionally the occupancy index against
+  // `base_occupancy`, and the text round trip. Kills scheduled past the
+  // run's actual end simply never fire.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed, long horizon,
+                                           int base_threads,
+                                           amoebot::OccupancyMode base_occupancy,
+                                           bool allow_occupancy_switch = false);
+};
+
+// Drives one run under a FaultPlan, rebuilding the pipeline at every kill
+// via the caller's factory. Also provides periodic auto-checkpointing to a
+// file and resume-from-latest.
+class FaultRunner {
+ public:
+  // Builds a fresh pipeline of the run's fixed composition/configuration,
+  // parameterized only by the two observably-neutral choices.
+  using Factory =
+      std::function<pipeline::Pipeline(int threads, amoebot::OccupancyMode occupancy)>;
+
+  FaultRunner(Factory make, FaultPlan plan, int base_threads,
+              amoebot::OccupancyMode base_occupancy);
+
+  // Optional collaborators; all survive kills (they re-attach to every
+  // rebuilt pipeline). The metrics pointer spares the auditor a recompute.
+  void set_auditor(Auditor* auditor, const grid::ShapeMetrics* metrics = nullptr);
+  void set_trace(TraceWriter* writer);
+  // Write a checkpoint (pipeline + auditor state) to `path` every
+  // `every_rounds` pipeline rounds, atomically (tmp file + rename).
+  void set_checkpoint(long every_rounds, std::string path);
+
+  // Attempts to resume from the checkpoint file configured via
+  // set_checkpoint (call before run()). Returns false — leaving a fresh
+  // run — when the file is missing, corrupt, or belongs to a different
+  // configuration; `why` (optional) receives the reason.
+  [[nodiscard]] bool try_resume(std::string* why = nullptr);
+
+  // Runs to completion (kills included) and returns the final outcome.
+  pipeline::PipelineOutcome run();
+
+  // The final pipeline, for outcome wiring (leader node, system metrics).
+  [[nodiscard]] pipeline::Pipeline& pipeline();
+  [[nodiscard]] int kills_executed() const { return kills_executed_; }
+  [[nodiscard]] long rounds_run() const { return steps_; }
+
+ private:
+  void build(int threads, amoebot::OccupancyMode occupancy);
+  void do_kill(const FaultPlan::Kill& kill);
+  void write_checkpoint();
+
+  Factory make_;
+  FaultPlan plan_;
+  int base_threads_;
+  amoebot::OccupancyMode base_occupancy_;
+  Auditor* auditor_ = nullptr;
+  const grid::ShapeMetrics* metrics_ = nullptr;
+  TraceWriter* trace_ = nullptr;
+  long checkpoint_every_ = 0;
+  std::string checkpoint_path_;
+  std::unique_ptr<pipeline::Pipeline> pipe_;
+  long steps_ = 0;
+  std::size_t next_kill_ = 0;
+  int kills_executed_ = 0;
+};
+
+}  // namespace pm::audit

@@ -1,0 +1,52 @@
+// Shared node wire-encoding and node-set topology helpers for the audit
+// subsystem. One definition on purpose: the Auditor's checkpoint words and
+// the trace format both encode grid nodes this way, and a drift between
+// them would make audit checkpoints and traces silently disagree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/coord.h"
+#include "grid/shape.h"
+
+namespace pm::audit::codec {
+
+inline std::uint64_t pack_node(grid::Node v) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.x)) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.y)) << 32);
+}
+
+inline grid::Node unpack_node(std::uint64_t w) {
+  return grid::Node{
+      static_cast<std::int32_t>(static_cast<std::uint32_t>(w & 0xffffffffULL)),
+      static_cast<std::int32_t>(static_cast<std::uint32_t>(w >> 32))};
+}
+
+// Number of 6-adjacency connected components of a node set.
+inline int count_components(const grid::NodeSet& set) {
+  if (set.empty()) return 0;
+  grid::NodeSet seen;
+  seen.reserve(set.size() * 2);
+  std::vector<grid::Node> queue;
+  queue.reserve(set.size());
+  int components = 0;
+  for (const grid::Node start : set) {
+    if (seen.contains(start)) continue;
+    ++components;
+    queue.clear();
+    queue.push_back(start);
+    seen.insert(start);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      for (int i = 0; i < grid::kDirCount; ++i) {
+        const grid::Node u = grid::neighbor(queue[qi], grid::dir_from_index(i));
+        if (set.contains(u) && seen.insert(u).second) queue.push_back(u);
+      }
+    }
+  }
+  return components;
+}
+
+inline bool connected(const grid::NodeSet& set) { return count_components(set) <= 1; }
+
+}  // namespace pm::audit::codec

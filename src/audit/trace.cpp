@@ -1,0 +1,519 @@
+#include "audit/trace.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "audit/node_codec.h"
+#include "core/dle/dle.h"
+#include "util/check.h"
+
+namespace pm::audit {
+
+using amoebot::ParticleId;
+using grid::Node;
+using pipeline::Pipeline;
+using pipeline::RunContext;
+using pipeline::Stage;
+using pipeline::StageKind;
+
+namespace {
+
+// --- word packing ----------------------------------------------------------
+
+constexpr std::uint64_t kTerminatorStage = 0xFF;
+
+using codec::pack_node;
+using codec::unpack_node;
+
+// Word A of a particle entry: id (32 bits) | tail code (3: 0 = contracted,
+// 1..6 = direction index of head->tail + 1) | orientation (3) | packed
+// DleState (15). Word B: the head node.
+std::uint64_t pack_entry_a(ParticleId id, const amoebot::Body& b,
+                           const core::DleState& st) {
+  std::uint64_t tail_code = 0;
+  if (b.expanded()) {
+    tail_code = static_cast<std::uint64_t>(grid::index(grid::dir_between(b.head, b.tail))) + 1;
+  }
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) | (tail_code << 32) |
+         (static_cast<std::uint64_t>(b.ori) << 35) | (core::pack_dle_state(st) << 38);
+}
+
+struct EntryA {
+  ParticleId id;
+  int tail_code;
+  std::uint8_t ori;
+  core::DleState state;
+};
+
+EntryA unpack_entry_a(std::uint64_t w) {
+  EntryA e;
+  e.id = static_cast<ParticleId>(static_cast<std::uint32_t>(w & 0xffffffffULL));
+  e.tail_code = static_cast<int>((w >> 32) & 0x7);
+  e.ori = static_cast<std::uint8_t>((w >> 35) & 0x7);
+  e.state = core::unpack_dle_state(w >> 38);
+  return e;
+}
+
+const char* stage_kind_name(StageKind k) {
+  switch (k) {
+    case StageKind::Obd: return "obd";
+    case StageKind::Dle: return "dle";
+    case StageKind::Collect: return "collect";
+    case StageKind::Baseline: return "baseline";
+  }
+  return "?";
+}
+
+// AuditView over a TraceReader's reconstructed trajectory.
+class OfflineView final : public AuditView {
+ public:
+  explicit OfflineView(const TraceReader& reader) : r_(reader) {}
+
+  [[nodiscard]] int particle_count() const override {
+    return static_cast<int>(r_.particles().size());
+  }
+  [[nodiscard]] core::Status status(ParticleId p) const override {
+    return r_.particles()[static_cast<std::size_t>(p)].state.status;
+  }
+  [[nodiscard]] bool expanded(ParticleId p) const override {
+    const TraceParticle& tp = r_.particles()[static_cast<std::size_t>(p)];
+    return !(tp.head == tp.tail);
+  }
+  [[nodiscard]] Node head(ParticleId p) const override {
+    return r_.particles()[static_cast<std::size_t>(p)].head;
+  }
+  [[nodiscard]] bool occupied(Node v) const override { return r_.occupied().contains(v); }
+  [[nodiscard]] int expanded_count() const override { return r_.expanded_count(); }
+  [[nodiscard]] int component_count() const override {
+    return codec::count_components(r_.occupied());
+  }
+  [[nodiscard]] long long moves() const override { return r_.moves(); }
+
+ private:
+  const TraceReader& r_;
+};
+
+}  // namespace
+
+// --- TraceWriter -----------------------------------------------------------
+
+void TraceWriter::attach(Pipeline& pipe) {
+  PM_CHECK_MSG(!finished_, "trace already finished");
+  const auto& stages = pipe.stages();
+  PM_CHECK_MSG(!stages.empty(), "trace attach on an empty pipeline");
+  bool uses_system = false;
+  for (const auto& s : stages) uses_system = uses_system || s->uses_system();
+  PM_CHECK_MSG(uses_system,
+               "traces record particle trajectories; baseline-only pipelines have none");
+
+  RunContext& ctx = pipe.context();
+  if (!header_written_) {
+    header_written_ = true;
+    particle_count_ = ctx.initial.size();
+    snap_.put_mark(kSnapTrace);
+    snap_.put(1);  // trace format version
+    snap_.put(ctx.seeds.base);
+    snap_.put(static_cast<std::uint64_t>(ctx.seeds.kind));
+    snap_.put(static_cast<std::uint64_t>(ctx.order));
+    snap_.put(static_cast<std::uint64_t>(ctx.occupancy));
+    snap_.put_i(ctx.threads);
+    snap_.put_i(ctx.max_rounds);
+    snap_.put(ctx.initial.size());
+    for (const Node v : ctx.initial.nodes()) snap_.put(pack_node(v));
+    snap_.put(stages.size());
+    for (const auto& s : stages) {
+      stage_descs_.push_back({s->kind(), s->config_word()});
+      snap_.put(static_cast<std::uint64_t>(s->kind()));
+      snap_.put(s->config_word());
+    }
+  } else {
+    // A fault-injection resume rebuilt the pipeline: recording continues,
+    // but only under the same composition the header promised.
+    PM_CHECK_MSG(stages.size() == stage_descs_.size(),
+                 "trace resume under a different stage composition");
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      PM_CHECK_MSG(stages[i]->kind() == stage_descs_[i].kind &&
+                       stages[i]->config_word() == stage_descs_[i].config,
+                   "trace resume under a different stage composition");
+    }
+  }
+  stages_.clear();
+  for (const auto& s : stages) stages_.push_back(s.get());
+
+  auto prev_erode = ctx.erode_hook;
+  ctx.erode_hook = [this, prev_erode](Node v) {
+    if (prev_erode) prev_erode(v);
+    on_erode(v);
+  };
+  auto prev_round = ctx.on_round;
+  ctx.on_round = [this, prev_round](const Stage& stage, const RunContext& c) {
+    if (prev_round) prev_round(stage, c);
+    on_round(stage, c);
+  };
+}
+
+void TraceWriter::on_erode(Node v) {
+  const std::lock_guard<std::mutex> lock(erode_mu_);
+  erode_buffer_.push_back(v);
+}
+
+void TraceWriter::on_round(const Stage& stage, const RunContext& ctx) {
+  PM_CHECK_MSG(ctx.sys != nullptr, "traced pipeline has no particle system");
+  const auto& sys = *ctx.sys;
+  const auto n = static_cast<std::size_t>(sys.particle_count());
+  PM_CHECK_MSG(n == particle_count_, "traced system size changed mid-run");
+
+  std::size_t stage_index = stages_.size();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i] == &stage) stage_index = i;
+  }
+  PM_CHECK_MSG(stage_index < stages_.size(), "trace observer saw a foreign stage");
+
+  // Erosion events since the previous frame, sorted so parallel-engine
+  // arrival order cannot leak into the format.
+  std::vector<Node> eroded;
+  {
+    const std::lock_guard<std::mutex> lock(erode_mu_);
+    eroded.swap(erode_buffer_);
+  }
+  std::sort(eroded.begin(), eroded.end(),
+            [](Node a, Node b) { return pack_node(a) < pack_node(b); });
+  PM_CHECK_MSG(eroded.size() < (1ULL << 16), "implausible erosion burst in one round");
+
+  // Delta pass: compare every particle's packed pair against the mirror.
+  mirror_.resize(n, {~0ULL, ~0ULL});
+  std::vector<std::array<std::uint64_t, 2>> changed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<ParticleId>(i);
+    const std::uint64_t a = pack_entry_a(id, sys.body(id), sys.state(id));
+    const std::uint64_t b = pack_node(sys.body(id).head);
+    if (mirror_[i][0] != a || mirror_[i][1] != b) {
+      mirror_[i] = {a, b};
+      changed.push_back({a, b});
+    }
+  }
+
+  snap_.put(static_cast<std::uint64_t>(stage_index) |
+            (static_cast<std::uint64_t>(stage.done() ? 1 : 0) << 8) |
+            (static_cast<std::uint64_t>(eroded.size()) << 16) |
+            (static_cast<std::uint64_t>(changed.size()) << 32));
+  snap_.put_i(sys.moves());
+  for (const Node v : eroded) snap_.put(pack_node(v));
+  for (const auto& e : changed) {
+    snap_.put(e[0]);
+    snap_.put(e[1]);
+  }
+}
+
+void TraceWriter::finish(const pipeline::PipelineOutcome& out, const RunContext& ctx) {
+  PM_CHECK_MSG(header_written_, "trace finish before attach");
+  PM_CHECK_MSG(!finished_, "trace already finished");
+  finished_ = true;
+  snap_.put(kTerminatorStage);
+  snap_.put(out.completed ? 1 : 0);
+  snap_.put_i(ctx.leader);
+  snap_.put(pack_node(ctx.leader_node));
+  snap_.put_i(ctx.sys != nullptr ? ctx.sys->moves() : 0);
+  snap_.put(out.stages.size());
+  for (const pipeline::StageReport& s : out.stages) {
+    snap_.put(static_cast<std::uint64_t>(s.status));
+    snap_.put_i(s.metrics.rounds);
+    snap_.put_i(s.metrics.activations);
+    snap_.put_i(s.metrics.phases);
+  }
+}
+
+const Snapshot& TraceWriter::snapshot() const {
+  PM_CHECK_MSG(finished_, "trace snapshot requested before finish");
+  return snap_;
+}
+
+// --- TraceReader -----------------------------------------------------------
+
+TraceReader::TraceReader(Snapshot snap) : snap_(std::move(snap)) {
+  snap_.rewind();
+  snap_.expect_mark(kSnapTrace);
+  const std::uint64_t version = snap_.get();
+  PM_CHECK_MSG(version == 1, "unsupported trace version " << version);
+  config_.seeds.base = snap_.get();
+  config_.seeds.kind = static_cast<pipeline::SeedPolicy::Kind>(snap_.get());
+  config_.order = static_cast<amoebot::Order>(snap_.get());
+  config_.occupancy = static_cast<amoebot::OccupancyMode>(snap_.get());
+  config_.threads = static_cast<int>(snap_.get_i());
+  config_.max_rounds = snap_.get_i();
+  const std::uint64_t n = snap_.get();
+  PM_CHECK_MSG(n >= 1 && n <= (1ULL << 26), "implausible trace shape size " << n);
+  config_.shape_nodes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) config_.shape_nodes.push_back(unpack_node(snap_.get()));
+  const std::uint64_t stages = snap_.get();
+  PM_CHECK_MSG(stages >= 1 && stages <= 8, "implausible trace stage count " << stages);
+  for (std::uint64_t i = 0; i < stages; ++i) {
+    TraceConfig::StageDesc desc;
+    desc.kind = static_cast<StageKind>(snap_.get());
+    desc.config = snap_.get();
+    config_.stages.push_back(desc);
+  }
+  particles_.resize(n);
+  present_.assign(n, 0);
+  occupied_.reserve(2 * n);
+}
+
+bool TraceReader::next() {
+  PM_CHECK_MSG(!done_, "trace exhausted");
+  const std::uint64_t header = snap_.get();
+  const std::uint64_t stage = header & 0xFF;
+  if (stage == kTerminatorStage) {
+    done_ = true;
+    outcome_.completed = snap_.get() != 0;
+    outcome_.leader = static_cast<ParticleId>(snap_.get_i());
+    outcome_.leader_node = unpack_node(snap_.get());
+    outcome_.moves = snap_.get_i();
+    const std::uint64_t reports = snap_.get();
+    PM_CHECK_MSG(reports == config_.stages.size(), "trace outcome stage-count mismatch");
+    for (std::uint64_t i = 0; i < reports; ++i) {
+      TraceOutcome::StageSummary s;
+      s.status = static_cast<pipeline::StageStatus>(snap_.get());
+      s.rounds = snap_.get_i();
+      s.activations = snap_.get_i();
+      s.phases = static_cast<int>(snap_.get_i());
+      outcome_.stages.push_back(s);
+    }
+    return false;
+  }
+  PM_CHECK_MSG(stage < config_.stages.size(), "trace frame names stage " << stage);
+  stage_index_ = static_cast<int>(stage);
+  stage_done_ = ((header >> 8) & 0xFF) != 0;
+  const std::uint64_t eroded = (header >> 16) & 0xFFFF;
+  const std::uint64_t changed = header >> 32;
+  PM_CHECK_MSG(changed <= particles_.size(), "trace frame changes " << changed
+                                                 << " of " << particles_.size()
+                                                 << " particles");
+  ++round_;
+  moves_ = snap_.get_i();
+  eroded_.clear();
+  eroded_.reserve(eroded);
+  for (std::uint64_t i = 0; i < eroded; ++i) eroded_.push_back(unpack_node(snap_.get()));
+  changed_.clear();
+  changed_.reserve(changed);
+  // Two-phase apply: nodes hand off between particles within one round
+  // (handovers, Collect chain pulls), so every old position must leave
+  // occupied_ before any new one enters — interleaving would erase a node
+  // another changed particle just claimed.
+  std::vector<std::pair<EntryA, Node>> entries;
+  entries.reserve(changed);
+  for (std::uint64_t i = 0; i < changed; ++i) {
+    const EntryA a = unpack_entry_a(snap_.get());
+    const Node head = unpack_node(snap_.get());
+    PM_CHECK_MSG(a.id >= 0 && static_cast<std::size_t>(a.id) < particles_.size(),
+                 "trace entry names particle " << a.id);
+    PM_CHECK_MSG(a.tail_code <= 6, "trace entry tail code " << a.tail_code);
+    entries.emplace_back(a, head);
+  }
+  for (const auto& [a, head] : entries) {
+    if (!present_[static_cast<std::size_t>(a.id)]) continue;
+    const TraceParticle& tp = particles_[static_cast<std::size_t>(a.id)];
+    if (!(tp.head == tp.tail)) --expanded_count_;
+    occupied_.erase(tp.head);
+    if (!(tp.tail == tp.head)) occupied_.erase(tp.tail);
+  }
+  for (const auto& [a, head] : entries) {
+    TraceParticle& tp = particles_[static_cast<std::size_t>(a.id)];
+    tp.head = head;
+    tp.tail = a.tail_code == 0
+                  ? head
+                  : grid::neighbor(head, grid::dir_from_index(a.tail_code - 1));
+    tp.ori = a.ori;
+    tp.state = a.state;
+    occupied_.insert(tp.head);
+    if (!(tp.tail == tp.head)) {
+      occupied_.insert(tp.tail);
+      ++expanded_count_;
+    }
+    present_[static_cast<std::size_t>(a.id)] = 1;
+    changed_.push_back(a.id);
+  }
+  return true;
+}
+
+const TraceOutcome& TraceReader::outcome() const {
+  PM_CHECK_MSG(done_, "trace outcome requested before the terminator");
+  return outcome_;
+}
+
+// --- replay / offline audit ------------------------------------------------
+
+namespace {
+
+Pipeline build_from_config(const TraceConfig& config) {
+  RunContext ctx;
+  ctx.initial = grid::Shape(config.shape_nodes);
+  ctx.seeds = config.seeds;
+  ctx.order = config.order;
+  ctx.occupancy = config.occupancy;
+  ctx.threads = 0;  // replay is sequential; trajectories are engine-invariant
+  ctx.max_rounds = config.max_rounds;
+  Pipeline pipe(std::move(ctx));
+  for (const TraceConfig::StageDesc& desc : config.stages) {
+    switch (desc.kind) {
+      case StageKind::Obd:
+        pipe.add(std::make_unique<pipeline::ObdStage>(
+            pipeline::ObdStage::Options{.skip_if_single = (desc.config & 1) != 0}));
+        break;
+      case StageKind::Dle:
+        pipe.add(std::make_unique<pipeline::DleStage>(
+            core::Dle::Options{.connected_pull = (desc.config & 1) != 0}));
+        break;
+      case StageKind::Collect:
+        pipe.add(std::make_unique<pipeline::CollectStage>());
+        break;
+      case StageKind::Baseline:
+        PM_CHECK_MSG(false, "baseline stages are never traced");
+        break;
+    }
+  }
+  return pipe;
+}
+
+}  // namespace
+
+ReplayResult replay_trace(const Snapshot& trace, const Options& audit_options) {
+  Snapshot copy = trace;
+  copy.rewind();
+  TraceReader reader(std::move(copy));
+  ReplayResult rr;
+
+  Pipeline pipe = build_from_config(reader.config());
+  const auto auditor = Auditor::standard(audit_options);
+  auditor->attach(pipe.context());
+
+  bool diverged = false;
+  auto diverge = [&](long round, const std::string& detail) {
+    if (diverged) return;
+    diverged = true;
+    rr.divergence_round = round;
+    rr.detail = detail;
+  };
+
+  RunContext& ctx = pipe.context();
+  auto prev_round = ctx.on_round;
+  ctx.on_round = [&](const Stage& stage, const RunContext& c) {
+    if (prev_round) prev_round(stage, c);
+    ++rr.rounds;
+    if (diverged) return;
+    if (!reader.next()) {
+      diverge(rr.rounds, "trace ended but the re-executed run kept going");
+      return;
+    }
+    std::size_t live_index = pipe.stages().size();
+    for (std::size_t i = 0; i < pipe.stages().size(); ++i) {
+      if (pipe.stages()[i].get() == &stage) live_index = i;
+    }
+    if (static_cast<int>(live_index) != reader.stage_index()) {
+      diverge(rr.rounds, "stage mismatch: trace ran stage " +
+                             std::to_string(reader.stage_index()) + ", replay stage " +
+                             std::to_string(live_index));
+      return;
+    }
+    if (c.sys->moves() != reader.moves()) {
+      diverge(rr.rounds, "movement counter mismatch: trace " +
+                             std::to_string(reader.moves()) + ", replay " +
+                             std::to_string(c.sys->moves()));
+      return;
+    }
+    const auto& parts = reader.particles();
+    for (ParticleId p = 0; p < c.sys->particle_count(); ++p) {
+      const auto& body = c.sys->body(p);
+      const TraceParticle& tp = parts[static_cast<std::size_t>(p)];
+      if (!(body.head == tp.head) || !(body.tail == tp.tail) || body.ori != tp.ori ||
+          core::pack_dle_state(c.sys->state(p)) != core::pack_dle_state(tp.state)) {
+        std::ostringstream os;
+        os << "particle " << p << " diverged: trace head " << tp.head << ", replay head "
+           << body.head;
+        diverge(rr.rounds, os.str());
+        return;
+      }
+    }
+  };
+
+  rr.outcome = pipe.run();
+  auditor->finish(rr.outcome, pipe.context());
+  rr.violations = auditor->violations();
+
+  if (!diverged) {
+    if (reader.next()) {
+      diverge(rr.rounds, "trace has more rounds than the re-executed run");
+    } else {
+      const TraceOutcome& to = reader.outcome();
+      if (to.completed != rr.outcome.completed) {
+        diverge(0, "completion mismatch");
+      } else if (to.leader != pipe.context().leader) {
+        diverge(0, "leader mismatch");
+      } else if (pipe.context().sys != nullptr && to.moves != pipe.context().sys->moves()) {
+        diverge(0, "final movement counter mismatch");
+      } else {
+        for (std::size_t i = 0; i < rr.outcome.stages.size(); ++i) {
+          const auto& live = rr.outcome.stages[i];
+          const auto& rec = to.stages[i];
+          if (live.status != rec.status || live.metrics.rounds != rec.rounds ||
+              live.metrics.activations != rec.activations ||
+              live.metrics.phases != rec.phases) {
+            diverge(0, "stage " + std::to_string(i) + " summary mismatch");
+            break;
+          }
+        }
+      }
+    }
+  }
+  rr.identical = !diverged;
+  return rr;
+}
+
+std::vector<Violation> audit_trace(const Snapshot& trace, const Options& audit_options) {
+  Snapshot copy = trace;
+  copy.rewind();
+  TraceReader reader(std::move(copy));
+  const TraceConfig& config = reader.config();
+  const grid::Shape initial(config.shape_nodes);
+
+  const auto auditor = Auditor::standard(audit_options);
+  auditor->begin(initial);
+  const OfflineView view(reader);
+
+  while (reader.next()) {
+    const TraceConfig::StageDesc& desc =
+        config.stages[static_cast<std::size_t>(reader.stage_index())];
+    for (const Node v : reader.eroded()) auditor->on_erode(v);
+    auditor->observe_round(view, desc.kind, desc.config, stage_kind_name(desc.kind),
+                           reader.stage_done());
+  }
+
+  const TraceOutcome& to = reader.outcome();
+  FinishInfo info;
+  info.completed = to.completed;
+  info.has_system = true;
+  info.leader = to.leader;
+  info.leader_node = to.leader_node;
+  for (std::size_t i = 0; i < config.stages.size(); ++i) {
+    const auto kind = config.stages[i].kind;
+    const auto& s = to.stages[i];
+    if (kind == StageKind::Obd) info.obd_rounds += s.rounds;
+    if (kind == StageKind::Dle) {
+      info.dle_rounds += s.rounds;
+      info.saw_dle = true;
+      info.dle_succeeded =
+          info.dle_succeeded || s.status == pipeline::StageStatus::Succeeded;
+      info.dle_pull = info.dle_pull || (config.stages[i].config & 1) != 0;
+    }
+    if (kind == StageKind::Collect) {
+      info.collect_rounds += s.rounds;
+      info.collect_succeeded =
+          info.collect_succeeded || s.status == pipeline::StageStatus::Succeeded;
+    }
+  }
+  auditor->end(&view, info);
+  return auditor->violations();
+}
+
+}  // namespace pm::audit

@@ -1,0 +1,173 @@
+// Compact trace record/replay on top of pm::Snapshot.
+//
+// A trace captures a pipeline run as its configuration header (seed policy,
+// scheduler order, occupancy, round budget, initial shape, stage
+// composition) followed by one delta-encoded frame per pipeline round: only
+// the particles whose packed state changed that round are written (2 words
+// each), plus the round's S_e erosion events and the cumulative movement
+// counter, and a final outcome summary. Deterministic runs make the format
+// complete: the header is sufficient to re-execute the run, the frames are
+// sufficient to re-derive the full trajectory without executing anything.
+//
+// Three consumers:
+//   * TraceReader — re-derives the trajectory frame by frame (bodies,
+//     DLE states, the occupied-node set) for offline inspection;
+//   * replay_trace — re-executes the run from the header and compares every
+//     round's full particle state against the trace (bit-identical
+//     trajectory regression) while a standard Auditor re-checks the paper
+//     invariants live;
+//   * audit_trace — runs the invariants on the reconstructed trajectory
+//     alone, no re-execution (the OBD conservation check is skipped:
+//     protocol internals are not traced).
+//
+// Like checkpoints, traces are artifacts of one build (the snapshot version
+// stamp plus a trace version word), not an archival format.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
+#include "util/snapshot.h"
+
+namespace pm::audit {
+
+struct TraceConfig {
+  pipeline::SeedPolicy seeds{};
+  amoebot::Order order = amoebot::Order::RandomPerm;
+  amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy;
+  int threads = 0;  // informational: replay is engine-agnostic
+  long max_rounds = 0;
+  std::vector<grid::Node> shape_nodes;
+  struct StageDesc {
+    pipeline::StageKind kind = pipeline::StageKind::Dle;
+    std::uint64_t config = 0;
+  };
+  std::vector<StageDesc> stages;
+};
+
+struct TraceParticle {
+  grid::Node head{};
+  grid::Node tail{};
+  std::uint8_t ori = 0;
+  core::DleState state{};
+};
+
+struct TraceOutcome {
+  bool completed = false;
+  amoebot::ParticleId leader = amoebot::kNoParticle;
+  grid::Node leader_node{};
+  long long moves = 0;
+  struct StageSummary {
+    pipeline::StageStatus status = pipeline::StageStatus::Pending;
+    long rounds = 0;
+    long long activations = 0;
+    int phases = 0;
+  };
+  std::vector<StageSummary> stages;  // aligned with TraceConfig::stages
+};
+
+// Records a run. Attach to a freshly built pipeline before it starts (and
+// again to every rebuilt pipeline when fault injection kills and resumes
+// the run — recording continues seamlessly); call finish() once the
+// pipeline is done. Only system-driving compositions are traceable (the
+// baselines carry no particle state).
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void attach(pipeline::Pipeline& pipe);
+  void finish(const pipeline::PipelineOutcome& out, const pipeline::RunContext& ctx);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  // The encoded trace; write snapshot().serialize() to a file.
+  [[nodiscard]] const Snapshot& snapshot() const;
+
+ private:
+  void on_round(const pipeline::Stage& stage, const pipeline::RunContext& ctx);
+  void on_erode(grid::Node v);
+
+  Snapshot snap_;
+  bool header_written_ = false;
+  bool finished_ = false;
+  std::size_t particle_count_ = 0;
+  std::vector<TraceConfig::StageDesc> stage_descs_;
+  std::vector<const pipeline::Stage*> stages_;  // current pipeline's stages
+  std::vector<std::array<std::uint64_t, 2>> mirror_;  // last written packed state
+  mutable std::mutex erode_mu_;
+  std::vector<grid::Node> erode_buffer_;
+};
+
+// Re-derives the recorded trajectory frame by frame.
+class TraceReader {
+ public:
+  // Takes its own copy of the word stream; throws pm::CheckError for a
+  // stream that is not a trace or is internally inconsistent.
+  explicit TraceReader(Snapshot snap);
+
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+  // Advances one frame; false once the terminator is reached (outcome()
+  // becomes valid). Throws pm::CheckError on a corrupt frame.
+  bool next();
+
+  [[nodiscard]] long round() const { return round_; }
+  [[nodiscard]] int stage_index() const { return stage_index_; }
+  [[nodiscard]] bool stage_done() const { return stage_done_; }
+  [[nodiscard]] long long moves() const { return moves_; }
+  [[nodiscard]] std::span<const grid::Node> eroded() const { return eroded_; }
+  [[nodiscard]] std::span<const int> changed() const { return changed_; }
+
+  [[nodiscard]] const std::vector<TraceParticle>& particles() const { return particles_; }
+  [[nodiscard]] const grid::NodeSet& occupied() const { return occupied_; }
+  [[nodiscard]] int expanded_count() const { return expanded_count_; }
+
+  [[nodiscard]] const TraceOutcome& outcome() const;
+
+ private:
+  Snapshot snap_;
+  TraceConfig config_;
+  TraceOutcome outcome_;
+  bool done_ = false;
+  long round_ = 0;
+  int stage_index_ = -1;
+  bool stage_done_ = false;
+  long long moves_ = 0;
+  std::vector<grid::Node> eroded_;
+  std::vector<int> changed_;
+  std::vector<TraceParticle> particles_;
+  std::vector<char> present_;  // particle seen in some frame yet?
+  grid::NodeSet occupied_;
+  int expanded_count_ = 0;
+};
+
+struct ReplayResult {
+  bool identical = false;     // re-execution matched the trace round for round
+  long divergence_round = -1; // first mismatching round (-1: none)
+  std::string detail;         // human-readable divergence description
+  long rounds = 0;            // rounds re-executed
+  pipeline::PipelineOutcome outcome;
+  std::vector<Violation> violations;  // the replay audit's findings
+};
+
+// Golden-trace regression: re-executes the traced run from its recorded
+// configuration (sequential engine) and compares every round plus the final
+// outcome against the trace, with a standard Auditor re-checking all
+// invariants along the way.
+[[nodiscard]] ReplayResult replay_trace(const Snapshot& trace,
+                                        const Options& audit_options = {});
+
+// Offline audit: the invariants run against the trajectory reconstructed
+// from the trace alone — nothing is re-executed.
+[[nodiscard]] std::vector<Violation> audit_trace(const Snapshot& trace,
+                                                 const Options& audit_options = {});
+
+}  // namespace pm::audit

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 
 #include "amoebot/scheduler.h"
@@ -75,6 +76,30 @@ class Dle {
  private:
   Options opts_{};
 };
+
+// DleState packs into one 15-bit word: status (2 bits), terminated (1), and
+// the outer/eligible port flags (6 each). Shared by the pipeline checkpoint
+// layer and the audit trace encoder so the two formats cannot drift.
+[[nodiscard]] inline std::uint64_t pack_dle_state(const DleState& st) {
+  std::uint64_t w = static_cast<std::uint64_t>(st.status) |
+                    (static_cast<std::uint64_t>(st.terminated) << 2);
+  for (int i = 0; i < 6; ++i) {
+    w |= static_cast<std::uint64_t>(st.outer[static_cast<std::size_t>(i)]) << (3 + i);
+    w |= static_cast<std::uint64_t>(st.eligible[static_cast<std::size_t>(i)]) << (9 + i);
+  }
+  return w;
+}
+
+[[nodiscard]] inline DleState unpack_dle_state(std::uint64_t w) {
+  DleState st;
+  st.status = static_cast<Status>(w & 0x3);
+  st.terminated = ((w >> 2) & 1) != 0;
+  for (int i = 0; i < 6; ++i) {
+    st.outer[static_cast<std::size_t>(i)] = ((w >> (3 + i)) & 1) != 0;
+    st.eligible[static_cast<std::size_t>(i)] = ((w >> (9 + i)) & 1) != 0;
+  }
+  return st;
+}
 
 // Outcome inspection helpers shared by tests/benches.
 struct ElectionOutcome {

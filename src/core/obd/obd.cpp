@@ -39,6 +39,15 @@ ObdRun::ObdRun(const amoebot::SystemCore& sys)
   flooded_.assign(static_cast<std::size_t>(sys.particle_count()), 0);
 }
 
+int ObdRun::protocol_ring_sum(int r) const {
+  PM_CHECK_MSG(r >= 0 && r < ring_count(), "protocol_ring_sum: bad ring " << r);
+  int sum = 0;
+  for (const int v : rings_.rings()[static_cast<std::size_t>(r)]) {
+    sum += vns_[static_cast<std::size_t>(v)].count;
+  }
+  return sum;
+}
+
 bool ObdRun::queue_has(const VN& vn, Kind k) const {
   auto match = [k](const Token& t) { return t.kind == k; };
   return std::any_of(vn.cw.begin(), vn.cw.end(), match) ||

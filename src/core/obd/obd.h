@@ -64,6 +64,19 @@ class ObdRun {
   // the outer face — the input Algorithm DLE expects.
   [[nodiscard]] std::array<bool, 6> outer_ports(amoebot::ParticleId p) const;
 
+  // --- audit inspection (src/audit's OBD conservation invariant) ---
+
+  // The static ring structure the protocol runs on.
+  [[nodiscard]] const grid::VNodeRings& rings() const { return rings_; }
+  [[nodiscard]] int ring_count() const { return static_cast<int>(rings_.rings().size()); }
+  // Sum of the *protocol's* per-v-node boundary counts along ring r. The
+  // geometry fixes this at +6 for the outer ring and -6 for each inner one
+  // (Observation 4), and no token exchange may ever change it — the audit
+  // layer re-sums it every audited round.
+  [[nodiscard]] int protocol_ring_sum(int r) const;
+  // Ring the protocol has decided is the outer one (-1 until detection).
+  [[nodiscard]] int detected_ring() const { return detected_ring_; }
+
   // Checkpoint/resume at round boundaries. OBD never moves particles, so
   // the ring structure is reconstructed from the (static) configuration by
   // the constructor; save/restore carry only the mutable protocol state

@@ -17,33 +17,10 @@ using core::DleState;
 
 namespace {
 
-// DleState packs into one word: status (2 bits), terminated (1), and the
-// outer/eligible port flags (6 each).
-std::uint64_t pack_state(const DleState& st) {
-  std::uint64_t w = static_cast<std::uint64_t>(st.status) |
-                    (static_cast<std::uint64_t>(st.terminated) << 2);
-  for (int i = 0; i < 6; ++i) {
-    w |= static_cast<std::uint64_t>(st.outer[static_cast<std::size_t>(i)]) << (3 + i);
-    w |= static_cast<std::uint64_t>(st.eligible[static_cast<std::size_t>(i)]) << (9 + i);
-  }
-  return w;
-}
-
-DleState unpack_state(std::uint64_t w) {
-  DleState st;
-  st.status = static_cast<core::Status>(w & 0x3);
-  st.terminated = ((w >> 2) & 1) != 0;
-  for (int i = 0; i < 6; ++i) {
-    st.outer[static_cast<std::size_t>(i)] = ((w >> (3 + i)) & 1) != 0;
-    st.eligible[static_cast<std::size_t>(i)] = ((w >> (9 + i)) & 1) != 0;
-  }
-  return st;
-}
-
 void save_system(Snapshot& snap, const RunContext::System& sys) {
   sys.save_core(snap);
   for (ParticleId p = 0; p < sys.particle_count(); ++p) {
-    snap.put(pack_state(sys.state(p)));
+    snap.put(core::pack_dle_state(sys.state(p)));
   }
 }
 
@@ -51,7 +28,7 @@ void restore_system(const Snapshot& snap, RunContext::System& sys) {
   sys.restore_core(snap);
   sys.reset_states();
   for (ParticleId p = 0; p < sys.particle_count(); ++p) {
-    sys.state(p) = unpack_state(snap.get());
+    sys.state(p) = core::unpack_dle_state(snap.get());
   }
 }
 
@@ -251,8 +228,11 @@ void Pipeline::restore(const Snapshot& snap) {
                "snapshot seed-policy mismatch");
   PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(ctx_.order),
                "snapshot scheduler-order mismatch");
-  PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(ctx_.occupancy),
-               "snapshot occupancy-mode mismatch");
+  // The occupancy mode is an index implementation choice, observably
+  // neutral (identical trajectories and metrics except the dense index's
+  // peak-extent gauge) — like the thread count, it may legitimately differ
+  // on resume, and the fault-injection harness exercises exactly that.
+  (void)snap.get();
   PM_CHECK_MSG(snap.get_i() == ctx_.max_rounds, "snapshot round-budget mismatch");
   PM_CHECK_MSG(snap.get() == shape_fingerprint(ctx_.initial),
                "snapshot initial-shape mismatch");

@@ -83,6 +83,7 @@ struct RunContext {
   using System = amoebot::System<core::DleState>;
   using RoundObserver = std::function<void(const Stage&, const RunContext&)>;
   using ActivationHook = std::function<void(System&, amoebot::ParticleId)>;
+  using ErodeHook = std::function<void(grid::Node)>;
 
   // --- configuration ---
   grid::Shape initial;
@@ -99,6 +100,12 @@ struct RunContext {
   // Invoked after every activation of the DLE stage (e.g. the disconnection
   // ablation's component tracking). Sequential engine only.
   ActivationHook activation_hook;
+  // Invoked for every point the DLE stage removes from the eligible set S_e
+  // (the audit layer's erosion-invariant feed; see src/audit). Works under
+  // every engine — with exec::ParallelEngine calls arrive concurrently from
+  // pool threads, so the hook must be thread-safe. Not serialized:
+  // re-attach after restore.
+  ErodeHook erode_hook;
 
   // --- run state (managed by Pipeline) ---
   System* sys = nullptr;
@@ -219,8 +226,9 @@ class Pipeline {
 
   // Checkpoint/resume at round boundaries. restore() must be called on a
   // freshly constructed Pipeline with an identical stage composition and
-  // configuration (seeds, order, occupancy; the thread count may differ —
-  // engine snapshots are engine-portable).
+  // configuration (seeds, order; the thread count and occupancy mode may
+  // differ — engine snapshots are engine-portable, and the occupancy index
+  // is observably neutral apart from the peak-extent gauge).
   void save(Snapshot& snap) const;
   void restore(const Snapshot& snap);
 

@@ -94,6 +94,10 @@ std::uint64_t DleStage::config_word() const { return dle_opts_.connected_pull ? 
 
 void DleStage::make_driver(RunContext& ctx, bool start_now) {
   RunContext::System& sys = ctx.system();
+  // Feed S_e removals to whoever asked (the audit layer). Re-wired on every
+  // driver construction, including checkpoint restore, because hooks are
+  // never serialized.
+  algo_.on_erode = ctx.erode_hook;
   const amoebot::RunOptions ropts{ctx.order, ctx.seeds.schedule_seed(), ctx.max_rounds};
   if (ctx.activation_hook) {
     PM_CHECK_MSG(ctx.threads == 0,

@@ -47,6 +47,10 @@ class ObdStage final : public Stage {
   void init(RunContext& ctx) override;
   bool step_round() override;
 
+  // The live protocol engine, for the audit layer's OBD conservation
+  // invariant (nullptr while Pending or when the stage was skipped).
+  [[nodiscard]] const core::ObdRun* run() const { return obd_.get(); }
+
  protected:
   void state_save(Snapshot& snap) const override;
   void state_restore(RunContext& ctx, const Snapshot& snap) override;

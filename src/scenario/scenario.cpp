@@ -11,6 +11,9 @@
 #include <sstream>
 #include <utility>
 
+#include "audit/audit.h"
+#include "audit/fault.h"
+#include "audit/trace.h"
 #include "exec/thread_pool.h"
 #include "grid/metrics.h"
 #include "pipeline/pipeline.h"
@@ -79,6 +82,7 @@ std::string default_name(const Spec& spec) {
   if (spec.p2 != 0) os << "," << spec.p2;
   os << ")";
   if (spec.threads > 0) os << "@t" << spec.threads;
+  if (spec.fault_seed != 0) os << "!f" << spec.fault_seed;
   return os.str();
 }
 
@@ -160,44 +164,10 @@ pipeline::Pipeline build_pipeline(const Spec& spec, pipeline::RunContext ctx) {
   return Pipeline(pipeline::RunContext{});
 }
 
-}  // namespace
-
-Result run_scenario(const Spec& spec) {
-  PM_CHECK_MSG(!(spec.threads > 0 && spec.track_components),
-               "component tracking hooks require the sequential engine");
-  PM_CHECK_MSG(spec.threads == 0 || algo_uses_engine(spec.algo),
-               "threads set on algo '" << algo_name(spec.algo)
-                                       << "', which never consults the Engine — the "
-                                          "reported thread count would be a lie");
-  Result res;
-  res.spec = spec;
-  if (res.spec.name.empty()) res.spec.name = default_name(spec);
-
-  const grid::Shape shape = build_shape(spec);
-  const auto m = grid::compute_metrics(shape);
-  res.n = m.n;
-  res.holes = m.holes;
-  res.d = m.d;
-  res.d_area = m.d_area;
-  res.d_grid = m.d_grid;
-  res.l_out = m.l_out;
-
-  const auto t0 = WallClock::now();
-
-  pipeline::RunContext ctx;
-  ctx.initial = shape;
-  ctx.seeds = seed_policy_for(spec);
-  ctx.order = spec.order;
-  ctx.occupancy = spec.occupancy;
-  ctx.threads = spec.threads;
-  ctx.max_rounds = spec.max_rounds;
-  if (spec.track_components) {
-    ctx.activation_hook = ComponentTracker{&res.max_components};
-  }
-
-  pipeline::Pipeline pipe = build_pipeline(spec, std::move(ctx));
-  const pipeline::PipelineOutcome out = pipe.run();
-
+// Maps a finished pipeline's outcome into the flat Result rows.
+void fill_result(Result& res, const Spec& spec, const grid::Shape& shape,
+                 const pipeline::PipelineOutcome& out,
+                 const pipeline::RunContext& pctx) {
   for (const pipeline::StageReport& s : out.stages) {
     switch (s.kind) {
       case pipeline::StageKind::Obd:
@@ -222,7 +192,6 @@ Result run_scenario(const Spec& spec) {
     }
   }
   res.completed = out.completed;
-  const pipeline::RunContext& pctx = pipe.context();
   if (pctx.sys != nullptr) {
     // Success requires a *unique* leader (the DLE stage enforces it); the
     // reported count is the true outcome — 0, 1, or several.
@@ -240,6 +209,155 @@ Result run_scenario(const Spec& spec) {
       res.ecc = grid::eccentricity_grid(pctx.leader_node, shape.nodes());
     }
   }
+}
+
+const char* spec_label(const Result& res) { return res.spec.name.c_str(); }
+
+}  // namespace
+
+Result run_scenario(const Spec& spec) { return run_scenario(spec, RunHooks{}); }
+
+Result run_scenario(const Spec& spec, const RunHooks& hooks) {
+  PM_CHECK_MSG(!(spec.threads > 0 && spec.track_components),
+               "component tracking hooks require the sequential engine");
+  PM_CHECK_MSG(spec.threads == 0 || algo_uses_engine(spec.algo),
+               "threads set on algo '" << algo_name(spec.algo)
+                                       << "', which never consults the Engine — the "
+                                          "reported thread count would be a lie");
+  PM_CHECK_MSG(!(spec.fault_seed != 0 && spec.track_components),
+               "fault plans may resume under a parallel engine; component tracking "
+               "requires the sequential one throughout");
+  Result res;
+  res.spec = spec;
+  if (res.spec.name.empty()) res.spec.name = default_name(spec);
+
+  const grid::Shape shape = build_shape(spec);
+  const auto m = grid::compute_metrics(shape);
+  res.n = m.n;
+  res.holes = m.holes;
+  res.d = m.d;
+  res.d_area = m.d_area;
+  res.d_grid = m.d_grid;
+  res.l_out = m.l_out;
+
+  const auto t0 = WallClock::now();
+
+  auto make_ctx = [&](int threads, OccupancyMode occupancy) {
+    pipeline::RunContext ctx;
+    ctx.initial = shape;
+    ctx.seeds = seed_policy_for(spec);
+    ctx.order = spec.order;
+    ctx.occupancy = occupancy;
+    ctx.threads = threads;
+    ctx.max_rounds = spec.max_rounds;
+    if (spec.track_components) {
+      ctx.activation_hook = ComponentTracker{&res.max_components};
+    }
+    return ctx;
+  };
+
+  const bool instrumented = spec.fault_seed != 0 || hooks.audit ||
+                            !hooks.trace_path.empty() || hooks.checkpoint_every > 0 ||
+                            hooks.resume;
+  if (!instrumented) {
+    // The plain path, untouched: build one pipeline, run it to completion.
+    pipeline::Pipeline pipe = build_pipeline(spec, make_ctx(spec.threads, spec.occupancy));
+    const pipeline::PipelineOutcome out = pipe.run();
+    fill_result(res, spec, shape, out, pipe.context());
+    res.wall_ms = ms_since(t0);
+    return res;
+  }
+
+  // Instrumented path: the FaultRunner hosts faults, auditing, tracing and
+  // checkpointing in one loop (an empty plan degrades to a plain stepped
+  // run).
+  audit::FaultPlan plan;
+  if (spec.fault_seed != 0) {
+    // Horizon scaled to the DLE erosion span so kills land mid-run across
+    // the registry's shapes; kills past completion never fire.
+    const long horizon = std::max<long>(6, 2L * m.d_area);
+    plan = audit::FaultPlan::from_seed(spec.fault_seed, horizon, spec.threads,
+                                       spec.occupancy);
+  }
+  audit::FaultRunner runner(
+      [&](int threads, OccupancyMode occupancy) {
+        return build_pipeline(spec, make_ctx(threads, occupancy));
+      },
+      std::move(plan), spec.threads, spec.occupancy);
+
+  std::unique_ptr<audit::Auditor> auditor;
+  if (hooks.audit) {
+    audit::Options aopts;
+    aopts.check_every = std::max<long>(1, hooks.audit_every);
+    auditor = audit::Auditor::standard(aopts);
+    runner.set_auditor(auditor.get(), &m);
+  }
+  audit::TraceWriter writer;
+  bool tracing = false;
+  if (!hooks.trace_path.empty()) {
+    if (hooks.resume) {
+      // A resumed run starts mid-trajectory; a trace with a fresh-run
+      // header but mid-run frames would fail its own --replay contract.
+      std::fprintf(stderr,
+                   "scenario %s: --trace records whole runs and --resume may start "
+                   "mid-run, not tracing\n",
+                   spec_label(res));
+    } else if (algo_uses_engine(spec.algo) || spec.algo == Algo::ObdOnly) {
+      tracing = true;
+      runner.set_trace(&writer);
+    } else {
+      std::fprintf(stderr, "scenario %s: baseline algos have no trajectory, not tracing\n",
+                   spec_label(res));
+    }
+  }
+  if (hooks.checkpoint_every > 0 || hooks.resume) {
+    runner.set_checkpoint(hooks.checkpoint_every, hooks.checkpoint_path);
+  }
+  if (hooks.resume) {
+    std::string why;
+    if (runner.try_resume(&why)) {
+      std::fprintf(stderr, "scenario %s: resumed from %s\n", spec_label(res),
+                   hooks.checkpoint_path.c_str());
+    } else {
+      std::fprintf(stderr, "scenario %s: %s — running fresh\n", spec_label(res),
+                   why.c_str());
+    }
+  }
+
+  const pipeline::PipelineOutcome out = runner.run();
+  const pipeline::RunContext& pctx = runner.pipeline().context();
+  fill_result(res, spec, shape, out, pctx);
+
+  if (auditor != nullptr) {
+    auditor->finish(out, pctx);
+    res.audit_violations = static_cast<int>(auditor->violations().size());
+    if (!auditor->clean()) {
+      std::fprintf(stderr, "scenario %s: %s\n", spec_label(res),
+                   auditor->report().c_str());
+    }
+    if (hooks.audit_report != nullptr) {
+      for (const audit::Violation& v : auditor->violations()) {
+        hooks.audit_report->push_back("[" + v.invariant + "] round " +
+                                      std::to_string(v.round) + " (" + v.stage +
+                                      "): " + v.detail);
+      }
+    }
+  }
+  if (tracing) {
+    writer.finish(out, pctx);
+    std::ofstream file(hooks.trace_path);
+    if (file) {
+      file << writer.snapshot().serialize();
+    } else {
+      std::fprintf(stderr, "scenario %s: cannot write trace %s\n", spec_label(res),
+                   hooks.trace_path.c_str());
+    }
+  }
+  if ((hooks.checkpoint_every > 0 || hooks.resume) && !hooks.checkpoint_path.empty()) {
+    // An orderly end makes the periodic checkpoint stale; only a killed
+    // process leaves one behind for --resume.
+    std::remove(hooks.checkpoint_path.c_str());
+  }
   res.wall_ms = ms_since(t0);
   return res;
 }
@@ -248,7 +366,27 @@ std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts) {
   // reps = 0 would make every scenario silently report as failed; fail
   // loudly instead (bench_main validates its flags, direct callers may not).
   PM_CHECK_MSG(opts.reps >= 1, "run_suite needs reps >= 1 (got " << opts.reps << ")");
-  auto run_one = [&](const Spec& s) -> Result {
+  // Per-scenario instrumentation file names are index-keyed: scenario
+  // labels contain shell-hostile characters, indices are stable.
+  auto hooks_for = [&](int index) {
+    RunHooks hooks;
+    hooks.audit = opts.audit;
+    hooks.audit_every = opts.audit_every;
+    char idx[16];
+    std::snprintf(idx, sizeof idx, "%03d", index);
+    if (!opts.trace_prefix.empty()) {
+      hooks.trace_path = opts.trace_prefix + "." + suite.name + "." + idx + ".trace";
+    }
+    if (opts.checkpoint_every > 0 || opts.resume) {
+      hooks.checkpoint_every = opts.checkpoint_every;
+      hooks.checkpoint_path =
+          opts.checkpoint_dir + "/CKPT_" + suite.name + "_" + idx + ".snap";
+      hooks.resume = opts.resume;
+    }
+    return hooks;
+  };
+
+  auto run_one = [&](int index, const Spec& s) -> Result {
     // Best-of-N repetitions: every rep rebuilds the system from scratch, so
     // the dense occupancy index starts from a fresh bounding box each time.
     // Results are identical across reps except for the wall-clock fields;
@@ -256,11 +394,12 @@ std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts) {
     // invariant, or a system error like thread exhaustion, must not abort
     // the suite (the ThreadPool's workers require it) nor discard a
     // complete Result an earlier rep already produced.
+    const RunHooks hooks = hooks_for(index);
     bool have = false;
     Result best;
     for (int rep = 0; rep < opts.reps; ++rep) {
       try {
-        Result next = run_scenario(s);
+        Result next = run_scenario(s, hooks);
         if (!have || next.wall_ms < best.wall_ms) best = std::move(next);
         have = true;
       } catch (const std::exception& e) {
@@ -286,11 +425,11 @@ std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts) {
     // in time only. (run_one never throws; the pool requires that.)
     exec::ThreadPool pool(std::min(opts.jobs, n));
     pool.for_each_index(n, [&](int i) {
-      results[static_cast<std::size_t>(i)] = run_one(suite.specs[static_cast<std::size_t>(i)]);
+      results[static_cast<std::size_t>(i)] = run_one(i, suite.specs[static_cast<std::size_t>(i)]);
     });
   } else {
     for (int i = 0; i < n; ++i) {
-      results[static_cast<std::size_t>(i)] = run_one(suite.specs[static_cast<std::size_t>(i)]);
+      results[static_cast<std::size_t>(i)] = run_one(i, suite.specs[static_cast<std::size_t>(i)]);
     }
   }
   return results;
@@ -455,6 +594,94 @@ Suite suite_parallel_smoke() {
   return suite;
 }
 
+// Adversarial coverage (ROADMAP "scenario coverage" item): mixed shapegen
+// populations swept over scheduler seeds, including RandomStream — the
+// adversary-friendliest fair order — plus full-pipeline and reconnecting
+// compositions on irregular shapes.
+Suite suite_dle_adversarial() {
+  Suite suite{"dle_adversarial",
+              "Adversarial sweep: mixed shapegen populations x seeds x orders", {}};
+  for (const std::uint64_t seed : {101, 202, 303}) {
+    const std::vector<Spec> shapes = {
+        shape_spec("cheese", 7, 4, seed),    shape_spec("blob", 400, 0, seed + 1),
+        shape_spec("spiral", 6, 2, 0),       shape_spec("comb", 10, 6, 0),
+        shape_spec("annulus", 10, 7, 0),
+    };
+    for (const auto& sh : shapes) {
+      Spec s = sh;
+      s.algo = Algo::DleOracle;
+      s.seed = seed;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  for (const Spec& sh : {shape_spec("cheese", 6, 3, 9), shape_spec("blob", 300, 0, 17),
+                         shape_spec("comb", 8, 5, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::DleOracle;
+    s.order = Order::RandomStream;
+    s.seed = 404;
+    suite.specs.push_back(std::move(s));
+  }
+  for (const Spec& sh : {shape_spec("cheese", 5, 2, 4), shape_spec("blob", 300, 0, 7)}) {
+    Spec s = sh;
+    s.algo = Algo::PipelineFull;
+    s.seed = 8;
+    suite.specs.push_back(std::move(s));
+  }
+  for (const Spec& sh : {shape_spec("blob", 250, 0, 31), shape_spec("annulus", 8, 7, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::DleCollect;
+    s.seed = 13;
+    suite.specs.push_back(std::move(s));
+  }
+  return suite;
+}
+
+// Audit fuzz: the ISSUE's shapegen families x adversarial seeds x seeded
+// fault plans. Every row carries a fault_seed, so running the suite
+// exercises kill/resume (including engine switches) on every scenario;
+// `pm_bench audit_fuzz --audit` additionally checks all paper invariants
+// across each kill.
+Suite suite_audit_fuzz() {
+  Suite suite{"audit_fuzz",
+              "Audit fuzz: shapegen families x seeds x fault plans (kill/resume)", {}};
+  std::uint64_t fault = 0xF00D;
+  int i = 0;
+  for (const std::uint64_t seed : {11, 47, 83}) {
+    const std::vector<Spec> shapes = {
+        shape_spec("cheese", 6, 3, seed),
+        shape_spec("blob", 300, 0, seed),
+        shape_spec("spiral", 5, 2, 0),
+        shape_spec("comb", 8, 5, 0),
+    };
+    for (const auto& sh : shapes) {
+      Spec s = sh;
+      s.algo = Algo::DleOracle;
+      s.order = (i++ % 2 == 0) ? Order::RandomPerm : Order::RandomStream;
+      s.seed = seed;
+      s.fault_seed = ++fault;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  // Full-pipeline rows: kills land inside OBD's token protocol too.
+  for (const Spec& sh : {shape_spec("cheese", 5, 2, 4), shape_spec("comb", 6, 4, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::PipelineFull;
+    s.seed = 8;
+    s.fault_seed = ++fault;
+    suite.specs.push_back(std::move(s));
+  }
+  // Reconnecting rows: kills land inside Collect.
+  for (const Spec& sh : {shape_spec("blob", 200, 0, 31), shape_spec("annulus", 8, 6, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::DleCollect;
+    s.seed = 13;
+    s.fault_seed = ++fault;
+    suite.specs.push_back(std::move(s));
+  }
+  return suite;
+}
+
 using SuiteBuilder = Suite (*)();
 
 const std::vector<std::pair<const char*, SuiteBuilder>>& registry() {
@@ -467,6 +694,8 @@ const std::vector<std::pair<const char*, SuiteBuilder>>& registry() {
       {"dle_large", suite_dle_large},
       {"parallel_scaling", suite_parallel_scaling},
       {"parallel_smoke", suite_parallel_smoke},
+      {"dle_adversarial", suite_dle_adversarial},
+      {"audit_fuzz", suite_audit_fuzz},
   };
   return reg;
 }
@@ -520,6 +749,24 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
   }
   os << "=== suite " << suite.name << " — " << suite.description << " ===\n"
      << table.to_string();
+
+  // Audit summary (only when the suite ran with --audit).
+  {
+    int audited = 0;
+    int violations = 0;
+    for (const Result& r : results) {
+      if (r.audit_violations >= 0) {
+        ++audited;
+        violations += r.audit_violations;
+      }
+    }
+    if (audited > 0) {
+      os << "audit: " << audited << " scenarios checked, "
+         << (violations == 0 ? std::string("all invariants clean")
+                             : std::to_string(violations) + " violation(s) — see stderr")
+         << "\n";
+    }
+  }
 
   // Suite-specific scaling summaries (the fits the seed benches printed).
   auto fit_line = [&](const char* label, std::vector<double> xs, std::vector<double> ys,
@@ -620,6 +867,7 @@ void result_json(std::ostream& os, const Result& r, const char* indent) {
      << "\"algo\": \"" << algo_name(r.spec.algo) << "\", "
      << "\"order\": \"" << amoebot::order_name(r.spec.order) << "\", "
      << "\"seed\": " << r.spec.seed << ", "
+     << "\"fault_seed\": " << r.spec.fault_seed << ", "
      << "\"occupancy\": \"" << occupancy_name(r.spec.occupancy) << "\", "
      << "\"threads\": " << r.spec.threads << ", "
      << "\"n\": " << r.n << ", \"holes\": " << r.holes << ", \"d\": " << r.d
@@ -633,7 +881,8 @@ void result_json(std::ostream& os, const Result& r, const char* indent) {
      << ", \"completed\": " << (r.completed ? "true" : "false")
      << ", \"leaders\": " << r.leaders
      << ", \"max_components\": " << r.max_components
-     << ", \"peak_occupancy_cells\": " << r.peak_occupancy_cells;
+     << ", \"peak_occupancy_cells\": " << r.peak_occupancy_cells
+     << ", \"audit_violations\": " << r.audit_violations;
   std::snprintf(wall, sizeof wall, "%.3f", r.wall_ms);
   os << ", \"wall_ms\": " << wall;
   std::snprintf(wall, sizeof wall, "%.3f", r.obd_ms);
@@ -650,7 +899,7 @@ std::string to_json(const Suite& suite, const std::vector<Result>& results) {
   std::ostringstream os;
   os << "{\n  \"suite\": \"" << json_escape(suite.name) << "\",\n"
      << "  \"description\": \"" << json_escape(suite.description) << "\",\n"
-     << "  \"schema_version\": 2,\n"
+     << "  \"schema_version\": 3,\n"
      << "  \"git_describe\": \"" << json_escape(PM_GIT_DESCRIBE) << "\",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -664,14 +913,15 @@ std::string to_json(const Suite& suite, const std::vector<Result>& results) {
 
 std::string to_csv(const std::vector<Result>& results) {
   std::ostringstream os;
-  os << "scenario,family,algo,order,seed,occupancy,threads,n,holes,d,d_area,d_grid,l_out,"
-        "ecc,obd_rounds,dle_rounds,collect_rounds,baseline_rounds,total_rounds,phases,"
-        "activations,moves,completed,leaders,max_components,peak_occupancy_cells,"
-        "wall_ms\n";
+  os << "scenario,family,algo,order,seed,fault_seed,occupancy,threads,n,holes,d,d_area,"
+        "d_grid,l_out,ecc,obd_rounds,dle_rounds,collect_rounds,baseline_rounds,"
+        "total_rounds,phases,activations,moves,completed,leaders,max_components,"
+        "peak_occupancy_cells,audit_violations,wall_ms\n";
   for (const Result& r : results) {
     // Scenario labels like "annulus(8,5)" contain commas — always quoted.
     os << '"' << r.spec.name << "\"," << r.spec.family << "," << algo_name(r.spec.algo) << ","
        << amoebot::order_name(r.spec.order) << "," << r.spec.seed << ","
+       << r.spec.fault_seed << ","
        << occupancy_name(r.spec.occupancy) << "," << r.spec.threads << ","
        << r.n << "," << r.holes << "," << r.d
        << "," << r.d_area << "," << r.d_grid << "," << r.l_out << "," << r.ecc << ","
@@ -679,7 +929,7 @@ std::string to_csv(const std::vector<Result>& results) {
        << r.baseline_rounds << "," << r.total_rounds() << "," << r.phases << ","
        << r.activations << "," << r.moves << "," << (r.completed ? 1 : 0) << ","
        << r.leaders << "," << r.max_components << "," << r.peak_occupancy_cells << ","
-       << r.wall_ms << "\n";
+       << r.audit_violations << "," << r.wall_ms << "\n";
   }
   return os.str();
 }
@@ -729,9 +979,68 @@ void usage(const char* prog) {
       "  --occupancy=MODE       dense | hash | differential (default: build default)\n"
       "  --compare-occupancy    run each suite with dense AND hash occupancy and\n"
       "                         report the wall-time speedup per scenario\n"
+      "  --audit                check the paper's invariants every round (connectivity,\n"
+      "                         S_e erosion, OBD ring conservation, unique leader,\n"
+      "                         termination, round budget); non-zero exit on violation\n"
+      "  --audit-every=N        audit cadence in rounds (default 1; stage transitions\n"
+      "                         are always audited)\n"
+      "  --trace=PREFIX         record one trajectory trace per scenario to\n"
+      "                         PREFIX.<suite>.<NNN>.trace (baselines skipped)\n"
+      "  --replay=FILE          replay a recorded trace instead of running suites:\n"
+      "                         re-executes it, checks bit-identical trajectory, and\n"
+      "                         audits both live and offline; exit 0 iff clean\n"
+      "  --checkpoint-every=N   write a per-scenario checkpoint every N rounds to\n"
+      "                         <checkpoint-dir>/CKPT_<suite>_<NNN>.snap (removed on\n"
+      "                         orderly completion)\n"
+      "  --checkpoint-dir=DIR   where checkpoints live (default .)\n"
+      "  --resume               resume each scenario from its checkpoint file when\n"
+      "                         one is present and valid (else run fresh)\n"
       "SUITE may be a registered name or 'all' (every suite except the heavy\n"
       "large-n sweeps dle_large and parallel_scaling).\n",
       prog);
+}
+
+}  // namespace
+
+namespace {
+
+// Standalone --replay mode: the file is re-executed against its recorded
+// configuration, compared round-for-round, and audited twice (live during
+// the re-execution, then offline on the reconstructed trajectory alone).
+int replay_main(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read trace %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const Snapshot trace = Snapshot::parse(buf.str());
+    const audit::ReplayResult rr = audit::replay_trace(trace);
+    if (rr.identical) {
+      std::printf("replay %s: %ld rounds re-executed, trajectory bit-identical\n",
+                  path.c_str(), rr.rounds);
+    } else {
+      std::printf("replay %s: DIVERGED at round %ld: %s\n", path.c_str(),
+                  rr.divergence_round, rr.detail.c_str());
+    }
+    std::printf("audit (live replay): %zu violation(s)\n", rr.violations.size());
+    for (const audit::Violation& v : rr.violations) {
+      std::printf("  [%s] round %ld (%s): %s\n", v.invariant.c_str(), v.round,
+                  v.stage.c_str(), v.detail.c_str());
+    }
+    const std::vector<audit::Violation> offline = audit::audit_trace(trace);
+    std::printf("audit (offline, from trace alone): %zu violation(s)\n", offline.size());
+    for (const audit::Violation& v : offline) {
+      std::printf("  [%s] round %ld (%s): %s\n", v.invariant.c_str(), v.round,
+                  v.stage.c_str(), v.detail.c_str());
+    }
+    return rr.identical && rr.violations.empty() && offline.empty() ? 0 : 1;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "replay %s failed: %s\n", path.c_str(), e.what());
+    return 2;
+  }
 }
 
 }  // namespace
@@ -741,13 +1050,20 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   std::vector<std::string> filters;
   std::string json_dir = ".";
   std::string csv_path;
+  std::string replay_path;
+  std::string trace_prefix;
+  std::string checkpoint_dir = ".";
   bool no_json = false;
   bool compare = false;
   bool have_occ = false;
+  bool do_audit = false;
+  bool resume = false;
   OccupancyMode occ = OccupancyMode::Dense;
   int threads = -1;  // -1 = leave each spec's own value
   int jobs = 1;
   int reps = 1;
+  int audit_every = 1;
+  int checkpoint_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -812,6 +1128,39 @@ int bench_main(int argc, char** argv, const char* default_suite) {
         std::fprintf(stderr, "bad --reps value (need an integer >= 1)\n");
         return 2;
       }
+    } else if (arg == "--audit") {
+      do_audit = true;
+    } else if (arg == "--audit-every" || arg.rfind("--audit-every=", 0) == 0) {
+      if (!next_value("--audit-every", v) || !parse_count(v, 1, audit_every)) {
+        std::fprintf(stderr, "bad --audit-every value (need an integer >= 1)\n");
+        return 2;
+      }
+      do_audit = true;
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      if (!next_value("--trace", v) || v.empty()) {
+        std::fprintf(stderr, "--trace needs a file prefix\n");
+        return 2;
+      }
+      trace_prefix = v;
+    } else if (arg == "--replay" || arg.rfind("--replay=", 0) == 0) {
+      if (!next_value("--replay", v) || v.empty()) {
+        std::fprintf(stderr, "--replay needs a trace file\n");
+        return 2;
+      }
+      replay_path = v;
+    } else if (arg == "--checkpoint-every" || arg.rfind("--checkpoint-every=", 0) == 0) {
+      if (!next_value("--checkpoint-every", v) || !parse_count(v, 1, checkpoint_every)) {
+        std::fprintf(stderr, "bad --checkpoint-every value (need an integer >= 1)\n");
+        return 2;
+      }
+    } else if (arg == "--checkpoint-dir" || arg.rfind("--checkpoint-dir=", 0) == 0) {
+      if (!next_value("--checkpoint-dir", v) || v.empty()) {
+        std::fprintf(stderr, "--checkpoint-dir needs a directory\n");
+        return 2;
+      }
+      checkpoint_dir = v;
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -820,6 +1169,7 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       wanted.push_back(arg);
     }
   }
+  if (!replay_path.empty()) return replay_main(replay_path);
   if (compare && have_occ) {
     std::fprintf(stderr,
                  "--compare-occupancy runs dense and hash itself; it cannot be "
@@ -865,6 +1215,9 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   names = std::move(unique_names);
 
   std::vector<Result> all_results;
+  // Violations from runs that are not part of all_results (the hash pass
+  // of --compare-occupancy) still count toward the audit exit gate.
+  long side_violations = 0;
   for (const auto& name : names) {
     Suite suite;
     try {
@@ -887,7 +1240,15 @@ int bench_main(int argc, char** argv, const char* default_suite) {
 
     // In compare mode the suite's reported results ARE the dense pass, and
     // a hash pass runs next to it — each spec executes exactly twice.
-    const SuiteRunOptions ropts{jobs, reps};
+    SuiteRunOptions ropts;
+    ropts.jobs = jobs;
+    ropts.reps = reps;
+    ropts.audit = do_audit;
+    ropts.audit_every = audit_every;
+    ropts.trace_prefix = trace_prefix;
+    ropts.checkpoint_every = checkpoint_every;
+    ropts.checkpoint_dir = checkpoint_dir;
+    ropts.resume = resume;
     Suite primary = suite;
     if (compare) {
       for (Spec& s : primary.specs) s.occupancy = OccupancyMode::Dense;
@@ -898,6 +1259,9 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       Suite hashed = suite;
       for (Spec& s : hashed.specs) s.occupancy = OccupancyMode::Hash;
       hash_results = run_suite(hashed, ropts);
+      for (const Result& r : hash_results) {
+        if (r.audit_violations > 0) side_violations += r.audit_violations;
+      }
     }
     print_results(suite, results, std::cout);
 
@@ -943,6 +1307,17 @@ int bench_main(int argc, char** argv, const char* default_suite) {
     }
     out << to_csv(all_results);
     std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (do_audit) {
+    long violations = side_violations;
+    for (const Result& r : all_results) {
+      if (r.audit_violations > 0) violations += r.audit_violations;
+    }
+    if (violations > 0) {
+      std::fprintf(stderr, "AUDIT FAILED: %ld invariant violation(s) across all suites\n",
+                   violations);
+      return 1;
+    }
   }
   return 0;
 }

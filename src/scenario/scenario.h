@@ -61,6 +61,12 @@ struct Spec {
   // bit-for-bit identical across thread counts; only wall times move.
   // Incompatible with track_components (hooks are sequential-only).
   int threads = 0;
+  // Non-zero: a seeded audit::FaultPlan kills the run at derived round
+  // boundaries and resumes it from its own checkpoint (possibly under the
+  // other engine kind), proving crash-determinism per scenario — every
+  // Result field except wall times is bit-identical to an uninterrupted
+  // run. Incompatible with track_components (fault plans switch engines).
+  std::uint64_t fault_seed = 0;
 };
 
 // Materializes the Spec's shape (deterministic in the Spec fields).
@@ -88,6 +94,7 @@ struct Result {
   int leaders = -1;  // unique-leader check, -1 = not applicable
   int max_components = 0;  // only when spec.track_components
   long long peak_occupancy_cells = 0;
+  int audit_violations = -1;  // -1 = not audited; else the Auditor's count
   // Wall-clock (the only nondeterministic fields).
   double wall_ms = 0.0;
   double obd_ms = 0.0;
@@ -100,6 +107,32 @@ struct Result {
 };
 
 Result run_scenario(const Spec& spec);
+
+// Optional per-run instrumentation (src/audit wiring), all off by default.
+// run_scenario(spec) is exactly run_scenario(spec, {}).
+struct RunHooks {
+  // Attach the standard invariant Auditor (paper invariants, see
+  // audit/audit.h); the violation count lands in Result::audit_violations
+  // and details go to stderr / `audit_report`.
+  bool audit = false;
+  long audit_every = 1;  // audit cadence in pipeline rounds
+  // Record a delta-encoded trace of the run to this file (audit/trace.h);
+  // baseline algos carry no particle trajectory and are skipped with a
+  // warning.
+  std::string trace_path;
+  // Periodic auto-checkpointing: write pipeline (+ audit) state to
+  // `checkpoint_path` every N pipeline rounds; the file is removed once
+  // the run ends in an orderly way.
+  long checkpoint_every = 0;
+  std::string checkpoint_path;
+  // Resume from `checkpoint_path` when it holds a valid checkpoint of this
+  // exact scenario; otherwise run fresh (with a stderr note).
+  bool resume = false;
+  // Out-param (may be null): one formatted line per audit violation.
+  std::vector<std::string>* audit_report = nullptr;
+};
+
+Result run_scenario(const Spec& spec, const RunHooks& hooks);
 
 struct Suite {
   std::string name;
@@ -118,6 +151,16 @@ struct SuiteRunOptions {
   // Best-of-N repetitions per spec: every rep rebuilds the system from
   // scratch; the fastest rep's Result is kept.
   int reps = 1;
+  // Per-scenario instrumentation, fanned out to run_scenario: invariant
+  // auditing, trace recording (one file per scenario under trace_prefix),
+  // and periodic checkpointing with resume-from-latest (one checkpoint
+  // file per scenario under checkpoint_dir).
+  bool audit = false;
+  long audit_every = 1;
+  std::string trace_prefix;
+  long checkpoint_every = 0;
+  std::string checkpoint_dir = ".";
+  bool resume = false;
 };
 
 // Runs every spec of a suite (in spec order; a failed scenario yields an
@@ -144,8 +187,11 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 //   pm_bench [SUITE ...] [--list] [--suite FILTER] [--threads N] [--jobs N]
 //            [--reps N] [--json-dir=DIR] [--no-json] [--csv=FILE]
 //            [--occupancy=dense|hash|differential] [--compare-occupancy]
+//            [--audit] [--audit-every=N] [--trace=PREFIX] [--replay=FILE]
+//            [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume]
 // `default_suite` is what a per-suite shim binary runs when no suite is
-// named on the command line (nullptr = "all").
+// named on the command line (nullptr = "all"). Returns non-zero when
+// --audit found violations or a --replay diverged.
 int bench_main(int argc, char** argv, const char* default_suite = nullptr);
 
 }  // namespace pm::scenario

@@ -36,36 +36,74 @@ std::string Snapshot::serialize() const {
   return os.str();
 }
 
+namespace {
+
+// Fails a parse with a structured error: all malformed-input paths funnel
+// here so corrupt checkpoint/trace files surface as Snapshot::ParseError
+// (never UB, never a plain assert).
+[[noreturn]] void parse_fail(const std::string& what) {
+  throw Snapshot::ParseError("snapshot parse: " + what);
+}
+
+}  // namespace
+
 Snapshot Snapshot::parse(const std::string& text) {
   std::istringstream is(text);
   std::string magic;
-  int version = 0;
-  std::size_t count = 0;
-  is >> magic >> version >> count;
-  PM_CHECK_MSG(is && magic == "pm-snapshot", "not a pm-snapshot document");
-  PM_CHECK_MSG(version == 1, "unsupported snapshot version " << version);
+  std::string version_tok;
+  std::string count_tok;
+  is >> magic >> version_tok >> count_tok;
+  if (!is || magic != "pm-snapshot") parse_fail("not a pm-snapshot document");
+  // Parse version and count from their tokens by hand: extracting into an
+  // unsigned integer would silently wrap a negative header field.
+  if (version_tok != "1") parse_fail("unsupported snapshot version '" + version_tok + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long count_v = std::strtoull(count_tok.c_str(), &end, 10);
+  if (count_tok.empty() || count_tok[0] == '-' || count_tok[0] == '+' || errno != 0 ||
+      end == nullptr || *end != '\0') {
+    parse_fail("malformed word count '" + count_tok + "'");
+  }
   // A corrupted header must fail cleanly, not turn into a multi-gigabyte
   // reserve: 2^27 words (1 GiB) is far above any real checkpoint.
-  PM_CHECK_MSG(count <= (1ULL << 27), "snapshot header word count " << count
-                                          << " implausibly large");
+  if (count_v > (1ULL << 27)) {
+    parse_fail("header word count " + count_tok + " implausibly large");
+  }
+  const auto count = static_cast<std::size_t>(count_v);
   Snapshot snap;
   snap.words_.reserve(count);
   std::string word;
   for (std::size_t i = 0; i < count; ++i) {
     is >> word;
-    PM_CHECK_MSG(is, "snapshot truncated: " << i << " of " << count << " words");
+    if (!is) {
+      parse_fail("truncated: " + std::to_string(i) + " of " + count_tok + " words");
+    }
     // strtoull accepts signs and saturates on overflow — both are
     // corruption here, not values.
-    PM_CHECK_MSG(!word.empty() && word.size() <= 16 && word[0] != '-' && word[0] != '+',
-                 "snapshot word " << i << " malformed: '" << word << "'");
+    if (word.empty() || word.size() > 16 || word[0] == '-' || word[0] == '+') {
+      parse_fail("word " + std::to_string(i) + " malformed: '" + word + "'");
+    }
     errno = 0;
-    char* end = nullptr;
+    end = nullptr;
     const unsigned long long v = std::strtoull(word.c_str(), &end, 16);
-    PM_CHECK_MSG(errno == 0 && end != nullptr && *end == '\0',
-                 "snapshot word " << i << " is not hex: '" << word << "'");
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      parse_fail("word " + std::to_string(i) + " is not hex: '" + word + "'");
+    }
     snap.words_.push_back(static_cast<std::uint64_t>(v));
   }
+  // Anything but whitespace after the last word means the document was
+  // damaged (e.g. a header word count clipped by a partial write).
+  if (is >> word) parse_fail("trailing garbage after word " + count_tok + ": '" + word + "'");
   return snap;
+}
+
+std::optional<Snapshot> Snapshot::try_parse(const std::string& text, std::string* error) {
+  try {
+    return parse(text);
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
 }
 
 }  // namespace pm

@@ -17,13 +17,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "util/check.h"
 
 namespace pm {
 
 class Snapshot {
  public:
+  // Malformed snapshot *input* (a truncated file, corrupt hex, a bad
+  // header). Derives from CheckError so existing catch sites keep working,
+  // but lets callers that read checkpoint files from disk distinguish
+  // "this file is corrupt — fall back to a fresh run" from a logic error.
+  class ParseError : public CheckError {
+   public:
+    explicit ParseError(const std::string& what) : CheckError(what) {}
+  };
+
   // --- writing ---
 
   void put(std::uint64_t v) { words_.push_back(v); }
@@ -47,8 +59,15 @@ class Snapshot {
   // A small text document ("pm-snapshot 1 <n>" header + hex words); the
   // inverse of parse. Suitable for writing to a checkpoint file.
   [[nodiscard]] std::string serialize() const;
-  // Throws pm::CheckError for malformed input or a version mismatch.
+  // Throws Snapshot::ParseError for malformed input: a bad or truncated
+  // header, a version mismatch, an implausible word count, non-hex or
+  // oversized words, truncation, or trailing garbage after the last word.
   static Snapshot parse(const std::string& text);
+  // Non-throwing variant for callers that must survive corrupt input (the
+  // checkpoint auto-resume path): nullopt on malformed text, with the
+  // parse failure reported through `error` when non-null.
+  static std::optional<Snapshot> try_parse(const std::string& text,
+                                           std::string* error = nullptr);
 
  private:
   std::vector<std::uint64_t> words_;
@@ -65,5 +84,7 @@ inline constexpr std::uint32_t kSnapErosion = 0x45524f01;   // baselines::Erosio
 inline constexpr std::uint32_t kSnapContest = 0x434e5401;   // baselines::ContestRun
 inline constexpr std::uint32_t kSnapPipeline = 0x50495001;  // pipeline::Pipeline
 inline constexpr std::uint32_t kSnapStage = 0x53544701;     // pipeline::Stage framing
+inline constexpr std::uint32_t kSnapTrace = 0x54524301;     // audit::TraceWriter
+inline constexpr std::uint32_t kSnapAudit = 0x41554401;     // audit::Auditor
 
 }  // namespace pm

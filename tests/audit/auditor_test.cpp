@@ -1,0 +1,251 @@
+// The invariant Auditor: clean audits across algorithms/engines/orders,
+// detection when an invariant is actually broken, cadence, and checkpoint
+// round-trips of the audit state itself.
+#include "audit/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
+#include "shapegen/shapegen.h"
+#include "util/snapshot.h"
+
+namespace pm::audit {
+namespace {
+
+using amoebot::ParticleId;
+using grid::Node;
+using pipeline::Pipeline;
+using pipeline::RunContext;
+using pipeline::SeedPolicy;
+using pipeline::StageKind;
+
+Pipeline standard_pipeline(const grid::Shape& shape, bool full, bool reconnect,
+                           int threads = 0, std::uint64_t seed = 8) {
+  RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = SeedPolicy::unified(seed);
+  ctx.threads = threads;
+  return Pipeline::standard(std::move(ctx),
+                            {.use_boundary_oracle = !full, .reconnect = reconnect});
+}
+
+// Runs a pipeline under a standard Auditor and returns its violations.
+std::vector<Violation> audit_run(Pipeline pipe, Options opts = {}) {
+  const auto auditor = Auditor::standard(opts);
+  auditor->attach(pipe.context());
+  const pipeline::PipelineOutcome out = pipe.run();
+  EXPECT_TRUE(out.completed);
+  auditor->finish(out, pipe.context());
+  return auditor->violations();
+}
+
+TEST(Auditor, CleanAcrossShapesAndCompositions) {
+  const std::vector<std::pair<const char*, grid::Shape>> cases = {
+      {"cheese", shapegen::swiss_cheese(4, 2, 4)},
+      {"annulus", shapegen::annulus(6, 3)},
+      {"blob", shapegen::random_blob(150, 7)},
+      // Not comb(6,5): its OBD livelocks — a pre-existing protocol issue
+      // this audit layer surfaced (see ROADMAP).
+      {"comb", shapegen::comb(6, 4)},
+  };
+  for (const auto& [label, shape] : cases) {
+    for (const bool full : {false, true}) {
+      const auto violations = audit_run(standard_pipeline(shape, full, true));
+      EXPECT_TRUE(violations.empty())
+          << label << (full ? "/full" : "/oracle") << ": " << violations.size()
+          << " violations, first: "
+          << (violations.empty() ? "" : violations.front().detail);
+    }
+  }
+}
+
+TEST(Auditor, CleanUnderParallelEngine) {
+  // Erosion events arrive concurrently from pool threads; the audit must
+  // stay clean and identical in count to the sequential run.
+  const grid::Shape shape = shapegen::random_blob(200, 21);
+  const auto seq = audit_run(standard_pipeline(shape, false, false, /*threads=*/0));
+  const auto par = audit_run(standard_pipeline(shape, false, false, /*threads=*/2));
+  EXPECT_TRUE(seq.empty());
+  EXPECT_TRUE(par.empty());
+}
+
+TEST(Auditor, CleanOnPullVariantAndSingleParticle) {
+  RunContext ctx;
+  ctx.initial = shapegen::annulus(6, 5);
+  ctx.seeds = SeedPolicy::unified(23);
+  Pipeline pull = Pipeline::standard(
+      std::move(ctx),
+      {.use_boundary_oracle = true, .reconnect = false, .connected_pull = true});
+  EXPECT_TRUE(audit_run(std::move(pull)).empty());
+
+  // n = 1: no erosion events at all; S_e is already the leader's point.
+  EXPECT_TRUE(audit_run(standard_pipeline(shapegen::hexagon(0), true, true)).empty());
+}
+
+TEST(Auditor, CadenceThinsChecksButKeepsErosionExact) {
+  const grid::Shape shape = shapegen::random_blob(150, 7);
+  Options opts;
+  opts.check_every = 7;
+  const auto violations = audit_run(standard_pipeline(shape, true, true), opts);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Auditor, DetectsSpuriousErosionEvents) {
+  // Feed the auditor an erosion event for a point that was never eligible:
+  // the monotonicity check must fire exactly once.
+  const grid::Shape shape = shapegen::hexagon(3);
+  Pipeline pipe = standard_pipeline(shape, false, false);
+  const auto auditor = Auditor::standard();
+  auditor->attach(pipe.context());
+  auditor->on_erode(Node{1000, 1000});  // far outside the area
+  const pipeline::PipelineOutcome out = pipe.run();
+  auditor->finish(out, pipe.context());
+  ASSERT_FALSE(auditor->clean());
+  EXPECT_EQ(auditor->violations().front().invariant, "erosion");
+  EXPECT_NE(auditor->violations().front().detail.find("not in S_e"), std::string::npos);
+}
+
+TEST(Auditor, DetectsDoubleErosion) {
+  // Duplicate a genuine erosion event: the point leaves S_e once, so the
+  // second removal must be flagged.
+  const grid::Shape shape = shapegen::hexagon(3);
+  Pipeline pipe = standard_pipeline(shape, false, false);
+  const auto auditor = Auditor::standard();
+  RunContext& ctx = pipe.context();
+  auditor->attach(ctx);
+  // Wrap the (auditor-chained) hook to double every event.
+  auto chained = ctx.erode_hook;
+  bool doubled = false;
+  ctx.erode_hook = [chained, &doubled](Node v) {
+    chained(v);
+    if (!doubled) {
+      doubled = true;
+      chained(v);
+    }
+  };
+  const pipeline::PipelineOutcome out = pipe.run();
+  auditor->finish(out, pipe.context());
+  ASSERT_FALSE(auditor->clean());
+  EXPECT_EQ(auditor->violations().front().invariant, "erosion");
+}
+
+// A fake view for driving individual invariants without a pipeline.
+class FakeView final : public AuditView {
+ public:
+  int n = 3;
+  std::vector<core::Status> statuses{core::Status::Leader, core::Status::Leader,
+                                     core::Status::Follower};
+  int components = 1;
+  int expanded_n = 0;
+
+  [[nodiscard]] int particle_count() const override { return n; }
+  [[nodiscard]] core::Status status(ParticleId p) const override {
+    return statuses[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] bool expanded(ParticleId) const override { return false; }
+  [[nodiscard]] Node head(ParticleId) const override { return Node{0, 0}; }
+  [[nodiscard]] bool occupied(Node) const override { return true; }
+  [[nodiscard]] int expanded_count() const override { return expanded_n; }
+  [[nodiscard]] int component_count() const override { return components; }
+  [[nodiscard]] long long moves() const override { return 1; }
+};
+
+TEST(Auditor, UniqueLeaderInvariantFiresOnTwoLeaders) {
+  Auditor auditor;
+  auditor.add(std::make_unique<UniqueLeaderInvariant>());
+  auditor.begin(shapegen::hexagon(1));
+  const FakeView view;
+  auditor.observe_round(view, StageKind::Dle, 0, "dle", false);
+  ASSERT_FALSE(auditor.clean());
+  EXPECT_EQ(auditor.violations().front().invariant, "unique_leader");
+}
+
+TEST(Auditor, ConnectivityInvariantFiresDuringObd) {
+  Auditor auditor;
+  auditor.add(std::make_unique<ConnectivityInvariant>());
+  auditor.begin(shapegen::hexagon(1));
+  FakeView view;
+  view.components = 2;
+  auditor.observe_round(view, StageKind::Obd, 0, "obd", false);
+  ASSERT_FALSE(auditor.clean());
+  EXPECT_EQ(auditor.violations().front().invariant, "connectivity");
+}
+
+TEST(Auditor, RoundBudgetInvariantFiresOnBlowup) {
+  Auditor auditor;
+  auditor.add(std::make_unique<RoundBudgetInvariant>());
+  auditor.begin(shapegen::hexagon(2));
+  const FakeView view;
+  FinishInfo info;
+  info.completed = true;
+  info.has_system = true;
+  info.saw_dle = true;
+  info.dle_succeeded = true;
+  info.dle_rounds = 1'000'000;  // absurd for a radius-2 hexagon
+  auditor.end(&view, info);
+  ASSERT_FALSE(auditor.clean());
+  EXPECT_EQ(auditor.violations().front().invariant, "round_budget");
+}
+
+TEST(Auditor, FailFastThrowsOnFirstViolation) {
+  Options opts;
+  opts.fail_fast = true;
+  Auditor auditor(opts);
+  auditor.add(std::make_unique<UniqueLeaderInvariant>());
+  auditor.begin(shapegen::hexagon(1));
+  const FakeView view;
+  EXPECT_THROW(auditor.observe_round(view, StageKind::Dle, 0, "dle", false), CheckError);
+}
+
+TEST(Auditor, RestoreKeepsViolationsObservedBeforeACheckpoint) {
+  // A fault-injection text round trip must not launder a breach seen
+  // before the kill.
+  Auditor auditor;
+  auditor.add(std::make_unique<UniqueLeaderInvariant>());
+  auditor.begin(shapegen::hexagon(1));
+  const FakeView view;
+  auditor.observe_round(view, StageKind::Dle, 0, "dle", false);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  Snapshot snap;
+  auditor.save(snap);
+  auditor.restore(Snapshot::parse(snap.serialize()));
+  EXPECT_EQ(auditor.violations().size(), 1u);
+  // A deliberate fresh start, by contrast, clears everything.
+  auditor.reset_for_fresh_run();
+  EXPECT_TRUE(auditor.clean());
+  EXPECT_EQ(auditor.rounds_observed(), 0);
+}
+
+TEST(Auditor, StateSurvivesASaveRestoreRoundTrip) {
+  // Audit the first half live, serialize the audit state through text,
+  // restore into a *fresh* auditor, finish the run — still clean, and the
+  // round counter carries over.
+  const grid::Shape shape = shapegen::swiss_cheese(4, 2, 4);
+  Pipeline pipe = standard_pipeline(shape, true, true);
+  const auto first = Auditor::standard();
+  first->attach(pipe.context());
+  pipe.init();
+  for (int i = 0; i < 20 && !pipe.done(); ++i) pipe.step_round();
+  Snapshot snap;
+  first->save(snap);
+  const long rounds_so_far = first->rounds_observed();
+
+  const auto second = Auditor::standard();
+  second->attach(pipe.context());  // re-chains hooks; begin() runs here
+  second->restore(Snapshot::parse(snap.serialize()));
+  EXPECT_EQ(second->rounds_observed(), rounds_so_far);
+  while (!pipe.step_round()) {
+  }
+  second->finish(pipe.outcome(), pipe.context());
+  EXPECT_TRUE(second->clean()) << second->report();
+  EXPECT_GT(second->rounds_observed(), rounds_so_far);
+}
+
+}  // namespace
+}  // namespace pm::audit

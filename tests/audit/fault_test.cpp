@@ -1,0 +1,266 @@
+// Deterministic fault injection: seeded kill/resume plans produce runs
+// bit-identical to uninterrupted ones — across engine kinds, occupancy
+// modes, and process-image (text) round trips — with clean invariant
+// audits throughout, plus the periodic-checkpoint/resume workflow.
+#include "audit/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "pipeline/pipeline.h"
+#include "scenario/scenario.h"
+#include "shapegen/shapegen.h"
+#include "util/snapshot.h"
+
+namespace pm::audit {
+namespace {
+
+using amoebot::OccupancyMode;
+using amoebot::ParticleId;
+using pipeline::Pipeline;
+using pipeline::RunContext;
+using pipeline::SeedPolicy;
+
+// Everything deterministic about a finished run (mirrors checkpoint_test's
+// fingerprint): per-stage outcomes plus the full final configuration.
+struct Fingerprint {
+  std::vector<long> stage_rounds;
+  std::vector<long long> stage_activations;
+  bool completed = false;
+  ParticleId leader = amoebot::kNoParticle;
+  long long moves = 0;
+  long long peak = 0;
+  std::string trajectory;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(Pipeline& pipe, const pipeline::PipelineOutcome& out) {
+  Fingerprint fp;
+  for (const auto& s : out.stages) {
+    fp.stage_rounds.push_back(s.metrics.rounds);
+    fp.stage_activations.push_back(s.metrics.activations);
+  }
+  fp.completed = out.completed;
+  fp.leader = out.leader;
+  fp.moves = out.moves;
+  fp.peak = out.peak_occupancy_cells;
+  if (pipe.context().sys != nullptr) {
+    std::ostringstream os;
+    const auto& sys = *pipe.context().sys;
+    for (ParticleId p = 0; p < sys.particle_count(); ++p) {
+      const auto& b = sys.body(p);
+      os << b.head << "/" << b.tail << "/" << static_cast<int>(b.ori) << ":"
+         << core::pack_dle_state(sys.state(p)) << ";";
+    }
+    fp.trajectory = os.str();
+  }
+  return fp;
+}
+
+FaultRunner::Factory factory_for(const grid::Shape& shape, bool full, bool reconnect,
+                                 std::uint64_t seed = 9) {
+  return [shape, full, reconnect, seed](int threads, OccupancyMode occupancy) {
+    RunContext ctx;
+    ctx.initial = shape;
+    ctx.seeds = SeedPolicy::unified(seed);
+    ctx.threads = threads;
+    ctx.occupancy = occupancy;
+    return Pipeline::standard(std::move(ctx),
+                              {.use_boundary_oracle = !full, .reconnect = reconnect});
+  };
+}
+
+Fingerprint reference_run(const FaultRunner::Factory& make) {
+  FaultRunner runner(make, FaultPlan{}, 0, amoebot::kDefaultOccupancy);
+  const pipeline::PipelineOutcome out = runner.run();
+  return fingerprint(runner.pipeline(), out);
+}
+
+TEST(FaultInjection, SeededPlansProduceBitIdenticalResults) {
+  const grid::Shape shape = shapegen::random_blob(150, 21);
+  const auto make = factory_for(shape, false, false);
+  const Fingerprint ref = reference_run(make);
+  ASSERT_TRUE(ref.completed);
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    FaultPlan plan = FaultPlan::from_seed(seed, 20, 0, amoebot::kDefaultOccupancy);
+    FaultRunner runner(make, plan, 0, amoebot::kDefaultOccupancy);
+    const auto auditor = Auditor::standard();
+    runner.set_auditor(auditor.get());
+    const pipeline::PipelineOutcome out = runner.run();
+    auditor->finish(out, runner.pipeline().context());
+    EXPECT_EQ(fingerprint(runner.pipeline(), out), ref) << "fault seed " << seed;
+    EXPECT_TRUE(auditor->clean()) << "fault seed " << seed << ": " << auditor->report();
+  }
+}
+
+TEST(FaultInjection, SequentialToParallelResumeIsExact) {
+  // The acceptance path: a run killed under the sequential engine resumes
+  // under exec::ParallelEngine (and back), through the serialized text
+  // form, with an auditor attached the whole way.
+  const grid::Shape shape = shapegen::random_blob(200, 21);
+  const auto make = factory_for(shape, false, false);
+  const Fingerprint ref = reference_run(make);
+  ASSERT_TRUE(ref.completed);
+
+  FaultPlan plan;
+  plan.kills.push_back({.after_round = 3, .resume_threads = 2,
+                        .resume_occupancy = amoebot::kDefaultOccupancy,
+                        .through_text = true});
+  plan.kills.push_back({.after_round = 8, .resume_threads = 0,
+                        .resume_occupancy = amoebot::kDefaultOccupancy,
+                        .through_text = true});
+  FaultRunner runner(make, plan, 0, amoebot::kDefaultOccupancy);
+  const auto auditor = Auditor::standard();
+  runner.set_auditor(auditor.get());
+  const pipeline::PipelineOutcome out = runner.run();
+  auditor->finish(out, runner.pipeline().context());
+  EXPECT_EQ(runner.kills_executed(), 2);
+  EXPECT_EQ(fingerprint(runner.pipeline(), out), ref);
+  EXPECT_TRUE(auditor->clean()) << auditor->report();
+}
+
+TEST(FaultInjection, FullPipelineSurvivesKillsInEveryStage) {
+  // Kills spread across OBD, DLE and Collect of the full composition.
+  const grid::Shape shape = shapegen::swiss_cheese(4, 2, 4);
+  const auto make = factory_for(shape, true, true, 8);
+  const Fingerprint ref = reference_run(make);
+  ASSERT_TRUE(ref.completed);
+  long total = 0;
+  for (const long r : ref.stage_rounds) total += r;
+  ASSERT_GT(total, 12);
+
+  FaultPlan plan;
+  for (const long at : {1L, total / 3, total / 2, total - 2}) {
+    plan.kills.push_back({.after_round = at, .resume_threads = at % 2 == 0 ? 2 : 0,
+                          .resume_occupancy = amoebot::kDefaultOccupancy,
+                          .through_text = true});
+  }
+  FaultRunner runner(make, plan, 0, amoebot::kDefaultOccupancy);
+  const auto auditor = Auditor::standard();
+  runner.set_auditor(auditor.get());
+  const pipeline::PipelineOutcome out = runner.run();
+  auditor->finish(out, runner.pipeline().context());
+  EXPECT_EQ(fingerprint(runner.pipeline(), out), ref);
+  EXPECT_TRUE(auditor->clean()) << auditor->report();
+}
+
+TEST(FaultInjection, OccupancySwitchPreservesEverythingButThePeakGauge) {
+  const grid::Shape shape = shapegen::random_blob(150, 21);
+  const auto make = factory_for(shape, false, false);
+  Fingerprint ref = reference_run(make);
+  ASSERT_TRUE(ref.completed);
+
+  FaultPlan plan;
+  plan.kills.push_back({.after_round = 4, .resume_threads = 0,
+                        .resume_occupancy = OccupancyMode::Hash, .through_text = true});
+  plan.kills.push_back({.after_round = 9, .resume_threads = 0,
+                        .resume_occupancy = OccupancyMode::Dense, .through_text = true});
+  FaultRunner runner(make, plan, 0, OccupancyMode::Dense);
+  const pipeline::PipelineOutcome out = runner.run();
+  Fingerprint got = fingerprint(runner.pipeline(), out);
+  // The dense index was dropped and regrown mid-run: its peak-extent gauge
+  // legitimately differs. Everything else is bit-identical.
+  got.peak = ref.peak = 0;
+  EXPECT_EQ(got, ref);
+}
+
+TEST(FaultInjection, SeededPlansWithOccupancySwitchesStayExactModuloPeak) {
+  // The seeded path through allow_occupancy_switch: plans that flip the
+  // occupancy index (and possibly the engine) mid-run must preserve every
+  // deterministic quantity except the dense peak-extent gauge.
+  const grid::Shape shape = shapegen::random_blob(150, 21);
+  const auto make = factory_for(shape, false, false);
+  Fingerprint ref = reference_run(make);
+  ASSERT_TRUE(ref.completed);
+  ref.peak = 0;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    FaultPlan plan = FaultPlan::from_seed(seed, 15, 0, amoebot::kDefaultOccupancy,
+                                          /*allow_occupancy_switch=*/true);
+    FaultRunner runner(make, plan, 0, amoebot::kDefaultOccupancy);
+    const pipeline::PipelineOutcome out = runner.run();
+    Fingerprint got = fingerprint(runner.pipeline(), out);
+    got.peak = 0;
+    EXPECT_EQ(got, ref) << "fault seed " << seed;
+  }
+}
+
+TEST(FaultInjection, PeriodicCheckpointsResumeToTheSameResult) {
+  const grid::Shape shape = shapegen::random_blob(150, 21);
+  const auto make = factory_for(shape, false, false);
+  const Fingerprint ref = reference_run(make);
+  const std::string path = ::testing::TempDir() + "/pm_fault_ckpt.snap";
+
+  // First runner checkpoints every 4 rounds; its last checkpoint survives
+  // because we stop it mid-run by running only the kill-free prefix.
+  {
+    FaultRunner writer(make, FaultPlan{}, 0, amoebot::kDefaultOccupancy);
+    writer.set_checkpoint(4, path);
+    (void)writer.run();  // full run; checkpoints were overwritten then left
+  }
+  // The completed run left its final periodic checkpoint on disk (the
+  // runner itself never deletes; that policy lives in run_scenario). A
+  // second runner resumes from it and finishes identically.
+  {
+    FaultRunner resumer(make, FaultPlan{}, 0, amoebot::kDefaultOccupancy);
+    resumer.set_checkpoint(0, path);
+    std::string why;
+    ASSERT_TRUE(resumer.try_resume(&why)) << why;
+    const pipeline::PipelineOutcome out = resumer.run();
+    EXPECT_EQ(fingerprint(resumer.pipeline(), out), ref);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, CorruptCheckpointFallsBackToAFreshRun) {
+  const grid::Shape shape = shapegen::hexagon(4);
+  const auto make = factory_for(shape, false, false);
+  const Fingerprint ref = reference_run(make);
+  const std::string path = ::testing::TempDir() + "/pm_fault_corrupt.snap";
+  {
+    std::ofstream out(path);
+    out << "pm-snapshot 1 9999\n1 2 3\n";  // truncated body
+  }
+  FaultRunner runner(make, FaultPlan{}, 0, amoebot::kDefaultOccupancy);
+  runner.set_checkpoint(0, path);
+  std::string why;
+  EXPECT_FALSE(runner.try_resume(&why));
+  EXPECT_NE(why.find("corrupt"), std::string::npos) << why;
+  const pipeline::PipelineOutcome out = runner.run();
+  EXPECT_EQ(fingerprint(runner.pipeline(), out), ref);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, ScenarioFaultSeedMatchesUninterruptedTwin) {
+  // The Spec-level wiring audit_fuzz rides on: a fault-seeded spec reports
+  // the exact Result of its fault-free twin (wall clock aside).
+  scenario::Spec spec;
+  spec.family = "cheese";
+  spec.p1 = 6;
+  spec.p2 = 3;
+  spec.shape_seed = 11;
+  spec.algo = scenario::Algo::DleOracle;
+  spec.seed = 11;
+  const scenario::Result plain = scenario::run_scenario(spec);
+  spec.fault_seed = 0xF00F;
+  scenario::RunHooks hooks;
+  hooks.audit = true;
+  const scenario::Result faulted = scenario::run_scenario(spec, hooks);
+  ASSERT_TRUE(plain.completed);
+  ASSERT_TRUE(faulted.completed);
+  EXPECT_EQ(plain.dle_rounds, faulted.dle_rounds);
+  EXPECT_EQ(plain.activations, faulted.activations);
+  EXPECT_EQ(plain.moves, faulted.moves);
+  EXPECT_EQ(plain.leaders, faulted.leaders);
+  EXPECT_EQ(plain.peak_occupancy_cells, faulted.peak_occupancy_cells);
+  EXPECT_EQ(faulted.audit_violations, 0);
+}
+
+}  // namespace
+}  // namespace pm::audit

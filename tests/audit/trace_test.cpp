@@ -1,0 +1,204 @@
+// Trace record/replay: bit-identical trajectory regression, offline
+// reconstruction and audit, golden traces for registry specs, and corrupt
+// input handling.
+#include "audit/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.h"
+#include "pipeline/pipeline.h"
+#include "scenario/scenario.h"
+#include "shapegen/shapegen.h"
+#include "util/snapshot.h"
+
+namespace pm::audit {
+namespace {
+
+using pipeline::Pipeline;
+using pipeline::RunContext;
+using pipeline::SeedPolicy;
+
+// Records one full-pipeline run over the given shape and returns the trace.
+Snapshot record(const grid::Shape& shape, bool full, bool reconnect, int threads = 0) {
+  RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = SeedPolicy::unified(8);
+  ctx.threads = threads;
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = !full, .reconnect = reconnect});
+  TraceWriter writer;
+  writer.attach(pipe);
+  const pipeline::PipelineOutcome out = pipe.run();
+  EXPECT_TRUE(out.completed);
+  writer.finish(out, pipe.context());
+  return writer.snapshot();
+}
+
+TEST(Trace, RecordedRunReplaysBitIdentically) {
+  const Snapshot trace = record(shapegen::swiss_cheese(4, 2, 4), true, true);
+  const ReplayResult rr = replay_trace(trace);
+  EXPECT_TRUE(rr.identical) << "diverged at round " << rr.divergence_round << ": "
+                            << rr.detail;
+  EXPECT_TRUE(rr.outcome.completed);
+  EXPECT_TRUE(rr.violations.empty());
+  EXPECT_GT(rr.rounds, 0);
+}
+
+TEST(Trace, ParallelRecordingReplaysOnSequentialEngine) {
+  // A trace captured under exec::ParallelEngine must replay bit-identically
+  // on the sequential engine (trajectories are engine-invariant, and the
+  // writer canonicalizes the erosion-event order).
+  const Snapshot seq = record(shapegen::random_blob(150, 21), false, false, 0);
+  const Snapshot par = record(shapegen::random_blob(150, 21), false, false, 2);
+  ASSERT_EQ(seq.size(), par.size());
+  EXPECT_TRUE(replay_trace(par).identical);
+}
+
+TEST(Trace, OfflineAuditFromTraceAloneIsClean) {
+  const Snapshot trace = record(shapegen::annulus(6, 3), true, true);
+  const std::vector<Violation> violations = audit_trace(trace);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front().detail;
+}
+
+TEST(Trace, ReaderReconstructsTheFinalConfiguration) {
+  const grid::Shape shape = shapegen::random_blob(120, 31);
+  RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = SeedPolicy::unified(9);
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  TraceWriter writer;
+  writer.attach(pipe);
+  const pipeline::PipelineOutcome out = pipe.run();
+  ASSERT_TRUE(out.completed);
+  writer.finish(out, pipe.context());
+
+  TraceReader reader(writer.snapshot());
+  while (reader.next()) {
+  }
+  const auto& sys = *pipe.context().sys;
+  ASSERT_EQ(static_cast<int>(reader.particles().size()), sys.particle_count());
+  for (amoebot::ParticleId p = 0; p < sys.particle_count(); ++p) {
+    const TraceParticle& tp = reader.particles()[static_cast<std::size_t>(p)];
+    EXPECT_EQ(tp.head, sys.body(p).head);
+    EXPECT_EQ(tp.tail, sys.body(p).tail);
+    EXPECT_EQ(tp.ori, sys.body(p).ori);
+    EXPECT_EQ(core::pack_dle_state(tp.state), core::pack_dle_state(sys.state(p)));
+  }
+  EXPECT_EQ(reader.outcome().completed, out.completed);
+  EXPECT_EQ(reader.outcome().leader, pipe.context().leader);
+  EXPECT_EQ(reader.outcome().moves, sys.moves());
+  EXPECT_EQ(reader.expanded_count(), 0);
+}
+
+TEST(Trace, GoldenTracesForRegistrySpecs) {
+  // Registry-representative specs recorded and replayed in one pass: the
+  // current build must reproduce its own traces exactly (any divergence
+  // means run_scenario's determinism broke).
+  const std::vector<std::tuple<const char*, grid::Shape, bool>> cases = {
+      {"dle_scaling/hexagon", shapegen::hexagon(6), false},
+      {"table1/cheese", shapegen::swiss_cheese(5, 2, 7), true},
+      {"collect/blob", shapegen::random_blob(120, 31), false},
+  };
+  for (const auto& [label, shape, full] : cases) {
+    const Snapshot trace = record(shape, full, true);
+    const ReplayResult rr = replay_trace(trace);
+    EXPECT_TRUE(rr.identical) << label << " diverged at round " << rr.divergence_round
+                              << ": " << rr.detail;
+    EXPECT_TRUE(rr.violations.empty()) << label;
+  }
+}
+
+TEST(Trace, HandoverHeavyTraceKeepsOccupiedSetConsistent) {
+  // The pull variant hands nodes between particles within single rounds —
+  // the reader must apply each frame's deltas two-phase (all erases before
+  // all inserts) or the occupied set corrupts and the offline audit lies.
+  RunContext ctx;
+  ctx.initial = shapegen::annulus(6, 5);
+  ctx.seeds = SeedPolicy::unified(23);
+  Pipeline pipe = Pipeline::standard(
+      std::move(ctx),
+      {.use_boundary_oracle = true, .reconnect = false, .connected_pull = true});
+  TraceWriter writer;
+  writer.attach(pipe);
+  const pipeline::PipelineOutcome out = pipe.run();
+  ASSERT_TRUE(out.completed);
+  writer.finish(out, pipe.context());
+
+  TraceReader reader(writer.snapshot());
+  while (reader.next()) {
+    // Invariant of the reconstruction itself: the incremental occupied set
+    // always equals the one derived from the particle states.
+    grid::NodeSet derived;
+    for (const TraceParticle& tp : reader.particles()) {
+      derived.insert(tp.head);
+      derived.insert(tp.tail);
+    }
+    ASSERT_EQ(derived.size(), reader.occupied().size()) << "round " << reader.round();
+  }
+  EXPECT_TRUE(audit_trace(writer.snapshot()).empty());
+}
+
+TEST(Trace, TamperedTraceIsDetected) {
+  const Snapshot trace = record(shapegen::hexagon(4), false, false);
+  std::string text = trace.serialize();
+  // Flip a digit of the last data word: lands in the outcome summary (or a
+  // late frame), so either the replay diverges or the reader rejects the
+  // stream — silently passing is the only wrong answer.
+  const std::size_t last = text.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  text[last] = text[last] == '1' ? '2' : '1';
+  bool caught = false;
+  try {
+    const ReplayResult rr = replay_trace(Snapshot::parse(text));
+    caught = !rr.identical;
+  } catch (const CheckError&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Trace, TruncatedTraceFailsStructurally) {
+  const Snapshot trace = record(shapegen::hexagon(3), false, false);
+  const std::string text = trace.serialize();
+  // Cut the document in half: the snapshot layer reports structured
+  // truncation (header word count no longer matches).
+  EXPECT_THROW(Snapshot::parse(text.substr(0, text.size() / 2)), Snapshot::ParseError);
+}
+
+TEST(Trace, RunScenarioTraceHookRoundTrips) {
+  // The scenario-layer wiring: run with a trace hook, then replay the file.
+  scenario::Spec spec;
+  spec.family = "cheese";
+  spec.p1 = 5;
+  spec.p2 = 2;
+  spec.shape_seed = 4;
+  spec.algo = scenario::Algo::PipelineFull;
+  spec.seed = 8;
+  scenario::RunHooks hooks;
+  hooks.trace_path = ::testing::TempDir() + "/pm_trace_test.trace";
+  const scenario::Result res = scenario::run_scenario(spec, hooks);
+  ASSERT_TRUE(res.completed);
+
+  std::ifstream in(hooks.trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(hooks.trace_path.c_str());
+  const ReplayResult rr = replay_trace(Snapshot::parse(buf.str()));
+  EXPECT_TRUE(rr.identical) << rr.detail;
+  EXPECT_TRUE(rr.violations.empty());
+  EXPECT_EQ(rr.outcome.stage(pipeline::StageKind::Dle)->metrics.rounds, res.dle_rounds);
+}
+
+}  // namespace
+}  // namespace pm::audit

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -67,10 +68,12 @@ RunFingerprint fingerprint(Pipeline& pipe, const PipelineOutcome& out) {
 
 enum class Comp { Full, DleCollectLegacy, DleOnly, Erosion, Contest };
 
-Pipeline make_pipeline(Comp comp, const grid::Shape& shape, int threads = 0) {
+Pipeline make_pipeline(Comp comp, const grid::Shape& shape, int threads = 0,
+                       amoebot::OccupancyMode occupancy = amoebot::kDefaultOccupancy) {
   RunContext ctx;
   ctx.initial = shape;
   ctx.threads = threads;
+  ctx.occupancy = occupancy;
   switch (comp) {
     case Comp::Full:
       ctx.seeds = SeedPolicy::unified(8);
@@ -255,6 +258,62 @@ TEST(Checkpoint, SurvivesARealFileRoundTrip) {
   while (!second.step_round()) {
   }
   EXPECT_EQ(fingerprint(second, second.outcome()), ref);
+}
+
+TEST(Checkpoint, ResumeMatrixAcrossOccupancyModesAndEngineKinds) {
+  // One matrix over the two observably-neutral run choices: a snapshot
+  // saved under any (occupancy, engine) pair resumes under any other pair.
+  // Trajectories, rounds, activations, moves and leader are bit-identical
+  // across all 16 cells; the dense peak-extent gauge is only comparable
+  // when the occupancy mode is unchanged (hash runs report 0, and a
+  // mid-run switch regrows the dense box from scratch).
+  using amoebot::OccupancyMode;
+  const grid::Shape shape = shapegen::random_blob(120, 31);
+  const OccupancyMode modes[] = {OccupancyMode::Dense, OccupancyMode::Hash};
+
+  // Reference fingerprints per final occupancy mode (peak differs: dense
+  // tracks a box, hash has none).
+  long steps = 0;
+  std::map<int, RunFingerprint> ref;
+  for (const OccupancyMode occ : modes) {
+    Pipeline pipe = make_pipeline(Comp::DleOnly, shape, 0, occ);
+    pipe.init();
+    long s = 0;
+    while (!pipe.step_round()) ++s;
+    steps = s;
+    ref[static_cast<int>(occ)] = fingerprint(pipe, pipe.outcome());
+    ASSERT_TRUE(ref[static_cast<int>(occ)].completed);
+  }
+
+  const long at = steps / 2;
+  for (const OccupancyMode save_occ : modes) {
+    for (const int save_threads : {0, 2}) {
+      Pipeline first = make_pipeline(Comp::DleOnly, shape, save_threads, save_occ);
+      first.init();
+      for (long s = 0; s < at && !first.done(); ++s) first.step_round();
+      Snapshot snap;
+      first.save(snap);
+      const std::string text = snap.serialize();
+
+      for (const OccupancyMode resume_occ : modes) {
+        for (const int resume_threads : {0, 2}) {
+          Pipeline second = make_pipeline(Comp::DleOnly, shape, resume_threads, resume_occ);
+          second.restore(Snapshot::parse(text));
+          while (!second.step_round()) {
+          }
+          RunFingerprint got = fingerprint(second, second.outcome());
+          RunFingerprint want = ref[static_cast<int>(resume_occ)];
+          if (save_occ != resume_occ) {
+            // The gauge restarted mid-run; everything else must hold.
+            got.peak = want.peak = 0;
+          }
+          EXPECT_EQ(got, want)
+              << "save " << static_cast<int>(save_occ) << "/t" << save_threads
+              << " -> resume " << static_cast<int>(resume_occ) << "/t" << resume_threads;
+        }
+      }
+    }
+  }
 }
 
 TEST(Checkpoint, RestoreRejectsMismatchedConfiguration) {

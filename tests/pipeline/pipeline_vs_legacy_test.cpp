@@ -313,8 +313,12 @@ TEST(PipelineVsLegacy, OrdersOccupancyAndThreadsSweep) {
 
 TEST(PipelineVsLegacy, ShardedSuiteExecutionChangesNothing) {
   const Suite suite = make_suite("table1");
-  const std::vector<Result> serial = run_suite(suite, {.jobs = 1});
-  const std::vector<Result> sharded = run_suite(suite, {.jobs = 2});
+  SuiteRunOptions serial_opts;
+  serial_opts.jobs = 1;
+  SuiteRunOptions sharded_opts;
+  sharded_opts.jobs = 2;
+  const std::vector<Result> serial = run_suite(suite, serial_opts);
+  const std::vector<Result> sharded = run_suite(suite, sharded_opts);
   ASSERT_EQ(serial.size(), sharded.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     expect_equal(serial[i], sharded[i], "jobs row " + serial[i].spec.name);

@@ -14,7 +14,7 @@ TEST(ScenarioRegistry, ListsAllSuites) {
   const auto names = suite_names();
   for (const char* expected :
        {"table1", "obd_scaling", "dle_scaling", "collect_scaling",
-        "ablation_disconnection", "dle_large"}) {
+        "ablation_disconnection", "dle_large", "dle_adversarial", "audit_fuzz"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing suite " << expected;
   }
@@ -114,7 +114,9 @@ TEST(ScenarioSerialization, JsonContainsSuiteAndRows) {
   const std::vector<Result> results = {run_scenario(suite.specs[0])};
   const std::string json = to_json(suite, results);
   EXPECT_NE(json.find("\"suite\": \"demo\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_seed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"audit_violations\": -1"), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\": \""), std::string::npos);
   EXPECT_NE(json.find("\"threads\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"scenario\": \"hexagon(3)\""), std::string::npos);

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include "util/check.h"
 
@@ -65,6 +66,36 @@ TEST(Snapshot, ParseRejectsMalformedInput) {
   EXPECT_THROW(Snapshot::parse("pm-snapshot 2 0"), CheckError);   // future version
   EXPECT_THROW(Snapshot::parse("pm-snapshot 1 3\n1 2"), CheckError);  // truncated
   EXPECT_THROW(Snapshot::parse("pm-snapshot 1 1\nzz&"), CheckError);  // not hex
+}
+
+TEST(Snapshot, ParseErrorsAreStructured) {
+  // Every malformed-input path throws the dedicated ParseError subtype, so
+  // checkpoint consumers can distinguish "corrupt file" from logic errors.
+  for (const char* text : {
+           "",                               // empty document
+           "pm-snapshot",                    // clipped header
+           "pm-snapshot x 1\n0",             // non-numeric version
+           "pm-snapshot 1 -1\n",             // negative word count
+           "pm-snapshot 1 999999999999999",  // implausible word count
+           "pm-snapshot 1 1\n+1",            // signs are corruption, not values
+           "pm-snapshot 1 1\n11112222333344445",  // oversized word (17 hex digits)
+           "pm-snapshot 1 1\n1 trailing-garbage",  // content after the last word
+       }) {
+    EXPECT_THROW(Snapshot::parse(text), Snapshot::ParseError) << "'" << text << "'";
+  }
+  // Trailing whitespace is not corruption.
+  EXPECT_NO_THROW(Snapshot::parse("pm-snapshot 1 1\nff\n  \n"));
+}
+
+TEST(Snapshot, TryParseReturnsNulloptWithTheReason) {
+  std::string error;
+  EXPECT_FALSE(Snapshot::try_parse("pm-snapshot 1 3\n1 2", &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  const auto ok = Snapshot::try_parse("pm-snapshot 1 2\nab cd\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->get(), 0xabu);
+  EXPECT_EQ(ok->get(), 0xcdu);
 }
 
 }  // namespace
