@@ -13,6 +13,10 @@
 //   pm_bench table1 --jobs 4        # sharded suite execution: up to 4
 //                                   # scenarios at once, one system per
 //                                   # worker, bit-identical results
+//   pm_bench --spec workloads/table1.json
+//                                   # the same suite from its committed
+//                                   # workload file (see README "Workload
+//                                   # API"); --emit-spec DIR writes them
 //
 // Each suite writes BENCH_<suite>.json (disable with --no-json) so the
 // performance trajectory can be tracked across PRs; --csv aggregates all

@@ -1,0 +1,205 @@
+// pm_serve — the long-running workload job server.
+//
+//   # pipe mode: NDJSON jobs in on stdin, one record per job on stdout
+//   printf '{"family":"hexagon","p1":4,"algo":"dle_oracle","seed":5}\n' | pm_serve
+//
+//   # 4 concurrent jobs, auditing every job, from a job file
+//   pm_serve --jobs 4 --audit < jobs.ndjson > records.ndjson
+//
+//   # socket mode: serve clients on a UNIX socket, one job stream per
+//   # connection (e.g. `nc -U /tmp/pm.sock < jobs.ndjson`)
+//   pm_serve --socket /tmp/pm.sock --jobs 4
+//
+// With --jobs N > 1 the server batches up to 4N lines per scheduling
+// window before records flush, so a socket client that waits for each
+// record before sending the next job must either run against --jobs 1 or
+// half-close its write side when done (as `nc -U` does at EOF); batch
+// clients are unaffected.
+//
+// Output is deterministic: the same job stream yields byte-identical
+// records for any --jobs value (wall-clock fields are zeroed unless --wall
+// asks for them). See src/workload/serve.h for the job and record schema.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "workload/serve.h"
+
+namespace {
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [options] < jobs.ndjson > records.ndjson\n"
+      "  --jobs N          run up to N jobs concurrently (default 1); output\n"
+      "                    order and bytes are independent of N\n"
+      "  --audit           attach the paper-invariant auditor to every job\n"
+      "                    (per-job override: {\"spec\": {...}, \"audit\": false})\n"
+      "  --audit-every N   audit cadence in rounds (default 1; implies --audit)\n"
+      "  --wall            include real wall-clock times in result records\n"
+      "                    (makes the output nondeterministic)\n"
+      "  --socket PATH     listen on a UNIX socket instead of stdin/stdout;\n"
+      "                    each connection is one job stream\n"
+      "Exit status (pipe mode): 0 when every job succeeded, 1 when any job\n"
+      "failed or an audited job reported invariant violations. Socket mode\n"
+      "serves until killed; per-connection stats go to stderr.\n",
+      prog);
+}
+
+// iostream over a connected socket fd (both directions). Minimal by design:
+// pm_serve reads lines and writes lines, nothing seeks.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) { setg(rbuf_, rbuf_, rbuf_); }
+
+ protected:
+  int_type underflow() override {
+    ssize_t n;
+    do {
+      n = ::read(fd_, rbuf_, sizeof rbuf_);
+    } while (n < 0 && errno == EINTR);  // a signal mid-read is not EOF
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(rbuf_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      const char c = traits_type::to_char_type(ch);
+      if (!write_all(&c, 1)) return traits_type::eof();
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return write_all(s, static_cast<std::size_t>(n)) ? n : 0;
+  }
+
+ private:
+  bool write_all(const char* data, std::size_t n) {
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  int fd_;
+  char rbuf_[4096];
+};
+
+int socket_main(const std::string& path, const pm::workload::ServeOptions& opts) {
+  // A dropped client must error the write, not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("pm_serve: socket");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "pm_serve: socket path too long: %s\n", path.c_str());
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());  // a stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, 8) < 0) {
+    std::perror("pm_serve: bind/listen");
+    ::close(listen_fd);
+    return 2;
+  }
+  std::fprintf(stderr, "pm_serve: listening on %s (jobs=%d%s)\n", path.c_str(),
+               opts.jobs, opts.audit ? ", audit" : "");
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      // Transient failures (a client aborting mid-handshake, a momentary
+      // fd shortage) must not take the server down; anything else is
+      // fatal and must exit non-zero so a supervisor restarts us.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        ::usleep(100 * 1000);  // fd pressure: back off instead of spinning
+        continue;
+      }
+      std::perror("pm_serve: accept");
+      ::close(listen_fd);
+      return 1;
+    }
+    FdStreambuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    const pm::workload::ServeStats stats = pm::workload::serve(in, out, opts);
+    out.flush();
+    ::close(fd);
+    std::fprintf(stderr, "pm_serve: connection done — %ld job(s), %ld failed, %ld "
+                 "audit violation(s)\n",
+                 stats.jobs, stats.failed, stats.audit_violations);
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+bool parse_int(const char* s, int lo, int hi, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0' || s == end || v < lo || v > hi) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pm::workload::ServeOptions opts;
+  std::string socket_path;
+  int audit_every = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!parse_int(argv[++i], 1, 1024, opts.jobs)) {
+        std::fprintf(stderr, "bad --jobs value (need an integer in [1, 1024])\n");
+        return 2;
+      }
+    } else if (arg == "--audit") {
+      opts.audit = true;
+    } else if (arg == "--audit-every" && i + 1 < argc) {
+      if (!parse_int(argv[++i], 1, 1'000'000'000, audit_every)) {
+        std::fprintf(stderr, "bad --audit-every value (need an integer >= 1)\n");
+        return 2;
+      }
+      opts.audit = true;
+    } else if (arg == "--wall") {
+      opts.wall = true;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  opts.audit_every = audit_every;
+
+  if (!socket_path.empty()) return socket_main(socket_path, opts);
+
+  const pm::workload::ServeStats stats = pm::workload::serve(std::cin, std::cout, opts);
+  std::fprintf(stderr, "pm_serve: %ld job(s), %ld failed, %ld audit violation(s)\n",
+               stats.jobs, stats.failed, stats.audit_violations);
+  return (stats.failed > 0 || stats.audit_violations > 0) ? 1 : 0;
+}

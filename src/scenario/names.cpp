@@ -1,0 +1,120 @@
+#include "scenario/names.h"
+
+#include "scenario/scenario.h"
+
+namespace pm::scenario {
+
+namespace {
+
+// One row per enumerator; `parse` walks the table, `known_*` prints it.
+// Keeping name and enum side by side in a single array is the point of this
+// module — the previous code spelled these strings in three places.
+template <typename E>
+struct NameRow {
+  E value;
+  const char* name;
+};
+
+constexpr NameRow<Algo> kAlgoRows[] = {
+    {Algo::ObdOnly, "obd"},
+    {Algo::DleOracle, "dle_oracle"},
+    {Algo::DlePull, "dle_pull"},
+    {Algo::DleCollect, "dle_collect"},
+    {Algo::PipelineOracle, "pipeline_oracle"},
+    {Algo::PipelineFull, "pipeline_full"},
+    {Algo::BaselineErosion, "baseline_erosion"},
+    {Algo::BaselineContest, "baseline_contest"},
+};
+
+constexpr NameRow<amoebot::Order> kOrderRows[] = {
+    {amoebot::Order::RoundRobin, "round_robin"},
+    {amoebot::Order::RandomPerm, "random_perm"},
+    {amoebot::Order::RandomStream, "random_stream"},
+};
+
+constexpr NameRow<amoebot::OccupancyMode> kOccupancyRows[] = {
+    {amoebot::OccupancyMode::Dense, "dense"},
+    {amoebot::OccupancyMode::Hash, "hash"},
+    {amoebot::OccupancyMode::Differential, "differential"},
+};
+
+template <typename E, std::size_t N>
+const char* lookup_name(const NameRow<E> (&rows)[N], E value) noexcept {
+  for (const auto& row : rows) {
+    if (row.value == value) return row.name;
+  }
+  return "?";
+}
+
+template <typename E, std::size_t N>
+bool lookup_value(const NameRow<E> (&rows)[N], std::string_view s, E& out) noexcept {
+  for (const auto& row : rows) {
+    if (s == row.name) {
+      out = row.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename E, std::size_t N>
+std::string join_names(const NameRow<E> (&rows)[N]) {
+  std::string out;
+  for (const auto& row : rows) {
+    if (!out.empty()) out += ", ";
+    out += row.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) noexcept { return lookup_name(kAlgoRows, a); }
+
+bool parse_algo(std::string_view s, Algo& out) noexcept {
+  return lookup_value(kAlgoRows, s, out);
+}
+
+const char* occupancy_name(amoebot::OccupancyMode m) noexcept {
+  return lookup_name(kOccupancyRows, m);
+}
+
+bool parse_occupancy(std::string_view s, amoebot::OccupancyMode& out) noexcept {
+  return lookup_value(kOccupancyRows, s, out);
+}
+
+bool parse_order(std::string_view s, amoebot::Order& out) noexcept {
+  return lookup_value(kOrderRows, s, out);
+}
+
+const std::vector<std::string>& shape_families() {
+  static const std::vector<std::string> families = {
+      "hexagon", "line", "parallelogram", "annulus",
+      "spiral",  "comb", "cheese",        "blob",
+  };
+  return families;
+}
+
+bool is_shape_family(std::string_view s) noexcept {
+  for (const auto& f : shape_families()) {
+    if (s == f) return true;
+  }
+  return false;
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::string known_algo_names() { return join_names(kAlgoRows); }
+std::string known_order_names() { return join_names(kOrderRows); }
+std::string known_occupancy_names() { return join_names(kOccupancyRows); }
+
+std::string known_shape_families() { return join_names(shape_families()); }
+
+}  // namespace pm::scenario

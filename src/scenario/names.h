@@ -1,0 +1,46 @@
+// The one name <-> enum table module for the experiment layer.
+//
+// Every serializer and parser that spells an Algo, Order, OccupancyMode or
+// shape family as a string goes through here: the scenario JSON/CSV
+// emitters, bench_main's flag parsing, and the workload layer's spec codec.
+// Each enum gets a matched pair — `X_name` (never fails) and `parse_X`
+// (returns false on an unknown string) — plus a `known_X` listing for
+// actionable "got 'foo', expected one of ..." error messages.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amoebot/engine.h"
+
+namespace pm::scenario {
+
+enum class Algo;  // defined in scenario/scenario.h
+
+[[nodiscard]] const char* algo_name(Algo a) noexcept;
+[[nodiscard]] bool parse_algo(std::string_view s, Algo& out) noexcept;
+
+[[nodiscard]] const char* occupancy_name(amoebot::OccupancyMode m) noexcept;
+[[nodiscard]] bool parse_occupancy(std::string_view s,
+                                   amoebot::OccupancyMode& out) noexcept;
+
+// order_name itself lives with the Order enum (amoebot/engine.h); the
+// inverse lives here with the other parsers.
+[[nodiscard]] bool parse_order(std::string_view s, amoebot::Order& out) noexcept;
+
+// The shapegen families build_shape accepts, in registry order.
+[[nodiscard]] const std::vector<std::string>& shape_families();
+[[nodiscard]] bool is_shape_family(std::string_view s) noexcept;
+
+// Comma-separates any name list — the one formatter every "expected one
+// of ..." error message uses.
+[[nodiscard]] std::string join_names(const std::vector<std::string>& names);
+
+// Comma-separated name listings for error messages ("expected one of ...").
+[[nodiscard]] std::string known_algo_names();
+[[nodiscard]] std::string known_order_names();
+[[nodiscard]] std::string known_occupancy_names();
+[[nodiscard]] std::string known_shape_families();
+
+}  // namespace pm::scenario

@@ -23,6 +23,7 @@
 #include "util/stats.h"
 #include "util/timing.h"
 #include "util/table.h"
+#include "workload/workload.h"
 
 // Stamped into every BENCH_*.json next to schema_version so each perf
 // artifact names the commit that produced it (set by CMake at configure
@@ -37,29 +38,6 @@ using amoebot::OccupancyMode;
 using amoebot::Order;
 using core::DleState;
 
-const char* algo_name(Algo a) noexcept {
-  switch (a) {
-    case Algo::ObdOnly: return "obd";
-    case Algo::DleOracle: return "dle_oracle";
-    case Algo::DlePull: return "dle_pull";
-    case Algo::DleCollect: return "dle_collect";
-    case Algo::PipelineOracle: return "pipeline_oracle";
-    case Algo::PipelineFull: return "pipeline_full";
-    case Algo::BaselineErosion: return "baseline_erosion";
-    case Algo::BaselineContest: return "baseline_contest";
-  }
-  return "?";
-}
-
-const char* occupancy_name(OccupancyMode m) noexcept {
-  switch (m) {
-    case OccupancyMode::Dense: return "dense";
-    case OccupancyMode::Hash: return "hash";
-    case OccupancyMode::Differential: return "differential";
-  }
-  return "?";
-}
-
 grid::Shape build_shape(const Spec& spec) {
   const auto& f = spec.family;
   if (f == "hexagon") return shapegen::hexagon(spec.p1);
@@ -70,26 +48,12 @@ grid::Shape build_shape(const Spec& spec) {
   if (f == "comb") return shapegen::comb(spec.p1, spec.p2);
   if (f == "cheese") return shapegen::swiss_cheese(spec.p1, spec.p2, spec.shape_seed);
   if (f == "blob") return shapegen::random_blob(spec.p1, spec.shape_seed);
-  PM_CHECK_MSG(false, "unknown shape family '" << f << "'");
+  PM_CHECK_MSG(false, "unknown shape family '" << f << "' (known: "
+                                               << known_shape_families() << ")");
   return {};
 }
 
-namespace {
-
-std::string default_name(const Spec& spec) {
-  std::ostringstream os;
-  os << spec.family << "(" << spec.p1;
-  if (spec.p2 != 0) os << "," << spec.p2;
-  os << ")";
-  if (spec.threads > 0) os << "@t" << spec.threads;
-  if (spec.fault_seed != 0) os << "!f" << spec.fault_seed;
-  return os.str();
-}
-
-// Whether a Spec's algo routes its DLE stage through the Engine, i.e. can
-// actually honor Spec::threads; OBD-only and the baselines run their own
-// sequential/round-synchronous loops.
-bool algo_uses_engine(Algo a) {
+bool algo_uses_engine(Algo a) noexcept {
   switch (a) {
     case Algo::DleOracle:
     case Algo::DlePull:
@@ -103,6 +67,18 @@ bool algo_uses_engine(Algo a) {
       return false;
   }
   return false;
+}
+
+namespace {
+
+std::string default_name(const Spec& spec) {
+  std::ostringstream os;
+  os << spec.family << "(" << spec.p1;
+  if (spec.p2 != 0) os << "," << spec.p2;
+  os << ")";
+  if (spec.threads > 0) os << "@t" << spec.threads;
+  if (spec.fault_seed != 0) os << "!f" << spec.fault_seed;
+  return os.str();
 }
 
 // Hook tracking the maximum number of connected components seen after any
@@ -436,269 +412,20 @@ std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts) {
 }
 
 // --- suite registry --------------------------------------------------------
+//
+// The registry itself is data: src/workload defines each built-in suite as
+// a workload::WorkloadSuite (sweeps + named parameter sets), and the two
+// functions below are thin resolve() calls over it. `pm_bench --emit-spec`
+// writes the same data out as the committed workloads/*.json files, which
+// reproduce every suite bit-for-bit without this binary's registry.
+
+std::vector<std::string> suite_names() { return workload::registry_names(); }
+
+Suite make_suite(const std::string& name) {
+  return workload::to_scenario_suite(workload::registry_suite(name));
+}
 
 namespace {
-
-Spec shape_spec(std::string family, int p1, int p2, std::uint64_t shape_seed) {
-  Spec s;
-  s.family = std::move(family);
-  s.p1 = p1;
-  s.p2 = p2;
-  s.shape_seed = shape_seed;
-  return s;
-}
-
-Suite suite_table1() {
-  Suite suite{"table1",
-              "Table 1 reproduction: every algorithm class on a common shape sweep",
-              {}};
-  const std::vector<Spec> shapes = {
-      shape_spec("hexagon", 8, 0, 0),   shape_spec("annulus", 8, 5, 0),
-      shape_spec("cheese", 8, 5, 7),    shape_spec("blob", 400, 0, 11),
-      shape_spec("comb", 8, 8, 0),
-  };
-  const std::vector<std::pair<Algo, std::uint64_t>> algos = {
-      {Algo::BaselineContest, 3}, {Algo::BaselineErosion, 0}, {Algo::DleOracle, 5},
-      {Algo::PipelineOracle, 5},  {Algo::PipelineFull, 5},
-  };
-  for (const auto& sh : shapes) {
-    for (const auto& [algo, seed] : algos) {
-      Spec s = sh;
-      s.algo = algo;
-      s.seed = seed;
-      suite.specs.push_back(std::move(s));
-    }
-  }
-  return suite;
-}
-
-Suite suite_obd_scaling() {
-  Suite suite{"obd_scaling", "Theorem 41: OBD rounds vs L_out + D", {}};
-  auto add = [&](Spec s) {
-    s.algo = Algo::ObdOnly;
-    s.seed = 17;
-    suite.specs.push_back(std::move(s));
-  };
-  for (const int r : {3, 5, 8, 12, 16}) add(shape_spec("hexagon", r, 0, 0));
-  for (const int n : {100, 200, 400, 800}) add(shape_spec("blob", n, 0, 41));
-  for (const int r : {5, 8, 11}) add(shape_spec("cheese", r, 3, 9));
-  return suite;
-}
-
-Suite suite_dle_scaling() {
-  Suite suite{"dle_scaling",
-              "Theorem 18: DLE rounds vs D_A (including D_A < D annuli)", {}};
-  auto add = [&](Spec s) {
-    s.algo = Algo::DleOracle;
-    s.seed = 9;
-    suite.specs.push_back(std::move(s));
-  };
-  for (const int r : {4, 8, 12, 16, 24, 32}) add(shape_spec("hexagon", r, 0, 0));
-  for (const int r : {8, 12, 16, 24}) add(shape_spec("annulus", r, r - 3, 0));
-  for (const int n : {200, 400, 800, 1600}) add(shape_spec("blob", n, 0, 21));
-  for (const int r : {6, 10, 14}) add(shape_spec("cheese", r, r / 2, 5));
-  return suite;
-}
-
-Suite suite_collect_scaling() {
-  Suite suite{"collect_scaling",
-              "Theorem 23: Collect rounds vs leader eccentricity, phases ~ log", {}};
-  auto add = [&](Spec s) {
-    s.algo = Algo::DleCollect;
-    s.seed = 13;
-    suite.specs.push_back(std::move(s));
-  };
-  for (const int n : {100, 200, 400, 800, 1600, 3200}) add(shape_spec("blob", n, 0, 31));
-  for (const int r : {6, 10, 14, 18}) add(shape_spec("annulus", r, r - 1, 0));
-  return suite;
-}
-
-Suite suite_ablation() {
-  Suite suite{"ablation_disconnection",
-              "Disconnection ablation: pull variant vs DLE; erosion class vs DLE", {}};
-  for (const int r : {6, 9, 12, 15}) {
-    for (const Algo algo : {Algo::DleOracle, Algo::DlePull}) {
-      Spec s = shape_spec("annulus", r, r - 1, 0);
-      s.algo = algo;
-      s.seed = 23;
-      s.track_components = true;
-      suite.specs.push_back(std::move(s));
-    }
-  }
-  for (const int r : {4, 8, 12, 16, 20}) {
-    for (const Algo algo : {Algo::DleOracle, Algo::BaselineErosion}) {
-      Spec s = shape_spec("hexagon", r, 0, 0);
-      s.algo = algo;
-      s.seed = 23;
-      // The seed bench's run_dle drove part B's hexagons with the same
-      // component-tracking hook and 23/24 seed split as the annulus rows;
-      // keeping the flag reproduces that execution exactly.
-      s.track_components = algo == Algo::DleOracle;
-      suite.specs.push_back(std::move(s));
-    }
-  }
-  return suite;
-}
-
-Suite suite_dle_large() {
-  Suite suite{"dle_large",
-              "Large-n stress sweep (n >= 20k): dense-occupancy engine scaling", {}};
-  auto add = [&](Spec s) {
-    s.algo = Algo::DleOracle;
-    s.seed = 9;
-    suite.specs.push_back(std::move(s));
-  };
-  add(shape_spec("hexagon", 82, 0, 0));     // n = 20,419
-  add(shape_spec("blob", 20000, 0, 21));
-  add(shape_spec("blob", 40000, 0, 21));
-  return suite;
-}
-
-// Thread-scaling ladder on the dle_large hexagon workload: threads = 0 is
-// the sequential Engine baseline, threads = 1 isolates the batch-planning
-// overhead (single-threaded runs execute inline, skipping pool and
-// journals), and 2/4/8 add the journal + fork/join costs and measure the
-// speedup. All five rows report identical rounds/activations/moves — only
-// wall times differ.
-Suite suite_parallel_scaling() {
-  Suite suite{"parallel_scaling",
-              "ParallelEngine thread ladder on the dle_large workload (n = 20,419)", {}};
-  for (const int t : {0, 1, 2, 4, 8}) {
-    Spec s = shape_spec("hexagon", 82, 0, 0);
-    s.algo = Algo::DleOracle;
-    s.seed = 9;
-    s.threads = t;
-    suite.specs.push_back(std::move(s));
-  }
-  return suite;
-}
-
-// Small-n version of the ladder for CI smoke runs (TSan / release smoke).
-Suite suite_parallel_smoke() {
-  Suite suite{"parallel_smoke",
-              "ParallelEngine smoke ladder at small n (CI-sized)", {}};
-  for (const int t : {0, 2, 4}) {
-    Spec s = shape_spec("hexagon", 10, 0, 0);
-    s.algo = Algo::DleOracle;
-    s.seed = 9;
-    s.threads = t;
-    suite.specs.push_back(std::move(s));
-  }
-  for (const int t : {0, 4}) {
-    Spec s = shape_spec("blob", 400, 0, 21);
-    s.algo = Algo::DleOracle;
-    s.seed = 9;
-    s.threads = t;
-    suite.specs.push_back(std::move(s));
-  }
-  return suite;
-}
-
-// Adversarial coverage (ROADMAP "scenario coverage" item): mixed shapegen
-// populations swept over scheduler seeds, including RandomStream — the
-// adversary-friendliest fair order — plus full-pipeline and reconnecting
-// compositions on irregular shapes.
-Suite suite_dle_adversarial() {
-  Suite suite{"dle_adversarial",
-              "Adversarial sweep: mixed shapegen populations x seeds x orders", {}};
-  for (const std::uint64_t seed : {101, 202, 303}) {
-    const std::vector<Spec> shapes = {
-        shape_spec("cheese", 7, 4, seed),    shape_spec("blob", 400, 0, seed + 1),
-        shape_spec("spiral", 6, 2, 0),       shape_spec("comb", 10, 6, 0),
-        shape_spec("annulus", 10, 7, 0),
-    };
-    for (const auto& sh : shapes) {
-      Spec s = sh;
-      s.algo = Algo::DleOracle;
-      s.seed = seed;
-      suite.specs.push_back(std::move(s));
-    }
-  }
-  for (const Spec& sh : {shape_spec("cheese", 6, 3, 9), shape_spec("blob", 300, 0, 17),
-                         shape_spec("comb", 8, 5, 0)}) {
-    Spec s = sh;
-    s.algo = Algo::DleOracle;
-    s.order = Order::RandomStream;
-    s.seed = 404;
-    suite.specs.push_back(std::move(s));
-  }
-  for (const Spec& sh : {shape_spec("cheese", 5, 2, 4), shape_spec("blob", 300, 0, 7)}) {
-    Spec s = sh;
-    s.algo = Algo::PipelineFull;
-    s.seed = 8;
-    suite.specs.push_back(std::move(s));
-  }
-  for (const Spec& sh : {shape_spec("blob", 250, 0, 31), shape_spec("annulus", 8, 7, 0)}) {
-    Spec s = sh;
-    s.algo = Algo::DleCollect;
-    s.seed = 13;
-    suite.specs.push_back(std::move(s));
-  }
-  return suite;
-}
-
-// Audit fuzz: the ISSUE's shapegen families x adversarial seeds x seeded
-// fault plans. Every row carries a fault_seed, so running the suite
-// exercises kill/resume (including engine switches) on every scenario;
-// `pm_bench audit_fuzz --audit` additionally checks all paper invariants
-// across each kill.
-Suite suite_audit_fuzz() {
-  Suite suite{"audit_fuzz",
-              "Audit fuzz: shapegen families x seeds x fault plans (kill/resume)", {}};
-  std::uint64_t fault = 0xF00D;
-  int i = 0;
-  for (const std::uint64_t seed : {11, 47, 83}) {
-    const std::vector<Spec> shapes = {
-        shape_spec("cheese", 6, 3, seed),
-        shape_spec("blob", 300, 0, seed),
-        shape_spec("spiral", 5, 2, 0),
-        shape_spec("comb", 8, 5, 0),
-    };
-    for (const auto& sh : shapes) {
-      Spec s = sh;
-      s.algo = Algo::DleOracle;
-      s.order = (i++ % 2 == 0) ? Order::RandomPerm : Order::RandomStream;
-      s.seed = seed;
-      s.fault_seed = ++fault;
-      suite.specs.push_back(std::move(s));
-    }
-  }
-  // Full-pipeline rows: kills land inside OBD's token protocol too.
-  for (const Spec& sh : {shape_spec("cheese", 5, 2, 4), shape_spec("comb", 6, 4, 0)}) {
-    Spec s = sh;
-    s.algo = Algo::PipelineFull;
-    s.seed = 8;
-    s.fault_seed = ++fault;
-    suite.specs.push_back(std::move(s));
-  }
-  // Reconnecting rows: kills land inside Collect.
-  for (const Spec& sh : {shape_spec("blob", 200, 0, 31), shape_spec("annulus", 8, 6, 0)}) {
-    Spec s = sh;
-    s.algo = Algo::DleCollect;
-    s.seed = 13;
-    s.fault_seed = ++fault;
-    suite.specs.push_back(std::move(s));
-  }
-  return suite;
-}
-
-using SuiteBuilder = Suite (*)();
-
-const std::vector<std::pair<const char*, SuiteBuilder>>& registry() {
-  static const std::vector<std::pair<const char*, SuiteBuilder>> reg = {
-      {"table1", suite_table1},
-      {"obd_scaling", suite_obd_scaling},
-      {"dle_scaling", suite_dle_scaling},
-      {"collect_scaling", suite_collect_scaling},
-      {"ablation_disconnection", suite_ablation},
-      {"dle_large", suite_dle_large},
-      {"parallel_scaling", suite_parallel_scaling},
-      {"parallel_smoke", suite_parallel_smoke},
-      {"dle_adversarial", suite_dle_adversarial},
-      {"audit_fuzz", suite_audit_fuzz},
-  };
-  return reg;
-}
 
 // Suites excluded from the "all" expansion (heavy large-n sweeps).
 bool heavy_suite(const std::string& name) {
@@ -706,21 +433,6 @@ bool heavy_suite(const std::string& name) {
 }
 
 }  // namespace
-
-std::vector<std::string> suite_names() {
-  std::vector<std::string> names;
-  names.reserve(registry().size());
-  for (const auto& [name, builder] : registry()) names.emplace_back(name);
-  return names;
-}
-
-Suite make_suite(const std::string& name) {
-  for (const auto& [reg_name, builder] : registry()) {
-    if (name == reg_name) return builder();
-  }
-  PM_CHECK_MSG(false, "unknown suite '" << name << "' (see --list)");
-  return {};
-}
 
 // --- reporting -------------------------------------------------------------
 
@@ -838,29 +550,12 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 
 // --- serialization ---------------------------------------------------------
 
-namespace {
+using workload::json_escape;
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-void result_json(std::ostream& os, const Result& r, const char* indent) {
+std::string result_json_line(const Result& r, bool with_wall) {
+  std::ostringstream os;
   char wall[64];
-  os << indent << "{\"scenario\": \"" << json_escape(r.spec.name) << "\", "
+  os << "{\"scenario\": \"" << json_escape(r.spec.name) << "\", "
      << "\"family\": \"" << json_escape(r.spec.family) << "\", "
      << "\"p1\": " << r.spec.p1 << ", \"p2\": " << r.spec.p2 << ", "
      << "\"shape_seed\": " << r.spec.shape_seed << ", "
@@ -883,27 +578,27 @@ void result_json(std::ostream& os, const Result& r, const char* indent) {
      << ", \"max_components\": " << r.max_components
      << ", \"peak_occupancy_cells\": " << r.peak_occupancy_cells
      << ", \"audit_violations\": " << r.audit_violations;
-  std::snprintf(wall, sizeof wall, "%.3f", r.wall_ms);
+  std::snprintf(wall, sizeof wall, "%.3f", with_wall ? r.wall_ms : 0.0);
   os << ", \"wall_ms\": " << wall;
-  std::snprintf(wall, sizeof wall, "%.3f", r.obd_ms);
+  std::snprintf(wall, sizeof wall, "%.3f", with_wall ? r.obd_ms : 0.0);
   os << ", \"obd_ms\": " << wall;
-  std::snprintf(wall, sizeof wall, "%.3f", r.dle_ms);
+  std::snprintf(wall, sizeof wall, "%.3f", with_wall ? r.dle_ms : 0.0);
   os << ", \"dle_ms\": " << wall;
-  std::snprintf(wall, sizeof wall, "%.3f", r.collect_ms);
+  std::snprintf(wall, sizeof wall, "%.3f", with_wall ? r.collect_ms : 0.0);
   os << ", \"collect_ms\": " << wall << "}";
+  return os.str();
 }
-
-}  // namespace
 
 std::string to_json(const Suite& suite, const std::vector<Result>& results) {
   std::ostringstream os;
   os << "{\n  \"suite\": \"" << json_escape(suite.name) << "\",\n"
      << "  \"description\": \"" << json_escape(suite.description) << "\",\n"
-     << "  \"schema_version\": 3,\n"
+     << "  \"schema_version\": 4,\n"
      << "  \"git_describe\": \"" << json_escape(PM_GIT_DESCRIBE) << "\",\n"
+     << "  \"workload_hash\": \"" << workload::content_hash_hex(suite.specs) << "\",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    result_json(os, results[i], "    ");
+    os << "    " << result_json_line(results[i], /*with_wall=*/true);
     if (i + 1 < results.size()) os << ",";
     os << "\n";
   }
@@ -919,7 +614,13 @@ std::string to_csv(const std::vector<Result>& results) {
         "peak_occupancy_cells,audit_violations,wall_ms\n";
   for (const Result& r : results) {
     // Scenario labels like "annulus(8,5)" contain commas — always quoted.
-    os << '"' << r.spec.name << "\"," << r.spec.family << "," << algo_name(r.spec.algo) << ","
+    // Workload files let authors pick names, so embedded quotes must be
+    // CSV-doubled or they would shift every following column.
+    std::string label = r.spec.name;
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      if (label[i] == '"') label.insert(i++, 1, '"');
+    }
+    os << '"' << label << "\"," << r.spec.family << "," << algo_name(r.spec.algo) << ","
        << amoebot::order_name(r.spec.order) << "," << r.spec.seed << ","
        << r.spec.fault_seed << ","
        << occupancy_name(r.spec.occupancy) << "," << r.spec.threads << ","
@@ -950,20 +651,18 @@ bool parse_count(const std::string& s, int lo, int& out) {
   return true;
 }
 
-bool parse_occupancy(const std::string& s, OccupancyMode& out) {
-  if (s == "dense") out = OccupancyMode::Dense;
-  else if (s == "hash") out = OccupancyMode::Hash;
-  else if (s == "differential") out = OccupancyMode::Differential;
-  else return false;
-  return true;
-}
-
 void usage(const char* prog) {
   std::printf(
       "usage: %s [SUITE ...] [options]\n"
       "  --list                 list registered suites and exit\n"
       "  --suite FILTER         run every registered suite whose name contains\n"
       "                         FILTER (may repeat; combines with named suites)\n"
+      "  --spec FILE            run the workload suite described by FILE (a\n"
+      "                         workloads/*.json document; may repeat; combines\n"
+      "                         with named suites)\n"
+      "  --emit-spec DIR        write each named suite (default: every registered\n"
+      "                         suite) as DIR/<suite>.json and exit — the files\n"
+      "                         reproduce the built-in registry via --spec\n"
       "  --threads N            override the thread count of every spec:\n"
       "                         0 = sequential engine, N >= 1 = ParallelEngine\n"
       "                         (component-tracking ablation specs always stay\n"
@@ -975,6 +674,8 @@ void usage(const char* prog) {
       "                         (fresh system and occupancy index per rep)\n"
       "  --json-dir=DIR         directory for BENCH_<suite>.json (default .)\n"
       "  --no-json              skip JSON output\n"
+      "  --no-wall              zero the wall-clock fields in all output, making\n"
+      "                         artifacts bit-for-bit reproducible (golden diffs)\n"
       "  --csv=FILE             also write all results to FILE as CSV\n"
       "  --occupancy=MODE       dense | hash | differential (default: build default)\n"
       "  --compare-occupancy    run each suite with dense AND hash occupancy and\n"
@@ -1048,12 +749,15 @@ int replay_main(const std::string& path) {
 int bench_main(int argc, char** argv, const char* default_suite) {
   std::vector<std::string> wanted;
   std::vector<std::string> filters;
+  std::vector<std::string> spec_files;
   std::string json_dir = ".";
   std::string csv_path;
   std::string replay_path;
   std::string trace_prefix;
   std::string checkpoint_dir = ".";
+  std::string emit_spec_dir;
   bool no_json = false;
+  bool no_wall = false;
   bool compare = false;
   bool have_occ = false;
   bool do_audit = false;
@@ -1093,6 +797,20 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       json_dir = value("--json-dir=");
     } else if (arg == "--no-json") {
       no_json = true;
+    } else if (arg == "--no-wall") {
+      no_wall = true;
+    } else if (arg == "--spec" || arg.rfind("--spec=", 0) == 0) {
+      if (!next_value("--spec", v) || v.empty()) {
+        std::fprintf(stderr, "--spec needs a workload file\n");
+        return 2;
+      }
+      spec_files.push_back(v);
+    } else if (arg == "--emit-spec" || arg.rfind("--emit-spec=", 0) == 0) {
+      if (!next_value("--emit-spec", v) || v.empty()) {
+        std::fprintf(stderr, "--emit-spec needs a directory\n");
+        return 2;
+      }
+      emit_spec_dir = v;
     } else if (arg.rfind("--csv=", 0) == 0) {
       csv_path = value("--csv=");
     } else if (arg.rfind("--occupancy=", 0) == 0) {
@@ -1170,10 +888,21 @@ int bench_main(int argc, char** argv, const char* default_suite) {
     }
   }
   if (!replay_path.empty()) return replay_main(replay_path);
+  if (!emit_spec_dir.empty() && !spec_files.empty()) {
+    std::fprintf(stderr, "--emit-spec writes the built-in registry; it cannot be "
+                         "combined with --spec\n");
+    return 2;
+  }
   if (compare && have_occ) {
     std::fprintf(stderr,
                  "--compare-occupancy runs dense and hash itself; it cannot be "
                  "combined with --occupancy\n");
+    return 2;
+  }
+  if (compare && no_wall) {
+    std::fprintf(stderr,
+                 "--no-wall zeroes exactly the wall times --compare-occupancy "
+                 "exists to report; the combination is always a mistake\n");
     return 2;
   }
   // Expand --suite filters into registered names (substring match).
@@ -1191,7 +920,12 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       return 2;
     }
   }
-  if (wanted.empty()) wanted.emplace_back(default_suite ? default_suite : "all");
+  // --spec alone runs just the named files, and --emit-spec defaults to the
+  // whole registry; the registry default kicks in only when nothing at all
+  // was requested.
+  if (wanted.empty() && spec_files.empty() && emit_spec_dir.empty()) {
+    wanted.emplace_back(default_suite ? default_suite : "all");
+  }
 
   // Expand "all" (everything except the heavy large-n sweeps), then dedup
   // keep-first: overlapping --suite filters, or a positional name a filter
@@ -1214,18 +948,72 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   }
   names = std::move(unique_names);
 
-  std::vector<Result> all_results;
-  // Violations from runs that are not part of all_results (the hash pass
-  // of --compare-occupancy) still count toward the audit exit gate.
-  long side_violations = 0;
+  if (!emit_spec_dir.empty()) {
+    // Emit mode runs after name expansion so --suite filters and "all"
+    // mean the same thing they mean for running; with nothing named it
+    // writes the whole registry (heavy sweeps included — emitting is
+    // free).
+    if (names.empty()) names = suite_names();
+    for (const auto& name : names) {
+      workload::WorkloadSuite wsuite;
+      try {
+        wsuite = workload::registry_suite(name);
+      } catch (const CheckError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      const std::string path = emit_spec_dir + "/" + name + ".json";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << workload::to_json(wsuite);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  }
+
+  // Everything that will run, in request order: registered suites first,
+  // then workload files. A file is just another suite once loaded — every
+  // flag (--jobs, --audit, --compare-occupancy, ...) applies uniformly.
+  std::vector<Suite> suites;
   for (const auto& name : names) {
-    Suite suite;
     try {
-      suite = make_suite(name);
+      suites.push_back(make_suite(name));
     } catch (const CheckError& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
+  }
+  for (const auto& path : spec_files) {
+    try {
+      suites.push_back(workload::to_scenario_suite(workload::load_suite_file(path)));
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    // A file whose internal suite name collides with an already-requested
+    // suite would silently overwrite its BENCH_<name>.json; refuse loudly
+    // (the differential workflow runs the two paths in separate
+    // invocations with distinct --json-dir values).
+    for (std::size_t i = 0; i + 1 < suites.size(); ++i) {
+      if (suites[i].name == suites.back().name) {
+        std::fprintf(stderr,
+                     "--spec %s: suite '%s' is already being run in this invocation; "
+                     "both runs would write BENCH_%s.json — run them separately "
+                     "(e.g. with different --json-dir)\n",
+                     path.c_str(), suites.back().name.c_str(), suites.back().name.c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::vector<Result> all_results;
+  // Violations from runs that are not part of all_results (the hash pass
+  // of --compare-occupancy) still count toward the audit exit gate.
+  long side_violations = 0;
+  for (Suite& suite : suites) {
     if (have_occ) {
       for (Spec& s : suite.specs) s.occupancy = occ;
     }
@@ -1263,6 +1051,15 @@ int bench_main(int argc, char** argv, const char* default_suite) {
         if (r.audit_violations > 0) side_violations += r.audit_violations;
       }
     }
+    if (no_wall) {
+      // The wall clocks are the only nondeterministic Result fields; with
+      // them zeroed, reruns of the same workload are bit-identical files.
+      // (hash_results needs no scrub: --no-wall + --compare-occupancy is
+      // rejected up front, so it is always empty here.)
+      for (Result& r : results) {
+        r.wall_ms = r.obd_ms = r.dle_ms = r.collect_ms = 0.0;
+      }
+    }
     print_results(suite, results, std::cout);
 
     if (compare) {
@@ -1293,7 +1090,10 @@ int bench_main(int argc, char** argv, const char* default_suite) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return 1;
       }
-      out << to_json(suite, results);
+      // `primary` carries the specs as actually run (occupancy forced dense
+      // in compare mode), so the embedded workload_hash names the executed
+      // workload exactly.
+      out << to_json(primary, results);
       std::printf("wrote %s\n\n", path.c_str());
     }
     all_results.insert(all_results.end(), results.begin(), results.end());

@@ -21,6 +21,10 @@
 
 #include "amoebot/engine.h"
 #include "grid/shape.h"
+// The name <-> enum tables (algo_name, parse_algo, occupancy_name, ...)
+// live in scenario/names.h; included here so every scenario user keeps
+// seeing them.
+#include "scenario/names.h"
 
 namespace pm::scenario {
 
@@ -35,9 +39,6 @@ enum class Algo {
   BaselineErosion,  // sequential erosion class ([22]/[3]-style stand-in)
   BaselineContest,  // randomized boundary contest ([19]/[10]-style stand-in)
 };
-
-[[nodiscard]] const char* algo_name(Algo a) noexcept;
-[[nodiscard]] const char* occupancy_name(amoebot::OccupancyMode m) noexcept;
 
 struct Spec {
   std::string name;    // row label, auto-derived from the family if empty
@@ -67,10 +68,18 @@ struct Spec {
   // Result field except wall times is bit-identical to an uninterrupted
   // run. Incompatible with track_components (fault plans switch engines).
   std::uint64_t fault_seed = 0;
+
+  friend bool operator==(const Spec&, const Spec&) = default;
 };
 
 // Materializes the Spec's shape (deterministic in the Spec fields).
 [[nodiscard]] grid::Shape build_shape(const Spec& spec);
+
+// Whether an algo routes its DLE stage through the Engine, i.e. can honor
+// Spec::threads; OBD-only and the baselines run their own sequential or
+// round-synchronous loops. Shared by run_scenario's preconditions and the
+// workload layer's load-time validation — one predicate, no drift.
+[[nodiscard]] bool algo_uses_engine(Algo a) noexcept;
 
 struct Result {
   Spec spec;
@@ -168,7 +177,9 @@ struct SuiteRunOptions {
 std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts = {});
 
 // Registered suite names, in registry order. "all" (accepted by bench_main)
-// expands to every suite except the large-n stress sweep.
+// expands to every suite except the large-n stress sweep. The registry
+// itself is data: each name maps to a workload::WorkloadSuite (see
+// src/workload), and make_suite is a thin resolve() over it.
 [[nodiscard]] std::vector<std::string> suite_names();
 
 // Throws pm::CheckError for an unknown name.
@@ -177,15 +188,24 @@ std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts = 
 void print_results(const Suite& suite, const std::vector<Result>& results,
                    std::ostream& os);
 
-// One JSON document per suite (schema versioned; see README).
+// One Result as a single canonical JSON object line (no trailing newline).
+// `with_wall` = false zeroes the wall-clock fields, making the record
+// deterministic — the form pm_serve streams and --no-wall artifacts use.
+[[nodiscard]] std::string result_json_line(const Result& r, bool with_wall = true);
+
+// One JSON document per suite (schema versioned; see README). Each document
+// carries `workload_hash`, the content hash of the fully-resolved spec list
+// (workload::content_hash_hex), so an artifact names exactly the workload
+// that produced it and silent spec drift is a visible diff.
 [[nodiscard]] std::string to_json(const Suite& suite, const std::vector<Result>& results);
 
 // Flat CSV rows (with header) for spreadsheet-style analysis.
 [[nodiscard]] std::string to_csv(const std::vector<Result>& results);
 
 // Shared CLI driver:
-//   pm_bench [SUITE ...] [--list] [--suite FILTER] [--threads N] [--jobs N]
-//            [--reps N] [--json-dir=DIR] [--no-json] [--csv=FILE]
+//   pm_bench [SUITE ...] [--list] [--suite FILTER] [--spec FILE]
+//            [--emit-spec DIR] [--threads N] [--jobs N]
+//            [--reps N] [--json-dir=DIR] [--no-json] [--no-wall] [--csv=FILE]
 //            [--occupancy=dense|hash|differential] [--compare-occupancy]
 //            [--audit] [--audit-every=N] [--trace=PREFIX] [--replay=FILE]
 //            [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume]

@@ -1,0 +1,358 @@
+#include "workload/json.h"
+
+#include <limits>
+#include <sstream>
+
+namespace pm::workload {
+
+Json Json::make_bool(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::make_int(bool negative, std::uint64_t magnitude) {
+  Json j;
+  j.kind_ = Kind::Int;
+  j.negative_ = negative && magnitude != 0;
+  j.magnitude_ = magnitude;
+  return j;
+}
+
+Json Json::make_str(std::string s) {
+  Json j;
+  j.kind_ = Kind::Str;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::make_arr(std::vector<Json> items) {
+  Json j;
+  j.kind_ = Kind::Arr;
+  j.arr_ = std::move(items);
+  return j;
+}
+
+Json Json::make_obj(Members members) {
+  Json j;
+  j.kind_ = Kind::Obj;
+  j.obj_ = std::move(members);
+  return j;
+}
+
+const char* Json::kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "a boolean";
+    case Kind::Int: return "an integer";
+    case Kind::Str: return "a string";
+    case Kind::Arr: return "an array";
+    case Kind::Obj: return "an object";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& where)
+      : text_(text), where_(where) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after the top-level value");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    // Offsets are unreadable in a hand-edited file; report line:column.
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << where_ << ":" << line << ":" << col << ": " << msg;
+    throw WorkloadError(os.str());
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c, const char* what) {
+    if (at_end() || peek() != c) fail(std::string("expected ") + what);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  // The parser recurses per nesting level; without a ceiling a hostile
+  // line of 200k '[' would overflow the stack and take the whole process
+  // (pm_serve's isolation contract forbids that). Workload documents nest
+  // ~5 deep; 64 is far past any legitimate file.
+  static constexpr int kMaxDepth = 64;
+
+  Json parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 64 levels");
+    if (at_end()) fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::make_str(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json::make_bool(true);
+        fail("invalid literal (did you mean 'true'?)");
+      case 'f':
+        if (consume_literal("false")) return Json::make_bool(false);
+        fail("invalid literal (did you mean 'false'?)");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal (did you mean 'null'?)");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  Json parse_object() {
+    ++depth_;
+    expect('{', "'{'");
+    Json::Members members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Json::make_obj(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') fail("expected a string key");
+      std::string key = parse_string();
+      for (const auto& [existing, unused] : members) {
+        if (existing == key) fail("duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':', "':' after key");
+      skip_ws();
+      Json value = parse_value();
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return Json::make_obj(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    ++depth_;
+    expect('[', "'['");
+    std::vector<Json> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Json::make_arr(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value());
+      skip_ws();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return Json::make_arr(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (at_end()) fail("unterminated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Workload strings are suite names and families — ASCII. The
+          // emitter only produces \u00xx for control characters, so that is
+          // all the reader accepts; anything wider is a schema smell.
+          if (code > 0x7F) fail("non-ASCII \\u escape (workload strings are ASCII)");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const bool negative = peek() == '-';
+    if (negative) ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9') fail("expected a digit");
+    // Leading zeros are a JSON syntax error ("01"); a bare zero is fine.
+    if (peek() == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      fail("leading zero in number");
+    }
+    std::uint64_t magnitude = 0;
+    while (!at_end() && peek() >= '0' && peek() <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(peek() - '0');
+      if (magnitude > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        fail("integer overflows 64 bits");
+      }
+      magnitude = magnitude * 10 + digit;
+      ++pos_;
+    }
+    if (!at_end() && (peek() == '.' || peek() == 'e' || peek() == 'E')) {
+      fail("floating-point numbers are not used in workload files");
+    }
+    if (negative && magnitude > 0x8000000000000000ull) {
+      fail("negative integer overflows 64 bits");
+    }
+    return Json::make_int(negative, magnitude);
+  }
+
+  std::string_view text_;
+  const std::string& where_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+[[noreturn]] void type_fail(const std::string& context, Json::Kind want,
+                            Json::Kind got) {
+  throw WorkloadError(context + ": expected " + Json::kind_name(want) + ", got " +
+                      Json::kind_name(got));
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text, const std::string& where) {
+  return Parser(text, where).parse_document();
+}
+
+bool Json::as_bool(const std::string& context) const {
+  if (kind_ != Kind::Bool) type_fail(context, Kind::Bool, kind_);
+  return bool_;
+}
+
+long long Json::as_int(long long lo, long long hi, const std::string& context) const {
+  if (kind_ != Kind::Int) type_fail(context, Kind::Int, kind_);
+  long long value = 0;
+  if (negative_) {
+    if (magnitude_ > 0x8000000000000000ull) {
+      throw WorkloadError(context + ": value out of range");
+    }
+    value = static_cast<long long>(-magnitude_);
+  } else {
+    if (magnitude_ > static_cast<std::uint64_t>(std::numeric_limits<long long>::max())) {
+      throw WorkloadError(context + ": value out of range");
+    }
+    value = static_cast<long long>(magnitude_);
+  }
+  if (value < lo || value > hi) {
+    throw WorkloadError(context + ": " + std::to_string(value) + " is outside [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+std::uint64_t Json::as_u64(const std::string& context) const {
+  if (kind_ != Kind::Int) type_fail(context, Kind::Int, kind_);
+  if (negative_) {
+    throw WorkloadError(context + ": must be non-negative");
+  }
+  return magnitude_;
+}
+
+const std::string& Json::as_str(const std::string& context) const {
+  if (kind_ != Kind::Str) type_fail(context, Kind::Str, kind_);
+  return str_;
+}
+
+const std::vector<Json>& Json::as_arr(const std::string& context) const {
+  if (kind_ != Kind::Arr) type_fail(context, Kind::Arr, kind_);
+  return arr_;
+}
+
+const Json::Members& Json::as_obj(const std::string& context) const {
+  if (kind_ != Kind::Obj) type_fail(context, Kind::Obj, kind_);
+  return obj_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  PM_CHECK_MSG(kind_ == Kind::Obj, "Json::find on a non-object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace pm::workload

@@ -1,0 +1,85 @@
+// A strict, dependency-free JSON reader for workload files.
+//
+// Scope is deliberately narrow: this parses *configuration*, not arbitrary
+// interchange. It accepts exactly the JSON subset the workload schema uses —
+// objects, arrays, strings, booleans, null, and integers (no floats: every
+// numeric spec field is integral, and silently rounding "p1": 8.5 would be a
+// validation hole) — and it is strict where lenient parsers hide user
+// errors:
+//   * trailing garbage after the top-level value is rejected,
+//   * duplicate object keys are rejected,
+//   * object key order is preserved (the canonical emitter and the
+//     round-trip guarantee depend on it).
+// All failures throw WorkloadError with a line:column position.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pm::workload {
+
+// Every failure in the workload layer — JSON syntax, schema shape, spec
+// validation — is a WorkloadError; the what() string is the actionable
+// message (position for syntax errors, field context for schema errors).
+class WorkloadError : public CheckError {
+ public:
+  explicit WorkloadError(const std::string& what) : CheckError(what) {}
+};
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Int, Str, Arr, Obj };
+
+  // Objects as ordered key/value lists: canonical re-emission must preserve
+  // the author's ordering, and workload objects are small enough that
+  // linear key lookup beats a map.
+  using Members = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  static Json make_bool(bool b);
+  // Integers carry sign + magnitude so the full uint64 seed range and
+  // negative validation inputs both survive parsing exactly.
+  static Json make_int(bool negative, std::uint64_t magnitude);
+  static Json make_str(std::string s);
+  static Json make_arr(std::vector<Json> items);
+  static Json make_obj(Members members);
+
+  // Strict parse of a complete document. `where` names the source (a file
+  // path, "stdin job 12", ...) and prefixes every error message.
+  static Json parse(std::string_view text, const std::string& where);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_obj() const { return kind_ == Kind::Obj; }
+  [[nodiscard]] bool is_arr() const { return kind_ == Kind::Arr; }
+  [[nodiscard]] bool is_str() const { return kind_ == Kind::Str; }
+  [[nodiscard]] static const char* kind_name(Kind k) noexcept;
+
+  // Typed accessors; `context` names the field for the error message.
+  [[nodiscard]] bool as_bool(const std::string& context) const;
+  // Checked integral conversion into [lo, hi].
+  [[nodiscard]] long long as_int(long long lo, long long hi,
+                                 const std::string& context) const;
+  [[nodiscard]] std::uint64_t as_u64(const std::string& context) const;
+  [[nodiscard]] const std::string& as_str(const std::string& context) const;
+  [[nodiscard]] const std::vector<Json>& as_arr(const std::string& context) const;
+  [[nodiscard]] const Members& as_obj(const std::string& context) const;
+
+  // Object member lookup (nullptr when absent; requires is_obj()).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  bool negative_ = false;
+  std::uint64_t magnitude_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  Members obj_;
+};
+
+}  // namespace pm::workload

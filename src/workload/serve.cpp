@@ -1,0 +1,158 @@
+#include "workload/serve.h"
+
+#include <algorithm>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "scenario/scenario.h"
+#include "workload/json.h"
+#include "workload/workload.h"
+
+namespace pm::workload {
+
+namespace {
+
+// How many jobs a window holds per pool thread. Wider windows amortize the
+// fork/join barrier; the emitter still writes strictly in input order, so
+// the factor moves latency and nothing else.
+constexpr int kWindowFactor = 4;
+
+struct JobOutcome {
+  std::string record;  // one NDJSON line, no trailing newline
+  bool ok = false;
+  int audit_violations = 0;  // only when the job was audited
+};
+
+// `id` is included whenever the envelope got far enough to yield one, so
+// failures stay attributable to the caller's key, not just the line number.
+std::string error_record(long seq, const std::string& id, const std::string& what) {
+  std::string rec = "{\"job\": " + std::to_string(seq);
+  if (!id.empty()) rec += ", \"id\": \"" + json_escape(id) + "\"";
+  rec += ", \"ok\": false, \"error\": \"" + json_escape(what) + "\"}";
+  return rec;
+}
+
+// Parses and runs one job line. Never throws (the pool's workers require
+// it): every failure becomes this line's error record.
+JobOutcome run_job(long seq, const std::string& line, const ServeOptions& opts) {
+  JobOutcome out;
+  const std::string context = "job " + std::to_string(seq);
+  std::string id;
+  try {
+    const Json doc = Json::parse(line, context);
+    const Json* spec_obj = &doc;
+    scenario::RunHooks hooks;
+    hooks.audit_every = std::max<long>(1, opts.audit_every);
+    // Collected first, combined after the loop: the envelope's semantics
+    // must not depend on its key order ("audit": false next to
+    // "audit_every" disables auditing wherever it appears).
+    std::optional<bool> audit_flag;
+    std::optional<long> audit_cadence;
+    if (doc.is_obj() && doc.find("spec") != nullptr) {
+      // Envelope form: per-job id and RunHooks around the spec.
+      for (const auto& [key, value] : doc.as_obj(context)) {
+        const std::string field = context + "." + key;
+        if (key == "spec") {
+          spec_obj = &value;
+        } else if (key == "id") {
+          id = value.as_str(field);
+        } else if (key == "audit") {
+          audit_flag = value.as_bool(field);
+        } else if (key == "audit_every") {
+          audit_cadence = value.as_int(1, 1'000'000'000, field);
+        } else if (key == "trace") {
+          hooks.trace_path = value.as_str(field);
+        } else if (key == "checkpoint_every") {
+          hooks.checkpoint_every = value.as_int(1, 1'000'000'000, field);
+        } else if (key == "checkpoint") {
+          hooks.checkpoint_path = value.as_str(field);
+        } else if (key == "resume") {
+          hooks.resume = value.as_bool(field);
+        } else {
+          throw WorkloadError(field + ": unknown job field (known: spec, id, audit, "
+                              "audit_every, trace, checkpoint_every, checkpoint, "
+                              "resume)");
+        }
+      }
+    }
+    // A cadence implies auditing (the pm_bench --audit-every convention),
+    // but an explicit "audit": false always wins.
+    if (audit_cadence) hooks.audit_every = *audit_cadence;
+    hooks.audit = audit_flag ? *audit_flag : (opts.audit || audit_cadence.has_value());
+
+    const WorkloadSpec spec = parse_spec(*spec_obj, context + ".spec");
+    std::vector<std::string> audit_report;
+    if (hooks.audit) hooks.audit_report = &audit_report;
+
+    const scenario::Result res = scenario::run_scenario(spec, hooks);
+
+    std::ostringstream os;
+    os << "{\"job\": " << seq;
+    if (!id.empty()) os << ", \"id\": \"" << json_escape(id) << "\"";
+    os << ", \"ok\": true, \"spec\": " << spec_json(res.spec)
+       << ", \"result\": " << scenario::result_json_line(res, opts.wall);
+    if (hooks.audit) {
+      out.audit_violations = std::max(0, res.audit_violations);
+      os << ", \"audit_report\": [";
+      for (std::size_t i = 0; i < audit_report.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << '"' << json_escape(audit_report[i]) << '"';
+      }
+      os << ']';
+    }
+    os << '}';
+    out.record = os.str();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.record = error_record(seq, id, e.what());
+  } catch (...) {
+    out.record = error_record(seq, id, "unknown error");
+  }
+  return out;
+}
+
+}  // namespace
+
+ServeStats serve(std::istream& in, std::ostream& out, const ServeOptions& opts) {
+  const int jobs = std::max(1, opts.jobs);
+  const int window = jobs == 1 ? 1 : jobs * kWindowFactor;
+  exec::ThreadPool pool(jobs);
+  ServeStats stats;
+
+  std::vector<std::pair<long, std::string>> batch;
+  std::vector<JobOutcome> outcomes;
+  auto flush = [&]() {
+    if (batch.empty()) return;
+    outcomes.assign(batch.size(), {});
+    pool.for_each_index(static_cast<int>(batch.size()), [&](int i) {
+      const auto& [seq, line] = batch[static_cast<std::size_t>(i)];
+      outcomes[static_cast<std::size_t>(i)] = run_job(seq, line, opts);
+    });
+    for (const JobOutcome& o : outcomes) {
+      out << o.record << '\n';
+      ++stats.jobs;
+      if (!o.ok) ++stats.failed;
+      stats.audit_violations += o.audit_violations;
+    }
+    out.flush();
+    batch.clear();
+  };
+
+  long seq = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    batch.emplace_back(seq++, line);
+    if (static_cast<int>(batch.size()) >= window) flush();
+  }
+  flush();
+  return stats;
+}
+
+}  // namespace pm::workload

@@ -1,0 +1,61 @@
+// pm_serve's engine: a deterministic NDJSON job loop.
+//
+// Jobs arrive one JSON object per line; each is either a bare workload spec
+// ({"family": "hexagon", "p1": 8, ...}) or an envelope wrapping one:
+//
+//   {"id": "caller-key", "spec": {...},
+//    "audit": true, "audit_every": 4,          // per-job RunHooks
+//    "trace": "out.trace",
+//    "checkpoint_every": 64, "checkpoint": "ckpt.snap", "resume": true}
+//
+// "audit_every" implies auditing; an explicit "audit": false wins wherever
+// it appears in the envelope. The file-writing hooks ("trace",
+// "checkpoint") name plain paths the jobs open themselves — with jobs > 1,
+// two in-flight jobs naming the same path would interleave writes, so give
+// each job its own file (key the path by the job id).
+//
+// Jobs are scheduled onto the existing exec::ThreadPool in windows of
+// `jobs * kWindowFactor` (fork/join per window — jobs = 1 degrades to fully
+// streamed execution), and every job runs isolated: a failure — malformed
+// JSON, validation, a runner CheckError — produces an error record for its
+// line, never kills the server. One record is emitted per input line, in
+// input order:
+//
+//   {"job": 3, "id": "...", "ok": true, "spec": {...}, "result": {...}}
+//   {"job": 4, "ok": false, "error": "..."}
+//
+// Determinism contract: with `wall` off (the default), the output byte
+// stream is a pure function of the input byte stream — the same jobs give
+// the same records for any `jobs` value, because every scenario is
+// deterministic, records carry no clocks, and emission order is input
+// order. `--wall` trades that away for timing data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace pm::workload {
+
+struct ServeOptions {
+  // Concurrent jobs per window (the exec::ThreadPool width). 1 = run and
+  // emit each job as it arrives.
+  int jobs = 1;
+  // Include real wall-clock fields in result records (breaks the
+  // deterministic-output contract; off by default).
+  bool wall = false;
+  // Attach the invariant Auditor to every job that does not say otherwise.
+  bool audit = false;
+  long audit_every = 1;
+};
+
+struct ServeStats {
+  long jobs = 0;
+  long failed = 0;           // records with "ok": false
+  long audit_violations = 0; // summed over audited jobs
+};
+
+// Drains `in` to EOF, writing one record per job line to `out` (flushed per
+// window so pipe consumers see progress). Blank lines are ignored.
+ServeStats serve(std::istream& in, std::ostream& out, const ServeOptions& opts);
+
+}  // namespace pm::workload

@@ -1,0 +1,869 @@
+#include "workload/workload.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/names.h"
+
+namespace pm::workload {
+
+using amoebot::OccupancyMode;
+using amoebot::Order;
+using scenario::Algo;
+
+// --- patch application -----------------------------------------------------
+
+void SpecPatch::apply(WorkloadSpec& spec) const {
+  if (name) spec.name = *name;
+  if (family) spec.family = *family;
+  if (p1) spec.p1 = *p1;
+  if (p2) spec.p2 = *p2;
+  if (shape_seed) spec.shape_seed = *shape_seed;
+  if (algo) spec.algo = *algo;
+  if (order) spec.order = *order;
+  if (seed) spec.seed = *seed;
+  if (max_rounds) spec.max_rounds = *max_rounds;
+  if (occupancy) spec.occupancy = *occupancy;
+  if (track_components) spec.track_components = *track_components;
+  if (threads) spec.threads = *threads;
+  if (fault_seed) spec.fault_seed = *fault_seed;
+}
+
+bool SpecPatch::empty() const { return *this == SpecPatch{}; }
+
+// --- validation ------------------------------------------------------------
+
+void validate(const WorkloadSpec& spec, const std::string& context) {
+  auto fail = [&](const std::string& msg) { throw WorkloadError(context + ": " + msg); };
+  if (spec.family.empty()) {
+    fail("no shape family (set \"family\" in the spec, a sweep base, or the "
+         "suite defaults)");
+  }
+  if (!scenario::is_shape_family(spec.family)) {
+    fail("unknown shape family '" + spec.family + "' (known: " +
+         scenario::known_shape_families() + ")");
+  }
+  if (spec.p1 < 0) fail("p1 must be >= 0, got " + std::to_string(spec.p1));
+  if (spec.p2 < 0) fail("p2 must be >= 0, got " + std::to_string(spec.p2));
+  // Mirror shapegen's per-family parameter preconditions so a bad file
+  // fails here with the file's context instead of mid-suite inside
+  // build_shape (where run_suite would downgrade it to an incomplete row).
+  const auto p = [&](const char* what, bool ok) {
+    if (!ok) {
+      fail(spec.family + " needs " + what + ", got p1 = " + std::to_string(spec.p1) +
+           ", p2 = " + std::to_string(spec.p2));
+    }
+  };
+  if (spec.family == "line" || spec.family == "blob") p("p1 >= 1", spec.p1 >= 1);
+  if (spec.family == "parallelogram") p("p1 >= 1 and p2 >= 1", spec.p1 >= 1 && spec.p2 >= 1);
+  if (spec.family == "annulus") p("p1 >= 2 and p2 < p1", spec.p1 >= 2 && spec.p2 < spec.p1);
+  if (spec.family == "spiral") p("p1 >= 1", spec.p1 >= 1);
+  if (spec.family == "comb") p("p1 >= 1", spec.p1 >= 1);
+  if (spec.family == "cheese") p("p1 >= 3", spec.p1 >= 3);
+  if (spec.max_rounds < 1) {
+    fail("max_rounds must be >= 1, got " + std::to_string(spec.max_rounds));
+  }
+  if (spec.threads < 0 || spec.threads > 1024) {
+    fail("threads must be in [0, 1024], got " + std::to_string(spec.threads));
+  }
+  // Mirror run_scenario's preconditions so a bad file fails at load time
+  // with the file's context, not mid-suite with a runner backtrace.
+  if (spec.threads > 0 && !scenario::algo_uses_engine(spec.algo)) {
+    fail(std::string("threads > 0 on algo '") + scenario::algo_name(spec.algo) +
+         "', which never consults the Engine");
+  }
+  if (spec.track_components && spec.threads > 0) {
+    fail("track_components requires the sequential engine (threads = 0)");
+  }
+  if (spec.track_components && spec.fault_seed != 0) {
+    fail("track_components cannot combine with fault_seed (fault plans may "
+         "switch engines)");
+  }
+}
+
+// --- resolution ------------------------------------------------------------
+
+namespace {
+
+const std::vector<SpecPatch>& axis_patches(
+    const WorkloadSuite& suite, const Sweep::Axis& axis, const std::string& context) {
+  if (axis.ref.empty()) return axis.patches;
+  for (const auto& [name, patches] : suite.params) {
+    if (name == axis.ref) return patches;
+  }
+  std::vector<std::string> declared;
+  declared.reserve(suite.params.size());
+  for (const auto& [name, patches] : suite.params) declared.push_back(name);
+  const std::string known = scenario::join_names(declared);
+  throw WorkloadError(context + ": axis references unknown parameter set '" +
+                      axis.ref + "'" +
+                      (known.empty() ? std::string(" (the suite declares none)")
+                                     : " (declared: " + known + ")"));
+}
+
+constexpr std::size_t kMaxResolvedSpecs = 1'000'000;
+
+}  // namespace
+
+std::vector<WorkloadSpec> resolve(const WorkloadSuite& suite) {
+  std::vector<WorkloadSpec> out;
+  for (std::size_t item_idx = 0; item_idx < suite.items.size(); ++item_idx) {
+    const Item& item = suite.items[item_idx];
+    const std::string context =
+        "workload '" + suite.name + "' item " + std::to_string(item_idx);
+    if (item.kind == Item::Kind::Spec) {
+      WorkloadSpec spec;
+      suite.defaults.apply(spec);
+      item.spec.apply(spec);
+      validate(spec, context);
+      out.push_back(std::move(spec));
+      continue;
+    }
+    // Sweep: cartesian product of the axes, last axis fastest (the nested-
+    // loop order, so a sweep reads like the loops it replaced).
+    const Sweep& sweep = item.sweep;
+    if (sweep.axes.empty()) throw WorkloadError(context + ": sweep has no axes");
+    std::vector<const std::vector<SpecPatch>*> axes;
+    std::size_t total = 1;
+    for (const Sweep::Axis& axis : sweep.axes) {
+      const std::vector<SpecPatch>& patches = axis_patches(suite, axis, context);
+      if (patches.empty()) throw WorkloadError(context + ": empty sweep axis");
+      axes.push_back(&patches);
+      total *= patches.size();
+      if (total > kMaxResolvedSpecs) {
+        throw WorkloadError(context + ": sweep expands past " +
+                            std::to_string(kMaxResolvedSpecs) + " specs");
+      }
+    }
+    if (out.size() + total > kMaxResolvedSpecs) {
+      throw WorkloadError(context + ": suite expands past " +
+                          std::to_string(kMaxResolvedSpecs) + " specs");
+    }
+    std::vector<std::size_t> digits(axes.size(), 0);
+    for (std::size_t row = 0; row < total; ++row) {
+      WorkloadSpec spec;
+      suite.defaults.apply(spec);
+      sweep.base.apply(spec);
+      for (std::size_t a = 0; a < axes.size(); ++a) (*axes[a])[digits[a]].apply(spec);
+      validate(spec, context + " row " + std::to_string(row));
+      out.push_back(std::move(spec));
+      for (std::size_t a = axes.size(); a-- > 0;) {
+        if (++digits[a] < axes[a]->size()) break;
+        digits[a] = 0;
+      }
+    }
+  }
+  if (out.empty()) {
+    throw WorkloadError("workload '" + suite.name + "' resolves to zero specs");
+  }
+  return out;
+}
+
+scenario::Suite to_scenario_suite(const WorkloadSuite& suite) {
+  return scenario::Suite{suite.name, suite.description, resolve(suite)};
+}
+
+// --- canonical emit --------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shared by the patch emitter and the full-spec emitter: appends the
+// key/value pairs in the one canonical field order.
+class FieldWriter {
+ public:
+  explicit FieldWriter(std::ostream& os) : os_(os) {}
+
+  void str(const char* key, const std::string& value) {
+    sep();
+    os_ << '"' << key << "\": \"" << json_escape(value) << '"';
+  }
+  void num(const char* key, long long value) {
+    sep();
+    os_ << '"' << key << "\": " << value;
+  }
+  void u64(const char* key, std::uint64_t value) {
+    sep();
+    os_ << '"' << key << "\": " << value;
+  }
+  void boolean(const char* key, bool value) {
+    sep();
+    os_ << '"' << key << "\": " << (value ? "true" : "false");
+  }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ", ";
+    first_ = false;
+  }
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+void emit_patch(std::ostream& os, const SpecPatch& p) {
+  os << '{';
+  FieldWriter w(os);
+  if (p.name) w.str("name", *p.name);
+  if (p.family) w.str("family", *p.family);
+  if (p.p1) w.num("p1", *p.p1);
+  if (p.p2) w.num("p2", *p.p2);
+  if (p.shape_seed) w.u64("shape_seed", *p.shape_seed);
+  if (p.algo) w.str("algo", scenario::algo_name(*p.algo));
+  if (p.order) w.str("order", amoebot::order_name(*p.order));
+  if (p.seed) w.u64("seed", *p.seed);
+  if (p.max_rounds) w.num("max_rounds", *p.max_rounds);
+  if (p.occupancy) w.str("occupancy", scenario::occupancy_name(*p.occupancy));
+  if (p.track_components) w.boolean("track_components", *p.track_components);
+  if (p.threads) w.num("threads", *p.threads);
+  if (p.fault_seed) w.u64("fault_seed", *p.fault_seed);
+  os << '}';
+}
+
+void emit_patch_list(std::ostream& os, const std::vector<SpecPatch>& patches,
+                     const std::string& indent) {
+  os << "[\n";
+  for (std::size_t i = 0; i < patches.size(); ++i) {
+    os << indent << "  ";
+    emit_patch(os, patches[i]);
+    os << (i + 1 < patches.size() ? ",\n" : "\n");
+  }
+  os << indent << ']';
+}
+
+void emit_sweep(std::ostream& os, const Sweep& sweep, const std::string& indent) {
+  os << "{\"sweep\": {\n";
+  if (!sweep.base.empty()) {
+    os << indent << "  \"base\": ";
+    emit_patch(os, sweep.base);
+    os << ",\n";
+  }
+  os << indent << "  \"axes\": [\n";
+  for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+    const Sweep::Axis& axis = sweep.axes[a];
+    os << indent << "    ";
+    if (!axis.ref.empty()) {
+      os << '"' << json_escape(axis.ref) << '"';
+    } else {
+      emit_patch_list(os, axis.patches, indent + "    ");
+    }
+    os << (a + 1 < sweep.axes.size() ? ",\n" : "\n");
+  }
+  os << indent << "  ]\n" << indent << "}}";
+}
+
+}  // namespace
+
+std::string to_json(const WorkloadSuite& suite) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"workload_version\": " << kWorkloadVersion << ",\n"
+     << "  \"suite\": \"" << json_escape(suite.name) << "\",\n"
+     << "  \"description\": \"" << json_escape(suite.description) << "\",\n";
+  if (!suite.defaults.empty()) {
+    os << "  \"defaults\": ";
+    emit_patch(os, suite.defaults);
+    os << ",\n";
+  }
+  if (!suite.params.empty()) {
+    os << "  \"params\": {\n";
+    for (std::size_t i = 0; i < suite.params.size(); ++i) {
+      os << "    \"" << json_escape(suite.params[i].first) << "\": ";
+      emit_patch_list(os, suite.params[i].second, "    ");
+      os << (i + 1 < suite.params.size() ? ",\n" : "\n");
+    }
+    os << "  },\n";
+  }
+  os << "  \"items\": [\n";
+  for (std::size_t i = 0; i < suite.items.size(); ++i) {
+    const Item& item = suite.items[i];
+    os << "    ";
+    if (item.kind == Item::Kind::Spec) {
+      os << "{\"spec\": ";
+      emit_patch(os, item.spec);
+      os << '}';
+    } else {
+      emit_sweep(os, item.sweep, "    ");
+    }
+    os << (i + 1 < suite.items.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string spec_json(const WorkloadSpec& spec) {
+  // Every field, fixed order, one line: the canonical unit content_hash
+  // digests. Unlike the patch emitter this never omits defaults — the hash
+  // must cover the *resolved* value of every field.
+  std::ostringstream os;
+  os << '{';
+  FieldWriter w(os);
+  w.str("name", spec.name);
+  w.str("family", spec.family);
+  w.num("p1", spec.p1);
+  w.num("p2", spec.p2);
+  w.u64("shape_seed", spec.shape_seed);
+  w.str("algo", scenario::algo_name(spec.algo));
+  w.str("order", amoebot::order_name(spec.order));
+  w.u64("seed", spec.seed);
+  w.num("max_rounds", spec.max_rounds);
+  w.str("occupancy", scenario::occupancy_name(spec.occupancy));
+  w.boolean("track_components", spec.track_components);
+  w.num("threads", spec.threads);
+  w.u64("fault_seed", spec.fault_seed);
+  os << '}';
+  return os.str();
+}
+
+// --- parse -----------------------------------------------------------------
+
+namespace {
+
+SpecPatch parse_patch(const Json& obj, const std::string& context) {
+  SpecPatch p;
+  for (const auto& [key, value] : obj.as_obj(context)) {
+    const std::string field = context + "." + key;
+    if (key == "name") {
+      p.name = value.as_str(field);
+    } else if (key == "family") {
+      const std::string& fam = value.as_str(field);
+      if (!scenario::is_shape_family(fam)) {
+        throw WorkloadError(field + ": unknown shape family '" + fam +
+                            "' (known: " + scenario::known_shape_families() + ")");
+      }
+      p.family = fam;
+    } else if (key == "p1") {
+      p.p1 = static_cast<int>(value.as_int(0, 1'000'000'000, field));
+    } else if (key == "p2") {
+      p.p2 = static_cast<int>(value.as_int(0, 1'000'000'000, field));
+    } else if (key == "shape_seed") {
+      p.shape_seed = value.as_u64(field);
+    } else if (key == "algo") {
+      Algo algo;
+      if (!scenario::parse_algo(value.as_str(field), algo)) {
+        throw WorkloadError(field + ": unknown algo '" + value.as_str(field) +
+                            "' (known: " + scenario::known_algo_names() + ")");
+      }
+      p.algo = algo;
+    } else if (key == "order") {
+      Order order;
+      if (!scenario::parse_order(value.as_str(field), order)) {
+        throw WorkloadError(field + ": unknown order '" + value.as_str(field) +
+                            "' (known: " + scenario::known_order_names() + ")");
+      }
+      p.order = order;
+    } else if (key == "seed") {
+      p.seed = value.as_u64(field);
+    } else if (key == "max_rounds") {
+      p.max_rounds = static_cast<long>(value.as_int(1, 1'000'000'000'000LL, field));
+    } else if (key == "occupancy") {
+      OccupancyMode mode;
+      if (!scenario::parse_occupancy(value.as_str(field), mode)) {
+        throw WorkloadError(field + ": unknown occupancy '" + value.as_str(field) +
+                            "' (known: " + scenario::known_occupancy_names() + ")");
+      }
+      p.occupancy = mode;
+    } else if (key == "track_components") {
+      p.track_components = value.as_bool(field);
+    } else if (key == "threads") {
+      p.threads = static_cast<int>(value.as_int(0, 1024, field));
+    } else if (key == "fault_seed") {
+      p.fault_seed = value.as_u64(field);
+    } else {
+      throw WorkloadError(context + ": unknown spec field \"" + key +
+                          "\" (known: name, family, p1, p2, shape_seed, algo, order, "
+                          "seed, max_rounds, occupancy, track_components, threads, "
+                          "fault_seed)");
+    }
+  }
+  return p;
+}
+
+std::vector<SpecPatch> parse_patch_list(const Json& arr, const std::string& context) {
+  std::vector<SpecPatch> out;
+  const auto& items = arr.as_arr(context);
+  if (items.empty()) throw WorkloadError(context + ": empty patch list");
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out.push_back(parse_patch(items[i], context + "[" + std::to_string(i) + "]"));
+  }
+  return out;
+}
+
+Sweep parse_sweep(const Json& obj, const std::string& context) {
+  Sweep sweep;
+  bool have_axes = false;
+  for (const auto& [key, value] : obj.as_obj(context)) {
+    if (key == "base") {
+      sweep.base = parse_patch(value, context + ".base");
+    } else if (key == "axes") {
+      have_axes = true;
+      const auto& axes = value.as_arr(context + ".axes");
+      if (axes.empty()) throw WorkloadError(context + ".axes: must not be empty");
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        const std::string axis_ctx = context + ".axes[" + std::to_string(a) + "]";
+        Sweep::Axis axis;
+        if (axes[a].is_str()) {
+          axis.ref = axes[a].as_str(axis_ctx);
+          if (axis.ref.empty()) throw WorkloadError(axis_ctx + ": empty parameter-set name");
+        } else {
+          axis.patches = parse_patch_list(axes[a], axis_ctx);
+        }
+        sweep.axes.push_back(std::move(axis));
+      }
+    } else {
+      throw WorkloadError(context + ": unknown sweep field \"" + key +
+                          "\" (known: base, axes)");
+    }
+  }
+  if (!have_axes) throw WorkloadError(context + ": sweep needs \"axes\"");
+  return sweep;
+}
+
+}  // namespace
+
+WorkloadSpec parse_spec(const Json& obj, const std::string& context) {
+  WorkloadSpec spec;
+  parse_patch(obj, context).apply(spec);
+  validate(spec, context);
+  return spec;
+}
+
+WorkloadSuite parse_suite(std::string_view text, const std::string& where) {
+  const Json doc = Json::parse(text, where);
+  WorkloadSuite suite;
+  bool have_version = false;
+  bool have_items = false;
+  for (const auto& [key, value] : doc.as_obj(where)) {
+    const std::string field = where + ": \"" + key + "\"";
+    if (key == "workload_version") {
+      have_version = true;
+      const long long version = value.as_int(0, 1'000'000, field);
+      if (version != kWorkloadVersion) {
+        throw WorkloadError(where + ": workload_version " + std::to_string(version) +
+                            " is not supported (this build reads version " +
+                            std::to_string(kWorkloadVersion) + ")");
+      }
+    } else if (key == "suite") {
+      suite.name = value.as_str(field);
+      if (suite.name.empty()) throw WorkloadError(field + ": must not be empty");
+      // The name becomes part of the BENCH_<name>.json path; restrict it
+      // to a filename-safe charset so a bad file fails here, not after the
+      // whole suite has run and the artifact write falls over.
+      for (const char c : suite.name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok) {
+          throw WorkloadError(field + ": suite name '" + suite.name +
+                              "' must use only [A-Za-z0-9_-] (it names the "
+                              "BENCH_<suite>.json artifact)");
+        }
+      }
+    } else if (key == "description") {
+      suite.description = value.as_str(field);
+    } else if (key == "defaults") {
+      suite.defaults = parse_patch(value, where + ": defaults");
+    } else if (key == "params") {
+      for (const auto& [pname, plist] : value.as_obj(where + ": params")) {
+        suite.params.emplace_back(
+            pname, parse_patch_list(plist, where + ": params." + pname));
+      }
+    } else if (key == "items") {
+      have_items = true;
+      const auto& items = value.as_arr(field);
+      if (items.empty()) throw WorkloadError(where + ": suite has no items");
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const std::string item_ctx = where + ": items[" + std::to_string(i) + "]";
+        const auto& members = items[i].as_obj(item_ctx);
+        if (members.size() != 1 ||
+            (members[0].first != "spec" && members[0].first != "sweep")) {
+          throw WorkloadError(item_ctx +
+                              ": each item is {\"spec\": {...}} or {\"sweep\": {...}}");
+        }
+        Item item;
+        if (members[0].first == "spec") {
+          item.kind = Item::Kind::Spec;
+          item.spec = parse_patch(members[0].second, item_ctx + ".spec");
+        } else {
+          item.kind = Item::Kind::Sweep;
+          item.sweep = parse_sweep(members[0].second, item_ctx + ".sweep");
+        }
+        suite.items.push_back(std::move(item));
+      }
+    } else {
+      throw WorkloadError(where + ": unknown key \"" + key +
+                          "\" (known: workload_version, suite, description, defaults, "
+                          "params, items)");
+    }
+  }
+  if (!have_version) {
+    throw WorkloadError(where + ": missing \"workload_version\" (expected " +
+                        std::to_string(kWorkloadVersion) + ")");
+  }
+  if (suite.name.empty()) throw WorkloadError(where + ": missing \"suite\" name");
+  if (!have_items) throw WorkloadError(where + ": missing \"items\"");
+  return suite;
+}
+
+WorkloadSuite load_suite_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw WorkloadError("cannot read workload file " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse_suite(buf.str(), path);
+}
+
+// --- content hash ----------------------------------------------------------
+
+std::uint64_t content_hash(const std::vector<WorkloadSpec>& specs) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  auto mix = [&](std::string_view bytes) {
+    for (const char c : bytes) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;  // FNV-1a 64 prime
+    }
+  };
+  for (const WorkloadSpec& spec : specs) {
+    mix(spec_json(spec));
+    mix("\n");
+  }
+  return h;
+}
+
+std::string content_hash_hex(const std::vector<WorkloadSpec>& specs) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(content_hash(specs)));
+  return buf;
+}
+
+// --- the built-in registry, as data ----------------------------------------
+
+namespace {
+
+// Patch builders for the registry tables below. Fields default to "absent";
+// zero-valued shape parameters are simply not written (resolution starts
+// from a zero-initialized Spec either way, and the emitted files stay
+// minimal).
+SpecPatch shape(const char* family, int p1, int p2 = 0, std::uint64_t shape_seed = 0) {
+  SpecPatch p;
+  p.family = family;
+  p.p1 = p1;
+  if (p2 != 0) p.p2 = p2;
+  if (shape_seed != 0) p.shape_seed = shape_seed;
+  return p;
+}
+
+SpecPatch algo_patch(Algo algo) {
+  SpecPatch p;
+  p.algo = algo;
+  return p;
+}
+
+SpecPatch base_patch(Algo algo, std::uint64_t seed) {
+  SpecPatch p;
+  p.algo = algo;
+  p.seed = seed;
+  return p;
+}
+
+SpecPatch threads_patch(int threads) {
+  SpecPatch p;
+  p.threads = threads;
+  return p;
+}
+
+Sweep::Axis axis_ref(const char* name) {
+  Sweep::Axis a;
+  a.ref = name;
+  return a;
+}
+
+Sweep::Axis axis(std::vector<SpecPatch> patches) {
+  Sweep::Axis a;
+  a.patches = std::move(patches);
+  return a;
+}
+
+Item sweep_item(SpecPatch base, std::vector<Sweep::Axis> axes) {
+  Item item;
+  item.kind = Item::Kind::Sweep;
+  item.sweep.base = std::move(base);
+  item.sweep.axes = std::move(axes);
+  return item;
+}
+
+WorkloadSuite wl_table1() {
+  WorkloadSuite s{"table1",
+                  "Table 1 reproduction: every algorithm class on a common shape sweep",
+                  {},
+                  {},
+                  {}};
+  s.params.emplace_back(
+      "shapes", std::vector<SpecPatch>{shape("hexagon", 8), shape("annulus", 8, 5),
+                                       shape("cheese", 8, 5, 7), shape("blob", 400, 0, 11),
+                                       shape("comb", 8, 8)});
+  s.params.emplace_back(
+      "algos",
+      std::vector<SpecPatch>{base_patch(Algo::BaselineContest, 3),
+                             base_patch(Algo::BaselineErosion, 0),
+                             base_patch(Algo::DleOracle, 5),
+                             base_patch(Algo::PipelineOracle, 5),
+                             base_patch(Algo::PipelineFull, 5)});
+  s.items.push_back(sweep_item({}, {axis_ref("shapes"), axis_ref("algos")}));
+  return s;
+}
+
+WorkloadSuite wl_obd_scaling() {
+  WorkloadSuite s{"obd_scaling", "Theorem 41: OBD rounds vs L_out + D", {}, {}, {}};
+  std::vector<SpecPatch> shapes;
+  for (const int r : {3, 5, 8, 12, 16}) shapes.push_back(shape("hexagon", r));
+  for (const int n : {100, 200, 400, 800}) shapes.push_back(shape("blob", n, 0, 41));
+  for (const int r : {5, 8, 11}) shapes.push_back(shape("cheese", r, 3, 9));
+  s.items.push_back(
+      sweep_item(base_patch(Algo::ObdOnly, 17), {axis(std::move(shapes))}));
+  return s;
+}
+
+WorkloadSuite wl_dle_scaling() {
+  WorkloadSuite s{"dle_scaling",
+                  "Theorem 18: DLE rounds vs D_A (including D_A < D annuli)",
+                  {},
+                  {},
+                  {}};
+  std::vector<SpecPatch> shapes;
+  for (const int r : {4, 8, 12, 16, 24, 32}) shapes.push_back(shape("hexagon", r));
+  for (const int r : {8, 12, 16, 24}) shapes.push_back(shape("annulus", r, r - 3));
+  for (const int n : {200, 400, 800, 1600}) shapes.push_back(shape("blob", n, 0, 21));
+  for (const int r : {6, 10, 14}) shapes.push_back(shape("cheese", r, r / 2, 5));
+  s.items.push_back(
+      sweep_item(base_patch(Algo::DleOracle, 9), {axis(std::move(shapes))}));
+  return s;
+}
+
+WorkloadSuite wl_collect_scaling() {
+  WorkloadSuite s{"collect_scaling",
+                  "Theorem 23: Collect rounds vs leader eccentricity, phases ~ log",
+                  {},
+                  {},
+                  {}};
+  std::vector<SpecPatch> shapes;
+  for (const int n : {100, 200, 400, 800, 1600, 3200}) {
+    shapes.push_back(shape("blob", n, 0, 31));
+  }
+  for (const int r : {6, 10, 14, 18}) shapes.push_back(shape("annulus", r, r - 1));
+  s.items.push_back(
+      sweep_item(base_patch(Algo::DleCollect, 13), {axis(std::move(shapes))}));
+  return s;
+}
+
+WorkloadSuite wl_ablation() {
+  WorkloadSuite s{"ablation_disconnection",
+                  "Disconnection ablation: pull variant vs DLE; erosion class vs DLE",
+                  {},
+                  {},
+                  {}};
+  // Part A: the annulus rows track components under both DLE variants.
+  {
+    SpecPatch base;
+    base.seed = 23;
+    base.track_components = true;
+    std::vector<SpecPatch> shapes;
+    for (const int r : {6, 9, 12, 15}) shapes.push_back(shape("annulus", r, r - 1));
+    s.items.push_back(sweep_item(
+        std::move(base),
+        {axis(std::move(shapes)),
+         axis({algo_patch(Algo::DleOracle), algo_patch(Algo::DlePull)})}));
+  }
+  // Part B: hexagons, DLE (with the seed bench's component hook) vs the
+  // erosion baseline.
+  {
+    SpecPatch base;
+    base.seed = 23;
+    std::vector<SpecPatch> shapes;
+    for (const int r : {4, 8, 12, 16, 20}) shapes.push_back(shape("hexagon", r));
+    SpecPatch dle = algo_patch(Algo::DleOracle);
+    dle.track_components = true;
+    s.items.push_back(sweep_item(
+        std::move(base),
+        {axis(std::move(shapes)), axis({dle, algo_patch(Algo::BaselineErosion)})}));
+  }
+  return s;
+}
+
+WorkloadSuite wl_dle_large() {
+  WorkloadSuite s{"dle_large",
+                  "Large-n stress sweep (n >= 20k): dense-occupancy engine scaling",
+                  {},
+                  {},
+                  {}};
+  s.items.push_back(sweep_item(
+      base_patch(Algo::DleOracle, 9),
+      {axis({shape("hexagon", 82), shape("blob", 20000, 0, 21),
+             shape("blob", 40000, 0, 21)})}));
+  return s;
+}
+
+WorkloadSuite wl_parallel_scaling() {
+  WorkloadSuite s{
+      "parallel_scaling",
+      "ParallelEngine thread ladder on the dle_large workload (n = 20,419)",
+      {},
+      {},
+      {}};
+  SpecPatch base = base_patch(Algo::DleOracle, 9);
+  base.family = "hexagon";
+  base.p1 = 82;
+  std::vector<SpecPatch> ladder;
+  for (const int t : {0, 1, 2, 4, 8}) ladder.push_back(threads_patch(t));
+  s.items.push_back(sweep_item(std::move(base), {axis(std::move(ladder))}));
+  return s;
+}
+
+WorkloadSuite wl_parallel_smoke() {
+  WorkloadSuite s{"parallel_smoke", "ParallelEngine smoke ladder at small n (CI-sized)",
+                  {}, {}, {}};
+  {
+    SpecPatch base = base_patch(Algo::DleOracle, 9);
+    base.family = "hexagon";
+    base.p1 = 10;
+    s.items.push_back(sweep_item(
+        std::move(base),
+        {axis({threads_patch(0), threads_patch(2), threads_patch(4)})}));
+  }
+  {
+    SpecPatch base = base_patch(Algo::DleOracle, 9);
+    base.family = "blob";
+    base.p1 = 400;
+    base.shape_seed = 21;
+    s.items.push_back(
+        sweep_item(std::move(base), {axis({threads_patch(0), threads_patch(4)})}));
+  }
+  return s;
+}
+
+WorkloadSuite wl_dle_adversarial() {
+  WorkloadSuite s{"dle_adversarial",
+                  "Adversarial sweep: mixed shapegen populations x seeds x orders",
+                  {},
+                  {},
+                  {}};
+  // The shape seeds co-vary with the scheduler seed (cheese/blob regenerate
+  // per seed), so each scheduler seed gets its own sweep with literal
+  // shape_seed values.
+  for (const std::uint64_t seed : {101, 202, 303}) {
+    s.items.push_back(sweep_item(
+        base_patch(Algo::DleOracle, seed),
+        {axis({shape("cheese", 7, 4, seed), shape("blob", 400, 0, seed + 1),
+               shape("spiral", 6, 2), shape("comb", 10, 6), shape("annulus", 10, 7)})}));
+  }
+  {
+    SpecPatch base = base_patch(Algo::DleOracle, 404);
+    base.order = Order::RandomStream;
+    s.items.push_back(sweep_item(
+        std::move(base),
+        {axis({shape("cheese", 6, 3, 9), shape("blob", 300, 0, 17), shape("comb", 8, 5)})}));
+  }
+  s.items.push_back(sweep_item(
+      base_patch(Algo::PipelineFull, 8),
+      {axis({shape("cheese", 5, 2, 4), shape("blob", 300, 0, 7)})}));
+  s.items.push_back(sweep_item(
+      base_patch(Algo::DleCollect, 13),
+      {axis({shape("blob", 250, 0, 31), shape("annulus", 8, 7)})}));
+  return s;
+}
+
+WorkloadSuite wl_audit_fuzz() {
+  WorkloadSuite s{"audit_fuzz",
+                  "Audit fuzz: shapegen families x seeds x fault plans (kill/resume)",
+                  {},
+                  {},
+                  {}};
+  // Orders alternate and fault seeds increment across the whole row list
+  // (the original loop counted one global index); the data spells both out.
+  std::uint64_t fault = 0xF00D;
+  int i = 0;
+  for (const std::uint64_t seed : {11, 47, 83}) {
+    std::vector<SpecPatch> rows;
+    for (SpecPatch p : {shape("cheese", 6, 3, seed), shape("blob", 300, 0, seed),
+                        shape("spiral", 5, 2), shape("comb", 8, 5)}) {
+      p.order = (i++ % 2 == 0) ? Order::RandomPerm : Order::RandomStream;
+      p.fault_seed = ++fault;
+      rows.push_back(std::move(p));
+    }
+    s.items.push_back(
+        sweep_item(base_patch(Algo::DleOracle, seed), {axis(std::move(rows))}));
+  }
+  {
+    std::vector<SpecPatch> rows;
+    for (SpecPatch p : {shape("cheese", 5, 2, 4), shape("comb", 6, 4)}) {
+      p.fault_seed = ++fault;
+      rows.push_back(std::move(p));
+    }
+    s.items.push_back(
+        sweep_item(base_patch(Algo::PipelineFull, 8), {axis(std::move(rows))}));
+  }
+  {
+    std::vector<SpecPatch> rows;
+    for (SpecPatch p : {shape("blob", 200, 0, 31), shape("annulus", 8, 6)}) {
+      p.fault_seed = ++fault;
+      rows.push_back(std::move(p));
+    }
+    s.items.push_back(
+        sweep_item(base_patch(Algo::DleCollect, 13), {axis(std::move(rows))}));
+  }
+  return s;
+}
+
+using SuiteBuilder = WorkloadSuite (*)();
+
+const std::vector<std::pair<const char*, SuiteBuilder>>& registry() {
+  static const std::vector<std::pair<const char*, SuiteBuilder>> reg = {
+      {"table1", wl_table1},
+      {"obd_scaling", wl_obd_scaling},
+      {"dle_scaling", wl_dle_scaling},
+      {"collect_scaling", wl_collect_scaling},
+      {"ablation_disconnection", wl_ablation},
+      {"dle_large", wl_dle_large},
+      {"parallel_scaling", wl_parallel_scaling},
+      {"parallel_smoke", wl_parallel_smoke},
+      {"dle_adversarial", wl_dle_adversarial},
+      {"audit_fuzz", wl_audit_fuzz},
+  };
+  return reg;
+}
+
+}  // namespace
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, builder] : registry()) names.emplace_back(name);
+  return names;
+}
+
+WorkloadSuite registry_suite(const std::string& name) {
+  for (const auto& [reg_name, builder] : registry()) {
+    if (name == reg_name) return builder();
+  }
+  throw WorkloadError("unknown suite '" + name +
+                      "' (registered: " + scenario::join_names(registry_names()) + ")");
+}
+
+}  // namespace pm::workload

@@ -1,0 +1,154 @@
+// The declarative workload API: experiments as data.
+//
+// A workload file is a versioned JSON document that fully determines a
+// scenario::Suite — no recompile needed to add shapes, seeds, orders,
+// occupancy modes or thread ladders. The model has three layers:
+//
+//   * SpecPatch — a partial assignment of Spec fields ({"family":
+//     "hexagon", "p1": 8}); the unit every generator composes.
+//   * Sweep — a cartesian generator: a base patch plus ordered axes, where
+//     each axis is a list of patches (inline, or a reference into the
+//     suite's named parameter sets). Expansion applies suite defaults, the
+//     base, then one patch per axis (last axis varies fastest — the nested-
+//     loop order the C++ registry used). Seed ladders are one-axis sweeps.
+//   * WorkloadSuite — name + description + defaults + named parameter sets
+//     + an ordered list of items (explicit specs and sweeps).
+//
+// resolve() expands a suite into the flat, validated spec list run_suite
+// executes; to_json()/parse_suite() are a canonical codec with a round-trip
+// guarantee (emit(parse(emit(x))) == emit(x), byte for byte — the committed
+// workloads/*.json files are emitter output). content_hash() fingerprints
+// the fully-resolved spec list; BENCH artifacts carry it (schema v4) so
+// silent spec drift between an artifact and the workload that claims to
+// describe it fails loudly.
+//
+// The built-in registry lives here too, as data: registry_suite() returns
+// the WorkloadSuite behind each scenario::make_suite() name, and
+// `pm_bench --emit-spec DIR` writes them out as the committed files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "workload/json.h"
+
+namespace pm::workload {
+
+// The workload data model reuses the runner's Spec struct verbatim: a
+// workload *is* input data for run_scenario, and duplicating the field list
+// would buy a conversion seam and nothing else. What this layer adds is
+// everything the struct lacks — strict validation, a canonical JSON codec,
+// generators, and a content hash.
+using WorkloadSpec = scenario::Spec;
+
+// Bumped when the file schema changes shape; parse_suite rejects documents
+// from a different major version with an actionable message.
+inline constexpr int kWorkloadVersion = 1;
+
+// A partial assignment of WorkloadSpec fields. Absent fields leave the
+// target untouched, so patches compose: defaults, then a sweep's base, then
+// one patch per axis.
+struct SpecPatch {
+  std::optional<std::string> name;
+  std::optional<std::string> family;
+  std::optional<int> p1;
+  std::optional<int> p2;
+  std::optional<std::uint64_t> shape_seed;
+  std::optional<scenario::Algo> algo;
+  std::optional<amoebot::Order> order;
+  std::optional<std::uint64_t> seed;
+  std::optional<long> max_rounds;
+  std::optional<amoebot::OccupancyMode> occupancy;
+  std::optional<bool> track_components;
+  std::optional<int> threads;
+  std::optional<std::uint64_t> fault_seed;
+
+  void apply(WorkloadSpec& spec) const;
+  [[nodiscard]] bool empty() const;
+  friend bool operator==(const SpecPatch&, const SpecPatch&) = default;
+};
+
+// One cartesian generator. Each axis is either a reference to a named
+// parameter set (`ref` non-empty) or an inline patch list.
+struct Sweep {
+  struct Axis {
+    std::string ref;                 // mutually exclusive with `patches`
+    std::vector<SpecPatch> patches;  // inline axis values
+    friend bool operator==(const Axis&, const Axis&) = default;
+  };
+  SpecPatch base;
+  std::vector<Axis> axes;
+  friend bool operator==(const Sweep&, const Sweep&) = default;
+};
+
+// One entry of a suite's ordered item list: an explicit spec row or a sweep.
+struct Item {
+  enum class Kind : std::uint8_t { Spec, Sweep };
+  Kind kind = Kind::Spec;
+  SpecPatch spec;  // valid when kind == Spec
+  Sweep sweep;     // valid when kind == Sweep
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+struct WorkloadSuite {
+  std::string name;
+  std::string description;
+  SpecPatch defaults;
+  // Named parameter sets, in declaration order (order matters for the
+  // canonical emit, and files are written for human diffing).
+  std::vector<std::pair<std::string, std::vector<SpecPatch>>> params;
+  std::vector<Item> items;
+  friend bool operator==(const WorkloadSuite&, const WorkloadSuite&) = default;
+};
+
+// Validates one fully-resolved spec (family known, ranges sane, option
+// combinations run_scenario would reject). Throws WorkloadError whose
+// message starts with `context`.
+void validate(const WorkloadSpec& spec, const std::string& context);
+
+// Expands a suite into its flat spec list: defaults -> item (spec patch, or
+// sweep base + one patch per axis, last axis fastest). Every resolved spec
+// is validated. Throws WorkloadError on dangling parameter references,
+// empty axes, or a cartesian blow-up past 1,000,000 specs.
+[[nodiscard]] std::vector<WorkloadSpec> resolve(const WorkloadSuite& suite);
+
+// resolve() packaged as the runnable scenario::Suite.
+[[nodiscard]] scenario::Suite to_scenario_suite(const WorkloadSuite& suite);
+
+// --- canonical JSON codec --------------------------------------------------
+
+[[nodiscard]] std::string to_json(const WorkloadSuite& suite);
+[[nodiscard]] WorkloadSuite parse_suite(std::string_view text, const std::string& where);
+[[nodiscard]] WorkloadSuite load_suite_file(const std::string& path);
+
+// One fully-resolved spec as a single canonical JSON line (every field,
+// fixed order) — the unit content_hash digests, and the job echo format
+// pm_serve uses.
+[[nodiscard]] std::string spec_json(const WorkloadSpec& spec);
+
+// Parses one spec object (a patch applied to a default-constructed spec)
+// and validates it; the shape pm_serve jobs use.
+[[nodiscard]] WorkloadSpec parse_spec(const Json& obj, const std::string& context);
+
+// JSON string escaping shared by every emitter in the repo.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+// --- content hash ----------------------------------------------------------
+
+// FNV-1a 64 over the canonical spec_json lines of the resolved list.
+[[nodiscard]] std::uint64_t content_hash(const std::vector<WorkloadSpec>& specs);
+// The 16-hex-digit rendering stamped into BENCH artifacts.
+[[nodiscard]] std::string content_hash_hex(const std::vector<WorkloadSpec>& specs);
+
+// --- the built-in registry, as data ----------------------------------------
+
+[[nodiscard]] std::vector<std::string> registry_names();
+// Throws WorkloadError for an unknown name.
+[[nodiscard]] WorkloadSuite registry_suite(const std::string& name);
+
+}  // namespace pm::workload

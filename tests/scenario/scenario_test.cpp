@@ -114,7 +114,8 @@ TEST(ScenarioSerialization, JsonContainsSuiteAndRows) {
   const std::vector<Result> results = {run_scenario(suite.specs[0])};
   const std::string json = to_json(suite, results);
   EXPECT_NE(json.find("\"suite\": \"demo\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"workload_hash\": \""), std::string::npos);
   EXPECT_NE(json.find("\"fault_seed\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"audit_violations\": -1"), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\": \""), std::string::npos);

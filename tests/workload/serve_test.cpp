@@ -1,0 +1,166 @@
+// pm_serve's job loop: determinism across concurrency, per-job isolation,
+// and the per-job RunHooks surface.
+#include "workload/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pm::workload {
+namespace {
+
+std::string run_stream(const std::string& jobs, const ServeOptions& opts,
+                       ServeStats* stats_out = nullptr) {
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  const ServeStats stats = serve(in, out, opts);
+  if (stats_out != nullptr) *stats_out = stats;
+  return out.str();
+}
+
+// A >= 500-job stream mixing families, algos, envelopes, blank lines and
+// deliberately broken rows — the acceptance workload for the determinism
+// contract.
+std::string big_stream(int jobs) {
+  std::ostringstream os;
+  for (int i = 0; i < jobs; ++i) {
+    switch (i % 7) {
+      case 0:
+        os << "{\"family\": \"hexagon\", \"p1\": " << 2 + i % 3
+           << ", \"algo\": \"dle_oracle\", \"seed\": " << 1 + i << "}\n";
+        break;
+      case 1:
+        os << "{\"family\": \"line\", \"p1\": " << 5 + i % 4
+           << ", \"algo\": \"dle_oracle\", \"seed\": " << 1 + i << "}\n";
+        break;
+      case 2:
+        os << "{\"family\": \"hexagon\", \"p1\": 2, \"algo\": \"baseline_erosion\"}\n";
+        break;
+      case 3:
+        os << "{\"id\": \"job-" << i << "\", \"spec\": {\"family\": \"annulus\", "
+           << "\"p1\": 4, \"p2\": 2, \"algo\": \"dle_oracle\", \"seed\": " << 1 + i
+           << "}}\n";
+        break;
+      case 4:
+        os << "\n";  // blank line: skipped, consumes no job slot
+        os << "{\"family\": \"hexagon\", \"p1\": 2, \"algo\": \"obd\", \"seed\": "
+           << 1 + i << "}\n";
+        break;
+      case 5:
+        // Broken on purpose: one bad family, one syntax error — each must
+        // produce exactly one deterministic error record.
+        os << (i % 2 == 0 ? "{\"family\": \"nope\", \"p1\": 3}\n"
+                          : "this is not json\n");
+        break;
+      default:
+        os << "{\"family\": \"parallelogram\", \"p1\": 4, \"p2\": 3, "
+           << "\"algo\": \"dle_oracle\", \"seed\": " << 1 + i << "}\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+TEST(Serve, DrainsA500JobStreamDeterministicallyAcrossJobCounts) {
+  const std::string stream = big_stream(510);
+  ServeStats s1;
+  const std::string r1 = run_stream(stream, {.jobs = 1}, &s1);
+  EXPECT_EQ(s1.jobs, 510);
+  EXPECT_GT(s1.failed, 0);  // the deliberately broken rows
+  // One record per job line, in input order.
+  EXPECT_EQ(std::count(r1.begin(), r1.end(), '\n'), 510);
+  EXPECT_NE(r1.find("{\"job\": 0, "), std::string::npos);
+  EXPECT_NE(r1.find("{\"job\": 509, "), std::string::npos);
+  for (const int jobs : {2, 3, 8}) {
+    ServeStats sn;
+    const std::string rn = run_stream(stream, {.jobs = jobs}, &sn);
+    EXPECT_EQ(rn, r1) << "output depends on --jobs " << jobs;
+    EXPECT_EQ(sn.jobs, s1.jobs);
+    EXPECT_EQ(sn.failed, s1.failed);
+  }
+}
+
+TEST(Serve, ErrorRecordsIsolateBadJobs) {
+  const std::string stream =
+      "{\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", \"seed\": 5}\n"
+      "{\"id\": \"exp-42\", \"spec\": {\"family\": \"hexagon\", \"p1\": -2}}\n"
+      "garbage\n"
+      "{\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", \"seed\": 5}\n";
+  ServeStats stats;
+  const std::string out = run_stream(stream, {}, &stats);
+  EXPECT_EQ(stats.jobs, 4);
+  EXPECT_EQ(stats.failed, 2);
+  std::istringstream lines(out);
+  std::string l0, l1, l2, l3;
+  std::getline(lines, l0);
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  EXPECT_NE(l0.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(l1.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(l1.find("\"id\": \"exp-42\""), std::string::npos);  // failures stay keyed
+  EXPECT_NE(l1.find("outside"), std::string::npos);  // actionable validation error
+  EXPECT_NE(l2.find("\"ok\": false"), std::string::npos);
+  // The two good runs of the same spec emit identical payloads modulo the
+  // sequence number.
+  EXPECT_EQ(l0.substr(l0.find("\"ok\"")), l3.substr(l3.find("\"ok\"")));
+}
+
+TEST(Serve, PerJobAuditIsAttachable) {
+  // Envelope opt-in on an otherwise unaudited stream.
+  const std::string stream =
+      "{\"spec\": {\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", "
+      "\"seed\": 5}, \"audit\": true}\n"
+      "{\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", \"seed\": 5}\n";
+  const std::string out = run_stream(stream, {});
+  std::istringstream lines(out);
+  std::string audited, plain;
+  std::getline(lines, audited);
+  std::getline(lines, plain);
+  EXPECT_NE(audited.find("\"audit_report\": []"), std::string::npos);
+  EXPECT_NE(audited.find("\"audit_violations\": 0"), std::string::npos);
+  EXPECT_EQ(plain.find("\"audit_report\""), std::string::npos);
+  EXPECT_NE(plain.find("\"audit_violations\": -1"), std::string::npos);
+
+  // Server-wide default with a per-job opt-out.
+  const std::string out2 = run_stream(stream, {.audit = true});
+  std::istringstream lines2(out2);
+  std::getline(lines2, audited);
+  std::getline(lines2, plain);
+  EXPECT_NE(audited.find("\"audit_report\": []"), std::string::npos);
+  EXPECT_NE(plain.find("\"audit_report\": []"), std::string::npos);
+}
+
+TEST(Serve, ExplicitAuditFalseWinsRegardlessOfKeyOrder) {
+  // "audit_every" implies auditing, but an explicit "audit": false must
+  // disable it whether it appears before or after the cadence key.
+  const std::string spec =
+      "\"spec\": {\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", "
+      "\"seed\": 5}";
+  const std::string stream = "{" + spec + ", \"audit\": false, \"audit_every\": 4}\n" +
+                             "{\"audit_every\": 4, \"audit\": false, " + spec + "}\n" +
+                             "{" + spec + ", \"audit_every\": 4}\n";
+  const std::string out = run_stream(stream, {});
+  std::istringstream lines(out);
+  std::string off_first, off_last, cadence_only;
+  std::getline(lines, off_first);
+  std::getline(lines, off_last);
+  std::getline(lines, cadence_only);
+  EXPECT_EQ(off_first.find("\"audit_report\""), std::string::npos) << off_first;
+  EXPECT_EQ(off_last.find("\"audit_report\""), std::string::npos) << off_last;
+  EXPECT_NE(cadence_only.find("\"audit_report\": []"), std::string::npos);
+}
+
+TEST(Serve, WallClockFieldsAreZeroUnlessRequested) {
+  const std::string stream =
+      "{\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", \"seed\": 5}\n";
+  const std::string out = run_stream(stream, {});
+  EXPECT_NE(out.find("\"wall_ms\": 0.000"), std::string::npos);
+  EXPECT_NE(out.find("\"dle_ms\": 0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pm::workload

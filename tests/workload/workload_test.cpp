@@ -1,0 +1,526 @@
+// The declarative workload API: codec round-trips, strict validation, and
+// the registry-as-data differential proof.
+//
+// `legacy_*` below is a self-contained, verbatim copy of the C++ suite
+// registry as it existed before the workload layer (scenario.cpp's
+// hard-coded builders). The differential tests assert that the data-driven
+// registry — both the in-binary workload::registry_suite() path and the
+// committed workloads/*.json files — resolves to exactly the same Spec
+// lists, and (for a representative suite) produces bit-identical Results.
+// Spec-level identity extends the Result-level proof to every suite:
+// run_scenario is a deterministic function of the Spec (pinned by
+// ScenarioRunner.IsDeterministicUpToWallClock and pipeline_vs_legacy), so
+// equal spec lists imply equal results.
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "scenario/names.h"
+#include "scenario/scenario.h"
+
+#ifndef PM_WORKLOADS_DIR
+#define PM_WORKLOADS_DIR "workloads"
+#endif
+
+namespace pm::workload {
+namespace {
+
+using amoebot::Order;
+using scenario::Algo;
+using scenario::Spec;
+using scenario::Suite;
+
+// --- the pre-workload C++ registry, verbatim -------------------------------
+
+Spec legacy_shape_spec(std::string family, int p1, int p2, std::uint64_t shape_seed) {
+  Spec s;
+  s.family = std::move(family);
+  s.p1 = p1;
+  s.p2 = p2;
+  s.shape_seed = shape_seed;
+  return s;
+}
+
+Suite legacy_table1() {
+  Suite suite{"table1",
+              "Table 1 reproduction: every algorithm class on a common shape sweep",
+              {}};
+  const std::vector<Spec> shapes = {
+      legacy_shape_spec("hexagon", 8, 0, 0),   legacy_shape_spec("annulus", 8, 5, 0),
+      legacy_shape_spec("cheese", 8, 5, 7),    legacy_shape_spec("blob", 400, 0, 11),
+      legacy_shape_spec("comb", 8, 8, 0),
+  };
+  const std::vector<std::pair<Algo, std::uint64_t>> algos = {
+      {Algo::BaselineContest, 3}, {Algo::BaselineErosion, 0}, {Algo::DleOracle, 5},
+      {Algo::PipelineOracle, 5},  {Algo::PipelineFull, 5},
+  };
+  for (const auto& sh : shapes) {
+    for (const auto& [algo, seed] : algos) {
+      Spec s = sh;
+      s.algo = algo;
+      s.seed = seed;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  return suite;
+}
+
+Suite legacy_obd_scaling() {
+  Suite suite{"obd_scaling", "Theorem 41: OBD rounds vs L_out + D", {}};
+  auto add = [&](Spec s) {
+    s.algo = Algo::ObdOnly;
+    s.seed = 17;
+    suite.specs.push_back(std::move(s));
+  };
+  for (const int r : {3, 5, 8, 12, 16}) add(legacy_shape_spec("hexagon", r, 0, 0));
+  for (const int n : {100, 200, 400, 800}) add(legacy_shape_spec("blob", n, 0, 41));
+  for (const int r : {5, 8, 11}) add(legacy_shape_spec("cheese", r, 3, 9));
+  return suite;
+}
+
+Suite legacy_dle_scaling() {
+  Suite suite{"dle_scaling",
+              "Theorem 18: DLE rounds vs D_A (including D_A < D annuli)", {}};
+  auto add = [&](Spec s) {
+    s.algo = Algo::DleOracle;
+    s.seed = 9;
+    suite.specs.push_back(std::move(s));
+  };
+  for (const int r : {4, 8, 12, 16, 24, 32}) add(legacy_shape_spec("hexagon", r, 0, 0));
+  for (const int r : {8, 12, 16, 24}) add(legacy_shape_spec("annulus", r, r - 3, 0));
+  for (const int n : {200, 400, 800, 1600}) add(legacy_shape_spec("blob", n, 0, 21));
+  for (const int r : {6, 10, 14}) add(legacy_shape_spec("cheese", r, r / 2, 5));
+  return suite;
+}
+
+Suite legacy_collect_scaling() {
+  Suite suite{"collect_scaling",
+              "Theorem 23: Collect rounds vs leader eccentricity, phases ~ log", {}};
+  auto add = [&](Spec s) {
+    s.algo = Algo::DleCollect;
+    s.seed = 13;
+    suite.specs.push_back(std::move(s));
+  };
+  for (const int n : {100, 200, 400, 800, 1600, 3200}) {
+    add(legacy_shape_spec("blob", n, 0, 31));
+  }
+  for (const int r : {6, 10, 14, 18}) add(legacy_shape_spec("annulus", r, r - 1, 0));
+  return suite;
+}
+
+Suite legacy_ablation() {
+  Suite suite{"ablation_disconnection",
+              "Disconnection ablation: pull variant vs DLE; erosion class vs DLE", {}};
+  for (const int r : {6, 9, 12, 15}) {
+    for (const Algo algo : {Algo::DleOracle, Algo::DlePull}) {
+      Spec s = legacy_shape_spec("annulus", r, r - 1, 0);
+      s.algo = algo;
+      s.seed = 23;
+      s.track_components = true;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  for (const int r : {4, 8, 12, 16, 20}) {
+    for (const Algo algo : {Algo::DleOracle, Algo::BaselineErosion}) {
+      Spec s = legacy_shape_spec("hexagon", r, 0, 0);
+      s.algo = algo;
+      s.seed = 23;
+      s.track_components = algo == Algo::DleOracle;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  return suite;
+}
+
+Suite legacy_dle_large() {
+  Suite suite{"dle_large",
+              "Large-n stress sweep (n >= 20k): dense-occupancy engine scaling", {}};
+  auto add = [&](Spec s) {
+    s.algo = Algo::DleOracle;
+    s.seed = 9;
+    suite.specs.push_back(std::move(s));
+  };
+  add(legacy_shape_spec("hexagon", 82, 0, 0));
+  add(legacy_shape_spec("blob", 20000, 0, 21));
+  add(legacy_shape_spec("blob", 40000, 0, 21));
+  return suite;
+}
+
+Suite legacy_parallel_scaling() {
+  Suite suite{"parallel_scaling",
+              "ParallelEngine thread ladder on the dle_large workload (n = 20,419)", {}};
+  for (const int t : {0, 1, 2, 4, 8}) {
+    Spec s = legacy_shape_spec("hexagon", 82, 0, 0);
+    s.algo = Algo::DleOracle;
+    s.seed = 9;
+    s.threads = t;
+    suite.specs.push_back(std::move(s));
+  }
+  return suite;
+}
+
+Suite legacy_parallel_smoke() {
+  Suite suite{"parallel_smoke", "ParallelEngine smoke ladder at small n (CI-sized)", {}};
+  for (const int t : {0, 2, 4}) {
+    Spec s = legacy_shape_spec("hexagon", 10, 0, 0);
+    s.algo = Algo::DleOracle;
+    s.seed = 9;
+    s.threads = t;
+    suite.specs.push_back(std::move(s));
+  }
+  for (const int t : {0, 4}) {
+    Spec s = legacy_shape_spec("blob", 400, 0, 21);
+    s.algo = Algo::DleOracle;
+    s.seed = 9;
+    s.threads = t;
+    suite.specs.push_back(std::move(s));
+  }
+  return suite;
+}
+
+Suite legacy_dle_adversarial() {
+  Suite suite{"dle_adversarial",
+              "Adversarial sweep: mixed shapegen populations x seeds x orders", {}};
+  for (const std::uint64_t seed : {101, 202, 303}) {
+    const std::vector<Spec> shapes = {
+        legacy_shape_spec("cheese", 7, 4, seed),
+        legacy_shape_spec("blob", 400, 0, seed + 1),
+        legacy_shape_spec("spiral", 6, 2, 0),
+        legacy_shape_spec("comb", 10, 6, 0),
+        legacy_shape_spec("annulus", 10, 7, 0),
+    };
+    for (const auto& sh : shapes) {
+      Spec s = sh;
+      s.algo = Algo::DleOracle;
+      s.seed = seed;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  for (const Spec& sh :
+       {legacy_shape_spec("cheese", 6, 3, 9), legacy_shape_spec("blob", 300, 0, 17),
+        legacy_shape_spec("comb", 8, 5, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::DleOracle;
+    s.order = Order::RandomStream;
+    s.seed = 404;
+    suite.specs.push_back(std::move(s));
+  }
+  for (const Spec& sh :
+       {legacy_shape_spec("cheese", 5, 2, 4), legacy_shape_spec("blob", 300, 0, 7)}) {
+    Spec s = sh;
+    s.algo = Algo::PipelineFull;
+    s.seed = 8;
+    suite.specs.push_back(std::move(s));
+  }
+  for (const Spec& sh :
+       {legacy_shape_spec("blob", 250, 0, 31), legacy_shape_spec("annulus", 8, 7, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::DleCollect;
+    s.seed = 13;
+    suite.specs.push_back(std::move(s));
+  }
+  return suite;
+}
+
+Suite legacy_audit_fuzz() {
+  Suite suite{"audit_fuzz",
+              "Audit fuzz: shapegen families x seeds x fault plans (kill/resume)", {}};
+  std::uint64_t fault = 0xF00D;
+  int i = 0;
+  for (const std::uint64_t seed : {11, 47, 83}) {
+    const std::vector<Spec> shapes = {
+        legacy_shape_spec("cheese", 6, 3, seed),
+        legacy_shape_spec("blob", 300, 0, seed),
+        legacy_shape_spec("spiral", 5, 2, 0),
+        legacy_shape_spec("comb", 8, 5, 0),
+    };
+    for (const auto& sh : shapes) {
+      Spec s = sh;
+      s.algo = Algo::DleOracle;
+      s.order = (i++ % 2 == 0) ? Order::RandomPerm : Order::RandomStream;
+      s.seed = seed;
+      s.fault_seed = ++fault;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  for (const Spec& sh :
+       {legacy_shape_spec("cheese", 5, 2, 4), legacy_shape_spec("comb", 6, 4, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::PipelineFull;
+    s.seed = 8;
+    s.fault_seed = ++fault;
+    suite.specs.push_back(std::move(s));
+  }
+  for (const Spec& sh :
+       {legacy_shape_spec("blob", 200, 0, 31), legacy_shape_spec("annulus", 8, 6, 0)}) {
+    Spec s = sh;
+    s.algo = Algo::DleCollect;
+    s.seed = 13;
+    s.fault_seed = ++fault;
+    suite.specs.push_back(std::move(s));
+  }
+  return suite;
+}
+
+Suite legacy_suite(const std::string& name) {
+  if (name == "table1") return legacy_table1();
+  if (name == "obd_scaling") return legacy_obd_scaling();
+  if (name == "dle_scaling") return legacy_dle_scaling();
+  if (name == "collect_scaling") return legacy_collect_scaling();
+  if (name == "ablation_disconnection") return legacy_ablation();
+  if (name == "dle_large") return legacy_dle_large();
+  if (name == "parallel_scaling") return legacy_parallel_scaling();
+  if (name == "parallel_smoke") return legacy_parallel_smoke();
+  if (name == "dle_adversarial") return legacy_dle_adversarial();
+  if (name == "audit_fuzz") return legacy_audit_fuzz();
+  ADD_FAILURE() << "no legacy suite " << name;
+  return {};
+}
+
+std::string read_workload_file(const std::string& name) {
+  const std::string path = std::string(PM_WORKLOADS_DIR) + "/" + name + ".json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot read committed workload file " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- differential: data registry == legacy C++ registry --------------------
+
+TEST(WorkloadRegistry, EverySuiteResolvesToTheLegacySpecList) {
+  const auto names = registry_names();
+  ASSERT_EQ(names.size(), 10u);
+  for (const auto& name : names) {
+    const Suite legacy = legacy_suite(name);
+    const Suite data = to_scenario_suite(registry_suite(name));
+    EXPECT_EQ(data.name, legacy.name);
+    EXPECT_EQ(data.description, legacy.description);
+    ASSERT_EQ(data.specs.size(), legacy.specs.size()) << name;
+    for (std::size_t i = 0; i < legacy.specs.size(); ++i) {
+      EXPECT_EQ(data.specs[i], legacy.specs[i]) << name << " spec " << i << ": "
+                                                << spec_json(data.specs[i]) << " vs "
+                                                << spec_json(legacy.specs[i]);
+    }
+  }
+}
+
+TEST(WorkloadRegistry, CommittedFilesResolveToTheLegacySpecList) {
+  for (const auto& name : registry_names()) {
+    const std::string text = read_workload_file(name);
+    ASSERT_FALSE(text.empty()) << name;
+    const WorkloadSuite parsed = parse_suite(text, name + ".json");
+    const Suite from_file = to_scenario_suite(parsed);
+    const Suite legacy = legacy_suite(name);
+    EXPECT_EQ(from_file.name, legacy.name);
+    EXPECT_EQ(from_file.specs, legacy.specs) << name;
+    // The committed file is canonical emitter output, byte for byte — a
+    // hand edit that survives parsing still shows up as a diff here.
+    EXPECT_EQ(to_json(parsed), text) << name << ".json is not canonical";
+  }
+}
+
+// Result-level differential on representative suites: the registry path and
+// the committed file produce bit-identical Results (wall clocks excepted).
+// parallel_smoke covers the threads axis; table1 covers every algo class.
+TEST(WorkloadRegistry, CommittedFileResultsMatchRegistryResults) {
+  for (const char* name : {"table1", "parallel_smoke"}) {
+    const Suite registry = scenario::make_suite(name);
+    const Suite from_file =
+        to_scenario_suite(parse_suite(read_workload_file(name), name));
+    const auto a = scenario::run_suite(registry);
+    const auto b = scenario::run_suite(from_file);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(scenario::result_json_line(a[i], /*with_wall=*/false),
+                scenario::result_json_line(b[i], /*with_wall=*/false))
+          << name << " row " << i;
+    }
+  }
+}
+
+// --- round-trip property ---------------------------------------------------
+
+TEST(WorkloadCodec, EveryRegistrySuiteRoundTripsByteIdentically) {
+  for (const auto& name : registry_names()) {
+    const WorkloadSuite suite = registry_suite(name);
+    const std::string emitted = to_json(suite);
+    const WorkloadSuite reparsed = parse_suite(emitted, name);
+    EXPECT_EQ(reparsed, suite) << name << ": parse(emit(x)) != x";
+    EXPECT_EQ(to_json(reparsed), emitted) << name << ": emit not canonical";
+    EXPECT_EQ(resolve(reparsed), resolve(suite)) << name;
+  }
+}
+
+TEST(WorkloadCodec, SpecJsonCoversEveryFieldAndHashTracksThem) {
+  Spec spec;
+  spec.family = "hexagon";
+  spec.p1 = 3;
+  const std::uint64_t base = content_hash({spec});
+  EXPECT_EQ(content_hash({spec}), base);  // stable
+  // Flipping any field must move the hash: silent drift is the failure
+  // mode the BENCH stamp exists to catch.
+  for (const auto& mutate : std::vector<void (*)(Spec&)>{
+           [](Spec& s) { s.name = "x"; }, [](Spec& s) { s.family = "line"; },
+           [](Spec& s) { s.p1 = 4; }, [](Spec& s) { s.p2 = 1; },
+           [](Spec& s) { s.shape_seed = 7; },
+           [](Spec& s) { s.algo = Algo::PipelineFull; },
+           [](Spec& s) { s.order = Order::RoundRobin; }, [](Spec& s) { s.seed = 2; },
+           [](Spec& s) { s.max_rounds = 10; },
+           [](Spec& s) { s.occupancy = amoebot::OccupancyMode::Hash; },
+           [](Spec& s) { s.track_components = true; }, [](Spec& s) { s.threads = 2; },
+           [](Spec& s) { s.fault_seed = 5; }}) {
+    Spec changed = spec;
+    mutate(changed);
+    EXPECT_NE(content_hash({changed}), base) << spec_json(changed);
+  }
+}
+
+// --- strict validation -----------------------------------------------------
+
+std::string minimal_suite(const std::string& spec_fields) {
+  return "{\"workload_version\": 1, \"suite\": \"t\", \"items\": [{\"spec\": {" +
+         spec_fields + "}}]}";
+}
+
+void expect_rejected(const std::string& text, const std::string& needle) {
+  try {
+    const WorkloadSuite suite = parse_suite(text, "test");
+    (void)resolve(suite);
+    FAIL() << "accepted: " << text;
+  } catch (const WorkloadError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
+
+TEST(WorkloadValidation, RejectsMalformedSpecs) {
+  // Unknown family, with the known list spelled out.
+  expect_rejected(minimal_suite("\"family\": \"dodecahedron\", \"p1\": 3"),
+                  "unknown shape family");
+  expect_rejected(minimal_suite("\"family\": \"dodecahedron\", \"p1\": 3"), "hexagon");
+  // Negative size.
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": -5"), "outside");
+  // Bad enum values.
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"quantum\""),
+                  "unknown algo");
+  expect_rejected(
+      minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"order\": \"sorted\""),
+      "unknown order");
+  expect_rejected(
+      minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"occupancy\": \"sparse\""),
+      "unknown occupancy");
+  // Wrong types and floats.
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": \"three\""),
+                  "expected an integer");
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3.5"),
+                  "floating-point");
+  // Unknown spec field.
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"ordr\": \"x\""),
+                  "unknown spec field");
+  // Missing family entirely.
+  expect_rejected(minimal_suite("\"p1\": 3"), "no shape family");
+  // Per-family shapegen preconditions fail at load time, not mid-suite.
+  expect_rejected(minimal_suite("\"family\": \"annulus\", \"p1\": 3, \"p2\": 9"),
+                  "p2 < p1");
+  expect_rejected(minimal_suite("\"family\": \"blob\", \"p1\": 0"), "p1 >= 1");
+  expect_rejected(minimal_suite("\"family\": \"cheese\", \"p1\": 2"), "p1 >= 3");
+  // Combination run_scenario would refuse.
+  expect_rejected(
+      minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"obd\", \"threads\": 2"),
+      "never consults the Engine");
+}
+
+TEST(WorkloadValidation, RejectsMalformedDocuments) {
+  // Trailing garbage after the top-level value.
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3") + " tail",
+                  "trailing garbage");
+  // Duplicate keys.
+  expect_rejected(minimal_suite("\"p1\": 3, \"p1\": 4"), "duplicate key");
+  // Unknown top-level key.
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"t\", \"items\": "
+                  "[{\"spec\": {\"family\": \"line\", \"p1\": 3}}], \"junk\": 1}",
+                  "unknown key");
+  // Version gate.
+  expect_rejected("{\"workload_version\": 99, \"suite\": \"t\", \"items\": "
+                  "[{\"spec\": {\"family\": \"line\", \"p1\": 3}}]}",
+                  "not supported");
+  expect_rejected("{\"suite\": \"t\", \"items\": [{\"spec\": {\"family\": \"line\", "
+                  "\"p1\": 3}}]}",
+                  "missing \"workload_version\"");
+  // Structural requirements.
+  expect_rejected("{\"workload_version\": 1, \"items\": [{\"spec\": {\"family\": "
+                  "\"line\", \"p1\": 3}}]}",
+                  "missing \"suite\"");
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"t\"}", "missing \"items\"");
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"t\", \"items\": []}",
+                  "no items");
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"t\", \"items\": "
+                  "[{\"both\": {}}]}",
+                  "{\"spec\"");
+  // Dangling parameter-set reference, with the declared sets listed.
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"t\", \"params\": "
+                  "{\"shapes\": [{\"family\": \"line\", \"p1\": 3}]}, \"items\": "
+                  "[{\"sweep\": {\"axes\": [\"shpaes\"]}}]}",
+                  "unknown parameter set");
+  // Sweep with no axes.
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"t\", \"items\": "
+                  "[{\"sweep\": {\"base\": {\"family\": \"line\", \"p1\": 3}}}]}",
+                  "needs \"axes\"");
+  // Suite names become BENCH_<name>.json paths — reject path-hostile ones
+  // at load time instead of after the whole suite has run.
+  expect_rejected("{\"workload_version\": 1, \"suite\": \"../evil\", \"items\": "
+                  "[{\"spec\": {\"family\": \"line\", \"p1\": 3}}]}",
+                  "A-Za-z0-9_-");
+  // A hostile nesting bomb must be a clean error, not a stack overflow
+  // (pm_serve's isolation contract).
+  expect_rejected(std::string(200000, '[') + std::string(200000, ']'),
+                  "nesting deeper");
+}
+
+TEST(WorkloadValidation, ParseErrorsCarryPosition) {
+  try {
+    (void)parse_suite("{\n  \"workload_version\": 1,\n  bad\n}", "doc");
+    FAIL() << "accepted syntax error";
+  } catch (const WorkloadError& e) {
+    EXPECT_NE(std::string(e.what()).find("doc:3:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WorkloadResolve, SweepOrderIsLastAxisFastest) {
+  WorkloadSuite suite;
+  suite.name = "t";
+  Item item;
+  item.kind = Item::Kind::Sweep;
+  SpecPatch base;
+  base.family = "hexagon";
+  item.sweep.base = base;
+  Sweep::Axis outer;
+  for (const int p1 : {3, 4}) {
+    SpecPatch p;
+    p.p1 = p1;
+    outer.patches.push_back(p);
+  }
+  Sweep::Axis inner;
+  for (const std::uint64_t seed : {7, 8, 9}) {
+    SpecPatch p;
+    p.seed = seed;
+    inner.patches.push_back(p);
+  }
+  item.sweep.axes = {outer, inner};
+  suite.items.push_back(item);
+  const auto specs = resolve(suite);
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].p1, 3);
+  EXPECT_EQ(specs[0].seed, 7u);
+  EXPECT_EQ(specs[1].p1, 3);
+  EXPECT_EQ(specs[1].seed, 8u);
+  EXPECT_EQ(specs[3].p1, 4);
+  EXPECT_EQ(specs[3].seed, 7u);
+}
+
+}  // namespace
+}  // namespace pm::workload
