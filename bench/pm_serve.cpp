@@ -23,7 +23,9 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include <sys/socket.h>
@@ -46,6 +48,14 @@ void usage(const char* prog) {
       "                    (makes the output nondeterministic)\n"
       "  --socket PATH     listen on a UNIX socket instead of stdin/stdout;\n"
       "                    each connection is one job stream\n"
+      "  --stats           write periodic NDJSON server stats (jobs/s, queue\n"
+      "                    depth, per-job p50/p99 latency) to stderr; the\n"
+      "                    result stream on stdout stays byte-deterministic\n"
+      "  --stats-file F    write the stats stream to file F instead of stderr\n"
+      "  --stats-socket P  connect and write the stats stream to the UNIX\n"
+      "                    socket at P (a listener must already be there)\n"
+      "  --stats-every N   stats cadence in completed jobs (default 64; a\n"
+      "                    final summary line is always written)\n"
       "Exit status (pipe mode): 0 when every job succeeded, 1 when any job\n"
       "failed or an audited job reported invariant violations. Socket mode\n"
       "serves until killed; per-connection stats go to stderr.\n",
@@ -165,7 +175,12 @@ bool parse_int(const char* s, int lo, int hi, int& out) {
 int main(int argc, char** argv) {
   pm::workload::ServeOptions opts;
   std::string socket_path;
+  std::string stats_file;
+  std::string stats_socket;
+  bool stats_stderr = false;
+  bool stats_cadence_set = false;
   int audit_every = 1;
+  int stats_every = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -188,6 +203,18 @@ int main(int argc, char** argv) {
       opts.wall = true;
     } else if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--stats") {
+      stats_stderr = true;
+    } else if (arg == "--stats-file" && i + 1 < argc) {
+      stats_file = argv[++i];
+    } else if (arg == "--stats-socket" && i + 1 < argc) {
+      stats_socket = argv[++i];
+    } else if (arg == "--stats-every" && i + 1 < argc) {
+      if (!parse_int(argv[++i], 1, 1'000'000'000, stats_every)) {
+        std::fprintf(stderr, "bad --stats-every value (need an integer >= 1)\n");
+        return 2;
+      }
+      stats_cadence_set = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -195,11 +222,63 @@ int main(int argc, char** argv) {
     }
   }
   opts.audit_every = audit_every;
+  opts.stats_every = stats_every;
 
-  if (!socket_path.empty()) return socket_main(socket_path, opts);
+  // The stats sink outlives serve(); exactly one destination wins, so a
+  // misconfigured pair fails loudly. A bare --stats-every asks for the
+  // default destination (stderr); next to an explicit one it only sets
+  // the cadence.
+  if ((stats_stderr ? 1 : 0) + (stats_file.empty() ? 0 : 1) +
+          (stats_socket.empty() ? 0 : 1) >
+      1) {
+    std::fprintf(stderr, "pick one of --stats / --stats-file / --stats-socket\n");
+    return 2;
+  }
+  if (stats_cadence_set && !stats_stderr && stats_file.empty() && stats_socket.empty()) {
+    stats_stderr = true;
+  }
+  std::ofstream stats_ofs;
+  std::unique_ptr<FdStreambuf> stats_buf;
+  std::unique_ptr<std::ostream> stats_os;
+  int stats_fd = -1;
+  if (!stats_file.empty()) {
+    stats_ofs.open(stats_file);
+    if (!stats_ofs) {
+      std::fprintf(stderr, "pm_serve: cannot write %s\n", stats_file.c_str());
+      return 2;
+    }
+    opts.stats = &stats_ofs;
+  } else if (!stats_socket.empty()) {
+    stats_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (stats_fd < 0 || stats_socket.size() >= sizeof addr.sun_path) {
+      std::fprintf(stderr, "pm_serve: bad stats socket %s\n", stats_socket.c_str());
+      return 2;
+    }
+    std::strncpy(addr.sun_path, stats_socket.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(stats_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      std::perror("pm_serve: connect stats socket");
+      ::close(stats_fd);
+      return 2;
+    }
+    std::signal(SIGPIPE, SIG_IGN);  // a dropped stats consumer must not kill us
+    stats_buf = std::make_unique<FdStreambuf>(stats_fd);
+    stats_os = std::make_unique<std::ostream>(stats_buf.get());
+    opts.stats = stats_os.get();
+  } else if (stats_stderr) {
+    opts.stats = &std::cerr;
+  }
+
+  if (!socket_path.empty()) {
+    const int rc = socket_main(socket_path, opts);
+    if (stats_fd >= 0) ::close(stats_fd);
+    return rc;
+  }
 
   const pm::workload::ServeStats stats = pm::workload::serve(std::cin, std::cout, opts);
   std::fprintf(stderr, "pm_serve: %ld job(s), %ld failed, %ld audit violation(s)\n",
                stats.jobs, stats.failed, stats.audit_violations);
+  if (stats_fd >= 0) ::close(stats_fd);
   return (stats.failed > 0 || stats.audit_violations > 0) ? 1 : 0;
 }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "amoebot/view.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/snapshot.h"
 #include "util/timing.h"
@@ -277,10 +278,35 @@ class Engine {
       res_.completed = false;
       return true;
     }
+    // Telemetry at round granularity: the per-activation cost is amortized
+    // to ~zero, and the clock is only read when metrics are collected, so a
+    // plain run pays two shard increments per round.
+    const bool timed = telemetry::enabled();
+    const auto rt0 = timed ? WallClock::now() : WallClock::time_point{};
+    const long long acts0 = res_.activations;
     for (const ParticleId p : sequencer_.next_round(opts_.order, rng_)) {
       activate_one(p, res_);
     }
     ++res_.rounds;
+    {
+      static const telemetry::Counter c_rounds("engine.rounds");
+      static const telemetry::Counter c_acts("engine.activations");
+      const auto acts = static_cast<std::uint64_t>(res_.activations - acts0);
+      c_rounds.inc();
+      c_acts.add(acts);
+      if (timed) {
+        static const telemetry::Histogram h_round("engine.round_ns", telemetry::Kind::Time);
+        static const telemetry::Histogram h_act("engine.activation_ns",
+                                                telemetry::Kind::Time);
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - rt0)
+                .count());
+        h_round.observe(ns);
+        // Mean activation latency of this round — per-activation clocking
+        // would dominate the ~30ns activations it is measuring.
+        h_act.observe(acts > 0 ? ns / acts : 0);
+      }
+    }
     return false;
   }
 

@@ -21,6 +21,7 @@
 #include "grid/coord.h"
 #include "grid/dense_occupancy.h"
 #include "grid/shape.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -99,6 +100,7 @@ class SystemCore {
   [[nodiscard]] int particle_count() const { return static_cast<int>(bodies_.size()); }
   [[nodiscard]] const Body& body(ParticleId p) const { return bodies_[checked(p)]; }
   [[nodiscard]] bool occupied(grid::Node v) const {
+    if (telemetry::detail()) note_query();
     if (batch_active_) {
       if (ParticleId id; overlay_lookup(v, id)) return id != kNoParticle;
     }
@@ -109,6 +111,7 @@ class SystemCore {
     return d;
   }
   [[nodiscard]] ParticleId particle_at(grid::Node v) const {
+    if (telemetry::detail()) note_query();
     if (batch_active_) {
       if (ParticleId id; overlay_lookup(v, id)) return id;
     }
@@ -228,6 +231,23 @@ class SystemCore {
   void occ_erase(grid::Node v) {
     if (mode_ != OccupancyMode::Hash) dense_.erase(v);
     if (mode_ != OccupancyMode::Dense) map_.erase(v);
+  }
+
+  // Per-query occupancy telemetry: only reached at detail level (pm_bench
+  // --metrics-detail) — an unconditional count here would tax the ~30ns
+  // activations it profiles. Shard increments are thread-local, so pooled
+  // batch workers count race-free; overlay hits are attributed separately.
+  void note_query() const {
+    static const telemetry::Counter c_dense("occupancy.query.dense");
+    static const telemetry::Counter c_hash("occupancy.query.hash");
+    static const telemetry::Counter c_diff("occupancy.query.differential");
+    static const telemetry::Counter c_overlay("occupancy.query.overlay");
+    if (batch_active_ && tls_log_ != nullptr) c_overlay.inc();
+    switch (mode_) {
+      case OccupancyMode::Dense: c_dense.inc(); break;
+      case OccupancyMode::Hash: c_hash.inc(); break;
+      case OccupancyMode::Differential: c_diff.inc(); break;
+    }
   }
 
   // Looks up v in the calling thread's pending-op journal (latest op wins).

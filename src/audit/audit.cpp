@@ -6,7 +6,9 @@
 #include "audit/node_codec.h"
 #include "core/obd/obd.h"
 #include "pipeline/stages.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
+#include "util/timing.h"
 
 namespace pm::audit {
 
@@ -336,11 +338,92 @@ void RoundBudgetInvariant::start(const AuditContext& ctx) {
   base_ = ctx.metrics.l_max + ctx.metrics.d;
   factor_ = ctx.options.budget_factor;
   slack_ = ctx.options.budget_slack;
+  have_stage_ = false;
+  stage_config_ = 0;
+  stage_start_round_ = 0;
+  tripped_ = false;
+  ring_n_ = 0;
 }
 
 void RoundBudgetInvariant::round(const AuditView& view, const RoundInfo& info) {
-  (void)view;
-  (void)info;
+  if (!have_stage_ || stage_kind_ != info.stage || stage_config_ != info.stage_config) {
+    have_stage_ = true;
+    stage_kind_ = info.stage;
+    stage_config_ = info.stage_config;
+    stage_start_round_ = info.round;
+    tripped_ = false;
+    ring_n_ = 0;
+  }
+  ring_[ring_n_ % kRing] =
+      RoundSample{info.round, view.moves(), static_cast<long>(info.eroded.size())};
+  ++ring_n_;
+  if (tripped_) return;  // one dump per stage visit
+  double c = 0.0;
+  switch (info.stage) {
+    case StageKind::Obd: c = kObdBudgetC; break;
+    case StageKind::Dle: c = kDleBudgetC; break;
+    case StageKind::Collect: c = kCollectBudgetC; break;
+    case StageKind::Baseline: return;  // baselines carry no paper envelope
+  }
+  if (is_pull_dle(info.stage, info.stage_config)) return;  // O(D_A^2) by design
+  const long limit = static_cast<long>(c * factor_ * static_cast<double>(base_)) + slack_;
+  const long in_stage = info.round - stage_start_round_ + 1;
+  if (in_stage <= limit) return;
+  tripped_ = true;
+  std::ostringstream os;
+  os << "watchdog: " << in_stage << " rounds in the running stage exceed the envelope "
+     << limit << " (c=" << c << ", L_max+D=" << base_ << ")";
+  const int count = ring_n_ < kRing ? ring_n_ : kRing;
+  os << "; last " << count << " audited rounds:";
+  for (int i = 0; i < count; ++i) {
+    const RoundSample& s = ring_[(ring_n_ - count + i) % kRing];
+    os << " [round " << s.round << ": moves " << s.moves << ", eroded " << s.eroded
+       << "]";
+  }
+  // Count-kind metrics only: the dump must read the same for any thread
+  // count or wall clock (it lands in violation details compared by tests).
+  os << "; telemetry:";
+  bool any = false;
+  for (const auto& m : telemetry::harvest()) {
+    if (m.kind != telemetry::Kind::Count) continue;
+    os << (any ? "," : " ") << m.name << "="
+       << (m.type == telemetry::Type::Histogram ? m.count : m.value);
+    any = true;
+  }
+  if (!any) os << " (off)";
+  violate(info.round, info.stage_name, os.str());
+}
+
+void RoundBudgetInvariant::state_save(Snapshot& snap) const {
+  snap.put(have_stage_ ? 1 : 0);
+  snap.put(static_cast<std::uint64_t>(stage_kind_));
+  snap.put(stage_config_);
+  snap.put_i(stage_start_round_);
+  snap.put(tripped_ ? 1 : 0);
+  snap.put_i(ring_n_);
+  const int count = ring_n_ < kRing ? ring_n_ : kRing;
+  for (int i = 0; i < count; ++i) {
+    const RoundSample& s = ring_[(ring_n_ - count + i) % kRing];
+    snap.put_i(s.round);
+    snap.put_i(s.moves);
+    snap.put_i(s.eroded);
+  }
+}
+
+void RoundBudgetInvariant::state_restore(const Snapshot& snap) {
+  have_stage_ = snap.get() != 0;
+  stage_kind_ = static_cast<StageKind>(snap.get());
+  stage_config_ = snap.get();
+  stage_start_round_ = snap.get_i();
+  tripped_ = snap.get() != 0;
+  ring_n_ = static_cast<int>(snap.get_i());
+  const int count = ring_n_ < kRing ? ring_n_ : kRing;
+  for (int i = 0; i < count; ++i) {
+    RoundSample& s = ring_[(ring_n_ - count + i) % kRing];
+    s.round = snap.get_i();
+    s.moves = snap.get_i();
+    s.eroded = snap.get_i();
+  }
 }
 
 void RoundBudgetInvariant::finish(const AuditView* view, const FinishInfo& info) {
@@ -442,7 +525,13 @@ void Auditor::observe_round(const AuditView& view, StageKind kind,
   const bool stage_boundary = stage_done || !have_last_kind_ || kind != last_kind_;
   have_last_kind_ = true;
   last_kind_ = kind;
+  static const telemetry::Counter c_observed("audit.rounds_observed");
+  static const telemetry::Counter c_checked("audit.rounds_checked");
+  c_observed.inc();
   if (!stage_boundary && opts_.check_every > 1 && round_ % opts_.check_every != 0) return;
+  c_checked.inc();  // cadence hit: the invariants actually ran this round
+  const bool timed = telemetry::enabled();
+  const auto ct0 = timed ? WallClock::now() : WallClock::time_point{};
   RoundInfo info;
   info.round = round_;
   info.stage = kind;
@@ -451,6 +540,12 @@ void Auditor::observe_round(const AuditView& view, StageKind kind,
   info.stage_done = stage_done;
   info.eroded = pending_eroded_;
   for (const auto& inv : invariants_) inv->round(view, info);
+  if (timed) {
+    static const telemetry::Histogram h_check("audit.check_ns", telemetry::Kind::Time);
+    h_check.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - ct0)
+            .count()));
+  }
   pending_eroded_.clear();
   maybe_fail_fast();
 }

@@ -245,17 +245,42 @@ class TerminationInvariant final : public Invariant {
 // large constant on near-symmetric shapes; DLE is tight). Catches
 // asymptotic regressions, not constant-factor drift. The connected-pull
 // ablation is exempt (the paper credits it with O(D_A^2)).
+//
+// Doubles as a live watchdog: the same envelope is checked *while* a stage
+// runs, so a livelocked stage (the known comb(6,5) OBD case never
+// terminates at all) is diagnosed in flight instead of silently spinning
+// to max_rounds. On the first trip per stage visit it dumps the last few
+// audited rounds' activity plus a count-kind telemetry snapshot into the
+// violation detail.
 class RoundBudgetInvariant final : public Invariant {
  public:
   [[nodiscard]] const char* name() const override { return "round_budget"; }
   void start(const AuditContext& ctx) override;
   void round(const AuditView& view, const RoundInfo& info) override;
   void finish(const AuditView* view, const FinishInfo& info) override;
+  void state_save(Snapshot& snap) const override;
+  void state_restore(const Snapshot& snap) override;
 
  private:
+  // One audited round's activity, ring-buffered for the watchdog dump.
+  struct RoundSample {
+    long round = 0;
+    long long moves = 0;
+    long eroded = 0;
+  };
+  static constexpr int kRing = 8;
+
   long base_ = 0;  // L_max + D of the initial shape
   double factor_ = 1.0;
   long slack_ = 64;
+  // Watchdog tracking of the active stage (reset on every stage change).
+  bool have_stage_ = false;
+  pipeline::StageKind stage_kind_ = pipeline::StageKind::Dle;
+  std::uint64_t stage_config_ = 0;
+  long stage_start_round_ = 0;
+  bool tripped_ = false;
+  RoundSample ring_[kRing]{};
+  int ring_n_ = 0;  // audited rounds recorded in the active stage
 };
 
 // Owns the invariant set and drives it — live (attach to a RunContext) or

@@ -1,0 +1,279 @@
+#include "audit/diff.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "audit/trace.h"
+#include "core/dle/dle.h"
+
+namespace pm::audit {
+
+namespace {
+
+std::string node_str(grid::Node v) {
+  return "(" + std::to_string(v.x) + "," + std::to_string(v.y) + ")";
+}
+
+std::string mask_str(const std::array<bool, 6>& m) {
+  std::string s(6, '0');
+  for (int i = 0; i < 6; ++i) {
+    if (m[static_cast<std::size_t>(i)]) s[static_cast<std::size_t>(i)] = '1';
+  }
+  return s;
+}
+
+const char* status_str(core::Status s) {
+  switch (s) {
+    case core::Status::Undecided: return "undecided";
+    case core::Status::Leader: return "leader";
+    case core::Status::Follower: return "follower";
+  }
+  return "?";
+}
+
+const char* stage_kind_str(pipeline::StageKind k) {
+  switch (k) {
+    case pipeline::StageKind::Obd: return "obd";
+    case pipeline::StageKind::Dle: return "dle";
+    case pipeline::StageKind::Collect: return "collect";
+    case pipeline::StageKind::Baseline: return "baseline";
+  }
+  return "?";
+}
+
+std::string stages_str(const std::vector<TraceConfig::StageDesc>& stages) {
+  std::string s;
+  for (const auto& d : stages) {
+    if (!s.empty()) s += "+";
+    s += stage_kind_str(d.kind);
+    if (d.config != 0) s += "/" + std::to_string(d.config);
+  }
+  return s.empty() ? "(none)" : s;
+}
+
+// Header fields that may legitimately differ between two comparable traces
+// are collected as notes; only a different initial shape voids the frame
+// comparison (particle ids are assigned by shape order).
+void compare_configs(const TraceConfig& a, const TraceConfig& b, TraceDiff& d) {
+  std::ostringstream note;
+  auto differ = [&](const char* what, const std::string& va, const std::string& vb) {
+    if (note.tellp() > 0) note << "; ";
+    note << what << ": " << va << " vs " << vb;
+  };
+  if (a.seeds.base != b.seeds.base) {
+    differ("seed", std::to_string(a.seeds.base), std::to_string(b.seeds.base));
+  }
+  if (a.seeds.kind != b.seeds.kind) {
+    differ("seed policy", std::to_string(static_cast<int>(a.seeds.kind)),
+           std::to_string(static_cast<int>(b.seeds.kind)));
+  }
+  if (a.order != b.order) {
+    differ("order", std::to_string(static_cast<int>(a.order)),
+           std::to_string(static_cast<int>(b.order)));
+  }
+  if (a.occupancy != b.occupancy) {
+    differ("occupancy", std::to_string(static_cast<int>(a.occupancy)),
+           std::to_string(static_cast<int>(b.occupancy)));
+  }
+  if (a.threads != b.threads) {
+    differ("threads", std::to_string(a.threads), std::to_string(b.threads));
+  }
+  if (a.max_rounds != b.max_rounds) {
+    differ("max_rounds", std::to_string(a.max_rounds), std::to_string(b.max_rounds));
+  }
+  if (a.stages.size() != b.stages.size() ||
+      !std::equal(a.stages.begin(), a.stages.end(), b.stages.begin(),
+                  [](const TraceConfig::StageDesc& x, const TraceConfig::StageDesc& y) {
+                    return x.kind == y.kind && x.config == y.config;
+                  })) {
+    differ("stages", stages_str(a.stages), stages_str(b.stages));
+  }
+  if (a.shape_nodes != b.shape_nodes) {
+    differ("initial shape",
+           std::to_string(a.shape_nodes.size()) + " nodes",
+           std::to_string(b.shape_nodes.size()) + " nodes");
+    d.comparable = false;
+  }
+  d.config_note = note.str();
+}
+
+// First differing field of one particle's two states; empty = identical.
+void compare_particle(const TraceParticle& pa, const TraceParticle& pb, TraceDiff& d) {
+  auto hit = [&](const char* field, const std::string& va, const std::string& vb) {
+    d.field = field;
+    d.detail = va + " vs " + vb;
+  };
+  if (pa.head != pb.head) return hit("head", node_str(pa.head), node_str(pb.head));
+  if (pa.tail != pb.tail) return hit("tail", node_str(pa.tail), node_str(pb.tail));
+  if (pa.ori != pb.ori) {
+    return hit("ori", std::to_string(pa.ori), std::to_string(pb.ori));
+  }
+  if (pa.state.status != pb.state.status) {
+    return hit("status", status_str(pa.state.status), status_str(pb.state.status));
+  }
+  if (pa.state.terminated != pb.state.terminated) {
+    return hit("terminated", pa.state.terminated ? "true" : "false",
+               pb.state.terminated ? "true" : "false");
+  }
+  if (pa.state.outer != pb.state.outer) {
+    return hit("outer", mask_str(pa.state.outer), mask_str(pb.state.outer));
+  }
+  if (pa.state.eligible != pb.state.eligible) {
+    return hit("eligible", mask_str(pa.state.eligible), mask_str(pb.state.eligible));
+  }
+}
+
+// One frame of both trajectories. Returns true when a divergence was
+// recorded into `d`.
+bool compare_frame(const TraceReader& a, const TraceReader& b, TraceDiff& d) {
+  d.round = a.round();
+  d.diverged = true;  // provisional; cleared on a clean frame
+  if (a.stage_index() != b.stage_index() || a.stage_done() != b.stage_done()) {
+    d.field = "stage";
+    d.detail = "stage " + std::to_string(a.stage_index()) +
+               (a.stage_done() ? " (done)" : "") + " vs stage " +
+               std::to_string(b.stage_index()) + (b.stage_done() ? " (done)" : "");
+    return true;
+  }
+  // Particle states first: the lowest diverging particle id is the primary
+  // forensic handle. Shapes match, so the vectors have equal length.
+  const auto& pas = a.particles();
+  const auto& pbs = b.particles();
+  for (std::size_t p = 0; p < pas.size(); ++p) {
+    compare_particle(pas[p], pbs[p], d);
+    if (!d.field.empty()) {
+      d.particle = static_cast<int>(p);
+      return true;
+    }
+  }
+  if (a.moves() != b.moves()) {
+    d.field = "moves";
+    d.detail = std::to_string(a.moves()) + " vs " + std::to_string(b.moves());
+    return true;
+  }
+  // Erosion events are unordered within a round under a parallel engine:
+  // compare as sorted multisets.
+  auto sorted_eroded = [](std::span<const grid::Node> e) {
+    std::vector<grid::Node> v(e.begin(), e.end());
+    std::sort(v.begin(), v.end(), [](grid::Node x, grid::Node y) {
+      return x.x != y.x ? x.x < y.x : x.y < y.y;
+    });
+    return v;
+  };
+  const auto ea = sorted_eroded(a.eroded());
+  const auto eb = sorted_eroded(b.eroded());
+  if (ea != eb) {
+    auto list = [](const std::vector<grid::Node>& v) {
+      std::string s = "{";
+      for (const grid::Node n : v) {
+        if (s.size() > 1) s += ",";
+        s += node_str(n);
+      }
+      return s + "}";
+    };
+    d.field = "eroded";
+    d.detail = list(ea) + " vs " + list(eb);
+    return true;
+  }
+  d.diverged = false;
+  d.round = -1;
+  return false;
+}
+
+bool compare_outcomes(const TraceOutcome& a, const TraceOutcome& b, TraceDiff& d) {
+  d.diverged = true;
+  d.round = 0;  // outcome-level: past the last round
+  d.field = "outcome";
+  auto hit = [&](const char* what, const std::string& va, const std::string& vb) {
+    d.detail = std::string(what) + ": " + va + " vs " + vb;
+    return true;
+  };
+  if (a.completed != b.completed) {
+    return hit("completed", a.completed ? "true" : "false",
+               b.completed ? "true" : "false");
+  }
+  if (a.leader != b.leader) {
+    return hit("leader", std::to_string(a.leader), std::to_string(b.leader));
+  }
+  if (a.leader_node != b.leader_node) {
+    return hit("leader_node", node_str(a.leader_node), node_str(b.leader_node));
+  }
+  if (a.moves != b.moves) {
+    return hit("moves", std::to_string(a.moves), std::to_string(b.moves));
+  }
+  for (std::size_t i = 0; i < a.stages.size() && i < b.stages.size(); ++i) {
+    const auto& sa = a.stages[i];
+    const auto& sb = b.stages[i];
+    if (sa.rounds != sb.rounds) {
+      return hit("stage rounds", std::to_string(sa.rounds), std::to_string(sb.rounds));
+    }
+    if (sa.activations != sb.activations) {
+      return hit("stage activations", std::to_string(sa.activations),
+                 std::to_string(sb.activations));
+    }
+    if (sa.status != sb.status) {
+      return hit("stage status", std::to_string(static_cast<int>(sa.status)),
+                 std::to_string(static_cast<int>(sb.status)));
+    }
+  }
+  d.diverged = false;
+  d.round = -1;
+  d.field.clear();
+  return false;
+}
+
+}  // namespace
+
+TraceDiff diff_traces(const Snapshot& a_snap, const Snapshot& b_snap) {
+  TraceReader a(a_snap);
+  TraceReader b(b_snap);
+  TraceDiff d;
+  compare_configs(a.config(), b.config(), d);
+  if (!d.comparable) return d;
+
+  bool an = a.next();
+  bool bn = b.next();
+  while (an && bn) {
+    ++d.rounds_compared;
+    if (compare_frame(a, b, d)) return d;
+    an = a.next();
+    bn = b.next();
+  }
+  if (an != bn) {
+    // One trajectory keeps going where the other ended: the divergence is
+    // the first round only one trace has.
+    d.diverged = true;
+    d.round = (an ? a : b).round();
+    d.field = "length";
+    d.detail = an ? "A continues past B's last round" : "B continues past A's last round";
+    return d;
+  }
+  compare_outcomes(a.outcome(), b.outcome(), d);
+  return d;
+}
+
+std::string format_diff(const TraceDiff& d) {
+  std::ostringstream os;
+  if (!d.config_note.empty()) os << "config differs: " << d.config_note << "\n";
+  if (!d.comparable) {
+    os << "traces are not comparable (different initial shapes)\n";
+    return os.str();
+  }
+  if (!d.diverged) {
+    os << "traces identical over " << d.rounds_compared << " rounds\n";
+    return os.str();
+  }
+  if (d.field == "outcome") {
+    os << "traces diverge in the final outcome after " << d.rounds_compared
+       << " identical rounds: " << d.detail << "\n";
+    return os.str();
+  }
+  os << "first divergence at round " << d.round;
+  if (d.particle >= 0) os << ", particle " << d.particle;
+  os << ", field " << d.field << ": " << d.detail << "\n";
+  os << "(" << d.rounds_compared - 1 << " identical rounds before the divergence)\n";
+  return os.str();
+}
+
+}  // namespace pm::audit

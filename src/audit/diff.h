@@ -1,0 +1,48 @@
+// Trace forensics: structural diff of two recorded runs.
+//
+// Given two traces of the same spec, diff_traces re-derives both
+// trajectories frame by frame (TraceReader) and reports the *first*
+// diverging round, the lowest diverging particle id, and exactly which
+// field differs (head, tail, orientation, a DLE state component, the
+// movement counter, the erosion events, or the final outcome). Under the
+// repo's determinism contract two runs of the same spec must be
+// bit-identical, so the first divergence localizes a nondeterminism bug —
+// or, for deliberately different configurations, pinpoints where two
+// variants first behave differently.
+//
+// Traces of different initial shapes are incomparable (particle ids do not
+// correspond); configuration differences that leave the shape intact
+// (seed, order, threads, budget, stage composition) are noted but do not
+// block the frame comparison.
+#pragma once
+
+#include <string>
+
+#include "util/snapshot.h"
+
+namespace pm::audit {
+
+struct TraceDiff {
+  // False when the initial shapes differ: no frame comparison was possible.
+  bool comparable = true;
+  // Human-readable notes on header fields that differ (empty: same spec).
+  std::string config_note;
+
+  bool diverged = false;
+  long round = -1;    // first diverging pipeline round (1-based; 0 = outcome)
+  int particle = -1;  // lowest diverging particle id (-1: not particle-level)
+  std::string field;  // "head" | "tail" | "ori" | "status" | "terminated"
+                      // | "outer" | "eligible" | "stage" | "moves"
+                      // | "eroded" | "length" | "outcome"
+  std::string detail;  // the two values, A vs B
+
+  long rounds_compared = 0;
+};
+
+// Both arguments must parse as traces (throws pm::CheckError otherwise).
+[[nodiscard]] TraceDiff diff_traces(const Snapshot& a, const Snapshot& b);
+
+// Multi-line human-readable report.
+[[nodiscard]] std::string format_diff(const TraceDiff& d);
+
+}  // namespace pm::audit

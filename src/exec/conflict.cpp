@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace pm::exec {
@@ -93,12 +94,18 @@ void Batcher::plan_batch(std::vector<ParticleId>& pending,
   claims_.next_epoch();
   const auto& ball2 = ball_offsets(2);  // symmetric probe and claim
 
+  // Accumulated in plain locals through the scan (free next to the claim
+  // probes) and flushed to the telemetry shard once per plan.
+  std::uint64_t scanned = 0;
+  std::uint64_t conflicts = 0;
+
   std::size_t keep = 0;
   std::size_t i = 0;
   for (; i < pending.size(); ++i) {
     if (static_cast<int>(batch.size()) >= max_batch) break;  // pool saturated
     const ParticleId p = pending[i];
     const Body& b = sys_.body(p);
+    ++scanned;
 
     bool joined = false;
     if (final_flags[static_cast<std::size_t>(p)] != 0) {
@@ -126,6 +133,7 @@ void Batcher::plan_batch(std::vector<ParticleId>& pending,
         }
       }
       joined = !conflict;
+      if (conflict) ++conflicts;
     }
     // Member or deferred, final or not, the particle claims the same ball-2
     // region: members to exclude conflicting later candidates from this
@@ -144,6 +152,15 @@ void Batcher::plan_batch(std::vector<ParticleId>& pending,
   // The unexamined tail (batch-width cap) stays pending verbatim.
   for (; i < pending.size(); ++i) pending[keep++] = pending[i];
   pending.resize(keep);
+
+  // ClaimTable conflict rate = plan.claim_conflicts / plan.scanned; every
+  // conflicting candidate is deferred to a later batch of the same round.
+  static const telemetry::Counter c_scanned("exec.plan.scanned");
+  static const telemetry::Counter c_joined("exec.plan.joined");
+  static const telemetry::Counter c_conflicts("exec.plan.claim_conflicts");
+  c_scanned.add(scanned);
+  c_joined.add(batch.size());
+  c_conflicts.add(conflicts);
 }
 
 }  // namespace pm::exec

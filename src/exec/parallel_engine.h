@@ -43,6 +43,7 @@
 #include "amoebot/view.h"
 #include "exec/conflict.h"
 #include "exec/thread_pool.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/timing.h"
 
@@ -119,8 +120,23 @@ class ParallelEngine {
       res_.completed = false;
       return true;
     }
+    const bool timed = telemetry::enabled();
+    const auto rt0 = timed ? WallClock::now() : WallClock::time_point{};
+    const long long acts0 = res_.activations;
     execute_sequence(sequencer_.next_round(opts_.order, rng_), res_);
     ++res_.rounds;
+    {
+      static const telemetry::Counter c_rounds("exec.rounds");
+      static const telemetry::Counter c_acts("exec.activations");
+      c_rounds.inc();
+      c_acts.add(static_cast<std::uint64_t>(res_.activations - acts0));
+      if (timed) {
+        static const telemetry::Histogram h_round("exec.round_ns", telemetry::Kind::Time);
+        h_round.observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - rt0)
+                .count()));
+      }
+    }
     return false;
   }
 
@@ -185,13 +201,19 @@ class ParallelEngine {
     const std::size_t inline_below = static_cast<std::size_t>(
         opts_.inline_batch_below > 0 ? opts_.inline_batch_below
                                      : std::max(16, 4 * pool_.thread_count()));
+    static const telemetry::Histogram h_width("exec.batch_width");
+    static const telemetry::Counter c_inline("exec.batches_inline");
+    static const telemetry::Counter c_pooled("exec.batches_pooled");
     while (!pending_.empty()) {
       batcher_.plan_batch(pending_, tracker_.flags(), batch_, max_batch);
       if (batch_.empty()) continue;  // only no-op finals were removed
+      h_width.observe(batch_.size());
       if (batch_.size() < inline_below || pool_.thread_count() == 1) {
+        c_inline.inc();
         for (const ParticleId p : batch_) activate_sequential(p, res);
         continue;
       }
+      c_pooled.inc();
       if (records_.size() < batch_.size()) records_.resize(batch_.size());
       sys_.begin_batch();
       pool_.for_each_index(static_cast<int>(batch_.size()), [this](int i) {

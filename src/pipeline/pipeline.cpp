@@ -6,6 +6,7 @@
 #include "core/collect/collect.h"
 #include "core/obd/obd.h"
 #include "pipeline/stages.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace pm::pipeline {
@@ -143,8 +144,35 @@ void Pipeline::enter_stage() {
   advance_past_done();
 }
 
+namespace {
+
+// Per-stage telemetry at stage completion (rare): the OBD vs DLE vs Collect
+// round and wall breakdown, keyed by stage kind. The by-name slow path is
+// fine here — a pipeline completes a handful of stages per run.
+void note_stage_done(const Stage& s) {
+  const char* key = "baseline";
+  switch (s.kind()) {
+    case StageKind::Obd: key = "obd"; break;
+    case StageKind::Dle: key = "dle"; break;
+    case StageKind::Collect: key = "collect"; break;
+    case StageKind::Baseline: key = "baseline"; break;
+  }
+  const std::string prefix = std::string("pipeline.") + key;
+  const StageMetrics& m = s.metrics();
+  telemetry::add_count(prefix + ".completions", 1);
+  telemetry::add_count(prefix + ".rounds", static_cast<std::uint64_t>(m.rounds));
+  if (telemetry::enabled() && m.wall_ms > 0) {
+    telemetry::add_count(prefix + ".wall_ns",
+                         static_cast<std::uint64_t>(m.wall_ms * 1e6),
+                         telemetry::Kind::Time);
+  }
+}
+
+}  // namespace
+
 void Pipeline::advance_past_done() {
   while (!done_ && stages_[current_]->done()) {
+    note_stage_done(*stages_[current_]);
     if (!stages_[current_]->succeeded()) {
       done_ = true;  // a failed stage stops the pipeline
       return;

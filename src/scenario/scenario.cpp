@@ -240,6 +240,7 @@ Result run_scenario(const Spec& spec, const RunHooks& hooks) {
     pipeline::Pipeline pipe = build_pipeline(spec, make_ctx(spec.threads, spec.occupancy));
     const pipeline::PipelineOutcome out = pipe.run();
     fill_result(res, spec, shape, out, pipe.context());
+    res.peak_rss_kb = telemetry::peak_rss_kb();
     res.wall_ms = ms_since(t0);
     return res;
   }
@@ -334,6 +335,7 @@ Result run_scenario(const Spec& spec, const RunHooks& hooks) {
     // process leaves one behind for --resume.
     std::remove(hooks.checkpoint_path.c_str());
   }
+  res.peak_rss_kb = telemetry::peak_rss_kb();
   res.wall_ms = ms_since(t0);
   return res;
 }
@@ -577,6 +579,7 @@ std::string result_json_line(const Result& r, bool with_wall) {
      << ", \"leaders\": " << r.leaders
      << ", \"max_components\": " << r.max_components
      << ", \"peak_occupancy_cells\": " << r.peak_occupancy_cells
+     << ", \"peak_rss_kb\": " << (with_wall ? r.peak_rss_kb : 0)
      << ", \"audit_violations\": " << r.audit_violations;
   std::snprintf(wall, sizeof wall, "%.3f", with_wall ? r.wall_ms : 0.0);
   os << ", \"wall_ms\": " << wall;
@@ -589,13 +592,28 @@ std::string result_json_line(const Result& r, bool with_wall) {
   return os.str();
 }
 
-std::string to_json(const Suite& suite, const std::vector<Result>& results) {
+std::string to_json(const Suite& suite, const std::vector<Result>& results,
+                    const std::vector<telemetry::MetricValue>* metrics, bool with_time) {
   std::ostringstream os;
   os << "{\n  \"suite\": \"" << json_escape(suite.name) << "\",\n"
      << "  \"description\": \"" << json_escape(suite.description) << "\",\n"
-     << "  \"schema_version\": 4,\n"
+     << "  \"schema_version\": 5,\n"
      << "  \"git_describe\": \"" << json_escape(PM_GIT_DESCRIBE) << "\",\n"
-     << "  \"workload_hash\": \"" << workload::content_hash_hex(suite.specs) << "\",\n"
+     << "  \"workload_hash\": \"" << workload::content_hash_hex(suite.specs) << "\",\n";
+  // v5 telemetry block: null when the run collected no metrics (level 0),
+  // so artifact diffs distinguish "off" from "on but nothing fired".
+  os << "  \"telemetry\": {\"metrics\": ";
+  if (metrics == nullptr) {
+    os << "null";
+  } else {
+    os << "[";
+    for (std::size_t i = 0; i < metrics->size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\n    " << telemetry::to_json_object((*metrics)[i], with_time);
+    }
+    os << (metrics->empty() ? "]" : "\n  ]");
+  }
+  os << "},\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     os << "    " << result_json_line(results[i], /*with_wall=*/true);
@@ -611,7 +629,7 @@ std::string to_csv(const std::vector<Result>& results) {
   os << "scenario,family,algo,order,seed,fault_seed,occupancy,threads,n,holes,d,d_area,"
         "d_grid,l_out,ecc,obd_rounds,dle_rounds,collect_rounds,baseline_rounds,"
         "total_rounds,phases,activations,moves,completed,leaders,max_components,"
-        "peak_occupancy_cells,audit_violations,wall_ms\n";
+        "peak_occupancy_cells,peak_rss_kb,audit_violations,wall_ms\n";
   for (const Result& r : results) {
     // Scenario labels like "annulus(8,5)" contain commas — always quoted.
     // Workload files let authors pick names, so embedded quotes must be
@@ -630,7 +648,7 @@ std::string to_csv(const std::vector<Result>& results) {
        << r.baseline_rounds << "," << r.total_rounds() << "," << r.phases << ","
        << r.activations << "," << r.moves << "," << (r.completed ? 1 : 0) << ","
        << r.leaders << "," << r.max_components << "," << r.peak_occupancy_cells << ","
-       << r.audit_violations << "," << r.wall_ms << "\n";
+       << r.peak_rss_kb << "," << r.audit_violations << "," << r.wall_ms << "\n";
   }
   return os.str();
 }
@@ -696,6 +714,14 @@ void usage(const char* prog) {
       "  --checkpoint-dir=DIR   where checkpoints live (default .)\n"
       "  --resume               resume each scenario from its checkpoint file when\n"
       "                         one is present and valid (else run fresh)\n"
+      "  --metrics=FILE         collect telemetry and append one NDJSON snapshot per\n"
+      "                         suite to FILE; count-kind metrics are deterministic\n"
+      "                         (diffable across runs/threads/jobs), time-kind ones\n"
+      "                         are zeroed under --no-wall. Also embeds the metrics\n"
+      "                         in BENCH_<suite>.json (schema v5 telemetry block)\n"
+      "  --metrics-detail       level-2 telemetry: adds per-query occupancy-mode\n"
+      "                         counters (measurably slower; implies --metrics\n"
+      "                         collection even without a FILE)\n"
       "SUITE may be a registered name or 'all' (every suite except the heavy\n"
       "large-n sweeps dle_large and parallel_scaling).\n",
       prog);
@@ -756,9 +782,12 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   std::string trace_prefix;
   std::string checkpoint_dir = ".";
   std::string emit_spec_dir;
+  std::string metrics_path;
   bool no_json = false;
   bool no_wall = false;
   bool compare = false;
+  bool metrics_on = false;
+  bool metrics_detail = false;
   bool have_occ = false;
   bool do_audit = false;
   bool resume = false;
@@ -879,6 +908,16 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       checkpoint_dir = v;
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+      if (!next_value("--metrics", v) || v.empty()) {
+        std::fprintf(stderr, "--metrics needs an output file (NDJSON)\n");
+        return 2;
+      }
+      metrics_path = v;
+      metrics_on = true;
+    } else if (arg == "--metrics-detail") {
+      metrics_on = true;
+      metrics_detail = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -1009,6 +1048,19 @@ int bench_main(int argc, char** argv, const char* default_suite) {
     }
   }
 
+  // Metrics collection: level 1 adds the time histograms at per-round
+  // granularity, level 2 the per-query occupancy counters. The NDJSON file
+  // is truncated once and appended per suite.
+  if (metrics_on) telemetry::set_level(metrics_detail ? 2 : 1);
+  std::ofstream metrics_out;
+  if (!metrics_path.empty()) {
+    metrics_out.open(metrics_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+
   std::vector<Result> all_results;
   // Violations from runs that are not part of all_results (the hash pass
   // of --compare-occupancy) still count toward the audit exit gate.
@@ -1041,7 +1093,17 @@ int bench_main(int argc, char** argv, const char* default_suite) {
     if (compare) {
       for (Spec& s : primary.specs) s.occupancy = OccupancyMode::Dense;
     }
+    if (metrics_on) telemetry::reset();  // each suite's harvest stands alone
     std::vector<Result> results = run_suite(primary, ropts);
+    // Harvested before the --compare-occupancy hash pass runs, so the
+    // reported metrics describe exactly the suite's primary results.
+    std::vector<telemetry::MetricValue> metrics;
+    if (metrics_on) {
+      metrics = telemetry::harvest();
+      if (metrics_out.is_open()) {
+        metrics_out << telemetry::to_ndjson(metrics, suite.name, /*with_time=*/!no_wall);
+      }
+    }
     std::vector<Result> hash_results;
     if (compare) {
       Suite hashed = suite;
@@ -1058,6 +1120,7 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       // rejected up front, so it is always empty here.)
       for (Result& r : results) {
         r.wall_ms = r.obd_ms = r.dle_ms = r.collect_ms = 0.0;
+        r.peak_rss_kb = 0;  // machine-dependent, like the wall clocks
       }
     }
     print_results(suite, results, std::cout);
@@ -1093,7 +1156,8 @@ int bench_main(int argc, char** argv, const char* default_suite) {
       // `primary` carries the specs as actually run (occupancy forced dense
       // in compare mode), so the embedded workload_hash names the executed
       // workload exactly.
-      out << to_json(primary, results);
+      out << to_json(primary, results, metrics_on ? &metrics : nullptr,
+                     /*with_time=*/!no_wall);
       std::printf("wrote %s\n\n", path.c_str());
     }
     all_results.insert(all_results.end(), results.begin(), results.end());

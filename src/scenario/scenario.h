@@ -21,6 +21,7 @@
 
 #include "amoebot/engine.h"
 #include "grid/shape.h"
+#include "telemetry/telemetry.h"
 // The name <-> enum tables (algo_name, parse_algo, occupancy_name, ...)
 // live in scenario/names.h; included here so every scenario user keeps
 // seeing them.
@@ -103,6 +104,10 @@ struct Result {
   int leaders = -1;  // unique-leader check, -1 = not applicable
   int max_components = 0;  // only when spec.track_components
   long long peak_occupancy_cells = 0;
+  // Peak resident set size (kB) of the whole process at the end of the run
+  // (Linux VmHWM; 0 where unavailable). Like the wall clocks it is
+  // machine-dependent: zeroed in --no-wall artifacts.
+  long peak_rss_kb = 0;
   int audit_violations = -1;  // -1 = not audited; else the Auditor's count
   // Wall-clock (the only nondeterministic fields).
   double wall_ms = 0.0;
@@ -196,8 +201,13 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 // One JSON document per suite (schema versioned; see README). Each document
 // carries `workload_hash`, the content hash of the fully-resolved spec list
 // (workload::content_hash_hex), so an artifact names exactly the workload
-// that produced it and silent spec drift is a visible diff.
-[[nodiscard]] std::string to_json(const Suite& suite, const std::vector<Result>& results);
+// that produced it and silent spec drift is a visible diff. Since schema v5
+// a `telemetry` block holds the suite's harvested metrics (`metrics` may be
+// null when the run collected none); count-kind entries are deterministic,
+// time-kind entries are zeroed when `with_time` is false (--no-wall).
+[[nodiscard]] std::string to_json(const Suite& suite, const std::vector<Result>& results,
+                                  const std::vector<telemetry::MetricValue>* metrics = nullptr,
+                                  bool with_time = true);
 
 // Flat CSV rows (with header) for spreadsheet-style analysis.
 [[nodiscard]] std::string to_csv(const std::vector<Result>& results);
@@ -209,6 +219,7 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 //            [--occupancy=dense|hash|differential] [--compare-occupancy]
 //            [--audit] [--audit-every=N] [--trace=PREFIX] [--replay=FILE]
 //            [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume]
+//            [--metrics=FILE] [--metrics-detail]
 // `default_suite` is what a per-suite shim binary runs when no suite is
 // named on the command line (nullptr = "all"). Returns non-zero when
 // --audit found violations or a --replay diverged.

@@ -1,0 +1,274 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pm::telemetry {
+
+// --- serialization (both build flavors) ------------------------------------
+
+namespace {
+
+const char* kind_name(Kind k) { return k == Kind::Time ? "time" : "count"; }
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::Counter: return "counter";
+    case Type::Gauge: return "gauge";
+    case Type::Histogram: return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+std::string to_json_object(const MetricValue& m, bool with_time) {
+  // Time-kind payloads are wall-clock-derived and nondeterministic; zero
+  // them (like wall_ms under --no-wall) so count-kind snapshots stay
+  // byte-diffable. A time histogram's observation count is deterministic
+  // (one observation per round/batch/job) and survives the scrub.
+  const bool scrub = !with_time && m.kind == Kind::Time;
+  std::ostringstream os;
+  os << "{\"name\": \"" << m.name << "\", \"type\": \"" << type_name(m.type)
+     << "\", \"kind\": \"" << kind_name(m.kind) << "\"";
+  if (m.type == Type::Histogram) {
+    os << ", \"count\": " << m.count << ", \"sum\": " << (scrub ? 0 : m.sum)
+       << ", \"buckets\": [";
+    if (!scrub) {
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << m.buckets[i];
+      }
+    }
+    os << "]";
+  } else {
+    os << ", \"value\": " << (scrub ? 0 : m.value);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string to_ndjson(const std::vector<MetricValue>& metrics, const std::string& label,
+                      bool with_time) {
+  std::ostringstream os;
+  for (const MetricValue& m : metrics) {
+    std::string obj = to_json_object(m, with_time);
+    // Tag each line with its suite label, keeping one flat object per line.
+    os << "{\"label\": \"" << label << "\", " << obj.substr(1) << "\n";
+  }
+  return os.str();
+}
+
+long peak_rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;  // no portable peak-RSS source; artifacts record 0
+#endif
+}
+
+#if !defined(PM_TELEMETRY_DISABLED)
+
+namespace impl {
+std::atomic<int> g_level{0};
+}  // namespace impl
+
+inline namespace live {
+
+namespace {
+
+// Fixed slot capacity: no bounds checks or reallocation on the hot path.
+// A histogram takes 1 (sum) + kHistogramBuckets slots; ~60 histograms or
+// thousands of counters fit — registration past the cap throws.
+constexpr std::size_t kSlotCap = 8192;
+
+struct Shard {
+  std::uint64_t slots[kSlotCap] = {};
+};
+
+struct Meta {
+  std::string name;
+  Kind kind;
+  Type type;
+  std::uint32_t slot;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Meta> metas;
+  std::uint32_t next_slot = 0;
+  std::vector<Shard*> live_shards;
+  // Totals folded in from exited threads (thread_local shard destructors).
+  std::vector<std::uint64_t> retired = std::vector<std::uint64_t>(kSlotCap, 0);
+  // Max-merge slots (gauges) vs sum-merge slots (everything else).
+  std::vector<char> is_gauge = std::vector<char>(kSlotCap, 0);
+};
+
+// Leaked intentionally: thread_local shard destructors may run during
+// process teardown, after function-local statics would have been destroyed.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void merge_into(const Registry& r, const Shard& shard, std::vector<std::uint64_t>& out) {
+  for (std::size_t i = 0; i < kSlotCap; ++i) {
+    const std::uint64_t v = shard.slots[i];
+    if (v == 0) continue;
+    if (r.is_gauge[i]) {
+      out[i] = std::max(out[i], v);
+    } else {
+      out[i] += v;
+    }
+  }
+}
+
+struct ShardHolder {
+  Shard shard;
+  ShardHolder() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.live_shards.push_back(&shard);
+  }
+  ~ShardHolder() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    merge_into(r, shard, r.retired);
+    r.live_shards.erase(std::remove(r.live_shards.begin(), r.live_shards.end(), &shard),
+                        r.live_shards.end());
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardHolder holder;
+  return holder.shard;
+}
+
+std::uint32_t register_metric(const char* name, Kind kind, Type type) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const Meta& m : r.metas) {
+    if (m.name == name) {
+      PM_CHECK_MSG(m.kind == kind && m.type == type,
+                   "telemetry metric '" << name
+                                        << "' re-registered with a different kind/type");
+      return m.slot;
+    }
+  }
+  const std::uint32_t width =
+      type == Type::Histogram ? 1u + static_cast<std::uint32_t>(kHistogramBuckets) : 1u;
+  PM_CHECK_MSG(r.next_slot + width <= kSlotCap,
+               "telemetry slot capacity exhausted registering '" << name << "'");
+  const std::uint32_t slot = r.next_slot;
+  r.next_slot += width;
+  if (type == Type::Gauge) r.is_gauge[slot] = 1;
+  r.metas.push_back(Meta{name, kind, type, slot});
+  return slot;
+}
+
+}  // namespace
+
+void set_level(int level) noexcept {
+  impl::g_level.store(level < 0 ? 0 : level, std::memory_order_relaxed);
+}
+
+Counter::Counter(const char* name, Kind kind)
+    : slot_(register_metric(name, kind, Type::Counter)) {}
+
+void Counter::add(std::uint64_t n) const noexcept { local_shard().slots[slot_] += n; }
+
+Gauge::Gauge(const char* name, Kind kind) : slot_(register_metric(name, kind, Type::Gauge)) {}
+
+void Gauge::record_max(std::uint64_t v) const noexcept {
+  std::uint64_t& s = local_shard().slots[slot_];
+  if (v > s) s = v;
+}
+
+Histogram::Histogram(const char* name, Kind kind)
+    : slot_(register_metric(name, kind, Type::Histogram)) {}
+
+void Histogram::observe(std::uint64_t v) const noexcept {
+  Shard& sh = local_shard();
+  sh.slots[slot_] += v;  // running sum
+  sh.slots[slot_ + 1u + static_cast<std::uint32_t>(bucket_index(v))] += 1;
+}
+
+void add_count(const std::string& name, std::uint64_t v, Kind kind) {
+  const std::uint32_t slot = register_metric(name.c_str(), kind, Type::Counter);
+  local_shard().slots[slot] += v;
+}
+
+void observe_value(const std::string& name, std::uint64_t v, Kind kind) {
+  const std::uint32_t slot = register_metric(name.c_str(), kind, Type::Histogram);
+  Shard& sh = local_shard();
+  sh.slots[slot] += v;
+  sh.slots[slot + 1u + static_cast<std::uint32_t>(bucket_index(v))] += 1;
+}
+
+void gauge_max(const std::string& name, std::uint64_t v, Kind kind) {
+  const std::uint32_t slot = register_metric(name.c_str(), kind, Type::Gauge);
+  std::uint64_t& s = local_shard().slots[slot];
+  if (v > s) s = v;
+}
+
+std::vector<MetricValue> harvest() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::uint64_t> combined = r.retired;
+  for (const Shard* shard : r.live_shards) merge_into(r, *shard, combined);
+
+  std::vector<MetricValue> out;
+  out.reserve(r.metas.size());
+  for (const Meta& meta : r.metas) {
+    MetricValue m;
+    m.name = meta.name;
+    m.kind = meta.kind;
+    m.type = meta.type;
+    if (meta.type == Type::Histogram) {
+      m.sum = combined[meta.slot];
+      std::size_t last = 0;
+      for (std::size_t b = 0; b < static_cast<std::size_t>(kHistogramBuckets); ++b) {
+        const std::uint64_t c = combined[meta.slot + 1 + b];
+        m.count += c;
+        if (c != 0) last = b + 1;
+      }
+      m.buckets.assign(combined.begin() + meta.slot + 1,
+                       combined.begin() + meta.slot + 1 + static_cast<long>(last));
+    } else {
+      m.value = combined[meta.slot];
+    }
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::fill(r.retired.begin(), r.retired.end(), 0);
+  for (Shard* shard : r.live_shards) std::fill(std::begin(shard->slots), std::end(shard->slots), 0);
+}
+
+}  // inline namespace live
+
+#endif  // !PM_TELEMETRY_DISABLED
+
+}  // namespace pm::telemetry

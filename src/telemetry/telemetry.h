@@ -1,0 +1,192 @@
+// Deterministic, low-overhead metrics: monotonic counters, gauges, and
+// power-of-two histograms in a process-wide registry with thread-local
+// shards merged at harvest points.
+//
+// Hot-path contract: Counter::add / Histogram::observe touch only the
+// calling thread's shard — a plain (non-atomic, lock-free) array increment
+// — so instrumented code is race-free under exec::ParallelEngine and costs
+// nanoseconds per call. harvest() merges every shard with commutative
+// operations (sum for counters and histogram buckets, max for gauges), so
+// the merged totals are identical for any thread count and any scheduling
+// interleaving: count-kind metrics join the repo's determinism contract
+// and are byte-diffable across runs (see tests/telemetry).
+//
+// Kinds:
+//   * Kind::Count — deterministic quantities (rounds, activations, batch
+//     widths, conflict counts). Bit-identical across reruns of the same
+//     spec and flags.
+//   * Kind::Time — wall-clock-derived (round latencies, checker time).
+//     Zeroed by the serializers when `with_time` is false, exactly like
+//     the wall_ms fields under pm_bench --no-wall.
+//
+// Runtime levels (set_level):
+//   0 = off      — instrument points skip all clock reads; count-kind
+//                  counters still accumulate (per-round granularity, noise)
+//   1 = standard — pm_bench --metrics: adds the time histograms; clocks
+//                  are read at per-round/per-batch granularity only, so
+//                  the overhead stays within the bench noise floor
+//   2 = detail   — pm_bench --metrics-detail: adds per-query occupancy
+//                  counters (measurably slower on query-heavy stages)
+//
+// Compile-out: defining PM_TELEMETRY_DISABLED (CMake -DPM_TELEMETRY=OFF)
+// swaps every handle and entry point for a constexpr no-op stub in a
+// distinct inline namespace, so instrumented call sites compile to nothing
+// and the two builds cannot collide at link time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pm::telemetry {
+
+enum class Kind : std::uint8_t { Count = 0, Time = 1 };
+enum class Type : std::uint8_t { Counter = 0, Gauge = 1, Histogram = 2 };
+
+// Histogram buckets are powers of two: bucket 0 holds the value 0, bucket
+// i >= 1 holds values in [2^(i-1), 2^i). 65 buckets cover every uint64.
+inline constexpr int kHistogramBuckets = 65;
+
+[[nodiscard]] constexpr int bucket_index(std::uint64_t v) noexcept {
+  int w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w;  // 0 for v == 0, else bit_width(v) in 1..64
+}
+
+// One harvested metric (merged across all shards).
+struct MetricValue {
+  std::string name;
+  Kind kind = Kind::Count;
+  Type type = Type::Counter;
+  std::uint64_t value = 0;  // counter total / gauge maximum
+  std::uint64_t count = 0;  // histogram: number of observations
+  std::uint64_t sum = 0;    // histogram: sum of observed values
+  std::vector<std::uint64_t> buckets;  // histogram: trailing zeros trimmed
+};
+
+// --- serialization (kind-aware; compiled in both build flavors) ------------
+
+// One metric as a JSON object ({"name": ..., "type": ..., ...}). Time-kind
+// values are zeroed when `with_time` is false; the observation count of a
+// time histogram is deterministic and survives.
+[[nodiscard]] std::string to_json_object(const MetricValue& m, bool with_time);
+
+// One NDJSON line per metric, each tagged with `label` (the suite name).
+[[nodiscard]] std::string to_ndjson(const std::vector<MetricValue>& metrics,
+                                    const std::string& label, bool with_time);
+
+// Peak resident set size of this process in kB (Linux: VmHWM from
+// /proc/self/status; 0 on platforms without an equivalent). Wall-clock-like
+// nondeterminism: zeroed in artifacts under --no-wall.
+[[nodiscard]] long peak_rss_kb();
+
+#if !defined(PM_TELEMETRY_DISABLED)
+
+namespace impl {
+extern std::atomic<int> g_level;
+}  // namespace impl
+
+inline namespace live {
+
+[[nodiscard]] inline int level() noexcept {
+  return impl::g_level.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool enabled() noexcept { return level() >= 1; }
+[[nodiscard]] inline bool detail() noexcept { return level() >= 2; }
+void set_level(int level) noexcept;
+
+// Handles register by name on construction (idempotent: the same name
+// always resolves to the same registry slot; a name re-registered with a
+// different kind or type is a logic error and throws pm::CheckError).
+// Intended use is a function-local static at the instrument site.
+
+class Counter {
+ public:
+  explicit Counter(const char* name, Kind kind = Kind::Count);
+  void add(std::uint64_t n) const noexcept;
+  void inc() const noexcept { add(1); }
+
+ private:
+  std::uint32_t slot_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const char* name, Kind kind = Kind::Count);
+  // Merges by maximum, within the thread and across shards.
+  void record_max(std::uint64_t v) const noexcept;
+
+ private:
+  std::uint32_t slot_;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const char* name, Kind kind = Kind::Count);
+  void observe(std::uint64_t v) const noexcept;
+
+ private:
+  std::uint32_t slot_;
+};
+
+// Slow-path by-name conveniences for rare events (per-stage completion,
+// per-job records): one registry lock per call.
+void add_count(const std::string& name, std::uint64_t v, Kind kind = Kind::Count);
+void observe_value(const std::string& name, std::uint64_t v, Kind kind = Kind::Count);
+void gauge_max(const std::string& name, std::uint64_t v, Kind kind = Kind::Count);
+
+// Merges every shard (sum / max) into one name-sorted snapshot. Call at
+// quiescent points only (between rounds/suites/windows): concurrent
+// writers would race the merge.
+[[nodiscard]] std::vector<MetricValue> harvest();
+
+// Zeroes all shards and retired totals (registrations survive). Same
+// quiescence requirement as harvest().
+void reset();
+
+}  // inline namespace live
+
+#else  // PM_TELEMETRY_DISABLED
+
+inline namespace stub {
+
+[[nodiscard]] constexpr int level() noexcept { return 0; }
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+[[nodiscard]] constexpr bool detail() noexcept { return false; }
+constexpr void set_level(int) noexcept {}
+
+class Counter {
+ public:
+  constexpr explicit Counter(const char*, Kind = Kind::Count) noexcept {}
+  constexpr void add(std::uint64_t) const noexcept {}
+  constexpr void inc() const noexcept {}
+};
+
+class Gauge {
+ public:
+  constexpr explicit Gauge(const char*, Kind = Kind::Count) noexcept {}
+  constexpr void record_max(std::uint64_t) const noexcept {}
+};
+
+class Histogram {
+ public:
+  constexpr explicit Histogram(const char*, Kind = Kind::Count) noexcept {}
+  constexpr void observe(std::uint64_t) const noexcept {}
+};
+
+inline void add_count(const std::string&, std::uint64_t, Kind = Kind::Count) {}
+inline void observe_value(const std::string&, std::uint64_t, Kind = Kind::Count) {}
+inline void gauge_max(const std::string&, std::uint64_t, Kind = Kind::Count) {}
+
+[[nodiscard]] inline std::vector<MetricValue> harvest() { return {}; }
+inline void reset() {}
+
+}  // inline namespace stub
+
+#endif  // PM_TELEMETRY_DISABLED
+
+}  // namespace pm::telemetry

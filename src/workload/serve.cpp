@@ -1,6 +1,7 @@
 #include "workload/serve.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <istream>
 #include <optional>
 #include <ostream>
@@ -11,6 +12,8 @@
 
 #include "exec/thread_pool.h"
 #include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
+#include "util/timing.h"
 #include "workload/json.h"
 #include "workload/workload.h"
 
@@ -27,6 +30,7 @@ struct JobOutcome {
   std::string record;  // one NDJSON line, no trailing newline
   bool ok = false;
   int audit_violations = 0;  // only when the job was audited
+  double ms = 0.0;  // job latency; measured only when stats/telemetry want it
 };
 
 // `id` is included whenever the envelope got far enough to yield one, so
@@ -42,6 +46,8 @@ std::string error_record(long seq, const std::string& id, const std::string& wha
 // it): every failure becomes this line's error record.
 JobOutcome run_job(long seq, const std::string& line, const ServeOptions& opts) {
   JobOutcome out;
+  const bool timed = opts.stats != nullptr || telemetry::enabled();
+  const auto jt0 = timed ? WallClock::now() : WallClock::time_point{};
   const std::string context = "job " + std::to_string(seq);
   std::string id;
   try {
@@ -114,7 +120,36 @@ JobOutcome run_job(long seq, const std::string& line, const ServeOptions& opts) 
   } catch (...) {
     out.record = error_record(seq, id, "unknown error");
   }
+  if (timed) out.ms = ms_since(jt0);
   return out;
+}
+
+// One NDJSON stats line ({"stats": {...}}). `lat` holds every timed job's
+// latency so far; p50/p99 via nth_element on a scratch copy.
+void emit_stats(std::ostream& os, const ServeStats& stats, std::size_t queue_depth,
+                const std::vector<double>& lat, double elapsed_ms) {
+  auto pct = [&](double q) {
+    if (lat.empty()) return 0.0;
+    std::vector<double> v(lat);
+    const auto k = static_cast<std::ptrdiff_t>(q * static_cast<double>(v.size() - 1));
+    std::nth_element(v.begin(), v.begin() + k, v.end());
+    return v[static_cast<std::size_t>(k)];
+  };
+  char num[64];
+  os << "{\"stats\": {\"jobs\": " << stats.jobs << ", \"failed\": " << stats.failed
+     << ", \"audit_violations\": " << stats.audit_violations
+     << ", \"queue_depth\": " << queue_depth;
+  std::snprintf(num, sizeof num, "%.3f", elapsed_ms);
+  os << ", \"elapsed_ms\": " << num;
+  std::snprintf(num, sizeof num, "%.3f",
+                elapsed_ms > 0 ? 1000.0 * static_cast<double>(stats.jobs) / elapsed_ms
+                               : 0.0);
+  os << ", \"jobs_per_s\": " << num;
+  std::snprintf(num, sizeof num, "%.3f", pct(0.50));
+  os << ", \"p50_ms\": " << num;
+  std::snprintf(num, sizeof num, "%.3f", pct(0.99));
+  os << ", \"p99_ms\": " << num << "}}\n";
+  os.flush();
 }
 
 }  // namespace
@@ -125,6 +160,11 @@ ServeStats serve(std::istream& in, std::ostream& out, const ServeOptions& opts) 
   exec::ThreadPool pool(jobs);
   ServeStats stats;
 
+  const auto t0 = WallClock::now();
+  std::vector<double> latencies;
+  long last_stats_jobs = 0;
+  const long stats_every = std::max<long>(1, opts.stats_every);
+
   std::vector<std::pair<long, std::string>> batch;
   std::vector<JobOutcome> outcomes;
   auto flush = [&]() {
@@ -134,14 +174,31 @@ ServeStats serve(std::istream& in, std::ostream& out, const ServeOptions& opts) 
       const auto& [seq, line] = batch[static_cast<std::size_t>(i)];
       outcomes[static_cast<std::size_t>(i)] = run_job(seq, line, opts);
     });
+    static const telemetry::Counter c_jobs("serve.jobs");
+    static const telemetry::Counter c_failed("serve.failed");
+    static const telemetry::Counter c_violations("serve.violations");
     for (const JobOutcome& o : outcomes) {
       out << o.record << '\n';
       ++stats.jobs;
       if (!o.ok) ++stats.failed;
       stats.audit_violations += o.audit_violations;
+      c_jobs.inc();
+      if (!o.ok) c_failed.inc();
+      c_violations.add(static_cast<std::uint64_t>(o.audit_violations));
+      if (telemetry::enabled()) {
+        static const telemetry::Histogram h_job("serve.job_ns", telemetry::Kind::Time);
+        h_job.observe(static_cast<std::uint64_t>(o.ms * 1e6));
+      }
+      if (opts.stats != nullptr) latencies.push_back(o.ms);
     }
     out.flush();
     batch.clear();
+    // Stats ride the window boundary (a quiescent point — the pool joined),
+    // never the result stream.
+    if (opts.stats != nullptr && stats.jobs - last_stats_jobs >= stats_every) {
+      last_stats_jobs = stats.jobs;
+      emit_stats(*opts.stats, stats, batch.size(), latencies, ms_since(t0));
+    }
   };
 
   long seq = 0;
@@ -152,6 +209,9 @@ ServeStats serve(std::istream& in, std::ostream& out, const ServeOptions& opts) 
     if (static_cast<int>(batch.size()) >= window) flush();
   }
   flush();
+  // Final summary line, cadence or not: a consumer tailing the stats stream
+  // always sees the end-of-stream totals.
+  if (opts.stats != nullptr) emit_stats(*opts.stats, stats, 0, latencies, ms_since(t0));
   return stats;
 }
 

@@ -46,6 +46,15 @@ struct ServeOptions {
   // Attach the invariant Auditor to every job that does not say otherwise.
   bool audit = false;
   long audit_every = 1;
+  // Periodic server stats: when non-null, one NDJSON line (throughput,
+  // queue depth, per-job p50/p99 latency) is written to *stats after every
+  // `stats_every` completed jobs and once at end of stream. Deliberately a
+  // stream of its own: stats carry wall-derived rates, so they must never
+  // share `out` — the result stream stays a pure function of the input
+  // whether or not stats are enabled (tests/workload/serve_test.cpp pins
+  // this byte-for-byte).
+  std::ostream* stats = nullptr;
+  long stats_every = 64;
 };
 
 struct ServeStats {

@@ -1,0 +1,142 @@
+// Trace forensics (pm_diff's engine): self-diff cleanliness, engine
+// invariance, exact first-divergence reporting on hand-divergent traces,
+// and truncation/outcome divergence classes.
+#include "audit/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "audit/trace.h"
+#include "pipeline/pipeline.h"
+#include "shapegen/shapegen.h"
+#include "util/snapshot.h"
+
+namespace pm::audit {
+namespace {
+
+using pipeline::Pipeline;
+using pipeline::RunContext;
+using pipeline::SeedPolicy;
+
+// Records one full-pipeline run over the given shape and returns the trace
+// (the trace_test.cpp recorder, plus seed/round knobs for injecting
+// controlled divergence).
+Snapshot record(const grid::Shape& shape, std::uint64_t seed, int threads = 0,
+                long max_rounds = 0) {
+  RunContext ctx;
+  ctx.initial = shape;
+  ctx.seeds = SeedPolicy::unified(seed);
+  ctx.threads = threads;
+  if (max_rounds > 0) ctx.max_rounds = max_rounds;
+  Pipeline pipe = Pipeline::standard(std::move(ctx),
+                                     {.use_boundary_oracle = true, .reconnect = false});
+  TraceWriter writer;
+  writer.attach(pipe);
+  const pipeline::PipelineOutcome out = pipe.run();
+  writer.finish(out, pipe.context());
+  return writer.snapshot();
+}
+
+TEST(TraceDiffTest, SelfDiffIsClean) {
+  const Snapshot trace = record(shapegen::swiss_cheese(4, 2, 4), 8);
+  const TraceDiff d = diff_traces(trace, trace);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_FALSE(d.diverged);
+  EXPECT_TRUE(d.config_note.empty());
+  EXPECT_GT(d.rounds_compared, 0);
+  EXPECT_NE(format_diff(d).find("traces identical"), std::string::npos);
+}
+
+TEST(TraceDiffTest, RepeatRunOfSameSpecIsClean) {
+  const Snapshot a = record(shapegen::random_blob(120, 31), 8);
+  const Snapshot b = record(shapegen::random_blob(120, 31), 8);
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_FALSE(d.diverged) << format_diff(d);
+}
+
+TEST(TraceDiffTest, SequentialVersusParallelEngineIsCleanWithConfigNote) {
+  // Trajectories are engine-invariant: only the header's thread count may
+  // differ, never a frame.
+  const Snapshot seq = record(shapegen::random_blob(150, 21), 8, /*threads=*/0);
+  const Snapshot par = record(shapegen::random_blob(150, 21), 8, /*threads=*/2);
+  const TraceDiff d = diff_traces(seq, par);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_FALSE(d.diverged) << format_diff(d);
+  EXPECT_NE(d.config_note.find("threads: 0 vs 2"), std::string::npos) << d.config_note;
+}
+
+TEST(TraceDiffTest, DifferentSeedsReportExactFirstDivergence) {
+  // Two seeds on the same shape diverge as soon as the erosion lottery
+  // first disagrees; the diff must pin the exact round, a concrete
+  // particle (or erosion set), and a named field.
+  const Snapshot a = record(shapegen::random_blob(120, 31), 8);
+  const Snapshot b = record(shapegen::random_blob(120, 31), 9);
+  const TraceDiff d = diff_traces(a, b);
+  ASSERT_TRUE(d.comparable);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_NE(d.config_note.find("seed: 8 vs 9"), std::string::npos) << d.config_note;
+  EXPECT_GE(d.round, 1) << "a per-round divergence, not an outcome-only one";
+  EXPECT_FALSE(d.field.empty());
+  EXPECT_FALSE(d.detail.empty());
+  // Every per-round field hangs off a particle except the round-aggregate
+  // ones, which carry their own evidence instead.
+  if (d.field != "moves" && d.field != "eroded" && d.field != "stage") {
+    EXPECT_GE(d.particle, 0) << d.field;
+  }
+  const std::string report = format_diff(d);
+  EXPECT_NE(report.find("first divergence at round"), std::string::npos) << report;
+
+  // The first divergence is an ordered fact: swapping the inputs must find
+  // the same round, particle, and field (with the sides flipped in detail).
+  const TraceDiff r = diff_traces(b, a);
+  EXPECT_EQ(r.round, d.round);
+  EXPECT_EQ(r.particle, d.particle);
+  EXPECT_EQ(r.field, d.field);
+  EXPECT_EQ(r.rounds_compared, d.rounds_compared);
+}
+
+TEST(TraceDiffTest, TruncatedRunDivergesAtTheCutBoundary) {
+  // Same spec, one run capped early: every pre-cut frame matches, then the
+  // capped trace's final frame shows its stage failing (done) where the
+  // full run keeps going — a "stage" divergence pinned to the cut round.
+  const Snapshot full = record(shapegen::swiss_cheese(4, 2, 4), 8);
+  const Snapshot cut = record(shapegen::swiss_cheese(4, 2, 4), 8, 0, /*max_rounds=*/5);
+  const TraceDiff d = diff_traces(full, cut);
+  ASSERT_TRUE(d.comparable);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.field, "stage");
+  EXPECT_EQ(d.round, 6) << "the first round past the 5-round cap";
+  EXPECT_EQ(d.rounds_compared, 6) << "five clean frames, then the boundary frame";
+  EXPECT_NE(d.detail.find("(done)"), std::string::npos) << d.detail;
+  EXPECT_NE(d.config_note.find("max_rounds"), std::string::npos) << d.config_note;
+}
+
+TEST(TraceDiffTest, DifferentShapesAreNotComparable) {
+  const Snapshot a = record(shapegen::hexagon(3), 8);
+  const Snapshot b = record(shapegen::hexagon(4), 8);
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_FALSE(d.comparable);
+  EXPECT_FALSE(d.diverged) << "no frame comparison happens across shapes";
+  EXPECT_NE(d.config_note.find("initial shape"), std::string::npos) << d.config_note;
+  EXPECT_NE(format_diff(d).find("not comparable"), std::string::npos);
+}
+
+TEST(TraceDiffTest, SurvivesSerializationRoundTrip) {
+  // pm_diff works on files: serialize -> parse must not perturb the diff.
+  const Snapshot a = record(shapegen::annulus(6, 3), 8);
+  const Snapshot b = record(shapegen::annulus(6, 3), 9);
+  const Snapshot a2 = Snapshot::parse(a.serialize());
+  const Snapshot b2 = Snapshot::parse(b.serialize());
+  const TraceDiff d1 = diff_traces(a, b);
+  const TraceDiff d2 = diff_traces(a2, b2);
+  EXPECT_EQ(d1.diverged, d2.diverged);
+  EXPECT_EQ(d1.round, d2.round);
+  EXPECT_EQ(d1.particle, d2.particle);
+  EXPECT_EQ(d1.field, d2.field);
+  EXPECT_EQ(format_diff(d1), format_diff(d2));
+}
+
+}  // namespace
+}  // namespace pm::audit

@@ -1,0 +1,156 @@
+// The round-budget watchdog: a stage that overruns its paper envelope while
+// still running (the livelock signature) must trip a violation carrying the
+// forensic dump — last-K audited rounds of activity plus a count-kind
+// telemetry snapshot — exactly once per stage visit, and the trip state must
+// survive a checkpoint round-trip.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "audit/audit.h"
+#include "shapegen/shapegen.h"
+#include "telemetry/telemetry.h"
+#include "util/snapshot.h"
+
+namespace pm::audit {
+namespace {
+
+// A minimal static configuration: the watchdog only reads moves() for its
+// ring buffer — everything else is scenery.
+class StubView : public AuditView {
+ public:
+  [[nodiscard]] int particle_count() const override { return 7; }
+  [[nodiscard]] core::Status status(amoebot::ParticleId) const override {
+    return core::Status::Undecided;
+  }
+  [[nodiscard]] bool expanded(amoebot::ParticleId) const override { return false; }
+  [[nodiscard]] grid::Node head(amoebot::ParticleId) const override { return {}; }
+  [[nodiscard]] bool occupied(grid::Node) const override { return true; }
+  [[nodiscard]] int expanded_count() const override { return 0; }
+  [[nodiscard]] int component_count() const override { return 1; }
+  [[nodiscard]] long long moves() const override { return moves_; }
+
+  long long moves_ = 0;
+};
+
+// An auditor holding only the budget invariant, with the envelope squeezed
+// to `slack` rounds (factor 0 voids the c * (L_max + D) term).
+std::unique_ptr<Auditor> tiny_budget_auditor(long slack) {
+  Options opts;
+  opts.budget_factor = 0.0;
+  opts.budget_slack = slack;
+  auto auditor = std::make_unique<Auditor>(opts);
+  auditor->add(std::make_unique<RoundBudgetInvariant>());
+  auditor->begin(shapegen::hexagon(1));
+  return auditor;
+}
+
+TEST(WatchdogTest, SyntheticLivelockTripsOnceWithForensicDump) {
+  auto auditor = tiny_budget_auditor(/*slack=*/3);
+  StubView view;
+  // An OBD stage spinning well past its 3-round envelope — the synthetic
+  // version of the comb(6,5) livelock.
+  for (int r = 0; r < 12; ++r) {
+    view.moves_ = r;  // visible in the ring dump
+    auditor->observe_round(view, pipeline::StageKind::Obd, 0, "obd", false);
+  }
+  ASSERT_EQ(auditor->violations().size(), 1u) << "one dump per stage visit";
+  const Violation& v = auditor->violations().front();
+  EXPECT_EQ(v.invariant, "round_budget");
+  EXPECT_EQ(v.stage, "obd");
+  EXPECT_EQ(v.round, 4) << "first round past the 3-round envelope";
+  EXPECT_NE(v.detail.find("watchdog"), std::string::npos) << v.detail;
+  EXPECT_NE(v.detail.find("exceed the envelope 3"), std::string::npos) << v.detail;
+  // The activation summary: the trip round itself is the newest ring entry.
+  EXPECT_NE(v.detail.find("last 4 audited rounds"), std::string::npos) << v.detail;
+  EXPECT_NE(v.detail.find("[round 4: moves 3, eroded 0]"), std::string::npos) << v.detail;
+  // The telemetry snapshot (count-kind only, so the dump itself is
+  // deterministic for any thread count).
+  EXPECT_NE(v.detail.find("telemetry:"), std::string::npos) << v.detail;
+  EXPECT_NE(v.detail.find("audit.rounds_observed="), std::string::npos) << v.detail;
+  EXPECT_EQ(v.detail.find("_ns"), std::string::npos)
+      << "time-kind metrics must stay out of the dump: " << v.detail;
+}
+
+TEST(WatchdogTest, StageChangeRearmsTheWatchdog) {
+  auto auditor = tiny_budget_auditor(/*slack=*/2);
+  StubView view;
+  auto spin = [&](pipeline::StageKind kind, const char* name, int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      auditor->observe_round(view, kind, 0, name, false);
+    }
+  };
+  spin(pipeline::StageKind::Obd, "obd", 6);      // trips once
+  spin(pipeline::StageKind::Dle, "dle", 6);      // new stage: trips again
+  spin(pipeline::StageKind::Collect, "collect", 1);  // within budget: quiet
+  ASSERT_EQ(auditor->violations().size(), 2u);
+  EXPECT_EQ(auditor->violations()[0].stage, "obd");
+  EXPECT_EQ(auditor->violations()[1].stage, "dle");
+}
+
+TEST(WatchdogTest, BaselineStagesAreExempt) {
+  auto auditor = tiny_budget_auditor(/*slack=*/1);
+  StubView view;
+  for (int r = 0; r < 10; ++r) {
+    auditor->observe_round(view, pipeline::StageKind::Baseline, 0, "baseline", false);
+  }
+  EXPECT_TRUE(auditor->clean()) << auditor->report();
+}
+
+TEST(WatchdogTest, RingBufferKeepsOnlyTheNewestRounds) {
+  auto auditor = tiny_budget_auditor(/*slack=*/20);
+  StubView view;
+  for (int r = 0; r < 21; ++r) {
+    view.moves_ = 100 + r;
+    auditor->observe_round(view, pipeline::StageKind::Dle, 0, "dle", false);
+  }
+  ASSERT_EQ(auditor->violations().size(), 1u);
+  const std::string& detail = auditor->violations().front().detail;
+  EXPECT_NE(detail.find("last 8 audited rounds"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("[round 21: moves 120"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("[round 14: moves 113"), std::string::npos) << detail;
+  EXPECT_EQ(detail.find("[round 13:"), std::string::npos)
+      << "older rounds fell out of the ring: " << detail;
+}
+
+TEST(WatchdogTest, TripStateSurvivesCheckpointRoundTrip) {
+  // Kill-and-resume across the trip boundary: a restored auditor must not
+  // re-dump for a stage visit that already tripped, and one restored
+  // mid-stage must still trip at the same absolute round.
+  auto source = tiny_budget_auditor(/*slack=*/3);
+  StubView view;
+  for (int r = 0; r < 2; ++r) {
+    source->observe_round(view, pipeline::StageKind::Obd, 0, "obd", false);
+  }
+  Snapshot mid;
+  source->save(mid);
+
+  auto resumed = tiny_budget_auditor(/*slack=*/3);
+  resumed->restore(mid);
+  for (int r = 0; r < 4; ++r) {
+    resumed->observe_round(view, pipeline::StageKind::Obd, 0, "obd", false);
+  }
+  ASSERT_EQ(resumed->violations().size(), 1u);
+  EXPECT_EQ(resumed->violations().front().round, 4)
+      << "the envelope counts rounds from the stage start, across the resume";
+
+  // Past the trip: a checkpoint taken after the dump must restore as
+  // already-tripped.
+  for (int r = 0; r < 4; ++r) {
+    source->observe_round(view, pipeline::StageKind::Obd, 0, "obd", false);
+  }
+  ASSERT_EQ(source->violations().size(), 1u);
+  Snapshot after;
+  source->save(after);
+  auto quiet = tiny_budget_auditor(/*slack=*/3);
+  quiet->restore(after);
+  for (int r = 0; r < 5; ++r) {
+    quiet->observe_round(view, pipeline::StageKind::Obd, 0, "obd", false);
+  }
+  EXPECT_TRUE(quiet->clean()) << "an already-dumped stage stays quiet: "
+                              << quiet->report();
+}
+
+}  // namespace
+}  // namespace pm::audit

@@ -114,8 +114,12 @@ TEST(ScenarioSerialization, JsonContainsSuiteAndRows) {
   const std::vector<Result> results = {run_scenario(suite.specs[0])};
   const std::string json = to_json(suite, results);
   EXPECT_NE(json.find("\"suite\": \"demo\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"workload_hash\": \""), std::string::npos);
+  // v5: the telemetry block is always present (null without --metrics) and
+  // every row carries the peak-RSS sample.
+  EXPECT_NE(json.find("\"telemetry\": {\"metrics\": null}"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_kb\": "), std::string::npos);
   EXPECT_NE(json.find("\"fault_seed\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"audit_violations\": -1"), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\": \""), std::string::npos);

@@ -1,0 +1,59 @@
+// The compile-out flavor: defining PM_TELEMETRY_DISABLED before including
+// telemetry.h must select the constexpr no-op stubs, so instrumented call
+// sites type-check and cost nothing. Linking against the live pm_core is
+// safe by design — the stub lives in a distinct inline namespace, so these
+// calls never collide with the real registry symbols. This is the same
+// header view every translation unit gets under -DPM_TELEMETRY=OFF.
+#define PM_TELEMETRY_DISABLED 1
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace pm::telemetry {
+namespace {
+
+// The whole point: handles are constexpr-constructible and the ops are
+// no-ops, so the optimizer deletes the instrumentation entirely.
+constexpr Counter kCounter("off.counter");
+constexpr Gauge kGauge("off.gauge");
+constexpr Histogram kHistogram("off.hist", Kind::Time);
+
+TEST(TelemetryOffTest, InstrumentSitesCompileToNoOps) {
+  kCounter.add(5);
+  kCounter.inc();
+  kGauge.record_max(7);
+  kHistogram.observe(123);
+  add_count("off.byname", 1);
+  observe_value("off.byname.hist", 2);
+  gauge_max("off.byname.gauge", 3);
+  SUCCEED();  // compiling (and doing nothing) is the assertion
+}
+
+TEST(TelemetryOffTest, LevelIsPinnedOff) {
+  set_level(2);  // a stub: cannot turn anything on
+  static_assert(level() == 0);
+  static_assert(!enabled());
+  static_assert(!detail());
+}
+
+TEST(TelemetryOffTest, HarvestIsEmptyAndResetIsSafe) {
+  kCounter.add(1);
+  EXPECT_TRUE(harvest().empty());
+  reset();
+  EXPECT_TRUE(harvest().empty());
+}
+
+TEST(TelemetryOffTest, SerializersStillWork) {
+  // Serialization is shared infrastructure (pm_diff, artifact readers use
+  // it); it must stay available even when collection is compiled out.
+  MetricValue m;
+  m.name = "off.sample";
+  m.value = 9;
+  const std::string json = to_json_object(m, /*with_time=*/true);
+  EXPECT_NE(json.find("\"name\": \"off.sample\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\": 9"), std::string::npos) << json;
+  EXPECT_GE(peak_rss_kb(), 0);
+}
+
+}  // namespace
+}  // namespace pm::telemetry

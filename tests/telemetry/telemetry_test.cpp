@@ -1,0 +1,255 @@
+// The telemetry registry: counter/gauge/histogram semantics, power-of-two
+// bucketing, shard-merge determinism across thread counts and interleavings,
+// the count-vs-time serialization contract, and peak-RSS sampling.
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pm::telemetry {
+namespace {
+
+const MetricValue* find(const std::vector<MetricValue>& metrics, const std::string& name) {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+// Every test starts from a clean slate; registrations persist (slots are
+// process-wide), values do not.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(TelemetryTest, CountersAccumulateAndHarvestSorted) {
+  static const Counter a("test.alpha");
+  static const Counter b("test.beta");
+  b.add(5);
+  a.inc();
+  a.add(2);
+  const auto metrics = harvest();
+  const MetricValue* ma = find(metrics, "test.alpha");
+  const MetricValue* mb = find(metrics, "test.beta");
+  ASSERT_NE(ma, nullptr);
+  ASSERT_NE(mb, nullptr);
+  EXPECT_EQ(ma->value, 3u);
+  EXPECT_EQ(mb->value, 5u);
+  EXPECT_EQ(ma->type, Type::Counter);
+  EXPECT_EQ(ma->kind, Kind::Count);
+  // Name-sorted: the harvest order is part of the byte-diffable contract.
+  EXPECT_TRUE(std::is_sorted(metrics.begin(), metrics.end(),
+                             [](const MetricValue& x, const MetricValue& y) {
+                               return x.name < y.name;
+                             }));
+}
+
+TEST_F(TelemetryTest, GaugeMergesByMaximum) {
+  static const Gauge g("test.gauge");
+  g.record_max(7);
+  g.record_max(3);
+  g.record_max(11);
+  g.record_max(2);
+  const auto metrics = harvest();
+  const MetricValue* m = find(metrics, "test.gauge");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->type, Type::Gauge);
+  EXPECT_EQ(m->value, 11u);
+}
+
+TEST_F(TelemetryTest, PowerOfTwoBucketBoundaries) {
+  EXPECT_EQ(bucket_index(0), 0);
+  EXPECT_EQ(bucket_index(1), 1);
+  EXPECT_EQ(bucket_index(2), 2);
+  EXPECT_EQ(bucket_index(3), 2);
+  EXPECT_EQ(bucket_index(4), 3);
+  EXPECT_EQ(bucket_index(7), 3);
+  EXPECT_EQ(bucket_index(8), 4);
+  EXPECT_EQ(bucket_index((1ull << 63) - 1), 63);
+  EXPECT_EQ(bucket_index(1ull << 63), 64);
+  EXPECT_EQ(bucket_index(~0ull), 64);
+  static_assert(kHistogramBuckets == 65);
+}
+
+TEST_F(TelemetryTest, HistogramCountsSumsAndBuckets) {
+  static const Histogram h("test.hist");
+  for (const std::uint64_t v : {0ull, 1ull, 1ull, 3ull, 8ull}) h.observe(v);
+  const auto metrics = harvest();
+  const MetricValue* m = find(metrics, "test.hist");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->type, Type::Histogram);
+  EXPECT_EQ(m->count, 5u);
+  EXPECT_EQ(m->sum, 13u);
+  // buckets: [0]=1 (value 0), [1]=2 (two 1s), [2]=1 (value 3), [3]=0,
+  // [4]=1 (value 8); trailing zeros trimmed.
+  const std::vector<std::uint64_t> expect = {1, 2, 1, 0, 1};
+  EXPECT_EQ(m->buckets, expect);
+}
+
+TEST_F(TelemetryTest, ShardMergeIsThreadCountAndOrderInvariant) {
+  // The same logical workload split across 1, 2, 5, and 13 threads must
+  // harvest identically: counters and buckets merge by commutative sums.
+  constexpr std::uint64_t kTotal = 13 * 5 * 2 * 3 * 7;  // divisible by every split below
+  std::vector<MetricValue> reference;
+  for (const int threads : {1, 2, 5, 13}) {
+    reset();
+    const std::uint64_t per = kTotal / static_cast<std::uint64_t>(threads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      // Thread t covers the global index range [t*per, (t+1)*per): the
+      // multiset of observed values is the same for every split.
+      workers.emplace_back([t, per] {
+        static const Counter c("test.merge.count");
+        static const Histogram h("test.merge.hist");
+        static const Gauge g("test.merge.gauge");
+        const std::uint64_t lo = static_cast<std::uint64_t>(t) * per;
+        for (std::uint64_t i = lo; i < lo + per; ++i) {
+          c.inc();
+          h.observe(i % 9);
+          g.record_max(i % 101);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const auto metrics = harvest();
+    const MetricValue* c = find(metrics, "test.merge.count");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, kTotal) << threads << " threads";
+    if (reference.empty()) {
+      reference = metrics;
+    } else {
+      ASSERT_EQ(metrics.size(), reference.size()) << threads << " threads";
+      for (std::size_t i = 0; i < metrics.size(); ++i) {
+        EXPECT_EQ(metrics[i].name, reference[i].name);
+        EXPECT_EQ(metrics[i].value, reference[i].value) << metrics[i].name;
+        EXPECT_EQ(metrics[i].count, reference[i].count) << metrics[i].name;
+        EXPECT_EQ(metrics[i].sum, reference[i].sum) << metrics[i].name;
+        EXPECT_EQ(metrics[i].buckets, reference[i].buckets) << metrics[i].name;
+      }
+    }
+  }
+}
+
+TEST_F(TelemetryTest, HarvestSurvivesWriterThreadExit) {
+  // A thread's shard must outlive the thread: totals written by an exited
+  // thread are merged into the retired store, not lost.
+  std::thread([] {
+    static const Counter c("test.retired");
+    c.add(42);
+  }).join();
+  const auto metrics = harvest();
+  const MetricValue* m = find(metrics, "test.retired");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 42u);
+}
+
+TEST_F(TelemetryTest, ResetZeroesValuesButKeepsRegistrations) {
+  static const Counter c("test.reset");
+  c.add(9);
+  reset();
+  c.add(4);  // the handle's slot survives the reset
+  const auto metrics = harvest();
+  const MetricValue* m = find(metrics, "test.reset");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 4u);
+}
+
+TEST_F(TelemetryTest, ByNameSlowPathMatchesHandles) {
+  add_count("test.byname", 3);
+  add_count("test.byname", 4);
+  observe_value("test.byname.hist", 6);
+  gauge_max("test.byname.gauge", 17);
+  const auto metrics = harvest();
+  EXPECT_EQ(find(metrics, "test.byname")->value, 7u);
+  EXPECT_EQ(find(metrics, "test.byname.hist")->count, 1u);
+  EXPECT_EQ(find(metrics, "test.byname.gauge")->value, 17u);
+}
+
+TEST_F(TelemetryTest, TimeKindIsScrubbedWithoutWallCountKindSurvives) {
+  static const Counter wall("test.scrub.wall_ns", Kind::Time);
+  static const Histogram lat("test.scrub.lat_ns", Kind::Time);
+  static const Counter rounds("test.scrub.rounds");
+  wall.add(123456);
+  lat.observe(999);
+  lat.observe(1999);
+  rounds.add(2);
+  const auto metrics = harvest();
+
+  const std::string timed_json = to_json_object(*find(metrics, "test.scrub.lat_ns"),
+                                                /*with_time=*/true);
+  EXPECT_NE(timed_json.find("\"sum\": 2998"), std::string::npos) << timed_json;
+
+  // with_time=false: values zeroed, the (deterministic) observation count
+  // survives, and the counter keeps nothing.
+  const std::string scrubbed = to_json_object(*find(metrics, "test.scrub.lat_ns"),
+                                              /*with_time=*/false);
+  EXPECT_NE(scrubbed.find("\"count\": 2"), std::string::npos) << scrubbed;
+  EXPECT_NE(scrubbed.find("\"sum\": 0"), std::string::npos) << scrubbed;
+  EXPECT_NE(scrubbed.find("\"buckets\": []"), std::string::npos) << scrubbed;
+  const std::string wall_scrubbed = to_json_object(*find(metrics, "test.scrub.wall_ns"),
+                                                   /*with_time=*/false);
+  EXPECT_NE(wall_scrubbed.find("\"value\": 0"), std::string::npos) << wall_scrubbed;
+  // Count-kind is never scrubbed.
+  const std::string counted = to_json_object(*find(metrics, "test.scrub.rounds"),
+                                             /*with_time=*/false);
+  EXPECT_NE(counted.find("\"value\": 2"), std::string::npos) << counted;
+}
+
+TEST_F(TelemetryTest, NdjsonTagsEveryLineWithTheLabel) {
+  add_count("test.ndjson.a", 1);
+  add_count("test.ndjson.b", 2);
+  const std::string nd = to_ndjson(harvest(), "suite-x", /*with_time=*/true);
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = nd.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_GE(lines, 2u);
+  EXPECT_NE(nd.find("{\"label\": \"suite-x\", \"name\": \"test.ndjson.a\""),
+            std::string::npos)
+      << nd;
+}
+
+TEST_F(TelemetryTest, RuntimeLevelsGateEnabledAndDetail) {
+  EXPECT_EQ(level(), 0);
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(detail());
+  set_level(1);
+  EXPECT_TRUE(enabled());
+  EXPECT_FALSE(detail());
+  set_level(2);
+  EXPECT_TRUE(detail());
+  set_level(0);
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(TelemetryTest, PeakRssIsPositiveOnLinux) {
+#if defined(__linux__)
+  const long kb = peak_rss_kb();
+  EXPECT_GT(kb, 0);
+  // Monotone: the high-water mark cannot shrink.
+  EXPECT_GE(peak_rss_kb(), kb);
+#else
+  EXPECT_GE(peak_rss_kb(), 0);
+#endif
+}
+
+TEST_F(TelemetryTest, MismatchedReregistrationFailsLoudly) {
+  static const Counter c("test.conflict");
+  (void)c;
+  EXPECT_THROW(Histogram("test.conflict"), CheckError);
+  EXPECT_THROW(Counter("test.conflict", Kind::Time), CheckError);
+}
+
+}  // namespace
+}  // namespace pm::telemetry

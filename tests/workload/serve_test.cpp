@@ -154,6 +154,36 @@ TEST(Serve, ExplicitAuditFalseWinsRegardlessOfKeyOrder) {
   EXPECT_NE(cadence_only.find("\"audit_report\": []"), std::string::npos);
 }
 
+TEST(Serve, StatsStreamLeavesResultStreamByteDeterministic) {
+  // The ISSUE-pinned regression: enabling the stats side-channel must not
+  // perturb a single byte of the result stream — same 510-job acceptance
+  // workload, compared against the no-stats reference across job counts.
+  const std::string stream = big_stream(510);
+  const std::string reference = run_stream(stream, {.jobs = 1});
+  for (const int jobs : {1, 3}) {
+    std::ostringstream stats_stream;
+    ServeOptions opts;
+    opts.jobs = jobs;
+    opts.stats = &stats_stream;
+    opts.stats_every = 100;
+    ServeStats sn;
+    const std::string rn = run_stream(stream, opts, &sn);
+    EXPECT_EQ(rn, reference) << "--stats perturbed the result stream at --jobs "
+                             << jobs;
+    EXPECT_EQ(sn.jobs, 510);
+    // The stats stream itself: cadence lines plus the final summary, each a
+    // one-object NDJSON line with the totals. The cadence re-arms from the
+    // last emission's job count (window granularity), so wide windows emit
+    // slightly fewer lines — at least floor(510 / (100 + window)) + final.
+    const std::string stats = stats_stream.str();
+    EXPECT_GE(std::count(stats.begin(), stats.end(), '\n'), 510 / (100 + jobs * 4) + 1);
+    EXPECT_NE(stats.find("{\"stats\": {\"jobs\": "), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"jobs\": 510"), std::string::npos)
+        << "final summary carries end-of-stream totals: " << stats;
+    EXPECT_NE(stats.find("\"p99_ms\": "), std::string::npos) << stats;
+  }
+}
+
 TEST(Serve, WallClockFieldsAreZeroUnlessRequested) {
   const std::string stream =
       "{\"family\": \"hexagon\", \"p1\": 3, \"algo\": \"dle_oracle\", \"seed\": 5}\n";
