@@ -1,6 +1,7 @@
 #include "audit/audit.h"
 
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "audit/node_codec.h"
@@ -9,6 +10,7 @@
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/timing.h"
+#include "zoo/zoo.h"
 
 namespace pm::audit {
 
@@ -25,11 +27,24 @@ namespace {
 constexpr double kObdBudgetC = 512.0;
 constexpr double kDleBudgetC = 4.0;
 constexpr double kCollectBudgetC = 64.0;
+// Algorithm-zoo protocols, keyed by the stage's config word (the protocol
+// id), calibrated on the le_zoo suite like the paper stages above: observed
+// worst cases over the 90-row sweep are ~12.6x (Daymude, comb(10,6)) and
+// ~13.7x (Emek–Kutten, comb(10,6)). Daymude et al. is expected O(L log L)
+// but randomized, so its tail gets extra slack; the Emek–Kutten tournament
+// re-compares after every absorption, which can degrade toward quadratic
+// in ring length on adversarial count strings.
+constexpr double kZooDaymudeBudgetC = 96.0;
+constexpr double kZooEkBudgetC = 64.0;
 
 constexpr std::uint64_t kDlePullBit = 1;  // DleStage::config_word()
 
 bool is_pull_dle(StageKind kind, std::uint64_t config) {
   return kind == StageKind::Dle && (config & kDlePullBit) != 0;
+}
+
+double zoo_budget_c(std::uint64_t config) {
+  return config == zoo::kZooConfigEk ? kZooEkBudgetC : kZooDaymudeBudgetC;
 }
 
 using codec::pack_node;
@@ -88,8 +103,9 @@ void ConnectivityInvariant::round(const AuditView& view, const RoundInfo& info) 
   // DLE rounds are exempt for both variants: plain DLE disconnects by
   // design, and the pull ablation only reduces splits (no follower in
   // reach => the release still happens; the registry's thin annuli record
-  // max_components up to 10 for it).
-  if (info.stage != StageKind::Obd) return;
+  // max_components up to 10 for it). Zoo stages are stationary like OBD,
+  // so connectivity must hold throughout them too.
+  if (info.stage != StageKind::Obd && info.stage != StageKind::Zoo) return;
   // Connectivity can only change when a movement happened; OBD never moves,
   // so its whole stage costs one BFS.
   if (view.moves() == checked_moves_) return;
@@ -275,7 +291,8 @@ void ObdRingInvariant::state_restore(const Snapshot& snap) {
 // --- UniqueLeaderInvariant -------------------------------------------------
 
 void UniqueLeaderInvariant::round(const AuditView& view, const RoundInfo& info) {
-  if (info.stage != StageKind::Dle) return;  // statuses only change inside DLE
+  // Statuses only change inside DLE and the zoo's competitor elections.
+  if (info.stage != StageKind::Dle && info.stage != StageKind::Zoo) return;
   int leaders = 0;
   const int n = view.particle_count();
   for (ParticleId p = 0; p < n; ++p) {
@@ -295,7 +312,8 @@ void TerminationInvariant::round(const AuditView& view, const RoundInfo& info) {
 }
 
 void TerminationInvariant::finish(const AuditView* view, const FinishInfo& info) {
-  if (!info.completed || !info.has_system || !info.saw_dle || view == nullptr) return;
+  if (!info.completed || !info.has_system || view == nullptr) return;
+  if (!info.saw_dle && !info.saw_zoo) return;
   int leaders = 0;
   int undecided = 0;
   const int n = view->particle_count();
@@ -321,8 +339,9 @@ void TerminationInvariant::finish(const AuditView* view, const FinishInfo& info)
               "reported leader " + std::to_string(info.leader) + " lacks Leader status");
     }
     // Without Collect the leader never moves after election; its head must
-    // still be the point DLE finished on.
-    if (info.dle_succeeded && !info.collect_succeeded &&
+    // still be the point DLE finished on. Zoo elections are stationary
+    // throughout, so the same check applies unconditionally to them.
+    if (((info.dle_succeeded && !info.collect_succeeded) || info.zoo_succeeded) &&
         !(view->head(info.leader) == info.leader_node)) {
       std::ostringstream os;
       os << "leader moved from its election node " << info.leader_node << " to "
@@ -346,6 +365,10 @@ void RoundBudgetInvariant::start(const AuditContext& ctx) {
 }
 
 void RoundBudgetInvariant::round(const AuditView& view, const RoundInfo& info) {
+  // Baselines carry no paper envelope — and run without a particle system,
+  // so even the forensics ring must not consult the view (le_zoo audits
+  // baseline_contest rows alongside the engine- and zoo-driven ones).
+  if (info.stage == StageKind::Baseline) return;
   if (!have_stage_ || stage_kind_ != info.stage || stage_config_ != info.stage_config) {
     have_stage_ = true;
     stage_kind_ = info.stage;
@@ -364,6 +387,7 @@ void RoundBudgetInvariant::round(const AuditView& view, const RoundInfo& info) {
     case StageKind::Dle: c = kDleBudgetC; break;
     case StageKind::Collect: c = kCollectBudgetC; break;
     case StageKind::Baseline: return;  // baselines carry no paper envelope
+    case StageKind::Zoo: c = zoo_budget_c(info.stage_config); break;
   }
   if (is_pull_dle(info.stage, info.stage_config)) return;  // O(D_A^2) by design
   const long limit = static_cast<long>(c * factor_ * static_cast<double>(base_)) + slack_;
@@ -444,6 +468,7 @@ void RoundBudgetInvariant::finish(const AuditView* view, const FinishInfo& info)
   // The connected-pull ablation is O(D_A^2) by design — exempt.
   if (info.saw_dle && !info.dle_pull) check("dle", info.dle_rounds, kDleBudgetC);
   check("collect", info.collect_rounds, kCollectBudgetC);
+  if (info.saw_zoo) check("zoo", info.zoo_rounds, zoo_budget_c(info.zoo_config));
 }
 
 // --- Auditor ---------------------------------------------------------------
@@ -591,6 +616,16 @@ void Auditor::finish(const pipeline::PipelineOutcome& out,
             info.collect_succeeded || s.status == pipeline::StageStatus::Succeeded;
         break;
       case StageKind::Baseline:
+        break;
+      case StageKind::Zoo:
+        info.zoo_rounds += s.metrics.rounds;
+        info.saw_zoo = true;
+        info.zoo_succeeded =
+            info.zoo_succeeded || s.status == pipeline::StageStatus::Succeeded;
+        // StageReports carry no config word; the stage name identifies the
+        // protocol (one zoo stage per pipeline).
+        info.zoo_config = std::string_view(s.name) == "zoo_ek" ? zoo::kZooConfigEk
+                                                               : zoo::kZooConfigDaymude;
         break;
     }
   }

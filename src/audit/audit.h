@@ -121,10 +121,14 @@ struct FinishInfo {
   long obd_rounds = 0;
   long dle_rounds = 0;
   long collect_rounds = 0;
+  long zoo_rounds = 0;
   bool saw_dle = false;
   bool dle_succeeded = false;
   bool collect_succeeded = false;
   bool dle_pull = false;  // the connected-pull ablation variant ran
+  bool saw_zoo = false;   // an algorithm-zoo LE stage ran
+  bool zoo_succeeded = false;
+  std::uint64_t zoo_config = 0;  // the zoo stage's config word (protocol id)
   // Erosion events not yet delivered through a round observation.
   std::span<const grid::Node> eroded;
 };

@@ -38,6 +38,7 @@ const char* stage_kind_str(pipeline::StageKind k) {
     case pipeline::StageKind::Dle: return "dle";
     case pipeline::StageKind::Collect: return "collect";
     case pipeline::StageKind::Baseline: return "baseline";
+    case pipeline::StageKind::Zoo: return "zoo";
   }
   return "?";
 }

@@ -8,6 +8,7 @@
 #include "audit/node_codec.h"
 #include "core/dle/dle.h"
 #include "util/check.h"
+#include "zoo/zoo.h"
 
 namespace pm::audit {
 
@@ -62,6 +63,7 @@ const char* stage_kind_name(StageKind k) {
     case StageKind::Dle: return "dle";
     case StageKind::Collect: return "collect";
     case StageKind::Baseline: return "baseline";
+    case StageKind::Zoo: return "zoo";
   }
   return "?";
 }
@@ -371,6 +373,17 @@ Pipeline build_from_config(const TraceConfig& config) {
       case StageKind::Baseline:
         PM_CHECK_MSG(false, "baseline stages are never traced");
         break;
+      case StageKind::Zoo:
+        // The config word is the zoo protocol id (kZooConfig*), restored
+        // here so a replay re-runs the exact competitor that was recorded.
+        if (desc.config == zoo::kZooConfigEk) {
+          pipe.add(std::make_unique<zoo::EkLeStage>());
+        } else {
+          PM_CHECK_MSG(desc.config == zoo::kZooConfigDaymude,
+                       "trace names unknown zoo protocol " << desc.config);
+          pipe.add(std::make_unique<zoo::DaymudeLeStage>());
+        }
+        break;
     }
   }
   return pipe;
@@ -510,6 +523,13 @@ std::vector<Violation> audit_trace(const Snapshot& trace, const Options& audit_o
       info.collect_rounds += s.rounds;
       info.collect_succeeded =
           info.collect_succeeded || s.status == pipeline::StageStatus::Succeeded;
+    }
+    if (kind == StageKind::Zoo) {
+      info.zoo_rounds += s.rounds;
+      info.saw_zoo = true;
+      info.zoo_succeeded =
+          info.zoo_succeeded || s.status == pipeline::StageStatus::Succeeded;
+      info.zoo_config = config.stages[i].config;
     }
   }
   auditor->end(&view, info);

@@ -42,6 +42,7 @@ PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) 
         res.collect_ms = s.metrics.wall_ms;
         break;
       case pipeline::StageKind::Baseline:
+      case pipeline::StageKind::Zoo:
         break;  // never part of the standard composition
     }
   }

@@ -57,7 +57,16 @@ bool ObdRun::queue_has(const VN& vn, Kind k) const {
 void ObdRun::reset_vnode_protocol(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
   vn.phase = HeadPhase::Idle;
-  vn.lbl_verdict = 0;
+  // Deliberately NOT reset: vn.lbl_verdict, the v-node's comparison-epoch
+  // counter. A freed head is often re-absorbed as the neighbouring winner's
+  // new head within a round, and emit_abort's successor sweep stops at the
+  // first head it meets — so the dead head's old train can survive further
+  // cw. If the epoch counter restarted at 0 here, the re-absorbed head's
+  // next comparison would reuse the old train's epoch, and the orphaned
+  // train's eventual verdict would pass the epoch check and be trusted. On
+  // spiral(6,2) exactly that delivered a false "strictly smaller" to the
+  // last surviving head mid-self-comparison, which then disbanded its own
+  // segment and left the ring head-less forever.
   vn.sum_value = 0;
   vn.stab_k = vn.stab_j = 0;
   vn.stab_passed = false;
@@ -90,11 +99,22 @@ void ObdRun::emit_abort(int v) {
 void ObdRun::start_competition(int v) {
   VN& head = vns_[static_cast<std::size_t>(v)];
   head.phase = HeadPhase::LenWait;
+  // Length trains are epoch-tagged like the label/sum trains (carried in
+  // `value`, which LenUnit does not otherwise use): without the tag, a
+  // tail-flagged unit orphaned by an aborted earlier comparison can be
+  // consumed by a later train's head token, which then "runs dry"
+  // mid-segment and reports a false strictly-smaller verdict. On comb(6,5)
+  // that false verdict eventually hit the last remaining segment, which
+  // disbanded itself and left the ring head-less forever (the ROADMAP
+  // livelock).
+  head.lbl_verdict = static_cast<std::int8_t>((head.lbl_verdict + 1) % 100);
+  const auto epoch = static_cast<std::int8_t>(head.lbl_verdict);
   std::erase_if(head.cw, [](const Token& t) { return t.kind == Kind::LenUnit; });
   // The head's own length unit leads the train (HEAD flag); the create
   // token arms the rest of the segment tail-wards.
   Token unit;
   unit.kind = Kind::LenUnit;
+  unit.value = epoch;
   unit.head = true;
   unit.tail = head.is_tail;
   // A singleton's train is its own tail: it starts exhausted.
@@ -104,6 +124,7 @@ void ObdRun::start_competition(int v) {
   if (!head.is_tail) {
     Token create;
     create.kind = Kind::LenCreate;
+    create.value = epoch;
     create.fresh = true;
     head.ccw.push_back(create);
   }
@@ -119,24 +140,31 @@ bool ObdRun::token_departs_cw(int v, Token& t) {
   switch (t.kind) {
     case Kind::LenUnit:
       if (t.lane == 0) {
-        // Stale units of a finished comparison park at the initiator's head
-        // until the next launch purges them.
-        return !(vn.is_head && vn.phase != HeadPhase::LenWait);
+        // Units queued at the initiator's head cross it (stamped lane 1 on
+        // arrival) only while the launching comparison is live; leftovers
+        // park until the next launch purges them.
+        return !(vn.is_head &&
+                 (vn.phase != HeadPhase::LenWait || t.value != vn.lbl_verdict));
       }
       if (vn.is_head) return false;  // units wait at the successor's head
       if (!t.head) {
-        // Plain units stop where the head token waits, serving as fodder.
+        // Plain units stop where their own train's head token waits,
+        // serving as fodder (epoch match: stale heads are not fed).
         for (const Token& o : vn.cw) {
-          if (o.kind == Kind::LenUnit && o.lane == 1 && o.head) return false;
+          if (o.kind == Kind::LenUnit && o.lane == 1 && o.head &&
+              o.value == t.value) {
+            return false;
+          }
         }
         return true;
       }
-      // Head token: advance only by consuming a co-located unit (the tail
-      // unit last; consuming it flags exhaustion — `positive` doubles as
-      // the consumed-tail marker for this train).
+      // Head token: advance only by consuming a co-located unit of its own
+      // epoch (the tail unit last; consuming it flags exhaustion —
+      // `positive` doubles as the consumed-tail marker for this train).
       for (std::size_t i = 0; i < vn.cw.size(); ++i) {
         const Token& o = vn.cw[i];
-        if (o.kind == Kind::LenUnit && o.lane == 1 && !o.head) {
+        if (o.kind == Kind::LenUnit && o.lane == 1 && !o.head &&
+            o.value == t.value) {
           if (o.tail) t.positive = true;
           vn.cw.erase(vn.cw.begin() + static_cast<std::ptrdiff_t>(i));
           return true;
@@ -309,8 +337,20 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
   VN& vn = vns_[static_cast<std::size_t>(to)];
   switch (t.kind) {
     case Kind::LenCreate: {
+      // Arming sweeps leftovers first: the new train's units all originate
+      // at vnodes the create has already armed (cw of here) and travel
+      // away from it, so any lane-0 unit still at this vnode is from an
+      // aborted earlier comparison. Epochs alone can't catch these — they
+      // are per-head counters mod 100, so a long-dead train's epoch can
+      // collide with a live one (seen on spiral(6,2): the sole surviving
+      // segment consumed a dead competitor's colliding tail unit, read a
+      // false strictly-smaller verdict, and self-disbanded).
+      std::erase_if(vn.cw, [](const Token& o) {
+        return o.kind == Kind::LenUnit && o.lane == 0;
+      });
       Token unit;
       unit.kind = Kind::LenUnit;
+      unit.value = t.value;  // inherit the comparison epoch
       unit.tail = vn.is_tail;
       unit.fresh = true;
       vn.cw.push_back(unit);
@@ -382,11 +422,20 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       vn.ccw.push_back(t);
       return;
     case Kind::LenResult: {
-      // Clean up length-train remnants and stale marks along the way.
-      std::erase_if(vn.cw, [](const Token& o) { return o.kind == Kind::LenUnit; });
+      // Clean up this train's remnants and stale marks along the way (the
+      // verdict's epoch rides in `lane`; other epochs' trains are live).
+      std::erase_if(vn.cw, [&](const Token& o) {
+        return o.kind == Kind::LenUnit &&
+               o.value == static_cast<std::int8_t>(t.lane);
+      });
       if (!(vn.is_head && vn.phase == HeadPhase::LenWait)) {
         vn.marked = false;
         vn.ccw.push_back(t);
+        return;
+      }
+      if (static_cast<std::int8_t>(t.lane) != vn.lbl_verdict) {
+        // A verdict for a superseded comparison of mine (the watchdog
+        // restarted it): already cleaned its own remnants en route — drop.
         return;
       }
       // Remaining stale length units anywhere in the successor segment are
@@ -561,20 +610,24 @@ bool ObdRun::step_round() {
 
 void ObdRun::check_len_verdict(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
-  // Locate the lane-1 (successor side) length-train head token.
+  // Locate the lane-1 (successor side) length-train head token; only units
+  // of the same epoch belong to its train.
   bool has_head = false;
   bool consumed_tail = false;
+  std::int8_t epoch = 0;
   int others = 0;
   for (const Token& t : vn.cw) {
     if (t.kind != Kind::LenUnit || t.lane != 1) continue;
-    if (t.head) {
+    if (t.head && !has_head) {
       has_head = true;
       consumed_tail = t.positive;
-    } else {
-      ++others;
+      epoch = t.value;
     }
   }
   if (!has_head) return;
+  for (const Token& t : vn.cw) {
+    if (t.kind == Kind::LenUnit && t.lane == 1 && !t.head && t.value == epoch) ++others;
+  }
   std::int8_t verdict = 0;
   bool decided = false;
   if (vn.is_head) {
@@ -591,10 +644,13 @@ void ObdRun::check_len_verdict(int v) {
     decided = true;
   }
   if (!decided) return;
-  std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::LenUnit; });
+  std::erase_if(vn.cw, [&](const Token& t) {
+    return t.kind == Kind::LenUnit && t.value == epoch;
+  });
   Token res;
   res.kind = Kind::LenResult;
   res.value = verdict;
+  res.lane = static_cast<std::uint8_t>(epoch);  // route back epoch-checked
   res.fresh = true;
   vn.ccw.push_back(res);
 }
@@ -780,6 +836,38 @@ void ObdRun::compare_stab_queues(int v) {
   }
 }
 
+// Shared abort path for the liveness watchdog and the competitor-vanished
+// check: purge this head's own traffic, sweep the comparison remnants out of
+// the successor segment, release a lock we may hold, and start over.
+void ObdRun::abort_competition(int v) {
+  VN& vn = vns_[static_cast<std::size_t>(v)];
+  emit_abort(v);
+  auto own = [](const Token& t) {
+    return t.kind == Kind::LenUnit || t.kind == Kind::LblUnit ||
+           t.kind == Kind::SumUnit || t.kind == Kind::LenCreate ||
+           t.kind == Kind::LblCreate || t.kind == Kind::SumCreate ||
+           t.kind == Kind::RevCreate || t.kind == Kind::Lock ||
+           t.kind == Kind::Unlock;
+  };
+  std::erase_if(vn.cw, own);
+  std::erase_if(vn.ccw, own);
+  purge_stab(vn);
+  int cur = v;  // walk back to my tail to drop a dangling lock
+  for (std::size_t guard = 0; guard < vns_.size(); ++guard) {
+    VN& c = vns_[static_cast<std::size_t>(cur)];
+    std::erase_if(c.cw, own);
+    std::erase_if(c.ccw, own);
+    if (c.is_tail || !c.pledged) {
+      c.locked = false;
+      break;
+    }
+    cur = rings_.cw_pred(cur);
+  }
+  vn.phase = HeadPhase::Idle;
+  vn.last_phase = HeadPhase::Idle;
+  vn.phase_since = rounds_;
+}
+
 void ObdRun::process_head(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
   if (!vn.pledged || !vn.is_head) return;
@@ -802,34 +890,31 @@ void ObdRun::process_head(int v) {
       4 * static_cast<long>(rings_.rings()[static_cast<std::size_t>(vn.ring)].size()) + 64;
   if (watched && rounds_ - vn.phase_since > timeout) {
     if (trace) std::printf("[r%ld] v%d WATCHDOG phase=%d\n", rounds_, v, (int)vn.phase);
-    // Purge this head's own traffic, sweep the comparison remnants out of
-    // the successor segment, release a lock we may hold, and start over.
-    emit_abort(v);
-    auto own = [](const Token& t) {
-      return t.kind == Kind::LenUnit || t.kind == Kind::LblUnit ||
-             t.kind == Kind::SumUnit || t.kind == Kind::LenCreate ||
-             t.kind == Kind::LblCreate || t.kind == Kind::SumCreate ||
-             t.kind == Kind::RevCreate || t.kind == Kind::Lock ||
-             t.kind == Kind::Unlock;
-    };
-    std::erase_if(vn.cw, own);
-    std::erase_if(vn.ccw, own);
-    purge_stab(vn);
-    int cur = v;  // walk back to my tail to drop a dangling lock
-    for (std::size_t guard = 0; guard < vns_.size(); ++guard) {
-      VN& c = vns_[static_cast<std::size_t>(cur)];
-      std::erase_if(c.cw, own);
-      std::erase_if(c.ccw, own);
-      if (c.is_tail || !c.pledged) {
-        c.locked = false;
-        break;
-      }
-      cur = rings_.cw_pred(cur);
-    }
-    vn.phase = HeadPhase::Idle;
-    vn.last_phase = HeadPhase::Idle;
-    vn.phase_since = rounds_;
+    abort_competition(v);
     return;
+  }
+
+  // A comparison is only meaningful while its competitor holds still. The
+  // competitor's tail sits at cw_succ(v) (ring geometry, fixed) for the
+  // whole life of a valid comparison: segments grow at their head and only
+  // lose their tail when they dissolve. So if that v-node stops being a
+  // pledged, non-defector tail while we are mid-comparison, the competitor
+  // segment is dissolving under our train — any verdict the train still
+  // delivers is about territory that no longer exists. On spiral(6,2) such
+  // a verdict (a false "strictly smaller") reached the last surviving head
+  // ~100 rounds before the watchdog would have fired, and — its successor
+  // tail by then being its own tail — made it disband its own segment and
+  // leave the ring head-less. Abort immediately instead of waiting for the
+  // timeout; like the watchdog, this stands in for the paper's cancellation
+  // tokens, and retrying is safe because competitions are idempotent.
+  if (vn.phase == HeadPhase::LenWait || vn.phase == HeadPhase::LblWait ||
+      vn.phase == HeadPhase::LockWait) {
+    const VN& s = vns_[static_cast<std::size_t>(rings_.cw_succ(v))];
+    if (!s.pledged || s.defector || !s.is_tail) {
+      if (trace) std::printf("[r%ld] v%d COMPETITOR GONE phase=%d\n", rounds_, v, (int)vn.phase);
+      abort_competition(v);
+      return;
+    }
   }
 
   switch (vn.phase) {

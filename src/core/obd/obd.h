@@ -170,6 +170,7 @@ class ObdRun {
   void process_head(int v);
   void check_len_verdict(int v);
   void emit_abort(int v);
+  void abort_competition(int v);
   [[nodiscard]] bool queue_has(const VN& vn, Token::Kind k) const;
 
   // Movement predicates and arrival processing for the two directions.

@@ -156,6 +156,7 @@ void note_stage_done(const Stage& s) {
     case StageKind::Dle: key = "dle"; break;
     case StageKind::Collect: key = "collect"; break;
     case StageKind::Baseline: key = "baseline"; break;
+    case StageKind::Zoo: key = "zoo"; break;
   }
   const std::string prefix = std::string("pipeline.") + key;
   const StageMetrics& m = s.metrics();

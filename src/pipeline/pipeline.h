@@ -66,12 +66,12 @@ struct SeedPolicy {
 // from zero on checkpoint restore (the only non-deterministic field).
 struct StageMetrics {
   long rounds = 0;
-  long long activations = 0;  // Engine-driven stages only
+  long long activations = 0;  // Engine-driven and zoo stages only
   int phases = 0;             // Collect doubling phases only
   double wall_ms = 0.0;
 };
 
-enum class StageKind : std::uint8_t { Obd, Dle, Collect, Baseline };
+enum class StageKind : std::uint8_t { Obd, Dle, Collect, Baseline, Zoo };
 enum class StageStatus : std::uint8_t { Pending, Running, Succeeded, Failed };
 
 class Stage;

@@ -24,6 +24,8 @@ constexpr NameRow<Algo> kAlgoRows[] = {
     {Algo::PipelineFull, "pipeline_full"},
     {Algo::BaselineErosion, "baseline_erosion"},
     {Algo::BaselineContest, "baseline_contest"},
+    {Algo::ZooDaymude, "zoo_daymude"},
+    {Algo::ZooEmekKutten, "zoo_ek"},
 };
 
 constexpr NameRow<amoebot::Order> kOrderRows[] = {

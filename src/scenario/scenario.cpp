@@ -24,6 +24,7 @@
 #include "util/timing.h"
 #include "util/table.h"
 #include "workload/workload.h"
+#include "zoo/zoo.h"
 
 // Stamped into every BENCH_*.json next to schema_version so each perf
 // artifact names the commit that produced it (set by CMake at configure
@@ -64,12 +65,24 @@ bool algo_uses_engine(Algo a) noexcept {
     case Algo::ObdOnly:
     case Algo::BaselineErosion:
     case Algo::BaselineContest:
+    case Algo::ZooDaymude:
+    case Algo::ZooEmekKutten:
+      // The zoo engines are round-synchronous like OBD: they never consult
+      // the Engine, so Spec::threads is rejected for them (determinism
+      // across --jobs is what the zoo tests pin instead).
       return false;
   }
   return false;
 }
 
 namespace {
+
+// Algos that run a zoo::ZooStageBase stage: they elect a leader (so the
+// unique-leader count applies) and carry a particle trajectory (so tracing
+// works), without routing through the Engine.
+bool is_zoo_algo(Algo a) noexcept {
+  return a == Algo::ZooDaymude || a == Algo::ZooEmekKutten;
+}
 
 std::string default_name(const Spec& spec) {
   std::ostringstream os;
@@ -135,6 +148,16 @@ pipeline::Pipeline build_pipeline(const Spec& spec, pipeline::RunContext ctx) {
       p.add(std::make_unique<pipeline::ContestStage>());
       return p;
     }
+    case Algo::ZooDaymude: {
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<zoo::DaymudeLeStage>());
+      return p;
+    }
+    case Algo::ZooEmekKutten: {
+      Pipeline p(std::move(ctx));
+      p.add(std::make_unique<zoo::EkLeStage>());
+      return p;
+    }
   }
   PM_CHECK_MSG(false, "unhandled algo");
   return Pipeline(pipeline::RunContext{});
@@ -165,13 +188,21 @@ void fill_result(Result& res, const Spec& spec, const grid::Shape& shape,
       case pipeline::StageKind::Baseline:
         res.baseline_rounds = s.metrics.rounds;
         break;
+      case pipeline::StageKind::Zoo:
+        // Zoo stages are single-stage competitor runs: their rounds land in
+        // the baseline_rounds column (same cross-algorithm comparison slot
+        // the baselines use; schema unchanged) and their deterministic
+        // token/controller work count in activations.
+        res.baseline_rounds = s.metrics.rounds;
+        res.activations = s.metrics.activations;
+        break;
     }
   }
   res.completed = out.completed;
   if (pctx.sys != nullptr) {
     // Success requires a *unique* leader (the DLE stage enforces it); the
     // reported count is the true outcome — 0, 1, or several.
-    if (algo_uses_engine(spec.algo)) {
+    if (algo_uses_engine(spec.algo) || is_zoo_algo(spec.algo)) {
       res.leaders = core::election_outcome(*pctx.sys).leaders;
     }
     res.moves = pctx.sys->moves();
@@ -279,7 +310,8 @@ Result run_scenario(const Spec& spec, const RunHooks& hooks) {
                    "scenario %s: --trace records whole runs and --resume may start "
                    "mid-run, not tracing\n",
                    spec_label(res));
-    } else if (algo_uses_engine(spec.algo) || spec.algo == Algo::ObdOnly) {
+    } else if (algo_uses_engine(spec.algo) || spec.algo == Algo::ObdOnly ||
+               is_zoo_algo(spec.algo)) {
       tracing = true;
       runner.set_trace(&writer);
     } else {

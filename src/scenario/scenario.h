@@ -39,6 +39,8 @@ enum class Algo {
   PipelineFull,     // OBD -> DLE -> Collect (the paper's full pipeline)
   BaselineErosion,  // sequential erosion class ([22]/[3]-style stand-in)
   BaselineContest,  // randomized boundary contest ([19]/[10]-style stand-in)
+  ZooDaymude,       // algorithm zoo: Daymude et al. improved LE (1701.03616)
+  ZooEmekKutten,    // algorithm zoo: Emek–Kutten-style deterministic LE
 };
 
 struct Spec {

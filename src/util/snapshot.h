@@ -84,6 +84,7 @@ inline constexpr std::uint32_t kSnapErosion = 0x45524f01;   // baselines::Erosio
 inline constexpr std::uint32_t kSnapContest = 0x434e5401;   // baselines::ContestRun
 inline constexpr std::uint32_t kSnapPipeline = 0x50495001;  // pipeline::Pipeline
 inline constexpr std::uint32_t kSnapStage = 0x53544701;     // pipeline::Stage framing
+inline constexpr std::uint32_t kSnapZoo = 0x5a4f4f01;       // zoo::* LE engines
 inline constexpr std::uint32_t kSnapTrace = 0x54524301;     // audit::TraceWriter
 inline constexpr std::uint32_t kSnapAudit = 0x41554401;     // audit::Auditor
 

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <sstream>
 
 #include "scenario/names.h"
+#include "util/check.h"
 
 namespace pm::workload {
 
@@ -30,7 +33,240 @@ void SpecPatch::apply(WorkloadSpec& spec) const {
   if (fault_seed) spec.fault_seed = *fault_seed;
 }
 
+void SpecPatch::merge(const SpecPatch& o) {
+  if (o.name) name = o.name;
+  if (o.family) family = o.family;
+  if (o.p1) { p1 = o.p1; p1_expr.reset(); }
+  if (o.p1_expr) { p1_expr = o.p1_expr; p1.reset(); }
+  if (o.p2) { p2 = o.p2; p2_expr.reset(); }
+  if (o.p2_expr) { p2_expr = o.p2_expr; p2.reset(); }
+  if (o.shape_seed) { shape_seed = o.shape_seed; shape_seed_expr.reset(); }
+  if (o.shape_seed_expr) { shape_seed_expr = o.shape_seed_expr; shape_seed.reset(); }
+  if (o.algo) algo = o.algo;
+  if (o.order) order = o.order;
+  if (o.seed) { seed = o.seed; seed_expr.reset(); }
+  if (o.seed_expr) { seed_expr = o.seed_expr; seed.reset(); }
+  if (o.max_rounds) { max_rounds = o.max_rounds; max_rounds_expr.reset(); }
+  if (o.max_rounds_expr) { max_rounds_expr = o.max_rounds_expr; max_rounds.reset(); }
+  if (o.occupancy) occupancy = o.occupancy;
+  if (o.track_components) track_components = o.track_components;
+  if (o.threads) threads = o.threads;
+  if (o.fault_seed) { fault_seed = o.fault_seed; fault_seed_expr.reset(); }
+  if (o.fault_seed_expr) { fault_seed_expr = o.fault_seed_expr; fault_seed.reset(); }
+}
+
 bool SpecPatch::empty() const { return *this == SpecPatch{}; }
+
+// --- derived-field expressions ---------------------------------------------
+
+namespace {
+
+bool is_expr_field(std::string_view name) {
+  for (const char* f : {"p1", "p2", "shape_seed", "seed", "max_rounds", "threads",
+                        "fault_seed"}) {
+    if (name == f) return true;
+  }
+  return false;
+}
+
+// AST of the expression mini-language. op: '#' integer literal, '$' field
+// reference, 'n' unary minus (lhs only), else the binary operator char.
+struct ExprNode {
+  char op = '#';
+  long long value = 0;
+  std::string field;
+  std::unique_ptr<ExprNode> lhs, rhs;
+};
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  std::unique_ptr<ExprNode> parse() {
+    auto node = parse_sum();
+    skip_ws();
+    if (pos_ != text_.size()) fail(std::string("unexpected '") + text_[pos_] + "'");
+    return node;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw WorkloadError(context_ + ": bad expression \"" + std::string(text_) + "\": " +
+                        msg + " at offset " + std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::unique_ptr<ExprNode> binary(char op, std::unique_ptr<ExprNode> lhs,
+                                   std::unique_ptr<ExprNode> rhs) {
+    auto node = std::make_unique<ExprNode>();
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+  std::unique_ptr<ExprNode> parse_sum() {
+    auto lhs = parse_term();
+    for (;;) {
+      if (eat('+')) lhs = binary('+', std::move(lhs), parse_term());
+      else if (eat('-')) lhs = binary('-', std::move(lhs), parse_term());
+      else return lhs;
+    }
+  }
+  std::unique_ptr<ExprNode> parse_term() {
+    auto lhs = parse_unary();
+    for (;;) {
+      if (eat('*')) lhs = binary('*', std::move(lhs), parse_unary());
+      else if (eat('/')) lhs = binary('/', std::move(lhs), parse_unary());
+      else if (eat('%')) lhs = binary('%', std::move(lhs), parse_unary());
+      else return lhs;
+    }
+  }
+  std::unique_ptr<ExprNode> parse_unary() {
+    if (eat('-')) {
+      auto node = std::make_unique<ExprNode>();
+      node->op = 'n';
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+  std::unique_ptr<ExprNode> parse_primary() {
+    if (eat('(')) {
+      auto node = parse_sum();
+      if (!eat(')')) fail("missing ')'");
+      return node;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected a number, a field, or '('");
+    const char c = text_[pos_];
+    if (c >= '0' && c <= '9') {
+      long long v = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        const int digit = text_[pos_] - '0';
+        if (v > (std::numeric_limits<long long>::max() - digit) / 10) {
+          fail("integer literal overflows 64 bits");
+        }
+        v = v * 10 + digit;
+        ++pos_;
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->value = v;
+      return node;
+    }
+    if ((c >= 'a' && c <= 'z') || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             ((text_[pos_] >= 'a' && text_[pos_] <= 'z') ||
+              (text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string name(text_.substr(start, pos_ - start));
+      if (!is_expr_field(name)) {
+        fail("unknown field '" + name + "' (fields: p1, p2, shape_seed, seed, "
+             "max_rounds, threads, fault_seed)");
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->op = '$';
+      node->field = std::move(name);
+      return node;
+    }
+    fail("expected a number, a field, or '('");
+  }
+
+  std::string_view text_;
+  const std::string& context_;
+  std::size_t pos_ = 0;
+};
+
+int expr_prec(const ExprNode& n) {
+  switch (n.op) {
+    case '#': case '$': return 4;
+    case 'n': return 3;
+    case '*': case '/': case '%': return 2;
+    default: return 1;
+  }
+}
+
+void render_expr(const ExprNode& n, int min_prec, std::string& out) {
+  const int prec = expr_prec(n);
+  const bool parens = prec < min_prec;
+  if (parens) out += '(';
+  switch (n.op) {
+    case '#': out += std::to_string(n.value); break;
+    case '$': out += n.field; break;
+    case 'n':
+      out += '-';
+      render_expr(*n.lhs, 4, out);
+      break;
+    default:
+      // Left-associative: the right child needs strictly higher precedence
+      // to drop its parentheses ("p1 - (p2 - 1)" keeps them).
+      render_expr(*n.lhs, prec, out);
+      out += ' ';
+      out += n.op;
+      out += ' ';
+      render_expr(*n.rhs, prec + 1, out);
+  }
+  if (parens) out += ')';
+}
+
+long long eval_node(const ExprNode& n, const std::function<long long(std::string_view)>& lookup,
+                    std::string_view text, const std::string& context) {
+  auto fail = [&](const char* msg) -> long long {
+    throw WorkloadError(context + ": expression \"" + std::string(text) + "\": " + msg);
+  };
+  long long out = 0;
+  switch (n.op) {
+    case '#': return n.value;
+    case '$': return lookup(n.field);
+    case 'n': {
+      const long long v = eval_node(*n.lhs, lookup, text, context);
+      if (__builtin_sub_overflow(0LL, v, &out)) return fail("overflow");
+      return out;
+    }
+    default: {
+      const long long a = eval_node(*n.lhs, lookup, text, context);
+      const long long b = eval_node(*n.rhs, lookup, text, context);
+      switch (n.op) {
+        case '+': if (__builtin_add_overflow(a, b, &out)) return fail("overflow"); return out;
+        case '-': if (__builtin_sub_overflow(a, b, &out)) return fail("overflow"); return out;
+        case '*': if (__builtin_mul_overflow(a, b, &out)) return fail("overflow"); return out;
+        case '/':
+        case '%':
+          if (b == 0) return fail("division by zero");
+          if (a == std::numeric_limits<long long>::min() && b == -1) return fail("overflow");
+          return n.op == '/' ? a / b : a % b;
+        default: PM_CHECK_MSG(false, "corrupt expression node");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string canonical_expr(std::string_view text, const std::string& context) {
+  const auto ast = ExprParser(text, context).parse();
+  std::string out;
+  render_expr(*ast, 0, out);
+  return out;
+}
+
+long long eval_expr(std::string_view text,
+                    const std::function<long long(std::string_view)>& lookup,
+                    const std::string& context) {
+  const auto ast = ExprParser(text, context).parse();
+  return eval_node(*ast, lookup, text, context);
+}
 
 // --- validation ------------------------------------------------------------
 
@@ -104,6 +340,67 @@ const std::vector<SpecPatch>& axis_patches(
 
 constexpr std::size_t kMaxResolvedSpecs = 1'000'000;
 
+// Fully merged patch -> validated spec: apply the literal fields, then
+// evaluate the derived expressions against that literal snapshot.
+// Expressions see literal fields only — a reference to a field that is
+// itself derived would make the result depend on evaluation order, so it
+// fails loudly instead.
+WorkloadSpec materialize(const SpecPatch& p, const std::string& context) {
+  WorkloadSpec spec;
+  p.apply(spec);
+  if (p.p1_expr || p.p2_expr || p.shape_seed_expr || p.seed_expr || p.max_rounds_expr ||
+      p.fault_seed_expr) {
+    const auto lookup = [&](std::string_view f) -> long long {
+      const auto lit = [&](bool derived, long long v) {
+        if (derived) {
+          throw WorkloadError(context + ": expression references \"" + std::string(f) +
+                              "\", which is itself derived in the same resolved patch");
+        }
+        return v;
+      };
+      if (f == "p1") return lit(p.p1_expr.has_value(), spec.p1);
+      if (f == "p2") return lit(p.p2_expr.has_value(), spec.p2);
+      if (f == "shape_seed") {
+        return lit(p.shape_seed_expr.has_value(), static_cast<long long>(spec.shape_seed));
+      }
+      if (f == "seed") return lit(p.seed_expr.has_value(), static_cast<long long>(spec.seed));
+      if (f == "max_rounds") return lit(p.max_rounds_expr.has_value(), spec.max_rounds);
+      if (f == "threads") return lit(false, spec.threads);
+      if (f == "fault_seed") {
+        return lit(p.fault_seed_expr.has_value(), static_cast<long long>(spec.fault_seed));
+      }
+      PM_CHECK_MSG(false, "expression references a field the parser does not admit");
+    };
+    const auto derive = [&](const char* fname, const std::optional<std::string>& e,
+                            long long lo, long long hi,
+                            const std::function<void(long long)>& assign) {
+      if (!e) return;
+      const std::string field_ctx = context + ": \"" + fname + "\"";
+      const long long v = eval_expr(*e, lookup, field_ctx);
+      if (v < lo || v > hi) {
+        throw WorkloadError(field_ctx + ": \"" + *e + "\" evaluates to " +
+                            std::to_string(v) + ", outside [" + std::to_string(lo) +
+                            ", " + std::to_string(hi) + "]");
+      }
+      assign(v);
+    };
+    derive("p1", p.p1_expr, 0, 1'000'000'000,
+           [&](long long v) { spec.p1 = static_cast<int>(v); });
+    derive("p2", p.p2_expr, 0, 1'000'000'000,
+           [&](long long v) { spec.p2 = static_cast<int>(v); });
+    derive("shape_seed", p.shape_seed_expr, 0, std::numeric_limits<long long>::max(),
+           [&](long long v) { spec.shape_seed = static_cast<std::uint64_t>(v); });
+    derive("seed", p.seed_expr, 0, std::numeric_limits<long long>::max(),
+           [&](long long v) { spec.seed = static_cast<std::uint64_t>(v); });
+    derive("max_rounds", p.max_rounds_expr, 1, 1'000'000'000'000LL,
+           [&](long long v) { spec.max_rounds = static_cast<long>(v); });
+    derive("fault_seed", p.fault_seed_expr, 0, std::numeric_limits<long long>::max(),
+           [&](long long v) { spec.fault_seed = static_cast<std::uint64_t>(v); });
+  }
+  validate(spec, context);
+  return spec;
+}
+
 }  // namespace
 
 std::vector<WorkloadSpec> resolve(const WorkloadSuite& suite) {
@@ -113,11 +410,9 @@ std::vector<WorkloadSpec> resolve(const WorkloadSuite& suite) {
     const std::string context =
         "workload '" + suite.name + "' item " + std::to_string(item_idx);
     if (item.kind == Item::Kind::Spec) {
-      WorkloadSpec spec;
-      suite.defaults.apply(spec);
-      item.spec.apply(spec);
-      validate(spec, context);
-      out.push_back(std::move(spec));
+      SpecPatch merged = suite.defaults;
+      merged.merge(item.spec);
+      out.push_back(materialize(merged, context));
       continue;
     }
     // Sweep: cartesian product of the axes, last axis fastest (the nested-
@@ -142,12 +437,10 @@ std::vector<WorkloadSpec> resolve(const WorkloadSuite& suite) {
     }
     std::vector<std::size_t> digits(axes.size(), 0);
     for (std::size_t row = 0; row < total; ++row) {
-      WorkloadSpec spec;
-      suite.defaults.apply(spec);
-      sweep.base.apply(spec);
-      for (std::size_t a = 0; a < axes.size(); ++a) (*axes[a])[digits[a]].apply(spec);
-      validate(spec, context + " row " + std::to_string(row));
-      out.push_back(std::move(spec));
+      SpecPatch merged = suite.defaults;
+      merged.merge(sweep.base);
+      for (std::size_t a = 0; a < axes.size(); ++a) merged.merge((*axes[a])[digits[a]]);
+      out.push_back(materialize(merged, context + " row " + std::to_string(row)));
       for (std::size_t a = axes.size(); a-- > 0;) {
         if (++digits[a] < axes[a]->size()) break;
         digits[a] = 0;
@@ -224,16 +517,22 @@ void emit_patch(std::ostream& os, const SpecPatch& p) {
   if (p.name) w.str("name", *p.name);
   if (p.family) w.str("family", *p.family);
   if (p.p1) w.num("p1", *p.p1);
+  else if (p.p1_expr) w.str("p1", *p.p1_expr);
   if (p.p2) w.num("p2", *p.p2);
+  else if (p.p2_expr) w.str("p2", *p.p2_expr);
   if (p.shape_seed) w.u64("shape_seed", *p.shape_seed);
+  else if (p.shape_seed_expr) w.str("shape_seed", *p.shape_seed_expr);
   if (p.algo) w.str("algo", scenario::algo_name(*p.algo));
   if (p.order) w.str("order", amoebot::order_name(*p.order));
   if (p.seed) w.u64("seed", *p.seed);
+  else if (p.seed_expr) w.str("seed", *p.seed_expr);
   if (p.max_rounds) w.num("max_rounds", *p.max_rounds);
+  else if (p.max_rounds_expr) w.str("max_rounds", *p.max_rounds_expr);
   if (p.occupancy) w.str("occupancy", scenario::occupancy_name(*p.occupancy));
   if (p.track_components) w.boolean("track_components", *p.track_components);
   if (p.threads) w.num("threads", *p.threads);
   if (p.fault_seed) w.u64("fault_seed", *p.fault_seed);
+  else if (p.fault_seed_expr) w.str("fault_seed", *p.fault_seed_expr);
   os << '}';
 }
 
@@ -350,11 +649,14 @@ SpecPatch parse_patch(const Json& obj, const std::string& context) {
       }
       p.family = fam;
     } else if (key == "p1") {
-      p.p1 = static_cast<int>(value.as_int(0, 1'000'000'000, field));
+      if (value.is_str()) p.p1_expr = canonical_expr(value.as_str(field), field);
+      else p.p1 = static_cast<int>(value.as_int(0, 1'000'000'000, field));
     } else if (key == "p2") {
-      p.p2 = static_cast<int>(value.as_int(0, 1'000'000'000, field));
+      if (value.is_str()) p.p2_expr = canonical_expr(value.as_str(field), field);
+      else p.p2 = static_cast<int>(value.as_int(0, 1'000'000'000, field));
     } else if (key == "shape_seed") {
-      p.shape_seed = value.as_u64(field);
+      if (value.is_str()) p.shape_seed_expr = canonical_expr(value.as_str(field), field);
+      else p.shape_seed = value.as_u64(field);
     } else if (key == "algo") {
       Algo algo;
       if (!scenario::parse_algo(value.as_str(field), algo)) {
@@ -370,9 +672,11 @@ SpecPatch parse_patch(const Json& obj, const std::string& context) {
       }
       p.order = order;
     } else if (key == "seed") {
-      p.seed = value.as_u64(field);
+      if (value.is_str()) p.seed_expr = canonical_expr(value.as_str(field), field);
+      else p.seed = value.as_u64(field);
     } else if (key == "max_rounds") {
-      p.max_rounds = static_cast<long>(value.as_int(1, 1'000'000'000'000LL, field));
+      if (value.is_str()) p.max_rounds_expr = canonical_expr(value.as_str(field), field);
+      else p.max_rounds = static_cast<long>(value.as_int(1, 1'000'000'000'000LL, field));
     } else if (key == "occupancy") {
       OccupancyMode mode;
       if (!scenario::parse_occupancy(value.as_str(field), mode)) {
@@ -385,12 +689,14 @@ SpecPatch parse_patch(const Json& obj, const std::string& context) {
     } else if (key == "threads") {
       p.threads = static_cast<int>(value.as_int(0, 1024, field));
     } else if (key == "fault_seed") {
-      p.fault_seed = value.as_u64(field);
+      if (value.is_str()) p.fault_seed_expr = canonical_expr(value.as_str(field), field);
+      else p.fault_seed = value.as_u64(field);
     } else {
       throw WorkloadError(context + ": unknown spec field \"" + key +
                           "\" (known: name, family, p1, p2, shape_seed, algo, order, "
                           "seed, max_rounds, occupancy, track_components, threads, "
-                          "fault_seed)");
+                          "fault_seed; integer fields other than threads also accept "
+                          "a derived expression string like \"p1 - 1\")");
     }
   }
   return p;
@@ -439,10 +745,7 @@ Sweep parse_sweep(const Json& obj, const std::string& context) {
 }  // namespace
 
 WorkloadSpec parse_spec(const Json& obj, const std::string& context) {
-  WorkloadSpec spec;
-  parse_patch(obj, context).apply(spec);
-  validate(spec, context);
-  return spec;
+  return materialize(parse_patch(obj, context), context);
 }
 
 WorkloadSuite parse_suite(std::string_view text, const std::string& where) {
@@ -789,6 +1092,55 @@ WorkloadSuite wl_dle_adversarial() {
   return s;
 }
 
+WorkloadSuite wl_le_zoo() {
+  WorkloadSuite s{"le_zoo",
+                  "Algorithm zoo: paper pipeline vs competitor LE engines on the "
+                  "adversarial shape mix",
+                  {},
+                  {},
+                  {}};
+  // The cheese/blob shape seeds co-vary with the scheduler seed exactly as
+  // in dle_adversarial — but spelled as derived expressions, so one sweep
+  // covers what took that suite a literal item per seed.
+  {
+    SpecPatch cheese = shape("cheese", 7, 4);
+    cheese.shape_seed_expr = "seed";
+    SpecPatch blob = shape("blob", 400);
+    blob.shape_seed_expr = "seed + 1";
+    SpecPatch ring = shape("annulus", 10);
+    ring.p2_expr = "p1 - 3";
+    s.params.emplace_back(
+        "shapes", std::vector<SpecPatch>{std::move(cheese), std::move(blob),
+                                         shape("spiral", 6, 2), shape("comb", 10, 6),
+                                         std::move(ring)});
+  }
+  s.params.emplace_back(
+      "algos", std::vector<SpecPatch>{
+                   algo_patch(Algo::DleOracle), algo_patch(Algo::PipelineFull),
+                   algo_patch(Algo::BaselineContest), algo_patch(Algo::ZooDaymude),
+                   algo_patch(Algo::ZooEmekKutten)});
+  {
+    std::vector<SpecPatch> seeds;
+    for (const std::uint64_t seed : {101, 202, 303}) {
+      SpecPatch p;
+      p.seed = seed;
+      seeds.push_back(std::move(p));
+    }
+    s.items.push_back(
+        sweep_item({}, {axis(std::move(seeds)), axis_ref("shapes"), axis_ref("algos")}));
+  }
+  {
+    SpecPatch base;
+    base.order = Order::RandomStream;
+    base.seed = 404;
+    s.items.push_back(sweep_item(
+        std::move(base),
+        {axis({shape("cheese", 6, 3, 9), shape("blob", 300, 0, 17), shape("comb", 8, 5)}),
+         axis_ref("algos")}));
+  }
+  return s;
+}
+
 WorkloadSuite wl_audit_fuzz() {
   WorkloadSuite s{"audit_fuzz",
                   "Audit fuzz: shapegen families x seeds x fault plans (kill/resume)",
@@ -845,6 +1197,7 @@ const std::vector<std::pair<const char*, SuiteBuilder>>& registry() {
       {"parallel_smoke", wl_parallel_smoke},
       {"dle_adversarial", wl_dle_adversarial},
       {"audit_fuzz", wl_audit_fuzz},
+      {"le_zoo", wl_le_zoo},
   };
   return reg;
 }

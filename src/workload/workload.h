@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -68,7 +69,28 @@ struct SpecPatch {
   std::optional<int> threads;
   std::optional<std::uint64_t> fault_seed;
 
+  // Derived integer fields. Each slot holds a canonical integer expression
+  // over the spec's *literal* integer fields ("p1 - 3", "seed + 1"),
+  // evaluated at resolve time after defaults, base, and every axis patch
+  // have applied — so one sweep can express co-varying fields (the
+  // dle_adversarial suite needed one item per scheduler seed only because
+  // its cheese/blob shape seeds track it; le_zoo spells that as data). In
+  // JSON a derived field is a string where the number would be:
+  // {"p2": "p1 - 3"}. A later patch assigning the same field — literal or
+  // expression — replaces the earlier assignment (see merge()).
+  std::optional<std::string> p1_expr;
+  std::optional<std::string> p2_expr;
+  std::optional<std::string> shape_seed_expr;
+  std::optional<std::string> seed_expr;
+  std::optional<std::string> max_rounds_expr;
+  std::optional<std::string> fault_seed_expr;
+
+  // Writes the literal fields onto `spec`; expression slots are resolve-time
+  // (resolve()/parse_spec() evaluate them after all patches merge).
   void apply(WorkloadSpec& spec) const;
+  // Field-wise overlay: every assignment in `other` — literal or expression
+  // — replaces this patch's assignment of the same field.
+  void merge(const SpecPatch& other);
   [[nodiscard]] bool empty() const;
   friend bool operator==(const SpecPatch&, const SpecPatch&) = default;
 };
@@ -105,6 +127,29 @@ struct WorkloadSuite {
   std::vector<Item> items;
   friend bool operator==(const WorkloadSuite&, const WorkloadSuite&) = default;
 };
+
+// --- derived-field expressions ---------------------------------------------
+//
+// The expression mini-language behind SpecPatch's *_expr slots. Grammar
+// (integer arithmetic, C++ precedence and truncation):
+//   expr    := term (('+' | '-') term)*
+//   term    := unary (('*' | '/' | '%') unary)*
+//   unary   := '-' unary | primary
+//   primary := integer | field | '(' expr ')'
+// where field is one of: p1, p2, shape_seed, seed, max_rounds, threads,
+// fault_seed. Evaluation is signed 64-bit; overflow and division by zero
+// are reported as WorkloadError, not wrapped.
+
+// Parses `text`, rejecting syntax errors and unknown fields, and returns
+// the canonical rendering (single-spaced tokens, minimal parentheses) that
+// the codec stores and emits. Idempotent on its own output.
+[[nodiscard]] std::string canonical_expr(std::string_view text, const std::string& context);
+
+// Evaluates a previously validated expression; `lookup` maps a field name
+// to its literal value (and may throw to reject the reference).
+[[nodiscard]] long long eval_expr(std::string_view text,
+                                  const std::function<long long(std::string_view)>& lookup,
+                                  const std::string& context);
 
 // Validates one fully-resolved spec (family known, ranges sane, option
 // combinations run_scenario would reject). Throws WorkloadError whose

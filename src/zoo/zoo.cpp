@@ -1,0 +1,1075 @@
+#include "zoo/zoo.h"
+
+#include <utility>
+
+#include "grid/coord.h"
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+
+namespace pm::zoo {
+
+using amoebot::kNoParticle;
+using amoebot::ParticleId;
+using core::Status;
+using pipeline::RunContext;
+using pipeline::StageStatus;
+
+namespace {
+
+// Per-subphase activation counters (ISSUE: telemetry for the zoo). Count
+// kind: deterministic, byte-diffable across reruns.
+struct DaymudeCounters {
+  telemetry::Counter seg{"zoo.daymude.subphase.segment_comparison"};
+  telemetry::Counter coin{"zoo.daymude.subphase.coin_flip"};
+  telemetry::Counter sol{"zoo.daymude.subphase.solitude_verification"};
+  telemetry::Counter border{"zoo.daymude.subphase.border_test"};
+  telemetry::Counter flips{"zoo.daymude.coin_flips"};
+  telemetry::Counter hops{"zoo.daymude.token_hops"};
+};
+DaymudeCounters& daymude_counters() {
+  static DaymudeCounters c;
+  return c;
+}
+
+struct EkCounters {
+  telemetry::Counter cmp{"zoo.ek.subphase.compare"};
+  telemetry::Counter census{"zoo.ek.subphase.census"};
+  telemetry::Counter contest{"zoo.ek.subphase.contest"};
+  telemetry::Counter absorb{"zoo.ek.absorptions"};
+  telemetry::Counter claims{"zoo.ek.claims"};
+  telemetry::Counter hops{"zoo.ek.token_hops"};
+};
+EkCounters& ek_counters() {
+  static EkCounters c;
+  return c;
+}
+
+}  // namespace
+
+// === DaymudeLeRun ==========================================================
+
+using DToken = DaymudeLeRun::Token;
+using DKind = DaymudeLeRun::Token::Kind;
+
+DaymudeLeRun::DaymudeLeRun(LeSystem& sys, std::uint64_t seed)
+    : sys_(sys), shape_(sys.shape()), rings_(shape_), rng_(seed) {
+  PM_CHECK_MSG(sys.all_contracted(), "zoo LE starts from a contracted configuration");
+  const auto& vnodes = rings_.vnodes();
+  agents_.resize(vnodes.size());
+  particle_agents_.assign(static_cast<std::size_t>(sys.particle_count()), {});
+  for (std::size_t i = 0; i < vnodes.size(); ++i) {
+    Agent& a = agents_[i];
+    a.count = static_cast<std::int8_t>(vnodes[i].count());
+    a.ring = vnodes[i].ring;
+    a.particle = sys.particle_at(vnodes[i].point);
+    PM_CHECK(a.particle != kNoParticle);
+    particle_agents_[static_cast<std::size_t>(a.particle)].push_back(static_cast<int>(i));
+    // Every boundary agent starts as a candidate (arXiv:1701.03616 §3).
+    a.role = Role::Candidate;
+    a.subphase = Subphase::SegmentComparison;
+  }
+  flooded_.assign(static_cast<std::size_t>(sys.particle_count()), 0);
+}
+
+bool DaymudeLeRun::candidate_like(int v) const {
+  const Role r = agents_[static_cast<std::size_t>(v)].role;
+  return r == Role::Candidate || r == Role::SoleCandidate;
+}
+
+int DaymudeLeRun::candidate_count() const {
+  int n = 0;
+  for (int v = 0; v < static_cast<int>(agents_.size()); ++v) {
+    if (candidate_like(v)) ++n;
+  }
+  return n;
+}
+
+void DaymudeLeRun::enter(int v, Subphase s) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  a.subphase = s;
+  a.wait = Wait::None;
+}
+
+void DaymudeLeRun::refresh_particle_status(ParticleId p) {
+  // A particle none of whose agents can still lead is a follower-in-waiting;
+  // marking it early keeps traces informative. Interior particles (no
+  // agents) and the final `terminated` flags are settled by the flood.
+  for (const int v : particle_agents_[static_cast<std::size_t>(p)]) {
+    const Role r = agents_[static_cast<std::size_t>(v)].role;
+    if (r != Role::Demoted && r != Role::Finished) return;
+  }
+  core::DleState& st = sys_.state(p);
+  if (st.status == Status::Undecided) st.status = Status::Follower;
+}
+
+void DaymudeLeRun::demote(int v) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  a.role = Role::Demoted;
+  a.wait = Wait::None;
+  a.got_announce = false;
+  refresh_particle_status(a.particle);
+}
+
+void DaymudeLeRun::finish_ring(int r) {
+  // An inner boundary's sole candidate retires the whole ring: no leader
+  // comes from a ring whose boundary counts sum to -6 (Observation 4).
+  for (const int v : rings_.rings()[static_cast<std::size_t>(r)]) {
+    Agent& a = agents_[static_cast<std::size_t>(v)];
+    a.role = Role::Finished;
+    a.wait = Wait::None;
+    a.cw.clear();
+    a.ccw.clear();
+  }
+  for (const int v : rings_.rings()[static_cast<std::size_t>(r)]) {
+    refresh_particle_status(agents_[static_cast<std::size_t>(v)].particle);
+  }
+}
+
+void DaymudeLeRun::become_leader(int v) {
+  PM_CHECK_MSG(leader_ == kNoParticle, "second leader elected");
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  a.role = Role::Leader;
+  leader_ = a.particle;
+  core::DleState& st = sys_.state(leader_);
+  st.status = Status::Leader;
+  st.terminated = true;
+  flood_started_ = true;
+  flooded_[static_cast<std::size_t>(leader_)] = 1;
+}
+
+void DaymudeLeRun::act(int v) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  if (!candidate_like(v) || a.wait != Wait::None) return;
+  ++activations_;
+  DaymudeCounters& tc = daymude_counters();
+  switch (a.subphase) {
+    case Subphase::SegmentComparison: {
+      tc.seg.inc();
+      DToken t;
+      t.kind = DKind::SegProbe;
+      t.init = v;
+      t.fresh = true;
+      a.cw.push_back(t);
+      a.wait = Wait::SegReply;
+      break;
+    }
+    case Subphase::CoinFlip: {
+      tc.coin.inc();
+      tc.flips.inc();
+      if (rng_.coin()) {
+        // Heads: keep the candidacy, go verify solitude.
+        enter(v, Subphase::SolitudeVerification);
+      } else {
+        // Tails: offer the candidacy forward; demote once another candidate
+        // acknowledges (unless one was transferred onto us meanwhile).
+        DToken t;
+        t.kind = DKind::Announce;
+        t.init = v;
+        t.fresh = true;
+        a.cw.push_back(t);
+        a.wait = Wait::Ack;
+      }
+      break;
+    }
+    case Subphase::SolitudeVerification: {
+      tc.sol.inc();
+      DToken t;
+      t.kind = DKind::SolLead;
+      t.init = v;
+      t.fresh = true;
+      a.cw.push_back(t);
+      a.wait = Wait::SolVerdict;
+      break;
+    }
+    case Subphase::BorderTest: {
+      tc.border.inc();
+      DToken t;
+      t.kind = DKind::Border;
+      t.init = v;
+      t.value = a.count;
+      t.fresh = true;
+      a.cw.push_back(t);
+      a.wait = Wait::BorderVerdict;
+      break;
+    }
+  }
+}
+
+void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
+  ++activations_;
+  daymude_counters().hops.inc();
+  Agent& a = agents_[static_cast<std::size_t>(to)];
+  auto forward = [&] {
+    t.fresh = true;
+    a.cw.push_back(t);
+  };
+  switch (t.kind) {
+    case DKind::SegProbe: {
+      ++t.value;  // one more ring hop travelled
+      if (candidate_like(to)) {
+        a.back_len = t.value;  // my back segment = the prober's front segment
+        DToken r;
+        r.kind = DKind::SegReply;
+        r.value = t.value;
+        r.init = t.init;
+        r.fresh = true;
+        a.ccw.push_back(r);
+      } else if (a.role == Role::Demoted) {
+        forward();
+      }  // Leader/Finished: the ring is settled; drop.
+      break;
+    }
+    case DKind::Announce: {
+      if (t.init == to) {
+        // The offer came full circle: no other candidate exists. Solitude
+        // verification confirms and runs the border test.
+        if (a.role == Role::Candidate && a.wait == Wait::Ack) {
+          a.wait = Wait::None;
+          a.got_announce = false;
+          enter(to, Subphase::SolitudeVerification);
+        }
+      } else if (candidate_like(to)) {
+        // Absorb the offered candidacy unconditionally. If I was offering
+        // mine at the same time, the transfer keeps me a candidate when my
+        // own ack returns (the gotAnnounceBeforeAck rule) — and if I have a
+        // segment-comparison verdict in flight, the held transfer shields me
+        // from its demotion. Gating this on wait == Ack loses a candidacy
+        // whenever the acker later demotes itself, and a two-candidate ring
+        // can then lose both (seen on comb(10,6), scheduler seed 101: the
+        // acker lost its comparison, the announcer demoted on the ack, and
+        // the ring ran forever with zero candidates).
+        a.got_announce = true;
+        DToken r;
+        r.kind = DKind::Ack;
+        r.init = t.init;
+        r.fresh = true;
+        a.ccw.push_back(r);
+      } else if (a.role == Role::Demoted) {
+        forward();
+      }
+      break;
+    }
+    case DKind::SolLead: {
+      const grid::Node pa = rings_.vnodes()[static_cast<std::size_t>(from)].point;
+      const grid::Node pb = rings_.vnodes()[static_cast<std::size_t>(to)].point;
+      t.dx += pb.x - pa.x;
+      t.dy += pb.y - pa.y;
+      if (t.init == to) {
+        // Full circle: the accumulated unit vectors cancel — the
+        // certificate the paper streams through its L1/L2 lanes.
+        PM_CHECK_MSG(t.dx == 0 && t.dy == 0, "solitude loop did not close");
+        if (a.role == Role::Candidate && a.wait == Wait::SolVerdict) {
+          a.role = Role::SoleCandidate;
+          enter(to, Subphase::BorderTest);
+        }
+      } else if (candidate_like(to)) {
+        DToken r;
+        r.kind = DKind::SolNack;
+        r.init = t.init;
+        r.fresh = true;
+        a.ccw.push_back(r);
+      } else if (a.role == Role::Demoted) {
+        forward();
+      }
+      break;
+    }
+    case DKind::Border: {
+      if (t.init == to) {
+        if (a.role == Role::SoleCandidate && a.wait == Wait::BorderVerdict) {
+          a.wait = Wait::None;
+          PM_CHECK_MSG(t.value == 6 || t.value == -6,
+                       "border test sum " << t.value << " (Observation 4 violated)");
+          if (t.value == 6) {
+            become_leader(to);
+          } else {
+            finish_ring(a.ring);
+          }
+        }
+      } else {
+        t.value += a.count;
+        forward();
+      }
+      break;
+    }
+    default:
+      PM_CHECK_MSG(false, "ccw-only token travelling clockwise");
+  }
+}
+
+void DaymudeLeRun::receive_ccw(int to, int /*from*/, DToken t) {
+  ++activations_;
+  daymude_counters().hops.inc();
+  Agent& a = agents_[static_cast<std::size_t>(to)];
+  if (t.init != to) {
+    // Replies route back through the (demoted) segment to their initiator.
+    t.fresh = true;
+    a.ccw.push_back(t);
+    return;
+  }
+  switch (t.kind) {
+    case DKind::SegReply: {
+      if (a.role == Role::Candidate && a.wait == Wait::SegReply) {
+        a.wait = Wait::None;
+        // Demote iff the back segment is strictly longer than the front
+        // one: a strictly-decreasing cycle of lengths is impossible, so at
+        // least one candidate always survives the comparison. A candidacy
+        // transferred onto me while the reply was in flight is consumed
+        // instead of my own — whoever announced it demotes on my ack, so
+        // the total only ever drops by one per lost comparison.
+        if (a.back_len >= 0 && a.back_len > t.value && !a.got_announce) {
+          demote(to);
+        } else {
+          if (a.back_len >= 0 && a.back_len > t.value) a.got_announce = false;
+          enter(to, Subphase::CoinFlip);
+        }
+      }
+      break;
+    }
+    case DKind::Ack: {
+      if (a.role == Role::Candidate && a.wait == Wait::Ack) {
+        a.wait = Wait::None;
+        if (a.got_announce) {
+          a.got_announce = false;
+          enter(to, Subphase::SolitudeVerification);
+        } else {
+          demote(to);
+        }
+      }
+      break;
+    }
+    case DKind::SolNack: {
+      if (a.role == Role::Candidate && a.wait == Wait::SolVerdict) {
+        a.wait = Wait::None;
+        enter(to, Subphase::SegmentComparison);
+      }
+      break;
+    }
+    default:
+      PM_CHECK_MSG(false, "cw-only token travelling counter-clockwise");
+  }
+}
+
+void DaymudeLeRun::move_tokens() {
+  for (int v = 0; v < static_cast<int>(agents_.size()); ++v) {
+    Agent& a = agents_[static_cast<std::size_t>(v)];
+    if (!a.cw.empty() && !a.cw.front().fresh) {
+      DToken t = a.cw.front();
+      a.cw.pop_front();
+      receive_cw(rings_.cw_succ(v), v, std::move(t));
+    }
+    if (!a.ccw.empty() && !a.ccw.front().fresh) {
+      DToken t = a.ccw.front();
+      a.ccw.pop_front();
+      receive_ccw(rings_.cw_pred(v), v, std::move(t));
+    }
+  }
+}
+
+void DaymudeLeRun::step_flood() {
+  flood_next_.assign(flooded_.size(), 0);
+  bool all = true;
+  for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
+    if (flooded_[static_cast<std::size_t>(p)]) continue;
+    const grid::Node at = sys_.body(p).head;
+    bool nbr_flooded = false;
+    for (int d = 0; d < grid::kDirCount; ++d) {
+      const ParticleId q = sys_.particle_at(grid::neighbor(at, grid::dir_from_index(d)));
+      if (q != kNoParticle && flooded_[static_cast<std::size_t>(q)]) nbr_flooded = true;
+    }
+    if (nbr_flooded) {
+      flood_next_[static_cast<std::size_t>(p)] = 1;
+    } else {
+      all = false;
+    }
+  }
+  for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
+    if (!flood_next_[static_cast<std::size_t>(p)]) continue;
+    flooded_[static_cast<std::size_t>(p)] = 1;
+    core::DleState& st = sys_.state(p);
+    if (st.status != Status::Leader) st.status = Status::Follower;
+    st.terminated = true;
+  }
+  if (all) done_ = true;
+}
+
+bool DaymudeLeRun::step_round() {
+  if (done_) return true;
+  ++rounds_;
+  if (flood_started_) {
+    // Termination announcement: protocol activity ceases, the flood spreads
+    // one particle hop per round (same discipline as Primitive OBD's).
+    step_flood();
+    return done_;
+  }
+  for (Agent& a : agents_) {
+    for (DToken& t : a.cw) t.fresh = false;
+    for (DToken& t : a.ccw) t.fresh = false;
+  }
+  for (int v = 0; v < static_cast<int>(agents_.size()); ++v) act(v);
+  move_tokens();
+  return done_;
+}
+
+namespace {
+
+void save_daymude_token(Snapshot& snap, const DToken& t) {
+  snap.put(static_cast<std::uint64_t>(t.kind));
+  snap.put_i(t.value);
+  snap.put_i(t.init);
+  snap.put_i(t.dx);
+  snap.put_i(t.dy);
+  snap.put(t.fresh ? 1 : 0);
+}
+
+DToken load_daymude_token(const Snapshot& snap) {
+  DToken t;
+  t.kind = static_cast<DKind>(snap.get());
+  t.value = static_cast<std::int32_t>(snap.get_i());
+  t.init = static_cast<std::int32_t>(snap.get_i());
+  t.dx = static_cast<std::int32_t>(snap.get_i());
+  t.dy = static_cast<std::int32_t>(snap.get_i());
+  t.fresh = snap.get() != 0;
+  return t;
+}
+
+}  // namespace
+
+void DaymudeLeRun::save(Snapshot& snap) const {
+  snap.put_mark(kSnapZoo);
+  snap.put(kZooConfigDaymude);
+  snap.put_i(rounds_);
+  snap.put_i(activations_);
+  snap.put(done_ ? 1 : 0);
+  snap.put(flood_started_ ? 1 : 0);
+  snap.put_i(leader_);
+  for (const std::uint64_t w : rng_.state()) snap.put(w);
+  snap.put(flooded_.size());
+  for (const char f : flooded_) snap.put(static_cast<std::uint64_t>(f));
+  snap.put(agents_.size());
+  for (const Agent& a : agents_) {
+    snap.put(static_cast<std::uint64_t>(a.role));
+    snap.put(static_cast<std::uint64_t>(a.subphase));
+    snap.put(static_cast<std::uint64_t>(a.wait));
+    snap.put(a.got_announce ? 1 : 0);
+    snap.put_i(a.back_len);
+    snap.put(a.cw.size());
+    for (const DToken& t : a.cw) save_daymude_token(snap, t);
+    snap.put(a.ccw.size());
+    for (const DToken& t : a.ccw) save_daymude_token(snap, t);
+  }
+}
+
+void DaymudeLeRun::restore(const Snapshot& snap) {
+  snap.expect_mark(kSnapZoo);
+  PM_CHECK_MSG(snap.get() == kZooConfigDaymude, "zoo snapshot protocol mismatch");
+  rounds_ = snap.get_i();
+  activations_ = snap.get_i();
+  done_ = snap.get() != 0;
+  flood_started_ = snap.get() != 0;
+  leader_ = static_cast<ParticleId>(snap.get_i());
+  std::array<std::uint64_t, 4> rs{};
+  for (std::uint64_t& w : rs) w = snap.get();
+  rng_.set_state(rs);
+  PM_CHECK_MSG(snap.get() == flooded_.size(), "zoo snapshot particle count mismatch");
+  for (char& f : flooded_) f = static_cast<char>(snap.get());
+  PM_CHECK_MSG(snap.get() == agents_.size(), "zoo snapshot agent count mismatch");
+  for (Agent& a : agents_) {
+    a.role = static_cast<Role>(snap.get());
+    a.subphase = static_cast<Subphase>(snap.get());
+    a.wait = static_cast<Wait>(snap.get());
+    a.got_announce = snap.get() != 0;
+    a.back_len = static_cast<std::int32_t>(snap.get_i());
+    a.cw.clear();
+    a.ccw.clear();
+    const std::size_t ncw = snap.get();
+    for (std::size_t i = 0; i < ncw; ++i) a.cw.push_back(load_daymude_token(snap));
+    const std::size_t nccw = snap.get();
+    for (std::size_t i = 0; i < nccw; ++i) a.ccw.push_back(load_daymude_token(snap));
+  }
+}
+
+// === EkLeRun ===============================================================
+
+using EToken = EkLeRun::Token;
+using EKind = EkLeRun::Token::Kind;
+using EMode = EkLeRun::Token::Mode;
+
+EkLeRun::EkLeRun(LeSystem& sys) : sys_(sys), shape_(sys.shape()), rings_(shape_) {
+  PM_CHECK_MSG(sys.all_contracted(), "zoo LE starts from a contracted configuration");
+  const auto& vnodes = rings_.vnodes();
+  agents_.resize(vnodes.size());
+  particle_agents_.assign(static_cast<std::size_t>(sys.particle_count()), {});
+  for (std::size_t i = 0; i < vnodes.size(); ++i) {
+    Agent& a = agents_[i];
+    a.count = static_cast<std::int8_t>(vnodes[i].count());
+    a.ring = vnodes[i].ring;
+    a.particle = sys.particle_at(vnodes[i].point);
+    PM_CHECK(a.particle != kNoParticle);
+    particle_agents_[static_cast<std::size_t>(a.particle)].push_back(static_cast<int>(i));
+    a.role = Role::Head;  // every v-node starts as a singleton segment head
+  }
+  ring_changes_.assign(rings_.rings().size(), 0);
+  claim_.assign(static_cast<std::size_t>(sys.particle_count()), -1);
+  flooded_.assign(static_cast<std::size_t>(sys.particle_count()), 0);
+}
+
+bool EkLeRun::head_like(int v) const {
+  const Role r = agents_[static_cast<std::size_t>(v)].role;
+  return r == Role::Head || r == Role::CoCandidate;
+}
+
+int EkLeRun::head_count() const {
+  int n = 0;
+  for (int v = 0; v < static_cast<int>(agents_.size()); ++v) {
+    if (head_like(v)) ++n;
+  }
+  return n;
+}
+
+void EkLeRun::refresh_particle_status(ParticleId p) {
+  for (const int v : particle_agents_[static_cast<std::size_t>(p)]) {
+    const Role r = agents_[static_cast<std::size_t>(v)].role;
+    if (r != Role::Demoted && r != Role::Finished) return;
+  }
+  core::DleState& st = sys_.state(p);
+  if (st.status == Status::Undecided) st.status = Status::Follower;
+}
+
+void EkLeRun::demote(int v) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  a.role = Role::Demoted;
+  a.busy = false;
+  ++ring_changes_[static_cast<std::size_t>(a.ring)];
+  ek_counters().absorb.inc();
+  refresh_particle_status(a.particle);
+}
+
+void EkLeRun::finish_agent(int v) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  a.role = Role::Finished;
+  a.busy = false;
+  refresh_particle_status(a.particle);
+}
+
+void EkLeRun::become_leader(ParticleId p) {
+  PM_CHECK_MSG(leader_ == kNoParticle, "second leader elected");
+  leader_ = p;
+  core::DleState& st = sys_.state(p);
+  st.status = Status::Leader;
+  st.terminated = true;
+  flood_started_ = true;
+  flooded_[static_cast<std::size_t>(p)] = 1;
+}
+
+void EkLeRun::join_contest(int v) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  a.role = Role::CoCandidate;
+  ek_counters().contest.inc();
+  Contestant c;
+  c.vnode = v;
+  const ParticleId p = a.particle;
+  if (claim_[static_cast<std::size_t>(p)] < 0) {
+    claim_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(contestants_.size());
+    ++claimed_total_;
+    last_claimed_ = p;
+    ek_counters().claims.inc();
+    c.frontier.push_back(p);
+  }
+  // else: the seed point is already conquered (a twin agent on the same
+  // particle, or a late joiner overrun by an earlier territory) — this
+  // co-candidate starts eliminated.
+  contestants_.push_back(std::move(c));
+}
+
+void EkLeRun::step_contest() {
+  if (contestants_.empty() || flood_started_) return;
+  for (std::size_t i = 0; i < contestants_.size(); ++i) {
+    Contestant& c = contestants_[i];
+    if (c.frontier.empty()) continue;
+    ++activations_;
+    std::vector<ParticleId> next;
+    for (const ParticleId p : c.frontier) {
+      const grid::Node at = sys_.body(p).head;
+      for (int d = 0; d < grid::kDirCount; ++d) {
+        const ParticleId q = sys_.particle_at(grid::neighbor(at, grid::dir_from_index(d)));
+        if (q == kNoParticle || claim_[static_cast<std::size_t>(q)] >= 0) continue;
+        claim_[static_cast<std::size_t>(q)] = static_cast<std::int32_t>(i);
+        ++claimed_total_;
+        last_claimed_ = q;
+        ek_counters().claims.inc();
+        next.push_back(q);
+      }
+    }
+    c.frontier = std::move(next);
+  }
+  if (claimed_total_ == sys_.particle_count()) {
+    // The interior is exhausted: the occupant of the last conquered point
+    // wins — the deterministic "last point standing" the canonical
+    // activation order serializes (EK's scheduler-driven symmetry break).
+    for (const Contestant& c : contestants_) {
+      finish_agent(c.vnode);
+    }
+    become_leader(last_claimed_);
+  }
+}
+
+void EkLeRun::act(int v) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  if (a.role != Role::Head || a.busy) return;
+  ++activations_;
+  EkCounters& tc = ek_counters();
+  const std::int64_t cur = ring_changes_[static_cast<std::size_t>(a.ring)];
+  if (!a.compared || a.cmp_stamp != cur) {
+    // The ring changed since my last comparison (or I never compared):
+    // measure my segment against the successor's, lexicographically.
+    tc.cmp.inc();
+    EToken t;
+    t.kind = EKind::Cmp;
+    t.mode = EMode::Collect;
+    t.init = v;
+    t.labels.push_back(a.count);
+    t.fresh = true;
+    a.compared = true;
+    a.cmp_stamp = cur;
+    a.busy = true;
+    a.cw.push_back(std::move(t));
+  } else {
+    // Quiescent since the last comparison: run the full-circle stability
+    // census (head count + boundary-count sum, stamped against changes).
+    tc.census.inc();
+    EToken t;
+    t.kind = EKind::Census;
+    t.mode = EMode::Walk;
+    t.init = v;
+    t.stamp = cur;
+    t.count_sum = a.count;
+    t.fresh = true;
+    a.busy = true;
+    a.cw.push_back(std::move(t));
+  }
+}
+
+void EkLeRun::handle_verdict(int v, const EToken& t) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  if (a.role != Role::Head) return;  // demoted while the token was in flight
+  a.busy = false;
+  if (t.verdict == -1) {
+    // Strictly smaller: absorb the successor segment. The demotion bumps
+    // the ring's change stamp, which re-arms my next comparison.
+    EToken ab;
+    ab.kind = EKind::Absorb;
+    ab.mode = EMode::Walk;
+    ab.init = v;
+    ab.fresh = true;
+    a.cw.push_back(std::move(ab));
+  }
+  // verdict 0 / +1: no action; the next activation runs the census (equal
+  // all around a cycle of >= comparisons forces equality, i.e. stability).
+}
+
+void EkLeRun::finish_census(int v, const EToken& t) {
+  Agent& a = agents_[static_cast<std::size_t>(v)];
+  if (a.role != Role::Head) return;
+  a.busy = false;
+  if (t.stamp != ring_changes_[static_cast<std::size_t>(a.ring)]) return;  // stale
+  PM_CHECK_MSG(t.count_sum == 6 || t.count_sum == -6,
+               "census sum " << t.count_sum << " (Observation 4 violated)");
+  const bool outer = t.count_sum > 0;
+  if (t.heads_seen == 0) {
+    // Sole surviving head on a quiescent ring: the ring is decided.
+    if (outer) {
+      become_leader(a.particle);
+    } else {
+      for (const int u : rings_.rings()[static_cast<std::size_t>(a.ring)]) {
+        Agent& b = agents_[static_cast<std::size_t>(u)];
+        b.role = Role::Finished;
+        b.busy = false;
+        b.cw.clear();
+        b.ccw.clear();
+      }
+      for (const int u : rings_.rings()[static_cast<std::size_t>(a.ring)]) {
+        refresh_particle_status(agents_[static_cast<std::size_t>(u)].particle);
+      }
+    }
+    return;
+  }
+  // k >= 2 heads with all comparisons equal: the boundary is rotationally
+  // symmetric and no ring-local deterministic tie-break exists. Inner-ring
+  // heads simply retire; outer-ring heads take the contest inside.
+  if (outer) {
+    join_contest(v);
+  } else {
+    finish_agent(v);
+  }
+}
+
+void EkLeRun::receive_cw(int to, EToken t) {
+  ++activations_;
+  ek_counters().hops.inc();
+  Agent& a = agents_[static_cast<std::size_t>(to)];
+  auto forward = [&] {
+    t.fresh = true;
+    a.cw.push_back(std::move(t));
+  };
+  switch (t.kind) {
+    case EKind::Cmp: {
+      if (t.mode == EMode::Collect) {
+        if (head_like(to) || to == t.init) {
+          t.mode = EMode::Compare;
+          t.pos = 0;
+          // fall through to the comparison step below with this head's
+          // label as the successor string's first element
+        } else {
+          t.labels.push_back(a.count);
+          forward();
+          break;
+        }
+      } else if (t.mode == EMode::Return) {
+        if (to == t.init) {
+          handle_verdict(to, t);
+        } else {
+          PM_CHECK_MSG(false, "Cmp return token travelling clockwise");
+        }
+        break;
+      } else if (head_like(to) || to == t.init) {
+        // Compare mode reached the head after the successor: end of the
+        // successor string. Undecided means one string is a prefix of the
+        // other (or they are equal).
+        t.verdict = (t.pos == t.labels.size()) ? 0 : +1;
+        t.mode = EMode::Return;
+        t.fresh = true;
+        a.ccw.push_back(std::move(t));
+        break;
+      }
+      // One comparison step against this agent's label.
+      const std::int8_t e = a.count;
+      if (t.pos >= t.labels.size()) {
+        t.verdict = -1;  // my string is a proper prefix: strictly smaller
+      } else if (e < t.labels[t.pos]) {
+        t.verdict = +1;  // successor string is smaller
+      } else if (e > t.labels[t.pos]) {
+        t.verdict = -1;
+      } else {
+        ++t.pos;
+      }
+      if (t.verdict != 0) {
+        t.mode = EMode::Return;
+        t.fresh = true;
+        a.ccw.push_back(std::move(t));
+      } else {
+        forward();
+      }
+      break;
+    }
+    case EKind::Absorb: {
+      if (a.role == Role::Demoted) {
+        forward();
+        break;
+      }
+      // First head-like agent clockwise: the absorption target. Only a
+      // still-valid issuer may demote a still-plain head — this is what
+      // makes a cycle of simultaneous absorptions unable to empty a ring.
+      if (to != t.init && a.role == Role::Head &&
+          agents_[static_cast<std::size_t>(t.init)].role == Role::Head) {
+        demote(to);
+      }
+      break;  // CoCandidate / Finished target, stale issuer, or self: drop
+    }
+    case EKind::Census: {
+      if (to == t.init) {
+        finish_census(to, t);
+      } else {
+        if (head_like(to)) ++t.heads_seen;
+        t.count_sum += a.count;
+        forward();
+      }
+      break;
+    }
+  }
+}
+
+void EkLeRun::receive_ccw(int to, EToken t) {
+  ++activations_;
+  ek_counters().hops.inc();
+  Agent& a = agents_[static_cast<std::size_t>(to)];
+  PM_CHECK_MSG(t.kind == EKind::Cmp && t.mode == EMode::Return,
+               "only Cmp verdicts travel counter-clockwise");
+  if (t.init == to) {
+    handle_verdict(to, t);
+  } else {
+    t.fresh = true;
+    a.ccw.push_back(std::move(t));
+  }
+}
+
+void EkLeRun::move_tokens() {
+  for (int v = 0; v < static_cast<int>(agents_.size()); ++v) {
+    Agent& a = agents_[static_cast<std::size_t>(v)];
+    if (!a.cw.empty() && !a.cw.front().fresh) {
+      EToken t = std::move(a.cw.front());
+      a.cw.pop_front();
+      receive_cw(rings_.cw_succ(v), std::move(t));
+    }
+    if (!a.ccw.empty() && !a.ccw.front().fresh) {
+      EToken t = std::move(a.ccw.front());
+      a.ccw.pop_front();
+      receive_ccw(rings_.cw_pred(v), std::move(t));
+    }
+  }
+}
+
+void EkLeRun::step_flood() {
+  flood_next_.assign(flooded_.size(), 0);
+  bool all = true;
+  for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
+    if (flooded_[static_cast<std::size_t>(p)]) continue;
+    const grid::Node at = sys_.body(p).head;
+    bool nbr_flooded = false;
+    for (int d = 0; d < grid::kDirCount; ++d) {
+      const ParticleId q = sys_.particle_at(grid::neighbor(at, grid::dir_from_index(d)));
+      if (q != kNoParticle && flooded_[static_cast<std::size_t>(q)]) nbr_flooded = true;
+    }
+    if (nbr_flooded) {
+      flood_next_[static_cast<std::size_t>(p)] = 1;
+    } else {
+      all = false;
+    }
+  }
+  for (ParticleId p = 0; p < sys_.particle_count(); ++p) {
+    if (!flood_next_[static_cast<std::size_t>(p)]) continue;
+    flooded_[static_cast<std::size_t>(p)] = 1;
+    core::DleState& st = sys_.state(p);
+    if (st.status != Status::Leader) st.status = Status::Follower;
+    st.terminated = true;
+  }
+  if (all) done_ = true;
+}
+
+bool EkLeRun::step_round() {
+  if (done_) return true;
+  ++rounds_;
+  if (flood_started_) {
+    step_flood();
+    return done_;
+  }
+  for (Agent& a : agents_) {
+    for (EToken& t : a.cw) t.fresh = false;
+    for (EToken& t : a.ccw) t.fresh = false;
+  }
+  for (int v = 0; v < static_cast<int>(agents_.size()); ++v) act(v);
+  move_tokens();
+  step_contest();
+  return done_;
+}
+
+namespace {
+
+void save_ek_token(Snapshot& snap, const EToken& t) {
+  snap.put(static_cast<std::uint64_t>(t.kind));
+  snap.put(static_cast<std::uint64_t>(t.mode));
+  snap.put_i(t.init);
+  snap.put_i(t.verdict);
+  snap.put_i(t.heads_seen);
+  snap.put_i(t.count_sum);
+  snap.put_i(t.stamp);
+  snap.put(t.pos);
+  snap.put(t.labels.size());
+  for (const std::int8_t l : t.labels) snap.put_i(l);
+  snap.put(t.fresh ? 1 : 0);
+}
+
+EToken load_ek_token(const Snapshot& snap) {
+  EToken t;
+  t.kind = static_cast<EKind>(snap.get());
+  t.mode = static_cast<EMode>(snap.get());
+  t.init = static_cast<std::int32_t>(snap.get_i());
+  t.verdict = static_cast<std::int32_t>(snap.get_i());
+  t.heads_seen = static_cast<std::int32_t>(snap.get_i());
+  t.count_sum = static_cast<std::int32_t>(snap.get_i());
+  t.stamp = snap.get_i();
+  t.pos = static_cast<std::uint32_t>(snap.get());
+  const std::size_t nl = snap.get();
+  t.labels.reserve(nl);
+  for (std::size_t i = 0; i < nl; ++i) t.labels.push_back(static_cast<std::int8_t>(snap.get_i()));
+  t.fresh = snap.get() != 0;
+  return t;
+}
+
+}  // namespace
+
+void EkLeRun::save(Snapshot& snap) const {
+  snap.put_mark(kSnapZoo);
+  snap.put(kZooConfigEk);
+  snap.put_i(rounds_);
+  snap.put_i(activations_);
+  snap.put(done_ ? 1 : 0);
+  snap.put(flood_started_ ? 1 : 0);
+  snap.put_i(leader_);
+  snap.put(flooded_.size());
+  for (const char f : flooded_) snap.put(static_cast<std::uint64_t>(f));
+  snap.put(ring_changes_.size());
+  for (const std::int64_t c : ring_changes_) snap.put_i(c);
+  snap.put(claim_.size());
+  for (const std::int32_t c : claim_) snap.put_i(c);
+  snap.put_i(claimed_total_);
+  snap.put_i(last_claimed_);
+  snap.put(contestants_.size());
+  for (const Contestant& c : contestants_) {
+    snap.put_i(c.vnode);
+    snap.put(c.frontier.size());
+    for (const ParticleId p : c.frontier) snap.put_i(p);
+  }
+  snap.put(agents_.size());
+  for (const Agent& a : agents_) {
+    snap.put(static_cast<std::uint64_t>(a.role));
+    snap.put(a.busy ? 1 : 0);
+    snap.put(a.compared ? 1 : 0);
+    snap.put_i(a.cmp_stamp);
+    snap.put(a.cw.size());
+    for (const EToken& t : a.cw) save_ek_token(snap, t);
+    snap.put(a.ccw.size());
+    for (const EToken& t : a.ccw) save_ek_token(snap, t);
+  }
+}
+
+void EkLeRun::restore(const Snapshot& snap) {
+  snap.expect_mark(kSnapZoo);
+  PM_CHECK_MSG(snap.get() == kZooConfigEk, "zoo snapshot protocol mismatch");
+  rounds_ = snap.get_i();
+  activations_ = snap.get_i();
+  done_ = snap.get() != 0;
+  flood_started_ = snap.get() != 0;
+  leader_ = static_cast<ParticleId>(snap.get_i());
+  PM_CHECK_MSG(snap.get() == flooded_.size(), "zoo snapshot particle count mismatch");
+  for (char& f : flooded_) f = static_cast<char>(snap.get());
+  PM_CHECK_MSG(snap.get() == ring_changes_.size(), "zoo snapshot ring count mismatch");
+  for (std::int64_t& c : ring_changes_) c = snap.get_i();
+  PM_CHECK_MSG(snap.get() == claim_.size(), "zoo snapshot claim size mismatch");
+  for (std::int32_t& c : claim_) c = static_cast<std::int32_t>(snap.get_i());
+  claimed_total_ = static_cast<int>(snap.get_i());
+  last_claimed_ = static_cast<ParticleId>(snap.get_i());
+  contestants_.clear();
+  const std::size_t nc = snap.get();
+  for (std::size_t i = 0; i < nc; ++i) {
+    Contestant c;
+    c.vnode = static_cast<int>(snap.get_i());
+    const std::size_t nf = snap.get();
+    for (std::size_t j = 0; j < nf; ++j) {
+      c.frontier.push_back(static_cast<ParticleId>(snap.get_i()));
+    }
+    contestants_.push_back(std::move(c));
+  }
+  PM_CHECK_MSG(snap.get() == agents_.size(), "zoo snapshot agent count mismatch");
+  for (Agent& a : agents_) {
+    a.role = static_cast<Role>(snap.get());
+    a.busy = snap.get() != 0;
+    a.compared = snap.get() != 0;
+    a.cmp_stamp = snap.get_i();
+    a.cw.clear();
+    a.ccw.clear();
+    const std::size_t ncw = snap.get();
+    for (std::size_t i = 0; i < ncw; ++i) a.cw.push_back(load_ek_token(snap));
+    const std::size_t nccw = snap.get();
+    for (std::size_t i = 0; i < nccw; ++i) a.ccw.push_back(load_ek_token(snap));
+  }
+}
+
+// === Stage adapters ========================================================
+
+void ZooStageBase::init(RunContext& ctx) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  LeSystem& sys = ctx.system();
+  if (sys.particle_count() <= 1) {
+    // A lone particle has no boundary ring: it simply leads (the same
+    // shortcut the elect_leader glue applies around OBD).
+    PM_CHECK(sys.particle_count() == 1);
+    sys.state(0).status = Status::Leader;
+    sys.state(0).terminated = true;
+    ctx.leader = 0;
+    ctx.leader_node = sys.body(0).head;
+    status_ = StageStatus::Succeeded;
+    note_rounds(0);
+    return;
+  }
+  make_engine(ctx);
+  status_ = StageStatus::Running;
+}
+
+void ZooStageBase::finish() {
+  const ParticleId leader = engine_leader();
+  if (leader != kNoParticle) {
+    ctx_->leader = leader;
+    ctx_->leader_node = ctx_->system().body(leader).head;
+    status_ = StageStatus::Succeeded;
+    note_rounds(metrics_.rounds);
+  } else {
+    status_ = StageStatus::Failed;
+  }
+}
+
+bool ZooStageBase::step_round() {
+  if (done()) return true;
+  // Budget check before the round, like ObdStage: an exhausted budget
+  // executes nothing.
+  if (engine_rounds() >= ctx_->max_rounds) {
+    status_ = StageStatus::Failed;
+    metrics_.wall_ms = ms_since(t0_);
+    return true;
+  }
+  const bool fin = engine_step();
+  metrics_.rounds = engine_rounds();
+  metrics_.activations = engine_activations();
+  if (fin) finish();
+  if (done()) metrics_.wall_ms = ms_since(t0_);
+  return done();
+}
+
+void ZooStageBase::state_save(Snapshot& snap) const { engine_save(snap); }
+
+void ZooStageBase::state_restore(RunContext& ctx, const Snapshot& snap) {
+  ctx_ = &ctx;
+  t0_ = WallClock::now();
+  make_engine(ctx);
+  engine_restore(snap);
+}
+
+DaymudeLeStage::DaymudeLeStage() = default;
+DaymudeLeStage::~DaymudeLeStage() = default;
+
+void DaymudeLeStage::make_engine(RunContext& ctx) {
+  // Coin flips are scheduling-class randomness: seeded from the policy's
+  // schedule seed, so the unified SeedPolicy covers the zoo unchanged.
+  run_ = std::make_unique<DaymudeLeRun>(ctx.system(), ctx.seeds.schedule_seed());
+}
+
+long DaymudeLeStage::engine_rounds() const { return run_->rounds(); }
+long long DaymudeLeStage::engine_activations() const { return run_->activations(); }
+bool DaymudeLeStage::engine_step() { return run_->step_round(); }
+ParticleId DaymudeLeStage::engine_leader() const { return run_->leader(); }
+void DaymudeLeStage::engine_save(Snapshot& snap) const { run_->save(snap); }
+void DaymudeLeStage::engine_restore(const Snapshot& snap) { run_->restore(snap); }
+
+void DaymudeLeStage::note_rounds(long rounds) const {
+  static telemetry::Histogram h("zoo.daymude.rounds");
+  h.observe(static_cast<std::uint64_t>(rounds));
+}
+
+EkLeStage::EkLeStage() = default;
+EkLeStage::~EkLeStage() = default;
+
+void EkLeStage::make_engine(RunContext& ctx) { run_ = std::make_unique<EkLeRun>(ctx.system()); }
+
+long EkLeStage::engine_rounds() const { return run_->rounds(); }
+long long EkLeStage::engine_activations() const { return run_->activations(); }
+bool EkLeStage::engine_step() { return run_->step_round(); }
+ParticleId EkLeStage::engine_leader() const { return run_->leader(); }
+void EkLeStage::engine_save(Snapshot& snap) const { run_->save(snap); }
+void EkLeStage::engine_restore(const Snapshot& snap) { run_->restore(snap); }
+
+void EkLeStage::note_rounds(long rounds) const {
+  static telemetry::Histogram h("zoo.ek.rounds");
+  h.observe(static_cast<std::uint64_t>(rounds));
+}
+
+}  // namespace pm::zoo

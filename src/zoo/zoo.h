@@ -1,0 +1,344 @@
+// The algorithm zoo: competitor leader-election protocols as pipeline
+// stages, benchmarked against this paper's OBD→DLE→Collect under one
+// harness (ROADMAP item 3).
+//
+// Both protocols are *stationary* — particles never move — and run on the
+// oriented virtual rings of grid::VNodeRings, one agent per v-node (a
+// particle hosts one agent per local boundary it touches, 1..3 of them;
+// this is exactly AmoebotSim's boundary-agent rule). Like core::ObdRun the
+// engines are round-synchronous: all agent state lives in engine-owned
+// structs, every token moves at most one ring hop per round, so measured
+// rounds reflect the protocols' published analyses. Election progress is
+// mirrored into the system's per-particle DleState (status/terminated), so
+// the generic audit invariants (unique leader, termination contract), the
+// trace encoder, and core::election_outcome() all work unchanged.
+//
+// Engine-level shortcuts, deliberate and documented inline: tokens carry an
+// initiator index for return routing and small integer accumulators where
+// the papers use constant-memory streamed encodings. Round counts are
+// unaffected (tokens still travel hop by hop); only per-agent memory is
+// larger than the papers' O(1).
+//
+//  * zoo::DaymudeLeRun — Daymude/Gmyr/Richa/Scheideler/Strothmann's
+//    improved leader election (arXiv:1701.03616): the randomized
+//    Candidate/SoleCandidate/Demoted machine with the SegmentComparison,
+//    CoinFlip and SolitudeVerification subphases plus the inner/outer
+//    border test. Seeded — bit-reproducible per seed via the unified
+//    SeedPolicy; expected O(L log L) rounds.
+//  * zoo::EkLeRun — an Emek–Kutten-style deterministic leader election
+//    (arXiv:1905.00580 class): deterministic lexicographic segment
+//    tournament on every boundary ring; on a rotationally symmetric outer
+//    boundary (where no ring-local deterministic tie-break exists) the
+//    surviving co-candidates break symmetry by conquering the interior —
+//    the occupant of the last claimed point wins, serialized by the
+//    canonical activation order exactly as the strong scheduler serializes
+//    EK's competition. Consumes no randomness: the elected leader is
+//    seed-independent (a property the tests pin down).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "amoebot/system.h"
+#include "core/dle/dle.h"
+#include "grid/vnode.h"
+#include "pipeline/pipeline.h"
+#include "util/rng.h"
+#include "util/snapshot.h"
+
+namespace pm::zoo {
+
+using LeSystem = amoebot::System<core::DleState>;
+
+// Stage config words (pipeline checkpoint fingerprint + trace StageDesc +
+// the audit layer's per-protocol round budgets key off these).
+inline constexpr std::uint64_t kZooConfigDaymude = 1;
+inline constexpr std::uint64_t kZooConfigEk = 2;
+
+// --- Daymude et al. improved leader election (randomized) ------------------
+
+class DaymudeLeRun {
+ public:
+  // Builds the agents from the system's current (connected, contracted,
+  // >= 2 particles) configuration. The engine mutates per-particle DleState
+  // as the election progresses and floods termination once a leader exists.
+  DaymudeLeRun(LeSystem& sys, std::uint64_t seed);
+
+  // One asynchronous round; returns true once every particle terminated.
+  bool step_round();
+
+  [[nodiscard]] long rounds() const { return rounds_; }
+  // Work measure: token deliveries + controller actions (deterministic).
+  [[nodiscard]] long long activations() const { return activations_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] amoebot::ParticleId leader() const { return leader_; }
+
+  // Live candidates across all rings (test/audit inspection).
+  [[nodiscard]] int candidate_count() const;
+
+  // Checkpoint/resume at round boundaries. The protocol is stationary, so
+  // the ring structure is rebuilt from the (static) configuration by the
+  // constructor; save/restore carry only the mutable protocol state.
+  void save(Snapshot& snap) const;
+  void restore(const Snapshot& snap);
+
+  struct Token {
+    enum class Kind : std::uint8_t {
+      SegProbe,  // cw; counts hops to the next candidate (segment length)
+      SegReply,  // ccw; the measured length back to the probe's initiator
+      Announce,  // cw; a tails coin-flip offers this candidacy forward
+      Ack,       // ccw; the receiving candidate's acceptance
+      SolLead,   // cw; solitude-verification loop, accumulating unit vectors
+      SolNack,   // ccw; another candidate exists
+      Border,    // cw; inner/outer test, accumulating boundary counts
+    };
+    Kind kind{};
+    std::int32_t value = 0;  // hop count / boundary-count sum
+    std::int32_t init = -1;  // initiator v-node (engine return routing)
+    std::int32_t dx = 0;     // SolLead: accumulated displacement — the
+    std::int32_t dy = 0;     // paper's vector-cancellation certificate
+    bool fresh = false;      // already moved this round (1 hop per round)
+  };
+
+ private:
+  enum class Role : std::uint8_t { Demoted, Candidate, SoleCandidate, Leader, Finished };
+  enum class Subphase : std::uint8_t {
+    SegmentComparison,
+    CoinFlip,
+    SolitudeVerification,
+    BorderTest,
+  };
+  enum class Wait : std::uint8_t { None, SegReply, Ack, SolVerdict, BorderVerdict };
+
+  struct Agent {
+    std::int8_t count = 0;  // boundary count of this v-node (Observation 4)
+    int ring = -1;
+    amoebot::ParticleId particle = amoebot::kNoParticle;
+    Role role = Role::Candidate;
+    Subphase subphase = Subphase::SegmentComparison;
+    Wait wait = Wait::None;
+    bool got_announce = false;  // candidacy transferred onto me while I waited
+    std::int32_t back_len = -1;  // most recent absorbed SegProbe length
+    std::deque<Token> cw;   // tokens travelling clockwise (to successor)
+    std::deque<Token> ccw;  // tokens travelling counter-clockwise
+  };
+
+  [[nodiscard]] bool candidate_like(int v) const;
+  void act(int v);
+  void move_tokens();
+  void receive_cw(int to, int from, Token t);
+  void receive_ccw(int to, int from, Token t);
+  void enter(int v, Subphase s);
+  void demote(int v);
+  void become_leader(int v);
+  void finish_ring(int r);
+  void refresh_particle_status(amoebot::ParticleId p);
+  void step_flood();
+
+  LeSystem& sys_;
+  grid::Shape shape_;
+  grid::VNodeRings rings_;
+  std::vector<Agent> agents_;
+  std::vector<std::vector<int>> particle_agents_;
+  Rng rng_;
+
+  std::vector<char> flooded_;
+  std::vector<char> flood_next_;
+  bool flood_started_ = false;
+  amoebot::ParticleId leader_ = amoebot::kNoParticle;
+
+  long rounds_ = 0;
+  long long activations_ = 0;
+  bool done_ = false;
+};
+
+// --- Emek–Kutten-style deterministic leader election -----------------------
+
+class EkLeRun {
+ public:
+  // Deterministic: takes no seed, consumes no randomness. Same system
+  // contract as DaymudeLeRun.
+  explicit EkLeRun(LeSystem& sys);
+
+  bool step_round();
+
+  [[nodiscard]] long rounds() const { return rounds_; }
+  [[nodiscard]] long long activations() const { return activations_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] amoebot::ParticleId leader() const { return leader_; }
+
+  // Surviving segment heads across all rings (test/audit inspection).
+  [[nodiscard]] int head_count() const;
+
+  void save(Snapshot& snap) const;
+  void restore(const Snapshot& snap);
+
+  struct Token {
+    enum class Kind : std::uint8_t {
+      Cmp,     // lexicographic segment comparison walk
+      Absorb,  // the strictly smaller segment demotes its successor head
+      Census,  // full-circle stability check: head count + boundary-count sum
+    };
+    enum class Mode : std::uint8_t {
+      Collect,  // Cmp: cw through the initiator's own segment, recording it
+      Compare,  // Cmp: cw through the successor segment, comparing
+      Return,   // Cmp: ccw back to the initiator with the verdict
+      Walk,     // Absorb / Census: cw
+    };
+    Kind kind{};
+    Mode mode = Mode::Walk;
+    std::int32_t init = -1;      // initiator v-node (engine return routing)
+    std::int32_t verdict = 0;    // -1 initiator smaller, 0 equal, +1 larger
+    std::int32_t heads_seen = 0;  // Census: other surviving heads on the ring
+    std::int32_t count_sum = 0;   // Census/Absorb: boundary-count accumulator
+    std::int64_t stamp = 0;       // Census: ring change stamp at launch
+    std::vector<std::int8_t> labels;  // Cmp: the initiator's segment string
+    std::uint32_t pos = 0;            // Cmp: comparison cursor into labels
+    bool fresh = false;
+  };
+
+ private:
+  enum class Role : std::uint8_t { Demoted, Head, CoCandidate, Leader, Finished };
+
+  struct Agent {
+    std::int8_t count = 0;
+    int ring = -1;
+    amoebot::ParticleId particle = amoebot::kNoParticle;
+    Role role = Role::Head;
+    bool busy = false;           // a Cmp or Census of mine is in flight
+    bool compared = false;       // launched at least one Cmp
+    std::int64_t cmp_stamp = -1;  // ring change stamp at the last Cmp launch
+    std::deque<Token> cw;
+    std::deque<Token> ccw;
+  };
+
+  [[nodiscard]] bool head_like(int v) const;  // Head or CoCandidate
+  void act(int v);
+  void move_tokens();
+  void receive_cw(int to, Token t);
+  void receive_ccw(int to, Token t);
+  void handle_verdict(int v, const Token& t);
+  void finish_census(int v, const Token& t);
+  void demote(int v);
+  void finish_agent(int v);
+  void join_contest(int v);
+  void step_contest();
+  void become_leader(amoebot::ParticleId p);
+  void refresh_particle_status(amoebot::ParticleId p);
+  void step_flood();
+
+  LeSystem& sys_;
+  grid::Shape shape_;
+  grid::VNodeRings rings_;
+  std::vector<Agent> agents_;
+  std::vector<std::vector<int>> particle_agents_;
+  std::vector<std::int64_t> ring_changes_;  // bumped on every demotion
+
+  // Interior contest among symmetric co-candidates (phase 2): BFS territory
+  // claiming over particles, serialized by the canonical join + activation
+  // order; the occupant of the last claimed point becomes the leader.
+  struct Contestant {
+    int vnode = -1;
+    std::vector<amoebot::ParticleId> frontier;
+  };
+  std::vector<Contestant> contestants_;
+  std::vector<std::int32_t> claim_;  // particle -> contestant index, -1 free
+  int claimed_total_ = 0;
+  amoebot::ParticleId last_claimed_ = amoebot::kNoParticle;
+
+  std::vector<char> flooded_;
+  std::vector<char> flood_next_;
+  bool flood_started_ = false;
+  amoebot::ParticleId leader_ = amoebot::kNoParticle;
+
+  long rounds_ = 0;
+  long long activations_ = 0;
+  bool done_ = false;
+};
+
+// --- Stage adapters --------------------------------------------------------
+
+// Shared chassis: budget check before each round (like ObdStage), engine
+// stepping, leader publication into the RunContext, and the single-particle
+// shortcut (no boundary rings; the lone particle simply leads).
+class ZooStageBase : public pipeline::Stage {
+ public:
+  [[nodiscard]] pipeline::StageKind kind() const override {
+    return pipeline::StageKind::Zoo;
+  }
+  void init(pipeline::RunContext& ctx) override;
+  bool step_round() override;
+
+ protected:
+  // Engine factory + type-erased engine access, per protocol.
+  virtual void make_engine(pipeline::RunContext& ctx) = 0;
+  [[nodiscard]] virtual long engine_rounds() const = 0;
+  [[nodiscard]] virtual long long engine_activations() const = 0;
+  [[nodiscard]] virtual bool engine_step() = 0;
+  [[nodiscard]] virtual amoebot::ParticleId engine_leader() const = 0;
+  virtual void engine_save(Snapshot& snap) const = 0;
+  virtual void engine_restore(const Snapshot& snap) = 0;
+  virtual void note_rounds(long rounds) const = 0;  // telemetry histogram
+
+  void state_save(Snapshot& snap) const override;
+  void state_restore(pipeline::RunContext& ctx, const Snapshot& snap) override;
+
+  pipeline::RunContext* ctx_ = nullptr;
+
+ private:
+  void finish();
+};
+
+class DaymudeLeStage final : public ZooStageBase {
+ public:
+  DaymudeLeStage();
+  ~DaymudeLeStage() override;
+
+  [[nodiscard]] const char* name() const override { return "zoo_daymude"; }
+  [[nodiscard]] std::uint64_t config_word() const override { return kZooConfigDaymude; }
+
+  // The live engine, for tests (nullptr while Pending or after the
+  // single-particle shortcut).
+  [[nodiscard]] const DaymudeLeRun* run() const { return run_.get(); }
+
+ protected:
+  void make_engine(pipeline::RunContext& ctx) override;
+  [[nodiscard]] long engine_rounds() const override;
+  [[nodiscard]] long long engine_activations() const override;
+  [[nodiscard]] bool engine_step() override;
+  [[nodiscard]] amoebot::ParticleId engine_leader() const override;
+  void engine_save(Snapshot& snap) const override;
+  void engine_restore(const Snapshot& snap) override;
+  void note_rounds(long rounds) const override;
+
+ private:
+  std::unique_ptr<DaymudeLeRun> run_;
+};
+
+class EkLeStage final : public ZooStageBase {
+ public:
+  EkLeStage();
+  ~EkLeStage() override;
+
+  [[nodiscard]] const char* name() const override { return "zoo_ek"; }
+  [[nodiscard]] std::uint64_t config_word() const override { return kZooConfigEk; }
+
+  [[nodiscard]] const EkLeRun* run() const { return run_.get(); }
+
+ protected:
+  void make_engine(pipeline::RunContext& ctx) override;
+  [[nodiscard]] long engine_rounds() const override;
+  [[nodiscard]] long long engine_activations() const override;
+  [[nodiscard]] bool engine_step() override;
+  [[nodiscard]] amoebot::ParticleId engine_leader() const override;
+  void engine_save(Snapshot& snap) const override;
+  void engine_restore(const Snapshot& snap) override;
+  void note_rounds(long rounds) const override;
+
+ private:
+  std::unique_ptr<EkLeRun> run_;
+};
+
+}  // namespace pm::zoo

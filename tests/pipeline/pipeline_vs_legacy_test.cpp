@@ -23,6 +23,7 @@
 #include "core/obd/obd.h"
 #include "exec/parallel_engine.h"
 #include "grid/metrics.h"
+#include "zoo/zoo.h"
 #include "util/timing.h"
 
 namespace pm::scenario {
@@ -218,6 +219,38 @@ Result legacy_run_scenario(const Spec& spec) {
       const auto bres = baselines::randomized_boundary_contest(shape, spec.seed);
       res.baseline_rounds = bres.rounds;
       res.completed = bres.completed;
+      break;
+    }
+    case Algo::ZooDaymude:
+    case Algo::ZooEmekKutten: {
+      // The algorithm zoo postdates the seed repo, so its "legacy" twin is
+      // the raw engine loop with no pipeline around it: same system
+      // construction, same unified seed, the stage adapter's budget rule
+      // (an exhausted budget executes nothing).
+      Rng rng(spec.seed);
+      auto sys = Dle::make_system(shape, rng, spec.occupancy);
+      if (sys.particle_count() <= 1) {
+        sys.state(0).status = core::Status::Leader;
+        sys.state(0).terminated = true;
+        res.completed = true;
+      } else if (spec.algo == Algo::ZooDaymude) {
+        zoo::DaymudeLeRun run(sys, spec.seed);
+        bool fin = false;
+        while (!fin && run.rounds() < spec.max_rounds) fin = run.step_round();
+        res.baseline_rounds = run.rounds();
+        res.activations = run.activations();
+        res.completed = fin;
+      } else {
+        zoo::EkLeRun run(sys);
+        bool fin = false;
+        while (!fin && run.rounds() < spec.max_rounds) fin = run.step_round();
+        res.baseline_rounds = run.rounds();
+        res.activations = run.activations();
+        res.completed = fin;
+      }
+      res.leaders = core::election_outcome(sys).leaders;
+      res.moves = sys.moves();
+      res.peak_occupancy_cells = sys.peak_occupancy_cells();
       break;
     }
   }

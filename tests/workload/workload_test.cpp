@@ -265,6 +265,48 @@ Suite legacy_audit_fuzz() {
   return suite;
 }
 
+// Not a pre-workload suite (le_zoo postdates the data registry): a
+// hand-expanded twin with every derived expression spelled as a literal, so
+// the differential below independently pins the expression evaluation.
+Suite legacy_le_zoo() {
+  Suite suite{"le_zoo",
+              "Algorithm zoo: paper pipeline vs competitor LE engines on the "
+              "adversarial shape mix",
+              {}};
+  const std::vector<Algo> algos = {Algo::DleOracle, Algo::PipelineFull,
+                                   Algo::BaselineContest, Algo::ZooDaymude,
+                                   Algo::ZooEmekKutten};
+  for (const std::uint64_t seed : {101, 202, 303}) {
+    const std::vector<Spec> shapes = {
+        legacy_shape_spec("cheese", 7, 4, seed),
+        legacy_shape_spec("blob", 400, 0, seed + 1),
+        legacy_shape_spec("spiral", 6, 2, 0),
+        legacy_shape_spec("comb", 10, 6, 0),
+        legacy_shape_spec("annulus", 10, 10 - 3, 0),
+    };
+    for (const auto& sh : shapes) {
+      for (const Algo algo : algos) {
+        Spec s = sh;
+        s.algo = algo;
+        s.seed = seed;
+        suite.specs.push_back(std::move(s));
+      }
+    }
+  }
+  for (const Spec& sh :
+       {legacy_shape_spec("cheese", 6, 3, 9), legacy_shape_spec("blob", 300, 0, 17),
+        legacy_shape_spec("comb", 8, 5, 0)}) {
+    for (const Algo algo : algos) {
+      Spec s = sh;
+      s.algo = algo;
+      s.order = Order::RandomStream;
+      s.seed = 404;
+      suite.specs.push_back(std::move(s));
+    }
+  }
+  return suite;
+}
+
 Suite legacy_suite(const std::string& name) {
   if (name == "table1") return legacy_table1();
   if (name == "obd_scaling") return legacy_obd_scaling();
@@ -276,6 +318,7 @@ Suite legacy_suite(const std::string& name) {
   if (name == "parallel_smoke") return legacy_parallel_smoke();
   if (name == "dle_adversarial") return legacy_dle_adversarial();
   if (name == "audit_fuzz") return legacy_audit_fuzz();
+  if (name == "le_zoo") return legacy_le_zoo();
   ADD_FAILURE() << "no legacy suite " << name;
   return {};
 }
@@ -293,7 +336,7 @@ std::string read_workload_file(const std::string& name) {
 
 TEST(WorkloadRegistry, EverySuiteResolvesToTheLegacySpecList) {
   const auto names = registry_names();
-  ASSERT_EQ(names.size(), 10u);
+  ASSERT_EQ(names.size(), 11u);
   for (const auto& name : names) {
     const Suite legacy = legacy_suite(name);
     const Suite data = to_scenario_suite(registry_suite(name));
@@ -413,9 +456,10 @@ TEST(WorkloadValidation, RejectsMalformedSpecs) {
   expect_rejected(
       minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"occupancy\": \"sparse\""),
       "unknown occupancy");
-  // Wrong types and floats.
+  // Wrong types and floats (a string that is not a valid derived
+  // expression fails through the expression parser).
   expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": \"three\""),
-                  "expected an integer");
+                  "unknown field 'three'");
   expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3.5"),
                   "floating-point");
   // Unknown spec field.
@@ -520,6 +564,113 @@ TEST(WorkloadResolve, SweepOrderIsLastAxisFastest) {
   EXPECT_EQ(specs[1].seed, 8u);
   EXPECT_EQ(specs[3].p1, 4);
   EXPECT_EQ(specs[3].seed, 7u);
+}
+
+// --- derived sweep axes ----------------------------------------------------
+
+TEST(WorkloadExpr, CanonicalRenderingNormalizesAndIsIdempotent) {
+  for (const auto& [raw, canon] : std::vector<std::pair<const char*, const char*>>{
+           {"p1-1", "p1 - 1"},
+           {"  seed+ 1 ", "seed + 1"},
+           {"(p1+2)*3", "(p1 + 2) * 3"},
+           {"p1*(2+3)", "p1 * (2 + 3)"},
+           {"p1 - (p2 - 1)", "p1 - (p2 - 1)"},
+           {"p1 - p2 - 1", "p1 - p2 - 1"},
+           {"((p1))", "p1"},
+           {"- p1 + 1", "-p1 + 1"},
+           {"2*max_rounds/4%7", "2 * max_rounds / 4 % 7"},
+       }) {
+    EXPECT_EQ(canonical_expr(raw, "t"), canon) << raw;
+    EXPECT_EQ(canonical_expr(canon, "t"), canon) << "not idempotent: " << canon;
+  }
+}
+
+TEST(WorkloadExpr, EvaluatesWithCxxPrecedenceAndTruncation) {
+  const auto env = [](std::string_view f) -> long long {
+    if (f == "p1") return 10;
+    if (f == "seed") return 7;
+    return 0;
+  };
+  EXPECT_EQ(eval_expr("p1 - 1", env, "t"), 9);
+  EXPECT_EQ(eval_expr("seed + 2 * p1", env, "t"), 27);
+  EXPECT_EQ(eval_expr("(seed + 2) * p1", env, "t"), 90);
+  EXPECT_EQ(eval_expr("p1 / 3", env, "t"), 3);
+  EXPECT_EQ(eval_expr("p1 % 3", env, "t"), 1);
+  EXPECT_EQ(eval_expr("-p1 + 1", env, "t"), -9);
+  EXPECT_THROW((void)eval_expr("p1 / (seed - 7)", env, "t"), WorkloadError);
+  EXPECT_THROW((void)eval_expr("9223372036854775807 + 1", env, "t"), WorkloadError);
+}
+
+TEST(WorkloadExpr, RejectsBadExpressionsAtParseTime) {
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": \"p3 + 1\""),
+                  "unknown field");
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": \"1 +\""),
+                  "bad expression");
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": \"(1\""),
+                  "missing ')'");
+  // threads stays literal-only: it is readable from expressions but a
+  // string value for it is a type error, not an expression.
+  expect_rejected(
+      minimal_suite("\"family\": \"hexagon\", \"p1\": 3, \"threads\": \"p1\""),
+      "expected an integer");
+}
+
+TEST(WorkloadExpr, ResolvesAgainstLiteralFieldsAfterAllPatchesMerge) {
+  const WorkloadSuite suite = parse_suite(
+      "{\"workload_version\": 1, \"suite\": \"t\", \"items\": [{\"sweep\": {"
+      "\"base\": {\"family\": \"annulus\", \"p2\": \"p1 - 1\", \"shape_seed\": "
+      "\"seed * 2\"}, \"axes\": [[{\"p1\": 4}, {\"p1\": 9}], [{\"seed\": 5}, "
+      "{\"seed\": 6}]]}}]}",
+      "doc");
+  const auto specs = resolve(suite);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].p1, 4);
+  EXPECT_EQ(specs[0].p2, 3);
+  EXPECT_EQ(specs[0].shape_seed, 10u);
+  EXPECT_EQ(specs[1].shape_seed, 12u);
+  EXPECT_EQ(specs[3].p1, 9);
+  EXPECT_EQ(specs[3].p2, 8);
+  EXPECT_EQ(specs[3].shape_seed, 12u);
+}
+
+TEST(WorkloadExpr, LaterPatchesReplaceExpressionsAndViceVersa) {
+  // The axis's literal p2 overrides the base's expression; the expression
+  // overrides a literal default.
+  const WorkloadSuite suite = parse_suite(
+      "{\"workload_version\": 1, \"suite\": \"t\", \"defaults\": {\"p2\": 1}, "
+      "\"items\": [{\"sweep\": {\"base\": {\"family\": \"annulus\", \"p1\": 6, "
+      "\"p2\": \"p1 - 2\"}, \"axes\": [[{}, {\"p2\": 5}]]}}]}",
+      "doc");
+  const auto specs = resolve(suite);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].p2, 4);  // defaults' literal 1 displaced by the expression
+  EXPECT_EQ(specs[1].p2, 5);  // expression displaced by the axis literal
+}
+
+TEST(WorkloadExpr, RejectsDerivedReferencingDerivedAndOutOfRangeResults) {
+  expect_rejected(minimal_suite("\"family\": \"annulus\", \"p1\": \"seed + 6\", "
+                                "\"p2\": \"p1 - 1\", \"seed\": 1"),
+                  "itself derived");
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3, "
+                                "\"p2\": \"0 - 1\""),
+                  "outside");
+  expect_rejected(minimal_suite("\"family\": \"hexagon\", \"p1\": 3, "
+                                "\"max_rounds\": \"p1 - 3\""),
+                  "outside");
+}
+
+TEST(WorkloadExpr, ExpressionsRoundTripThroughTheCodec) {
+  const std::string text =
+      "{\"workload_version\": 1, \"suite\": \"t\", \"items\": [{\"spec\": "
+      "{\"family\": \"annulus\", \"p1\": 8, \"p2\": \"p1-  1\"}}]}";
+  const WorkloadSuite suite = parse_suite(text, "doc");
+  const std::string emitted = to_json(suite);
+  EXPECT_NE(emitted.find("\"p2\": \"p1 - 1\""), std::string::npos) << emitted;
+  const WorkloadSuite reparsed = parse_suite(emitted, "doc2");
+  EXPECT_EQ(reparsed, suite);
+  EXPECT_EQ(to_json(reparsed), emitted);
+  EXPECT_EQ(resolve(reparsed), resolve(suite));
+  EXPECT_EQ(resolve(suite)[0].p2, 7);
 }
 
 }  // namespace
