@@ -1,0 +1,95 @@
+// pm_explain — causal forensics over recorded protocol event streams.
+//
+//   pm_explain events.ndjson                      # per-type summary
+//   pm_explain events.ndjson --summary
+//   pm_explain events.ndjson --why vnode=42       # newest comparison of v42
+//   pm_explain events.ndjson --why vnode=42 --round 118
+//   pm_explain --diff A.ndjson B.ndjson           # first diverging event
+//
+// Event streams come from `pm_bench ... --events PREFIX` (NDJSON format) or
+// a flight-recorder dump; see README "Event tracing & flight recorder".
+// pm_diff answers "where did the *states* diverge"; this answers "which
+// *event* diverged" and "why did this head fire that verdict" — the
+// epoch-tagged comparison chain walked back to its initiating arm event.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/explain.h"
+#include "util/check.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s EVENTS.ndjson [--summary] [--why vnode=N [--round R]]\n"
+               "       %s --diff A.ndjson B.ndjson\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::vector<pm::obs::ExplainEvent> load_file(const std::string& path) {
+  std::ifstream in(path);
+  PM_CHECK_MSG(in.good(), "cannot open event stream: " << path);
+  return pm::obs::load_ndjson(in, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    // --diff mode: exactly two stream paths.
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] != "--diff") continue;
+      if (args.size() != 3 || i != 0) return usage(argv[0]);
+      const auto a = load_file(args[1]);
+      const auto b = load_file(args[2]);
+      const pm::obs::Divergence d = pm::obs::first_divergence(a, b);
+      std::cout << d.report;
+      return d.diverged ? 1 : 0;
+    }
+
+    std::string path;
+    int why_vnode = -1;
+    long round = -1;
+    bool summary = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--summary") {
+        summary = true;
+      } else if (a == "--why") {
+        if (i + 1 >= args.size()) return usage(argv[0]);
+        const std::string spec = args[++i];
+        if (spec.rfind("vnode=", 0) != 0) return usage(argv[0]);
+        why_vnode = std::atoi(spec.c_str() + 6);
+      } else if (a == "--round") {
+        if (i + 1 >= args.size()) return usage(argv[0]);
+        round = std::atol(args[++i].c_str());
+      } else if (!a.empty() && a[0] == '-') {
+        return usage(argv[0]);
+      } else if (path.empty()) {
+        path = a;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (path.empty()) return usage(argv[0]);
+    const auto events = load_file(path);
+    if (why_vnode >= 0) {
+      std::cout << pm::obs::why(events, why_vnode, round);
+      return 0;
+    }
+    if (summary || true) {
+      std::cout << pm::obs::summarize(events);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pm_explain: %s\n", e.what());
+    return 2;
+  }
+}

@@ -46,6 +46,11 @@ void usage(const char* prog) {
       "  --audit-every N   audit cadence in rounds (default 1; implies --audit)\n"
       "  --wall            include real wall-clock times in result records\n"
       "                    (makes the output nondeterministic)\n"
+      "  --flight K        per-job flight recorder: keep the protocol events\n"
+      "                    of the last K rounds; a failing job (or one whose\n"
+      "                    audit finds a violation) dumps the frozen window\n"
+      "                    into its record as \"flight\" (round-clock only,\n"
+      "                    so output stays byte-deterministic)\n"
       "  --socket PATH     listen on a UNIX socket instead of stdin/stdout;\n"
       "                    each connection is one job stream\n"
       "  --stats           write periodic NDJSON server stats (jobs/s, queue\n"
@@ -201,6 +206,13 @@ int main(int argc, char** argv) {
       opts.audit = true;
     } else if (arg == "--wall") {
       opts.wall = true;
+    } else if (arg == "--flight" && i + 1 < argc) {
+      int flight = 0;
+      if (!parse_int(argv[++i], 1, 1'000'000'000, flight)) {
+        std::fprintf(stderr, "bad --flight value (need an integer >= 1)\n");
+        return 2;
+      }
+      opts.flight = flight;
     } else if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (arg == "--stats") {

@@ -124,15 +124,26 @@ void SystemCore::save_core(Snapshot& snap) const {
   snap.put(static_cast<std::uint64_t>(mode_));
   snap.put_i(particle_count());
   snap.put_i(moves_);
-  const bool has_dense = mode_ != OccupancyMode::Hash;
+  // A hash system whose shadow gauge is armed still carries dense geometry:
+  // it writes the shadow's box, so a later restore into a dense system
+  // reinstates the exact allocation an uninterrupted dense run would hold.
+  const bool has_dense = mode_ != OccupancyMode::Hash || shadow_.armed();
   snap.put(has_dense ? 1 : 0);
   if (has_dense) {
-    const auto& box = dense_.box();
-    snap.put_i(box.min_x());
-    snap.put_i(box.min_y());
-    snap.put_i(box.width());
-    snap.put_i(box.height());
-    snap.put_i(dense_.peak_cells());
+    if (mode_ != OccupancyMode::Hash) {
+      const auto& box = dense_.box();
+      snap.put_i(box.min_x());
+      snap.put_i(box.min_y());
+      snap.put_i(box.width());
+      snap.put_i(box.height());
+      snap.put_i(dense_.peak_cells());
+    } else {
+      snap.put_i(shadow_.min_x());
+      snap.put_i(shadow_.min_y());
+      snap.put_i(shadow_.width());
+      snap.put_i(shadow_.height());
+      snap.put_i(shadow_.peak_cells());
+    }
   }
   for (const Body& b : bodies_) {
     snap.put_i(b.head.x);
@@ -146,11 +157,11 @@ void SystemCore::save_core(Snapshot& snap) const {
 void SystemCore::restore_core(const Snapshot& snap) {
   snap.expect_mark(kSnapSystem);
   // The saved occupancy mode is informational: snapshots are portable
-  // across modes (the index choice is observably neutral). Restoring a
-  // dense-saved snapshot into a hash system drops the box geometry;
-  // restoring a hash-saved one into a dense system regrows the box from
-  // scratch — in both cases peak_occupancy_cells restarts, every other
-  // quantity is bit-identical.
+  // across modes (the index choice is observably neutral, the peak gauge
+  // included). A dense-saved snapshot restored into a hash system arms the
+  // geometry shadow, which replays the dense growth rule so the gauge keeps
+  // advancing exactly as the dense box would; restoring back into a dense
+  // system reinstates the shadow's box as the real allocation.
   (void)snap.get();
   const auto n = static_cast<std::size_t>(snap.get_i());
   PM_CHECK_MSG(bodies_.empty(), "restore_core requires a freshly constructed system");
@@ -164,6 +175,8 @@ void SystemCore::restore_core(const Snapshot& snap) {
     const long long peak = snap.get_i();
     if (mode_ != OccupancyMode::Hash) {
       dense_.restore_box(min_x, min_y, width, height, peak);
+    } else {
+      shadow_.arm(min_x, min_y, width, height, peak);
     }
   }
   bodies_.reserve(n);

@@ -127,9 +127,19 @@ class SystemCore {
 
   [[nodiscard]] OccupancyMode occupancy_mode() const { return mode_; }
 
-  // Peak cell count of the dense occupancy box over the system's lifetime
-  // (0 in pure hash mode) — the run metric reported as peak extent.
-  [[nodiscard]] long long peak_occupancy_cells() const { return dense_.peak_cells(); }
+  // Peak cell count of the dense occupancy box over the system's lifetime —
+  // the run metric reported as peak extent. 0 in a pure hash-mode run; a
+  // hash system restored from a dense-geometry checkpoint keeps the gauge
+  // alive through a geometry shadow (grid::BoxShadow), so the metric
+  // survives occupancy switches across kills and resumes.
+  [[nodiscard]] long long peak_occupancy_cells() const {
+    return mode_ == OccupancyMode::Hash ? shadow_.peak_cells() : dense_.peak_cells();
+  }
+
+  // Read-only view of the dense index, for instrumentation that needs real
+  // cell addresses (the bench/ false-sharing probe maps batch members' cell
+  // footprints onto cache lines). Empty in pure hash mode.
+  [[nodiscard]] const grid::DenseOccupancy& dense_index() const { return dense_; }
 
   // All occupied nodes (heads and tails), deterministic order by particle.
   [[nodiscard]] std::vector<grid::Node> occupied_nodes() const;
@@ -209,11 +219,13 @@ class SystemCore {
 
   // --- checkpoint/resume (pipeline layer) ---
   //
-  // save_core captures bodies, the movement counter, and the dense index's
-  // exact box geometry + peak; restore_core rebuilds a freshly constructed
-  // SystemCore (same OccupancyMode) into a bit-identical configuration —
-  // including peak_occupancy_cells, so a resumed run reports the same
-  // metrics as an uninterrupted one. Per-particle algorithm state is the
+  // save_core captures bodies, the movement counter, and the exact box
+  // geometry + peak (from the dense index, or from the shadow when a hash
+  // system carries restored dense geometry); restore_core rebuilds a
+  // freshly constructed SystemCore — of any OccupancyMode — into a
+  // configuration with identical observable state, peak_occupancy_cells
+  // included, so a resumed run reports the same metrics as an uninterrupted
+  // one even across occupancy switches. Per-particle algorithm state is the
   // caller's (System<State> owner's) to serialize alongside.
   void save_core(Snapshot& snap) const;
   void restore_core(const Snapshot& snap);
@@ -225,7 +237,11 @@ class SystemCore {
   }
 
   void occ_insert(grid::Node v, ParticleId p) {
-    if (mode_ != OccupancyMode::Hash) dense_.insert(v, p);
+    if (mode_ != OccupancyMode::Hash) {
+      dense_.insert(v, p);
+    } else {
+      shadow_.cover(v);  // no-op unless armed by a dense-geometry restore
+    }
     if (mode_ != OccupancyMode::Dense) map_.emplace(v, p);
   }
   void occ_erase(grid::Node v) {
@@ -274,6 +290,7 @@ class SystemCore {
   OccupancyMode mode_ = kDefaultOccupancy;
   std::vector<Body> bodies_;
   grid::DenseOccupancy dense_;
+  grid::BoxShadow shadow_;  // hash mode's stand-in for the dense peak gauge
   std::unordered_map<grid::Node, ParticleId, grid::NodeHash> map_;
   int expanded_count_ = 0;
   long long moves_ = 0;

@@ -6,6 +6,7 @@
 
 #include "audit/node_codec.h"
 #include "core/obd/obd.h"
+#include "obs/obs.h"
 #include "pipeline/stages.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
@@ -507,6 +508,7 @@ void Auditor::begin(const grid::Shape& initial, const grid::ShapeMetrics* metric
 
 void Auditor::attach(pipeline::RunContext& ctx, const grid::ShapeMetrics* metrics) {
   if (!began_) begin(ctx.initial, metrics);
+  if (ctx.events != nullptr) events_ = ctx.events;
   auto prev_erode = ctx.erode_hook;
   ctx.erode_hook = [this, prev_erode](Node v) {
     if (prev_erode) prev_erode(v);
@@ -564,7 +566,9 @@ void Auditor::observe_round(const AuditView& view, StageKind kind,
   info.stage_name = stage_name;
   info.stage_done = stage_done;
   info.eroded = pending_eroded_;
+  const std::size_t viol_before = violations_.size();
   for (const auto& inv : invariants_) inv->round(view, info);
+  publish_violations(viol_before);
   if (timed) {
     static const telemetry::Histogram h_check("audit.check_ns", telemetry::Kind::Time);
     h_check.observe(static_cast<std::uint64_t>(
@@ -587,7 +591,9 @@ void Auditor::end(const AuditView* final_view, FinishInfo info) {
   }
   info.eroded = pending_eroded_;
   info.dle_pull = info.dle_pull || saw_dle_pull_;
+  const std::size_t viol_before = violations_.size();
   for (const auto& inv : invariants_) inv->finish(final_view, info);
+  publish_violations(viol_before);
   pending_eroded_.clear();
   maybe_fail_fast();
 }
@@ -704,6 +710,25 @@ std::string Auditor::report() const {
 
 void Auditor::maybe_fail_fast() {
   if (opts_.fail_fast && !violations_.empty()) throw CheckError(report());
+}
+
+// Mirrors newly detected violations into the event stream (ordered lane —
+// observe_round and end both run on the main thread) and freezes the flight
+// window on the first breach so the retained ring documents the lead-up.
+void Auditor::publish_violations(std::size_t first_new) {
+  if (events_ == nullptr || violations_.size() <= first_new) return;
+  for (std::size_t i = first_new; i < violations_.size(); ++i) {
+    const Violation& vi = violations_[i];
+    obs::Event e;
+    e.type = obs::Type::AuditViolation;
+    e.stage = "audit";
+    e.val = vi.round;
+    e.note = vi.invariant + ": " + vi.detail;
+    events_->emit(std::move(e));
+  }
+  if (!events_->captured()) {
+    events_->capture("audit violation: " + violations_[first_new].invariant);
+  }
 }
 
 }  // namespace pm::audit

@@ -307,7 +307,10 @@ class Auditor {
   // firing). Call again on every freshly built pipeline context of the
   // same run (checkpoint resume rebuilds contexts); the audit state
   // carries over. `metrics` avoids recomputing shape metrics when the
-  // caller already has them.
+  // caller already has them. When ctx.events is set, every violation is
+  // also emitted as an AuditViolation event and the first one freezes the
+  // recorder's flight window (obs::Recorder::capture) — the generalized
+  // form of the round-budget watchdog's ad-hoc last-rounds dump.
   void attach(pipeline::RunContext& ctx, const grid::ShapeMetrics* metrics = nullptr);
   // Final checks once the pipeline is done.
   void finish(const pipeline::PipelineOutcome& out, const pipeline::RunContext& ctx);
@@ -346,7 +349,9 @@ class Auditor {
 
  private:
   void maybe_fail_fast();
+  void publish_violations(std::size_t first_new);
 
+  obs::Recorder* events_ = nullptr;  // set by attach(); may stay null
   Options opts_;
   std::vector<std::unique_ptr<Invariant>> invariants_;
   std::vector<Violation> violations_;

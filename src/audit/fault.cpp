@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -65,6 +66,11 @@ void FaultRunner::set_trace(TraceWriter* writer) {
   trace_ = writer;
 }
 
+void FaultRunner::set_events(obs::Recorder* events) {
+  PM_CHECK_MSG(pipe_ == nullptr, "set_events before the run starts");
+  events_ = events;
+}
+
 void FaultRunner::set_checkpoint(long every_rounds, std::string path) {
   PM_CHECK_MSG(every_rounds >= 0, "checkpoint cadence must be >= 0");
   PM_CHECK_MSG(every_rounds == 0 || !path.empty(), "checkpointing needs a file path");
@@ -74,6 +80,8 @@ void FaultRunner::set_checkpoint(long every_rounds, std::string path) {
 
 void FaultRunner::build(int threads, OccupancyMode occupancy) {
   pipe_ = std::make_unique<Pipeline>(make_(threads, occupancy));
+  // Recorder first: the auditor reads ctx.events at attach time.
+  if (events_ != nullptr) obs::attach(*events_, pipe_->context());
   if (auditor_ != nullptr) auditor_->attach(pipe_->context(), metrics_);
   if (trace_ != nullptr) trace_->attach(*pipe_);
 }
@@ -136,7 +144,24 @@ void FaultRunner::write_checkpoint() {
                "cannot move checkpoint into place at " << checkpoint_path_);
 }
 
+namespace {
+
+void note_fault(obs::Recorder* rec, obs::Type type, const FaultPlan::Kill& kill,
+                long steps) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = type;
+  e.stage = "fault";
+  e.v = kill.resume_threads;
+  e.val = steps;
+  e.note = kill.through_text ? "text" : "memory";
+  rec->emit(std::move(e));
+}
+
+}  // namespace
+
 void FaultRunner::do_kill(const FaultPlan::Kill& kill) {
+  note_fault(events_, obs::Type::FaultKill, kill, steps_);
   Snapshot snap;
   pipe_->save(snap);
   ++kills_executed_;
@@ -154,6 +179,7 @@ void FaultRunner::do_kill(const FaultPlan::Kill& kill) {
     pipe_->restore(snap);
     // In-process resume: the live auditor object carries its own state.
   }
+  note_fault(events_, obs::Type::FaultResume, kill, steps_);
 }
 
 pipeline::PipelineOutcome FaultRunner::run() {

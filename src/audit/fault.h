@@ -7,9 +7,7 @@
 // kind (sequential <-> exec::ParallelEngine) or occupancy index (dense <->
 // hash). Because checkpoints are exact and engine/occupancy choices are
 // observably neutral, the completed run's Results are bit-identical to an
-// uninterrupted run (the occupancy peak gauge being the one documented
-// exception when the index is switched mid-run), and an attached Auditor
-// stays clean across every kill.
+// uninterrupted run, and an attached Auditor stays clean across every kill.
 //
 // FaultRunner also hosts the two checkpoint workflows pm_bench exposes:
 // periodic auto-checkpointing (--checkpoint-every) and resume-from-latest
@@ -67,6 +65,9 @@ class FaultRunner {
   // rebuilt pipeline). The metrics pointer spares the auditor a recompute.
   void set_auditor(Auditor* auditor, const grid::ShapeMetrics* metrics = nullptr);
   void set_trace(TraceWriter* writer);
+  // Event recorder (src/obs): re-attached to every rebuilt pipeline, so one
+  // stream spans all kills; each kill/resume pair is itself recorded.
+  void set_events(obs::Recorder* events);
   // Write a checkpoint (pipeline + auditor state) to `path` every
   // `every_rounds` pipeline rounds, atomically (tmp file + rename).
   void set_checkpoint(long every_rounds, std::string path);
@@ -97,6 +98,7 @@ class FaultRunner {
   Auditor* auditor_ = nullptr;
   const grid::ShapeMetrics* metrics_ = nullptr;
   TraceWriter* trace_ = nullptr;
+  obs::Recorder* events_ = nullptr;
   long checkpoint_every_ = 0;
   std::string checkpoint_path_;
   std::unique_ptr<pipeline::Pipeline> pipe_;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "grid/coord.h"
+#include "obs/obs.h"
 
 namespace pm::core {
 
@@ -11,6 +12,20 @@ using amoebot::kNoParticle;
 using amoebot::ParticleId;
 using grid::Dir;
 using grid::Node;
+
+namespace {
+
+void obs_phase(obs::Recorder* rec, const char* name, int phase_k) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = obs::Type::CollectPhase;
+  e.stage = "collect";
+  e.val = phase_k;
+  e.note = name;
+  rec->emit(std::move(e));
+}
+
+}  // namespace
 
 CollectRun::CollectRun(amoebot::SystemCore& sys, ParticleId leader) : sys_(sys) {
   PM_CHECK_MSG(!sys.body(leader).expanded(), "leader must be contracted");
@@ -107,9 +122,12 @@ void CollectRun::start_phase() {
   chains_.assign(stem_.size(), {});
   ops_.assign(stem_.size(), 0);
   stage_ = Stage::OmpExpand;
-  // The constructor runs before the caller can attach on_stage; the first
-  // phase's notification is emitted by the first step_round() instead.
-  if (on_stage && phases_ > 1) on_stage("phase-start", k_);
+  // The constructor runs before the caller can attach on_stage (or events);
+  // the first phase's notification is emitted by the first step_round().
+  if (phases_ > 1) {
+    if (on_stage) on_stage("phase-start", k_);
+    obs_phase(events, "phase-start", k_);
+  }
 }
 
 void CollectRun::enter_stage(Stage s) {
@@ -118,19 +136,18 @@ void CollectRun::enter_stage(Stage s) {
   // Detect (§4.3.3): the root/leaf verifies that the whole stem finished the
   // previous part by a token walk — charged as stem-length idle rounds.
   idle_ += static_cast<long>(stem_.size());
-  if (on_stage) {
-    const char* name = "";
-    switch (s) {
-      case Stage::OmpExpand: name = "omp-expand"; break;
-      case Stage::OmpContract: name = "omp-contract"; break;
-      case Stage::PrpMove: name = "prp-move"; break;
-      case Stage::PrpStagger: name = "prp-stagger"; break;
-      case Stage::SdpExpand: name = "sdp-expand"; break;
-      case Stage::SdpCompact: name = "sdp-compact"; break;
-      case Stage::Done: name = "done"; break;
-    }
-    on_stage(name, k_);
+  const char* name = "";
+  switch (s) {
+    case Stage::OmpExpand: name = "omp-expand"; break;
+    case Stage::OmpContract: name = "omp-contract"; break;
+    case Stage::PrpMove: name = "prp-move"; break;
+    case Stage::PrpStagger: name = "prp-stagger"; break;
+    case Stage::SdpExpand: name = "sdp-expand"; break;
+    case Stage::SdpCompact: name = "sdp-compact"; break;
+    case Stage::Done: name = "done"; break;
   }
+  if (on_stage) on_stage(name, k_);
+  obs_phase(events, name, k_);
 }
 
 bool CollectRun::all_slots_expanded() const {
@@ -497,7 +514,10 @@ void CollectRun::assert_phase_end_invariants() {
 
 bool CollectRun::step_round() {
   if (stage_ == Stage::Done) return true;
-  if (rounds_ == 0 && on_stage) on_stage("phase-start", k_);
+  if (rounds_ == 0) {
+    if (on_stage) on_stage("phase-start", k_);
+    obs_phase(events, "phase-start", k_);
+  }
   ++rounds_;
   if (idle_ > 0) {
     --idle_;
@@ -576,6 +596,7 @@ bool CollectRun::step_round() {
         if (newly_ == 0) {
           stage_ = Stage::Done;
           if (on_stage) on_stage("done", static_cast<int>(stem_.size()));
+          obs_phase(events, "done", static_cast<int>(stem_.size()));
         } else {
           start_phase();
         }

@@ -32,6 +32,10 @@
 #include "amoebot/system.h"
 #include "util/snapshot.h"
 
+namespace pm::obs {
+class Recorder;
+}
+
 namespace pm::core {
 
 // A double-ended sequence of particle ids on one flat allocation: pushes and
@@ -114,6 +118,11 @@ class CollectRun {
   // Observation hook: invoked at every stage transition (for the figure
   // reproduction examples and tests).
   std::function<void(const char* stage, int phase_k)> on_stage;
+
+  // Structured protocol event recorder (src/obs); null = off. Single-
+  // threaded engine: ordered lane, same sites as on_stage. Not serialized:
+  // re-set after restore (CollectStage does).
+  obs::Recorder* events = nullptr;
 
  private:
   enum class Stage {

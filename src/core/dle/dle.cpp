@@ -130,6 +130,7 @@ void Dle::activate(ParticleView<DleState>& p) {
   // Lines 14-15: no adjacent eligible points -> leader.
   if (runs.eligible_count == 0) {
     s.status = Status::Leader;
+    if (on_leader) on_leader(p.id(), p.head_node_instrumentation());
     return;
   }
 

@@ -72,6 +72,10 @@ class Dle {
   // Instrumentation only (not consulted by the algorithm): reports every
   // point removed from S_e, letting tests replay Lemma 11's invariants.
   std::function<void(grid::Node)> on_erode;
+  // Instrumentation only: fires when a particle declares itself Leader
+  // (line 15 of the algorithm). Under exec::ParallelEngine both hooks run
+  // on pool threads — implementations must be thread-safe.
+  std::function<void(amoebot::ParticleId, grid::Node)> on_leader;
 
  private:
   Options opts_{};

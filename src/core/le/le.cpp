@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "pipeline/pipeline.h"
 
 namespace pm::core {
@@ -19,6 +20,7 @@ PipelineResult elect_leader(System<DleState>& sys, const PipelineOptions& opts) 
   ctx.threads = opts.threads;
   ctx.max_rounds = opts.max_rounds;
   ctx.sys = &sys;  // operate in place on the caller's system
+  if (opts.events != nullptr) obs::attach(*opts.events, ctx);
   pipeline::Pipeline pipe = pipeline::Pipeline::standard(
       std::move(ctx), {.use_boundary_oracle = opts.use_boundary_oracle,
                        .reconnect = opts.reconnect,

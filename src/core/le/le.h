@@ -15,6 +15,10 @@
 #include "core/dle/dle.h"
 #include "grid/shape.h"
 
+namespace pm::obs {
+class Recorder;
+}
+
 namespace pm::core {
 
 struct PipelineOptions {
@@ -29,6 +33,9 @@ struct PipelineOptions {
   // threads for the DLE stage (bit-for-bit identical results either way;
   // the round-synchronous OBD/Collect stages are unaffected).
   int threads = 0;
+  // Optional protocol event recorder (src/obs); attached to the pipeline's
+  // run context (obs::attach), so the stream covers all three stages.
+  obs::Recorder* events = nullptr;
 };
 
 struct PipelineResult {

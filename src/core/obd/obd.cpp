@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pm::core {
 
 using amoebot::kNoParticle;
@@ -9,6 +11,21 @@ using amoebot::ParticleId;
 using Kind = ObdRun::Token::Kind;
 
 namespace {
+
+// Ordered-lane emission helper; every OBD site is a one-liner through this.
+void obs_emit(obs::Recorder* rec, obs::Type type, int v, int peer, int epoch,
+              std::int64_t val, const char* note) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = type;
+  e.stage = "obd";
+  e.v = v;
+  e.peer = peer;
+  e.epoch = epoch;
+  e.val = val;
+  e.note = note;
+  rec->emit(std::move(e));
+}
 // Sanity bound on per-v-node queues. The paper distributes each train over
 // per-node constant slots; this engine lets a train accumulate at its
 // comparison venue instead (same aggregate memory, simpler bookkeeping), so
@@ -109,6 +126,8 @@ void ObdRun::start_competition(int v) {
   // livelock).
   head.lbl_verdict = static_cast<std::int8_t>((head.lbl_verdict + 1) % 100);
   const auto epoch = static_cast<std::int8_t>(head.lbl_verdict);
+  obs_emit(events, obs::Type::ObdArm, v, rings_.cw_succ(v), epoch, 0, "");
+  obs_emit(events, obs::Type::TrainCreate, v, -1, epoch, 0, "len");
   std::erase_if(head.cw, [](const Token& t) { return t.kind == Kind::LenUnit; });
   // The head's own length unit leads the train (HEAD flag); the create
   // token arms the rest of the segment tail-wards.
@@ -271,6 +290,8 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
       if (vn.is_head && lane_remaining(t.lane) == 0) {
         // Back at the initiator.
         if (trace) std::printf("[r%ld] v%d STABVERDICT val=%d j=%d\n", rounds_, to, (int)t.value, lane_original(t.lane));
+        obs_emit(events, obs::Type::ObdVerdict, to, lane_original(t.lane), -1,
+                 t.value, "stab");
         if (vn.phase == HeadPhase::StabWait && vn.stab_j == lane_original(t.lane)) {
           if (t.value != 0 && !vn.defector) {
             ++vn.stab_j;
@@ -305,6 +326,7 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
       if (vn.is_head && vn.phase == HeadPhase::OuterWait &&
           t.value == static_cast<int>(vn.stab_k)) {
         // Full circle: every outer v-node knows; announce via flooding.
+        obs_emit(events, obs::Type::ObdOuter, to, -1, -1, vn.ring, "");
         vn.phase = HeadPhase::Announced;
         flood_started_ = true;
         detected_ring_ = vn.ring;
@@ -451,6 +473,8 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       }
       // Verdict reached the initiator: -1 smaller, 0 equal, +1 larger.
       if (trace) std::printf("[r%ld] v%d LEN verdict %d\n", rounds_, to, (int)t.value);
+      obs_emit(events, obs::Type::ObdVerdict, to, -1,
+               static_cast<std::int8_t>(t.lane), t.value, "len");
       if (t.value < 0) {
         if (vn.is_tail) {  // singleton locks itself directly
           vn.locked = true;
@@ -572,6 +596,7 @@ bool ObdRun::step_round() {
     VN& vn = vns_[static_cast<std::size_t>(v)];
     if (!vn.pledged || !vn.defector) continue;
     if (trace) std::printf("[r%ld] v%d FREED (defector)\n", rounds_, v);
+    obs_emit(events, obs::Type::ObdFree, v, -1, -1, 0, "");
     const bool was_head = vn.is_head;
     const bool was_comparing =
         vn.phase == HeadPhase::LenWait || vn.phase == HeadPhase::LblWait;
@@ -644,6 +669,7 @@ void ObdRun::check_len_verdict(int v) {
     decided = true;
   }
   if (!decided) return;
+  obs_emit(events, obs::Type::TrainConsume, v, -1, epoch, verdict, "len");
   std::erase_if(vn.cw, [&](const Token& t) {
     return t.kind == Kind::LenUnit && t.value == epoch;
   });
@@ -662,6 +688,7 @@ void ObdRun::launch_label_compare(int v) {
   // stale remnants of earlier, cancelled comparisons.
   vn.lbl_verdict = static_cast<std::int8_t>((vn.lbl_verdict + 1) % 100);
   const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+  obs_emit(events, obs::Type::TrainCreate, v, -1, epoch, 0, "lbl");
   std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::LblUnit; });
   Token mine;
   mine.kind = Kind::LblUnit;
@@ -690,6 +717,7 @@ void ObdRun::launch_sum_verify(int v) {
   vn.phase = HeadPhase::SumWait;
   vn.lbl_verdict = static_cast<std::int8_t>((vn.lbl_verdict + 1) % 100);
   const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+  obs_emit(events, obs::Type::TrainCreate, v, -1, epoch, 0, "sum");
   std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::SumUnit; });
   for (const bool positive : {true, false}) {
     Token unit;
@@ -716,6 +744,7 @@ void ObdRun::launch_stab_probe(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
   vn.phase = HeadPhase::StabWait;
   const int j = vn.stab_j;
+  obs_emit(events, obs::Type::TrainCreate, v, -1, -1, j, "stab");
   Token mine;
   mine.kind = Kind::StabProbe;
   mine.value = vn.count;
@@ -738,6 +767,7 @@ void ObdRun::launch_stab_probe(int v) {
 void ObdRun::became_stable(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
   if (trace) std::printf("[r%ld] v%d STABLE sum=%d k=%d\n", rounds_, v, (int)vn.sum_value, (int)vn.stab_k);
+  obs_emit(events, obs::Type::ObdStable, v, vn.stab_k, -1, vn.sum_value, "");
   vn.stab_passed = true;
   if (vn.sum_value > 0) {
     // Observation 4: positive total count sum identifies the outer ring.
@@ -839,8 +869,9 @@ void ObdRun::compare_stab_queues(int v) {
 // Shared abort path for the liveness watchdog and the competitor-vanished
 // check: purge this head's own traffic, sweep the comparison remnants out of
 // the successor segment, release a lock we may hold, and start over.
-void ObdRun::abort_competition(int v) {
+void ObdRun::abort_competition(int v, const char* reason) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
+  obs_emit(events, obs::Type::ObdAbort, v, -1, vn.lbl_verdict, 0, reason);
   emit_abort(v);
   auto own = [](const Token& t) {
     return t.kind == Kind::LenUnit || t.kind == Kind::LblUnit ||
@@ -890,7 +921,7 @@ void ObdRun::process_head(int v) {
       4 * static_cast<long>(rings_.rings()[static_cast<std::size_t>(vn.ring)].size()) + 64;
   if (watched && rounds_ - vn.phase_since > timeout) {
     if (trace) std::printf("[r%ld] v%d WATCHDOG phase=%d\n", rounds_, v, (int)vn.phase);
-    abort_competition(v);
+    abort_competition(v, "watchdog");
     return;
   }
 
@@ -912,7 +943,7 @@ void ObdRun::process_head(int v) {
     const VN& s = vns_[static_cast<std::size_t>(rings_.cw_succ(v))];
     if (!s.pledged || s.defector || !s.is_tail) {
       if (trace) std::printf("[r%ld] v%d COMPETITOR GONE phase=%d\n", rounds_, v, (int)vn.phase);
-      abort_competition(v);
+      abort_competition(v, "competitor_gone");
       return;
     }
   }
@@ -925,6 +956,7 @@ void ObdRun::process_head(int v) {
       if (!s.pledged) {
         // Absorb the free successor; it becomes the segment's new head.
         if (trace) std::printf("[r%ld] v%d ABSORBS v%d\n", rounds_, v, succ);
+        obs_emit(events, obs::Type::ObdAbsorb, v, succ, -1, 0, "");
         s.pledged = true;
         s.is_head = true;
         s.is_tail = false;
@@ -974,6 +1006,7 @@ void ObdRun::process_head(int v) {
       }
       if (!decided) return;  // equal so far, compare next pair next round
       if (trace) std::printf("[r%ld] v%d LBL verdict %d (mine=%d theirs=%d)\n", rounds_, v, (int)verdict, (int)mine.value, (int)theirs.value);
+      obs_emit(events, obs::Type::ObdVerdict, v, succ, epoch, verdict, "lbl");
       // Clean up both trains (the paper's delete/clean tokens, §5.2):
       // my remaining label units locally, the reversed-train remnants in
       // the successor segment up to (and unmarking) the marked v-node.
@@ -1073,6 +1106,7 @@ void ObdRun::process_head(int v) {
           const int sum = p.value + n.value;
           std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::SumUnit; });
           if (trace) std::printf("[r%ld] v%d SUM=%d\n", rounds_, v, sum);
+          obs_emit(events, obs::Type::ObdVerdict, v, -1, epoch, sum, "sum");
           const int mag = sum < 0 ? -sum : sum;
           if (mag == 1 || mag == 2 || mag == 3 || mag == 6) {
             vn.sum_value = static_cast<std::int8_t>(sum);

@@ -41,6 +41,10 @@
 #include "grid/vnode.h"
 #include "util/snapshot.h"
 
+namespace pm::obs {
+class Recorder;
+}
+
 namespace pm::core {
 
 class ObdRun {
@@ -89,6 +93,11 @@ class ObdRun {
 
   // Verbose event tracing to stdout (debugging aid).
   bool trace = false;
+
+  // Structured protocol event recorder (src/obs); null = off. The engine is
+  // round-synchronous and single-threaded, so every emission uses the
+  // ordered lane. Not serialized: re-set after restore (ObdStage does).
+  obs::Recorder* events = nullptr;
 
   // Implementation detail, public only so translation-unit helpers can name
   // the nested types.
@@ -170,7 +179,7 @@ class ObdRun {
   void process_head(int v);
   void check_len_verdict(int v);
   void emit_abort(int v);
-  void abort_competition(int v);
+  void abort_competition(int v, const char* reason);
   [[nodiscard]] bool queue_has(const VN& vn, Token::Kind k) const;
 
   // Movement predicates and arrival processing for the two directions.

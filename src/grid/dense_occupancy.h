@@ -16,6 +16,7 @@
 // lives in the grid layer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "grid/coord.h"
@@ -27,6 +28,9 @@ class DenseOccupancy {
  public:
   using Value = std::int32_t;
   static constexpr Value kEmpty = -1;
+  // Padding floor of grow_to (shared with BoxShadow, which must replay the
+  // exact same growth rule).
+  static constexpr std::int64_t kGrowPad = 4;
 
   DenseOccupancy() = default;
 
@@ -81,8 +85,6 @@ class DenseOccupancy {
   }
 
  private:
-  static constexpr std::int64_t kGrowPad = 4;
-
   // Grows the box to cover [lo, hi] (padded, existing cells kept) and
   // refreshes the peak-extent metric.
   void grow_to(std::int64_t lo_x, std::int64_t lo_y, std::int64_t hi_x,
@@ -91,6 +93,71 @@ class DenseOccupancy {
   FlatBox<Value> box_;
   std::size_t size_ = 0;
   long long peak_cells_ = 0;
+};
+
+// Geometry-only shadow of a DenseOccupancy box. A system running on the
+// hash index after restoring a dense-geometry checkpoint replays the dense
+// box's exact growth rule here — no allocation, just the box arithmetic —
+// so the peak-extent gauge survives occupancy switches: a dense → hash →
+// dense round-trip reports the same peak as an uninterrupted dense run.
+// Disarmed (the default, and the state of a pure hash-mode run that never
+// held dense geometry) it reports peak 0 and cover() costs one branch.
+class BoxShadow {
+ public:
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] long long peak_cells() const { return peak_; }
+  [[nodiscard]] std::int64_t min_x() const { return min_x_; }
+  [[nodiscard]] std::int64_t min_y() const { return min_y_; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
+
+  // Seeds the shadow with a checkpoint's box geometry and peak.
+  void arm(std::int64_t min_x, std::int64_t min_y, std::int64_t width,
+           std::int64_t height, long long peak) {
+    armed_ = true;
+    min_x_ = min_x;
+    min_y_ = min_y;
+    width_ = width;
+    height_ = height;
+    peak_ = peak;
+  }
+
+  // Replays the growth a dense insert of v would trigger (FlatBox::grow_to
+  // union-and-pad with DenseOccupancy's floor), geometry only.
+  void cover(Node v) {
+    if (!armed_) return;
+    const std::int64_t dx = v.x - min_x_;
+    const std::int64_t dy = v.y - min_y_;
+    if (static_cast<std::uint64_t>(dx) < static_cast<std::uint64_t>(width_) &&
+        static_cast<std::uint64_t>(dy) < static_cast<std::uint64_t>(height_)) {
+      return;
+    }
+    std::int64_t lo_x = v.x;
+    std::int64_t lo_y = v.y;
+    std::int64_t hi_x = v.x;
+    std::int64_t hi_y = v.y;
+    if (width_ > 0) {
+      lo_x = std::min(lo_x, min_x_);
+      lo_y = std::min(lo_y, min_y_);
+      hi_x = std::max(hi_x, min_x_ + width_ - 1);
+      hi_y = std::max(hi_y, min_y_ + height_ - 1);
+    }
+    const std::int64_t pad_x = std::max(DenseOccupancy::kGrowPad, (hi_x - lo_x + 1) / 4);
+    const std::int64_t pad_y = std::max(DenseOccupancy::kGrowPad, (hi_y - lo_y + 1) / 4);
+    min_x_ = lo_x - pad_x;
+    min_y_ = lo_y - pad_y;
+    width_ = (hi_x + pad_x) - min_x_ + 1;
+    height_ = (hi_y + pad_y) - min_y_ + 1;
+    peak_ = std::max(peak_, static_cast<long long>(width_ * height_));
+  }
+
+ private:
+  bool armed_ = false;
+  std::int64_t min_x_ = 0;
+  std::int64_t min_y_ = 0;
+  std::int64_t width_ = 0;
+  std::int64_t height_ = 0;
+  long long peak_ = 0;
 };
 
 }  // namespace pm::grid

@@ -1,0 +1,201 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "workload/json.h"
+
+namespace pm::obs {
+
+namespace {
+
+long long int_field(const workload::Json& obj, const char* key,
+                    const std::string& where) {
+  const workload::Json* f = obj.find(key);
+  if (f == nullptr) {
+    throw workload::WorkloadError(where + ": missing field \"" + key + "\"");
+  }
+  return f->as_int(INT64_MIN / 2, INT64_MAX / 2, where + "." + key);
+}
+
+std::string str_field(const workload::Json& obj, const char* key,
+                      const std::string& where) {
+  const workload::Json* f = obj.find(key);
+  if (f == nullptr) {
+    throw workload::WorkloadError(where + ": missing field \"" + key + "\"");
+  }
+  return f->as_str(where + "." + key);
+}
+
+}  // namespace
+
+std::vector<ExplainEvent> load_ndjson(std::istream& in, const std::string& where) {
+  std::vector<ExplainEvent> events;
+  std::string line;
+  long lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string ctx = where + ":" + std::to_string(lineno);
+    const workload::Json obj = workload::Json::parse(line, ctx);
+    ExplainEvent e;
+    e.round = static_cast<long>(int_field(obj, "round", ctx));
+    e.seq = static_cast<long>(int_field(obj, "seq", ctx));
+    e.type = str_field(obj, "type", ctx);
+    e.stage = str_field(obj, "stage", ctx);
+    e.v = static_cast<int>(int_field(obj, "v", ctx));
+    e.peer = static_cast<int>(int_field(obj, "peer", ctx));
+    e.epoch = static_cast<int>(int_field(obj, "epoch", ctx));
+    e.val = int_field(obj, "val", ctx);
+    e.note = str_field(obj, "note", ctx);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::string format_event(const ExplainEvent& e) {
+  std::ostringstream out;
+  out << "round " << e.round << " seq " << e.seq << ": " << e.type;
+  if (!e.stage.empty()) out << " [" << e.stage << "]";
+  if (e.v >= 0) out << " v=" << e.v;
+  if (e.peer >= 0) out << " peer=" << e.peer;
+  if (e.epoch >= 0) out << " epoch=" << e.epoch;
+  out << " val=" << e.val;
+  if (!e.note.empty()) out << " (" << e.note << ")";
+  return out.str();
+}
+
+namespace {
+
+bool is_comparison_event(const ExplainEvent& e) {
+  return e.type == "obd_arm" || e.type == "obd_verdict" || e.type == "obd_abort" ||
+         e.type == "train_create" || e.type == "train_consume";
+}
+
+bool closes_comparison(const ExplainEvent& e) {
+  return e.type == "obd_verdict" || e.type == "obd_abort";
+}
+
+}  // namespace
+
+std::string why(const std::vector<ExplainEvent>& events, int v, long round) {
+  std::ostringstream out;
+  out << "why: v-node " << v;
+  if (round >= 0) out << " at round " << round;
+  out << "\n";
+
+  // The anchor: the newest comparison event of v at or before `round`.
+  long anchor = -1;
+  for (long i = 0; i < static_cast<long>(events.size()); ++i) {
+    const ExplainEvent& e = events[static_cast<std::size_t>(i)];
+    if (round >= 0 && e.round > round) break;
+    if (e.v != v || !is_comparison_event(e)) continue;
+    if (anchor < 0 || closes_comparison(e) ||
+        !closes_comparison(events[static_cast<std::size_t>(anchor)])) {
+      anchor = i;
+    }
+  }
+  if (anchor < 0) {
+    out << "  no comparison events for v-node " << v
+        << (round >= 0 ? " at or before that round" : "") << "\n";
+    return out.str();
+  }
+  const ExplainEvent& a = events[static_cast<std::size_t>(anchor)];
+  out << "  anchor: " << format_event(a) << "\n";
+
+  // The epoch tag names the comparison; every event of (v, epoch) up to the
+  // anchor is its causal chain, and the arm event initiated it. Length
+  // verdicts can form at a *successor* v-node (train ran dry mid-segment),
+  // so peer matches count too.
+  const int epoch = a.epoch;
+  if (epoch < 0) {
+    out << "  anchor carries no epoch tag; nothing to chain\n";
+    return out.str();
+  }
+  // Walk back to the initiating arm: the most recent arm of (v, epoch) at
+  // or before the anchor. (Epochs are per-head counters mod 100, so an
+  // ancient comparison can share the tag — starting at the newest arm keeps
+  // the chain to this launch.)
+  long arm = -1;
+  for (long i = anchor; i >= 0; --i) {
+    const ExplainEvent& e = events[static_cast<std::size_t>(i)];
+    if (e.type == "obd_arm" && e.v == v && e.epoch == epoch) {
+      arm = i;
+      break;
+    }
+  }
+  out << "  causal chain (epoch " << epoch << "):\n";
+  if (arm < 0) {
+    out << "    (no arm event retained for this epoch — the stream may be a "
+           "flight-recorder window that starts after the launch)\n";
+  }
+  for (long i = (arm >= 0 ? arm : 0); i <= anchor; ++i) {
+    const ExplainEvent& e = events[static_cast<std::size_t>(i)];
+    if (e.epoch != epoch || !is_comparison_event(e)) continue;
+    if (e.v != v && e.peer != v) continue;
+    out << "    " << format_event(e);
+    if (i == arm) out << "    <- initiating arm";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Divergence first_divergence(const std::vector<ExplainEvent>& a,
+                            const std::vector<ExplainEvent>& b) {
+  Divergence d;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const ExplainEvent& x = a[i];
+    const ExplainEvent& y = b[i];
+    const bool same = x.round == y.round && x.seq == y.seq && x.type == y.type &&
+                      x.stage == y.stage && x.v == y.v && x.peer == y.peer &&
+                      x.epoch == y.epoch && x.val == y.val && x.note == y.note;
+    if (same) continue;
+    d.diverged = true;
+    d.index = static_cast<long>(i);
+    std::ostringstream out;
+    out << "first divergence at event " << i << ":\n";
+    out << "  A: " << format_event(x) << "\n";
+    out << "  B: " << format_event(y) << "\n";
+    d.report = out.str();
+    return d;
+  }
+  if (a.size() != b.size()) {
+    d.diverged = true;
+    d.index = static_cast<long>(n);
+    std::ostringstream out;
+    out << "streams agree on the first " << n << " events, then "
+        << (a.size() > b.size() ? "A" : "B") << " continues with:\n  "
+        << format_event(a.size() > b.size() ? a[n] : b[n]) << "\n";
+    d.report = out.str();
+    return d;
+  }
+  d.report = "streams are identical (" + std::to_string(a.size()) + " events)\n";
+  return d;
+}
+
+std::string summarize(const std::vector<ExplainEvent>& events) {
+  std::ostringstream out;
+  if (events.empty()) {
+    out << "empty event stream\n";
+    return out.str();
+  }
+  std::map<std::string, long> counts;
+  long lo = events.front().round;
+  long hi = events.front().round;
+  for (const ExplainEvent& e : events) {
+    ++counts[e.type];
+    lo = std::min(lo, e.round);
+    hi = std::max(hi, e.round);
+  }
+  out << events.size() << " events, rounds " << lo << ".." << hi << "\n";
+  for (const auto& [type, n] : counts) {
+    out << "  " << type << ": " << n << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pm::obs

@@ -1,0 +1,67 @@
+// Causal queries over a recorded event stream (the pm_explain engine).
+//
+// Loads the NDJSON produced by obs::Recorder::write_ndjson and answers the
+// forensic questions PR 8's livelock hunt had to reconstruct by hand:
+//   * why(v, round) — walk the epoch-tagged comparison-train chain backward
+//     from the newest verdict/abort of v-node v at or before `round` to the
+//     arm event that initiated it, and print the chain forward;
+//   * first_divergence(a, b) — the first event where two streams of the
+//     same spec disagree (complementing pm_diff's state-level view).
+//
+// Header-level API so tests drive the queries directly; bench/pm_explain.cpp
+// is a thin CLI over this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pm::obs {
+
+// A parsed event line. Mirrors obs::Event but with the type as its wire
+// name: pm_explain consumes streams from other builds/commits, so it keys
+// on the serialized schema, not the in-process enum.
+struct ExplainEvent {
+  long round = 0;
+  long seq = 0;
+  std::string type;
+  std::string stage;
+  int v = -1;
+  int peer = -1;
+  int epoch = -1;
+  long long val = 0;
+  std::string note;
+};
+
+// Strict parse of a full NDJSON stream; throws workload::WorkloadError with
+// the offending line number on malformed input. `where` names the source.
+[[nodiscard]] std::vector<ExplainEvent> load_ndjson(std::istream& in,
+                                                    const std::string& where);
+
+// One event re-rendered for the report ("round 118 seq 4: obd_verdict ...").
+[[nodiscard]] std::string format_event(const ExplainEvent& e);
+
+// The causal chain behind v-node `v`'s newest comparison event at or before
+// `round` (-1 = end of stream): the initiating arm, the train launches and
+// consumptions of that epoch, and the verdict/abort that closed it.
+// Returns a human-readable multi-line report; empty chain cases explain
+// themselves in the report text.
+[[nodiscard]] std::string why(const std::vector<ExplainEvent>& events, int v,
+                              long round);
+
+// First index at which the two streams differ (compares the serialized
+// payload, not the text line), or -1 when one is a prefix of the other
+// (length mismatch reported via the report string) or the streams match.
+struct Divergence {
+  long index = -1;        // event index of the first difference
+  bool diverged = false;  // false = identical streams
+  std::string report;     // human-readable summary
+};
+[[nodiscard]] Divergence first_divergence(const std::vector<ExplainEvent>& a,
+                                          const std::vector<ExplainEvent>& b);
+
+// Per-type event counts plus the round span ("--summary", also the default
+// output when pm_explain gets no query).
+[[nodiscard]] std::string summarize(const std::vector<ExplainEvent>& events);
+
+}  // namespace pm::obs

@@ -1,0 +1,247 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "pipeline/pipeline.h"
+#include "util/check.h"
+
+namespace pm::obs {
+
+const char* type_name(Type t) noexcept {
+  switch (t) {
+    case Type::StageEnter: return "stage_enter";
+    case Type::StageExit: return "stage_exit";
+    case Type::ObdArm: return "obd_arm";
+    case Type::TrainCreate: return "train_create";
+    case Type::TrainConsume: return "train_consume";
+    case Type::ObdVerdict: return "obd_verdict";
+    case Type::ObdAbort: return "obd_abort";
+    case Type::ObdAbsorb: return "obd_absorb";
+    case Type::ObdFree: return "obd_free";
+    case Type::ObdStable: return "obd_stable";
+    case Type::ObdOuter: return "obd_outer";
+    case Type::Erode: return "erode";
+    case Type::Leader: return "leader";
+    case Type::CollectPhase: return "collect_phase";
+    case Type::ZooSubphase: return "zoo_subphase";
+    case Type::AuditViolation: return "audit_violation";
+    case Type::FaultKill: return "fault_kill";
+    case Type::FaultResume: return "fault_resume";
+  }
+  return "unknown";
+}
+
+void Recorder::emit(Event e) {
+  e.round = round_;
+  pending_.push_back(std::move(e));
+}
+
+void Recorder::emit_async(Event e) {
+  e.round = round_;
+  const std::lock_guard<std::mutex> lock(async_mu_);
+  async_.push_back(std::move(e));
+}
+
+void Recorder::begin_round() {
+  flush_pending();
+  ++round_;
+  seq_ = 0;
+}
+
+void Recorder::end_round() { flush_pending(); }
+
+void Recorder::finalize() { flush_pending(); }
+
+void Recorder::flush_pending() {
+  // Async events first join the pending tail in canonical payload order:
+  // within one round every async event is unique (a node erodes at most
+  // once, a leader is elected once), so sorting by the full payload is a
+  // deterministic total order for any thread interleaving.
+  {
+    const std::lock_guard<std::mutex> lock(async_mu_);
+    if (!async_.empty()) {
+      std::sort(async_.begin(), async_.end(), [](const Event& a, const Event& b) {
+        return std::tie(a.type, a.v, a.peer, a.epoch, a.val, a.note) <
+               std::tie(b.type, b.v, b.peer, b.epoch, b.val, b.note);
+      });
+      pending_.insert(pending_.end(), std::make_move_iterator(async_.begin()),
+                      std::make_move_iterator(async_.end()));
+      async_.clear();
+    }
+  }
+  if (pending_.empty()) return;
+  for (Event& e : pending_) {
+    e.seq = seq_++;
+    events_.push_back(std::move(e));
+  }
+  pending_.clear();
+  if (opts_.ring_rounds > 0) {
+    while (!events_.empty() && events_.front().round + opts_.ring_rounds <= round_) {
+      events_.pop_front();
+    }
+  }
+}
+
+void Recorder::capture(const std::string& reason) {
+  if (captured_) return;  // the first failure's window is the forensic one
+  flush_pending();
+  captured_ = true;
+  capture_reason_ = reason;
+  capture_.assign(events_.begin(), events_.end());
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_ndjson_line(const Event& e) {
+  std::string out;
+  out += "{\"round\":";
+  out += std::to_string(e.round);
+  out += ",\"seq\":";
+  out += std::to_string(e.seq);
+  out += ",\"type\":\"";
+  out += type_name(e.type);
+  out += "\",\"stage\":\"";
+  append_escaped(out, e.stage);
+  out += "\",\"v\":";
+  out += std::to_string(e.v);
+  out += ",\"peer\":";
+  out += std::to_string(e.peer);
+  out += ",\"epoch\":";
+  out += std::to_string(e.epoch);
+  out += ",\"val\":";
+  out += std::to_string(e.val);
+  out += ",\"note\":\"";
+  append_escaped(out, e.note);
+  out += "\"}";
+  return out;
+}
+
+void Recorder::write_ndjson(std::ostream& out) const {
+  PM_CHECK_MSG(pending_.empty() && async_.empty(),
+               "Recorder::write_ndjson before finalize()");
+  for (const Event& e : events_) {
+    out << to_ndjson_line(e) << '\n';
+  }
+}
+
+namespace {
+
+// The virtual clock: microseconds advance 1000 per round, 1 per event, so
+// Perfetto renders rounds as millisecond ticks. Purely round-derived — no
+// wall-clock input, byte-deterministic. Rounds wider than 1000 events spill
+// into the next tick visually but keep strict event order.
+std::int64_t virtual_ts(const Event& e) {
+  return e.round * 1000 + static_cast<std::int64_t>(std::min<std::uint32_t>(e.seq, 999u));
+}
+
+// Perfetto "tid" lanes group event families into separate tracks.
+int lane_of(Type t) {
+  switch (t) {
+    case Type::StageEnter:
+    case Type::StageExit: return 0;
+    case Type::Erode:
+    case Type::Leader: return 2;
+    case Type::CollectPhase: return 3;
+    case Type::ZooSubphase: return 4;
+    case Type::AuditViolation: return 5;
+    case Type::FaultKill:
+    case Type::FaultResume: return 6;
+    default: return 1;  // the OBD comparison machinery
+  }
+}
+
+}  // namespace
+
+void Recorder::write_perfetto(std::ostream& out) const {
+  PM_CHECK_MSG(pending_.empty() && async_.empty(),
+               "Recorder::write_perfetto before finalize()");
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit_one = [&](const std::string& body) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << body;
+  };
+  for (const Event& e : events_) {
+    std::string body = "{\"name\":\"";
+    if (e.type == Type::StageEnter || e.type == Type::StageExit) {
+      append_escaped(body, e.stage);
+      body += "\",\"ph\":\"";
+      body += (e.type == Type::StageEnter) ? 'B' : 'E';
+    } else {
+      body += type_name(e.type);
+      body += "\",\"ph\":\"i\",\"s\":\"t";
+    }
+    body += "\",\"ts\":";
+    body += std::to_string(virtual_ts(e));
+    body += ",\"pid\":1,\"tid\":";
+    body += std::to_string(lane_of(e.type));
+    body += ",\"args\":{\"round\":";
+    body += std::to_string(e.round);
+    body += ",\"seq\":";
+    body += std::to_string(e.seq);
+    body += ",\"stage\":\"";
+    append_escaped(body, e.stage);
+    body += "\",\"v\":";
+    body += std::to_string(e.v);
+    body += ",\"peer\":";
+    body += std::to_string(e.peer);
+    body += ",\"epoch\":";
+    body += std::to_string(e.epoch);
+    body += ",\"val\":";
+    body += std::to_string(e.val);
+    body += ",\"note\":\"";
+    append_escaped(body, e.note);
+    body += "\"}}";
+    emit_one(body);
+  }
+  out << "\n]}\n";
+}
+
+std::vector<std::string> Recorder::capture_ndjson() const {
+  std::vector<std::string> lines;
+  lines.reserve(capture_.size());
+  for (const Event& e : capture_) lines.push_back(to_ndjson_line(e));
+  return lines;
+}
+
+void attach(Recorder& rec, pipeline::RunContext& ctx) {
+  ctx.events = &rec;
+  auto prev = ctx.erode_hook;
+  ctx.erode_hook = [&rec, prev = std::move(prev)](grid::Node v) {
+    if (prev) prev(v);
+    Event e;
+    e.type = Type::Erode;
+    e.stage = "dle";
+    e.val = pack_xy(v.x, v.y);
+    rec.emit_async(std::move(e));
+  };
+}
+
+}  // namespace pm::obs

@@ -1,0 +1,181 @@
+// Protocol flight recorder — causal event tracing for the whole pipeline.
+//
+// The telemetry layer (src/telemetry) answers "how much": aggregate counters
+// and histograms, deterministic in their count kind. This layer answers
+// "why": a structured log of typed protocol events — stage transitions, OBD
+// comparison lifecycles (arm/verdict/abort with their epoch tags), token
+// train launches, S_e erosions, zoo subphase transitions, audit outcomes,
+// fault injections — ordered by (round, commit-order sequence index).
+//
+// Determinism contract (the same one telemetry's count kind and the BENCH
+// artifacts obey): for a fixed spec the event stream is bit-identical across
+// reruns, thread counts, `--jobs` shards, and sequential-vs-parallel
+// engines. Two lanes make that hold:
+//   * the ordered lane (emit): main-thread protocol engines (OBD, Collect,
+//     the zoo, the pipeline itself, the auditor) — events keep emission
+//     order, which is already deterministic;
+//   * the async lane (emit_async): callbacks that fire on pool threads
+//     under exec::ParallelEngine (DLE erosions, leader election). These are
+//     buffered under a mutex and sorted into a canonical payload order at
+//     the round flush, after the round's ordered events — exactly the
+//     Auditor's erosion-buffer idiom, applied to the event stream.
+//
+// Modes: unbounded (every event retained, for --events captures) or a
+// bounded flight-recorder ring (ring_rounds > 0: only the last K rounds are
+// retained). capture() freezes the retained window — the auditor calls it
+// on the first violation (round-budget watchdog trips included), pm_serve
+// on a job error — generalising the watchdog's ad-hoc last-8-rounds dump.
+//
+// Export: NDJSON (one uniform-schema object per line, the pm_explain input
+// format) and Chrome/Perfetto trace-event JSON with round-clock virtual
+// timestamps (ts = round * 1000 + seq microseconds) — both byte-
+// deterministic, no wall-clock fields at all.
+//
+// Level gating follows telemetry's runtime-level idiom, collapsed to the
+// pointer itself: a null Recorder* is "off" and instrument sites pay one
+// branch; there is no global registry, so concurrent --jobs scenarios each
+// record into their own instance without sharing state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pm::pipeline {
+struct RunContext;
+}
+
+namespace pm::obs {
+
+enum class Type : std::uint8_t {
+  StageEnter,     // pipeline stage begins; stage = name
+  StageExit,      // pipeline stage done; val = rounds the stage took
+  ObdArm,         // head v armed a comparison against successor peer
+  TrainCreate,    // a token train launched; note names the kind
+  TrainConsume,   // a train fully consumed, producing a result token
+  ObdVerdict,     // comparison verdict reached head v; note = len/lbl/sum/stab
+  ObdAbort,       // head v aborted its comparison; note = reason
+  ObdAbsorb,      // head v absorbed free successor peer
+  ObdFree,        // defector v-node v freed itself
+  ObdStable,      // head v passed the stability check; val = count sum
+  ObdOuter,       // outer ring detected at head v; val = ring id
+  Erode,          // DLE removed a point from S_e; val = packed (x, y)
+  Leader,         // a particle became leader; v = particle id
+  CollectPhase,   // Collect engine transition; note = stage, val = phase k
+  ZooSubphase,    // zoo agent v changed subphase/role; note names it
+  AuditViolation, // an invariant fired; note = invariant name
+  FaultKill,      // fault injection killed the run; val = kill index
+  FaultResume,    // the run resumed from the post-kill snapshot
+};
+
+[[nodiscard]] const char* type_name(Type t) noexcept;
+
+// One protocol event. `round` and `seq` are assigned by the Recorder:
+// round is the pipeline-global round counter, seq the commit-order index
+// within the round (ordered-lane events first, in emission order; async-
+// lane events after, in canonical payload order).
+struct Event {
+  long round = 0;
+  std::uint32_t seq = 0;
+  Type type{};
+  const char* stage = "";   // static-duration stage name
+  std::int32_t v = -1;      // primary entity: v-node / agent / particle id
+  std::int32_t peer = -1;   // secondary entity
+  std::int32_t epoch = -1;  // comparison-epoch tag (OBD trains)
+  std::int64_t val = 0;     // verdict / sum / phase / packed payload
+  std::string note;         // short static-ish detail (train kind, reason)
+};
+
+// Packs a grid coordinate pair into Event::val (and back, for pm_explain).
+[[nodiscard]] constexpr std::int64_t pack_xy(std::int32_t x, std::int32_t y) noexcept {
+  return (static_cast<std::int64_t>(static_cast<std::uint32_t>(x)) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(y));
+}
+
+class Recorder {
+ public:
+  struct Options {
+    // 0 = unbounded stream; K > 0 = flight-recorder ring keeping only
+    // events of the last K rounds.
+    long ring_rounds = 0;
+  };
+
+  Recorder() = default;
+  explicit Recorder(Options opts) : opts_(opts) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // --- recording ---------------------------------------------------------
+
+  // Ordered lane: main thread only (the thread driving the pipeline).
+  void emit(Event e);
+  // Async lane: safe from any thread; sorted into canonical payload order
+  // at the next round flush.
+  void emit_async(Event e);
+
+  // Round boundary, driven by pipeline::Pipeline::step_round: flushes the
+  // pending events of the round that just ran (ordered first, async events
+  // sorted after), assigns seq, prunes the ring. begin_round() bumps the
+  // round counter the subsequent events are tagged with.
+  void begin_round();
+  void end_round();
+  [[nodiscard]] long round() const { return round_; }
+
+  // Flushes any events emitted after the last end_round (stage exits,
+  // fault kills at the boundary). Call before export.
+  void finalize();
+
+  // --- flight capture ----------------------------------------------------
+
+  // Freezes a copy of the retained window (first call wins; later calls
+  // are ignored so the dump describes the *first* failure).
+  void capture(const std::string& reason);
+  [[nodiscard]] bool captured() const { return captured_; }
+  [[nodiscard]] const std::string& capture_reason() const { return capture_reason_; }
+  [[nodiscard]] const std::vector<Event>& capture_events() const { return capture_; }
+
+  // --- inspection / export ------------------------------------------------
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+
+  // One JSON object per line, uniform schema — the pm_explain input format.
+  void write_ndjson(std::ostream& out) const;
+  // Chrome/Perfetto trace-event JSON (chrome://tracing and ui.perfetto.dev
+  // both load it): stage spans as B/E pairs, everything else as instants,
+  // with virtual timestamps ts = round * 1000 + seq.
+  void write_perfetto(std::ostream& out) const;
+  // The frozen capture window as NDJSON lines (empty when !captured()).
+  [[nodiscard]] std::vector<std::string> capture_ndjson() const;
+
+ private:
+  void flush_pending();
+
+  Options opts_{};
+  long round_ = 0;
+  std::uint32_t seq_ = 0;          // next seq within the current round
+  std::vector<Event> pending_;     // ordered lane, current round
+  std::vector<Event> async_;       // async lane, current round (mutexed)
+  std::mutex async_mu_;
+  std::deque<Event> events_;       // flushed, ring-pruned when bounded
+
+  bool captured_ = false;
+  std::string capture_reason_;
+  std::vector<Event> capture_;
+};
+
+// Serializes one event as its NDJSON line (shared by the stream writer and
+// the flight-dump paths so the formats cannot drift).
+[[nodiscard]] std::string to_ndjson_line(const Event& e);
+
+// Chains `rec` onto a pipeline run context: sets ctx.events and wraps
+// ctx.erode_hook so S_e removals land in the async lane (previous hooks
+// keep firing, the Auditor's chaining idiom). Call before stages are
+// initialized; re-call after a fault-injection rebuild.
+void attach(Recorder& rec, pipeline::RunContext& ctx);
+
+}  // namespace pm::obs

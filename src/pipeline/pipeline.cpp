@@ -5,6 +5,7 @@
 #include "baselines/baselines.h"
 #include "core/collect/collect.h"
 #include "core/obd/obd.h"
+#include "obs/obs.h"
 #include "pipeline/stages.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
@@ -139,7 +140,30 @@ void Pipeline::init() {
   enter_stage();
 }
 
+namespace {
+
+void note_stage_enter(obs::Recorder* rec, const Stage& s) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = obs::Type::StageEnter;
+  e.stage = s.name();
+  rec->emit(std::move(e));
+}
+
+void note_stage_exit(obs::Recorder* rec, const Stage& s) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = obs::Type::StageExit;
+  e.stage = s.name();
+  e.val = s.metrics().rounds;
+  if (!s.succeeded()) e.note = "failed";
+  rec->emit(std::move(e));
+}
+
+}  // namespace
+
 void Pipeline::enter_stage() {
+  note_stage_enter(ctx_.events, *stages_[current_]);
   stages_[current_]->init(ctx_);
   advance_past_done();
 }
@@ -174,6 +198,7 @@ void note_stage_done(const Stage& s) {
 void Pipeline::advance_past_done() {
   while (!done_ && stages_[current_]->done()) {
     note_stage_done(*stages_[current_]);
+    note_stage_exit(ctx_.events, *stages_[current_]);
     if (!stages_[current_]->succeeded()) {
       done_ = true;  // a failed stage stops the pipeline
       return;
@@ -182,6 +207,7 @@ void Pipeline::advance_past_done() {
       done_ = true;
       return;
     }
+    note_stage_enter(ctx_.events, *stages_[current_]);
     stages_[current_]->init(ctx_);
   }
 }
@@ -189,10 +215,12 @@ void Pipeline::advance_past_done() {
 bool Pipeline::step_round() {
   if (!inited_) init();
   if (done_) return true;
+  if (ctx_.events != nullptr) ctx_.events->begin_round();
   Stage& stage = *stages_[current_];
   stage.step_round();
   if (ctx_.on_round) ctx_.on_round(stage, ctx_);
   advance_past_done();
+  if (ctx_.events != nullptr) ctx_.events->end_round();
   return done_;
 }
 
@@ -258,9 +286,9 @@ void Pipeline::restore(const Snapshot& snap) {
   PM_CHECK_MSG(snap.get() == static_cast<std::uint64_t>(ctx_.order),
                "snapshot scheduler-order mismatch");
   // The occupancy mode is an index implementation choice, observably
-  // neutral (identical trajectories and metrics except the dense index's
-  // peak-extent gauge) — like the thread count, it may legitimately differ
-  // on resume, and the fault-injection harness exercises exactly that.
+  // neutral (identical trajectories and metrics, the peak-extent gauge
+  // included) — like the thread count, it may legitimately differ on
+  // resume, and the fault-injection harness exercises exactly that.
   (void)snap.get();
   PM_CHECK_MSG(snap.get_i() == ctx_.max_rounds, "snapshot round-budget mismatch");
   PM_CHECK_MSG(snap.get() == shape_fingerprint(ctx_.initial),

@@ -36,6 +36,10 @@
 #include "util/snapshot.h"
 #include "util/timing.h"
 
+namespace pm::obs {
+class Recorder;
+}
+
 namespace pm::pipeline {
 
 // The single seed convention. Every run derives both its construction rng
@@ -106,6 +110,11 @@ struct RunContext {
   // pool threads, so the hook must be thread-safe. Not serialized:
   // re-attach after restore.
   ErodeHook erode_hook;
+  // Optional protocol event recorder (src/obs). Null = tracing off; every
+  // instrument site pays one pointer test. The Pipeline drives its round
+  // clock; stages and engines emit through it. Not serialized: re-attach
+  // (obs::attach) after restore, as with the hooks above.
+  obs::Recorder* events = nullptr;
 
   // --- run state (managed by Pipeline) ---
   System* sys = nullptr;
@@ -228,7 +237,8 @@ class Pipeline {
   // freshly constructed Pipeline with an identical stage composition and
   // configuration (seeds, order; the thread count and occupancy mode may
   // differ — engine snapshots are engine-portable, and the occupancy index
-  // is observably neutral apart from the peak-extent gauge).
+  // is observably neutral, peak-extent gauge included: a hash system
+  // restored from dense geometry keeps the gauge via a shadow box).
   void save(Snapshot& snap) const;
   void restore(const Snapshot& snap);
 

@@ -6,6 +6,7 @@
 #include "core/collect/collect.h"
 #include "core/obd/obd.h"
 #include "exec/parallel_engine.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace pm::pipeline {
@@ -28,6 +29,7 @@ void ObdStage::init(RunContext& ctx) {
     return;
   }
   obd_ = std::make_unique<core::ObdRun>(ctx.system());
+  obd_->events = ctx.events;
   status_ = StageStatus::Running;
 }
 
@@ -67,6 +69,7 @@ void ObdStage::state_restore(RunContext& ctx, const Snapshot& snap) {
   ctx_ = &ctx;
   t0_ = WallClock::now();
   obd_ = std::make_unique<core::ObdRun>(ctx.system());
+  obd_->events = ctx.events;
   obd_->restore(snap);
 }
 
@@ -98,6 +101,19 @@ void DleStage::make_driver(RunContext& ctx, bool start_now) {
   // driver construction, including checkpoint restore, because hooks are
   // never serialized.
   algo_.on_erode = ctx.erode_hook;
+  if (obs::Recorder* rec = ctx.events; rec != nullptr) {
+    // Leader election may fire on a pool thread: async lane.
+    algo_.on_leader = [rec](ParticleId p, grid::Node at) {
+      obs::Event e;
+      e.type = obs::Type::Leader;
+      e.stage = "dle";
+      e.v = static_cast<std::int32_t>(p);
+      e.val = obs::pack_xy(at.x, at.y);
+      rec->emit_async(std::move(e));
+    };
+  } else {
+    algo_.on_leader = nullptr;
+  }
   const amoebot::RunOptions ropts{ctx.order, ctx.seeds.schedule_seed(), ctx.max_rounds};
   if (ctx.activation_hook) {
     PM_CHECK_MSG(ctx.threads == 0,
@@ -167,6 +183,7 @@ void CollectStage::init(RunContext& ctx) {
   PM_CHECK_MSG(ctx.leader != amoebot::kNoParticle,
                "Collect requires an elected leader (run a DLE stage first)");
   collect_ = std::make_unique<core::CollectRun>(ctx.system(), ctx.leader);
+  collect_->events = ctx.events;
   status_ = StageStatus::Running;
 }
 
@@ -193,6 +210,7 @@ void CollectStage::state_restore(RunContext& ctx, const Snapshot& snap) {
   ctx_ = &ctx;
   t0_ = WallClock::now();
   collect_ = std::make_unique<core::CollectRun>(ctx.system(), snap);
+  collect_->events = ctx.events;
 }
 
 // --- ErosionStage ----------------------------------------------------------

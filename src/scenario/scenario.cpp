@@ -16,6 +16,7 @@
 #include "audit/trace.h"
 #include "exec/thread_pool.h"
 #include "grid/metrics.h"
+#include "obs/obs.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/stages.h"
 #include "shapegen/shapegen.h"
@@ -263,9 +264,12 @@ Result run_scenario(const Spec& spec, const RunHooks& hooks) {
     return ctx;
   };
 
+  const bool recording = !hooks.events_path.empty();
+  PM_CHECK_MSG(!(recording && hooks.events != nullptr),
+               "events_path and a caller-owned events recorder are mutually exclusive");
   const bool instrumented = spec.fault_seed != 0 || hooks.audit ||
                             !hooks.trace_path.empty() || hooks.checkpoint_every > 0 ||
-                            hooks.resume;
+                            hooks.resume || recording || hooks.events != nullptr;
   if (!instrumented) {
     // The plain path, untouched: build one pipeline, run it to completion.
     pipeline::Pipeline pipe = build_pipeline(spec, make_ctx(spec.threads, spec.occupancy));
@@ -293,6 +297,15 @@ Result run_scenario(const Spec& spec, const RunHooks& hooks) {
       },
       std::move(plan), spec.threads, spec.occupancy);
 
+  obs::Recorder recorder;  // unbounded: the whole run, flushed to a file
+  if (recording) {
+    PM_CHECK_MSG(hooks.events_format == "ndjson" || hooks.events_format == "perfetto",
+                 "unknown events format '" << hooks.events_format
+                                           << "' (known: ndjson, perfetto)");
+    runner.set_events(&recorder);
+  } else if (hooks.events != nullptr) {
+    runner.set_events(hooks.events);
+  }
   std::unique_ptr<audit::Auditor> auditor;
   if (hooks.audit) {
     audit::Options aopts;
@@ -352,6 +365,21 @@ Result run_scenario(const Spec& spec, const RunHooks& hooks) {
       }
     }
   }
+  if (recording) {
+    // After auditor->finish: end-of-run violations belong in the stream.
+    recorder.finalize();
+    std::ofstream file(hooks.events_path);
+    if (file) {
+      if (hooks.events_format == "perfetto") {
+        recorder.write_perfetto(file);
+      } else {
+        recorder.write_ndjson(file);
+      }
+    } else {
+      std::fprintf(stderr, "scenario %s: cannot write events %s\n", spec_label(res),
+                   hooks.events_path.c_str());
+    }
+  }
   if (tracing) {
     writer.finish(out, pctx);
     std::ofstream file(hooks.trace_path);
@@ -386,6 +414,11 @@ std::vector<Result> run_suite(const Suite& suite, const SuiteRunOptions& opts) {
     std::snprintf(idx, sizeof idx, "%03d", index);
     if (!opts.trace_prefix.empty()) {
       hooks.trace_path = opts.trace_prefix + "." + suite.name + "." + idx + ".trace";
+    }
+    if (!opts.events_prefix.empty()) {
+      hooks.events_format = opts.events_format;
+      hooks.events_path = opts.events_prefix + "." + suite.name + "." + idx +
+                          (opts.events_format == "perfetto" ? ".json" : ".ndjson");
     }
     if (opts.checkpoint_every > 0 || opts.resume) {
       hooks.checkpoint_every = opts.checkpoint_every;
@@ -737,6 +770,12 @@ void usage(const char* prog) {
       "                         are always audited)\n"
       "  --trace=PREFIX         record one trajectory trace per scenario to\n"
       "                         PREFIX.<suite>.<NNN>.trace (baselines skipped)\n"
+      "  --events=PREFIX        record one protocol event stream per scenario to\n"
+      "                         PREFIX.<suite>.<NNN>.{ndjson,json}; timestamps are\n"
+      "                         the deterministic round clock, so files are\n"
+      "                         byte-identical across reruns, --threads and --jobs\n"
+      "  --events-format=F      ndjson (default; pm_explain input) | perfetto\n"
+      "                         (Chrome trace JSON, load via ui.perfetto.dev)\n"
       "  --replay=FILE          replay a recorded trace instead of running suites:\n"
       "                         re-executes it, checks bit-identical trajectory, and\n"
       "                         audits both live and offline; exit 0 iff clean\n"
@@ -812,6 +851,9 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   std::string csv_path;
   std::string replay_path;
   std::string trace_prefix;
+  std::string events_prefix;
+  std::string events_format = "ndjson";
+  bool have_events_format = false;
   std::string checkpoint_dir = ".";
   std::string emit_spec_dir;
   std::string metrics_path;
@@ -921,6 +963,19 @@ int bench_main(int argc, char** argv, const char* default_suite) {
         return 2;
       }
       trace_prefix = v;
+    } else if (arg == "--events" || arg.rfind("--events=", 0) == 0) {
+      if (!next_value("--events", v) || v.empty()) {
+        std::fprintf(stderr, "--events needs a file prefix\n");
+        return 2;
+      }
+      events_prefix = v;
+    } else if (arg == "--events-format" || arg.rfind("--events-format=", 0) == 0) {
+      if (!next_value("--events-format", v) || (v != "ndjson" && v != "perfetto")) {
+        std::fprintf(stderr, "bad --events-format value (ndjson | perfetto)\n");
+        return 2;
+      }
+      events_format = v;
+      have_events_format = true;
     } else if (arg == "--replay" || arg.rfind("--replay=", 0) == 0) {
       if (!next_value("--replay", v) || v.empty()) {
         std::fprintf(stderr, "--replay needs a trace file\n");
@@ -962,6 +1017,10 @@ int bench_main(int argc, char** argv, const char* default_suite) {
   if (!emit_spec_dir.empty() && !spec_files.empty()) {
     std::fprintf(stderr, "--emit-spec writes the built-in registry; it cannot be "
                          "combined with --spec\n");
+    return 2;
+  }
+  if (have_events_format && events_prefix.empty()) {
+    std::fprintf(stderr, "--events-format without --events records nothing\n");
     return 2;
   }
   if (compare && have_occ) {
@@ -1118,6 +1177,8 @@ int bench_main(int argc, char** argv, const char* default_suite) {
     ropts.audit = do_audit;
     ropts.audit_every = audit_every;
     ropts.trace_prefix = trace_prefix;
+    ropts.events_prefix = events_prefix;
+    ropts.events_format = events_format;
     ropts.checkpoint_every = checkpoint_every;
     ropts.checkpoint_dir = checkpoint_dir;
     ropts.resume = resume;

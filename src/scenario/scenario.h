@@ -27,6 +27,10 @@
 // seeing them.
 #include "scenario/names.h"
 
+namespace pm::obs {
+class Recorder;
+}
+
 namespace pm::scenario {
 
 // Which algorithm (or baseline) a scenario drives.
@@ -144,6 +148,18 @@ struct RunHooks {
   // Resume from `checkpoint_path` when it holds a valid checkpoint of this
   // exact scenario; otherwise run fresh (with a stderr note).
   bool resume = false;
+  // Record the structured protocol event stream (src/obs) to this file.
+  // `events_format` is "ndjson" (one event object per line) or "perfetto"
+  // (Chrome trace JSON, load via ui.perfetto.dev). Timestamps are the
+  // deterministic round clock, so under --no-wall conventions the file is
+  // byte-identical across reruns, thread counts, and --jobs fan-out.
+  std::string events_path;
+  std::string events_format = "ndjson";
+  // Caller-owned recorder wired into the run instead of `events_path` (the
+  // two are mutually exclusive). pm_serve's per-job flight ring records
+  // through this; the caller finalizes and exports, run_scenario only
+  // attaches it (and the Auditor freezes it on the first violation).
+  obs::Recorder* events = nullptr;
   // Out-param (may be null): one formatted line per audit violation.
   std::vector<std::string>* audit_report = nullptr;
 };
@@ -177,6 +193,10 @@ struct SuiteRunOptions {
   long checkpoint_every = 0;
   std::string checkpoint_dir = ".";
   bool resume = false;
+  // Protocol event recording, one stream per scenario under
+  // PREFIX.<suite>.<NNN>.{ndjson,json} (extension follows the format).
+  std::string events_prefix;
+  std::string events_format = "ndjson";
 };
 
 // Runs every spec of a suite (in spec order; a failed scenario yields an
@@ -220,6 +240,7 @@ void print_results(const Suite& suite, const std::vector<Result>& results,
 //            [--reps N] [--json-dir=DIR] [--no-json] [--no-wall] [--csv=FILE]
 //            [--occupancy=dense|hash|differential] [--compare-occupancy]
 //            [--audit] [--audit-every=N] [--trace=PREFIX] [--replay=FILE]
+//            [--events=PREFIX] [--events-format=ndjson|perfetto]
 //            [--checkpoint-every=N] [--checkpoint-dir=DIR] [--resume]
 //            [--metrics=FILE] [--metrics-detail]
 // `default_suite` is what a per-suite shim binary runs when no suite is

@@ -10,7 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 #include "scenario/scenario.h"
 #include "telemetry/telemetry.h"
 #include "util/timing.h"
@@ -33,12 +36,39 @@ struct JobOutcome {
   double ms = 0.0;  // job latency; measured only when stats/telemetry want it
 };
 
+// The frozen flight window as one JSON object (events embedded as the same
+// objects the NDJSON export writes, so pm_explain-style tooling can read
+// them back out).
+std::string flight_json(const obs::Recorder& rec) {
+  std::string s = "{\"reason\": \"" + json_escape(rec.capture_reason()) + "\", \"events\": [";
+  const std::vector<std::string> lines = rec.capture_ndjson();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += lines[i];
+  }
+  s += "]}";
+  return s;
+}
+
+// Finalizes the job's flight ring and returns its dump — freezing it first
+// when nothing (e.g. the Auditor) already did, so the window describes the
+// rounds leading up to this failure. Empty when flight recording is off.
+std::string flight_dump(obs::Recorder* rec, const std::string& reason) {
+  if (rec == nullptr) return {};
+  rec->finalize();
+  if (!rec->captured()) rec->capture(reason);
+  return flight_json(*rec);
+}
+
 // `id` is included whenever the envelope got far enough to yield one, so
 // failures stay attributable to the caller's key, not just the line number.
-std::string error_record(long seq, const std::string& id, const std::string& what) {
+std::string error_record(long seq, const std::string& id, const std::string& what,
+                         const std::string& flight = {}) {
   std::string rec = "{\"job\": " + std::to_string(seq);
   if (!id.empty()) rec += ", \"id\": \"" + json_escape(id) + "\"";
-  rec += ", \"ok\": false, \"error\": \"" + json_escape(what) + "\"}";
+  rec += ", \"ok\": false, \"error\": \"" + json_escape(what) + "\"";
+  if (!flight.empty()) rec += ", \"flight\": " + flight;
+  rec += "}";
   return rec;
 }
 
@@ -50,6 +80,13 @@ JobOutcome run_job(long seq, const std::string& line, const ServeOptions& opts) 
   const auto jt0 = timed ? WallClock::now() : WallClock::time_point{};
   const std::string context = "job " + std::to_string(seq);
   std::string id;
+  // One bounded ring per job (no shared state across pool workers); lives
+  // outside the try so a failing job can still dump its window.
+  std::unique_ptr<obs::Recorder> flight;
+  if (opts.flight > 0) {
+    flight = std::make_unique<obs::Recorder>(
+        obs::Recorder::Options{.ring_rounds = opts.flight});
+  }
   try {
     const Json doc = Json::parse(line, context);
     const Json* spec_obj = &doc;
@@ -95,6 +132,7 @@ JobOutcome run_job(long seq, const std::string& line, const ServeOptions& opts) 
     const WorkloadSpec spec = parse_spec(*spec_obj, context + ".spec");
     std::vector<std::string> audit_report;
     if (hooks.audit) hooks.audit_report = &audit_report;
+    if (flight != nullptr) hooks.events = flight.get();
 
     const scenario::Result res = scenario::run_scenario(spec, hooks);
 
@@ -112,13 +150,21 @@ JobOutcome run_job(long seq, const std::string& line, const ServeOptions& opts) 
       }
       os << ']';
     }
+    if (flight != nullptr) {
+      // A clean job dumps nothing; an audited job whose Auditor froze the
+      // ring (first violation) carries the window even though it "ran".
+      flight->finalize();
+      if (flight->captured()) os << ", \"flight\": " << flight_json(*flight);
+    }
     os << '}';
     out.record = os.str();
     out.ok = true;
   } catch (const std::exception& e) {
-    out.record = error_record(seq, id, e.what());
+    out.record = error_record(seq, id, e.what(),
+                              flight_dump(flight.get(), std::string("job error: ") + e.what()));
   } catch (...) {
-    out.record = error_record(seq, id, "unknown error");
+    out.record = error_record(seq, id, "unknown error",
+                              flight_dump(flight.get(), "job error: unknown"));
   }
   if (timed) out.ms = ms_since(jt0);
   return out;

@@ -46,6 +46,12 @@ struct ServeOptions {
   // Attach the invariant Auditor to every job that does not say otherwise.
   bool audit = false;
   long audit_every = 1;
+  // K > 0: every job records protocol events (src/obs) into a bounded
+  // flight ring of the last K rounds; a job that fails — or whose audit
+  // finds a violation — dumps the frozen window into its own record as a
+  // "flight" object ({"reason", "events": [...]}). Events carry only the
+  // deterministic round clock, so the output contract is unchanged.
+  long flight = 0;
   // Periodic server stats: when non-null, one NDJSON line (throughput,
   // queue depth, per-job p50/p99 latency) is written to *stats after every
   // `stats_every` completed jobs and once at end of stream. Deliberately a

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "grid/coord.h"
+#include "obs/obs.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 
@@ -42,6 +43,28 @@ struct EkCounters {
 EkCounters& ek_counters() {
   static EkCounters c;
   return c;
+}
+
+// Agent role/subphase transitions into the event stream (ordered lane; both
+// zoo engines are single-threaded).
+void obs_zoo(obs::Recorder* rec, int v, const char* note, std::int64_t val = 0) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = obs::Type::ZooSubphase;
+  e.stage = "zoo";
+  e.v = v;
+  e.val = val;
+  e.note = note;
+  rec->emit(std::move(e));
+}
+
+void obs_zoo_leader(obs::Recorder* rec, ParticleId p) {
+  if (rec == nullptr) return;
+  obs::Event e;
+  e.type = obs::Type::Leader;
+  e.stage = "zoo";
+  e.v = static_cast<std::int32_t>(p);
+  rec->emit(std::move(e));
 }
 
 }  // namespace
@@ -88,6 +111,16 @@ void DaymudeLeRun::enter(int v, Subphase s) {
   Agent& a = agents_[static_cast<std::size_t>(v)];
   a.subphase = s;
   a.wait = Wait::None;
+  if (events != nullptr) {
+    const char* name = "";
+    switch (s) {
+      case Subphase::SegmentComparison: name = "segment_comparison"; break;
+      case Subphase::CoinFlip: name = "coin_flip"; break;
+      case Subphase::SolitudeVerification: name = "solitude_verification"; break;
+      case Subphase::BorderTest: name = "border_test"; break;
+    }
+    obs_zoo(events, v, name);
+  }
 }
 
 void DaymudeLeRun::refresh_particle_status(ParticleId p) {
@@ -107,12 +140,14 @@ void DaymudeLeRun::demote(int v) {
   a.role = Role::Demoted;
   a.wait = Wait::None;
   a.got_announce = false;
+  obs_zoo(events, v, "demoted");
   refresh_particle_status(a.particle);
 }
 
 void DaymudeLeRun::finish_ring(int r) {
   // An inner boundary's sole candidate retires the whole ring: no leader
   // comes from a ring whose boundary counts sum to -6 (Observation 4).
+  obs_zoo(events, -1, "ring_finished", r);
   for (const int v : rings_.rings()[static_cast<std::size_t>(r)]) {
     Agent& a = agents_[static_cast<std::size_t>(v)];
     a.role = Role::Finished;
@@ -130,6 +165,7 @@ void DaymudeLeRun::become_leader(int v) {
   Agent& a = agents_[static_cast<std::size_t>(v)];
   a.role = Role::Leader;
   leader_ = a.particle;
+  obs_zoo_leader(events, leader_);
   core::DleState& st = sys_.state(leader_);
   st.status = Status::Leader;
   st.terminated = true;
@@ -541,6 +577,7 @@ void EkLeRun::demote(int v) {
   a.busy = false;
   ++ring_changes_[static_cast<std::size_t>(a.ring)];
   ek_counters().absorb.inc();
+  obs_zoo(events, v, "demoted");
   refresh_particle_status(a.particle);
 }
 
@@ -548,11 +585,13 @@ void EkLeRun::finish_agent(int v) {
   Agent& a = agents_[static_cast<std::size_t>(v)];
   a.role = Role::Finished;
   a.busy = false;
+  obs_zoo(events, v, "finished");
   refresh_particle_status(a.particle);
 }
 
 void EkLeRun::become_leader(ParticleId p) {
   PM_CHECK_MSG(leader_ == kNoParticle, "second leader elected");
+  obs_zoo_leader(events, p);
   leader_ = p;
   core::DleState& st = sys_.state(p);
   st.status = Status::Leader;
@@ -565,6 +604,7 @@ void EkLeRun::join_contest(int v) {
   Agent& a = agents_[static_cast<std::size_t>(v)];
   a.role = Role::CoCandidate;
   ek_counters().contest.inc();
+  obs_zoo(events, v, "co_candidate");
   Contestant c;
   c.vnode = v;
   const ParticleId p = a.particle;
@@ -1041,6 +1081,7 @@ void DaymudeLeStage::make_engine(RunContext& ctx) {
   // Coin flips are scheduling-class randomness: seeded from the policy's
   // schedule seed, so the unified SeedPolicy covers the zoo unchanged.
   run_ = std::make_unique<DaymudeLeRun>(ctx.system(), ctx.seeds.schedule_seed());
+  run_->events = ctx.events;
 }
 
 long DaymudeLeStage::engine_rounds() const { return run_->rounds(); }
@@ -1058,7 +1099,10 @@ void DaymudeLeStage::note_rounds(long rounds) const {
 EkLeStage::EkLeStage() = default;
 EkLeStage::~EkLeStage() = default;
 
-void EkLeStage::make_engine(RunContext& ctx) { run_ = std::make_unique<EkLeRun>(ctx.system()); }
+void EkLeStage::make_engine(RunContext& ctx) {
+  run_ = std::make_unique<EkLeRun>(ctx.system());
+  run_->events = ctx.events;
+}
 
 long EkLeStage::engine_rounds() const { return run_->rounds(); }
 long long EkLeStage::engine_activations() const { return run_->activations(); }

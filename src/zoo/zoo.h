@@ -84,6 +84,10 @@ class DaymudeLeRun {
   void save(Snapshot& snap) const;
   void restore(const Snapshot& snap);
 
+  // Structured protocol event recorder (src/obs); null = off. The engine is
+  // single-threaded: ordered lane. Not serialized (re-set after restore).
+  obs::Recorder* events = nullptr;
+
   struct Token {
     enum class Kind : std::uint8_t {
       SegProbe,  // cw; counts hops to the next candidate (segment length)
@@ -174,6 +178,9 @@ class EkLeRun {
 
   void save(Snapshot& snap) const;
   void restore(const Snapshot& snap);
+
+  // Structured protocol event recorder (src/obs); null = off, ordered lane.
+  obs::Recorder* events = nullptr;
 
   struct Token {
     enum class Kind : std::uint8_t {

@@ -9,6 +9,8 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "obs/obs.h"
+#include "pipeline/pipeline.h"
 #include "shapegen/shapegen.h"
 #include "telemetry/telemetry.h"
 #include "util/snapshot.h"
@@ -150,6 +152,50 @@ TEST(WatchdogTest, TripStateSurvivesCheckpointRoundTrip) {
   }
   EXPECT_TRUE(quiet->clean()) << "an already-dumped stage stays quiet: "
                               << quiet->report();
+}
+
+TEST(WatchdogTest, TripFreezesTheAttachedFlightRecorder) {
+  // The synthetic livelock with an obs flight ring attached: the watchdog's
+  // trip must mirror the violation into the event stream and freeze the
+  // ring, so the frozen window shows what the protocol did in the last K
+  // rounds before the budget blew — the generalisation of the ad-hoc
+  // last-8-rounds activity dump above.
+  obs::Recorder rec(obs::Recorder::Options{.ring_rounds = 4});
+  pipeline::RunContext ctx;
+  ctx.initial = shapegen::hexagon(1);
+  ctx.events = &rec;
+  auto auditor = tiny_budget_auditor(/*slack=*/6);
+  auditor->attach(ctx);
+
+  StubView view;
+  for (int r = 0; r < 10; ++r) {
+    rec.begin_round();
+    obs::Event e;
+    e.type = obs::Type::ObdArm;
+    e.stage = "obd";
+    e.v = r;  // which rounds survive in the frozen window is visible here
+    rec.emit(std::move(e));
+    view.moves_ = r;
+    auditor->observe_round(view, pipeline::StageKind::Obd, 0, "obd", false);
+    if (!auditor->violations().empty()) break;
+  }
+  ASSERT_EQ(auditor->violations().size(), 1u);
+  ASSERT_TRUE(rec.captured());
+  EXPECT_NE(rec.capture_reason().find("round_budget"), std::string::npos)
+      << rec.capture_reason();
+
+  const std::vector<obs::Event>& frozen = rec.capture_events();
+  ASSERT_FALSE(frozen.empty());
+  // Only the ring window survives: 4 rounds back from the trip round.
+  const long trip_round = frozen.back().round;
+  EXPECT_GT(frozen.front().round, trip_round - 4);
+  // The violation itself is the newest event in the window, mirrored into
+  // the stream before the freeze.
+  EXPECT_EQ(frozen.back().type, obs::Type::AuditViolation);
+  EXPECT_NE(frozen.back().note.find("round_budget"), std::string::npos);
+  // A later capture attempt must not overwrite the first-failure window.
+  rec.capture("too late");
+  EXPECT_NE(rec.capture_reason(), "too late");
 }
 
 }  // namespace

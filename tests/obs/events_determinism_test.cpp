@@ -1,0 +1,121 @@
+// The event-stream determinism contract, end to end: for a fixed Spec the
+// recorded stream is byte-identical across reruns, thread counts (i.e.
+// sequential vs parallel engine), and --jobs fan-out — the same contract
+// telemetry's count kind and the BENCH artifacts obey.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace pm::scenario {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing event file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Runs the spec with event recording and returns the stream bytes.
+std::string record(const Spec& spec, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/pm_events_" + tag + ".ndjson";
+  RunHooks hooks;
+  hooks.events_path = path;
+  const Result res = run_scenario(spec, hooks);
+  EXPECT_TRUE(res.completed) << tag;
+  const std::string bytes = slurp(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// The mixed pipeline: OBD comparison machinery, DLE erosion (the async
+// lane), and Collect phases all emit into one stream.
+Spec mixed_spec() {
+  Spec spec;
+  spec.family = "comb";
+  spec.p1 = 4;
+  spec.p2 = 3;
+  spec.algo = Algo::PipelineFull;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(EventDeterminism, RerunsAreByteIdentical) {
+  const std::string a = record(mixed_spec(), "rerun_a");
+  const std::string b = record(mixed_spec(), "rerun_b");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The mixed pipeline exercises every lane: ordered OBD events, async
+  // erosions, and Collect phase transitions.
+  EXPECT_NE(a.find("obd_arm"), std::string::npos);
+  EXPECT_NE(a.find("erode"), std::string::npos);
+  EXPECT_NE(a.find("collect_phase"), std::string::npos);
+  EXPECT_NE(a.find("leader"), std::string::npos);
+}
+
+TEST(EventDeterminism, SequentialAndParallelEnginesEmitTheSameBytes) {
+  Spec seq = mixed_spec();
+  seq.threads = 0;  // amoebot::Engine
+  Spec par = mixed_spec();
+  par.threads = 4;  // exec::ParallelEngine — erosions arrive on pool threads
+  EXPECT_EQ(record(seq, "eng_seq"), record(par, "eng_par"));
+}
+
+TEST(EventDeterminism, ZooProtocolStreamsAreByteIdentical) {
+  Spec spec;
+  spec.family = "hexagon";
+  spec.p1 = 4;
+  spec.algo = Algo::ZooDaymude;
+  spec.seed = 9;
+  const std::string a = record(spec, "zoo_a");
+  const std::string b = record(spec, "zoo_b");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("zoo_subphase"), std::string::npos);
+}
+
+TEST(EventDeterminism, SuiteJobsFanOutDoesNotChangeAnyStream) {
+  Suite suite;
+  suite.name = "events_jobs";
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    Spec spec = mixed_spec();
+    spec.seed = seed;
+    suite.specs.push_back(spec);
+  }
+
+  auto run_with_jobs = [&](int jobs, const char* tag) {
+    SuiteRunOptions opts;
+    opts.jobs = jobs;
+    opts.events_prefix = ::testing::TempDir() + "/pm_ev_" + tag;
+    const std::vector<Result> results = run_suite(suite, opts);
+    EXPECT_EQ(results.size(), suite.specs.size());
+    std::vector<std::string> streams;
+    for (std::size_t i = 0; i < suite.specs.size(); ++i) {
+      char idx[8];
+      std::snprintf(idx, sizeof idx, "%03zu", i);
+      const std::string path =
+          opts.events_prefix + "." + suite.name + "." + idx + ".ndjson";
+      streams.push_back(slurp(path));
+      std::remove(path.c_str());
+    }
+    return streams;
+  };
+
+  const std::vector<std::string> serial = run_with_jobs(1, "j1");
+  const std::vector<std::string> fanned = run_with_jobs(4, "j4");
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty()) << i;
+    EXPECT_EQ(serial[i], fanned[i]) << "spec " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pm::scenario

@@ -1,0 +1,130 @@
+// pm_explain engine tests: NDJSON loading, the causal-chain walk, stream
+// diffing, and the summary — on synthetic streams built through the real
+// Recorder so the wire schema cannot drift between writer and reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/explain.h"
+#include "obs/obs.h"
+#include "workload/json.h"
+
+namespace pm::obs {
+namespace {
+
+Event ev(Type type, std::int32_t v, std::int32_t peer, std::int32_t epoch,
+         const char* note) {
+  Event e;
+  e.type = type;
+  e.stage = "obd";
+  e.v = v;
+  e.peer = peer;
+  e.epoch = epoch;
+  e.note = note;
+  return e;
+}
+
+// A two-comparison history for v-node 3: epoch 1 aborted, epoch 2 ran a
+// train to a verdict. Plus an unrelated comparison at v-node 9.
+std::vector<ExplainEvent> sample_stream() {
+  Recorder rec;
+  rec.begin_round();
+  rec.emit(ev(Type::ObdArm, 3, 5, 1, ""));
+  rec.begin_round();
+  rec.emit(ev(Type::ObdAbort, 3, 5, 1, "peer dissolved"));
+  rec.emit(ev(Type::ObdArm, 9, 2, 7, ""));
+  rec.begin_round();
+  rec.emit(ev(Type::ObdArm, 3, 5, 2, ""));
+  rec.emit(ev(Type::TrainCreate, 3, 5, 2, "len"));
+  rec.begin_round();
+  rec.emit(ev(Type::TrainConsume, 3, 5, 2, "len"));
+  rec.emit(ev(Type::ObdVerdict, 3, 5, 2, "len"));
+  rec.finalize();
+  std::ostringstream out;
+  rec.write_ndjson(out);
+  std::istringstream in(out.str());
+  return load_ndjson(in, "sample");
+}
+
+TEST(Explain, LoadNdjsonRoundTripsTheRecorderSchema) {
+  const std::vector<ExplainEvent> events = sample_stream();
+  ASSERT_EQ(events.size(), 7u);
+  EXPECT_EQ(events[0].type, "obd_arm");
+  EXPECT_EQ(events[0].round, 1);
+  EXPECT_EQ(events[0].v, 3);
+  EXPECT_EQ(events[0].peer, 5);
+  EXPECT_EQ(events[0].epoch, 1);
+  EXPECT_EQ(events[1].note, "peer dissolved");
+  EXPECT_EQ(events.back().type, "obd_verdict");
+}
+
+TEST(Explain, LoadNdjsonRejectsMalformedLinesWithTheLineNumber) {
+  std::istringstream in("{\"round\":1}\n");
+  try {
+    load_ndjson(in, "bad");
+    FAIL() << "expected WorkloadError";
+  } catch (const workload::WorkloadError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad:1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Explain, WhyWalksBackToTheInitiatingArmOfTheAnchorEpoch) {
+  const std::vector<ExplainEvent> events = sample_stream();
+  const std::string report = why(events, 3, -1);
+  // Anchors on the newest closing event (the epoch-2 verdict), not the
+  // earlier epoch-1 abort.
+  EXPECT_NE(report.find("anchor: round 4"), std::string::npos) << report;
+  EXPECT_NE(report.find("obd_verdict"), std::string::npos) << report;
+  EXPECT_NE(report.find("causal chain (epoch 2)"), std::string::npos) << report;
+  EXPECT_NE(report.find("<- initiating arm"), std::string::npos) << report;
+  EXPECT_NE(report.find("train_create"), std::string::npos) << report;
+  // The epoch-1 abort and v-node 9's comparison are not in this chain.
+  EXPECT_EQ(report.find("peer dissolved"), std::string::npos) << report;
+  EXPECT_EQ(report.find("epoch=7"), std::string::npos) << report;
+}
+
+TEST(Explain, WhyHonorsTheRoundCeiling) {
+  const std::vector<ExplainEvent> events = sample_stream();
+  // Capped at round 2, the newest closing event of v-node 3 is the epoch-1
+  // abort.
+  const std::string report = why(events, 3, 2);
+  EXPECT_NE(report.find("obd_abort"), std::string::npos) << report;
+  EXPECT_NE(report.find("causal chain (epoch 1)"), std::string::npos) << report;
+}
+
+TEST(Explain, WhyExplainsAnEmptyResult) {
+  const std::vector<ExplainEvent> events = sample_stream();
+  const std::string report = why(events, 42, -1);
+  EXPECT_NE(report.find("no comparison events for v-node 42"), std::string::npos)
+      << report;
+}
+
+TEST(Explain, FirstDivergenceFindsTheEarliestMismatch) {
+  const std::vector<ExplainEvent> a = sample_stream();
+  std::vector<ExplainEvent> b = a;
+  EXPECT_FALSE(first_divergence(a, b).diverged);
+
+  b[3].val = 99;
+  const Divergence d = first_divergence(a, b);
+  EXPECT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 3);
+  EXPECT_NE(d.report.find("first divergence at event 3"), std::string::npos);
+
+  std::vector<ExplainEvent> prefix(a.begin(), a.end() - 2);
+  const Divergence p = first_divergence(a, prefix);
+  EXPECT_TRUE(p.diverged);
+  EXPECT_EQ(p.index, static_cast<long>(prefix.size()));
+  EXPECT_NE(p.report.find("A continues with"), std::string::npos) << p.report;
+}
+
+TEST(Explain, SummarizeCountsPerTypeAndRoundSpan) {
+  const std::string report = summarize(sample_stream());
+  EXPECT_NE(report.find("7 events, rounds 1..4"), std::string::npos) << report;
+  EXPECT_NE(report.find("obd_arm: 3"), std::string::npos) << report;
+  EXPECT_NE(report.find("obd_verdict: 1"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace pm::obs
