@@ -10,6 +10,8 @@ using grid::Node;
 
 thread_local ActivationLog* SystemCore::tls_log_ = nullptr;
 
+void SystemCore::set_thread_log(ActivationLog* log) { tls_log_ = log; }
+
 void SystemCore::move_insert(Node v, ParticleId p) {
   if (ActivationLog* log = batch_active_ ? tls_log_ : nullptr) {
     PM_CHECK_MSG(log->op_count < 2, "more than one movement journaled");

@@ -197,7 +197,11 @@ class SystemCore {
 
   // Registers the calling thread's journal for the activation it is about to
   // run (nullptr to deregister). Thread-local: each pool thread sets its own.
-  static void set_thread_log(ActivationLog* log) { tls_log_ = log; }
+  // Defined out-of-line in system.cpp, the TU that owns tls_log_: when the
+  // store is inlined into other TUs, GCC's UBSan instrumentation of the
+  // extern-TLS wrapper falsely "proves" the destination null and emits an
+  // unconditional trap (-fsanitize=null false positive).
+  static void set_thread_log(ActivationLog* log);
 
   // While set, ParticleView enforces the two algorithm-contract rules the
   // ParallelEngine's conflict margins rest on (see exec/conflict.h):
@@ -291,6 +295,9 @@ class SystemCore {
   std::vector<Body> bodies_;
   grid::DenseOccupancy dense_;
   grid::BoxShadow shadow_;  // hash mode's stand-in for the dense peak gauge
+  // Hash-order proof (rule pm-unordered-iter): this map answers point
+  // queries only — contains/find/emplace/erase above — and is never
+  // iterated, so its bucket order can never leak into results.
   std::unordered_map<grid::Node, ParticleId, grid::NodeHash> map_;
   int expanded_count_ = 0;
   long long moves_ = 0;

@@ -66,6 +66,7 @@ struct Options {
   long check_every = 1;
   // Global scale on the round-budget envelope's per-stage constants
   // (RoundBudgetInvariant); > 1 loosens, < 1 tightens.
+  // pm-lint: allow(pm-float-protocol) envelope scale; gates verdicts only, never serialized
   double budget_factor = 1.0;
   // Additive slack of the envelope (absorbs small-shape constants).
   long budget_slack = 64;
@@ -275,6 +276,7 @@ class RoundBudgetInvariant final : public Invariant {
   static constexpr int kRing = 8;
 
   long base_ = 0;  // L_max + D of the initial shape
+  // pm-lint: allow(pm-float-protocol) envelope scale; gates verdicts only, never serialized
   double factor_ = 1.0;
   long slack_ = 64;
   // Watchdog tracking of the active stage (reset on every stage change).

@@ -31,6 +31,7 @@ inline int count_components(const grid::NodeSet& set) {
   std::vector<grid::Node> queue;
   queue.reserve(set.size());
   int components = 0;
+  // pm-lint: allow(pm-unordered-iter) the component count is a set cardinality; BFS seed order cannot change it
   for (const grid::Node start : set) {
     if (seen.contains(start)) continue;
     ++components;

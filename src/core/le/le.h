@@ -47,9 +47,9 @@ struct PipelineResult {
 
   // Per-phase metrics (wall time per stage; activation/movement counts and
   // the peak dense-occupancy extent come from the DLE Engine run).
-  double obd_ms = 0.0;
-  double dle_ms = 0.0;
-  double collect_ms = 0.0;
+  double obd_ms = 0.0;      // pm-lint: allow(pm-float-protocol) wall telemetry; --no-wall drops it from BENCH bytes
+  double dle_ms = 0.0;      // pm-lint: allow(pm-float-protocol) wall telemetry; --no-wall drops it from BENCH bytes
+  double collect_ms = 0.0;  // pm-lint: allow(pm-float-protocol) wall telemetry; --no-wall drops it from BENCH bytes
   long long dle_activations = 0;
   long long moves = 0;  // movement ops across all stages
   long long peak_occupancy_cells = 0;

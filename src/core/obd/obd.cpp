@@ -116,8 +116,8 @@ void ObdRun::emit_abort(int v) {
 void ObdRun::start_competition(int v) {
   VN& head = vns_[static_cast<std::size_t>(v)];
   head.phase = HeadPhase::LenWait;
-  // Length trains are epoch-tagged like the label/sum trains (carried in
-  // `value`, which LenUnit does not otherwise use): without the tag, a
+  // Length trains are epoch-tagged like the label/sum trains: without the
+  // tag, a
   // tail-flagged unit orphaned by an aborted earlier comparison can be
   // consumed by a later train's head token, which then "runs dry"
   // mid-segment and reports a false strictly-smaller verdict. On comb(6,5)
@@ -133,7 +133,7 @@ void ObdRun::start_competition(int v) {
   // token arms the rest of the segment tail-wards.
   Token unit;
   unit.kind = Kind::LenUnit;
-  unit.value = epoch;
+  unit.epoch = epoch;
   unit.head = true;
   unit.tail = head.is_tail;
   // A singleton's train is its own tail: it starts exhausted.
@@ -143,7 +143,7 @@ void ObdRun::start_competition(int v) {
   if (!head.is_tail) {
     Token create;
     create.kind = Kind::LenCreate;
-    create.value = epoch;
+    create.epoch = epoch;
     create.fresh = true;
     head.ccw.push_back(create);
   }
@@ -163,7 +163,7 @@ bool ObdRun::token_departs_cw(int v, Token& t) {
         // arrival) only while the launching comparison is live; leftovers
         // park until the next launch purges them.
         return !(vn.is_head &&
-                 (vn.phase != HeadPhase::LenWait || t.value != vn.lbl_verdict));
+                 (vn.phase != HeadPhase::LenWait || t.epoch != vn.lbl_verdict));
       }
       if (vn.is_head) return false;  // units wait at the successor's head
       if (!t.head) {
@@ -171,7 +171,7 @@ bool ObdRun::token_departs_cw(int v, Token& t) {
         // serving as fodder (epoch match: stale heads are not fed).
         for (const Token& o : vn.cw) {
           if (o.kind == Kind::LenUnit && o.lane == 1 && o.head &&
-              o.value == t.value) {
+              o.epoch == t.epoch) {
             return false;
           }
         }
@@ -183,7 +183,7 @@ bool ObdRun::token_departs_cw(int v, Token& t) {
       for (std::size_t i = 0; i < vn.cw.size(); ++i) {
         const Token& o = vn.cw[i];
         if (o.kind == Kind::LenUnit && o.lane == 1 && !o.head &&
-            o.value == t.value) {
+            o.epoch == t.epoch) {
           if (o.tail) t.positive = true;
           vn.cw.erase(vn.cw.begin() + static_cast<std::ptrdiff_t>(i));
           return true;
@@ -195,10 +195,26 @@ bool ObdRun::token_departs_cw(int v, Token& t) {
       return !vn.is_head;  // label/unit trains queue at their segment's head
     case Kind::SumUnit:
       return !vn.is_head;  // sum trains merge and settle at the head
-    default:
+    case Kind::LenCreate:
+    case Kind::LenResult:
+    case Kind::LblCreate:
+    case Kind::RevCreate:
+    case Kind::RevUnit:
+    case Kind::Abort:
+    case Kind::Lock:
+    case Kind::LockReply:
+    case Kind::Unlock:
+    case Kind::UnlockAck:
+    case Kind::SumCreate:
+    case Kind::StabCreate:
+    case Kind::StabProbe:
+    case Kind::StabVerdict:
+    case Kind::StabCancel:
+    case Kind::Outer:
       // Everything else either passes through or is consumed on arrival.
       return true;
   }
+  return true;  // unreachable: -Wswitch keeps the cases exhaustive
 }
 
 bool ObdRun::token_departs_ccw(int v, const Token& t) const {
@@ -208,9 +224,27 @@ bool ObdRun::token_departs_ccw(int v, const Token& t) const {
       return !vn.is_tail;  // reversed units queue at the successor's tail
     case Kind::StabProbe:
       return lane_remaining(t.lane) > 0;  // stop at the target's head
-    default:
+    case Kind::LenCreate:
+    case Kind::LenUnit:
+    case Kind::LenResult:
+    case Kind::LblCreate:
+    case Kind::LblUnit:
+    case Kind::RevCreate:
+    case Kind::Abort:
+    case Kind::Lock:
+    case Kind::LockReply:
+    case Kind::Unlock:
+    case Kind::UnlockAck:
+    case Kind::SumCreate:
+    case Kind::SumUnit:
+    case Kind::StabCreate:
+    case Kind::StabUnit:
+    case Kind::StabVerdict:
+    case Kind::StabCancel:
+    case Kind::Outer:
       return true;
   }
+  return true;  // unreachable: -Wswitch keeps the cases exhaustive
 }
 
 // --- arrival processing ---------------------------------------------------
@@ -231,7 +265,7 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
         // combined value fits the constant memory bound (§5.4).
         for (auto it = vn.cw.rbegin(); it != vn.cw.rend(); ++it) {
           if (it->kind != Kind::SumUnit || it->positive != t.positive ||
-              it->lane != t.lane) {
+              it->epoch != t.epoch) {
             continue;
           }
           const int sum = it->value + t.value;
@@ -255,7 +289,7 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
       Token unit;
       unit.kind = Kind::RevUnit;
       unit.value = vn.count;
-      unit.lane = t.lane;  // inherit the comparison epoch
+      unit.epoch = t.epoch;  // inherit the comparison epoch
       unit.tail = vn.is_tail;
       unit.head = vn.marked;
       unit.back = vn.marked;  // the marked node's token bounces immediately
@@ -292,7 +326,11 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
         if (trace) std::printf("[r%ld] v%d STABVERDICT val=%d j=%d\n", rounds_, to, (int)t.value, lane_original(t.lane));
         obs_emit(events, obs::Type::ObdVerdict, to, lane_original(t.lane), -1,
                  t.value, "stab");
-        if (vn.phase == HeadPhase::StabWait && vn.stab_j == lane_original(t.lane)) {
+        // Epoch discipline: a verdict launched under a superseded comparison
+        // epoch (the head aborted and restarted since) must not be trusted,
+        // even if the lane index happens to match the live probe's.
+        if (vn.phase == HeadPhase::StabWait && vn.stab_j == lane_original(t.lane) &&
+            t.epoch == vn.lbl_verdict) {
           if (t.value != 0 && !vn.defector) {
             ++vn.stab_j;
             if (vn.stab_j > vn.stab_k) {
@@ -336,6 +374,10 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
       vn.cw.push_back(t);
       return;
     }
+    // The head<->own-tail lock handshake never crosses a segment boundary
+    // and is phase-gated: LockWait/UnlockWait admit exactly one in-flight
+    // request, so there is no stale-verdict hazard for an epoch to guard.
+    // pm-lint: allow(pm-token-epoch-check) phase-gated intra-segment handshake; one in-flight request
     case Kind::LockReply:
       if (vn.is_head && vn.phase == HeadPhase::LockWait) {
         vn.phase = (t.value != 0) ? HeadPhase::DisbandWait : HeadPhase::Idle;
@@ -343,6 +385,7 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
       }
       vn.cw.push_back(t);
       return;
+    // pm-lint: allow(pm-token-epoch-check) phase-gated intra-segment handshake; one in-flight request
     case Kind::UnlockAck:
       if (vn.is_head && vn.phase == HeadPhase::UnlockWait) {
         vn.phase = HeadPhase::Idle;  // competition successfully completed
@@ -350,9 +393,17 @@ void ObdRun::deliver_cw(int to, int from, Token t) {
       }
       vn.cw.push_back(t);
       return;
-    default:
-      PM_CHECK_MSG(false, "unexpected token delivered clockwise");
+    case Kind::LenCreate:
+    case Kind::LenResult:
+    case Kind::LblCreate:
+    case Kind::Abort:
+    case Kind::Lock:
+    case Kind::Unlock:
+    case Kind::SumCreate:
+    case Kind::StabCreate:
+      break;  // ccw-only kinds: asserted unreachable below
   }
+  PM_CHECK_MSG(false, "unexpected token delivered clockwise");
 }
 
 void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
@@ -372,7 +423,7 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       });
       Token unit;
       unit.kind = Kind::LenUnit;
-      unit.value = t.value;  // inherit the comparison epoch
+      unit.epoch = t.epoch;  // inherit the comparison epoch
       unit.tail = vn.is_tail;
       unit.fresh = true;
       vn.cw.push_back(unit);
@@ -383,7 +434,7 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       Token unit;
       unit.kind = Kind::LblUnit;
       unit.value = vn.count;
-      unit.lane = t.lane;  // inherit the comparison epoch
+      unit.epoch = t.epoch;  // inherit the comparison epoch
       unit.tail = vn.is_tail;
       unit.fresh = true;
       vn.cw.push_back(unit);
@@ -397,7 +448,7 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
         unit.positive = positive;
         unit.value = positive ? std::max<std::int8_t>(vn.count, 0)
                               : std::min<std::int8_t>(vn.count, 0);
-        unit.lane = t.lane;  // inherit the verification epoch
+        unit.epoch = t.epoch;  // inherit the verification epoch
         unit.tail = vn.is_tail;
         unit.fresh = true;
         vn.cw.push_back(unit);
@@ -410,6 +461,7 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       unit.kind = (t.value == 0) ? Kind::StabProbe : Kind::StabUnit;
       unit.value = vn.count;
       unit.lane = t.lane;
+      unit.epoch = t.epoch;  // inherit the initiating probe's epoch
       unit.tail = vn.is_tail;
       unit.fresh = true;
       vn.cw.push_back(unit);
@@ -444,18 +496,17 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       vn.ccw.push_back(t);
       return;
     case Kind::LenResult: {
-      // Clean up this train's remnants and stale marks along the way (the
-      // verdict's epoch rides in `lane`; other epochs' trains are live).
+      // Clean up this train's remnants and stale marks along the way
+      // (other epochs' trains are live).
       std::erase_if(vn.cw, [&](const Token& o) {
-        return o.kind == Kind::LenUnit &&
-               o.value == static_cast<std::int8_t>(t.lane);
+        return o.kind == Kind::LenUnit && o.epoch == t.epoch;
       });
       if (!(vn.is_head && vn.phase == HeadPhase::LenWait)) {
         vn.marked = false;
         vn.ccw.push_back(t);
         return;
       }
-      if (static_cast<std::int8_t>(t.lane) != vn.lbl_verdict) {
+      if (t.epoch != vn.lbl_verdict) {
         // A verdict for a superseded comparison of mine (the watchdog
         // restarted it): already cleaned its own remnants en route — drop.
         return;
@@ -473,8 +524,7 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       }
       // Verdict reached the initiator: -1 smaller, 0 equal, +1 larger.
       if (trace) std::printf("[r%ld] v%d LEN verdict %d\n", rounds_, to, (int)t.value);
-      obs_emit(events, obs::Type::ObdVerdict, to, -1,
-               static_cast<std::int8_t>(t.lane), t.value, "len");
+      obs_emit(events, obs::Type::ObdVerdict, to, -1, t.epoch, t.value, "len");
       if (t.value < 0) {
         if (vn.is_tail) {  // singleton locks itself directly
           vn.locked = true;
@@ -505,9 +555,20 @@ void ObdRun::deliver_ccw(int to, int /*from*/, Token t) {
       vn.ccw.push_back(t);
       return;
     }
-    default:
-      PM_CHECK_MSG(false, "unexpected token delivered counter-clockwise");
+    case Kind::LenUnit:
+    case Kind::LblUnit:
+    case Kind::RevCreate:
+    case Kind::Abort:
+    case Kind::LockReply:
+    case Kind::UnlockAck:
+    case Kind::SumUnit:
+    case Kind::StabUnit:
+    case Kind::StabVerdict:
+    case Kind::StabCancel:
+    case Kind::Outer:
+      break;  // cw-only kinds: asserted unreachable below
   }
+  PM_CHECK_MSG(false, "unexpected token delivered counter-clockwise");
 }
 
 bool ObdRun::step_round() {
@@ -545,11 +606,44 @@ bool ObdRun::step_round() {
     for (Token& t : vn.ccw) t.fresh = false;
   }
 
-  // Tokens of the same train (kind, lane) stay FIFO; distinct trains may
-  // overtake a parked one (the paper multiplexes trains through designated
-  // per-train memory slots, Observation 29).
-  auto train_key = [](const Token& t) {
-    return (static_cast<int>(t.kind) << 8) | t.lane;
+  // Tokens of the same train stay FIFO; distinct trains may overtake a
+  // parked one (the paper multiplexes trains through designated per-train
+  // memory slots, Observation 29). Label/sum comparison trains are per-epoch
+  // trains — a live train may overtake a stale epoch's parked remnant.
+  // Length trains and the lane-routed stability trains are keyed without
+  // the epoch: a new length train must not overtake a stale unit parked in
+  // the same queue (the arming sweep purges it first), and stability
+  // traffic multiplexes on the lane index alone.
+  auto keyed_by_epoch = [](Kind k) {
+    switch (k) {
+      case Kind::LenResult:
+      case Kind::LblCreate:
+      case Kind::LblUnit:
+      case Kind::RevCreate:
+      case Kind::RevUnit:
+      case Kind::SumCreate:
+      case Kind::SumUnit:
+        return true;
+      case Kind::LenCreate:
+      case Kind::LenUnit:
+      case Kind::Abort:
+      case Kind::Lock:
+      case Kind::LockReply:
+      case Kind::Unlock:
+      case Kind::UnlockAck:
+      case Kind::StabCreate:
+      case Kind::StabProbe:
+      case Kind::StabUnit:
+      case Kind::StabVerdict:
+      case Kind::StabCancel:
+      case Kind::Outer:
+        return false;
+    }
+    return false;  // unreachable: all Kinds enumerated above
+  };
+  auto train_key = [&](const Token& t) {
+    const int ep = keyed_by_epoch(t.kind) ? static_cast<std::uint8_t>(t.epoch) : 0;
+    return (static_cast<int>(t.kind) << 16) | (static_cast<int>(t.lane) << 8) | ep;
   };
   for (int v = 0; v < static_cast<int>(vns_.size()); ++v) {
     VN& vn = vns_[static_cast<std::size_t>(v)];
@@ -646,12 +740,12 @@ void ObdRun::check_len_verdict(int v) {
     if (t.head && !has_head) {
       has_head = true;
       consumed_tail = t.positive;
-      epoch = t.value;
+      epoch = t.epoch;
     }
   }
   if (!has_head) return;
   for (const Token& t : vn.cw) {
-    if (t.kind == Kind::LenUnit && t.lane == 1 && !t.head && t.value == epoch) ++others;
+    if (t.kind == Kind::LenUnit && t.lane == 1 && !t.head && t.epoch == epoch) ++others;
   }
   std::int8_t verdict = 0;
   bool decided = false;
@@ -671,12 +765,12 @@ void ObdRun::check_len_verdict(int v) {
   if (!decided) return;
   obs_emit(events, obs::Type::TrainConsume, v, -1, epoch, verdict, "len");
   std::erase_if(vn.cw, [&](const Token& t) {
-    return t.kind == Kind::LenUnit && t.value == epoch;
+    return t.kind == Kind::LenUnit && t.epoch == epoch;
   });
   Token res;
   res.kind = Kind::LenResult;
   res.value = verdict;
-  res.lane = static_cast<std::uint8_t>(epoch);  // route back epoch-checked
+  res.epoch = epoch;  // route back epoch-checked
   res.fresh = true;
   vn.ccw.push_back(res);
 }
@@ -684,16 +778,16 @@ void ObdRun::check_len_verdict(int v) {
 void ObdRun::launch_label_compare(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
   vn.phase = HeadPhase::LblWait;
-  // Epoch tag (carried in `lane`) isolates this comparison's trains from
-  // stale remnants of earlier, cancelled comparisons.
+  // Epoch tag isolates this comparison's trains from stale remnants of
+  // earlier, cancelled comparisons.
   vn.lbl_verdict = static_cast<std::int8_t>((vn.lbl_verdict + 1) % 100);
-  const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+  const auto epoch = static_cast<std::int8_t>(vn.lbl_verdict);
   obs_emit(events, obs::Type::TrainCreate, v, -1, epoch, 0, "lbl");
   std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::LblUnit; });
   Token mine;
   mine.kind = Kind::LblUnit;
   mine.value = vn.count;
-  mine.lane = epoch;
+  mine.epoch = epoch;
   mine.head = true;
   mine.tail = vn.is_tail;
   mine.fresh = true;
@@ -701,13 +795,13 @@ void ObdRun::launch_label_compare(int v) {
   if (!vn.is_tail) {
     Token create;
     create.kind = Kind::LblCreate;
-    create.lane = epoch;
+    create.epoch = epoch;
     create.fresh = true;
     vn.ccw.push_back(create);
   }
   Token rev;
   rev.kind = Kind::RevCreate;
-  rev.lane = epoch;
+  rev.epoch = epoch;
   rev.fresh = true;
   vn.cw.push_back(rev);
 }
@@ -716,7 +810,7 @@ void ObdRun::launch_sum_verify(int v) {
   VN& vn = vns_[static_cast<std::size_t>(v)];
   vn.phase = HeadPhase::SumWait;
   vn.lbl_verdict = static_cast<std::int8_t>((vn.lbl_verdict + 1) % 100);
-  const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+  const auto epoch = static_cast<std::int8_t>(vn.lbl_verdict);
   obs_emit(events, obs::Type::TrainCreate, v, -1, epoch, 0, "sum");
   std::erase_if(vn.cw, [](const Token& t) { return t.kind == Kind::SumUnit; });
   for (const bool positive : {true, false}) {
@@ -725,7 +819,7 @@ void ObdRun::launch_sum_verify(int v) {
     unit.positive = positive;
     unit.value = positive ? std::max<std::int8_t>(vn.count, 0)
                           : std::min<std::int8_t>(vn.count, 0);
-    unit.lane = epoch;
+    unit.epoch = epoch;
     unit.head = true;
     unit.tail = vn.is_tail;
     unit.fresh = true;
@@ -734,7 +828,7 @@ void ObdRun::launch_sum_verify(int v) {
   if (!vn.is_tail) {
     Token create;
     create.kind = Kind::SumCreate;
-    create.lane = epoch;
+    create.epoch = epoch;
     create.fresh = true;
     vn.ccw.push_back(create);
   }
@@ -749,6 +843,7 @@ void ObdRun::launch_stab_probe(int v) {
   mine.kind = Kind::StabProbe;
   mine.value = vn.count;
   mine.lane = pack_lane(j, j);
+  mine.epoch = vn.lbl_verdict;  // stability check runs under the sum epoch
   mine.head = true;
   mine.tail = vn.is_tail;
   mine.back = true;  // emitted at the head: bounce immediately
@@ -759,6 +854,7 @@ void ObdRun::launch_stab_probe(int v) {
     create.kind = Kind::StabCreate;
     create.value = 0;  // probe mode
     create.lane = pack_lane(j, j);
+    create.epoch = vn.lbl_verdict;
     create.fresh = true;
     vn.ccw.push_back(create);
   }
@@ -802,10 +898,12 @@ void ObdRun::compare_stab_queues(int v) {
     const std::uint8_t bit = static_cast<std::uint8_t>(1 << j);
     // Trigger the unit-train service on the probe train's first (head) token.
     bool probe_head_waiting = false;
+    std::int8_t probe_epoch = 0;
     for (const Token& t : vn.ccw) {
       if (t.kind == Kind::StabProbe && lane_original(t.lane) == j &&
           lane_remaining(t.lane) == 0 && t.head) {
         probe_head_waiting = true;
+        probe_epoch = t.epoch;
       }
     }
     if (probe_head_waiting && !(vn.stab_service & bit)) {
@@ -814,6 +912,7 @@ void ObdRun::compare_stab_queues(int v) {
       mine.kind = Kind::StabUnit;
       mine.value = vn.count;
       mine.lane = pack_lane(j, j);
+      mine.epoch = probe_epoch;  // this train serves that probe's epoch
       mine.head = true;
       mine.tail = vn.is_tail;
       mine.fresh = true;
@@ -823,6 +922,7 @@ void ObdRun::compare_stab_queues(int v) {
         create.kind = Kind::StabCreate;
         create.value = 1;  // unit mode
         create.lane = pack_lane(j, j);
+        create.epoch = probe_epoch;
         create.fresh = true;
         vn.ccw.push_back(create);
       }
@@ -860,6 +960,7 @@ void ObdRun::compare_stab_queues(int v) {
       res.kind = Kind::StabVerdict;
       res.value = verdict;
       res.lane = pack_lane(j, j);
+      res.epoch = probe.epoch;  // verdict routes back under the probe's epoch
       res.fresh = true;
       vn.cw.push_back(res);
     }
@@ -973,19 +1074,19 @@ void ObdRun::process_head(int v) {
     case HeadPhase::LblWait: {
       const int succ = rings_.cw_succ(v);
       VN& st = vns_[static_cast<std::size_t>(succ)];
-      const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+      const auto epoch = static_cast<std::int8_t>(vn.lbl_verdict);
       // Stale tokens from cancelled comparisons (wrong epoch) are dropped.
       std::erase_if(vn.cw, [&](const Token& t) {
-        return t.kind == Kind::LblUnit && t.lane != epoch;
+        return t.kind == Kind::LblUnit && t.epoch != epoch;
       });
       std::erase_if(st.ccw, [&](const Token& t) {
-        return t.kind == Kind::RevUnit && t.back && t.lane != epoch;
+        return t.kind == Kind::RevUnit && t.back && t.epoch != epoch;
       });
       auto mine_it = std::find_if(vn.cw.begin(), vn.cw.end(), [&](const Token& t) {
-        return t.kind == Kind::LblUnit && t.lane == epoch;
+        return t.kind == Kind::LblUnit && t.epoch == epoch;
       });
       auto theirs_it = std::find_if(st.ccw.begin(), st.ccw.end(), [&](const Token& t) {
-        return t.kind == Kind::RevUnit && t.back && t.lane == epoch;
+        return t.kind == Kind::RevUnit && t.back && t.epoch == epoch;
       });
       if (mine_it == vn.cw.end() || theirs_it == st.ccw.end()) return;
       const Token mine = *mine_it;
@@ -1064,9 +1165,9 @@ void ObdRun::process_head(int v) {
     }
     case HeadPhase::SumWait: {
       // Head-side merging and positive/negative cancellation (§5.4).
-      const auto epoch = static_cast<std::uint8_t>(vn.lbl_verdict);
+      const auto epoch = static_cast<std::int8_t>(vn.lbl_verdict);
       std::erase_if(vn.cw, [&](const Token& t) {
-        return t.kind == Kind::SumUnit && t.lane != epoch;
+        return t.kind == Kind::SumUnit && t.epoch != epoch;
       });
       std::vector<std::size_t> pos;
       std::vector<std::size_t> neg;
@@ -1120,7 +1221,12 @@ void ObdRun::process_head(int v) {
       }
       return;
     }
-    default:
+    case HeadPhase::LenWait:
+    case HeadPhase::LockWait:
+    case HeadPhase::UnlockWait:
+    case HeadPhase::StabWait:
+    case HeadPhase::OuterWait:
+    case HeadPhase::Announced:
       return;  // waiting phases are driven by token deliveries
   }
 }
@@ -1139,7 +1245,7 @@ ObdRun::Result ObdRun::run(long max_rounds) {
 
 namespace {
 
-// One word per token: kind | value | lane | flag bits.
+// One word per token: kind | value | lane | flag bits | epoch.
 std::uint64_t pack_token(const ObdRun::Token& t) {
   return static_cast<std::uint64_t>(static_cast<std::uint8_t>(t.kind)) |
          (static_cast<std::uint64_t>(static_cast<std::uint8_t>(t.value)) << 8) |
@@ -1148,7 +1254,8 @@ std::uint64_t pack_token(const ObdRun::Token& t) {
          (static_cast<std::uint64_t>(t.tail) << 25) |
          (static_cast<std::uint64_t>(t.back) << 26) |
          (static_cast<std::uint64_t>(t.positive) << 27) |
-         (static_cast<std::uint64_t>(t.fresh) << 28);
+         (static_cast<std::uint64_t>(t.fresh) << 28) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(t.epoch)) << 32);
 }
 
 ObdRun::Token unpack_token(std::uint64_t w) {
@@ -1161,6 +1268,7 @@ ObdRun::Token unpack_token(std::uint64_t w) {
   t.back = ((w >> 26) & 1) != 0;
   t.positive = ((w >> 27) & 1) != 0;
   t.fresh = ((w >> 28) & 1) != 0;
+  t.epoch = static_cast<std::int8_t>(static_cast<std::uint8_t>((w >> 32) & 0xFF));
   return t;
 }
 
@@ -1252,12 +1360,14 @@ void ObdRun::debug_dump() const {
         vn.marked ? "M" : "-", static_cast<int>(vn.phase), vn.stab_j, vn.stab_k,
         vn.cw.size(), vn.ccw.size());
     for (const Token& t : vn.cw) {
-      std::printf(" cw%d(v%d,l%d%s%s%s)", static_cast<int>(t.kind), t.value, t.lane,
-                  t.head ? ",H" : "", t.tail ? ",T" : "", t.back ? ",B" : "");
+      std::printf(" cw%d(v%d,l%d,e%d%s%s%s)", static_cast<int>(t.kind), t.value,
+                  t.lane, t.epoch, t.head ? ",H" : "", t.tail ? ",T" : "",
+                  t.back ? ",B" : "");
     }
     for (const Token& t : vn.ccw) {
-      std::printf(" ccw%d(v%d,l%d%s%s%s)", static_cast<int>(t.kind), t.value, t.lane,
-                  t.head ? ",H" : "", t.tail ? ",T" : "", t.back ? ",B" : "");
+      std::printf(" ccw%d(v%d,l%d,e%d%s%s%s)", static_cast<int>(t.kind), t.value,
+                  t.lane, t.epoch, t.head ? ",H" : "", t.tail ? ",T" : "",
+                  t.back ? ",B" : "");
     }
     std::printf("\n");
   }

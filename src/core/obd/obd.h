@@ -127,6 +127,15 @@ class ObdRun {
     Kind kind{};
     std::int8_t value = 0;   // count / verdict / sum
     std::uint8_t lane = 0;   // predecessor index for stability probes
+    // Initiator's verdict epoch: every Len/Lbl/Rev/Sum/Stab train token is
+    // stamped with its initiating head's comparison epoch at creation, and
+    // every verdict is checked against the consumer's live epoch before it
+    // is acted on. This is the livelock fix behind comb(6,5), spiral(6,2)
+    // and cheese(11,3): an orphaned train from an aborted comparison must
+    // never deliver a trusted verdict to a later comparison (rule
+    // pm-token-epoch; pm_lint enforces that this field exists and that
+    // verdict consumption references it).
+    std::int8_t epoch = 0;
     bool head = false;       // train head marker
     bool tail = false;       // train tail marker
     bool back = false;       // RevUnit/StabProbe: bounced, heading ccw

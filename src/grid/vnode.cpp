@@ -27,6 +27,10 @@ VNodeRings::VNodeRings(const Shape& s) {
   PM_CHECK_MSG(s.size() >= 2, "VNodeRings requires at least two points");
 
   // Create v-nodes and index each (point, empty-direction) -> v-node.
+  // Hash-order proof (rule pm-unordered-iter): at_edge is a pure point
+  // lookup (emplace during construction, find in cw_succ) and is never
+  // iterated — ring successor order comes from the geometry, not from
+  // bucket order.
   std::unordered_map<PointDir, int, PointDirHash> at_edge;
   for (const Node v : s.boundary_points()) {
     for (const LocalBoundary& run : local_boundaries(v, [&](Node u) { return s.contains(u); })) {

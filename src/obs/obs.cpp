@@ -172,8 +172,17 @@ int lane_of(Type t) {
     case Type::AuditViolation: return 5;
     case Type::FaultKill:
     case Type::FaultResume: return 6;
-    default: return 1;  // the OBD comparison machinery
+    case Type::ObdArm:
+    case Type::TrainCreate:
+    case Type::TrainConsume:
+    case Type::ObdVerdict:
+    case Type::ObdAbort:
+    case Type::ObdAbsorb:
+    case Type::ObdFree:
+    case Type::ObdStable:
+    case Type::ObdOuter: return 1;  // the OBD comparison machinery
   }
+  return 1;  // unreachable: -Wswitch keeps the cases exhaustive
 }
 
 }  // namespace

@@ -1,4 +1,10 @@
 // Shared wall-clock helpers for the engines' per-phase metrics.
+//
+// This header is the repo's single sanctioned wall-clock chokepoint: rule
+// pm-wall-clock (tools/pm_lint) bans <chrono> clock sources and time(NULL)
+// everywhere else, so every timing read flows through WallClock / ms_since
+// and is therefore trivially excluded from byte-determinism by --no-wall.
+// Do not add clock reads elsewhere; include this header instead.
 #pragma once
 
 #include <chrono>

@@ -184,6 +184,7 @@ void DaymudeLeRun::act(int v) {
       DToken t;
       t.kind = DKind::SegProbe;
       t.init = v;
+      t.epoch = ++a.epoch;
       t.fresh = true;
       a.cw.push_back(t);
       a.wait = Wait::SegReply;
@@ -201,6 +202,7 @@ void DaymudeLeRun::act(int v) {
         DToken t;
         t.kind = DKind::Announce;
         t.init = v;
+        t.epoch = ++a.epoch;
         t.fresh = true;
         a.cw.push_back(t);
         a.wait = Wait::Ack;
@@ -212,6 +214,7 @@ void DaymudeLeRun::act(int v) {
       DToken t;
       t.kind = DKind::SolLead;
       t.init = v;
+      t.epoch = ++a.epoch;
       t.fresh = true;
       a.cw.push_back(t);
       a.wait = Wait::SolVerdict;
@@ -223,6 +226,7 @@ void DaymudeLeRun::act(int v) {
       t.kind = DKind::Border;
       t.init = v;
       t.value = a.count;
+      t.epoch = ++a.epoch;
       t.fresh = true;
       a.cw.push_back(t);
       a.wait = Wait::BorderVerdict;
@@ -248,6 +252,7 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
         r.kind = DKind::SegReply;
         r.value = t.value;
         r.init = t.init;
+        r.epoch = t.epoch;
         r.fresh = true;
         a.ccw.push_back(r);
       } else if (a.role == Role::Demoted) {
@@ -259,7 +264,8 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
       if (t.init == to) {
         // The offer came full circle: no other candidate exists. Solitude
         // verification confirms and runs the border test.
-        if (a.role == Role::Candidate && a.wait == Wait::Ack) {
+        if (a.role == Role::Candidate && a.wait == Wait::Ack &&
+            t.epoch == a.epoch) {
           a.wait = Wait::None;
           a.got_announce = false;
           enter(to, Subphase::SolitudeVerification);
@@ -278,6 +284,7 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
         DToken r;
         r.kind = DKind::Ack;
         r.init = t.init;
+        r.epoch = t.epoch;
         r.fresh = true;
         a.ccw.push_back(r);
       } else if (a.role == Role::Demoted) {
@@ -294,7 +301,8 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
         // Full circle: the accumulated unit vectors cancel — the
         // certificate the paper streams through its L1/L2 lanes.
         PM_CHECK_MSG(t.dx == 0 && t.dy == 0, "solitude loop did not close");
-        if (a.role == Role::Candidate && a.wait == Wait::SolVerdict) {
+        if (a.role == Role::Candidate && a.wait == Wait::SolVerdict &&
+            t.epoch == a.epoch) {
           a.role = Role::SoleCandidate;
           enter(to, Subphase::BorderTest);
         }
@@ -302,6 +310,7 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
         DToken r;
         r.kind = DKind::SolNack;
         r.init = t.init;
+        r.epoch = t.epoch;
         r.fresh = true;
         a.ccw.push_back(r);
       } else if (a.role == Role::Demoted) {
@@ -311,7 +320,8 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
     }
     case DKind::Border: {
       if (t.init == to) {
-        if (a.role == Role::SoleCandidate && a.wait == Wait::BorderVerdict) {
+        if (a.role == Role::SoleCandidate && a.wait == Wait::BorderVerdict &&
+            t.epoch == a.epoch) {
           a.wait = Wait::None;
           PM_CHECK_MSG(t.value == 6 || t.value == -6,
                        "border test sum " << t.value << " (Observation 4 violated)");
@@ -327,8 +337,11 @@ void DaymudeLeRun::receive_cw(int to, int from, DToken t) {
       }
       break;
     }
-    default:
+    case DKind::SegReply:
+    case DKind::Ack:
+    case DKind::SolNack:
       PM_CHECK_MSG(false, "ccw-only token travelling clockwise");
+      break;
   }
 }
 
@@ -344,7 +357,8 @@ void DaymudeLeRun::receive_ccw(int to, int /*from*/, DToken t) {
   }
   switch (t.kind) {
     case DKind::SegReply: {
-      if (a.role == Role::Candidate && a.wait == Wait::SegReply) {
+      if (a.role == Role::Candidate && a.wait == Wait::SegReply &&
+          t.epoch == a.epoch) {
         a.wait = Wait::None;
         // Demote iff the back segment is strictly longer than the front
         // one: a strictly-decreasing cycle of lengths is impossible, so at
@@ -362,7 +376,8 @@ void DaymudeLeRun::receive_ccw(int to, int /*from*/, DToken t) {
       break;
     }
     case DKind::Ack: {
-      if (a.role == Role::Candidate && a.wait == Wait::Ack) {
+      if (a.role == Role::Candidate && a.wait == Wait::Ack &&
+          t.epoch == a.epoch) {
         a.wait = Wait::None;
         if (a.got_announce) {
           a.got_announce = false;
@@ -374,14 +389,19 @@ void DaymudeLeRun::receive_ccw(int to, int /*from*/, DToken t) {
       break;
     }
     case DKind::SolNack: {
-      if (a.role == Role::Candidate && a.wait == Wait::SolVerdict) {
+      if (a.role == Role::Candidate && a.wait == Wait::SolVerdict &&
+          t.epoch == a.epoch) {
         a.wait = Wait::None;
         enter(to, Subphase::SegmentComparison);
       }
       break;
     }
-    default:
+    case DKind::SegProbe:
+    case DKind::Announce:
+    case DKind::SolLead:
+    case DKind::Border:
       PM_CHECK_MSG(false, "cw-only token travelling counter-clockwise");
+      break;
   }
 }
 
@@ -454,6 +474,7 @@ void save_daymude_token(Snapshot& snap, const DToken& t) {
   snap.put_i(t.init);
   snap.put_i(t.dx);
   snap.put_i(t.dy);
+  snap.put_i(t.epoch);
   snap.put(t.fresh ? 1 : 0);
 }
 
@@ -464,6 +485,7 @@ DToken load_daymude_token(const Snapshot& snap) {
   t.init = static_cast<std::int32_t>(snap.get_i());
   t.dx = static_cast<std::int32_t>(snap.get_i());
   t.dy = static_cast<std::int32_t>(snap.get_i());
+  t.epoch = static_cast<std::int32_t>(snap.get_i());
   t.fresh = snap.get() != 0;
   return t;
 }
@@ -488,6 +510,7 @@ void DaymudeLeRun::save(Snapshot& snap) const {
     snap.put(static_cast<std::uint64_t>(a.wait));
     snap.put(a.got_announce ? 1 : 0);
     snap.put_i(a.back_len);
+    snap.put_i(a.epoch);
     snap.put(a.cw.size());
     for (const DToken& t : a.cw) save_daymude_token(snap, t);
     snap.put(a.ccw.size());
@@ -515,6 +538,7 @@ void DaymudeLeRun::restore(const Snapshot& snap) {
     a.wait = static_cast<Wait>(snap.get());
     a.got_announce = snap.get() != 0;
     a.back_len = static_cast<std::int32_t>(snap.get_i());
+    a.epoch = static_cast<std::int32_t>(snap.get_i());
     a.cw.clear();
     a.ccw.clear();
     const std::size_t ncw = snap.get();
@@ -659,7 +683,7 @@ void EkLeRun::act(int v) {
   ++activations_;
   EkCounters& tc = ek_counters();
   const std::int64_t cur = ring_changes_[static_cast<std::size_t>(a.ring)];
-  if (!a.compared || a.cmp_stamp != cur) {
+  if (!a.compared || a.cmp_epoch != cur) {
     // The ring changed since my last comparison (or I never compared):
     // measure my segment against the successor's, lexicographically.
     tc.cmp.inc();
@@ -667,10 +691,11 @@ void EkLeRun::act(int v) {
     t.kind = EKind::Cmp;
     t.mode = EMode::Collect;
     t.init = v;
+    t.epoch = cur;
     t.labels.push_back(a.count);
     t.fresh = true;
     a.compared = true;
-    a.cmp_stamp = cur;
+    a.cmp_epoch = cur;
     a.busy = true;
     a.cw.push_back(std::move(t));
   } else {
@@ -681,7 +706,7 @@ void EkLeRun::act(int v) {
     t.kind = EKind::Census;
     t.mode = EMode::Walk;
     t.init = v;
-    t.stamp = cur;
+    t.epoch = cur;
     t.count_sum = a.count;
     t.fresh = true;
     a.busy = true;
@@ -693,9 +718,13 @@ void EkLeRun::handle_verdict(int v, const EToken& t) {
   Agent& a = agents_[static_cast<std::size_t>(v)];
   if (a.role != Role::Head) return;  // demoted while the token was in flight
   a.busy = false;
+  // Epoch discipline: only the verdict of the comparison launched under my
+  // current cmp_epoch may trigger an absorption (a.busy makes a mismatch
+  // unreachable today; the check keeps that a local property).
+  if (t.epoch != a.cmp_epoch) return;
   if (t.verdict == -1) {
     // Strictly smaller: absorb the successor segment. The demotion bumps
-    // the ring's change stamp, which re-arms my next comparison.
+    // the ring's change epoch, which re-arms my next comparison.
     EToken ab;
     ab.kind = EKind::Absorb;
     ab.mode = EMode::Walk;
@@ -711,7 +740,7 @@ void EkLeRun::finish_census(int v, const EToken& t) {
   Agent& a = agents_[static_cast<std::size_t>(v)];
   if (a.role != Role::Head) return;
   a.busy = false;
-  if (t.stamp != ring_changes_[static_cast<std::size_t>(a.ring)]) return;  // stale
+  if (t.epoch != ring_changes_[static_cast<std::size_t>(a.ring)]) return;  // stale epoch
   PM_CHECK_MSG(t.count_sum == 6 || t.count_sum == -6,
                "census sum " << t.count_sum << " (Observation 4 violated)");
   const bool outer = t.count_sum > 0;
@@ -911,7 +940,7 @@ void save_ek_token(Snapshot& snap, const EToken& t) {
   snap.put_i(t.verdict);
   snap.put_i(t.heads_seen);
   snap.put_i(t.count_sum);
-  snap.put_i(t.stamp);
+  snap.put_i(t.epoch);
   snap.put(t.pos);
   snap.put(t.labels.size());
   for (const std::int8_t l : t.labels) snap.put_i(l);
@@ -926,7 +955,7 @@ EToken load_ek_token(const Snapshot& snap) {
   t.verdict = static_cast<std::int32_t>(snap.get_i());
   t.heads_seen = static_cast<std::int32_t>(snap.get_i());
   t.count_sum = static_cast<std::int32_t>(snap.get_i());
-  t.stamp = snap.get_i();
+  t.epoch = snap.get_i();
   t.pos = static_cast<std::uint32_t>(snap.get());
   const std::size_t nl = snap.get();
   t.labels.reserve(nl);
@@ -964,7 +993,7 @@ void EkLeRun::save(Snapshot& snap) const {
     snap.put(static_cast<std::uint64_t>(a.role));
     snap.put(a.busy ? 1 : 0);
     snap.put(a.compared ? 1 : 0);
-    snap.put_i(a.cmp_stamp);
+    snap.put_i(a.cmp_epoch);
     snap.put(a.cw.size());
     for (const EToken& t : a.cw) save_ek_token(snap, t);
     snap.put(a.ccw.size());
@@ -1004,7 +1033,7 @@ void EkLeRun::restore(const Snapshot& snap) {
     a.role = static_cast<Role>(snap.get());
     a.busy = snap.get() != 0;
     a.compared = snap.get() != 0;
-    a.cmp_stamp = snap.get_i();
+    a.cmp_epoch = snap.get_i();
     a.cw.clear();
     a.ccw.clear();
     const std::size_t ncw = snap.get();

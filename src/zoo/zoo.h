@@ -103,6 +103,11 @@ class DaymudeLeRun {
     std::int32_t init = -1;  // initiator v-node (engine return routing)
     std::int32_t dx = 0;     // SolLead: accumulated displacement — the
     std::int32_t dy = 0;     // paper's vector-cancellation certificate
+    // Initiator's wait epoch at launch: every probe/offer carries it, every
+    // reply copies it, and the initiator only consumes a verdict whose epoch
+    // matches its live counter (rule pm-token-epoch — the bug class behind
+    // the PR 8 OBD livelocks must stay impossible here too).
+    std::int32_t epoch = 0;
     bool fresh = false;      // already moved this round (1 hop per round)
   };
 
@@ -125,6 +130,7 @@ class DaymudeLeRun {
     Wait wait = Wait::None;
     bool got_announce = false;  // candidacy transferred onto me while I waited
     std::int32_t back_len = -1;  // most recent absorbed SegProbe length
+    std::int32_t epoch = 0;      // verdict epoch: bumped at every token launch
     std::deque<Token> cw;   // tokens travelling clockwise (to successor)
     std::deque<Token> ccw;  // tokens travelling counter-clockwise
   };
@@ -200,7 +206,10 @@ class EkLeRun {
     std::int32_t verdict = 0;    // -1 initiator smaller, 0 equal, +1 larger
     std::int32_t heads_seen = 0;  // Census: other surviving heads on the ring
     std::int32_t count_sum = 0;   // Census/Absorb: boundary-count accumulator
-    std::int64_t stamp = 0;       // Census: ring change stamp at launch
+    // Cmp/Census: the initiator's ring-change epoch at launch; a verdict or
+    // census stamped under a superseded epoch is discarded on return (rule
+    // pm-token-epoch).
+    std::int64_t epoch = 0;
     std::vector<std::int8_t> labels;  // Cmp: the initiator's segment string
     std::uint32_t pos = 0;            // Cmp: comparison cursor into labels
     bool fresh = false;
@@ -216,7 +225,7 @@ class EkLeRun {
     Role role = Role::Head;
     bool busy = false;           // a Cmp or Census of mine is in flight
     bool compared = false;       // launched at least one Cmp
-    std::int64_t cmp_stamp = -1;  // ring change stamp at the last Cmp launch
+    std::int64_t cmp_epoch = -1;  // ring change epoch at the last Cmp launch
     std::deque<Token> cw;
     std::deque<Token> ccw;
   };

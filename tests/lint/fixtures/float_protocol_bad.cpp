@@ -1,0 +1,10 @@
+// Fixture: rule pm-float-protocol must fire on any float type in a
+// protocol/result layer (the label decides the layer).
+struct FixtureResult {
+  double rounds_per_unit = 0.0;  // line 4: double
+  float load = 0.0f;             // line 5: float
+};
+
+double bad_ratio(long rounds, long units) {  // line 8: double
+  return static_cast<double>(rounds) / static_cast<double>(units);  // line 9
+}

@@ -1,0 +1,10 @@
+// Fixture: integer-exact protocol arithmetic is the sanctioned idiom.
+struct FixtureResult {
+  long rounds = 0;
+  long long moves = 0;
+};
+
+long good_scaled(long rounds, long units) {
+  // Ratios stay integer (numerator kept scaled), as in the BENCH rows.
+  return units == 0 ? 0 : (rounds * 1000) / units;
+}

@@ -1,0 +1,10 @@
+// Fixture: rule pm-raw-random must fire on nondeterministic sources.
+#include <cstdlib>
+#include <random>
+
+int bad_roll() {
+  std::random_device rd;              // line 6: random_device
+  std::mt19937 gen(rd());             // line 7: mt19937
+  srand(42);                          // line 8: srand
+  return static_cast<int>(gen()) + rand();  // line 9: rand(
+}

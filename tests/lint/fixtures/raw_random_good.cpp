@@ -1,0 +1,8 @@
+// Fixture: seeded repo RNG and near-miss identifiers stay clean.
+int good_roll(int seed) {
+  // `rand` only fires as a call: these identifiers must not match.
+  int grand_total = seed;
+  int operand = 2;
+  int rand_like_name = grand_total + operand;
+  return rand_like_name;
+}

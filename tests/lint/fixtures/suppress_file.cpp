@@ -1,0 +1,6 @@
+// Fixture: allow-file covers every diagnostic of the rule in the file.
+// pm-lint: allow-file(pm-float-protocol) fixture: calibration shim, floats never serialized
+double a = 1.0;
+double b = 2.0;
+
+double sum() { return a + b; }

@@ -1,0 +1,2 @@
+// Fixture: an allow without a written reason is itself a diagnostic.
+double x = 0.5;  // pm-lint: allow(pm-float-protocol)

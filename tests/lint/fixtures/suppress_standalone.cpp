@@ -1,0 +1,5 @@
+// Fixture: a stand-alone allow guards the next code line, skipping
+// intervening comment lines.
+// pm-lint: allow(pm-float-protocol) fixture: the declaration below is telemetry-only
+// (an explanatory comment between the allow and its target is fine)
+double telemetry_ms = 0.0;

@@ -1,0 +1,4 @@
+// Fixture: a trailing allow with a reason suppresses exactly its own line.
+double scaled(long v) {  // pm-lint: allow(pm-float-protocol) fixture: documented reason on the same line
+  return static_cast<double>(v);  // line 3: NOT suppressed — still fires
+}

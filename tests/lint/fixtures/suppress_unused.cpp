@@ -1,0 +1,3 @@
+// Fixture: an allow that matches no diagnostic is itself a diagnostic, so
+// stale suppressions cannot accumulate.
+long x = 1;  // pm-lint: allow(pm-float-protocol) fixture: nothing to suppress here

@@ -1,0 +1,14 @@
+// Fixture: rule pm-switch-default — a default arm in a protocol-enum
+// switch silently swallows enumerators added later.
+#include <cstdint>
+
+enum class Phase : std::uint8_t { Idle, Wait, Done };
+
+int bad_code(Phase p) {
+  switch (p) {
+    case Phase::Idle:
+      return 0;
+    default:  // line 11: swallows Wait, Done and anything added later
+      return 1;
+  }
+}

@@ -1,0 +1,26 @@
+// Fixture: exhaustive protocol-enum switches are clean, and switches over
+// plain integers (no qualified case labels) are outside the rule's scope.
+#include <cstdint>
+
+enum class Phase : std::uint8_t { Idle, Wait, Done };
+
+int good_code(Phase p) {
+  switch (p) {
+    case Phase::Idle:
+      return 0;
+    case Phase::Wait:
+      return 1;
+    case Phase::Done:
+      return 2;
+  }
+  return 0;  // unreachable: -Wswitch keeps the cases exhaustive
+}
+
+int plain_int_switch(int v) {
+  switch (v) {
+    case 0:
+      return 10;
+    default:  // not a protocol enum: default is fine here
+      return 20;
+  }
+}

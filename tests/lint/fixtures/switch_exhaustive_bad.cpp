@@ -1,0 +1,13 @@
+// Fixture: rule pm-switch-exhaustive — no default, but the case list
+// misses enumerators of the (unambiguously) matching enum.
+#include <cstdint>
+
+enum class Phase : std::uint8_t { Idle, Wait, Done };
+
+int bad_code(Phase p) {
+  switch (p) {  // line 8: misses Wait, Done
+    case Phase::Idle:
+      return 0;
+  }
+  return 1;
+}

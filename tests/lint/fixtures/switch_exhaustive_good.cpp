@@ -1,0 +1,16 @@
+// Fixture: every enumerator handled — clean with no default arm.
+#include <cstdint>
+
+enum class Phase : std::uint8_t { Idle, Wait, Done };
+
+int good_code(Phase p) {
+  switch (p) {
+    case Phase::Idle:
+      return 0;
+    case Phase::Wait:
+      return 1;
+    case Phase::Done:
+      return 2;
+  }
+  return 0;  // unreachable: -Wswitch keeps the cases exhaustive
+}

@@ -1,0 +1,41 @@
+// Fixture: rule pm-token-epoch-check — the PR 8 epoch-reuse livelock,
+// distilled. A StabVerdict launched under a superseded comparison epoch is
+// trusted because only the phase and lane index are checked; the verdict
+// resets the head to Idle, the watchdog relaunches, and the ring livelocks
+// (observed on comb(6,5), spiral(6,2), cheese(11,3) before the epoch
+// guard). The rule must flag every such consumption site.
+#include <cstdint>
+
+enum class Kind : std::uint8_t { LenCreate, LenResult, StabProbe, StabVerdict };
+
+struct Token {
+  Kind kind{};
+  std::int8_t value = 0;
+  std::uint8_t lane = 0;
+  std::int8_t epoch = 0;
+};
+
+struct Head {
+  bool stab_wait = false;
+  std::uint8_t stab_j = 0;
+  std::int8_t lbl_verdict = 0;
+  bool stable = false;
+};
+
+void consume(Head& vn, const Token& t) {
+  switch (t.kind) {
+    case Kind::StabVerdict:  // line 27: acts on the verdict, never reads t.epoch
+      if (vn.stab_wait && vn.stab_j == t.lane) {
+        if (t.value != 0) {
+          ++vn.stab_j;
+        } else {
+          vn.stab_wait = false;  // stale verdict resets a live comparison
+        }
+      }
+      return;
+    case Kind::LenCreate:
+    case Kind::LenResult:
+    case Kind::StabProbe:
+      return;
+  }
+}

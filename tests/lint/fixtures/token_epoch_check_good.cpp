@@ -1,0 +1,52 @@
+// Fixture: the epoch-guarded consumption idiom, plus the two sanctioned
+// non-consumption shapes — pure-control-flow classifier blocks and
+// unreachable-direction asserts — which must stay clean.
+#include <cstdint>
+
+#define PM_CHECK_MSG(cond, msg) ((void)(cond))
+
+enum class Kind : std::uint8_t { LenCreate, LenResult, StabProbe, StabVerdict };
+
+struct Token {
+  Kind kind{};
+  std::int8_t value = 0;
+  std::uint8_t lane = 0;
+  std::int8_t epoch = 0;
+};
+
+struct Head {
+  bool stab_wait = false;
+  std::uint8_t stab_j = 0;
+  std::int8_t lbl_verdict = 0;
+};
+
+void consume(Head& vn, const Token& t) {
+  switch (t.kind) {
+    case Kind::StabVerdict:
+      // The guard reads the token's epoch before acting on the verdict.
+      if (vn.stab_wait && vn.stab_j == t.lane && t.epoch == vn.lbl_verdict) {
+        ++vn.stab_j;
+      }
+      return;
+    case Kind::LenResult:
+      PM_CHECK_MSG(false, "ccw-only token travelling clockwise");
+      return;
+    case Kind::LenCreate:
+    case Kind::StabProbe:
+      return;
+  }
+}
+
+// Classification helpers whose verdict cases are pure control flow do not
+// consume tokens and must not be flagged.
+bool keyed_by_epoch(Kind k) {
+  switch (k) {
+    case Kind::LenResult:
+    case Kind::StabVerdict:
+      return true;
+    case Kind::LenCreate:
+    case Kind::StabProbe:
+      return false;
+  }
+  return false;
+}

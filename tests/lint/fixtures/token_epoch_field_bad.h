@@ -1,0 +1,10 @@
+// Fixture: rule pm-token-epoch-field — a protocol token struct without an
+// epoch field is exactly how the PR 8 livelock family became expressible.
+#pragma once
+#include <cstdint>
+
+struct FixtureToken {  // line 6: no epoch member
+  std::uint8_t kind = 0;
+  std::int8_t value = 0;
+  std::uint8_t lane = 0;
+};

@@ -1,0 +1,15 @@
+// Fixture: token structs carry their initiator's verdict epoch, and
+// non-token structs (even ones whose name merely contains "Token") are
+// out of the rule's scope.
+#pragma once
+#include <cstdint>
+
+struct FixtureToken {
+  std::uint8_t kind = 0;
+  std::int8_t value = 0;
+  std::int8_t epoch = 0;  // initiator's verdict epoch at launch
+};
+
+struct Tokenizer {  // not a token struct: name does not end in "Token"
+  int cursor = 0;
+};

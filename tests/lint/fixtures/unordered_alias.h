@@ -1,0 +1,6 @@
+// Fixture header: alias that collect_context must resolve to an unordered
+// container (mirrors grid::NodeSet).
+#pragma once
+#include <unordered_set>
+
+using FixtureNodeSet = std::unordered_set<long>;

@@ -1,0 +1,15 @@
+// Fixture: rule pm-unordered-iter must fire on range-for and .begin() over
+// unordered containers (directly typed or through a known alias).
+#include <unordered_map>
+
+#include "unordered_alias.h"
+
+long bad_sum(const FixtureNodeSet& nodes) {
+  std::unordered_map<int, long> weights;
+  long total = 0;
+  for (const long v : nodes) total += v;       // line 10: alias range-for
+  for (const auto& kv : weights) total += kv.second;  // line 11: range-for
+  auto it = weights.begin();                   // line 12: .begin()
+  (void)it;
+  return total;
+}

@@ -1,0 +1,14 @@
+// Fixture: point lookups into unordered containers are fine; only
+// iteration leaks hash order into results.
+#include <vector>
+
+#include "unordered_alias.h"
+
+long good_sum(const FixtureNodeSet& nodes, const std::vector<long>& order) {
+  long total = 0;
+  for (const long v : order) {          // ordered container: clean
+    if (nodes.contains(v)) total += v;  // point query: clean
+  }
+  if (nodes.count(0) != 0) ++total;
+  return total;
+}

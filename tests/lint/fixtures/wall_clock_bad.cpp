@@ -1,0 +1,11 @@
+// Fixture: rule pm-wall-clock must fire on every raw clock source.
+#include <chrono>
+
+long bad_now_ms() {
+  const auto t0 = std::chrono::steady_clock::now();  // line 5: steady_clock
+  const auto t1 = std::chrono::system_clock::now();  // line 6: system_clock
+  (void)t1;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::high_resolution_clock::now() - t0)  // line 9
+      .count();
+}

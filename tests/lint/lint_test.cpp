@@ -1,0 +1,313 @@
+// pm_lint test suite: one golden fixture pair per rule id (the bad file
+// fires exactly the expected diagnostics, the good file is silent),
+// suppression-syntax semantics, the PR 8 epoch-reuse regression fixture,
+// and the tree gate itself — `lint_paths(src/)` must stay empty, and the
+// acceptance mutations (delete an epoch field, reintroduce a raw clock,
+// drop the StabVerdict epoch guard) must each re-light the gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+using pm::lint::Context;
+using pm::lint::Diagnostic;
+using pm::lint::FileReport;
+using pm::lint::Report;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(PM_LINT_FIXTURES_DIR) + "/" + name);
+}
+
+// Lints one fixture under a synthetic label (the label's path components
+// decide layer scoping). Context is built from the fixture itself plus the
+// shared alias header, exactly like the tree walk does.
+FileReport lint_fixture(const std::string& name, const std::string& label) {
+  const std::string content = fixture(name);
+  const std::string alias = fixture("unordered_alias.h");
+  const Context ctx = pm::lint::collect_context(
+      {{"src/grid/unordered_alias.h", alias}, {label, content}});
+  return pm::lint::lint_source(label, content, ctx);
+}
+
+std::vector<std::pair<std::string, int>> rule_lines(const FileReport& rep) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Diagnostic& d : rep.diagnostics) out.emplace_back(d.rule, d.line);
+  return out;
+}
+
+using RL = std::vector<std::pair<std::string, int>>;
+
+// --- golden fixture pairs --------------------------------------------------
+
+TEST(PmLintFixtures, WallClockBadFires) {
+  const FileReport rep = lint_fixture("wall_clock_bad.cpp", "src/exec/wall_clock_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-wall-clock", 5}, {"pm-wall-clock", 6}, {"pm-wall-clock", 9}}));
+}
+
+TEST(PmLintFixtures, WallClockGoodIsSilent) {
+  const FileReport rep = lint_fixture("wall_clock_good.cpp", "src/exec/wall_clock_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, WallClockChokepointIsExempt) {
+  // The same offending content is sanctioned inside util/timing.h itself.
+  const FileReport rep = lint_fixture("wall_clock_bad.cpp", "src/util/timing.h");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, RawRandomBadFires) {
+  const FileReport rep = lint_fixture("raw_random_bad.cpp", "src/core/le/raw_random_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-raw-random", 6},
+                                 {"pm-raw-random", 7},
+                                 {"pm-raw-random", 8},
+                                 {"pm-raw-random", 9}}));
+}
+
+TEST(PmLintFixtures, RawRandomGoodIsSilent) {
+  const FileReport rep = lint_fixture("raw_random_good.cpp", "src/core/le/raw_random_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, UnorderedIterBadFires) {
+  const FileReport rep =
+      lint_fixture("unordered_iter_bad.cpp", "src/audit/unordered_iter_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-unordered-iter", 10},
+                                 {"pm-unordered-iter", 11},
+                                 {"pm-unordered-iter", 12}}));
+}
+
+TEST(PmLintFixtures, UnorderedIterGoodIsSilent) {
+  const FileReport rep =
+      lint_fixture("unordered_iter_good.cpp", "src/audit/unordered_iter_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, UnorderedIterIsLayerScoped) {
+  // The same iteration in a non-result layer (viz) is out of scope.
+  const FileReport rep =
+      lint_fixture("unordered_iter_bad.cpp", "src/viz/unordered_iter_bad.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, FloatProtocolBadFires) {
+  const FileReport rep =
+      lint_fixture("float_protocol_bad.cpp", "src/core/obd/float_protocol_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-float-protocol", 4},
+                                 {"pm-float-protocol", 5},
+                                 {"pm-float-protocol", 8},
+                                 {"pm-float-protocol", 9}}));
+}
+
+TEST(PmLintFixtures, FloatProtocolGoodIsSilent) {
+  const FileReport rep =
+      lint_fixture("float_protocol_good.cpp", "src/core/obd/float_protocol_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, FloatProtocolIsLayerScoped) {
+  // obs/ renders telemetry; floats there are not protocol state.
+  const FileReport rep =
+      lint_fixture("float_protocol_bad.cpp", "src/obs/float_protocol_bad.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, TokenEpochFieldBadFires) {
+  const FileReport rep =
+      lint_fixture("token_epoch_field_bad.h", "src/core/obd/token_epoch_field_bad.h");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-token-epoch-field", 6}}));
+}
+
+TEST(PmLintFixtures, TokenEpochFieldGoodIsSilent) {
+  const FileReport rep =
+      lint_fixture("token_epoch_field_good.h", "src/core/obd/token_epoch_field_good.h");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+// The PR 8 regression: a verdict consumption that checks phase and lane but
+// never the token's epoch is exactly the comb(6,5)/spiral(6,2)/cheese(11,3)
+// livelock shape. Rule T must flag it.
+TEST(PmLintFixtures, EpochReuseLivelockShapeIsFlagged) {
+  const FileReport rep =
+      lint_fixture("token_epoch_check_bad.cpp", "src/core/obd/token_epoch_check_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-token-epoch-check", 27}}));
+}
+
+TEST(PmLintFixtures, TokenEpochCheckGoodIsSilent) {
+  // Epoch-guarded consumption, pure-control-flow classifiers and
+  // unreachable-direction asserts must all stay clean.
+  const FileReport rep =
+      lint_fixture("token_epoch_check_good.cpp", "src/core/obd/token_epoch_check_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, SwitchDefaultBadFires) {
+  const FileReport rep =
+      lint_fixture("switch_default_bad.cpp", "src/pipeline/switch_default_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-switch-default", 11}}));
+}
+
+TEST(PmLintFixtures, SwitchDefaultGoodIsSilent) {
+  const FileReport rep =
+      lint_fixture("switch_default_good.cpp", "src/pipeline/switch_default_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+TEST(PmLintFixtures, SwitchExhaustiveBadFires) {
+  const FileReport rep =
+      lint_fixture("switch_exhaustive_bad.cpp", "src/pipeline/switch_exhaustive_bad.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-switch-exhaustive", 8}}));
+}
+
+TEST(PmLintFixtures, SwitchExhaustiveGoodIsSilent) {
+  const FileReport rep =
+      lint_fixture("switch_exhaustive_good.cpp", "src/pipeline/switch_exhaustive_good.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+}
+
+// --- suppression semantics -------------------------------------------------
+
+TEST(PmLintSuppressions, TrailingAllowGuardsItsOwnLineOnly) {
+  const FileReport rep =
+      lint_fixture("suppress_trailing.cpp", "src/core/le/suppress_trailing.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-float-protocol", 3}}));
+  EXPECT_EQ(rep.suppressions_used, 1);
+}
+
+TEST(PmLintSuppressions, StandaloneAllowSkipsCommentsToNextCodeLine) {
+  const FileReport rep =
+      lint_fixture("suppress_standalone.cpp", "src/core/le/suppress_standalone.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+  EXPECT_EQ(rep.suppressions_used, 1);
+}
+
+TEST(PmLintSuppressions, AllowFileCoversTheWholeFile) {
+  const FileReport rep = lint_fixture("suppress_file.cpp", "src/core/le/suppress_file.cpp");
+  EXPECT_TRUE(rep.diagnostics.empty());
+  EXPECT_EQ(rep.suppressions_used, 1);
+}
+
+TEST(PmLintSuppressions, MissingReasonIsADiagnostic) {
+  const FileReport rep =
+      lint_fixture("suppress_no_reason.cpp", "src/core/le/suppress_no_reason.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-allow-missing-reason", 2}}));
+}
+
+TEST(PmLintSuppressions, UnusedAllowIsADiagnostic) {
+  const FileReport rep =
+      lint_fixture("suppress_unused.cpp", "src/core/le/suppress_unused.cpp");
+  EXPECT_EQ(rule_lines(rep), (RL{{"pm-unused-allow", 3}}));
+}
+
+// --- the tree gate ---------------------------------------------------------
+
+TEST(PmLintTree, SrcTreeIsClean) {
+  const Report rep = pm::lint::lint_paths({PM_LINT_SRC_DIR});
+  for (const Diagnostic& d : rep.diagnostics) {
+    ADD_FAILURE() << d.file << ":" << d.line << ": " << d.rule << ": " << d.message;
+  }
+  EXPECT_GT(rep.files_scanned, 50);
+  EXPECT_GT(rep.suppressions_used, 0);
+}
+
+// Acceptance mutation 1: deleting the epoch field from a token struct must
+// re-light the gate (rule pm-token-epoch-field).
+TEST(PmLintTree, DeletingAnEpochFieldFails) {
+  for (const char* rel : {"/core/obd/obd.h", "/zoo/zoo.h"}) {
+    const std::string path = std::string(PM_LINT_SRC_DIR) + rel;
+    std::string content = read_file(path);
+    std::string mutated;
+    std::istringstream in(content);
+    std::string line;
+    int removed = 0;
+    while (std::getline(in, line)) {
+      // Drop every epoch member declaration (int8/int32/int64 variants).
+      if (line.find("epoch = 0;") != std::string::npos) {
+        ++removed;
+        continue;
+      }
+      mutated += line;
+      mutated += '\n';
+    }
+    ASSERT_GT(removed, 0) << rel;
+    const Context ctx = pm::lint::collect_context({{path, mutated}});
+    const FileReport rep = pm::lint::lint_source(std::string("src") + rel, mutated, ctx);
+    const bool fired = std::any_of(
+        rep.diagnostics.begin(), rep.diagnostics.end(),
+        [](const Diagnostic& d) { return d.rule == "pm-token-epoch-field"; });
+    EXPECT_TRUE(fired) << rel << ": epoch field deleted but rule stayed silent";
+  }
+}
+
+// Acceptance mutation 2: reintroducing a raw steady_clock read in protocol
+// code must re-light the gate (rule pm-wall-clock).
+TEST(PmLintTree, ReintroducingARawClockFails) {
+  const std::string path = std::string(PM_LINT_SRC_DIR) + "/core/obd/obd.cpp";
+  std::string content = read_file(path);
+  content += "\nstatic const auto t0 = std::chrono::steady_clock::now();\n";
+  const Context ctx = pm::lint::collect_context({{path, content}});
+  const FileReport rep = pm::lint::lint_source("src/core/obd/obd.cpp", content, ctx);
+  const bool fired =
+      std::any_of(rep.diagnostics.begin(), rep.diagnostics.end(),
+                  [](const Diagnostic& d) { return d.rule == "pm-wall-clock"; });
+  EXPECT_TRUE(fired);
+}
+
+// Acceptance mutation 3: weakening the StabVerdict consumption guard back
+// to the pre-PR 8 shape (no epoch comparison) must re-light rule T.
+TEST(PmLintTree, DroppingTheStabVerdictEpochGuardFails) {
+  const std::string path = std::string(PM_LINT_SRC_DIR) + "/core/obd/obd.cpp";
+  std::string content = read_file(path);
+  const std::string guard = " &&\n            t.epoch == vn.lbl_verdict";
+  const std::size_t at = content.find(guard);
+  ASSERT_NE(at, std::string::npos)
+      << "the StabVerdict epoch guard moved; update this regression test";
+  content.erase(at, guard.size());
+  const Context ctx = pm::lint::collect_context({{path, content}});
+  const FileReport rep = pm::lint::lint_source("src/core/obd/obd.cpp", content, ctx);
+  const bool fired = std::any_of(
+      rep.diagnostics.begin(), rep.diagnostics.end(), [](const Diagnostic& d) {
+        return d.rule == "pm-token-epoch-check" && d.message.find("StabVerdict") != std::string::npos;
+      });
+  EXPECT_TRUE(fired) << "epoch guard removed but the consumption site stayed clean";
+}
+
+// --- report plumbing -------------------------------------------------------
+
+TEST(PmLintReport, CatalogIsStable) {
+  const auto& rules = pm::lint::rule_catalog();
+  ASSERT_EQ(rules.size(), 10u);
+  EXPECT_STREQ(rules[0].id, "pm-wall-clock");
+  EXPECT_STREQ(rules[4].id, "pm-token-epoch-field");
+  EXPECT_STREQ(rules[6].id, "pm-switch-default");
+  EXPECT_STREQ(rules[8].id, "pm-unused-allow");
+}
+
+TEST(PmLintReport, JsonCarriesDiagnosticsAndCounts) {
+  Report rep;
+  rep.files_scanned = 2;
+  rep.suppressions_used = 1;
+  rep.diagnostics.push_back({"src/a.cpp", 7, "pm-wall-clock", "msg \"quoted\""});
+  const std::string json = pm::lint::to_json(rep);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"suppressions_used\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"pm-wall-clock\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+}
+
+}  // namespace

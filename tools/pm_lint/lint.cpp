@@ -1,0 +1,953 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pm::lint {
+
+namespace {
+
+// --- scanner ---------------------------------------------------------------
+
+// One source line split into executable text and comment text. String and
+// character literals are blanked out of `code` (their contents can never
+// violate a rule but love to contain rule keywords, e.g. "double erosion").
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Line> strip(const std::string& content) {
+  std::vector<Line> lines(1);
+  enum class St { Code, Slash, LineComment, BlockComment, BlockStar, Str, StrEsc, Chr, ChrEsc, RawStr };
+  St st = St::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  std::size_t i = 0;
+  auto cur = [&]() -> Line& { return lines.back(); };
+  while (i < content.size()) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (st == St::Slash) {
+        cur().code.push_back('/');
+        st = St::Code;
+      }
+      if (st == St::LineComment) st = St::Code;
+      // Block comments and raw strings legitimately span lines.
+      lines.emplace_back();
+      ++i;
+      continue;
+    }
+    switch (st) {
+      case St::Code:
+        if (c == '/') {
+          st = St::Slash;
+        } else if (c == '"') {
+          // Raw string literal? The scanner only needs the common R"( form.
+          if (!cur().code.empty() && cur().code.back() == 'R' &&
+              (cur().code.size() < 2 || !ident_char(cur().code[cur().code.size() - 2]))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') raw_delim.push_back(content[j++]);
+            cur().code.push_back('"');
+            st = St::RawStr;
+            i = j;  // positioned at '(' (or end)
+          } else {
+            cur().code.push_back('"');
+            st = St::Str;
+          }
+        } else if (c == '\'') {
+          cur().code.push_back('\'');
+          st = St::Chr;
+        } else {
+          cur().code.push_back(c);
+        }
+        break;
+      case St::Slash:
+        if (c == '/') {
+          st = St::LineComment;
+        } else if (c == '*') {
+          st = St::BlockComment;
+        } else {
+          cur().code.push_back('/');
+          cur().code.push_back(c);
+          st = St::Code;
+        }
+        break;
+      case St::LineComment:
+        cur().comment.push_back(c);
+        break;
+      case St::BlockComment:
+        if (c == '*') st = St::BlockStar;
+        else cur().comment.push_back(c);
+        break;
+      case St::BlockStar:
+        if (c == '/') st = St::Code;
+        else if (c != '*') { cur().comment.push_back(c); st = St::BlockComment; }
+        break;
+      case St::Str:
+        if (c == '\\') st = St::StrEsc;
+        else if (c == '"') { cur().code.push_back('"'); st = St::Code; }
+        break;
+      case St::StrEsc:
+        st = St::Str;
+        break;
+      case St::Chr:
+        if (c == '\\') st = St::ChrEsc;
+        else if (c == '\'') { cur().code.push_back('\''); st = St::Code; }
+        break;
+      case St::ChrEsc:
+        st = St::Chr;
+        break;
+      case St::RawStr: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          cur().code.push_back('"');
+          st = St::Code;
+          i += close.size();
+          continue;
+        }
+        if (c == '\n') lines.emplace_back();  // unreachable (handled above)
+        break;
+      }
+    }
+    ++i;
+  }
+  return lines;
+}
+
+// Joined code text with a byte-offset -> line-number map, for the rules
+// that need multi-line structure (for-statements, switches, structs).
+struct Joined {
+  std::string text;
+  std::vector<std::size_t> line_start;  // offset of each line in text
+
+  [[nodiscard]] int line_of(std::size_t off) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), off);
+    return static_cast<int>(it - line_start.begin());  // 1-based
+  }
+};
+
+Joined join(const std::vector<Line>& lines) {
+  Joined j;
+  for (const Line& l : lines) {
+    j.line_start.push_back(j.text.size());
+    j.text += l.code;
+    j.text.push_back('\n');
+  }
+  return j;
+}
+
+// Word-boundary search. Returns npos or the match offset.
+std::size_t find_word(const std::string& s, const std::string& w, std::size_t from = 0) {
+  std::size_t p = from;
+  while ((p = s.find(w, p)) != std::string::npos) {
+    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
+    const bool right_ok = p + w.size() >= s.size() || !ident_char(s[p + w.size()]);
+    if (left_ok && right_ok) return p;
+    ++p;
+  }
+  return std::string::npos;
+}
+
+bool has_word(const std::string& s, const std::string& w) {
+  return find_word(s, w) != std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t p) {
+  while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p])) != 0) ++p;
+  return p;
+}
+
+std::string read_ident(const std::string& s, std::size_t p) {
+  std::string out;
+  while (p < s.size() && ident_char(s[p])) out.push_back(s[p++]);
+  return out;
+}
+
+// From an opening bracket at `open`, returns the offset one past the
+// matching closer, honouring nesting. npos when unbalanced.
+std::size_t match_bracket(const std::string& s, std::size_t open, char oc, char cc) {
+  int depth = 0;
+  for (std::size_t p = open; p < s.size(); ++p) {
+    if (s[p] == oc) ++depth;
+    else if (s[p] == cc && --depth == 0) return p + 1;
+  }
+  return std::string::npos;
+}
+
+// Skips the balanced template argument list starting at '<'. Heuristic:
+// inside a type position '<' always opens a list (the scanner only calls
+// this right after "unordered_map"/"unordered_set").
+std::size_t skip_template_args(const std::string& s, std::size_t p) {
+  int depth = 0;
+  for (; p < s.size(); ++p) {
+    if (s[p] == '<') ++depth;
+    else if (s[p] == '>' && --depth == 0) return p + 1;
+  }
+  return std::string::npos;
+}
+
+// --- layer scoping ---------------------------------------------------------
+
+bool in_layer(const std::string& label, std::initializer_list<const char*> layers) {
+  for (const char* l : layers) {
+    const std::string needle = std::string(l) + "/";
+    const std::size_t p = label.find(needle);
+    if (p != std::string::npos && (p == 0 || label[p - 1] == '/')) return true;
+  }
+  return false;
+}
+
+bool label_ends_with(const std::string& label, const std::string& tail) {
+  return label.size() >= tail.size() &&
+         label.compare(label.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+// --- suppressions ----------------------------------------------------------
+
+struct Allow {
+  std::string rule;
+  int line = 0;        // annotation's own line
+  int target = 0;      // line it suppresses (0 = whole file)
+  bool has_reason = false;
+  bool used = false;
+};
+
+std::vector<Allow> parse_allows(const std::vector<Line>& lines) {
+  std::vector<Allow> out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].comment;
+    std::size_t p = c.find("pm-lint:");
+    if (p == std::string::npos) continue;
+    p = skip_ws(c, p + 8);
+    const bool file_scope = c.compare(p, 11, "allow-file(") == 0;
+    const bool line_scope = !file_scope && c.compare(p, 6, "allow(") == 0;
+    if (!file_scope && !line_scope) continue;
+    p = c.find('(', p) + 1;
+    const std::size_t close = c.find(')', p);
+    if (close == std::string::npos) continue;
+    Allow a;
+    a.rule = c.substr(p, close - p);
+    a.line = static_cast<int>(i + 1);
+    a.has_reason = skip_ws(c, close + 1) < c.size();
+    if (file_scope) {
+      a.target = 0;
+    } else {
+      // Trailing annotation guards its own line; a stand-alone one guards
+      // the next line that carries code.
+      const bool standalone =
+          lines[i].code.find_first_not_of(" \t") == std::string::npos;
+      if (!standalone) {
+        a.target = a.line;
+      } else {
+        std::size_t j = i + 1;
+        while (j < lines.size() &&
+               lines[j].code.find_first_not_of(" \t") == std::string::npos) {
+          ++j;
+        }
+        a.target = static_cast<int>(j + 1);
+      }
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+// --- unordered-container variable tracking (rule D3) ------------------------
+
+// Collects names of variables/parameters/members declared with an
+// unordered container type (or a known alias of one) in `j`.
+std::vector<std::string> collect_unordered_vars(const Joined& j, const Context& ctx) {
+  std::vector<std::string> vars;
+  const std::string& s = j.text;
+  auto note_decl_at = [&](std::size_t after_type) {
+    std::size_t p = skip_ws(s, after_type);
+    while (p < s.size() && (s[p] == '&' || s[p] == '*')) p = skip_ws(s, p + 1);
+    const std::string name = read_ident(s, p);
+    if (name.empty() || name == "const") return;
+    const std::size_t q = skip_ws(s, p + name.size());
+    if (q < s.size() && s[q] == '(') return;  // function returning the type
+    vars.push_back(name);
+  };
+  for (const char* kw : {"unordered_map", "unordered_set"}) {
+    std::size_t p = 0;
+    while ((p = find_word(s, kw, p)) != std::string::npos) {
+      std::size_t q = skip_ws(s, p + std::string(kw).size());
+      if (q < s.size() && s[q] == '<') q = skip_template_args(s, q);
+      if (q != std::string::npos) note_decl_at(q);
+      ++p;
+    }
+  }
+  for (const std::string& alias : ctx.unordered_aliases) {
+    std::size_t p = 0;
+    while ((p = find_word(s, alias, p)) != std::string::npos) {
+      // Skip the alias definition itself ("using NodeSet = ...").
+      const std::size_t q = skip_ws(s, p + alias.size());
+      if (q < s.size() && s[q] != '=') note_decl_at(p + alias.size());
+      ++p;
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+// --- switch parsing (rules S1/S2) ------------------------------------------
+
+struct CaseLabel {
+  std::string qualifier;   // "Kind" in `case Kind::LenCreate:`
+  std::string name;        // "LenCreate"
+  int line = 0;
+};
+
+struct SwitchInfo {
+  std::vector<CaseLabel> cases;
+  int default_line = 0;  // 0 = none
+  int line = 0;
+};
+
+// Scans the body [open_brace, close) of one switch, skipping nested
+// switch statements entirely (they are visited by their own pass).
+void scan_switch_body(const Joined& j, std::size_t begin, std::size_t end, SwitchInfo& info) {
+  const std::string& s = j.text;
+  std::size_t p = begin;
+  while (p < end) {
+    const std::size_t psw = find_word(s, "switch", p);
+    const std::size_t pcase = find_word(s, "case", p);
+    const std::size_t pdef = find_word(s, "default", p);
+    std::size_t next = std::min({psw, pcase, pdef});
+    if (next == std::string::npos || next >= end) return;
+    if (next == psw) {
+      const std::size_t ob = s.find('{', psw);
+      const std::size_t after = ob == std::string::npos
+                                    ? std::string::npos
+                                    : match_bracket(s, ob, '{', '}');
+      p = after == std::string::npos ? end : after;
+      continue;
+    }
+    if (next == pdef) {
+      const std::size_t q = skip_ws(s, pdef + 7);
+      if (q < s.size() && s[q] == ':' && info.default_line == 0) {
+        info.default_line = j.line_of(pdef);
+      }
+      p = pdef + 7;
+      continue;
+    }
+    // case label: read up to the terminating single ':'.
+    std::size_t q = pcase + 4;
+    std::string label;
+    while (q < end) {
+      if (s[q] == ':' && q + 1 < s.size() && s[q + 1] == ':') {
+        label += "::";
+        q += 2;
+        continue;
+      }
+      if (s[q] == ':') break;
+      label.push_back(s[q++]);
+    }
+    CaseLabel cl;
+    cl.line = j.line_of(pcase);
+    const std::size_t sep = label.rfind("::");
+    std::string qual_text = sep == std::string::npos ? "" : label.substr(0, sep);
+    std::string name_text = sep == std::string::npos ? label : label.substr(sep + 2);
+    auto trim = [](std::string& t) {
+      const std::size_t b = t.find_first_not_of(" \t\n");
+      const std::size_t e = t.find_last_not_of(" \t\n");
+      t = b == std::string::npos ? "" : t.substr(b, e - b + 1);
+    };
+    trim(qual_text);
+    trim(name_text);
+    const std::size_t qsep = qual_text.rfind("::");
+    if (qsep != std::string::npos) qual_text = qual_text.substr(qsep + 2);
+    cl.qualifier = qual_text;
+    cl.name = name_text;
+    if (!cl.name.empty()) info.cases.push_back(std::move(cl));
+    p = q + 1;
+  }
+}
+
+std::vector<SwitchInfo> collect_switches(const Joined& j) {
+  std::vector<SwitchInfo> out;
+  const std::string& s = j.text;
+  std::size_t p = 0;
+  while ((p = find_word(s, "switch", p)) != std::string::npos) {
+    const std::size_t paren = skip_ws(s, p + 6);
+    if (paren >= s.size() || s[paren] != '(') { ++p; continue; }
+    const std::size_t after_cond = match_bracket(s, paren, '(', ')');
+    if (after_cond == std::string::npos) break;
+    const std::size_t ob = skip_ws(s, after_cond);
+    if (ob >= s.size() || s[ob] != '{') { ++p; continue; }
+    const std::size_t close = match_bracket(s, ob, '{', '}');
+    if (close == std::string::npos) break;
+    SwitchInfo info;
+    info.line = j.line_of(p);
+    scan_switch_body(j, ob + 1, close - 1, info);
+    out.push_back(std::move(info));
+    ++p;
+  }
+  return out;
+}
+
+// --- the rule passes -------------------------------------------------------
+
+struct Raw {
+  int line;
+  const char* rule;
+  std::string message;
+};
+
+void rule_wall_clock(const std::string& label, const std::vector<Line>& lines,
+                     std::vector<Raw>& out) {
+  if (label_ends_with(label, "util/timing.h")) return;
+  static const char* kClock[] = {"steady_clock", "system_clock", "high_resolution_clock",
+                                 "clock_gettime", "gettimeofday", "timespec_get"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const char* w : kClock) {
+      if (has_word(lines[i].code, w)) {
+        out.push_back({static_cast<int>(i + 1), "pm-wall-clock",
+                       std::string(w) + ": raw wall-clock source; route through "
+                                        "util/timing.h (WallClock / ms_since)"});
+        break;
+      }
+    }
+  }
+}
+
+void rule_raw_random(const std::string& label, const std::vector<Line>& lines,
+                     std::vector<Raw>& out) {
+  if (label_ends_with(label, "util/rng.h") || label_ends_with(label, "util/rng.cpp")) return;
+  static const char* kRng[] = {"srand", "random_device", "mt19937", "mt19937_64",
+                               "drand48", "lrand48", "random_shuffle"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].code;
+    bool hit = false;
+    for (const char* w : kRng) {
+      if (has_word(c, w)) { hit = true; break; }
+    }
+    if (!hit) {
+      // `rand` only as a call — the bare word is too common a substring of
+      // sane identifiers to ban as a token.
+      const std::size_t p = find_word(c, "rand");
+      if (p != std::string::npos) {
+        const std::size_t q = skip_ws(c, p + 4);
+        hit = q < c.size() && c[q] == '(';
+      }
+    }
+    if (hit) {
+      out.push_back({static_cast<int>(i + 1), "pm-raw-random",
+                     "nondeterministic randomness source; use util/rng.h (seeded xoshiro)"});
+    }
+  }
+}
+
+void rule_unordered_iter(const std::string& label, const Joined& j, const Context& ctx,
+                         const Joined* sibling, std::vector<Raw>& out) {
+  if (!in_layer(label, {"amoebot", "grid", "core", "exec", "pipeline", "zoo", "obs", "audit"})) {
+    return;
+  }
+  std::vector<std::string> vars = collect_unordered_vars(j, ctx);
+  if (sibling != nullptr) {
+    for (const std::string& v : collect_unordered_vars(*sibling, ctx)) vars.push_back(v);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  }
+  if (vars.empty()) return;
+  const std::string& s = j.text;
+  auto base_in_vars = [&](const std::string& expr) {
+    std::size_t p = skip_ws(expr, 0);
+    while (p < expr.size() && (expr[p] == '*' || expr[p] == '&' || expr[p] == '(')) {
+      p = skip_ws(expr, p + 1);
+    }
+    const std::string base = read_ident(expr, p);
+    return std::find(vars.begin(), vars.end(), base) != vars.end();
+  };
+  // (a) range-for over a tracked variable.
+  std::size_t p = 0;
+  while ((p = find_word(s, "for", p)) != std::string::npos) {
+    const std::size_t paren = skip_ws(s, p + 3);
+    if (paren >= s.size() || s[paren] != '(') { ++p; continue; }
+    const std::size_t close = match_bracket(s, paren, '(', ')');
+    if (close == std::string::npos) break;
+    const std::string head = s.substr(paren + 1, close - paren - 2);
+    // the range-for ':' — a single colon that is not part of '::'
+    std::size_t colon = std::string::npos;
+    for (std::size_t q = 0; q < head.size(); ++q) {
+      if (head[q] != ':') continue;
+      if (q + 1 < head.size() && head[q + 1] == ':') { ++q; continue; }
+      if (q > 0 && head[q - 1] == ':') continue;
+      colon = q;
+      break;
+    }
+    if (colon != std::string::npos && base_in_vars(head.substr(colon + 1))) {
+      out.push_back({j.line_of(p), "pm-unordered-iter",
+                     "iteration over an unordered container in a result/event-affecting "
+                     "layer; materialize a sorted copy or prove order-independence"});
+    }
+    p = close;
+  }
+  // (b) iterator access on a tracked variable.
+  for (const std::string& v : vars) {
+    p = 0;
+    while ((p = find_word(s, v, p)) != std::string::npos) {
+      const std::size_t dot = p + v.size();
+      for (const char* m : {".begin", ".cbegin", ".rbegin", "->begin", "->cbegin"}) {
+        const std::string pat(m);
+        if (s.compare(dot, pat.size(), pat) == 0 &&
+            dot + pat.size() < s.size() && s[dot + pat.size()] == '(') {
+          out.push_back({j.line_of(p), "pm-unordered-iter",
+                         v + pat + "(): iterator over an unordered container in a "
+                                   "result/event-affecting layer"});
+          break;
+        }
+      }
+      ++p;
+    }
+  }
+}
+
+void rule_float_protocol(const std::string& label, const std::vector<Line>& lines,
+                         std::vector<Raw>& out) {
+  if (!in_layer(label, {"core", "zoo", "audit"})) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& c = lines[i].code;
+    if (has_word(c, "double") || has_word(c, "float")) {
+      out.push_back({static_cast<int>(i + 1), "pm-float-protocol",
+                     "floating-point in protocol/result-affecting code; results and "
+                     "BENCH rows must be integer-exact"});
+    }
+  }
+}
+
+void rule_token_epoch_field(const std::string& label, const Joined& j, std::vector<Raw>& out) {
+  if (!in_layer(label, {"core", "zoo"})) return;
+  const std::string& s = j.text;
+  std::size_t p = 0;
+  while ((p = find_word(s, "struct", p)) != std::string::npos) {
+    const std::size_t np = skip_ws(s, p + 6);
+    const std::string name = read_ident(s, np);
+    p = np + name.size();
+    if (name != "Token" && !(name.size() > 5 && label_ends_with(name, "Token"))) continue;
+    const std::size_t ob = s.find('{', p);
+    if (ob == std::string::npos) continue;
+    const std::size_t close = match_bracket(s, ob, '{', '}');
+    if (close == std::string::npos) continue;
+    const std::string body = s.substr(ob, close - ob);
+    if (!has_word(body, "epoch")) {
+      out.push_back({j.line_of(np), "pm-token-epoch-field",
+                     "protocol token struct '" + name +
+                         "' declares no epoch field; every train/boundary token must "
+                         "carry its initiator's verdict epoch (PR 8 livelock family)"});
+    }
+  }
+}
+
+bool verdict_suffix(const std::string& name) {
+  for (const char* suf : {"Result", "Verdict", "Reply", "Ack", "Nack"}) {
+    const std::string t(suf);
+    if (name.size() >= t.size() &&
+        name.compare(name.size() - t.size(), t.size(), t) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_token_epoch_check(const std::string& label, const Joined& j, std::vector<Raw>& out) {
+  if (!in_layer(label, {"core", "zoo"})) return;
+  const std::string& s = j.text;
+  // (a) switch-case verdict consumption: the case block must mention epoch.
+  std::size_t p = 0;
+  while ((p = find_word(s, "case", p)) != std::string::npos) {
+    std::size_t q = p + 4;
+    std::string lbl;
+    while (q < s.size()) {
+      if (s[q] == ':' && q + 1 < s.size() && s[q + 1] == ':') { lbl += "::"; q += 2; continue; }
+      if (s[q] == ':' || s[q] == ';' || s[q] == '{') break;
+      lbl.push_back(s[q++]);
+    }
+    if (q >= s.size() || s[q] != ':') { p = q; continue; }
+    const std::size_t sep = lbl.rfind("::");
+    std::string name = sep == std::string::npos ? lbl : lbl.substr(sep + 2);
+    const std::size_t b = name.find_first_not_of(" \t\n");
+    const std::size_t e = name.find_last_not_of(" \t\n");
+    name = b == std::string::npos ? "" : name.substr(b, e - b + 1);
+    if (sep == std::string::npos || !verdict_suffix(name)) { p = q; continue; }
+    // Block extent: to the next case/default at the same brace depth, or to
+    // the close of the enclosing switch body. A label whose body is empty
+    // (fall-through grouping, `case A: case B: body`) shares the block of
+    // the label(s) that follow it.
+    std::size_t r = q + 1;
+    std::size_t block_start = q + 1;  // moves past skipped fall-through labels
+    int depth = 0;
+    std::size_t end = s.size();
+    bool saw_code = false;
+    while (r < s.size()) {
+      const char c = s[r];
+      if (c == '{') { ++depth; saw_code = true; }
+      else if (c == '}') {
+        if (depth == 0) { end = r; break; }
+        --depth;
+      } else if (depth == 0 && ident_char(c) && (r == 0 || !ident_char(s[r - 1]))) {
+        const std::string w = read_ident(s, r);
+        if ((w == "case" || w == "default") && saw_code) { end = r; break; }
+        if (w == "case" || w == "default") {
+          // Fall-through label before any code: skip past its terminating
+          // ':' (stepping over any '::' inside the enumerator path).
+          r += w.size();
+          while (r < s.size()) {
+            if (s[r] == ':' && r + 1 < s.size() && s[r + 1] == ':') { r += 2; continue; }
+            if (s[r] == ':') break;
+            ++r;
+          }
+          block_start = r + 1;
+          continue;
+        }
+        saw_code = true;
+        r += w.size() - 1;
+      } else if (!std::isspace(static_cast<unsigned char>(c)) && c != ':') {
+        saw_code = true;
+      }
+      ++r;
+    }
+    const std::string block = s.substr(block_start, end - block_start);
+    // A body of pure control flow (`return true;`, `break;`) cannot act on
+    // the verdict — classification and transit predicates stay clean — and
+    // an unreachability assert (`PM_CHECK_MSG(false, ...)`) is a direction
+    // contract, not a consumption. Any other identifier (member access,
+    // call, assignment) counts as acting.
+    bool acts = false;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (!ident_char(block[i]) || (i > 0 && ident_char(block[i - 1]))) continue;
+      if (block[i] >= '0' && block[i] <= '9') continue;  // numeric literal
+      const std::string w = read_ident(block, i);
+      if (w != "break" && w != "return" && w != "continue" && w != "true" &&
+          w != "false" && w != "nullptr" && w != "PM_CHECK" && w != "PM_CHECK_MSG") {
+        acts = true;
+        break;
+      }
+      i += w.size() - 1;
+    }
+    if (acts && !has_word(block, "epoch")) {
+      out.push_back({j.line_of(p), "pm-token-epoch-check",
+                     "verdict/reply consumption for '" + name +
+                         "' does not reference the token's epoch before acting on it"});
+    }
+    p = q;
+  }
+  // (b) verdict-handling function definitions.
+  p = 0;
+  while (p < s.size()) {
+    if (!ident_char(s[p]) || (p > 0 && ident_char(s[p - 1]))) { ++p; continue; }
+    const std::string id = read_ident(s, p);
+    std::string lower = id;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (lower.find("verdict") == std::string::npos && lower != "finish_census") {
+      p += id.size();
+      continue;
+    }
+    const std::size_t paren = skip_ws(s, p + id.size());
+    if (paren >= s.size() || s[paren] != '(') { p += id.size(); continue; }
+    const std::size_t after = match_bracket(s, paren, '(', ')');
+    if (after == std::string::npos) break;
+    std::size_t ob = skip_ws(s, after);
+    if (s.compare(ob, 5, "const") == 0) ob = skip_ws(s, ob + 5);
+    if (ob >= s.size() || s[ob] != '{') { p += id.size(); continue; }
+    const std::size_t close = match_bracket(s, ob, '{', '}');
+    if (close == std::string::npos) break;
+    if (!has_word(s.substr(ob, close - ob), "epoch")) {
+      out.push_back({j.line_of(p), "pm-token-epoch-check",
+                     "verdict handler '" + id +
+                         "' does not reference a token epoch before acting"});
+    }
+    p = close;
+  }
+}
+
+void rule_switch_hygiene(const std::string& label, const Joined& j, const Context& ctx,
+                         std::vector<Raw>& out) {
+  if (!in_layer(label, {"core", "exec", "pipeline", "zoo", "obs", "audit"})) return;
+  for (const SwitchInfo& sw : collect_switches(j)) {
+    const bool protocol = std::any_of(sw.cases.begin(), sw.cases.end(),
+                                      [](const CaseLabel& c) { return !c.qualifier.empty(); });
+    if (!protocol) continue;
+    if (sw.default_line != 0) {
+      out.push_back({sw.default_line, "pm-switch-default",
+                     "'default:' in a protocol-enum switch swallows future enumerators; "
+                     "list every case (the -Wswitch build keeps it exhaustive)"});
+      continue;
+    }
+    // Exhaustiveness: find the enum whose enumerator set covers the cases.
+    std::vector<std::string> handled;
+    for (const CaseLabel& c : sw.cases) handled.push_back(c.name);
+    std::sort(handled.begin(), handled.end());
+    handled.erase(std::unique(handled.begin(), handled.end()), handled.end());
+    const EnumDef* best = nullptr;
+    bool ambiguous = false;
+    for (const EnumDef& e : ctx.enums) {
+      const bool covers = std::all_of(handled.begin(), handled.end(), [&](const std::string& h) {
+        return std::find(e.enumerators.begin(), e.enumerators.end(), h) != e.enumerators.end();
+      });
+      if (!covers) continue;
+      if (best == nullptr || e.enumerators.size() < best->enumerators.size()) {
+        best = &e;
+        ambiguous = false;
+      } else if (e.enumerators.size() == best->enumerators.size() &&
+                 e.enumerators != best->enumerators) {
+        ambiguous = true;
+      }
+    }
+    if (best == nullptr || ambiguous) continue;  // lexically undecidable: stay silent
+    std::string missing;
+    for (const std::string& en : best->enumerators) {
+      if (std::find(handled.begin(), handled.end(), en) == handled.end()) {
+        missing += missing.empty() ? en : ", " + en;
+      }
+    }
+    if (!missing.empty()) {
+      out.push_back({sw.line, "pm-switch-exhaustive",
+                     "switch over enum '" + best->name + "' misses: " + missing});
+    }
+  }
+}
+
+}  // namespace
+
+// --- public API ------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"pm-wall-clock", "determinism",
+       "no raw clock sources outside util/timing.h"},
+      {"pm-raw-random", "determinism",
+       "no nondeterministic randomness outside util/rng.*"},
+      {"pm-unordered-iter", "determinism",
+       "no iteration over unordered containers in result/event-affecting layers"},
+      {"pm-float-protocol", "determinism",
+       "no floating-point in protocol/result code (core, zoo, audit)"},
+      {"pm-token-epoch-field", "token-epoch",
+       "every protocol token struct declares an epoch field"},
+      {"pm-token-epoch-check", "token-epoch",
+       "verdict/reply consumption references the token epoch before acting"},
+      {"pm-switch-default", "switch-hygiene",
+       "no 'default:' in protocol-enum switches"},
+      {"pm-switch-exhaustive", "switch-hygiene",
+       "protocol-enum switches cover every enumerator"},
+      {"pm-unused-allow", "meta",
+       "every suppression must match at least one diagnostic"},
+      {"pm-allow-missing-reason", "meta",
+       "every suppression must carry a written reason"},
+  };
+  return kRules;
+}
+
+Context collect_context(const std::vector<std::pair<std::string, std::string>>& files) {
+  Context ctx;
+  for (const auto& [label, content] : files) {
+    (void)label;
+    const Joined j = join(strip(content));
+    const std::string& s = j.text;
+    // `using X = ...unordered_map/set...;`
+    std::size_t p = 0;
+    while ((p = find_word(s, "using", p)) != std::string::npos) {
+      const std::size_t np = skip_ws(s, p + 5);
+      const std::string name = read_ident(s, np);
+      const std::size_t eq = skip_ws(s, np + name.size());
+      p = np + name.size();
+      if (name.empty() || eq >= s.size() || s[eq] != '=') continue;
+      const std::size_t semi = s.find(';', eq);
+      if (semi == std::string::npos) continue;
+      const std::string rhs = s.substr(eq, semi - eq);
+      if (has_word(rhs, "unordered_map") || has_word(rhs, "unordered_set")) {
+        ctx.unordered_aliases.push_back(name);
+      }
+    }
+    // `enum [class] Name { A, B = 3, C };`
+    p = 0;
+    while ((p = find_word(s, "enum", p)) != std::string::npos) {
+      std::size_t np = skip_ws(s, p + 4);
+      if (s.compare(np, 5, "class") == 0 || s.compare(np, 6, "struct") == 0) {
+        np = skip_ws(s, np + (s[np] == 'c' ? 5 : 6));
+      }
+      const std::string name = read_ident(s, np);
+      p = np + std::max<std::size_t>(1, name.size());
+      if (name.empty()) continue;
+      std::size_t ob = s.find_first_of("{;", np + name.size());
+      if (ob == std::string::npos || s[ob] != '{') continue;
+      const std::size_t close = match_bracket(s, ob, '{', '}');
+      if (close == std::string::npos) continue;
+      EnumDef def;
+      def.name = name;
+      std::size_t q = ob + 1;
+      while (q < close - 1) {
+        q = skip_ws(s, q);
+        const std::string en = read_ident(s, q);
+        if (!en.empty()) def.enumerators.push_back(en);
+        const std::size_t comma = s.find(',', q);
+        if (comma == std::string::npos || comma >= close) break;
+        q = comma + 1;
+      }
+      if (!def.enumerators.empty()) ctx.enums.push_back(std::move(def));
+    }
+  }
+  std::sort(ctx.unordered_aliases.begin(), ctx.unordered_aliases.end());
+  ctx.unordered_aliases.erase(
+      std::unique(ctx.unordered_aliases.begin(), ctx.unordered_aliases.end()),
+      ctx.unordered_aliases.end());
+  return ctx;
+}
+
+FileReport lint_source(const std::string& label, const std::string& content,
+                       const Context& ctx, const std::string& sibling_header) {
+  FileReport rep;
+  const std::vector<Line> lines = strip(content);
+  const Joined j = join(lines);
+  Joined sib;
+  const bool has_sib = !sibling_header.empty();
+  if (has_sib) sib = join(strip(sibling_header));
+
+  std::vector<Raw> raw;
+  rule_wall_clock(label, lines, raw);
+  rule_raw_random(label, lines, raw);
+  rule_unordered_iter(label, j, ctx, has_sib ? &sib : nullptr, raw);
+  rule_float_protocol(label, lines, raw);
+  rule_token_epoch_field(label, j, raw);
+  rule_token_epoch_check(label, j, raw);
+  rule_switch_hygiene(label, j, ctx, raw);
+
+  std::vector<Allow> allows = parse_allows(lines);
+  for (const Raw& r : raw) {
+    bool suppressed = false;
+    for (Allow& a : allows) {
+      if (a.rule != r.rule) continue;
+      if (a.target == 0 || a.target == r.line) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) {
+      rep.diagnostics.push_back({label, r.line, r.rule, r.message});
+    }
+  }
+  for (const Allow& a : allows) {
+    if (!a.has_reason) {
+      rep.diagnostics.push_back({label, a.line, "pm-allow-missing-reason",
+                                 "suppression for '" + a.rule +
+                                     "' carries no reason; write down why the rule does "
+                                     "not apply here"});
+    }
+    if (a.used) {
+      ++rep.suppressions_used;
+    } else {
+      rep.diagnostics.push_back({label, a.line, "pm-unused-allow",
+                                 "suppression for '" + a.rule +
+                                     "' matched no diagnostic; delete it (or the rule id "
+                                     "is misspelled)"});
+    }
+  }
+  std::sort(rep.diagnostics.begin(), rep.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return rep;
+}
+
+Report lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  Report rep;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cpp") files.push_back(entry.path().generic_string());
+      }
+    } else {
+      files.push_back(fs::path(p).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    sources.emplace_back(f, ss.str());
+  }
+  const Context ctx = collect_context(sources);
+  for (const auto& [label, content] : sources) {
+    std::string sibling;
+    if (label_ends_with(label, ".cpp")) {
+      const std::string header = label.substr(0, label.size() - 4) + ".h";
+      const auto it = std::find_if(sources.begin(), sources.end(),
+                                   [&](const auto& s) { return s.first == header; });
+      if (it != sources.end()) {
+        sibling = it->second;
+      } else {
+        std::ifstream in(header, std::ios::binary);
+        if (in) {
+          std::ostringstream ss;
+          ss << in.rdbuf();
+          sibling = ss.str();
+        }
+      }
+    }
+    FileReport fr = lint_source(label, content, ctx, sibling);
+    rep.suppressions_used += fr.suppressions_used;
+    for (Diagnostic& d : fr.diagnostics) rep.diagnostics.push_back(std::move(d));
+    ++rep.files_scanned;
+  }
+  return rep;
+}
+
+std::string to_json(const Report& r) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"pm_lint\",\n";
+  os << "  \"files_scanned\": " << r.files_scanned << ",\n";
+  os << "  \"suppressions_used\": " << r.suppressions_used << ",\n";
+  os << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    const Diagnostic& d = r.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << esc(d.file) << "\", \"line\": " << d.line
+       << ", \"rule\": \"" << esc(d.rule) << "\", \"message\": \"" << esc(d.message)
+       << "\"}";
+  }
+  os << (r.diagnostics.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+}  // namespace pm::lint

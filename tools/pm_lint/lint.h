@@ -1,0 +1,93 @@
+// pm_lint — repo-specific static analysis for the determinism and
+// protocol-contract rules the test suite can only check dynamically.
+//
+// The analyzer is dependency-free by design (no libclang): a small
+// comment/string-aware scanner in the style of the workload JSON parser
+// feeds purely lexical rule passes. That limits the rules to what can be
+// decided from token streams — the catalog below documents each rule's
+// approximation honestly — but it means the gate runs in milliseconds on
+// every PR and builds anywhere the repo builds.
+//
+// Rule families (ids are stable; tests/lint pins one fixture pair per id):
+//   D — determinism: no wall-clock or RNG source outside util/, no
+//       iteration over unordered containers in result- or event-affecting
+//       layers, no floating-point in protocol/result code.
+//   T — token-epoch discipline: every protocol token struct declares an
+//       `epoch` field, and every verdict/reply consumption site references
+//       it before acting (the PR 8 livelock family, made unrepresentable).
+//   S — switch hygiene: protocol-enum switches carry no `default:` and
+//       cover every enumerator.
+//
+// Suppression syntax (reason is mandatory):
+//   // pm-lint: allow(rule-id) reason...        — this line, or the next
+//                                                 code line when standing
+//                                                 alone on its own line
+//   // pm-lint: allow-file(rule-id) reason...   — the whole file
+// A suppression that matches no diagnostic is itself a diagnostic
+// (pm-unused-allow), so stale annotations cannot accumulate.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pm::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* family;   // "determinism", "token-epoch", "switch-hygiene", "meta"
+  const char* summary;
+};
+
+// The stable rule catalog (documentation + --list-rules).
+const std::vector<RuleInfo>& rule_catalog();
+
+// Cross-file facts collected before the per-file pass: type aliases that
+// resolve to unordered containers (e.g. grid::NodeSet) and enum
+// definitions (for switch exhaustiveness).
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+};
+
+struct Context {
+  std::vector<std::string> unordered_aliases;
+  std::vector<EnumDef> enums;
+};
+
+// Builds the Context from (label, content) pairs.
+Context collect_context(const std::vector<std::pair<std::string, std::string>>& files);
+
+struct FileReport {
+  std::vector<Diagnostic> diagnostics;
+  int suppressions_used = 0;
+};
+
+// Lints one translation unit. `sibling_header` is the content of the
+// matching x.h for an x.cpp (member declarations live there); empty when
+// there is none. `label` should use forward slashes — layer scoping keys
+// off path components like "core/" or "audit/".
+FileReport lint_source(const std::string& label, const std::string& content,
+                       const Context& ctx, const std::string& sibling_header = {});
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+  int suppressions_used = 0;
+};
+
+// Walks files and directories (recursively, *.h / *.cpp, sorted for
+// deterministic output) and lints each with the shared Context.
+Report lint_paths(const std::vector<std::string>& paths);
+
+// Machine-readable report (stable key order, sorted diagnostics).
+std::string to_json(const Report& r);
+
+}  // namespace pm::lint

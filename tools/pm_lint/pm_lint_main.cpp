@@ -1,0 +1,69 @@
+// pm_lint CLI — the repo's determinism / protocol-contract gate.
+//
+//   pm_lint [--json[=FILE]] [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 when the tree is clean (every diagnostic suppressed with a
+// written reason), 1 when any unsuppressed diagnostic remains, 2 on usage
+// or I/O errors. CI runs `pm_lint src/ --json=pm_lint_report.json` and
+// uploads the report as an artifact.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool want_json = false;
+  std::string json_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const pm::lint::RuleInfo& r : pm::lint::rule_catalog()) {
+        std::printf("%-24s %-16s %s\n", r.id, r.family, r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_file = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: pm_lint [--json[=FILE]] [--list-rules] <file-or-dir>...\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pm_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: pm_lint [--json[=FILE]] [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  const pm::lint::Report rep = pm::lint::lint_paths(paths);
+  for (const pm::lint::Diagnostic& d : rep.diagnostics) {
+    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (want_json) {
+    const std::string json = pm::lint::to_json(rep);
+    if (json_file.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(json_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "pm_lint: cannot write %s\n", json_file.c_str());
+        return 2;
+      }
+      out << json;
+    }
+  }
+  std::fprintf(stderr, "pm_lint: %zu diagnostic(s), %d file(s) scanned, %d suppression(s) honoured\n",
+               rep.diagnostics.size(), rep.files_scanned, rep.suppressions_used);
+  return rep.diagnostics.empty() ? 0 : 1;
+}
